@@ -1,0 +1,49 @@
+// Fig. 10: effect of the number of destination nodes |T| on SJ and COL
+// (Q3, k = 20): the four proposed approaches over the nested POI sets
+// T1 ⊂ T2 ⊂ T3 ⊂ T4.
+//
+// Paper findings: every approach gets faster with more destinations
+// (shorter shortest paths — Fig. 11), and IterBoundI's advantage over
+// IterBoundP widens with |T| because SPT_I also prunes destination nodes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace kpj;
+  using namespace kpj::bench;
+  HarnessOptions harness = HarnessFromEnv();
+
+  for (DatasetId id : {DatasetId::kSJ, DatasetId::kCOL}) {
+    Dataset ds = BuildDataset(id, harness, /*california=*/false);
+
+    std::vector<std::string> columns;
+    for (int i = 0; i < 4; ++i) {
+      columns.push_back("|T" + std::to_string(i + 1) + "|=" +
+                        std::to_string(ds.categories.Size(ds.nested.t[i])));
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fig. 10: %s, vary #destination nodes (Q3, k=20), ms",
+                  ds.name.c_str());
+    Table table(title, columns);
+
+    // Rows per algorithm; query sets are regenerated per Ti since the
+    // distance strata depend on the destination set.
+    for (Algorithm a : OurApproachAlgorithms()) {
+      std::vector<double> row;
+      for (int i = 0; i < 4; ++i) {
+        const std::vector<NodeId>& targets = ds.Targets(ds.nested.t[i]);
+        QuerySets sets = GenerateQuerySets(ds.reverse, targets,
+                                           harness.queries_per_set, 1357);
+        row.push_back(MeanQueryMillis(ds, a, sets.q[2], targets, 20));
+      }
+      table.AddRow(AlgorithmName(a), row);
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 12: scalability of IterBound_I.
+//   (a) across graph size: SJ -> SF -> COL -> FLA -> USA (T = T2, Q3,
+//       k = 20);
+//   (b) across k in {10, 50, 100, 200, 500} on COL (T = T2, Q3).
+//
+// Paper finding: growing the graph 40x increases the runtime by no more
+// than ~3x; runtime grows modestly with k.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace kpj;
+  using namespace kpj::bench;
+  HarnessOptions harness = HarnessFromEnv();
+
+  // --- (a) vary graph size ------------------------------------------------
+  const DatasetId ids[] = {DatasetId::kSJ, DatasetId::kSF, DatasetId::kCOL,
+                           DatasetId::kFLA, DatasetId::kUSA};
+  std::vector<std::string> columns;
+  std::vector<double> row;
+  for (DatasetId id : ids) {
+    Dataset ds = BuildDataset(id, harness, /*california=*/false);
+    const std::vector<NodeId>& targets = ds.Targets(ds.nested.t[1]);  // T2
+    QuerySets sets = GenerateQuerySets(ds.reverse, targets,
+                                       harness.queries_per_set, 888);
+    columns.push_back(ds.name);
+    row.push_back(MeanQueryMillis(ds, Algorithm::kIterBoundSptI, sets.q[2],
+                                  targets, 20));
+  }
+  Table table_a("Fig. 12(a): IterBoundI, vary graph size (T2, Q3, k=20), ms",
+                columns);
+  table_a.AddRow("IterBoundI", row);
+  table_a.Print();
+
+  // --- (b) vary k on COL ---------------------------------------------------
+  const uint32_t kValues[] = {10, 50, 100, 200, 500};
+  Dataset col = BuildDataset(DatasetId::kCOL, harness, /*california=*/false);
+  const std::vector<NodeId>& targets = col.Targets(col.nested.t[1]);
+  QuerySets sets = GenerateQuerySets(col.reverse, targets,
+                                     harness.queries_per_set, 888);
+  Table table_b("Fig. 12(b): IterBoundI on COL, vary k (T2, Q3), ms",
+                KColumns(kValues));
+  std::vector<double> row_k;
+  for (uint32_t k : kValues) {
+    row_k.push_back(MeanQueryMillis(col, Algorithm::kIterBoundSptI,
+                                    sets.q[2], targets, k));
+  }
+  table_b.AddRow("IterBoundI", row_k);
+  table_b.Print();
+  return 0;
+}

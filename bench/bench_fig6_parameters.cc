@@ -1,0 +1,85 @@
+// Fig. 6: parameter testing on CAL (IterBound_I, Q3, k = 20) over the four
+// representative categories.
+//   (a) landmark count |L| in {4, 8, 12, 16, 20, 32}
+//   (b) growth factor α in {1.05, 1.1, 1.2, 1.5, 1.8}
+//
+// Paper finding: |L| = 16 and α = 1.1 are the sweet spots, with shallow
+// curves on both sides.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace kpj;
+  using namespace kpj::bench;
+  HarnessOptions harness = HarnessFromEnv();
+
+  Dataset ds = BuildDataset(DatasetId::kCAL, harness, /*california=*/true);
+  struct Category {
+    const char* name;
+    CategoryId id;
+  };
+  const Category categories[] = {
+      {"Crater", ds.california->crater},
+      {"Glacier", ds.california->glacier},
+      {"Harbor", ds.california->harbor},
+      {"Lake", ds.california->lake},
+  };
+
+  // --- (a) vary |L| ------------------------------------------------------
+  const uint32_t kLandmarkCounts[] = {4, 8, 12, 16, 20, 32};
+  std::vector<std::string> l_columns;
+  for (uint32_t l : kLandmarkCounts)
+    l_columns.push_back("|L|=" + std::to_string(l));
+  Table table_a("Fig. 6(a): IterBoundI on CAL, vary |L| (Q3, k=20), ms",
+                l_columns);
+
+  std::vector<LandmarkIndex> indexes;
+  for (uint32_t l : kLandmarkCounts) {
+    LandmarkIndexOptions opt;
+    opt.num_landmarks = l;
+    opt.seed = 99;
+    indexes.push_back(LandmarkIndex::Build(ds.graph, ds.reverse, opt));
+  }
+
+  for (const Category& cat : categories) {
+    const std::vector<NodeId>& targets = ds.Targets(cat.id);
+    QuerySets sets = GenerateQuerySets(ds.reverse, targets,
+                                       harness.queries_per_set, 1234);
+    std::vector<double> row;
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      row.push_back(MeanQueryMillis(ds, Algorithm::kIterBoundSptI,
+                                    sets.q[2], targets, /*k=*/20,
+                                    /*alpha=*/1.1, &indexes[i]));
+    }
+    table_a.AddRow(cat.name, row);
+  }
+  table_a.Print();
+
+  // --- (b) vary α ---------------------------------------------------------
+  const double kAlphas[] = {1.05, 1.1, 1.2, 1.5, 1.8};
+  std::vector<std::string> a_columns;
+  for (double a : kAlphas) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "a=%.2f", a);
+    a_columns.push_back(buf);
+  }
+  Table table_b("Fig. 6(b): IterBoundI on CAL, vary alpha (Q3, k=20), ms",
+                a_columns);
+  for (const Category& cat : categories) {
+    const std::vector<NodeId>& targets = ds.Targets(cat.id);
+    QuerySets sets = GenerateQuerySets(ds.reverse, targets,
+                                       harness.queries_per_set, 1234);
+    std::vector<double> row;
+    for (double a : kAlphas) {
+      row.push_back(MeanQueryMillis(ds, Algorithm::kIterBoundSptI,
+                                    sets.q[2], targets, /*k=*/20, a));
+    }
+    table_b.AddRow(cat.name, row);
+  }
+  table_b.Print();
+  return 0;
+}

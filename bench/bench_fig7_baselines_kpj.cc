@@ -1,0 +1,70 @@
+// Fig. 7: all seven algorithms against the baselines on CAL, KPJ queries.
+//   (a)(c)(e) vary query set Q1..Q5 at k = 20, for T = Lake / Crater /
+//             Harbor (8 / 14 / 94 destination nodes);
+//   (b)(d)(f) vary k in {10, 20, 30, 50} at Q3.
+//
+// Paper findings to look for in the output:
+//  * every best-first approach beats DA and DA-SPT, IterBoundI by orders
+//    of magnitude;
+//  * DA-SPT beats DA on small categories but loses on Harbor, where
+//    building the full SPT dominates (Fig. 7(e)-(f));
+//  * all approaches get faster from Q5 to Q1 except DA-SPT, which is flat
+//    (full-SPT dominated).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace kpj;
+  using namespace kpj::bench;
+  HarnessOptions harness = HarnessFromEnv();
+
+  Dataset ds = BuildDataset(DatasetId::kCAL, harness, /*california=*/true);
+  struct Category {
+    const char* name;
+    CategoryId id;
+    char panel_q, panel_k;
+  };
+  const Category categories[] = {
+      {"Lake", ds.california->lake, 'a', 'b'},
+      {"Crater", ds.california->crater, 'c', 'd'},
+      {"Harbor", ds.california->harbor, 'e', 'f'},
+  };
+  const uint32_t kValues[] = {10, 20, 30, 50};
+
+  for (const Category& cat : categories) {
+    const std::vector<NodeId>& targets = ds.Targets(cat.id);
+    QuerySets sets = GenerateQuerySets(ds.reverse, targets,
+                                       harness.queries_per_set, 4321);
+
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fig. 7(%c): CAL KPJ, T=%s (|T|=%zu), k=20, vary Q, ms",
+                  cat.panel_q, cat.name, targets.size());
+    Table by_q(title, QuerySetColumns());
+    for (Algorithm a : BaselineFigureAlgorithms()) {
+      std::vector<double> row;
+      for (int q = 0; q < 5; ++q) {
+        row.push_back(MeanQueryMillis(ds, a, sets.q[q], targets, 20));
+      }
+      by_q.AddRow(AlgorithmName(a), row);
+    }
+    by_q.Print();
+
+    std::snprintf(title, sizeof(title),
+                  "Fig. 7(%c): CAL KPJ, T=%s, Q3, vary k, ms", cat.panel_k,
+                  cat.name);
+    Table by_k(title, KColumns(kValues));
+    for (Algorithm a : BaselineFigureAlgorithms()) {
+      std::vector<double> row;
+      for (uint32_t k : kValues) {
+        row.push_back(MeanQueryMillis(ds, a, sets.q[2], targets, k));
+      }
+      by_k.AddRow(AlgorithmName(a), row);
+    }
+    by_k.Print();
+  }
+  return 0;
+}

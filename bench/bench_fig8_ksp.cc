@@ -1,0 +1,47 @@
+// Fig. 8: KSP queries on CAL — destination category "Glacier" has a single
+// physical node, so the KPJ query degenerates to the classic k shortest
+// path problem and the baselines ARE the state-of-the-art KSP algorithms.
+//   (a) vary query set Q1..Q5 at k = 20;
+//   (b) vary k in {10, 20, 30, 50} at Q3.
+//
+// Paper finding: same ordering as Fig. 7 — the proposed approaches beat
+// the state-of-the-art KSP algorithm (DA-SPT) by orders of magnitude.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace kpj;
+  using namespace kpj::bench;
+  HarnessOptions harness = HarnessFromEnv();
+
+  Dataset ds = BuildDataset(DatasetId::kCAL, harness, /*california=*/true);
+  const std::vector<NodeId>& targets = ds.Targets(ds.california->glacier);
+  QuerySets sets = GenerateQuerySets(ds.reverse, targets,
+                                     harness.queries_per_set, 777);
+
+  Table by_q("Fig. 8(a): CAL KSP (T=Glacier, |T|=1), k=20, vary Q, ms",
+             QuerySetColumns());
+  for (Algorithm a : BaselineFigureAlgorithms()) {
+    std::vector<double> row;
+    for (int q = 0; q < 5; ++q) {
+      row.push_back(MeanQueryMillis(ds, a, sets.q[q], targets, 20));
+    }
+    by_q.AddRow(AlgorithmName(a), row);
+  }
+  by_q.Print();
+
+  const uint32_t kValues[] = {10, 20, 30, 50};
+  Table by_k("Fig. 8(b): CAL KSP (T=Glacier), Q3, vary k, ms",
+             KColumns(kValues));
+  for (Algorithm a : BaselineFigureAlgorithms()) {
+    std::vector<double> row;
+    for (uint32_t k : kValues) {
+      row.push_back(MeanQueryMillis(ds, a, sets.q[2], targets, k));
+    }
+    by_k.AddRow(AlgorithmName(a), row);
+  }
+  by_k.Print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 9: the four proposed approaches compared on SJ and COL (T = T2).
+//   (a)(c) vary query set Q1..Q5 at k = 20;
+//   (b)(d) vary k in {10, 20, 30, 50} at Q3.
+//
+// Paper findings: IterBound slightly beats BestFirst (fewer shortest-path
+// computations, pricier bounds); IterBoundP beats IterBound (faster bound
+// testing); IterBoundI beats IterBoundP (smaller exploration area).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace kpj;
+  using namespace kpj::bench;
+  HarnessOptions harness = HarnessFromEnv();
+
+  struct Panel {
+    DatasetId id;
+    char panel_q, panel_k;
+  };
+  const Panel panels[] = {{DatasetId::kSJ, 'a', 'b'},
+                          {DatasetId::kCOL, 'c', 'd'}};
+  const uint32_t kValues[] = {10, 20, 30, 50};
+
+  for (const Panel& panel : panels) {
+    Dataset ds = BuildDataset(panel.id, harness, /*california=*/false);
+    const std::vector<NodeId>& targets = ds.Targets(ds.nested.t[1]);  // T2
+    QuerySets sets = GenerateQuerySets(ds.reverse, targets,
+                                       harness.queries_per_set, 2468);
+
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fig. 9(%c): %s, T=T2 (|T|=%zu), k=20, vary Q, ms",
+                  panel.panel_q, ds.name.c_str(), targets.size());
+    Table by_q(title, QuerySetColumns());
+    for (Algorithm a : OurApproachAlgorithms()) {
+      std::vector<double> row;
+      for (int q = 0; q < 5; ++q) {
+        row.push_back(MeanQueryMillis(ds, a, sets.q[q], targets, 20));
+      }
+      by_q.AddRow(AlgorithmName(a), row);
+    }
+    by_q.Print();
+
+    std::snprintf(title, sizeof(title),
+                  "Fig. 9(%c): %s, T=T2, Q3, vary k, ms", panel.panel_k,
+                  ds.name.c_str());
+    Table by_k(title, KColumns(kValues));
+    for (Algorithm a : OurApproachAlgorithms()) {
+      std::vector<double> row;
+      for (uint32_t k : kValues) {
+        row.push_back(MeanQueryMillis(ds, a, sets.q[2], targets, k));
+      }
+      by_k.AddRow(AlgorithmName(a), row);
+    }
+    by_k.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks for the substrate: priority queues,
+// Dijkstra / A* engines, landmark bound evaluation, and graph plumbing.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gen/road_gen.h"
+#include "index/landmark_index.h"
+#include "index/target_bound.h"
+#include "sssp/astar.h"
+#include "sssp/dijkstra.h"
+#include "util/indexed_heap.h"
+#include "util/radix_heap.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+const RoadNetwork& Network() {
+  static const RoadNetwork* net = [] {
+    RoadGenOptions opt;
+    opt.target_nodes = 50000;
+    opt.seed = 13;
+    return new RoadNetwork(GenerateRoadNetwork(opt));
+  }();
+  return *net;
+}
+
+const LandmarkIndex& Landmarks() {
+  static const LandmarkIndex* index = [] {
+    const RoadNetwork& net = Network();
+    return new LandmarkIndex(
+        LandmarkIndex::Build(net.graph, net.graph.Reverse(), {}));
+  }();
+  return *index;
+}
+
+void BM_IndexedHeapPushPop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.NextBounded(1u << 30);
+  IndexedHeap<uint64_t> heap(n);
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < n; ++i) heap.Push(i, keys[i]);
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IndexedHeapPushPop)->Arg(1024)->Arg(65536);
+
+void BM_RadixHeapMonotone(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<uint64_t> deltas(n);
+  for (auto& d : deltas) d = rng.NextBounded(64);
+  for (auto _ : state) {
+    RadixHeap heap;
+    uint64_t last = 0;
+    // Interleave pushes and pops as Dijkstra does.
+    for (uint32_t i = 0; i < n; ++i) {
+      heap.Push(i, last + deltas[i]);
+      if (i % 2 == 1) last = heap.Pop().second;
+    }
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixHeapMonotone)->Arg(1024)->Arg(65536);
+
+void BM_DijkstraFullSssp(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  Dijkstra engine(g);
+  Rng rng(3);
+  for (auto _ : state) {
+    engine.Run(static_cast<NodeId>(rng.NextBounded(g.NumNodes())));
+    benchmark::DoNotOptimize(engine.Distance(0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumNodes());
+}
+BENCHMARK(BM_DijkstraFullSssp);
+
+void BM_PointToPointDijkstra(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  Dijkstra engine(g);
+  Rng rng(4);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    benchmark::DoNotOptimize(engine.RunToTarget(s, t));
+  }
+}
+BENCHMARK(BM_PointToPointDijkstra);
+
+void BM_PointToPointAStarLandmarks(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  const LandmarkIndex& landmarks = Landmarks();
+  Rng rng(4);  // Same seed: same (s, t) pairs as the Dijkstra bench.
+  ZeroHeuristic zero;
+  AStar astar(g, &zero);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    std::vector<NodeId> set = {t};
+    LandmarkSetBound bound(&landmarks, set, BoundDirection::kToSet);
+    astar.SetHeuristic(&bound);
+    benchmark::DoNotOptimize(astar.RunToTarget(s, t));
+  }
+}
+BENCHMARK(BM_PointToPointAStarLandmarks);
+
+void BM_LandmarkBoundEstimate(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  const LandmarkIndex& landmarks = Landmarks();
+  std::vector<NodeId> set = {1, 100, 1000};
+  LandmarkSetBound bound(&landmarks, set, BoundDirection::kToSet);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bound.Estimate(static_cast<NodeId>(rng.NextBounded(g.NumNodes()))));
+  }
+}
+BENCHMARK(BM_LandmarkBoundEstimate);
+
+void BM_GraphReverse(benchmark::State& state) {
+  const Graph& g = Network().graph;
+  for (auto _ : state) {
+    Graph r = g.Reverse();
+    benchmark::DoNotOptimize(r.NumEdges());
+  }
+}
+BENCHMARK(BM_GraphReverse);
+
+}  // namespace
+}  // namespace kpj

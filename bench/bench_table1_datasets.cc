@@ -1,0 +1,38 @@
+// Table 1: summary of the six road networks.
+//
+// Paper values are the real datasets; "generated" are this repository's
+// synthetic stand-ins (DESIGN.md §3). `KPJ_BENCH_FULL=1` generates USA at
+// its paper size.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kpj;
+  using namespace kpj::bench;
+  HarnessOptions harness = HarnessFromEnv();
+
+  std::printf(
+      "=== Table 1: dataset summary (paper vs generated stand-in) ===\n");
+  std::printf("%-8s%16s%16s%16s%16s%12s\n", "Dataset", "paper #nodes",
+              "paper #edges", "gen #nodes", "gen #edges", "build (s)");
+  for (DatasetId id : kAllDatasets) {
+    Timer timer;
+    // Landmarks excluded here: Table 1 reports the raw networks.
+    Dataset ds = BuildDataset(id, harness, /*california=*/false,
+                              /*num_landmarks=*/0);
+    std::printf("%-8s%16s%16s%16s%16s%12.2f\n", ds.name.c_str(),
+                FormatWithCommas(DatasetPaperNodes(id)).c_str(),
+                FormatWithCommas(DatasetPaperEdges(id)).c_str(),
+                FormatWithCommas(ds.graph.NumNodes()).c_str(),
+                FormatWithCommas(ds.graph.NumEdges()).c_str(),
+                timer.ElapsedSeconds());
+  }
+  std::printf(
+      "\nNote: USA defaults to a reduced stand-in (set KPJ_BENCH_FULL=1 "
+      "for 6.2M nodes).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a small road graph, tag hotel nodes, and ask for the
+// top-3 shortest paths from a source to the "hotel" category — the paper's
+// Fig. 1 / Example 2.1 scenario.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/kpj.h"
+#include "graph/graph_builder.h"
+#include "index/category_index.h"
+#include "index/landmark_index.h"
+
+int main() {
+  using namespace kpj;
+
+  // 1. Build a weighted bidirectional graph (ids 0..14 = the paper's
+  //    v1..v15).
+  GraphBuilder builder(15);
+  auto add = [&](int a, int b, Weight w) {
+    builder.AddBidirectional(static_cast<NodeId>(a - 1),
+                             static_cast<NodeId>(b - 1), w);
+  };
+  add(1, 2, 1); add(2, 10, 1); add(10, 9, 1);
+  add(1, 8, 2); add(8, 7, 3); add(8, 9, 1);
+  add(1, 3, 3); add(3, 4, 4); add(3, 5, 2); add(5, 6, 2);
+  add(3, 6, 3); add(3, 7, 4); add(4, 15, 1);
+  add(1, 11, 1); add(11, 12, 1); add(12, 13, 1); add(13, 14, 2);
+  add(14, 7, 10); add(6, 15, 5);
+  Graph graph = builder.Build();
+  Graph reverse = graph.Reverse();
+
+  // 2. Tag the hotel nodes in the inverted category index.
+  CategoryIndex categories(graph.NumNodes());
+  CategoryId hotel = categories.AddCategory("Hotel");
+  for (int v : {4, 6, 7}) categories.Assign(static_cast<NodeId>(v - 1), hotel);
+
+  // 3. Offline landmark index (Eq. (2) lower bounds).
+  LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, {});
+
+  // 4. Ask for the top-3 shortest paths from v1 to any hotel.
+  Result<KpjQuery> query = MakeCategoryQuery(categories, /*source=*/0, hotel,
+                                             /*k=*/3);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  KpjOptions options;
+  options.algorithm = Algorithm::kIterBoundSptI;  // The paper's best.
+  options.landmarks = &landmarks;
+
+  Result<KpjResult> result =
+      RunKpj(graph, reverse, query.value(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("top-%zu shortest paths from v1 to category 'Hotel':\n",
+              result.value().paths.size());
+  for (const Path& path : result.value().paths) {
+    std::printf("  %s\n", PathToString(path).c_str());
+  }
+  std::printf("stats: %llu shortest-path computations, %llu bound tests\n",
+              static_cast<unsigned long long>(
+                  result.value().stats.shortest_path_computations),
+              static_cast<unsigned long long>(
+                  result.value().stats.lower_bound_tests));
+  return 0;
+}

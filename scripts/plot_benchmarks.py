@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Plot KPJ benchmark tables from the harness's CSV dump.
+
+Usage:
+    KPJ_BENCH_CSV=/tmp/kpj.csv ./build/bench/bench_fig7_baselines_kpj
+    python3 scripts/plot_benchmarks.py /tmp/kpj.csv --out-dir plots/
+
+Each table in the CSV (delimited by `# <title>` header lines, see
+bench/bench_common.cc) becomes one log-scale line chart, mirroring the
+paper's figure style. Requires matplotlib.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+
+def parse_tables(path):
+    """Yields (title, columns, rows) per table; rows are (label, [values])."""
+    title, columns, rows = None, None, []
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if title is not None and rows:
+                    yield title, columns, rows
+                title, columns, rows = line[1:].strip(), None, []
+            elif line.startswith("series,"):
+                columns = line.split(",")[1:]
+            else:
+                parts = line.split(",")
+                if columns is None or len(parts) != len(columns) + 1:
+                    continue
+                rows.append((parts[0], [float(v) for v in parts[1:]]))
+    if title is not None and rows:
+        yield title, columns, rows
+
+
+def slugify(title):
+    return re.sub(r"[^A-Za-z0-9]+", "_", title).strip("_")[:80].lower()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="CSV written via KPJ_BENCH_CSV")
+    parser.add_argument("--out-dir", default="plots")
+    parser.add_argument("--linear", action="store_true",
+                        help="linear instead of log y-axis")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    count = 0
+    for title, columns, rows in parse_tables(args.csv):
+        fig, ax = plt.subplots(figsize=(6, 4))
+        x = range(len(columns))
+        for label, values in rows:
+            ax.plot(x, values, marker="o", label=label)
+        ax.set_xticks(list(x))
+        ax.set_xticklabels(columns, rotation=20)
+        if not args.linear:
+            ax.set_yscale("log")
+        ax.set_ylabel("processing time (ms)")
+        ax.set_title(title, fontsize=9)
+        ax.grid(True, which="both", alpha=0.3)
+        ax.legend(fontsize=7)
+        fig.tight_layout()
+        out = os.path.join(args.out_dir, slugify(title) + ".png")
+        fig.savefig(out, dpi=150)
+        plt.close(fig)
+        print("wrote", out)
+        count += 1
+    if count == 0:
+        sys.exit("no tables found in " + args.csv)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,499 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/kpj.h"
+#include "gen/poi_gen.h"
+#include "gen/road_gen.h"
+#include "graph/connectivity.h"
+#include "graph/dimacs_io.h"
+#include "graph/serialize.h"
+#include "index/landmark_index.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace kpj::cli {
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+/// Loads a graph by extension: .gr = DIMACS text, anything else = binary.
+Result<Graph> LoadGraph(const std::string& path) {
+  if (EndsWith(path, ".gr")) return ReadDimacsGraph(path);
+  return LoadGraphBinary(path);
+}
+
+Status SaveGraph(const Graph& graph, const std::string& path) {
+  if (EndsWith(path, ".gr")) return WriteDimacsGraph(graph, path);
+  return SaveGraphBinary(graph, path);
+}
+
+void PrintHelp(std::ostream& out) {
+  out << "kpj_cli — top-k shortest path join queries\n"
+         "\n"
+         "  kpj_cli generate  --nodes N [--seed S] --out FILE"
+         " [--coords FILE]\n"
+         "  kpj_cli convert   --in FILE --out FILE\n"
+         "  kpj_cli info      --graph FILE\n"
+         "  kpj_cli landmarks --graph FILE --out FILE [--count 16]"
+         " [--seed S]\n"
+         "  kpj_cli pois      --graph FILE --out FILE [--seed S] [--cal]\n"
+         "  kpj_cli query     --graph FILE --source S\n"
+         "                    (--targets A,B,C | --categories FILE"
+         " --category NAME)\n"
+         "                    [--k 10] [--algorithm NAME]"
+         " [--landmarks FILE] [--alpha 1.1] [--stats]\n"
+         "  kpj_cli batch     --graph FILE --queries FILE"
+         " [--algorithm NAME] [--landmarks FILE] [--threads N]\n"
+         "\n"
+         "Graph files: .gr = DIMACS text, otherwise compact binary.\n"
+         "Algorithms: DA, DA-SPT, BestFirst, IterBound, IterBoundP,\n"
+         "            IterBoundI (default), IterBoundI-NL\n";
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int CmdGenerate(const ParsedArgs& args, std::ostream& out,
+                std::ostream& err) {
+  Result<std::string> out_path = args.Require("out");
+  if (!out_path.ok()) return Fail(err, out_path.status());
+  Result<int64_t> nodes = args.GetInt("nodes", 10000);
+  Result<int64_t> seed = args.GetInt("seed", 1);
+  if (!nodes.ok()) return Fail(err, nodes.status());
+  if (!seed.ok()) return Fail(err, seed.status());
+  if (nodes.value() < 4) {
+    return Fail(err, Status::InvalidArgument("--nodes must be >= 4"));
+  }
+
+  RoadGenOptions opt;
+  opt.target_nodes = static_cast<uint32_t>(nodes.value());
+  opt.seed = static_cast<uint64_t>(seed.value());
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  Status saved = SaveGraph(net.graph, out_path.value());
+  if (!saved.ok()) return Fail(err, saved);
+  if (auto coords = args.Get("coords"); coords.has_value()) {
+    Status cs = WriteDimacsCoordinates(net.coords, *coords);
+    if (!cs.ok()) return Fail(err, cs);
+  }
+  out << "generated " << net.graph.NumNodes() << " nodes, "
+      << net.graph.NumEdges() << " arcs -> " << out_path.value() << "\n";
+  return 0;
+}
+
+int CmdConvert(const ParsedArgs& args, std::ostream& out,
+               std::ostream& err) {
+  Result<std::string> in_path = args.Require("in");
+  Result<std::string> out_path = args.Require("out");
+  if (!in_path.ok()) return Fail(err, in_path.status());
+  if (!out_path.ok()) return Fail(err, out_path.status());
+  Result<Graph> graph = LoadGraph(in_path.value());
+  if (!graph.ok()) return Fail(err, graph.status());
+  Status saved = SaveGraph(graph.value(), out_path.value());
+  if (!saved.ok()) return Fail(err, saved);
+  out << "converted " << in_path.value() << " -> " << out_path.value()
+      << " (" << graph.value().NumNodes() << " nodes)\n";
+  return 0;
+}
+
+int CmdInfo(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Result<std::string> path = args.Require("graph");
+  if (!path.ok()) return Fail(err, path.status());
+  Result<Graph> graph = LoadGraph(path.value());
+  if (!graph.ok()) return Fail(err, graph.status());
+  const Graph& g = graph.value();
+
+  uint32_t max_degree = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    max_degree = std::max(max_degree, g.OutDegree(u));
+  }
+  ComponentLabeling scc = StronglyConnectedComponents(g);
+  out << "nodes:        " << FormatWithCommas(g.NumNodes()) << "\n"
+      << "arcs:         " << FormatWithCommas(g.NumEdges()) << "\n"
+      << "avg degree:   "
+      << (g.NumNodes() ? static_cast<double>(g.NumEdges()) / g.NumNodes()
+                       : 0.0)
+      << "\n"
+      << "max degree:   " << max_degree << "\n"
+      << "SCCs:         " << FormatWithCommas(scc.num_components) << "\n"
+      << "total weight: " << FormatWithCommas(g.TotalWeight()) << "\n";
+  return 0;
+}
+
+int CmdLandmarks(const ParsedArgs& args, std::ostream& out,
+                 std::ostream& err) {
+  Result<std::string> path = args.Require("graph");
+  Result<std::string> out_path = args.Require("out");
+  if (!path.ok()) return Fail(err, path.status());
+  if (!out_path.ok()) return Fail(err, out_path.status());
+  Result<int64_t> count = args.GetInt("count", 16);
+  Result<int64_t> seed = args.GetInt("seed", 42);
+  if (!count.ok()) return Fail(err, count.status());
+  if (!seed.ok()) return Fail(err, seed.status());
+
+  Result<Graph> graph = LoadGraph(path.value());
+  if (!graph.ok()) return Fail(err, graph.status());
+  Timer timer;
+  LandmarkIndexOptions opt;
+  opt.num_landmarks = static_cast<uint32_t>(count.value());
+  opt.seed = static_cast<uint64_t>(seed.value());
+  LandmarkIndex index =
+      LandmarkIndex::Build(graph.value(), graph.value().Reverse(), opt);
+  Status saved = index.Save(out_path.value());
+  if (!saved.ok()) return Fail(err, saved);
+  out << "built " << index.num_landmarks() << " landmarks in "
+      << timer.ElapsedSeconds() << " s -> " << out_path.value() << "\n";
+  return 0;
+}
+
+int CmdPois(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Result<std::string> path = args.Require("graph");
+  Result<std::string> out_path = args.Require("out");
+  if (!path.ok()) return Fail(err, path.status());
+  if (!out_path.ok()) return Fail(err, out_path.status());
+  Result<int64_t> seed = args.GetInt("seed", 7);
+  if (!seed.ok()) return Fail(err, seed.status());
+  Result<Graph> graph = LoadGraph(path.value());
+  if (!graph.ok()) return Fail(err, graph.status());
+
+  CategoryIndex index(graph.value().NumNodes());
+  AssignNestedPoiSets(index, static_cast<uint64_t>(seed.value()));
+  if (args.Has("cal")) {
+    if (graph.value().NumNodes() < 94) {
+      return Fail(err, Status::InvalidArgument(
+                           "--cal needs a graph with >= 94 nodes"));
+    }
+    AssignCaliforniaLikePois(index, static_cast<uint64_t>(seed.value()) + 1);
+  }
+  Status saved = index.Save(out_path.value());
+  if (!saved.ok()) return Fail(err, saved);
+  out << "assigned " << index.NumCategories() << " categories -> "
+      << out_path.value() << "\n";
+  for (CategoryId c = 0; c < index.NumCategories(); ++c) {
+    if (index.Name(c).rfind("Filler", 0) == 0) continue;
+    out << "  " << index.Name(c) << ": " << index.Size(c) << " nodes\n";
+  }
+  return 0;
+}
+
+struct QuerySetup {
+  Graph graph;
+  Graph reverse;
+  LandmarkIndex landmarks;  // Empty if no --landmarks flag.
+  KpjOptions options;
+};
+
+Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
+  Result<std::string> path = args.Require("graph");
+  if (!path.ok()) return path.status();
+  Result<Graph> graph = LoadGraph(path.value());
+  if (!graph.ok()) return graph.status();
+
+  QuerySetup setup;
+  setup.graph = std::move(graph).value();
+  setup.reverse = setup.graph.Reverse();
+
+  setup.options.algorithm = Algorithm::kIterBoundSptI;
+  if (auto name = args.Get("algorithm"); name.has_value()) {
+    Result<Algorithm> algorithm = ParseAlgorithm(*name);
+    if (!algorithm.ok()) return algorithm.status();
+    setup.options.algorithm = algorithm.value();
+  }
+  if (auto lm = args.Get("landmarks"); lm.has_value()) {
+    Result<LandmarkIndex> index = LandmarkIndex::Load(*lm);
+    if (!index.ok()) return index.status();
+    if (index.value().num_nodes() != setup.graph.NumNodes()) {
+      return Status::InvalidArgument(
+          "landmark index was built for a different graph");
+    }
+    setup.landmarks = std::move(index).value();
+  }
+  return setup;
+}
+
+int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Result<QuerySetup> setup = LoadQuerySetup(args);
+  if (!setup.ok()) return Fail(err, setup.status());
+  QuerySetup& s = setup.value();
+  if (s.landmarks.num_landmarks() > 0) s.options.landmarks = &s.landmarks;
+
+  Result<std::string> source_text = args.Require("source");
+  if (!source_text.ok()) return Fail(err, source_text.status());
+  Result<std::vector<NodeId>> sources = ParseNodeList(source_text.value());
+  if (!sources.ok()) return Fail(err, sources.status());
+
+  // Targets come either from an explicit list or from a named category.
+  std::vector<NodeId> target_nodes;
+  if (auto cat_name = args.Get("category"); cat_name.has_value()) {
+    Result<std::string> cats_path = args.Require("categories");
+    if (!cats_path.ok()) return Fail(err, cats_path.status());
+    Result<CategoryIndex> index = CategoryIndex::Load(cats_path.value());
+    if (!index.ok()) return Fail(err, index.status());
+    if (index.value().num_nodes() != s.graph.NumNodes()) {
+      return Fail(err, Status::InvalidArgument(
+                           "category index was built for a different graph"));
+    }
+    std::optional<CategoryId> cat = index.value().Find(*cat_name);
+    if (!cat.has_value()) {
+      return Fail(err,
+                  Status::NotFound("category '" + *cat_name + "'"));
+    }
+    target_nodes = index.value().Nodes(*cat);
+    if (target_nodes.empty()) {
+      return Fail(err, Status::InvalidArgument("category is empty"));
+    }
+  } else {
+    Result<std::string> targets_text = args.Require("targets");
+    if (!targets_text.ok()) return Fail(err, targets_text.status());
+    Result<std::vector<NodeId>> targets =
+        ParseNodeList(targets_text.value());
+    if (!targets.ok()) return Fail(err, targets.status());
+    target_nodes = std::move(targets).value();
+  }
+  Result<int64_t> k = args.GetInt("k", 10);
+  if (!k.ok() || k.value() <= 0) {
+    return Fail(err, Status::InvalidArgument("--k must be positive"));
+  }
+  if (auto alpha = args.Get("alpha"); alpha.has_value()) {
+    auto parsed = ParseDouble(*alpha);
+    if (!parsed || *parsed <= 1.0) {
+      return Fail(err, Status::InvalidArgument("--alpha must be > 1"));
+    }
+    s.options.alpha = *parsed;
+  }
+
+  KpjQuery query;
+  query.sources = std::move(sources).value();
+  query.targets = std::move(target_nodes);
+  query.k = static_cast<uint32_t>(k.value());
+
+  Timer timer;
+  Result<KpjResult> result = RunKpj(s.graph, s.reverse, query, s.options);
+  if (!result.ok()) return Fail(err, result.status());
+  double ms = timer.ElapsedMillis();
+
+  for (const Path& p : result.value().paths) {
+    out << PathToString(p) << "\n";
+  }
+  out << "# " << result.value().paths.size() << " paths in " << ms
+      << " ms using " << AlgorithmName(s.options.algorithm) << "\n";
+  if (args.Has("stats")) {
+    const QueryStats& st = result.value().stats;
+    out << "# shortest-path computations: "
+        << st.shortest_path_computations << "\n"
+        << "# bound tests:                " << st.lower_bound_tests << "\n"
+        << "# nodes settled:              " << st.nodes_settled << "\n"
+        << "# SPT nodes:                  " << st.spt_nodes << "\n";
+  }
+  return 0;
+}
+
+int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Result<QuerySetup> setup = LoadQuerySetup(args);
+  if (!setup.ok()) return Fail(err, setup.status());
+  QuerySetup& s = setup.value();
+  if (s.landmarks.num_landmarks() > 0) s.options.landmarks = &s.landmarks;
+
+  Result<std::string> queries_path = args.Require("queries");
+  if (!queries_path.ok()) return Fail(err, queries_path.status());
+  std::ifstream in(queries_path.value());
+  if (!in) {
+    return Fail(err,
+                Status::IoError("cannot open " + queries_path.value()));
+  }
+
+  Result<int64_t> threads = args.GetInt("threads", 1);
+  if (!threads.ok() || threads.value() < 1) {
+    return Fail(err, Status::InvalidArgument("--threads must be >= 1"));
+  }
+
+  // Parse all queries up front so they can be executed in parallel.
+  struct BatchQuery {
+    size_t line_no;
+    KpjQuery query;
+  };
+  std::vector<BatchQuery> queries;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitWhitespace(trimmed);
+    if (fields.size() < 3) {
+      return Fail(err, Status::InvalidArgument(
+                           "query line " + std::to_string(line_no) +
+                           ": want 'source k target...'"));
+    }
+    BatchQuery bq;
+    bq.line_no = line_no;
+    auto src = ParseInt(fields[0]);
+    auto kval = ParseInt(fields[1]);
+    if (!src || !kval || *src < 0 || *kval <= 0) {
+      return Fail(err, Status::InvalidArgument(
+                           "query line " + std::to_string(line_no) +
+                           ": bad source/k"));
+    }
+    bq.query.sources = {static_cast<NodeId>(*src)};
+    bq.query.k = static_cast<uint32_t>(*kval);
+    for (size_t i = 2; i < fields.size(); ++i) {
+      auto t = ParseInt(fields[i]);
+      if (!t || *t < 0) {
+        return Fail(err, Status::InvalidArgument(
+                             "query line " + std::to_string(line_no) +
+                             ": bad target"));
+      }
+      bq.query.targets.push_back(static_cast<NodeId>(*t));
+    }
+    queries.push_back(std::move(bq));
+  }
+
+  // Execute (optionally across threads: the graph and landmark index are
+  // shared read-only; each RunKpj call owns its solver state). Results are
+  // buffered and printed in input order.
+  std::vector<Result<KpjResult>> results(queries.size(),
+                                         Status::FailedPrecondition("unrun"));
+  Timer batch_timer;
+  ParallelFor(queries.size(), static_cast<unsigned>(threads.value()),
+              [&](size_t i, unsigned /*worker*/) {
+                results[i] =
+                    RunKpj(s.graph, s.reverse, queries[i].query, s.options);
+              });
+  double total_ms = batch_timer.ElapsedMillis();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!results[i].ok()) return Fail(err, results[i].status());
+    out << "query " << queries[i].line_no << ":";
+    for (const Path& p : results[i].value().paths) out << " " << p.length;
+    out << "\n";
+  }
+  out << "# " << queries.size() << " queries, " << total_ms
+      << " ms wall (" << (queries.empty() ? 0.0 : total_ms / queries.size())
+      << " ms/query, " << AlgorithmName(s.options.algorithm) << ", "
+      << EffectiveWorkers(static_cast<unsigned>(threads.value()))
+      << " workers)\n";
+  return 0;
+}
+
+}  // namespace
+
+std::optional<std::string> ParsedArgs::Get(const std::string& name) const {
+  auto it = flags.find(name);
+  if (it == flags.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<int64_t> ParsedArgs::GetInt(const std::string& name,
+                                   int64_t def) const {
+  auto it = flags.find(name);
+  if (it == flags.end()) return def;
+  auto parsed = ParseInt(it->second);
+  if (!parsed) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return *parsed;
+}
+
+Result<std::string> ParsedArgs::Require(const std::string& name) const {
+  auto it = flags.find(name);
+  if (it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --" + name);
+  }
+  return it->second;
+}
+
+Result<ParsedArgs> ParseArgs(std::span<const std::string> args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("missing command (try 'help')");
+  }
+  ParsedArgs out;
+  out.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + token + "'");
+    }
+    std::string body = token.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("empty flag '--'");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.flags[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      out.flags[body] = args[i + 1];
+      ++i;
+    } else {
+      out.flags[body] = "";
+    }
+  }
+  return out;
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  std::string canonical;
+  for (char c : name) {
+    if (c == '_') c = '-';
+    canonical.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (Algorithm a : kAllAlgorithms) {
+    std::string candidate = AlgorithmName(a);
+    for (char& c : candidate) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (candidate == canonical) return a;
+  }
+  return Status::InvalidArgument("unknown algorithm '" + name + "'");
+}
+
+Result<std::vector<NodeId>> ParseNodeList(const std::string& text) {
+  std::vector<NodeId> out;
+  for (std::string_view part : SplitChar(text, ',')) {
+    auto v = ParseInt(part);
+    if (!v || *v < 0) {
+      return Status::InvalidArgument("bad node id '" + std::string(part) +
+                                     "'");
+    }
+    out.push_back(static_cast<NodeId>(*v));
+  }
+  if (out.empty()) return Status::InvalidArgument("empty node list");
+  return out;
+}
+
+int RunCli(std::span<const std::string> args, std::ostream& out,
+           std::ostream& err) {
+  Result<ParsedArgs> parsed = ParseArgs(args);
+  if (!parsed.ok()) {
+    err << "error: " << parsed.status().ToString() << "\n";
+    PrintHelp(err);
+    return 2;
+  }
+  const ParsedArgs& a = parsed.value();
+  if (a.command == "help" || a.command == "--help") {
+    PrintHelp(out);
+    return 0;
+  }
+  if (a.command == "generate") return CmdGenerate(a, out, err);
+  if (a.command == "convert") return CmdConvert(a, out, err);
+  if (a.command == "info") return CmdInfo(a, out, err);
+  if (a.command == "landmarks") return CmdLandmarks(a, out, err);
+  if (a.command == "pois") return CmdPois(a, out, err);
+  if (a.command == "query") return CmdQuery(a, out, err);
+  if (a.command == "batch") return CmdBatch(a, out, err);
+  err << "error: unknown command '" << a.command << "'\n";
+  PrintHelp(err);
+  return 2;
+}
+
+}  // namespace kpj::cli

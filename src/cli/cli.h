@@ -1,0 +1,62 @@
+#ifndef KPJ_CLI_CLI_H_
+#define KPJ_CLI_CLI_H_
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/kpj_query.h"
+#include "util/status.h"
+
+namespace kpj::cli {
+
+/// Parsed command line: `kpj_cli <command> [--flag value | --flag=value]...`
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) != 0; }
+  std::optional<std::string> Get(const std::string& name) const;
+  /// Integer flag with default; Status on malformed value.
+  Result<int64_t> GetInt(const std::string& name, int64_t def) const;
+  /// Flag required to be present.
+  Result<std::string> Require(const std::string& name) const;
+};
+
+/// Parses argv-style tokens (excluding the program name). Flags may be
+/// written `--name value` or `--name=value`; bare `--name` stores "".
+Result<ParsedArgs> ParseArgs(std::span<const std::string> args);
+
+/// Parses an algorithm name as printed by AlgorithmName (case-insensitive,
+/// '-'/'_' interchangeable): "DA", "da-spt", "IterBoundI", ...
+Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// Parses "1,2,3" into node ids.
+Result<std::vector<NodeId>> ParseNodeList(const std::string& text);
+
+/// Entry point used by the kpj_cli binary and by tests. Returns the
+/// process exit code; human output goes to `out`, errors to `err`.
+///
+/// Commands:
+///   generate  --nodes N [--seed S] --out FILE [--coords FILE]
+///   convert   --in FILE --out FILE          (.gr <-> .bin by extension)
+///   info      --graph FILE
+///   landmarks --graph FILE --out FILE [--count 16] [--seed S]
+///   pois      --graph FILE --out FILE [--seed S] [--cal]
+///   query     --graph FILE --source S
+///             (--targets A,B,C | --categories FILE --category NAME)
+///             [--k 10]
+///             [--algorithm NAME] [--landmarks FILE] [--alpha 1.1] [--stats]
+///   batch     --graph FILE --queries FILE [--algorithm NAME]
+///             [--landmarks FILE]
+///             (query file: one `source k target...` line per query)
+///   help
+int RunCli(std::span<const std::string> args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace kpj::cli
+
+#endif  // KPJ_CLI_CLI_H_

@@ -1,0 +1,195 @@
+#include "core/best_first.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace kpj {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BestFirstFramework::BestFirstFramework(const Graph& graph,
+                                       const Graph& reverse,
+                                       const KpjOptions& options,
+                                       bool iterative_bounding)
+    : graph_(graph),
+      reverse_(reverse),
+      options_(options),
+      search_(graph),
+      iterative_bounding_(iterative_bounding) {
+  KPJ_CHECK(options_.alpha > 1.0) << "alpha must exceed 1";
+}
+
+bool BestFirstFramework::ComputeRootPath(const PreparedQuery& query,
+                                         SubspaceEntry* initial,
+                                         QueryStats* stats) {
+  search_.ClearForbidden();
+  tree_.MarkPrefix(tree_.root(), &search_.forbidden());
+
+  SubspaceSearchRequest request;
+  request.start = query.source;
+  request.prefix_length = 0;
+
+  ++stats->shortest_path_computations;
+  SubspaceSearchResult result = search_.Run(request, *heuristic_, stats);
+  if (result.outcome != SearchOutcome::kFound) return false;
+
+  initial->vertex = tree_.root();
+  initial->has_path = true;
+  initial->suffix_length = result.suffix_length;
+  initial->key = static_cast<double>(result.suffix_length);
+  initial->suffix.assign(result.suffix.begin() + 1, result.suffix.end());
+  return true;
+}
+
+bool BestFirstFramework::InitializeQuery(const PreparedQuery& query,
+                                         SubspaceEntry* initial,
+                                         QueryStats* stats) {
+  if (options_.landmarks != nullptr) {
+    landmark_bound_.emplace(options_.landmarks, query.targets,
+                            BoundDirection::kToSet, query.source,
+                            options_.max_active_landmarks);
+    heuristic_ = &*landmark_bound_;
+  } else {
+    heuristic_ = &zero_;
+  }
+  return ComputeRootPath(query, initial, stats);
+}
+
+double BestFirstFramework::CompLB(uint32_t v, QueryStats* stats) {
+  const PseudoTree::Vertex& vx = tree_.vertex(v);
+  search_.ClearForbidden();
+  tree_.MarkPrefix(v, &search_.forbidden());
+  const EpochSet& forbidden = search_.forbidden();
+
+  double lb = kInfinity;
+  // The zero-length suffix plays the role of the virtual edge (u, t).
+  if (!vx.finish_banned && search_.target_set().Contains(vx.node)) {
+    lb = static_cast<double>(vx.prefix_length);
+  }
+  for (const OutEdge& e : graph_.OutEdges(vx.node)) {
+    ++stats->edges_relaxed;
+    if (forbidden.Contains(e.to)) continue;
+    bool banned = false;
+    for (NodeId b : vx.banned) {
+      if (b == e.to) {
+        banned = true;
+        break;
+      }
+    }
+    if (banned) continue;
+    PathLength h = heuristic_->Estimate(e.to);
+    if (h == kInfLength) continue;  // Proven dead end.
+    double est = static_cast<double>(
+        SatAdd(vx.prefix_length, SatAdd(e.weight, h)));
+    lb = std::min(lb, est);
+  }
+  return lb;
+}
+
+KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
+  KpjResult res;
+  tree_.Reset(query.source);
+  search_.SetTargets(query.targets);
+
+  SubspaceEntry initial;
+  if (!InitializeQuery(query, &initial, &res.stats)) return res;
+  KPJ_DCHECK(heuristic_ != nullptr);
+
+  SubspaceQueue queue;
+  queue.Push(std::move(initial));
+
+  while (res.paths.size() < query.k && !queue.empty()) {
+    res.stats.max_queue_size =
+        std::max<uint64_t>(res.stats.max_queue_size, queue.size());
+    SubspaceEntry entry = queue.Pop();
+
+    if (entry.has_path) {
+      // Next shortest path: its key is exact while every other key is a
+      // lower bound.
+      res.paths.push_back(
+          AssemblePath(tree_, entry, /*reverse_oriented=*/false));
+      if (res.paths.size() == query.k) break;
+
+      double chosen_length = entry.key;
+      DivisionResult division = DivideSubspace(
+          tree_, graph_, entry.vertex, entry.suffix,
+          /*create_destination_vertex=*/true);
+      auto enqueue = [&](uint32_t v) {
+        ++res.stats.subspaces_created;
+        double lb = CompLB(v, &res.stats);
+        if (lb == kInfinity) return;  // Provably empty subspace.
+        SubspaceEntry fresh;
+        fresh.vertex = v;
+        // Alg. 2 line 9: the chosen path's length bounds every path in
+        // the subspaces it was divided into.
+        fresh.key = std::max(lb, chosen_length);
+        queue.Push(std::move(fresh));
+      };
+      enqueue(division.revised);
+      for (uint32_t v : division.created) enqueue(v);
+      continue;
+    }
+
+    // Bound-only entry: test/compute its shortest path.
+    const PseudoTree::Vertex& vx = tree_.vertex(entry.vertex);
+    double tau = kInfinity;
+    if (iterative_bounding_) {
+      // Alg. 4 line 9: τ = α * max(lb(S), Q.top().key). The +1 floor
+      // guarantees strict growth for integral lengths even near 0.
+      double base = std::max(entry.key, queue.TopKey());
+      if (std::isfinite(base)) {
+        tau = std::max(options_.alpha * base, base + 1.0);
+        res.stats.final_tau = std::max(res.stats.final_tau, tau);
+      }
+    }
+
+    search_.ClearForbidden();
+    tree_.MarkPrefix(entry.vertex, &search_.forbidden());
+    SubspaceSearchRequest request;
+    request.start = vx.node;
+    request.prefix_length = vx.prefix_length;
+    request.banned_first_hops = vx.banned;
+    request.start_counts_as_destination =
+        !vx.finish_banned && search_.target_set().Contains(vx.node);
+    request.tau = tau;
+
+    if (std::isfinite(tau)) {
+      ++res.stats.lower_bound_tests;
+    } else {
+      ++res.stats.shortest_path_computations;
+    }
+    SubspaceSearchResult result =
+        search_.Run(request, *heuristic_, &res.stats);
+    switch (result.outcome) {
+      case SearchOutcome::kFound: {
+        if (std::isfinite(tau)) ++res.stats.shortest_path_computations;
+        SubspaceEntry found;
+        found.vertex = entry.vertex;
+        found.has_path = true;
+        found.suffix_length = result.suffix_length;
+        found.key =
+            static_cast<double>(vx.prefix_length + result.suffix_length);
+        found.suffix.assign(result.suffix.begin() + 1, result.suffix.end());
+        queue.Push(std::move(found));
+        break;
+      }
+      case SearchOutcome::kBounded: {
+        KPJ_DCHECK(std::isfinite(tau));
+        SubspaceEntry bounded;
+        bounded.vertex = entry.vertex;
+        bounded.key = tau;  // Tightened lower bound.
+        queue.Push(std::move(bounded));
+        break;
+      }
+      case SearchOutcome::kEmpty:
+        break;  // No path at any τ: discard the subspace.
+    }
+  }
+  return res;
+}
+
+}  // namespace kpj

@@ -1,0 +1,79 @@
+#ifndef KPJ_CORE_BEST_FIRST_H_
+#define KPJ_CORE_BEST_FIRST_H_
+
+#include <optional>
+
+#include "core/constraint.h"
+#include "core/kpj_query.h"
+#include "core/pseudo_tree.h"
+#include "core/solver.h"
+#include "core/subspace.h"
+#include "index/target_bound.h"
+#include "sssp/astar.h"
+
+namespace kpj {
+
+/// Shared engine of the forward-oriented best-first approaches:
+/// BestFirst (Alg. 2), IterBound (Alg. 4), and IterBound-SPT_P (§5.2).
+///
+/// The engine maintains the subspace priority queue keyed by lower bounds,
+/// divides subspaces along chosen paths (Alg. 2 lines 7-10), computes
+/// CompLB (Alg. 3) from the active heuristic, and — when
+/// `iterative_bounding` is on — replaces CompSP by TestLB with a
+/// geometrically growing τ (Alg. 4 line 9, Alg. 5).
+///
+/// Derived classes choose the per-query heuristic and the initial shortest
+/// path via InitializeQuery.
+class BestFirstFramework : public KpjSolver {
+ public:
+  KpjResult Run(const PreparedQuery& query) final;
+
+ protected:
+  BestFirstFramework(const Graph& graph, const Graph& reverse,
+                     const KpjOptions& options, bool iterative_bounding);
+
+  /// Prepares per-query state: must set `heuristic_` (a lower bound on
+  /// distance-to-destination-set, admissible under the subspace
+  /// constraints) and fill `initial` with the overall shortest path as a
+  /// root-subspace entry. Returns false if the query has no path at all.
+  virtual bool InitializeQuery(const PreparedQuery& query,
+                               SubspaceEntry* initial, QueryStats* stats);
+
+  /// Runs CompSP at the root subspace (used by base InitializeQuery and
+  /// available to derived classes).
+  bool ComputeRootPath(const PreparedQuery& query, SubspaceEntry* initial,
+                       QueryStats* stats);
+
+  const Graph& graph_;
+  const Graph& reverse_;
+  const KpjOptions options_;
+  ConstrainedSearch search_;
+  PseudoTree tree_;
+  ZeroHeuristic zero_;
+  /// Per-query heuristic; set by InitializeQuery.
+  const Heuristic* heuristic_ = nullptr;
+  /// Storage for the base class's per-query landmark bound (Eq. (2)).
+  std::optional<LandmarkSetBound> landmark_bound_;
+
+ private:
+  /// Alg. 3: lightweight subspace lower bound from the first deviation
+  /// edge; +infinity means the subspace is provably empty.
+  double CompLB(uint32_t v, QueryStats* stats);
+
+  const bool iterative_bounding_;
+};
+
+/// BestFirst (paper Alg. 2 + Alg. 3): best-first subspace pruning with
+/// single-shot lower bounds; every popped bound entry triggers a full
+/// CompSP.
+class BestFirstSolver final : public BestFirstFramework {
+ public:
+  BestFirstSolver(const Graph& graph, const Graph& reverse,
+                  const KpjOptions& options)
+      : BestFirstFramework(graph, reverse, options,
+                           /*iterative_bounding=*/false) {}
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_BEST_FIRST_H_

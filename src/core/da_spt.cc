@@ -1,0 +1,142 @@
+#include "core/da_spt.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace kpj {
+
+DaSptSolver::DaSptSolver(const Graph& graph, const Graph& reverse,
+                         const KpjOptions& options)
+    : graph_(graph),
+      reverse_(reverse),
+      search_(graph),
+      reverse_dijkstra_(reverse) {
+  (void)options;  // DA-SPT uses neither landmarks nor alpha.
+}
+
+bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue) {
+  const PseudoTree::Vertex& vx = tree_.vertex(v);
+  // Prefix nodes are already marked in search_.forbidden() by the caller.
+  const EpochSet& forbidden = search_.forbidden();
+
+  // Find the deviation edge minimizing weight + exact SPT distance.
+  NodeId best_hop = kInvalidNode;
+  PathLength best_estimate = kInfLength;
+  for (const OutEdge& e : graph_.OutEdges(vx.node)) {
+    if (forbidden.Contains(e.to)) continue;
+    bool banned = false;
+    for (NodeId b : vx.banned) {
+      if (b == e.to) {
+        banned = true;
+        break;
+      }
+    }
+    if (banned) continue;
+    PathLength est = SatAdd(e.weight, full_spt_.dist[e.to]);
+    if (est < best_estimate) {
+      best_estimate = est;
+      best_hop = e.to;
+    }
+  }
+  if (best_hop == kInvalidNode || best_estimate == kInfLength) {
+    // No finite deviation: either the subspace is empty or only the
+    // zero-length suffix remains; let the general search decide.
+    return false;
+  }
+
+  // Pascoal's test: the SPT path from best_hop must avoid prefix nodes
+  // (it is itself simple, so this suffices for whole-path simplicity).
+  std::vector<NodeId> suffix;
+  suffix.push_back(best_hop);
+  for (NodeId cur = best_hop;;) {
+    NodeId parent = full_spt_.parent[cur];
+    if (parent == kInvalidNode) break;
+    if (forbidden.Contains(parent)) return false;  // Not simple: fall back.
+    suffix.push_back(parent);
+    cur = parent;
+  }
+
+  SubspaceEntry entry;
+  entry.vertex = v;
+  entry.has_path = true;
+  entry.suffix_length = best_estimate;
+  entry.key = static_cast<double>(vx.prefix_length + best_estimate);
+  entry.suffix = std::move(suffix);
+  queue.Push(std::move(entry));
+  // Not counted in shortest_path_computations: the whole point of the
+  // concatenation test is to avoid a shortest-path run.
+  return true;
+}
+
+void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
+                                QueryStats* stats) {
+  const PseudoTree::Vertex& vx = tree_.vertex(v);
+  search_.ClearForbidden();
+  tree_.MarkPrefix(v, &search_.forbidden());
+  ++stats->subspaces_created;
+
+  // The zero-length suffix (prefix already ends at a target and finishing
+  // is allowed) beats every deviation, so check it first.
+  bool zero_suffix_ok =
+      !vx.finish_banned && search_.target_set().Contains(vx.node);
+  if (!zero_suffix_ok && TryConcatenation(v, queue)) return;
+
+  SubspaceSearchRequest request;
+  request.start = vx.node;
+  request.prefix_length = vx.prefix_length;
+  request.banned_first_hops = vx.banned;
+  request.start_counts_as_destination = zero_suffix_ok;
+
+  FullSptBound bound(&full_spt_);
+  ++stats->shortest_path_computations;
+  SubspaceSearchResult result = search_.Run(request, bound, stats);
+  if (result.outcome != SearchOutcome::kFound) return;
+
+  SubspaceEntry entry;
+  entry.vertex = v;
+  entry.has_path = true;
+  entry.suffix_length = result.suffix_length;
+  entry.key = static_cast<double>(vx.prefix_length + result.suffix_length);
+  entry.suffix.assign(result.suffix.begin() + 1, result.suffix.end());
+  queue.Push(std::move(entry));
+}
+
+KpjResult DaSptSolver::Run(const PreparedQuery& query) {
+  KpjResult res;
+  tree_.Reset(query.source);
+  search_.SetTargets(query.targets);
+
+  // Build the full SPT toward the (virtual) destination: one multi-source
+  // Dijkstra on the reverse graph over all of V_T. This is DA-SPT's
+  // up-front cost (paper §3, deficiency 3).
+  std::vector<std::pair<NodeId, PathLength>> seeds;
+  seeds.reserve(query.targets.size());
+  for (NodeId t : query.targets) seeds.emplace_back(t, 0);
+  reverse_dijkstra_.RunMultiSource(seeds);
+  full_spt_ = reverse_dijkstra_.Snapshot();
+  res.stats.nodes_settled += reverse_dijkstra_.stats().nodes_settled;
+  res.stats.edges_relaxed += reverse_dijkstra_.stats().edges_relaxed;
+  res.stats.spt_nodes = reverse_dijkstra_.stats().nodes_settled;
+
+  SubspaceQueue queue;
+  PushCandidate(tree_.root(), queue, &res.stats);
+  res.stats.subspaces_created = 0;
+
+  while (res.paths.size() < query.k && !queue.empty()) {
+    res.stats.max_queue_size =
+        std::max<uint64_t>(res.stats.max_queue_size, queue.size());
+    SubspaceEntry entry = queue.Pop();
+    res.paths.push_back(AssemblePath(tree_, entry, /*reverse_oriented=*/false));
+
+    if (res.paths.size() == query.k) break;
+    DivisionResult division = DivideSubspace(
+        tree_, graph_, entry.vertex, entry.suffix,
+        /*create_destination_vertex=*/true);
+    PushCandidate(division.revised, queue, &res.stats);
+    for (uint32_t v : division.created) PushCandidate(v, queue, &res.stats);
+  }
+  return res;
+}
+
+}  // namespace kpj

@@ -1,0 +1,3 @@
+// IterBoundSolver is fully defined in iter_bound.h on top of
+// BestFirstFramework; this translation unit pins its vtable-free build.
+#include "core/iter_bound.h"

@@ -1,0 +1,27 @@
+#ifndef KPJ_CORE_ITER_BOUND_H_
+#define KPJ_CORE_ITER_BOUND_H_
+
+#include "core/best_first.h"
+
+namespace kpj {
+
+/// IterBound (paper Alg. 4 + Alg. 5): the best-first paradigm with
+/// iteratively "guessed" and tightened lower bounds.
+///
+/// Instead of computing a subspace's exact shortest path the first time
+/// its bound entry is popped, it runs TestLB with threshold
+/// τ = α · max(lb(S), Q.top().key): if every path in the subspace exceeds
+/// τ the subspace is re-queued with the tightened bound τ; only subspaces
+/// whose shortest path actually falls below the growing threshold pay for
+/// a full search.
+class IterBoundSolver final : public BestFirstFramework {
+ public:
+  IterBoundSolver(const Graph& graph, const Graph& reverse,
+                  const KpjOptions& options)
+      : BestFirstFramework(graph, reverse, options,
+                           /*iterative_bounding=*/true) {}
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_ITER_BOUND_H_

@@ -1,0 +1,216 @@
+#include "core/kpj.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "core/best_first.h"
+#include "core/da.h"
+#include "core/da_spt.h"
+#include "core/iter_bound.h"
+#include "core/sptp.h"
+#include "core/spti.h"
+#include "graph/graph_builder.h"
+
+namespace kpj {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kDA:
+      return "DA";
+    case Algorithm::kDaSpt:
+      return "DA-SPT";
+    case Algorithm::kBestFirst:
+      return "BestFirst";
+    case Algorithm::kIterBound:
+      return "IterBound";
+    case Algorithm::kIterBoundSptP:
+      return "IterBoundP";
+    case Algorithm::kIterBoundSptI:
+      return "IterBoundI";
+    case Algorithm::kIterBoundSptINoLm:
+      return "IterBoundI-NL";
+  }
+  return "?";
+}
+
+std::unique_ptr<KpjSolver> MakeSolver(const Graph& graph,
+                                      const Graph& reverse,
+                                      const KpjOptions& options) {
+  switch (options.algorithm) {
+    case Algorithm::kDA:
+      return std::make_unique<DaSolver>(graph, reverse, options);
+    case Algorithm::kDaSpt:
+      return std::make_unique<DaSptSolver>(graph, reverse, options);
+    case Algorithm::kBestFirst:
+      return std::make_unique<BestFirstSolver>(graph, reverse, options);
+    case Algorithm::kIterBound:
+      return std::make_unique<IterBoundSolver>(graph, reverse, options);
+    case Algorithm::kIterBoundSptP:
+      return std::make_unique<IterBoundSptpSolver>(graph, reverse, options);
+    case Algorithm::kIterBoundSptI:
+      return std::make_unique<IterBoundSptiSolver>(graph, reverse, options,
+                                                   /*use_landmarks=*/true);
+    case Algorithm::kIterBoundSptINoLm:
+      return std::make_unique<IterBoundSptiSolver>(graph, reverse, options,
+                                                   /*use_landmarks=*/false);
+  }
+  KPJ_LOG(Fatal) << "unknown algorithm";
+  return nullptr;
+}
+
+Result<PreparedQuery> PrepareQuery(const Graph& graph, const Graph& reverse,
+                                   const KpjQuery& query) {
+  if (query.k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.sources.empty()) {
+    return Status::InvalidArgument("query has no source node");
+  }
+  if (query.targets.empty()) {
+    return Status::InvalidArgument("query has no target node");
+  }
+  if (reverse.NumNodes() != graph.NumNodes() ||
+      reverse.NumEdges() != graph.NumEdges()) {
+    return Status::InvalidArgument("reverse graph does not match graph");
+  }
+  std::unordered_set<NodeId> source_set;
+  for (NodeId s : query.sources) {
+    if (s >= graph.NumNodes()) {
+      return Status::InvalidArgument("source node out of range");
+    }
+    if (!source_set.insert(s).second) {
+      return Status::InvalidArgument("duplicate source node");
+    }
+  }
+  for (NodeId t : query.targets) {
+    if (t >= graph.NumNodes()) {
+      return Status::InvalidArgument("target node out of range");
+    }
+    if (query.sources.size() > 1 && source_set.count(t) != 0) {
+      return Status::InvalidArgument(
+          "GKPJ requires disjoint source and target sets");
+    }
+  }
+
+  PreparedQuery prepared;
+  prepared.graph = &graph;
+  prepared.reverse = &reverse;
+  prepared.k = query.k;
+  prepared.real_sources = query.sources;
+  if (query.sources.size() == 1) {
+    prepared.source = query.sources[0];
+    prepared.virtual_source = false;
+  } else {
+    // Caller must run against AugmentForGkpj graphs; source is set there.
+    prepared.virtual_source = true;
+  }
+  // Drop sources from V_T (excludes only the trivial zero-length path:
+  // simple paths cannot return to their source).
+  prepared.targets.reserve(query.targets.size());
+  for (NodeId t : query.targets) {
+    if (source_set.count(t) == 0) prepared.targets.push_back(t);
+  }
+  std::sort(prepared.targets.begin(), prepared.targets.end());
+  prepared.targets.erase(
+      std::unique(prepared.targets.begin(), prepared.targets.end()),
+      prepared.targets.end());
+  return prepared;
+}
+
+Result<GkpjAugmentation> AugmentForGkpj(const Graph& graph,
+                                        std::vector<NodeId> sources) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("GKPJ needs at least one source");
+  }
+  GraphBuilder builder(graph.NumNodes() + 1);
+  for (const WeightedEdge& e : graph.ToEdgeList()) {
+    builder.AddEdge(e.from, e.to, e.weight);
+  }
+  NodeId virtual_source = graph.NumNodes();
+  std::unordered_set<NodeId> seen;
+  for (NodeId s : sources) {
+    if (s >= graph.NumNodes()) {
+      return Status::InvalidArgument("source node out of range");
+    }
+    if (!seen.insert(s).second) {
+      return Status::InvalidArgument("duplicate source node");
+    }
+    builder.AddEdge(virtual_source, s, 0);
+  }
+  GkpjAugmentation out;
+  out.graph = builder.Build(/*dedup_parallel=*/false);
+  out.reverse = out.graph.Reverse();
+  out.virtual_source = virtual_source;
+  return out;
+}
+
+void StripVirtualNodes(NodeId num_real_nodes, KpjResult* result) {
+  for (Path& path : result->paths) {
+    auto is_virtual = [num_real_nodes](NodeId v) {
+      return v >= num_real_nodes;
+    };
+    while (!path.nodes.empty() && is_virtual(path.nodes.front())) {
+      path.nodes.erase(path.nodes.begin());
+    }
+    while (!path.nodes.empty() && is_virtual(path.nodes.back())) {
+      path.nodes.pop_back();
+    }
+  }
+}
+
+Result<KpjResult> RunKpj(const Graph& graph, const Graph& reverse,
+                         const KpjQuery& query, const KpjOptions& options) {
+  Result<PreparedQuery> prepared = PrepareQuery(graph, reverse, query);
+  if (!prepared.ok()) return prepared.status();
+  PreparedQuery& pq = prepared.value();
+
+  if (pq.targets.empty()) {
+    // Every target coincided with the single source: only the trivial
+    // path exists and it is excluded by definition.
+    return KpjResult{};
+  }
+
+  if (!pq.virtual_source) {
+    std::unique_ptr<KpjSolver> solver = MakeSolver(graph, reverse, options);
+    return solver->Run(pq);
+  }
+
+  // GKPJ (§6): virtual super-source with 0-weight arcs into V_S.
+  Result<GkpjAugmentation> augmented = AugmentForGkpj(graph, query.sources);
+  if (!augmented.ok()) return augmented.status();
+  const GkpjAugmentation& aug = augmented.value();
+  pq.graph = &aug.graph;
+  pq.reverse = &aug.reverse;
+  pq.source = aug.virtual_source;
+  std::unique_ptr<KpjSolver> solver =
+      MakeSolver(aug.graph, aug.reverse, options);
+  KpjResult result = solver->Run(pq);
+  StripVirtualNodes(graph.NumNodes(), &result);
+  return result;
+}
+
+Result<KpjResult> RunKsp(const Graph& graph, const Graph& reverse,
+                         NodeId source, NodeId target, uint32_t k,
+                         const KpjOptions& options) {
+  KpjQuery query;
+  query.sources = {source};
+  query.targets = {target};
+  query.k = k;
+  return RunKpj(graph, reverse, query, options);
+}
+
+Result<KpjQuery> MakeCategoryQuery(const CategoryIndex& index, NodeId source,
+                                   CategoryId category, uint32_t k) {
+  if (category >= index.NumCategories()) {
+    return Status::InvalidArgument("unknown category");
+  }
+  KpjQuery query;
+  query.sources = {source};
+  query.targets = index.Nodes(category);
+  query.k = k;
+  if (query.targets.empty()) {
+    return Status::InvalidArgument("category has no nodes");
+  }
+  return query;
+}
+
+}  // namespace kpj

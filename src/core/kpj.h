@@ -1,0 +1,68 @@
+#ifndef KPJ_CORE_KPJ_H_
+#define KPJ_CORE_KPJ_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/kpj_query.h"
+#include "core/solver.h"
+#include "graph/graph.h"
+#include "index/category_index.h"
+#include "util/status.h"
+
+namespace kpj {
+
+/// Validates `query` against `graph` and produces the single-source view
+/// solvers execute. Fails on: empty source/target sets, out-of-range ids,
+/// duplicate sources, k == 0, or overlapping source/target sets with
+/// multiple sources (GKPJ with V_S ∩ V_T != ∅ is undefined; see
+/// DESIGN.md). A single source contained in V_T is fine: it is dropped
+/// from the per-query target set, which exactly excludes the trivial
+/// zero-length path.
+///
+/// The returned PreparedQuery references `graph`/`reverse` directly for a
+/// single source. For GKPJ use AugmentForGkpj first.
+Result<PreparedQuery> PrepareQuery(const Graph& graph, const Graph& reverse,
+                                   const KpjQuery& query);
+
+/// Materialized virtual-super-source graphs for a GKPJ query (§6): node
+/// `n` is the virtual source with 0-weight arcs to every real source.
+/// Build once per source set and reuse across queries/algorithms.
+struct GkpjAugmentation {
+  Graph graph;
+  Graph reverse;
+  NodeId virtual_source = kInvalidNode;
+};
+
+/// Builds the augmented graphs for `sources` (must be non-empty, in range,
+/// duplicate-free).
+Result<GkpjAugmentation> AugmentForGkpj(const Graph& graph,
+                                        std::vector<NodeId> sources);
+
+/// One-shot convenience: validates, prepares (augmenting for GKPJ),
+/// constructs the solver selected by `options`, runs it, and strips any
+/// virtual source from the returned paths.
+///
+/// For repeated single-source queries over one graph, prefer building a
+/// solver once via MakeSolver and calling Run on PrepareQuery results.
+Result<KpjResult> RunKpj(const Graph& graph, const Graph& reverse,
+                         const KpjQuery& query, const KpjOptions& options);
+
+/// KSP convenience (paper Def. 3.1): top-k simple shortest paths between
+/// two physical nodes — a KPJ query whose category holds one node.
+Result<KpjResult> RunKsp(const Graph& graph, const Graph& reverse,
+                         NodeId source, NodeId target, uint32_t k,
+                         const KpjOptions& options);
+
+/// Builds the KpjQuery for "top-k paths from `source` to category `T`"
+/// using the inverted index (paper §2).
+Result<KpjQuery> MakeCategoryQuery(const CategoryIndex& index, NodeId source,
+                                   CategoryId category, uint32_t k);
+
+/// Removes a leading/trailing virtual node (>= num_real_nodes) from each
+/// result path in place. Exposed for callers driving solvers directly.
+void StripVirtualNodes(NodeId num_real_nodes, KpjResult* result);
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_KPJ_H_

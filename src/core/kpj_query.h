@@ -1,0 +1,110 @@
+#ifndef KPJ_CORE_KPJ_QUERY_H_
+#define KPJ_CORE_KPJ_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path.h"
+#include "index/landmark_index.h"
+#include "util/epoch_array.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// A (G)KPJ query: top-k shortest simple paths from any source to any
+/// target node (paper §2 and §6).
+///
+/// `sources.size() == 1` is the KPJ query Q = {s, T, k} studied in the body
+/// of the paper; multiple sources form a GKPJ query; a single source plus a
+/// single target is a classic KSP query.
+struct KpjQuery {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;  // V_T, retrieved via the category index.
+  uint32_t k = 1;
+};
+
+/// The seven algorithms evaluated in the paper's §7.
+enum class Algorithm {
+  kDA,                  // Yen's deviation baseline (Alg. 1, [28])
+  kDaSpt,               // state-of-the-art KSP baseline with full SPT [15]
+  kBestFirst,           // best-first subspace search (Alg. 2)
+  kIterBound,           // iteratively bounding (Alg. 4)
+  kIterBoundSptP,       // + partial shortest path tree (§5.2)
+  kIterBoundSptI,       // + incremental shortest path tree (§5.3)
+  kIterBoundSptINoLm,   // IterBound_I without landmarks (§6)
+};
+
+/// Short display name ("DA", "IterBoundI", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// All algorithms, in the order the paper lists them.
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kDA,           Algorithm::kDaSpt,
+    Algorithm::kBestFirst,    Algorithm::kIterBound,
+    Algorithm::kIterBoundSptP, Algorithm::kIterBoundSptI,
+    Algorithm::kIterBoundSptINoLm,
+};
+
+/// Knobs shared by all solvers.
+struct KpjOptions {
+  Algorithm algorithm = Algorithm::kIterBoundSptI;
+  /// τ growth factor of the iteratively bounding approaches (Alg. 4
+  /// line 9); must be > 1. The paper settles on 1.1 (Fig. 6(b)).
+  double alpha = 1.1;
+  /// Offline landmark index; may be null (all landmark bounds become 0,
+  /// §6 "Computing without Landmark"). kIterBoundSptINoLm ignores it.
+  const LandmarkIndex* landmarks = nullptr;
+  /// Extension: evaluate only the best `max_active_landmarks` landmarks
+  /// per query (scored at the query endpoints); 0 evaluates all of them.
+  /// Cuts the per-node bound cost at a small pruning-quality cost.
+  uint32_t max_active_landmarks = 0;
+};
+
+/// Work counters; filled by every solver.
+struct QueryStats {
+  /// Exact shortest-path computations: candidate computations in the
+  /// deviation algorithms, CompSP calls in the best-first ones.
+  /// Lemma 4.1 is stated in terms of this counter.
+  uint64_t shortest_path_computations = 0;
+  /// TestLB invocations (iteratively bounding approaches only).
+  uint64_t lower_bound_tests = 0;
+  /// Subspaces created by division / candidate paths generated.
+  uint64_t subspaces_created = 0;
+  /// Nodes settled across all internal searches (incl. SPT construction).
+  uint64_t nodes_settled = 0;
+  /// Edges relaxed across all internal searches.
+  uint64_t edges_relaxed = 0;
+  /// Peak size of the subspace / candidate priority queue.
+  uint64_t max_queue_size = 0;
+  /// Nodes in the online SPT (full SPT for DA-SPT, SPT_P / SPT_I sizes).
+  uint64_t spt_nodes = 0;
+  /// Final τ reached (iteratively bounding approaches only).
+  double final_tau = 0.0;
+};
+
+/// Query answer: up to k paths, sorted by non-decreasing length. Fewer than
+/// k paths are returned when the graph does not contain k simple paths.
+struct KpjResult {
+  std::vector<Path> paths;
+  QueryStats stats;
+};
+
+/// A validated, single-source view of a query that solvers execute.
+/// kpj.cc (the facade) builds this from a KpjQuery — directly for a single
+/// source, or via a virtual super-source for GKPJ (§6).
+struct PreparedQuery {
+  const Graph* graph = nullptr;    // forward graph (possibly augmented)
+  const Graph* reverse = nullptr;  // its reverse
+  NodeId source = kInvalidNode;    // single (possibly virtual) source
+  std::vector<NodeId> targets;     // V_T with the source removed
+  uint32_t k = 1;
+  /// Real source nodes (for landmark bounds on the source side; equals
+  /// {source} unless the source is virtual).
+  std::vector<NodeId> real_sources;
+  /// True when `source` is a virtual super-source to strip from output.
+  bool virtual_source = false;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_KPJ_QUERY_H_

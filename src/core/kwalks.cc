@@ -1,0 +1,91 @@
+#include "core/kwalks.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "util/indexed_heap.h"
+#include "util/logging.h"
+
+namespace kpj {
+namespace {
+
+/// One settled label: the arena of pops forms the walk tree.
+struct Label {
+  PathLength dist;
+  NodeId node;
+  uint32_t parent;  // Index into the arena; UINT32_MAX for roots.
+};
+
+struct HeapEntry {
+  PathLength dist;
+  NodeId node;
+  uint32_t parent;
+};
+
+struct HeapLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.dist > b.dist;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Path>> TopKShortestWalks(const Graph& graph,
+                                            const KpjQuery& query) {
+  if (query.k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.sources.empty() || query.targets.empty()) {
+    return Status::InvalidArgument("walk query needs sources and targets");
+  }
+  for (NodeId v : query.sources) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("source out of range");
+    }
+  }
+  std::vector<bool> is_target(graph.NumNodes(), false);
+  std::unordered_set<NodeId> sources(query.sources.begin(),
+                                     query.sources.end());
+  for (NodeId v : query.targets) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("target out of range");
+    }
+    is_target[v] = true;
+  }
+
+  std::vector<uint32_t> pops(graph.NumNodes(), 0);
+  std::vector<Label> arena;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater> heap;
+  for (NodeId s : sources) heap.push(HeapEntry{0, s, UINT32_MAX});
+
+  std::vector<Path> results;
+  while (!heap.empty() && results.size() < query.k) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (pops[top.node] >= query.k) continue;  // Enough labels for this node.
+    ++pops[top.node];
+    arena.push_back(Label{top.dist, top.node, top.parent});
+    uint32_t label_index = static_cast<uint32_t>(arena.size() - 1);
+
+    // Walks must have at least one edge, mirroring the simple-path
+    // semantics (a source inside the target set yields no trivial walk).
+    if (is_target[top.node] && top.parent != UINT32_MAX) {
+      Path walk;
+      walk.length = top.dist;
+      for (uint32_t cur = label_index; cur != UINT32_MAX;
+           cur = arena[cur].parent) {
+        walk.nodes.push_back(arena[cur].node);
+      }
+      std::reverse(walk.nodes.begin(), walk.nodes.end());
+      results.push_back(std::move(walk));
+      if (results.size() == query.k) break;
+    }
+
+    for (const OutEdge& e : graph.OutEdges(top.node)) {
+      if (pops[e.to] >= query.k) continue;
+      heap.push(HeapEntry{top.dist + e.weight, e.to, label_index});
+    }
+  }
+  return results;
+}
+
+}  // namespace kpj

@@ -1,0 +1,35 @@
+#ifndef KPJ_CORE_KWALKS_H_
+#define KPJ_CORE_KWALKS_H_
+
+#include <vector>
+
+#include "core/kpj_query.h"
+#include "core/path.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kpj {
+
+/// Top-k *general* shortest paths (walks — cycles allowed), the easier
+/// sibling problem from the paper's related work (§1: Bellman-Kalaba [2],
+/// Eppstein [12], Hoffman-Pavley [19]).
+///
+/// Implemented as k-pop Dijkstra: each node may be settled up to k times;
+/// the i-th settling of the destination yields the i-th shortest walk.
+/// O(k (m + n log n)) time — no simplicity constraint means no deviation
+/// machinery is needed, which is exactly why these techniques "are
+/// inapplicable to finding top-k simple shortest paths" (paper §1).
+///
+/// Provided as a reference/comparison baseline: on DAGs it coincides with
+/// the KPJ result, and in general its i-th length lower-bounds the i-th
+/// simple path length.
+///
+/// Walks are returned in non-decreasing length order. Fewer than k are
+/// returned only if fewer walks exist (the target is unreachable, or every
+/// source-target connection is acyclic and exhausted).
+Result<std::vector<Path>> TopKShortestWalks(const Graph& graph,
+                                            const KpjQuery& query);
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_KWALKS_H_

@@ -1,0 +1,40 @@
+#include "core/path.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kpj {
+
+bool operator==(const Path& a, const Path& b) {
+  return a.length == b.length && a.nodes == b.nodes;
+}
+
+bool IsSimplePath(std::span<const NodeId> nodes) {
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+PathLength ComputePathLength(const Graph& graph,
+                             std::span<const NodeId> nodes) {
+  PathLength total = 0;
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    if (nodes[i] >= graph.NumNodes()) return kInfLength;
+    PathLength w = graph.EdgeWeight(nodes[i], nodes[i + 1]);
+    if (w == kInfLength) return kInfLength;
+    total += w;
+  }
+  return total;
+}
+
+std::string PathToString(const Path& path) {
+  std::ostringstream out;
+  for (size_t i = 0; i < path.nodes.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << path.nodes[i];
+  }
+  out << " (len " << path.length << ")";
+  return out.str();
+}
+
+}  // namespace kpj

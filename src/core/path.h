@@ -1,0 +1,39 @@
+#ifndef KPJ_CORE_PATH_H_
+#define KPJ_CORE_PATH_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// A simple path: node sequence plus its (cached) length.
+struct Path {
+  std::vector<NodeId> nodes;
+  PathLength length = 0;
+
+  bool empty() const { return nodes.empty(); }
+  NodeId Source() const { return nodes.front(); }
+  NodeId Destination() const { return nodes.back(); }
+  size_t NumEdges() const { return nodes.empty() ? 0 : nodes.size() - 1; }
+};
+
+bool operator==(const Path& a, const Path& b);
+
+/// True if no node repeats (paper §2: KPJ paths must be simple).
+bool IsSimplePath(std::span<const NodeId> nodes);
+
+/// Recomputes the length of `nodes` on `graph`; kInfLength if some
+/// consecutive pair is not an arc. Used to validate algorithm output.
+PathLength ComputePathLength(const Graph& graph,
+                             std::span<const NodeId> nodes);
+
+/// "v0 -> v1 -> v2 (len 42)" rendering for logs and examples.
+std::string PathToString(const Path& path);
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_PATH_H_

@@ -1,0 +1,248 @@
+#include "core/spti.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace kpj {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+PathLength TauToBound(double tau) {
+  if (!std::isfinite(tau)) return kInfLength;
+  if (tau <= 0) return 0;
+  if (tau >= 1.8e19) return kInfLength;
+  return static_cast<PathLength>(tau);  // Keys are integral: floor is exact.
+}
+
+}  // namespace
+
+IterBoundSptiSolver::IterBoundSptiSolver(const Graph& graph,
+                                         const Graph& reverse,
+                                         const KpjOptions& options,
+                                         bool use_landmarks)
+    : graph_(graph),
+      reverse_(reverse),
+      options_(options),
+      use_landmarks_(use_landmarks),
+      rev_search_(reverse),
+      spti_(graph, &zero_),
+      target_membership_(graph.NumNodes()) {
+  KPJ_CHECK(options_.alpha > 1.0) << "alpha must exceed 1";
+}
+
+void IterBoundSptiSolver::GrowTree(double tau) {
+  spti_.AdvanceToBound(TauToBound(tau), [this](NodeId v) {
+    if (target_membership_.Contains(v)) d_.push_back(v);
+  });
+}
+
+double IterBoundSptiSolver::CompLb(uint32_t v, const PreparedQuery& query,
+                                   QueryStats* stats) {
+  const PseudoTree::Vertex& vx = tree_.vertex(v);
+  rev_search_.ClearForbidden();
+  tree_.MarkPrefix(v, &rev_search_.forbidden());
+  const EpochSet& forbidden = rev_search_.forbidden();
+
+  double lb = kInfinity;
+  if (vx.node == kInvalidNode) {
+    // Root (virtual t): N(t) = D, virtual hops of weight 0 (Alg. 8
+    // line 1); exact lb(s, x) = ds(x) for every settled target.
+    for (NodeId x : d_) {
+      bool banned = false;
+      for (NodeId b : vx.banned) {
+        if (b == x) {
+          banned = true;
+          break;
+        }
+      }
+      if (banned || forbidden.Contains(x)) continue;
+      lb = std::min(lb, static_cast<double>(spti_.Distance(x)));
+    }
+    if (d_.size() < query.targets.size() && !spti_.Exhausted()) {
+      // Paths entering through a target not yet in D cost at least the
+      // SPT_I frontier key (refinement of Alg. 8 line 8).
+      lb = std::min(lb, static_cast<double>(spti_.FrontierKey()));
+    }
+    return lb;
+  }
+
+  // Alg. 8 lines 3-7: one reverse hop plus lb(s, ·) — exact inside SPT_I,
+  // Eq. (2) landmarks (or zero) outside.
+  for (const OutEdge& e : reverse_.OutEdges(vx.node)) {
+    ++stats->edges_relaxed;
+    if (forbidden.Contains(e.to)) continue;
+    bool banned = false;
+    for (NodeId b : vx.banned) {
+      if (b == e.to) {
+        banned = true;
+        break;
+      }
+    }
+    if (banned) continue;
+    PathLength h = reverse_heuristic_->Estimate(e.to);
+    if (h == kInfLength) continue;
+    lb = std::min(lb, static_cast<double>(
+                          SatAdd(vx.prefix_length, SatAdd(e.weight, h))));
+  }
+  return lb;
+}
+
+KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
+  KPJ_CHECK(query.graph == &graph_ && query.reverse == &reverse_)
+      << "solver bound to different graphs";
+  KpjResult res;
+
+  // Per-query bounds (§4.2 / §6).
+  const Heuristic* forward_guide = &zero_;
+  const Heuristic* source_fallback = &zero_;
+  if (use_landmarks_ && options_.landmarks != nullptr) {
+    forward_bound_.emplace(options_.landmarks, query.targets,
+                           BoundDirection::kToSet, query.source,
+                           options_.max_active_landmarks);
+    forward_guide = &*forward_bound_;
+    source_bound_.emplace(options_.landmarks, query.real_sources,
+                          BoundDirection::kFromSet, query.targets.front(),
+                          options_.max_active_landmarks);
+    source_fallback = &*source_bound_;
+  } else {
+    forward_bound_.reset();
+    source_bound_.reset();
+  }
+  reverse_heuristic_.emplace(&spti_, source_fallback);
+
+  // Phase 1 of SPT_I: the initial shortest path as a by-product (§5.3).
+  spti_.SetHeuristic(forward_guide);
+  std::pair<NodeId, PathLength> seed[] = {{query.source, 0}};
+  spti_.Initialize(seed);
+  target_membership_.ClearAll();
+  for (NodeId t : query.targets) target_membership_.Insert(t);
+  d_.clear();
+  NodeId hit = spti_.AdvanceUntilAnySettled(
+      target_membership_,
+      [this](NodeId v) {
+        if (target_membership_.Contains(v)) d_.push_back(v);
+      });
+  if (hit == kInvalidNode) {
+    res.stats.nodes_settled += spti_.stats().nodes_settled;
+    res.stats.edges_relaxed += spti_.stats().edges_relaxed;
+    return res;  // The category is unreachable: no paths at all.
+  }
+
+  tree_.Reset(kInvalidNode);  // Virtual destination t.
+  rev_search_.SetTargets({&query.source, 1});
+
+  SubspaceQueue queue;
+  {
+    std::vector<NodeId> forward_path = spti_.PathTo(hit);  // s .. hit
+    KPJ_DCHECK(forward_path.front() == query.source);
+    SubspaceEntry initial;
+    initial.vertex = tree_.root();
+    initial.has_path = true;
+    initial.suffix_length = spti_.Distance(hit);
+    initial.key = static_cast<double>(initial.suffix_length);
+    initial.suffix.assign(forward_path.rbegin(), forward_path.rend());
+    queue.Push(std::move(initial));
+  }
+  res.stats.final_tau = static_cast<double>(spti_.Distance(hit));
+
+  while (res.paths.size() < query.k && !queue.empty()) {
+    res.stats.max_queue_size =
+        std::max<uint64_t>(res.stats.max_queue_size, queue.size());
+    SubspaceEntry entry = queue.Pop();
+
+    if (entry.has_path) {
+      res.paths.push_back(
+          AssemblePath(tree_, entry, /*reverse_oriented=*/true));
+      if (res.paths.size() == query.k) break;
+
+      double chosen_length = entry.key;
+      DivisionResult division = DivideSubspace(
+          tree_, reverse_, entry.vertex, entry.suffix,
+          /*create_destination_vertex=*/false);
+      auto enqueue = [&](uint32_t v) {
+        ++res.stats.subspaces_created;
+        double lb = CompLb(v, query, &res.stats);
+        if (lb == kInfinity) return;
+        SubspaceEntry fresh;
+        fresh.vertex = v;
+        fresh.key = std::max(lb, chosen_length);
+        queue.Push(std::move(fresh));
+      };
+      enqueue(division.revised);
+      for (uint32_t v : division.created) enqueue(v);
+      continue;
+    }
+
+    // TestLB-SPT_I with τ = α · max(lb(S), Q.top().key) (Alg. 4 line 9).
+    const PseudoTree::Vertex& vx = tree_.vertex(entry.vertex);
+    double base = std::max(entry.key, queue.TopKey());
+    double tau = kInfinity;
+    if (std::isfinite(base)) {
+      tau = std::max(options_.alpha * base, base + 1.0);
+      res.stats.final_tau = std::max(res.stats.final_tau, tau);
+    }
+    GrowTree(tau);  // Alg. 7, invoked between lines 9 and 10 of Alg. 4.
+
+    rev_search_.ClearForbidden();
+    tree_.MarkPrefix(entry.vertex, &rev_search_.forbidden());
+    SubspaceSearchRequest request;
+    request.start = vx.node;  // kInvalidNode at the root.
+    request.seeds = d_;
+    // Targets not yet settled by SPT_I all lie beyond τ (Prop. 5.2); the
+    // root subspace must not be declared empty while any remain.
+    request.seeds_incomplete =
+        d_.size() < query.targets.size() && !spti_.Exhausted();
+    request.prefix_length = vx.prefix_length;
+    request.banned_first_hops = vx.banned;
+    request.tau = tau;
+    request.restrict_to = &spti_;
+
+    if (std::isfinite(tau)) {
+      ++res.stats.lower_bound_tests;
+    } else {
+      ++res.stats.shortest_path_computations;
+    }
+    SubspaceSearchResult result =
+        rev_search_.Run(request, *reverse_heuristic_, &res.stats);
+    switch (result.outcome) {
+      case SearchOutcome::kFound: {
+        if (std::isfinite(tau)) ++res.stats.shortest_path_computations;
+        SubspaceEntry found;
+        found.vertex = entry.vertex;
+        found.has_path = true;
+        found.suffix_length = result.suffix_length;
+        found.key =
+            static_cast<double>(vx.prefix_length + result.suffix_length);
+        if (vx.node == kInvalidNode) {
+          found.suffix = std::move(result.suffix);
+        } else {
+          found.suffix.assign(result.suffix.begin() + 1,
+                              result.suffix.end());
+        }
+        queue.Push(std::move(found));
+        break;
+      }
+      case SearchOutcome::kBounded: {
+        KPJ_DCHECK(std::isfinite(tau));
+        SubspaceEntry bounded;
+        bounded.vertex = entry.vertex;
+        bounded.key = tau;
+        queue.Push(std::move(bounded));
+        break;
+      }
+      case SearchOutcome::kEmpty:
+        break;
+    }
+  }
+
+  res.stats.nodes_settled += spti_.stats().nodes_settled;
+  res.stats.edges_relaxed += spti_.stats().edges_relaxed;
+  res.stats.spt_nodes = spti_.num_settled();
+  return res;
+}
+
+}  // namespace kpj

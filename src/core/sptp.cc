@@ -1,0 +1,69 @@
+#include "core/sptp.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace kpj {
+
+IterBoundSptpSolver::IterBoundSptpSolver(const Graph& graph,
+                                         const Graph& reverse,
+                                         const KpjOptions& options)
+    : BestFirstFramework(graph, reverse, options,
+                         /*iterative_bounding=*/true),
+      sptp_(reverse, &zero_) {}
+
+bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
+                                          SubspaceEntry* initial,
+                                          QueryStats* stats) {
+  // Guide PartialSPT (Alg. 6) with lb(s, w): the A* on the reverse graph
+  // aims at the source.
+  const Heuristic* guide = &zero_;
+  if (options_.landmarks != nullptr) {
+    source_bound_.emplace(options_.landmarks, query.real_sources,
+                          BoundDirection::kFromSet, query.targets.front(),
+                          options_.max_active_landmarks);
+    guide = &*source_bound_;
+  }
+  sptp_.SetHeuristic(guide);
+
+  std::vector<std::pair<NodeId, PathLength>> seeds;
+  seeds.reserve(query.targets.size());
+  for (NodeId t : query.targets) seeds.emplace_back(t, 0);
+  sptp_.Initialize(seeds);
+  bool reached = sptp_.AdvanceUntilSettled(query.source);
+  stats->nodes_settled += sptp_.stats().nodes_settled;
+  stats->edges_relaxed += sptp_.stats().edges_relaxed;
+  stats->spt_nodes = sptp_.num_settled();
+  // This initial computation answers the first shortest path; it is not a
+  // separate CompSP (the SPT_P comes "without any extra cost").
+  ++stats->shortest_path_computations;
+  if (!reached) return false;
+
+  // lb(v, V_T): exact inside SPT_P, Eq. (2) landmarks outside (§5.2).
+  if (options_.landmarks != nullptr) {
+    landmark_bound_.emplace(options_.landmarks, query.targets,
+                            BoundDirection::kToSet, query.source,
+                            options_.max_active_landmarks);
+    sptp_bound_.emplace(&sptp_, &*landmark_bound_);
+  } else {
+    sptp_bound_.emplace(&sptp_, &zero_);
+  }
+  heuristic_ = &*sptp_bound_;
+
+  // The reverse-graph tree path from a target root down to the source is
+  // the forward shortest path read backwards.
+  std::vector<NodeId> rooted = sptp_.PathTo(query.source);
+  KPJ_CHECK(!rooted.empty());
+  std::reverse(rooted.begin(), rooted.end());
+  KPJ_DCHECK(rooted.front() == query.source);
+
+  initial->vertex = tree_.root();
+  initial->has_path = true;
+  initial->suffix_length = sptp_.Distance(query.source);
+  initial->key = static_cast<double>(initial->suffix_length);
+  initial->suffix.assign(rooted.begin() + 1, rooted.end());
+  return true;
+}
+
+}  // namespace kpj

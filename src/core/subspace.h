@@ -1,0 +1,90 @@
+#ifndef KPJ_CORE_SUBSPACE_H_
+#define KPJ_CORE_SUBSPACE_H_
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/kpj_query.h"
+#include "core/pseudo_tree.h"
+#include "util/logging.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Priority-queue entry of the best-first / iteratively-bounding solvers:
+/// one live entry per pseudo-tree vertex (subspace), carrying either a
+/// lower bound (`has_path == false`, the paper's ⟨S, lb(S), ∅⟩) or the
+/// subspace's computed shortest path (⟨S, ω(sp(S)), sp(S)⟩).
+struct SubspaceEntry {
+  /// lb(S) or the exact total path length, in the same ordering domain.
+  double key = 0.0;
+  uint32_t vertex = PseudoTree::kNoVertex;
+  bool has_path = false;
+  /// For has_path: total weight of the suffix edges.
+  PathLength suffix_length = 0;
+  /// For has_path: path nodes strictly after the vertex's node (so empty
+  /// for a path ending at the vertex itself). This is also exactly the
+  /// argument DivideSubspace expects.
+  std::vector<NodeId> suffix;
+};
+
+/// Min-priority queue over SubspaceEntry that supports moving entries out
+/// (std::priority_queue::top is const). Ties prefer entries with paths so
+/// an exact path never waits behind an equal lower bound.
+class SubspaceQueue {
+ public:
+  void Push(SubspaceEntry entry) {
+    heap_.push_back(std::move(entry));
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+  }
+
+  SubspaceEntry Pop() {
+    KPJ_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    SubspaceEntry out = std::move(heap_.back());
+    heap_.pop_back();
+    return out;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Key of the minimum entry (+infinity when empty) — Q.top().key of
+  /// Alg. 4 line 9.
+  double TopKey() const {
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : heap_.front().key;
+  }
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  // "Later" ordering for std::*_heap's max-heap machinery: a is popped
+  // after b iff a's key is larger (or equal with a lacking a path).
+  static bool Later(const SubspaceEntry& a, const SubspaceEntry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return !a.has_path && b.has_path;
+  }
+
+  std::vector<SubspaceEntry> heap_;
+};
+
+/// Assembles the full result path for an entry: tree prefix plus suffix.
+/// `reverse_oriented` flips the node order (the SPT_I solver's tree grows
+/// from the destination side, §5.3).
+inline Path AssemblePath(const PseudoTree& tree, const SubspaceEntry& entry,
+                         bool reverse_oriented) {
+  Path out;
+  tree.GetPrefixNodes(entry.vertex, &out.nodes);
+  out.nodes.insert(out.nodes.end(), entry.suffix.begin(),
+                   entry.suffix.end());
+  out.length = tree.vertex(entry.vertex).prefix_length + entry.suffix_length;
+  if (reverse_oriented) std::reverse(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_SUBSPACE_H_

@@ -1,0 +1,42 @@
+#ifndef KPJ_CORE_VERIFIER_H_
+#define KPJ_CORE_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/kpj_query.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace kpj {
+
+/// Independent ground truth for tests: enumerates the top-k shortest
+/// simple source-to-target-set paths by uniform-cost search over the tree
+/// of partial simple paths (no pseudo-tree, no subspaces, no heuristics —
+/// deliberately sharing no code with the solvers under test).
+///
+/// Exponential in the worst case; intended for the small randomized graphs
+/// of the property suites. `max_expansions` aborts runaway inputs.
+Result<std::vector<Path>> EnumerateTopKPaths(const Graph& graph,
+                                             const KpjQuery& query,
+                                             uint64_t max_expansions =
+                                                 20'000'000);
+
+/// Structural validation of a solver answer against the query contract:
+///  * every path starts at a source, ends at a target, is simple, uses
+///    only real arcs, and its cached length matches recomputation;
+///  * lengths are non-decreasing;
+///  * no duplicate paths;
+///  * the trivial zero-length path does not appear.
+/// Returns OK or a description of the first violation.
+Status ValidateResultStructure(const Graph& graph, const KpjQuery& query,
+                               const std::vector<Path>& paths);
+
+/// Full check: structure plus agreement of the length multiset with the
+/// reference enumeration (path identities may differ under ties).
+Status ValidateAgainstReference(const Graph& graph, const KpjQuery& query,
+                                const std::vector<Path>& paths);
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_VERIFIER_H_

@@ -1,0 +1,77 @@
+#include "gen/datasets.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace kpj {
+namespace {
+
+struct Spec {
+  const char* name;
+  uint32_t paper_nodes;
+  uint32_t paper_edges;
+  uint32_t default_nodes;
+};
+
+const Spec& SpecFor(DatasetId id) {
+  // Paper Table 1. USA's default bench size is reduced (DESIGN.md §3).
+  static const Spec kSpecs[] = {
+      {"SJ", 18263, 47594, 18263},
+      {"CAL", 106337, 213964, 106337},
+      {"SF", 174956, 443604, 174956},
+      {"COL", 435666, 1042400, 435666},
+      {"FLA", 1070376, 2687902, 1070376},
+      {"USA", 6262104, 15119284, 1500000},
+  };
+  return kSpecs[static_cast<int>(id)];
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetId id) { return SpecFor(id).name; }
+uint32_t DatasetPaperNodes(DatasetId id) { return SpecFor(id).paper_nodes; }
+uint32_t DatasetPaperEdges(DatasetId id) { return SpecFor(id).paper_edges; }
+uint32_t DatasetDefaultNodes(DatasetId id) {
+  return SpecFor(id).default_nodes;
+}
+
+bool BenchFullScaleFromEnv() {
+  const char* env = std::getenv("KPJ_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+Dataset MakeDataset(DatasetId id, const DatasetOptions& options) {
+  const Spec& spec = SpecFor(id);
+  uint32_t target = options.override_nodes != 0 ? options.override_nodes
+                    : (options.full_scale || BenchFullScaleFromEnv())
+                        ? spec.paper_nodes
+                        : spec.default_nodes;
+
+  RoadGenOptions road;
+  road.target_nodes = target;
+  // Decorrelate topology across datasets but keep it stable per dataset.
+  road.seed = options.seed * 1000003 + static_cast<uint64_t>(id) * 97 + 11;
+
+  Dataset out;
+  out.name = spec.name;
+  RoadNetwork net = GenerateRoadNetwork(road);
+  out.graph = std::move(net.graph);
+  out.reverse = out.graph.Reverse();
+
+  out.categories = CategoryIndex(out.graph.NumNodes());
+  out.nested = AssignNestedPoiSets(out.categories, road.seed + 1);
+  if (options.california_pois) {
+    out.california = AssignCaliforniaLikePois(out.categories, road.seed + 2);
+  }
+
+  if (options.num_landmarks > 0) {
+    LandmarkIndexOptions lopt;
+    lopt.num_landmarks = options.num_landmarks;
+    lopt.seed = road.seed + 3;
+    out.landmarks = LandmarkIndex::Build(out.graph, out.reverse, lopt);
+  }
+  return out;
+}
+
+}  // namespace kpj

@@ -1,0 +1,76 @@
+#ifndef KPJ_GEN_DATASETS_H_
+#define KPJ_GEN_DATASETS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "gen/poi_gen.h"
+#include "gen/road_gen.h"
+#include "graph/graph.h"
+#include "index/category_index.h"
+#include "index/landmark_index.h"
+
+namespace kpj {
+
+/// The six road networks of the paper's evaluation (Table 1).
+enum class DatasetId { kSJ, kCAL, kSF, kCOL, kFLA, kUSA };
+
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::kSJ,  DatasetId::kCAL, DatasetId::kSF,
+    DatasetId::kCOL, DatasetId::kFLA, DatasetId::kUSA};
+
+/// Human-readable name as used in the paper ("CAL", "SJ", ...).
+const char* DatasetName(DatasetId id);
+
+/// Node/arc counts reported in the paper's Table 1.
+uint32_t DatasetPaperNodes(DatasetId id);
+uint32_t DatasetPaperEdges(DatasetId id);
+
+/// Node count used when generating the synthetic stand-in at default bench
+/// scale. Equal to the paper's size except USA, which is reduced to keep
+/// the default `for b in bench/*` sweep tractable (see DESIGN.md §3).
+uint32_t DatasetDefaultNodes(DatasetId id);
+
+/// Options controlling dataset materialization.
+struct DatasetOptions {
+  /// Use the paper's exact node counts even for USA. Also enabled by the
+  /// KPJ_BENCH_FULL=1 environment variable.
+  bool full_scale = false;
+  /// Nonzero overrides the target node count entirely.
+  uint32_t override_nodes = 0;
+  /// Landmark index size |L| (0 skips landmark construction).
+  uint32_t num_landmarks = 16;
+  /// Also create the CAL-like named categories (Glacier/Lake/Crater/Harbor
+  /// plus fillers). Only meaningful for experiments on CAL.
+  bool california_pois = false;
+  uint64_t seed = 7;
+};
+
+/// A fully materialized benchmark dataset: graph + reverse graph +
+/// category (POI) index + landmark index + the nested T1..T4 POI sets.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  Graph reverse;
+  CategoryIndex categories{0};
+  LandmarkIndex landmarks;
+  NestedPoiSets nested{};
+  std::optional<CaliforniaPoiSets> california;
+
+  /// Destination node set of a category (`V_T`).
+  const std::vector<NodeId>& Targets(CategoryId category) const {
+    return categories.Nodes(category);
+  }
+};
+
+/// True when KPJ_BENCH_FULL=1 is set in the environment.
+bool BenchFullScaleFromEnv();
+
+/// Builds dataset `id`: generates the road network, assigns POIs, builds
+/// the landmark index. Deterministic in (id, options).
+Dataset MakeDataset(DatasetId id, const DatasetOptions& options = {});
+
+}  // namespace kpj
+
+#endif  // KPJ_GEN_DATASETS_H_

@@ -1,0 +1,73 @@
+#include "gen/poi_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kpj {
+
+NestedPoiSets AssignNestedPoiSets(CategoryIndex& index, uint64_t seed) {
+  const NodeId n = index.num_nodes();
+  KPJ_CHECK(n > 0);
+  Rng rng(seed);
+
+  NestedPoiSets out;
+  // Paper sizes: |Ti| = {1, 5, 10, 15} * n * 1e-4, nested.
+  const double kScale[4] = {1.0, 5.0, 10.0, 15.0};
+  size_t sizes[4];
+  for (int i = 0; i < 4; ++i) {
+    sizes[i] = static_cast<size_t>(kScale[i] * n * 1e-4);
+    if (sizes[i] == 0) sizes[i] = static_cast<size_t>(i + 1);
+    sizes[i] = std::min<size_t>(sizes[i], n);
+  }
+  // Nesting: draw |T4| distinct nodes once; Ti is the prefix of size |Ti|.
+  std::vector<uint64_t> pool = rng.SampleDistinct(sizes[3], n);
+
+  for (int i = 0; i < 4; ++i) {
+    out.t[i] = index.AddCategory("T" + std::to_string(i + 1));
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < sizes[i]; ++j) {
+      index.Assign(static_cast<NodeId>(pool[j]), out.t[i]);
+    }
+  }
+  return out;
+}
+
+CaliforniaPoiSets AssignCaliforniaLikePois(CategoryIndex& index,
+                                           uint64_t seed) {
+  const NodeId n = index.num_nodes();
+  KPJ_CHECK(n >= 94) << "CAL-like POIs need at least 94 nodes";
+  Rng rng(seed);
+
+  CaliforniaPoiSets out;
+  out.glacier = index.AddCategory("Glacier");
+  out.lake = index.AddCategory("Lake");
+  out.crater = index.AddCategory("Crater");
+  out.harbor = index.AddCategory("Harbor");
+
+  auto assign_random = [&](CategoryId cat, size_t count) {
+    for (uint64_t v : rng.SampleDistinct(std::min<size_t>(count, n), n)) {
+      index.Assign(static_cast<NodeId>(v), cat);
+    }
+  };
+  // Real CAL category sizes from the paper: 1, 8, 14, 94.
+  assign_random(out.glacier, 1);
+  assign_random(out.lake, 8);
+  assign_random(out.crater, 14);
+  assign_random(out.harbor, 94);
+
+  // 58 filler categories so the index carries the real data's 62
+  // categories; sizes follow a rough geometric spread (real POI category
+  // sizes are heavily skewed).
+  for (int i = 0; i < 58; ++i) {
+    CategoryId cat = index.AddCategory("Filler" + std::to_string(i));
+    size_t count = 1 + static_cast<size_t>(1u << rng.NextBounded(8));
+    assign_random(cat, count);
+  }
+  return out;
+}
+
+}  // namespace kpj

@@ -1,0 +1,42 @@
+#ifndef KPJ_GEN_POI_GEN_H_
+#define KPJ_GEN_POI_GEN_H_
+
+#include <array>
+#include <cstdint>
+
+#include "index/category_index.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Category ids of the paper's four nested synthetic POI sets
+/// T1 ⊂ T2 ⊂ T3 ⊂ T4 with sizes n*10^-4, 5n*10^-4, 10n*10^-4, 15n*10^-4
+/// (paper §7, "POIs").
+struct NestedPoiSets {
+  std::array<CategoryId, 4> t;  // T1..T4
+};
+
+/// Assigns the nested POI sets to random nodes of a graph with
+/// `index.num_nodes()` nodes. Deterministic in `seed`. Every set has at
+/// least one node even on tiny graphs.
+NestedPoiSets AssignNestedPoiSets(CategoryIndex& index, uint64_t seed);
+
+/// Category ids of the four representative CAL categories used throughout
+/// the paper's evaluation (sizes 1, 8, 14, 94 — paper §7, "Queries").
+struct CaliforniaPoiSets {
+  CategoryId glacier;  // 1 node  -> KSP queries (Fig. 8)
+  CategoryId lake;     // 8 nodes
+  CategoryId crater;   // 14 nodes
+  CategoryId harbor;   // 94 nodes
+};
+
+/// Populates `index` with 62 categories mimicking the real CAL POI data:
+/// the four named categories get their real sizes, and 58 filler
+/// categories get sizes drawn from a geometric-ish distribution.
+/// Deterministic in `seed`. Requires at least 94 nodes.
+CaliforniaPoiSets AssignCaliforniaLikePois(CategoryIndex& index,
+                                           uint64_t seed);
+
+}  // namespace kpj
+
+#endif  // KPJ_GEN_POI_GEN_H_

@@ -1,0 +1,42 @@
+#ifndef KPJ_GEN_QUERY_GEN_H_
+#define KPJ_GEN_QUERY_GEN_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// The paper's five distance-stratified query sets (§7, "Queries"): all
+/// nodes are sorted by shortest-path distance to the destination category,
+/// partitioned into five equal groups, and each query set samples source
+/// nodes from one group. Sources in Q1 are closest to the category, Q5
+/// farthest.
+struct QuerySets {
+  std::array<std::vector<NodeId>, 5> q;
+};
+
+/// Generates query sets for destination set `targets`.
+///
+/// `reverse_graph` must be the reverse of the query graph; one multi-source
+/// Dijkstra over it yields every node's distance to the category. Nodes in
+/// `targets` and nodes that cannot reach the category are excluded from the
+/// candidate pool. Samples `per_set` sources per set (fewer if a stratum is
+/// small). Deterministic in `seed`.
+QuerySets GenerateQuerySets(const Graph& reverse_graph,
+                            std::span<const NodeId> targets, size_t per_set,
+                            uint64_t seed);
+
+/// Distance from every node to the target set (kInfLength if it cannot
+/// reach it): one multi-source Dijkstra on the reverse graph. Exposed for
+/// Fig. 11 (shortest-path-length percentiles) and tests.
+std::vector<PathLength> DistancesToTargets(const Graph& reverse_graph,
+                                           std::span<const NodeId> targets);
+
+}  // namespace kpj
+
+#endif  // KPJ_GEN_QUERY_GEN_H_

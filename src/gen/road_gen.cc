@@ -1,0 +1,119 @@
+#include "gen/road_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connectivity.h"
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+/// Spacing between neighbouring intersections, in coordinate units.
+constexpr double kCellSize = 1000.0;
+/// Maximum coordinate jitter applied to intersections and chain nodes.
+constexpr double kJitter = 280.0;
+
+double Distance(const Coordinate& a, const Coordinate& b) {
+  double dx = static_cast<double>(a.x) - b.x;
+  double dy = static_cast<double>(a.y) - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+RoadNetwork GenerateRoadNetwork(const RoadGenOptions& options) {
+  KPJ_CHECK(options.target_nodes >= 4);
+  KPJ_CHECK(options.segment_keep_prob > 0.0 &&
+            options.segment_keep_prob <= 1.0);
+  KPJ_CHECK(options.min_chain_nodes <= options.max_chain_nodes);
+  Rng rng(options.seed);
+
+  // Pick the intersection-grid side so that intersections plus expected
+  // chain nodes land near target_nodes:
+  //   n ~= g^2 * (1 + segments_per_intersection * avg_chain)
+  // with segments_per_intersection ~= (2*keep + diag).
+  double avg_chain =
+      (options.min_chain_nodes + options.max_chain_nodes) / 2.0;
+  double seg_per_intersection =
+      2.0 * options.segment_keep_prob + options.diagonal_prob;
+  double per_intersection = 1.0 + seg_per_intersection * avg_chain;
+  uint32_t g = static_cast<uint32_t>(std::max(
+      2.0, std::round(std::sqrt(options.target_nodes / per_intersection))));
+
+  // Intersection nodes with jittered coordinates.
+  std::vector<Coordinate> coords;
+  coords.reserve(static_cast<size_t>(g) * g);
+  auto grid_id = [g](uint32_t row, uint32_t col) { return row * g + col; };
+  for (uint32_t row = 0; row < g; ++row) {
+    for (uint32_t col = 0; col < g; ++col) {
+      double x = col * kCellSize + (rng.NextDouble() * 2 - 1) * kJitter;
+      double y = row * kCellSize + (rng.NextDouble() * 2 - 1) * kJitter;
+      coords.push_back(Coordinate{static_cast<int32_t>(std::lround(x)),
+                                  static_cast<int32_t>(std::lround(y))});
+    }
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(coords.size()));
+
+  // Adds a road segment between a and b: a chain of `chain` intermediate
+  // nodes along the straight line, each edge bidirectional with a weight
+  // derived from (perturbed) Euclidean length.
+  auto add_segment = [&](NodeId a, NodeId b) {
+    uint32_t chain = static_cast<uint32_t>(rng.NextInRange(
+        options.min_chain_nodes, options.max_chain_nodes));
+    NodeId prev = a;
+    Coordinate ca = coords[a];
+    Coordinate cb = coords[b];
+    for (uint32_t i = 1; i <= chain; ++i) {
+      double frac = static_cast<double>(i) / (chain + 1);
+      double x = ca.x + (cb.x - ca.x) * frac +
+                 (rng.NextDouble() * 2 - 1) * kJitter * 0.3;
+      double y = ca.y + (cb.y - ca.y) * frac +
+                 (rng.NextDouble() * 2 - 1) * kJitter * 0.3;
+      Coordinate cm{static_cast<int32_t>(std::lround(x)),
+                    static_cast<int32_t>(std::lround(y))};
+      NodeId mid = static_cast<NodeId>(coords.size());
+      coords.push_back(cm);
+      builder.EnsureNode(mid);
+      double len = Distance(coords[prev], cm) *
+                   (1.0 + rng.NextDouble() * options.weight_jitter);
+      builder.AddBidirectional(prev, mid,
+                               std::max<Weight>(1, static_cast<Weight>(len)));
+      prev = mid;
+    }
+    double len = Distance(coords[prev], cb) *
+                 (1.0 + rng.NextDouble() * options.weight_jitter);
+    builder.AddBidirectional(prev, b,
+                             std::max<Weight>(1, static_cast<Weight>(len)));
+  };
+
+  for (uint32_t row = 0; row < g; ++row) {
+    for (uint32_t col = 0; col < g; ++col) {
+      NodeId u = grid_id(row, col);
+      if (col + 1 < g && rng.NextBool(options.segment_keep_prob)) {
+        add_segment(u, grid_id(row, col + 1));
+      }
+      if (row + 1 < g && rng.NextBool(options.segment_keep_prob)) {
+        add_segment(u, grid_id(row + 1, col));
+      }
+      if (row + 1 < g && col + 1 < g && rng.NextBool(options.diagonal_prob)) {
+        add_segment(u, grid_id(row + 1, col + 1));
+      }
+    }
+  }
+
+  Graph raw = builder.Build(/*dedup_parallel=*/true);
+  InducedSubgraph largest = LargestStronglyConnectedSubgraph(raw);
+
+  RoadNetwork out;
+  out.graph = std::move(largest.graph);
+  out.coords.reserve(largest.new_to_old.size());
+  for (NodeId old_id : largest.new_to_old) out.coords.push_back(coords[old_id]);
+  KPJ_CHECK(out.graph.NumNodes() > 0) << "generated graph is empty";
+  return out;
+}
+
+}  // namespace kpj

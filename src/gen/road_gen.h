@@ -1,0 +1,55 @@
+#ifndef KPJ_GEN_ROAD_GEN_H_
+#define KPJ_GEN_ROAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dimacs_io.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Parameters of the synthetic road-network generator.
+///
+/// The generator substitutes for the paper's real road networks (CAL, SJ,
+/// SF, COL, FLA, USA; see DESIGN.md §3). It reproduces the structural
+/// properties the KPJ algorithms are sensitive to: near-planar topology,
+/// average directed degree ~2.0-2.4, long degree-2 chains between
+/// intersections, and metric-like (Euclidean-derived) weights.
+struct RoadGenOptions {
+  /// Approximate number of nodes in the output (before the largest-SCC
+  /// cleanup, which typically removes well under 1%).
+  uint32_t target_nodes = 100000;
+  uint64_t seed = 1;
+  /// Fraction of grid segments between adjacent intersections that exist.
+  double segment_keep_prob = 0.75;
+  /// Probability of a diagonal shortcut segment at a grid cell.
+  double diagonal_prob = 0.05;
+  /// Each kept segment is subdivided into a chain with this many
+  /// intermediate nodes, uniform in [min, max] — this creates the long
+  /// degree-2 chains of real road networks.
+  uint32_t min_chain_nodes = 0;
+  uint32_t max_chain_nodes = 3;
+  /// Relative weight perturbation on top of Euclidean length, in
+  /// [0, weight_jitter].
+  double weight_jitter = 0.3;
+};
+
+/// A generated network: strongly connected graph plus node coordinates
+/// (coordinates are for generation/visualization only; no algorithm in this
+/// repository uses geometry).
+struct RoadNetwork {
+  Graph graph;
+  std::vector<Coordinate> coords;
+};
+
+/// Generates a synthetic road network. Deterministic in `options.seed`.
+/// The result is strongly connected (largest SCC of the raw output) and
+/// every edge is bidirectional with symmetric weights, matching the
+/// paper's datasets ("edges are bidirectional").
+RoadNetwork GenerateRoadNetwork(const RoadGenOptions& options);
+
+}  // namespace kpj
+
+#endif  // KPJ_GEN_ROAD_GEN_H_

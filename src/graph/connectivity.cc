@@ -1,0 +1,174 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/graph_builder.h"
+
+namespace kpj {
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace
+
+ComponentLabeling WeaklyConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const OutEdge& e : graph.OutEdges(u)) uf.Union(u, e.to);
+  }
+  ComponentLabeling out;
+  out.component.assign(n, UINT32_MAX);
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t root = uf.Find(u);
+    if (out.component[root] == UINT32_MAX) {
+      out.component[root] = out.num_components++;
+    }
+    out.component[u] = out.component[root];
+  }
+  return out;
+}
+
+ComponentLabeling StronglyConnectedComponents(const Graph& graph) {
+  // Iterative Tarjan. Explicit stack frames avoid recursion depth limits on
+  // million-node road networks (long chains are common).
+  const NodeId n = graph.NumNodes();
+  ComponentLabeling out;
+  out.component.assign(n, UINT32_MAX);
+
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;        // Tarjan's SCC stack.
+  std::vector<NodeId> call_nodes;   // DFS frames: node
+  std::vector<uint32_t> call_edge;  // DFS frames: next out-edge position
+  uint32_t next_index = 0;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    call_nodes.push_back(start);
+    call_edge.push_back(0);
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!call_nodes.empty()) {
+      NodeId u = call_nodes.back();
+      auto edges = graph.OutEdges(u);
+      bool descended = false;
+      while (call_edge.back() < edges.size()) {
+        NodeId v = edges[call_edge.back()].to;
+        ++call_edge.back();
+        if (index[v] == kUnvisited) {
+          call_nodes.push_back(v);
+          call_edge.push_back(0);
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) lowlink[u] = std::min(lowlink[u], index[v]);
+      }
+      if (descended) continue;
+
+      // u is finished.
+      if (lowlink[u] == index[u]) {
+        uint32_t comp = out.num_components++;
+        for (;;) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component[w] = comp;
+          if (w == u) break;
+        }
+      }
+      call_nodes.pop_back();
+      call_edge.pop_back();
+      if (!call_nodes.empty()) {
+        NodeId parent = call_nodes.back();
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  return out;
+}
+
+InducedSubgraph InduceSubgraph(const Graph& graph,
+                               const std::vector<NodeId>& keep) {
+  InducedSubgraph out;
+  out.old_to_new.assign(graph.NumNodes(), kInvalidNode);
+  out.new_to_old.reserve(keep.size());
+
+  std::vector<NodeId> sorted = keep;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  for (NodeId old_id : sorted) {
+    KPJ_CHECK(old_id < graph.NumNodes());
+    out.old_to_new[old_id] = static_cast<NodeId>(out.new_to_old.size());
+    out.new_to_old.push_back(old_id);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(out.new_to_old.size()));
+  for (NodeId old_u : sorted) {
+    NodeId new_u = out.old_to_new[old_u];
+    for (const OutEdge& e : graph.OutEdges(old_u)) {
+      NodeId new_v = out.old_to_new[e.to];
+      if (new_v != kInvalidNode) builder.AddEdge(new_u, new_v, e.weight);
+    }
+  }
+  out.graph = builder.Build(/*dedup_parallel=*/false);
+  return out;
+}
+
+InducedSubgraph LargestStronglyConnectedSubgraph(const Graph& graph) {
+  ComponentLabeling scc = StronglyConnectedComponents(graph);
+  if (scc.num_components == 0) {
+    InducedSubgraph empty;
+    empty.graph = Graph({0}, {});
+    return empty;
+  }
+  std::vector<uint32_t> sizes(scc.num_components, 0);
+  for (uint32_t c : scc.component) ++sizes[c];
+  uint32_t best =
+      static_cast<uint32_t>(std::max_element(sizes.begin(), sizes.end()) -
+                            sizes.begin());
+  std::vector<NodeId> keep;
+  keep.reserve(sizes[best]);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    if (scc.component[u] == best) keep.push_back(u);
+  }
+  return InduceSubgraph(graph, keep);
+}
+
+}  // namespace kpj

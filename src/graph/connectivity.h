@@ -1,0 +1,46 @@
+#ifndef KPJ_GRAPH_CONNECTIVITY_H_
+#define KPJ_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Result of restricting a graph to a subset of nodes, keeping id mappings
+/// so that categories/coordinates can be remapped alongside.
+struct InducedSubgraph {
+  Graph graph;
+  /// old id -> new id, or kInvalidNode if dropped.
+  std::vector<NodeId> old_to_new;
+  /// new id -> old id.
+  std::vector<NodeId> new_to_old;
+};
+
+/// Component id per node for weakly connected components (edge direction
+/// ignored). Ids are dense in `[0, num_components)`.
+struct ComponentLabeling {
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+};
+
+/// Labels weakly connected components via union-find. O(m α(n)).
+ComponentLabeling WeaklyConnectedComponents(const Graph& graph);
+
+/// Labels strongly connected components via iterative Tarjan. O(n + m).
+ComponentLabeling StronglyConnectedComponents(const Graph& graph);
+
+/// Extracts the subgraph induced by the nodes of the largest strongly
+/// connected component. Generated and real road networks are cleaned with
+/// this so that every node can reach every destination category.
+InducedSubgraph LargestStronglyConnectedSubgraph(const Graph& graph);
+
+/// Extracts the subgraph induced by `keep` (old node ids; need not be
+/// sorted). Arcs with either endpoint outside `keep` are dropped.
+InducedSubgraph InduceSubgraph(const Graph& graph,
+                               const std::vector<NodeId>& keep);
+
+}  // namespace kpj
+
+#endif  // KPJ_GRAPH_CONNECTIVITY_H_

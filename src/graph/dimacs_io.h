@@ -1,0 +1,45 @@
+#ifndef KPJ_GRAPH_DIMACS_IO_H_
+#define KPJ_GRAPH_DIMACS_IO_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// 2-D node coordinate as stored in DIMACS `.co` files. Only the generators
+/// and I/O use coordinates; the query algorithms are purely graph-based
+/// (landmark bounds, not geometry — paper §4.2 footnote 1).
+struct Coordinate {
+  int32_t x = 0;
+  int32_t y = 0;
+};
+
+/// Reads a DIMACS shortest-path challenge `.gr` file
+/// (`p sp <n> <m>` header, `a <from> <to> <weight>` arcs, 1-based ids).
+/// This is the format of the paper's COL/FLA/USA inputs, so the real
+/// datasets can be dropped in unchanged.
+Result<Graph> ReadDimacsGraph(const std::string& path);
+
+/// Parses DIMACS `.gr` content from a string (used by tests).
+Result<Graph> ParseDimacsGraph(const std::string& content);
+
+/// Writes `graph` in DIMACS `.gr` format.
+Status WriteDimacsGraph(const Graph& graph, const std::string& path);
+
+/// Reads a DIMACS `.co` coordinate file (`v <id> <x> <y>`, 1-based ids).
+/// Returns one coordinate per node; missing nodes default to (0, 0).
+Result<std::vector<Coordinate>> ReadDimacsCoordinates(const std::string& path,
+                                                      NodeId num_nodes);
+
+/// Writes coordinates in DIMACS `.co` format.
+Status WriteDimacsCoordinates(const std::vector<Coordinate>& coords,
+                              const std::string& path);
+
+}  // namespace kpj
+
+#endif  // KPJ_GRAPH_DIMACS_IO_H_

@@ -1,0 +1,81 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace kpj {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<OutEdge> adj)
+    : offsets_(std::move(offsets)), adj_(std::move(adj)) {
+  KPJ_CHECK(!offsets_.empty()) << "offsets must have n+1 entries";
+  KPJ_CHECK(offsets_.front() == 0);
+  KPJ_CHECK(offsets_.back() == adj_.size());
+  for (size_t i = 1; i < offsets_.size(); ++i) {
+    KPJ_CHECK(offsets_[i - 1] <= offsets_[i]) << "offsets must be monotone";
+  }
+}
+
+PathLength Graph::EdgeWeight(NodeId u, NodeId v) const {
+  auto edges = OutEdges(u);
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), v,
+      [](const OutEdge& e, NodeId target) { return e.to < target; });
+  PathLength best = kInfLength;
+  // Parallel arcs are adjacent after sorting; take the lightest.
+  for (; it != edges.end() && it->to == v; ++it) {
+    best = std::min<PathLength>(best, it->weight);
+  }
+  return best;
+}
+
+Graph Graph::Reverse() const {
+  const NodeId n = NumNodes();
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (const OutEdge& e : adj_) ++offsets[e.to + 1];
+  for (NodeId u = 0; u < n; ++u) offsets[u + 1] += offsets[u];
+
+  std::vector<OutEdge> adj(adj_.size());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const OutEdge& e : OutEdges(u)) {
+      adj[cursor[e.to]++] = OutEdge{u, e.weight};
+    }
+  }
+  // Keep per-node targets sorted so EdgeWeight's binary search works.
+  for (NodeId u = 0; u < n; ++u) {
+    std::sort(adj.begin() + offsets[u], adj.begin() + offsets[u + 1],
+              [](const OutEdge& a, const OutEdge& b) {
+                return a.to < b.to || (a.to == b.to && a.weight < b.weight);
+              });
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+PathLength Graph::TotalWeight() const {
+  PathLength total = 0;
+  for (const OutEdge& e : adj_) total += e.weight;
+  return total;
+}
+
+std::vector<WeightedEdge> Graph::ToEdgeList() const {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(adj_.size());
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (const OutEdge& e : OutEdges(u)) {
+      edges.push_back(WeightedEdge{u, e.to, e.weight});
+    }
+  }
+  return edges;
+}
+
+bool Graph::AdjEquals(const Graph& other) const {
+  if (adj_.size() != other.adj_.size()) return false;
+  for (size_t i = 0; i < adj_.size(); ++i) {
+    if (adj_[i].to != other.adj_[i].to ||
+        adj_[i].weight != other.adj_[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kpj

@@ -1,0 +1,110 @@
+#ifndef KPJ_GRAPH_GRAPH_H_
+#define KPJ_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// A single outgoing arc in CSR storage (interleaved for locality).
+struct OutEdge {
+  NodeId to;
+  Weight weight;
+};
+
+/// An arc in edge-list form, used while building graphs.
+struct WeightedEdge {
+  NodeId from;
+  NodeId to;
+  Weight weight;
+};
+
+inline bool operator==(const WeightedEdge& a, const WeightedEdge& b) {
+  return a.from == b.from && a.to == b.to && a.weight == b.weight;
+}
+
+/// Immutable weighted directed graph in compressed-sparse-row layout.
+///
+/// Node ids are dense in `[0, NumNodes())`. The paper's road networks are
+/// bidirectional: they are represented here with one arc per direction.
+/// Construction goes through GraphBuilder; Graph itself only ever holds a
+/// finished CSR.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() = default;
+
+  /// Takes ownership of finished CSR arrays. `offsets.size()` must be
+  /// `n + 1`, `offsets[n] == adj.size()`, offsets non-decreasing.
+  Graph(std::vector<EdgeId> offsets, std::vector<OutEdge> adj);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Number of nodes `n`.
+  NodeId NumNodes() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of directed arcs `m`.
+  EdgeId NumEdges() const { return static_cast<EdgeId>(adj_.size()); }
+
+  /// Out-degree of `u`.
+  uint32_t OutDegree(NodeId u) const {
+    KPJ_DCHECK(u < NumNodes());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Outgoing arcs of `u`, in ascending target order.
+  std::span<const OutEdge> OutEdges(NodeId u) const {
+    KPJ_DCHECK(u < NumNodes());
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  /// First CSR position of `u`'s arcs (the edge id of its first arc).
+  EdgeId EdgeBegin(NodeId u) const {
+    KPJ_DCHECK(u < NumNodes());
+    return offsets_[u];
+  }
+
+  /// Weight of arc `(u, v)` if present (the minimum-weight parallel arc),
+  /// else `kInfLength`. O(log OutDegree(u)).
+  PathLength EdgeWeight(NodeId u, NodeId v) const;
+
+  /// True if arc `(u, v)` exists.
+  bool HasEdge(NodeId u, NodeId v) const {
+    return EdgeWeight(u, v) != kInfLength;
+  }
+
+  /// Builds the reverse graph (every arc flipped). O(n + m).
+  Graph Reverse() const;
+
+  /// Total weight over all arcs; upper bound on any simple path length.
+  PathLength TotalWeight() const;
+
+  /// All arcs as an edge list, in CSR order. O(m).
+  std::vector<WeightedEdge> ToEdgeList() const;
+
+  /// Structural equality (same CSR contents).
+  bool Equals(const Graph& other) const {
+    return offsets_ == other.offsets_ && AdjEquals(other);
+  }
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<OutEdge>& adjacency() const { return adj_; }
+
+ private:
+  bool AdjEquals(const Graph& other) const;
+
+  std::vector<EdgeId> offsets_;  // n + 1 entries
+  std::vector<OutEdge> adj_;     // m entries, sorted by target within a node
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_GRAPH_GRAPH_H_

@@ -1,0 +1,51 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace kpj {
+
+void GraphBuilder::AddEdge(NodeId from, NodeId to, Weight weight) {
+  EnsureNode(from);
+  EnsureNode(to);
+  edges_.push_back(WeightedEdge{from, to, weight});
+}
+
+Graph GraphBuilder::Build(bool dedup_parallel) {
+  std::sort(edges_.begin(), edges_.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.weight < b.weight;
+            });
+
+  std::vector<EdgeId> offsets(num_nodes_ + 1, 0);
+  std::vector<OutEdge> adj;
+  adj.reserve(edges_.size());
+
+  const WeightedEdge* prev = nullptr;
+  for (const WeightedEdge& e : edges_) {
+    if (e.from == e.to) continue;  // Self-loops never lie on simple paths.
+    if (dedup_parallel && prev != nullptr && prev->from == e.from &&
+        prev->to == e.to) {
+      continue;  // Heavier parallel duplicate (sort put the lightest first).
+    }
+    adj.push_back(OutEdge{e.to, e.weight});
+    ++offsets[e.from + 1];
+    prev = &e;
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) offsets[u + 1] += offsets[u];
+
+  edges_.clear();
+  num_nodes_ = 0;
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+Graph BuildGraph(NodeId num_nodes, const std::vector<WeightedEdge>& edges,
+                 bool dedup_parallel) {
+  GraphBuilder builder(num_nodes);
+  for (const WeightedEdge& e : edges) builder.AddEdge(e.from, e.to, e.weight);
+  builder.EnsureNode(num_nodes == 0 ? 0 : num_nodes - 1);
+  return builder.Build(dedup_parallel);
+}
+
+}  // namespace kpj

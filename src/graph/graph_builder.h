@@ -1,0 +1,57 @@
+#ifndef KPJ_GRAPH_GRAPH_BUILDER_H_
+#define KPJ_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Accumulates an edge list and finalizes it into a CSR Graph.
+///
+/// The builder tolerates edges in any order, parallel edges, and
+/// self-loops. `Build` sorts, optionally deduplicates parallel edges
+/// (keeping the lightest), and drops self-loops (which can never appear on
+/// a simple path and only slow searches down).
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node universe `[0, num_nodes)`. It may be grown
+  /// later via EnsureNode.
+  explicit GraphBuilder(NodeId num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  /// Declares that node ids up to `node` inclusive exist.
+  void EnsureNode(NodeId node) {
+    if (node >= num_nodes_) num_nodes_ = node + 1;
+  }
+
+  /// Adds a directed arc.
+  void AddEdge(NodeId from, NodeId to, Weight weight);
+
+  /// Adds arcs in both directions with the same weight (road segments in
+  /// the paper's networks are bidirectional).
+  void AddBidirectional(NodeId a, NodeId b, Weight weight) {
+    AddEdge(a, b, weight);
+    AddEdge(b, a, weight);
+  }
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into a Graph. If `dedup_parallel` is true, parallel arcs are
+  /// collapsed to the single lightest arc. Self-loops are always dropped.
+  /// The builder is left empty afterwards.
+  Graph Build(bool dedup_parallel = true);
+
+ private:
+  NodeId num_nodes_;
+  std::vector<WeightedEdge> edges_;
+};
+
+/// Convenience: builds a graph directly from an edge list.
+Graph BuildGraph(NodeId num_nodes, const std::vector<WeightedEdge>& edges,
+                 bool dedup_parallel = true);
+
+}  // namespace kpj
+
+#endif  // KPJ_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,92 @@
+#include "graph/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace kpj {
+namespace {
+
+constexpr uint64_t kMagic = 0x4b504a4752503031ULL;  // "KPJGRP01"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  uint64_t count = v.size();
+  if (!WritePod(out, count)) return false;
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>& v, uint64_t max_count) {
+  uint64_t count = 0;
+  if (!ReadPod(in, count)) return false;
+  if (count > max_count) return false;
+  v.resize(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveGraphBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  if (!WritePod(out, kMagic) || !WritePod(out, kVersion) ||
+      !WriteVec(out, graph.offsets()) || !WriteVec(out, graph.adjacency())) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Graph> LoadGraphBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(in, magic) || magic != kMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (!ReadPod(in, version) || version != kVersion) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  std::vector<EdgeId> offsets;
+  std::vector<OutEdge> adj;
+  // Sanity cap: 2^32 nodes / arcs.
+  constexpr uint64_t kMax = (1ULL << 32);
+  if (!ReadVec(in, offsets, kMax) || !ReadVec(in, adj, kMax)) {
+    return Status::Corruption(path + ": truncated or oversized arrays");
+  }
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != adj.size()) {
+    return Status::Corruption(path + ": inconsistent CSR header");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i - 1] > offsets[i]) {
+      return Status::Corruption(path + ": non-monotone offsets");
+    }
+  }
+  NodeId n = static_cast<NodeId>(offsets.size() - 1);
+  for (const OutEdge& e : adj) {
+    if (e.to >= n) return Status::Corruption(path + ": arc target out of range");
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+}  // namespace kpj

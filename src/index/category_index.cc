@@ -1,0 +1,141 @@
+#include "index/category_index.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace kpj {
+namespace {
+
+constexpr uint64_t kMagic = 0x4b504a4341543031ULL;  // "KPJCAT01"
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+CategoryIndex::CategoryIndex(NodeId num_nodes) : num_nodes_(num_nodes) {
+  categories_by_node_.resize(num_nodes);
+}
+
+CategoryId CategoryIndex::AddCategory(std::string name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  CategoryId id = static_cast<CategoryId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  nodes_by_category_.emplace_back();
+  return id;
+}
+
+std::optional<CategoryId> CategoryIndex::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& CategoryIndex::Name(CategoryId category) const {
+  KPJ_CHECK(category < names_.size());
+  return names_[category];
+}
+
+void CategoryIndex::Assign(NodeId node, CategoryId category) {
+  KPJ_CHECK(node < num_nodes_);
+  KPJ_CHECK(category < names_.size());
+  auto& cats = categories_by_node_[node];
+  auto cit = std::lower_bound(cats.begin(), cats.end(), category);
+  if (cit != cats.end() && *cit == category) return;  // Already assigned.
+  cats.insert(cit, category);
+  auto& nodes = nodes_by_category_[category];
+  auto nit = std::lower_bound(nodes.begin(), nodes.end(), node);
+  nodes.insert(nit, node);
+}
+
+const std::vector<NodeId>& CategoryIndex::Nodes(CategoryId category) const {
+  KPJ_CHECK(category < nodes_by_category_.size());
+  return nodes_by_category_[category];
+}
+
+std::span<const CategoryId> CategoryIndex::CategoriesOf(NodeId node) const {
+  KPJ_CHECK(node < num_nodes_);
+  return categories_by_node_[node];
+}
+
+bool CategoryIndex::Belongs(NodeId node, CategoryId category) const {
+  auto cats = CategoriesOf(node);
+  return std::binary_search(cats.begin(), cats.end(), category);
+}
+
+Status CategoryIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  uint64_t num_categories = names_.size();
+  if (!WritePod(out, kMagic) || !WritePod(out, num_nodes_) ||
+      !WritePod(out, num_categories)) {
+    return Status::IoError("write failed for " + path);
+  }
+  for (CategoryId c = 0; c < names_.size(); ++c) {
+    uint64_t name_len = names_[c].size();
+    uint64_t count = nodes_by_category_[c].size();
+    if (!WritePod(out, name_len)) return Status::IoError("write failed");
+    out.write(names_[c].data(), static_cast<std::streamsize>(name_len));
+    if (!WritePod(out, count)) return Status::IoError("write failed");
+    out.write(
+        reinterpret_cast<const char*>(nodes_by_category_[c].data()),
+        static_cast<std::streamsize>(count * sizeof(NodeId)));
+    if (!out) return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<CategoryIndex> CategoryIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0;
+  NodeId num_nodes = 0;
+  uint64_t num_categories = 0;
+  if (!ReadPod(in, magic) || magic != kMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (!ReadPod(in, num_nodes) || !ReadPod(in, num_categories) ||
+      num_categories > (1ULL << 32)) {
+    return Status::Corruption(path + ": bad header");
+  }
+  CategoryIndex index(num_nodes);
+  for (uint64_t c = 0; c < num_categories; ++c) {
+    uint64_t name_len = 0;
+    if (!ReadPod(in, name_len) || name_len > (1ULL << 20)) {
+      return Status::Corruption(path + ": bad category name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t count = 0;
+    if (!in || !ReadPod(in, count) || count > num_nodes) {
+      return Status::Corruption(path + ": bad category size");
+    }
+    std::vector<NodeId> nodes(count);
+    in.read(reinterpret_cast<char*>(nodes.data()),
+            static_cast<std::streamsize>(count * sizeof(NodeId)));
+    if (!in) return Status::Corruption(path + ": truncated");
+    CategoryId id = index.AddCategory(std::move(name));
+    for (NodeId v : nodes) {
+      if (v >= num_nodes) {
+        return Status::Corruption(path + ": node id out of range");
+      }
+      index.Assign(v, id);
+    }
+  }
+  return index;
+}
+
+}  // namespace kpj

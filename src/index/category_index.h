@@ -1,0 +1,74 @@
+#ifndef KPJ_INDEX_CATEGORY_INDEX_H_
+#define KPJ_INDEX_CATEGORY_INDEX_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Offline inverted index over node categories (paper §2: "we assume that
+/// an inverted index is offline built on the categories of nodes such that
+/// V_T can be efficiently retrieved online").
+///
+/// A category models a *conceptual node*: the set of physical nodes that
+/// carry a POI of that category. Nodes may belong to any number of
+/// categories.
+class CategoryIndex {
+ public:
+  /// Creates an index over the node universe `[0, num_nodes)`.
+  explicit CategoryIndex(NodeId num_nodes = 0);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t NumCategories() const { return names_.size(); }
+
+  /// Registers a category; returns the existing id if the name is taken.
+  CategoryId AddCategory(std::string name);
+
+  /// Looks up a category id by name.
+  std::optional<CategoryId> Find(std::string_view name) const;
+
+  const std::string& Name(CategoryId category) const;
+
+  /// Assigns `node` to `category`; duplicate assignments are ignored.
+  void Assign(NodeId node, CategoryId category);
+
+  /// All nodes of `category` (`V_T`), sorted ascending, no duplicates.
+  const std::vector<NodeId>& Nodes(CategoryId category) const;
+
+  /// Number of physical nodes in `category` (`|V_T|`).
+  size_t Size(CategoryId category) const { return Nodes(category).size(); }
+
+  /// Categories a node belongs to, sorted ascending.
+  std::span<const CategoryId> CategoriesOf(NodeId node) const;
+
+  /// True if `node` belongs to `category`. O(log |V_categories(node)|).
+  bool Belongs(NodeId node, CategoryId category) const;
+
+  /// Binary (de)serialization with magic/version validation, so POI
+  /// assignments can ship alongside a saved graph.
+  Status Save(const std::string& path) const;
+  static Result<CategoryIndex> Load(const std::string& path);
+
+  bool Equals(const CategoryIndex& other) const {
+    return num_nodes_ == other.num_nodes_ && names_ == other.names_ &&
+           nodes_by_category_ == other.nodes_by_category_;
+  }
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, CategoryId> by_name_;
+  std::vector<std::vector<NodeId>> nodes_by_category_;
+  std::vector<std::vector<CategoryId>> categories_by_node_;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_INDEX_CATEGORY_INDEX_H_

@@ -1,0 +1,213 @@
+#include "index/landmark_index.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sssp/dijkstra.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kpj {
+
+LandmarkIndex LandmarkIndex::Build(const Graph& graph,
+                                   const Graph& reverse_graph,
+                                   const LandmarkIndexOptions& options) {
+  const NodeId n = graph.NumNodes();
+  KPJ_CHECK(reverse_graph.NumNodes() == n)
+      << "reverse graph node count mismatch";
+
+  LandmarkIndex index;
+  index.num_nodes_ = n;
+  if (n == 0 || options.num_landmarks == 0) return index;
+
+  const uint32_t num = std::min<uint32_t>(options.num_landmarks, n);
+  // Filled with stride `num` (node-major); repacked below if farthest-point
+  // selection stops early on tiny graphs.
+  std::vector<uint32_t> from_table(static_cast<size_t>(num) * n,
+                                   kUnreachable32);
+  std::vector<uint32_t> to_table(static_cast<size_t>(num) * n,
+                                 kUnreachable32);
+
+  Dijkstra forward(graph);
+  Dijkstra backward(reverse_graph);
+  Rng rng(options.seed);
+
+  if (options.selection == LandmarkSelection::kRandom) {
+    for (uint64_t v : rng.SampleDistinct(num, n)) {
+      index.landmarks_.push_back(static_cast<NodeId>(v));
+    }
+  }
+
+  // Farthest-point selection (paper footnote 3): pick a random start node,
+  // take the node farthest from it as the first landmark, then iteratively
+  // take the node maximizing the minimum distance to the landmark set.
+  // Distances here are forward distances from candidate landmarks, which on
+  // the (bidirectional) road networks of the paper are symmetric.
+  NodeId first = 0;
+  if (options.selection == LandmarkSelection::kFarthest) {
+    NodeId start = static_cast<NodeId>(rng.NextBounded(n));
+    forward.Run(start);
+    first = start;
+    PathLength best = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      PathLength d = forward.Distance(v);
+      if (d != kInfLength && d >= best) {
+        best = d;
+        first = v;
+      }
+    }
+  }
+
+  std::vector<PathLength> min_dist(n, kInfLength);
+  NodeId next = first;
+  for (uint32_t l = 0; l < num; ++l) {
+    if (options.selection == LandmarkSelection::kFarthest) {
+      index.landmarks_.push_back(next);
+    }
+    next = index.landmarks_[l];  // Current landmark (either strategy).
+    forward.Run(next);
+    backward.Run(next);
+    for (NodeId v = 0; v < n; ++v) {
+      PathLength df = forward.Distance(v);
+      PathLength db = backward.Distance(v);
+      from_table[static_cast<size_t>(v) * num + l] = Narrow(df);
+      to_table[static_cast<size_t>(v) * num + l] = Narrow(db);
+      if (df < min_dist[v]) min_dist[v] = df;
+    }
+    if (options.selection == LandmarkSelection::kFarthest) {
+      // Choose the next landmark: reachable node farthest from the set.
+      next = index.landmarks_.front();
+      PathLength far = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (min_dist[v] != kInfLength && min_dist[v] >= far &&
+            min_dist[v] > 0) {
+          far = min_dist[v];
+          next = v;
+        }
+      }
+      if (far == 0) {
+        // Every reachable node is already a landmark; stop early.
+        index.landmarks_.resize(l + 1);
+        break;
+      }
+    }
+  }
+  const uint32_t actual = static_cast<uint32_t>(index.landmarks_.size());
+  if (actual == num) {
+    index.dist_from_ = std::move(from_table);
+    index.dist_to_ = std::move(to_table);
+  } else {
+    // Early stop (tiny graphs): repack to the actual stride.
+    index.dist_from_.resize(static_cast<size_t>(actual) * n);
+    index.dist_to_.resize(static_cast<size_t>(actual) * n);
+    for (NodeId v = 0; v < n; ++v) {
+      for (uint32_t l = 0; l < actual; ++l) {
+        index.dist_from_[static_cast<size_t>(v) * actual + l] =
+            from_table[static_cast<size_t>(v) * num + l];
+        index.dist_to_[static_cast<size_t>(v) * actual + l] =
+            to_table[static_cast<size_t>(v) * num + l];
+      }
+    }
+  }
+  return index;
+}
+
+PathLength LandmarkIndex::LowerBound(NodeId u, NodeId v) const {
+  KPJ_DCHECK(u < num_nodes_ && v < num_nodes_);
+  if (u == v) return 0;
+  PathLength best = 0;
+  for (uint32_t l = 0; l < num_landmarks(); ++l) {
+    PathLength from_u = Widen(dist_from_[Slot(l, u)]);
+    PathLength from_v = Widen(dist_from_[Slot(l, v)]);
+    PathLength to_u = Widen(dist_to_[Slot(l, u)]);
+    PathLength to_v = Widen(dist_to_[Slot(l, v)]);
+    // dist(u,v) >= δ(l,v) - δ(l,u). If δ(l,u) is finite and δ(l,v) is not,
+    // v is unreachable from u outright.
+    if (from_u != kInfLength) {
+      if (from_v == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(from_v, from_u));
+    }
+    // dist(u,v) >= δ(u,l) - δ(v,l); same unreachability inference.
+    if (to_v != kInfLength) {
+      if (to_u == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(to_u, to_v));
+    }
+  }
+  return best;
+}
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4b504a4c4d4b3031ULL;  // "KPJLMK01"
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  uint64_t count = v.size();
+  if (!WritePod(out, count)) return false;
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>& v) {
+  uint64_t count = 0;
+  if (!ReadPod(in, count)) return false;
+  if (count > (1ULL << 36)) return false;
+  v.resize(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status LandmarkIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  if (!WritePod(out, kMagic) || !WritePod(out, num_nodes_) ||
+      !WriteVec(out, landmarks_) || !WriteVec(out, dist_from_) ||
+      !WriteVec(out, dist_to_)) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<LandmarkIndex> LandmarkIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0;
+  LandmarkIndex index;
+  if (!ReadPod(in, magic) || magic != kMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (!ReadPod(in, index.num_nodes_) || !ReadVec(in, index.landmarks_) ||
+      !ReadVec(in, index.dist_from_) || !ReadVec(in, index.dist_to_)) {
+    return Status::Corruption(path + ": truncated");
+  }
+  size_t expect =
+      index.landmarks_.size() * static_cast<size_t>(index.num_nodes_);
+  if (index.dist_from_.size() != expect || index.dist_to_.size() != expect) {
+    return Status::Corruption(path + ": table size mismatch");
+  }
+  for (NodeId l : index.landmarks_) {
+    if (l >= index.num_nodes_) {
+      return Status::Corruption(path + ": landmark id out of range");
+    }
+  }
+  return index;
+}
+
+}  // namespace kpj

@@ -1,0 +1,105 @@
+#include "index/target_bound.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+LandmarkSetBound::LandmarkSetBound(const LandmarkIndex* index,
+                                   std::span<const NodeId> set,
+                                   BoundDirection direction,
+                                   NodeId scoring_node, uint32_t max_active)
+    : index_(index), direction_(direction) {
+  KPJ_CHECK(index_ != nullptr);
+  const uint32_t num = index_->num_landmarks();
+  min_primary_.assign(num, kInfLength);
+  max_secondary_.assign(num, 0);
+  for (uint32_t l = 0; l < num; ++l) {
+    PathLength min_p = kInfLength;
+    PathLength max_s = 0;
+    for (NodeId x : set) {
+      PathLength from = index_->DistFromLandmark(l, x);  // δ(w, x)
+      PathLength to = index_->DistToLandmark(l, x);      // δ(x, w)
+      PathLength p = direction == BoundDirection::kToSet ? from : to;
+      PathLength s = direction == BoundDirection::kToSet ? to : from;
+      min_p = std::min(min_p, p);
+      max_s = std::max(max_s, s);
+    }
+    min_primary_[l] = min_p;
+    max_secondary_[l] = max_s;
+  }
+
+  active_.resize(num);
+  std::iota(active_.begin(), active_.end(), 0);
+  if (max_active > 0 && max_active < num &&
+      scoring_node < index_->num_nodes()) {
+    // Keep the landmarks that bound best at the scoring node. An infinite
+    // contribution (unreachability proof) trumps everything.
+    std::vector<std::pair<PathLength, uint32_t>> scored;
+    scored.reserve(num);
+    for (uint32_t l = 0; l < num; ++l) {
+      scored.emplace_back(EstimateOne(l, scoring_node), l);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+    active_.clear();
+    for (uint32_t i = 0; i < max_active; ++i) {
+      active_.push_back(scored[i].second);
+    }
+    std::sort(active_.begin(), active_.end());  // Cache-friendly order.
+  }
+}
+
+PathLength LandmarkSetBound::EstimateOne(uint32_t l, NodeId u) const {
+  PathLength best = 0;
+  PathLength from_u = index_->DistFromLandmark(l, u);  // δ(w, u)
+  PathLength to_u = index_->DistToLandmark(l, u);      // δ(u, w)
+  if (direction_ == BoundDirection::kToSet) {
+    // dist(u, S) >= min_x δ(w,x) - δ(w,u): valid whenever δ(w,u) finite.
+    // If w reaches u but no set member, u cannot reach the set at all
+    // (u -> x would give w -> u -> x).
+    if (from_u != kInfLength) {
+      if (min_primary_[l] == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(min_primary_[l], from_u));
+    }
+    // dist(u, S) >= δ(u,w) - max_x δ(x,w): valid when the max is finite,
+    // i.e. every set member reaches w. Then if u cannot reach w, u can
+    // reach no set member either (u -> x -> w would be finite).
+    if (max_secondary_[l] != kInfLength) {
+      if (to_u == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(to_u, max_secondary_[l]));
+    }
+  } else {
+    // Symmetric pair for dist(S, u):
+    //   dist(S, u) >= min_x δ(x,w) - δ(u,w)
+    //   dist(S, u) >= δ(w,u) - max_x δ(w,x)
+    // with the same unreachability inferences as above.
+    if (to_u != kInfLength) {
+      if (min_primary_[l] == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(min_primary_[l], to_u));
+    }
+    if (max_secondary_[l] != kInfLength) {
+      if (from_u == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(from_u, max_secondary_[l]));
+    }
+  }
+  return best;
+}
+
+PathLength LandmarkSetBound::Estimate(NodeId u) const {
+  // Virtual query nodes (GKPJ super-source, §6) are outside the offline
+  // tables; 0 is the only admissible bound (they attach via 0-weight arcs).
+  if (u >= index_->num_nodes()) return 0;
+  PathLength best = 0;
+  for (uint32_t l : active_) {
+    PathLength b = EstimateOne(l, u);
+    if (b == kInfLength) return kInfLength;
+    best = std::max(best, b);
+  }
+  return best;
+}
+
+}  // namespace kpj

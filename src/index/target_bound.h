@@ -1,0 +1,78 @@
+#ifndef KPJ_INDEX_TARGET_BOUND_H_
+#define KPJ_INDEX_TARGET_BOUND_H_
+
+#include <span>
+#include <vector>
+
+#include "index/landmark_index.h"
+#include "sssp/astar.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Direction of a node-to-set distance bound.
+enum class BoundDirection {
+  /// Bound on dist(u, S) = min over x in S of dist(u, x). This is the
+  /// paper's lb(u, V_T) of Eq. (2): the set is the destination category.
+  kToSet,
+  /// Bound on dist(S, u) = min over x in S of dist(x, u). Used by the
+  /// reverse-oriented SPT_I search (bounding distance *from* the source
+  /// side, §5.3/§6) and by GKPJ's multi-node source.
+  kFromSet,
+};
+
+/// Per-query landmark lower bound against a fixed node set (Eq. (2)).
+///
+/// Construction aggregates each landmark's distance to/from the set once —
+/// O(|L| * |S|), the paper's "computed only once for each query" — after
+/// which Estimate costs O(|L|).
+///
+/// For kToSet with landmark w:
+///   dist(u, S) >= min_{x in S} δ(w, x) - δ(w, u)   (Eq. (2))
+///   dist(u, S) >= δ(u, w) - max_{x in S} δ(x, w)
+/// For kFromSet the roles of the tables swap symmetrically.
+///
+/// Estimate returns kInfLength when the tables prove the set unreachable.
+/// A set member always gets a bound of 0.
+class LandmarkSetBound final : public Heuristic {
+ public:
+  /// An empty `index` (zero landmarks) yields all-zero bounds: this is the
+  /// "computing without landmark" mode of Section 6.
+  ///
+  /// Active-landmark selection (extension; classic ALT trick): when
+  /// `max_active > 0` and `scoring_node` is a real node, only the
+  /// `max_active` landmarks giving the best bound *at the scoring node*
+  /// (typically the query source) are evaluated by Estimate — most of the
+  /// bound quality at a fraction of the per-node cost. Admissibility is
+  /// unaffected (any subset of valid lower bounds is a valid lower bound).
+  LandmarkSetBound(const LandmarkIndex* index, std::span<const NodeId> set,
+                   BoundDirection direction,
+                   NodeId scoring_node = kInvalidNode,
+                   uint32_t max_active = 0);
+
+  /// Lower bound on the distance between `u` and the set, per direction.
+  PathLength Estimate(NodeId u) const override;
+
+  BoundDirection direction() const { return direction_; }
+
+  /// Landmark slots Estimate actually evaluates.
+  const std::vector<uint32_t>& active_landmarks() const { return active_; }
+
+ private:
+  /// Bound contribution of landmark slot `l` at node `u`; kInfLength means
+  /// a proof that the set is unreachable from/to `u`.
+  PathLength EstimateOne(uint32_t l, NodeId u) const;
+
+  const LandmarkIndex* index_;
+  BoundDirection direction_;
+  // Aggregates over the set per landmark. "primary" powers the difference
+  // whose minuend is a set aggregate; "secondary" the one whose subtrahend
+  // is a set aggregate. See EstimateOne for the exact formulas.
+  std::vector<PathLength> min_primary_;   // kToSet: min_x δ(w,x); kFromSet: min_x δ(x,w)
+  std::vector<PathLength> max_secondary_; // kToSet: max_x δ(x,w); kFromSet: max_x δ(w,x)
+  std::vector<uint32_t> active_;          // Landmark slots to evaluate.
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_INDEX_TARGET_BOUND_H_

@@ -1,0 +1,115 @@
+#include "sssp/bidirectional.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+BidirectionalDijkstra::Side::Side(const Graph& g)
+    : graph(g),
+      dist(g.NumNodes(), kInfLength),
+      parent(g.NumNodes(), kInvalidNode),
+      settled(g.NumNodes()),
+      heap(g.NumNodes()) {}
+
+void BidirectionalDijkstra::Side::Reset(NodeId origin) {
+  dist.NewEpoch();
+  parent.NewEpoch();
+  settled.ClearAll();
+  heap.Clear();
+  dist.Set(origin, 0);
+  heap.Push(origin, 0);
+}
+
+NodeId BidirectionalDijkstra::Side::SettleNext(SearchStats* stats) {
+  if (heap.empty()) return kInvalidNode;
+  NodeId u = heap.Pop();
+  settled.Insert(u);
+  ++stats->nodes_settled;
+  PathLength du = dist.Get(u);
+  for (const OutEdge& e : graph.OutEdges(u)) {
+    ++stats->edges_relaxed;
+    if (settled.Contains(e.to)) continue;
+    PathLength nd = du + e.weight;
+    if (nd < dist.Get(e.to)) {
+      dist.Set(e.to, nd);
+      parent.Set(e.to, u);
+      heap.PushOrDecrease(e.to, nd);
+    }
+  }
+  return u;
+}
+
+BidirectionalDijkstra::BidirectionalDijkstra(const Graph& graph,
+                                             const Graph& reverse)
+    : forward_(graph), backward_(reverse) {
+  KPJ_CHECK(graph.NumNodes() == reverse.NumNodes());
+}
+
+PathLength BidirectionalDijkstra::Run(NodeId source, NodeId target) {
+  KPJ_CHECK(source < forward_.graph.NumNodes());
+  KPJ_CHECK(target < forward_.graph.NumNodes());
+  stats_.Reset();
+  meet_ = kInvalidNode;
+  best_ = kInfLength;
+  if (source == target) {
+    meet_ = source;
+    best_ = 0;
+    // Reset sides so LastPath reconstruction sees consistent state.
+    forward_.Reset(source);
+    backward_.Reset(target);
+    return 0;
+  }
+  forward_.Reset(source);
+  backward_.Reset(target);
+
+  // Alternate; stop when the sum of the two frontier minima reaches the
+  // best meeting distance (standard stopping criterion).
+  for (;;) {
+    PathLength f_top = forward_.heap.empty() ? kInfLength
+                                             : forward_.heap.TopKey();
+    PathLength b_top = backward_.heap.empty() ? kInfLength
+                                              : backward_.heap.TopKey();
+    if (f_top == kInfLength && b_top == kInfLength) break;
+    if (best_ != kInfLength && SatAdd(f_top, b_top) >= best_) break;
+
+    Side& side = (f_top <= b_top) ? forward_ : backward_;
+    Side& other = (f_top <= b_top) ? backward_ : forward_;
+    NodeId u = side.SettleNext(&stats_);
+    if (u == kInvalidNode) continue;
+    // u is settled on `side`; if `other` has a label for it, we have a
+    // candidate meeting point.
+    PathLength du = side.dist.Get(u);
+    PathLength dv = other.dist.Get(u);
+    if (dv != kInfLength) {
+      PathLength total = SatAdd(du, dv);
+      if (total < best_) {
+        best_ = total;
+        meet_ = u;
+      }
+    }
+  }
+  return best_;
+}
+
+std::vector<NodeId> BidirectionalDijkstra::LastPath() const {
+  std::vector<NodeId> path;
+  if (meet_ == kInvalidNode) return path;
+  // Forward half (source .. meet).
+  for (NodeId cur = meet_; cur != kInvalidNode;
+       cur = forward_.parent.Get(cur)) {
+    path.push_back(cur);
+    KPJ_DCHECK(path.size() <= forward_.graph.NumNodes());
+  }
+  std::reverse(path.begin(), path.end());
+  // Backward half (meet .. target), skipping the meeting node itself.
+  for (NodeId cur = backward_.parent.Get(meet_); cur != kInvalidNode;
+       cur = backward_.parent.Get(cur)) {
+    path.push_back(cur);
+    KPJ_DCHECK(path.size() <= 2 * forward_.graph.NumNodes());
+  }
+  return path;
+}
+
+}  // namespace kpj

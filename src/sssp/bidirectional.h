@@ -1,0 +1,58 @@
+#ifndef KPJ_SSSP_BIDIRECTIONAL_H_
+#define KPJ_SSSP_BIDIRECTIONAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/spt.h"
+#include "util/epoch_array.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Bidirectional Dijkstra for point-to-point queries: alternating forward
+/// and backward searches meeting in the middle, exploring ~2·(π r/2)²
+/// instead of π r² area on metric-like graphs.
+///
+/// Substrate extension (not used by the KPJ solvers, whose searches are
+/// point-to-set); provided for the substrate benchmark suite and as a
+/// general utility alongside Dijkstra/AStar.
+class BidirectionalDijkstra {
+ public:
+  /// `reverse` must be `graph.Reverse()`; both must outlive the engine.
+  BidirectionalDijkstra(const Graph& graph, const Graph& reverse);
+
+  /// Shortest distance from `source` to `target` (kInfLength if none).
+  PathLength Run(NodeId source, NodeId target);
+
+  /// The corresponding path of the last Run (source..target), empty when
+  /// unreachable.
+  std::vector<NodeId> LastPath() const;
+
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  struct Side {
+    explicit Side(const Graph& g);
+    const Graph& graph;
+    EpochArray<PathLength> dist;
+    EpochArray<NodeId> parent;
+    EpochSet settled;
+    IndexedHeap<PathLength> heap;
+
+    void Reset(NodeId origin);
+    /// Settles one node; returns it (kInvalidNode if exhausted).
+    NodeId SettleNext(SearchStats* stats);
+  };
+
+  Side forward_;
+  Side backward_;
+  SearchStats stats_;
+  NodeId meet_ = kInvalidNode;
+  PathLength best_ = kInfLength;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_SSSP_BIDIRECTIONAL_H_

@@ -1,0 +1,90 @@
+#ifndef KPJ_SSSP_DIJKSTRA_H_
+#define KPJ_SSSP_DIJKSTRA_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/spt.h"
+#include "util/epoch_array.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Reusable Dijkstra engine over a fixed graph.
+///
+/// Workspace (distance labels, parents, heap) is epoch-reset between runs,
+/// so issuing thousands of per-query searches costs O(touched) rather than
+/// O(n) each. Supports single- and multi-source runs, full or early-stopped
+/// at a target / target set.
+class Dijkstra {
+ public:
+  /// The engine keeps a reference to `graph`; the graph must outlive it.
+  explicit Dijkstra(const Graph& graph);
+
+  /// Full single-source shortest paths from `source`.
+  void Run(NodeId source);
+
+  /// Full multi-source run: each (node, initial_distance) pair seeds the
+  /// queue. This is how the virtual destination node of Section 3 is
+  /// realized without materializing it: running on the reverse graph with
+  /// all of `V_T` at distance 0 yields distance-to-category for every node.
+  void RunMultiSource(std::span<const std::pair<NodeId, PathLength>> sources);
+
+  /// Early-stopping point-to-point run; returns the shortest distance or
+  /// kInfLength if unreachable.
+  PathLength RunToTarget(NodeId source, NodeId target);
+
+  /// Early-stopping point-to-set run; stops when the first node of
+  /// `targets` is settled and returns it (kInvalidNode if none reachable).
+  NodeId RunToAnyTarget(NodeId source, const EpochSet& targets);
+
+  /// True if `u` was settled (has a final distance) in the last run.
+  bool Settled(NodeId u) const { return settled_.Contains(u); }
+
+  /// Distance label of `u` from the last run (kInfLength if untouched).
+  /// Final only for settled nodes; tentative for frontier nodes.
+  PathLength Distance(NodeId u) const { return dist_.Get(u); }
+
+  /// Parent of `u` in the shortest path tree (kInvalidNode for roots and
+  /// untouched nodes).
+  NodeId Parent(NodeId u) const { return parent_.Get(u); }
+
+  /// Root-first path to `u`, empty if `u` was not settled.
+  std::vector<NodeId> PathTo(NodeId u) const;
+
+  /// Dense snapshot of the last run (O(n)).
+  SptResult Snapshot() const;
+
+  const SearchStats& stats() const { return stats_; }
+  const Graph& graph() const { return graph_; }
+
+ private:
+  void Prepare(std::span<const std::pair<NodeId, PathLength>> sources);
+  /// Core loop; stops after settling `stop_node` (pass kInvalidNode to run
+  /// to exhaustion) or any member of `stop_set` (pass nullptr to disable).
+  NodeId Loop(NodeId stop_node, const EpochSet* stop_set);
+
+  const Graph& graph_;
+  EpochArray<PathLength> dist_;
+  EpochArray<NodeId> parent_;
+  EpochSet settled_;
+  IndexedHeap<PathLength> heap_;
+  SearchStats stats_;
+};
+
+/// One-shot convenience: full SSSP snapshot from `source`.
+SptResult SingleSourceShortestPaths(const Graph& graph, NodeId source);
+
+/// One-shot convenience: distances from every node TO the target set, i.e.
+/// a multi-source run over `graph.Reverse()` supplied by the caller as
+/// `reverse_graph`. dist[u] is the length of the shortest path u -> any
+/// target in the forward graph.
+SptResult DistancesToSet(const Graph& reverse_graph,
+                         std::span<const NodeId> targets);
+
+}  // namespace kpj
+
+#endif  // KPJ_SSSP_DIJKSTRA_H_

@@ -1,0 +1,98 @@
+#include "sssp/incremental_search.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+IncrementalSearch::IncrementalSearch(const Graph& graph,
+                                     const Heuristic* heuristic)
+    : graph_(graph),
+      heuristic_(heuristic),
+      dist_(graph.NumNodes(), kInfLength),
+      parent_(graph.NumNodes(), kInvalidNode),
+      settled_(graph.NumNodes()),
+      heap_(graph.NumNodes()) {
+  KPJ_CHECK(heuristic_ != nullptr);
+}
+
+void IncrementalSearch::Initialize(
+    std::span<const std::pair<NodeId, PathLength>> sources) {
+  dist_.NewEpoch();
+  parent_.NewEpoch();
+  settled_.ClearAll();
+  heap_.Clear();
+  stats_.Reset();
+  num_settled_ = 0;
+  for (const auto& [node, d0] : sources) {
+    KPJ_CHECK(node < graph_.NumNodes());
+    if (d0 < dist_.Get(node)) {
+      dist_.Set(node, d0);
+      parent_.Set(node, kInvalidNode);
+      heap_.PushOrDecrease(node, SatAdd(d0, heuristic_->Estimate(node)));
+    }
+  }
+}
+
+void IncrementalSearch::Settle(NodeId u,
+                               const std::function<void(NodeId)>& on_settle) {
+  settled_.Insert(u);
+  ++num_settled_;
+  ++stats_.nodes_settled;
+  if (on_settle) on_settle(u);
+  PathLength du = dist_.Get(u);
+  for (const OutEdge& e : graph_.OutEdges(u)) {
+    ++stats_.edges_relaxed;
+    if (settled_.Contains(e.to)) continue;
+    PathLength nd = du + e.weight;
+    if (nd < dist_.Get(e.to)) {
+      dist_.Set(e.to, nd);
+      parent_.Set(e.to, u);
+      heap_.PushOrDecrease(e.to, SatAdd(nd, heuristic_->Estimate(e.to)));
+    }
+  }
+}
+
+void IncrementalSearch::AdvanceToBound(
+    PathLength bound, const std::function<void(NodeId)>& on_settle) {
+  while (!heap_.empty() && heap_.TopKey() <= bound) {
+    Settle(heap_.Pop(), on_settle);
+  }
+}
+
+bool IncrementalSearch::AdvanceUntilSettled(
+    NodeId stop, const std::function<void(NodeId)>& on_settle) {
+  if (Settled(stop)) return true;
+  while (!heap_.empty()) {
+    NodeId u = heap_.Pop();
+    Settle(u, on_settle);
+    if (u == stop) return true;
+  }
+  return false;
+}
+
+NodeId IncrementalSearch::AdvanceUntilAnySettled(
+    const EpochSet& stops, const std::function<void(NodeId)>& on_settle) {
+  while (!heap_.empty()) {
+    NodeId u = heap_.Pop();
+    Settle(u, on_settle);
+    if (stops.Contains(u)) return u;
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> IncrementalSearch::PathTo(NodeId u) const {
+  std::vector<NodeId> path;
+  if (!Settled(u)) return path;
+  NodeId cur = u;
+  while (cur != kInvalidNode) {
+    path.push_back(cur);
+    KPJ_DCHECK(path.size() <= graph_.NumNodes()) << "parent cycle";
+    cur = parent_.Get(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace kpj

@@ -1,0 +1,102 @@
+#ifndef KPJ_SSSP_INCREMENTAL_SEARCH_H_
+#define KPJ_SSSP_INCREMENTAL_SEARCH_H_
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/astar.h"
+#include "sssp/spt.h"
+#include "util/epoch_array.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Resumable best-first (A*) search whose frontier survives between calls.
+///
+/// This is the engine behind both online index structures of Section 5:
+///  * SPT_P (Alg. 6) initializes it on the reverse graph from all of `V_T`
+///    and advances until the query source is settled — the settled set IS
+///    the partial shortest path tree.
+///  * SPT_I (Alg. 7) initializes it on the forward graph from `s` and
+///    repeatedly advances to the growing bound τ; settled nodes form the
+///    incremental tree, and by Prop. 5.2 they cover every node on any
+///    s-to-`V_T` path of length <= τ.
+///
+/// Keys are `g(u) + h(u)` with a consistent heuristic, so settled nodes are
+/// final and the frontier key is monotonically non-decreasing.
+class IncrementalSearch {
+ public:
+  /// Keeps references to `graph` and `heuristic`; both must outlive this.
+  IncrementalSearch(const Graph& graph, const Heuristic* heuristic);
+
+  /// Swaps the heuristic for the next Initialize (per-query bounds reuse
+  /// one engine and its O(n) workspace).
+  void SetHeuristic(const Heuristic* heuristic) {
+    KPJ_CHECK(heuristic != nullptr);
+    heuristic_ = heuristic;
+  }
+
+  /// Resets all state and seeds the frontier. Settle callbacks fire later,
+  /// during Advance* calls, never here.
+  void Initialize(std::span<const std::pair<NodeId, PathLength>> sources);
+
+  /// Settles nodes while the minimum frontier key is `<= bound`, invoking
+  /// `on_settle` (if non-null) for each newly settled node.
+  void AdvanceToBound(PathLength bound,
+                      const std::function<void(NodeId)>& on_settle = nullptr);
+
+  /// Settles nodes until `stop` is settled or the frontier is exhausted.
+  /// Returns true if `stop` was settled.
+  bool AdvanceUntilSettled(NodeId stop,
+                           const std::function<void(NodeId)>& on_settle =
+                               nullptr);
+
+  /// Settles nodes until some member of `stops` is settled; returns that
+  /// node, or kInvalidNode if the frontier is exhausted first.
+  NodeId AdvanceUntilAnySettled(const EpochSet& stops,
+                                const std::function<void(NodeId)>& on_settle =
+                                    nullptr);
+
+  bool Settled(NodeId u) const { return settled_.Contains(u); }
+
+  /// Exact distance from the seed set for settled nodes; tentative label
+  /// for frontier nodes; kInfLength otherwise.
+  PathLength Distance(NodeId u) const { return dist_.Get(u); }
+
+  NodeId Parent(NodeId u) const { return parent_.Get(u); }
+
+  /// Root-first path to a settled node (empty if unsettled).
+  std::vector<NodeId> PathTo(NodeId u) const;
+
+  /// Minimum key in the frontier, kInfLength when exhausted.
+  PathLength FrontierKey() const {
+    return heap_.empty() ? kInfLength : heap_.TopKey();
+  }
+
+  /// True when no further node can ever be settled: every node not yet
+  /// settled is unreachable from the seed set.
+  bool Exhausted() const { return heap_.empty(); }
+
+  size_t num_settled() const { return num_settled_; }
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  void Settle(NodeId u, const std::function<void(NodeId)>& on_settle);
+
+  const Graph& graph_;
+  const Heuristic* heuristic_;
+  EpochArray<PathLength> dist_;
+  EpochArray<NodeId> parent_;
+  EpochSet settled_;
+  IndexedHeap<PathLength> heap_;
+  SearchStats stats_;
+  size_t num_settled_ = 0;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_SSSP_INCREMENTAL_SEARCH_H_

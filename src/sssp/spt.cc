@@ -1,0 +1,22 @@
+#include "sssp/spt.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+std::vector<NodeId> ExtractRootPath(const SptResult& spt, NodeId node) {
+  std::vector<NodeId> path;
+  if (node >= spt.dist.size() || !spt.Reached(node)) return path;
+  NodeId cur = node;
+  while (cur != kInvalidNode) {
+    path.push_back(cur);
+    KPJ_DCHECK(path.size() <= spt.dist.size()) << "parent cycle";
+    cur = spt.parent[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace kpj

@@ -1,0 +1,38 @@
+#ifndef KPJ_SSSP_SPT_H_
+#define KPJ_SSSP_SPT_H_
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace kpj {
+
+/// Dense shortest-path-tree snapshot: distance and parent per node.
+/// `dist[u] == kInfLength` marks unreached nodes; roots have
+/// `parent[u] == kInvalidNode`.
+struct SptResult {
+  std::vector<PathLength> dist;
+  std::vector<NodeId> parent;
+
+  bool Reached(NodeId u) const { return dist[u] != kInfLength; }
+};
+
+/// Walks parent pointers from `node` up to a root and returns the node
+/// sequence root-first. Returns an empty vector if `node` is unreached.
+std::vector<NodeId> ExtractRootPath(const SptResult& spt, NodeId node);
+
+/// Counters shared by all search routines; cheap enough to always collect.
+struct SearchStats {
+  uint64_t nodes_settled = 0;
+  uint64_t edges_relaxed = 0;
+
+  void Reset() { *this = SearchStats{}; }
+  void Accumulate(const SearchStats& other) {
+    nodes_settled += other.nodes_settled;
+    edges_relaxed += other.edges_relaxed;
+  }
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_SSSP_SPT_H_

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kpj {
+namespace {
+
+LogLevel g_min_level = [] {
+  if (const char* env = std::getenv("KPJ_LOG_LEVEL"); env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kInfo;
+}();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() { return g_min_level; }
+
+void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_min_level || level_ == LogLevel::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace kpj

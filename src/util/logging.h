@@ -1,0 +1,68 @@
+#ifndef KPJ_UTIL_LOGGING_H_
+#define KPJ_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kpj {
+
+/// Log severities, in increasing order of urgency.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal {
+
+/// Stream-style log message collector. Emits on destruction; aborts the
+/// process for `kFatal`.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Returns the minimum severity that is actually emitted. Controlled by the
+/// `KPJ_LOG_LEVEL` environment variable (0=debug .. 4=fatal; default info).
+LogLevel MinLogLevel();
+
+/// Overrides the minimum emitted severity at runtime (tests use this to
+/// silence expected warnings).
+void SetMinLogLevel(LogLevel level);
+
+}  // namespace kpj
+
+#define KPJ_LOG(level)                                                    \
+  ::kpj::internal::LogMessage(::kpj::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Unconditional runtime assertion; logs and aborts when `cond` is false.
+/// The library is built without exceptions (Google style), so invariant
+/// violations terminate.
+#define KPJ_CHECK(cond)                                      \
+  if (!(cond)) KPJ_LOG(Fatal) << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define KPJ_DCHECK(cond) \
+  if (false) KPJ_LOG(Fatal) << "DCheck failed: " #cond " "
+#else
+#define KPJ_DCHECK(cond) KPJ_CHECK(cond)
+#endif
+
+#endif  // KPJ_UTIL_LOGGING_H_

@@ -1,0 +1,40 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace kpj {
+
+unsigned EffectiveWorkers(unsigned threads) {
+  if (threads <= 1) return 1;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return std::min(threads, hw * 4);  // Sanity cap.
+}
+
+void ParallelFor(size_t count, unsigned threads,
+                 const std::function<void(size_t, unsigned)>& body) {
+  unsigned workers = EffectiveWorkers(threads);
+  if (count == 0) return;
+  if (workers == 1) {
+    for (size_t i = 0; i < count; ++i) body(i, 0);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  auto drain = [&](unsigned worker) {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i, worker);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(drain, w);
+  drain(0);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace kpj

@@ -1,0 +1,28 @@
+#ifndef KPJ_UTIL_PARALLEL_H_
+#define KPJ_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace kpj {
+
+/// Runs `body(index, worker)` for every index in `[0, count)` across up to
+/// `threads` workers (plus the calling thread), pulling indices from a
+/// shared atomic counter — simple dynamic load balancing for per-query
+/// parallel batch execution.
+///
+/// `body` must be safe to call concurrently from different workers for
+/// different indices; `worker` identifies the executing worker in
+/// `[0, num_workers)` so callers can keep per-worker state (e.g. one
+/// solver each). `threads == 0` or `1` runs inline on the caller.
+void ParallelFor(size_t count, unsigned threads,
+                 const std::function<void(size_t index, unsigned worker)>&
+                     body);
+
+/// Number of workers ParallelFor will actually use for `threads`.
+unsigned EffectiveWorkers(unsigned threads);
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_PARALLEL_H_

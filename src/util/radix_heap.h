@@ -1,0 +1,93 @@
+#ifndef KPJ_UTIL_RADIX_HEAP_H_
+#define KPJ_UTIL_RADIX_HEAP_H_
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+/// Monotone integer min-heap (one-level radix heap).
+///
+/// Supports Push of keys `>= last popped key` only — exactly the access
+/// pattern of Dijkstra with non-negative integer weights. Amortized O(1)
+/// per operation plus O(64) bucket scans. Provided as an alternative
+/// priority queue for the Dijkstra ablation benchmark; the main algorithms
+/// use IndexedHeap because A* keys are not monotone under re-expansion.
+///
+/// Does not support decrease-key: stale entries are skipped by the caller
+/// (lazy deletion), so Pop returns (id, key) pairs that may be outdated.
+class RadixHeap {
+ public:
+  RadixHeap() : last_(0), size_(0) {}
+
+  void Clear() {
+    for (auto& b : buckets_) b.clear();
+    last_ = 0;
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// Inserts `(id, key)`; requires `key >= ` the last popped key.
+  void Push(uint32_t id, uint64_t key) {
+    KPJ_DCHECK(key >= last_);
+    buckets_[BucketFor(key)].push_back(Entry{key, id});
+    ++size_;
+  }
+
+  /// Pops the minimum entry. Requires non-empty.
+  std::pair<uint32_t, uint64_t> Pop() {
+    KPJ_DCHECK(!empty());
+    if (buckets_[0].empty()) Redistribute();
+    Entry e = buckets_[0].back();
+    buckets_[0].pop_back();
+    --size_;
+    return {e.id, e.key};
+  }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint32_t id;
+  };
+
+  // Bucket index: number of bits in which key differs from last_.
+  size_t BucketFor(uint64_t key) const {
+    if (key == last_) return 0;
+    return static_cast<size_t>(64 - std::countl_zero(key ^ last_));
+  }
+
+  void Redistribute() {
+    // Find first non-empty bucket, take its minimum as the new last_,
+    // and re-bucket its contents (all land in strictly smaller buckets).
+    size_t b = 1;
+    while (buckets_[b].empty()) {
+      ++b;
+      KPJ_DCHECK(b < kNumBuckets);
+    }
+    uint64_t min_key = buckets_[b][0].key;
+    for (const Entry& e : buckets_[b]) {
+      if (e.key < min_key) min_key = e.key;
+    }
+    last_ = min_key;
+    std::vector<Entry> moved = std::move(buckets_[b]);
+    buckets_[b].clear();
+    for (const Entry& e : moved) {
+      buckets_[BucketFor(e.key)].push_back(e);
+    }
+  }
+
+  static constexpr size_t kNumBuckets = 65;
+  std::vector<Entry> buckets_[kNumBuckets];
+  uint64_t last_;
+  size_t size_;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_RADIX_HEAP_H_

@@ -1,0 +1,88 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kpj {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  KPJ_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  KPJ_CHECK(lo <= hi);
+  uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // Full 64-bit range.
+  return lo + NextBounded(span);
+}
+
+double Rng::NextDouble() {
+  // 53 top bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t count, uint64_t universe) {
+  KPJ_CHECK(count <= universe);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  if (count * 3 >= universe) {
+    // Dense case: shuffle a full permutation prefix.
+    std::vector<uint64_t> all(universe);
+    for (uint64_t i = 0; i < universe; ++i) all[i] = i;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t j = i + NextBounded(universe - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling.
+    std::unordered_set<uint64_t> seen;
+    while (out.size() < count) {
+      uint64_t v = NextBounded(universe);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace kpj

@@ -1,0 +1,58 @@
+#ifndef KPJ_UTIL_RNG_H_
+#define KPJ_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via splitmix64.
+/// Used everywhere randomness is needed so that datasets, workloads, and
+/// property tests are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in `[0, bound)`; `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in `[lo, hi]` (inclusive); requires `lo <= hi`.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in `[0, 1)`.
+  double NextDouble();
+
+  /// Bernoulli trial with probability `p` of true.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from `[0, universe)`.
+  /// Requires `count <= universe`.
+  std::vector<uint64_t> SampleDistinct(uint64_t count, uint64_t universe);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// One step of splitmix64; exposed for cheap hash-mixing of seeds.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_RNG_H_

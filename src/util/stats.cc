@@ -1,0 +1,62 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kpj {
+
+double Sample::Mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Sample::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Sample::Min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::Max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::Sum() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+double Sample::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double PercentilePosition(const std::vector<double>& population,
+                          double value) {
+  if (population.empty()) return 0.0;
+  size_t le = 0;
+  for (double v : population) {
+    if (v <= value) ++le;
+  }
+  return static_cast<double>(le) / static_cast<double>(population.size());
+}
+
+}  // namespace kpj

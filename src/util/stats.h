@@ -1,0 +1,49 @@
+#ifndef KPJ_UTIL_STATS_H_
+#define KPJ_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kpj {
+
+/// Accumulates a sample of doubles and reports summary statistics.
+/// Used by the benchmark harnesses to report per-query timing distributions
+/// (the paper reports average processing time over 100 queries per set).
+class Sample {
+ public:
+  void Add(double value) { values_.push_back(value); }
+  void Clear() { values_.clear(); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Arithmetic mean; 0 for an empty sample.
+  double Mean() const;
+
+  /// Sample standard deviation; 0 for samples of size < 2.
+  double StdDev() const;
+
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+
+  /// Linear-interpolated percentile, `p` in [0, 100]. 0 for empty samples.
+  double Percentile(double p) const;
+
+  /// Median (50th percentile).
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Fraction (in [0, 1]) of elements of `population` that are `<= value`.
+/// `population` need not be sorted. Used to reproduce Fig. 11's percentile
+/// positions.
+double PercentilePosition(const std::vector<double>& population, double value);
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_STATS_H_

@@ -1,0 +1,113 @@
+#ifndef KPJ_UTIL_STATUS_H_
+#define KPJ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+/// Error codes for recoverable failures (mostly I/O and user input).
+/// Invariant violations inside the library abort via KPJ_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kFailedPrecondition,
+};
+
+/// Lightweight error-or-success carrier (the library is exception-free).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IoError: no such file".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error union in the style of absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value and from an error Status keeps call
+  /// sites readable (`return value;` / `return Status::IoError(...);`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    KPJ_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; requires `ok()`.
+  const T& value() const& {
+    KPJ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    KPJ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    KPJ_CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace kpj
+
+/// Propagates a non-OK Status from the current function.
+#define KPJ_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::kpj::Status kpj_status_ = (expr);           \
+    if (!kpj_status_.ok()) return kpj_status_;    \
+  } while (false)
+
+#endif  // KPJ_UTIL_STATUS_H_

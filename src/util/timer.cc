@@ -1,0 +1,3 @@
+// Timer is header-only; this translation unit exists so the build file can
+// list one .cc per header uniformly.
+#include "util/timer.h"

@@ -1,0 +1,128 @@
+// Work-counter properties tying the implementation back to the paper's
+// analytical claims:
+//  * Lemma 4.1 — BestFirst computes no more shortest paths than DA;
+//  * the iteratively bounding approaches replace most CompSP calls with
+//    TestLB calls;
+//  * DA-SPT's up-front SPT covers (roughly) the reverse-reachable graph;
+//  * SPT_I stays a small fraction of the graph on localized queries.
+
+#include <gtest/gtest.h>
+
+#include "core/kpj.h"
+#include "gen/datasets.h"
+#include "gen/query_gen.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetOptions opt;
+    opt.override_nodes = 8000;
+    opt.num_landmarks = 8;
+    dataset_ = new Dataset(MakeDataset(DatasetId::kSJ, opt));
+    CategoryId t2 = dataset_->nested.t[1];
+    queries_ = new QuerySets(GenerateQuerySets(
+        dataset_->reverse, dataset_->Targets(t2), /*per_set=*/3, 7));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete queries_;
+    dataset_ = nullptr;
+    queries_ = nullptr;
+  }
+
+  KpjResult Run(Algorithm algorithm, NodeId source, uint32_t k) {
+    KpjQuery query;
+    query.sources = {source};
+    query.targets = dataset_->Targets(dataset_->nested.t[1]);
+    query.k = k;
+    KpjOptions options;
+    options.algorithm = algorithm;
+    options.landmarks = &dataset_->landmarks;
+    Result<KpjResult> r =
+        RunKpj(dataset_->graph, dataset_->reverse, query, options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  static Dataset* dataset_;
+  static QuerySets* queries_;
+};
+
+Dataset* StatsTest::dataset_ = nullptr;
+QuerySets* StatsTest::queries_ = nullptr;
+
+TEST_F(StatsTest, Lemma41BestFirstComputesNoMorePathsThanDA) {
+  for (NodeId source : queries_->q[2]) {
+    KpjResult da = Run(Algorithm::kDA, source, 20);
+    KpjResult bf = Run(Algorithm::kBestFirst, source, 20);
+    ASSERT_EQ(da.paths.size(), bf.paths.size());
+    EXPECT_LE(bf.stats.shortest_path_computations,
+              da.stats.shortest_path_computations)
+        << "source " << source;
+  }
+}
+
+TEST_F(StatsTest, IterBoundPrunesMoreThanBestFirst) {
+  uint64_t bf_total = 0;
+  uint64_t ib_total = 0;
+  for (NodeId source : queries_->q[2]) {
+    bf_total += Run(Algorithm::kBestFirst, source, 20)
+                    .stats.shortest_path_computations;
+    ib_total += Run(Algorithm::kIterBound, source, 20)
+                    .stats.shortest_path_computations;
+  }
+  EXPECT_LE(ib_total, bf_total);
+}
+
+TEST_F(StatsTest, IterBoundRecordsBoundTests) {
+  KpjResult r = Run(Algorithm::kIterBoundSptI, queries_->q[2][0], 20);
+  EXPECT_GT(r.stats.lower_bound_tests, 0u);
+  EXPECT_GT(r.stats.final_tau, 0.0);
+}
+
+TEST_F(StatsTest, DaSptBuildsFullTreeSptIStaysPartial) {
+  // For a Q1 (close) source, SPT_I should settle far fewer nodes than
+  // DA-SPT's full SPT.
+  NodeId source = queries_->q[0][0];
+  KpjResult da_spt = Run(Algorithm::kDaSpt, source, 20);
+  KpjResult spti = Run(Algorithm::kIterBoundSptI, source, 20);
+  ASSERT_EQ(da_spt.paths.size(), spti.paths.size());
+  EXPECT_GT(da_spt.stats.spt_nodes, dataset_->graph.NumNodes() / 2);
+  EXPECT_LT(spti.stats.spt_nodes, da_spt.stats.spt_nodes);
+}
+
+TEST_F(StatsTest, ResultsAgreeAcrossAlgorithmsOnRealNetwork) {
+  // Cross-check the length profiles on the generated road network (the
+  // exhaustive reference is infeasible here; mutual agreement of seven
+  // independent implementations is the check).
+  for (NodeId source : {queries_->q[0][0], queries_->q[2][0],
+                        queries_->q[4][0]}) {
+    std::vector<PathLength> baseline;
+    for (Algorithm a : kAllAlgorithms) {
+      KpjResult r = Run(a, source, 25);
+      std::vector<PathLength> lengths;
+      for (const Path& p : r.paths) lengths.push_back(p.length);
+      if (baseline.empty()) {
+        baseline = lengths;
+      } else {
+        EXPECT_EQ(lengths, baseline) << AlgorithmName(a) << " source "
+                                     << source;
+      }
+    }
+  }
+}
+
+TEST_F(StatsTest, SubspaceCountsScaleWithK) {
+  NodeId source = queries_->q[2][1];
+  KpjResult k5 = Run(Algorithm::kIterBoundSptI, source, 5);
+  KpjResult k40 = Run(Algorithm::kIterBoundSptI, source, 40);
+  EXPECT_LE(k5.stats.subspaces_created, k40.stats.subspaces_created);
+  EXPECT_LE(k5.stats.max_queue_size, k40.stats.max_queue_size);
+}
+
+}  // namespace
+}  // namespace kpj

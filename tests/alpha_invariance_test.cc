@@ -1,0 +1,71 @@
+// The τ growth factor α trades bound-test cost against test count but
+// must never change the answer (Theorem 5.1 holds for any α > 1).
+
+#include <gtest/gtest.h>
+
+#include "core/kpj.h"
+#include "core/verifier.h"
+#include "graph/graph_builder.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+class AlphaInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaInvarianceTest, ResultsIndependentOfAlpha) {
+  double alpha = GetParam();
+  const Algorithm algorithms[] = {Algorithm::kIterBound,
+                                  Algorithm::kIterBoundSptP,
+                                  Algorithm::kIterBoundSptI,
+                                  Algorithm::kIterBoundSptINoLm};
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed * 7 + 1);
+    NodeId n = static_cast<NodeId>(rng.NextInRange(8, 20));
+    GraphBuilder b(n);
+    b.EnsureNode(n - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v && rng.NextBool(0.2)) {
+          b.AddEdge(u, v, static_cast<Weight>(rng.NextInRange(1, 9)));
+        }
+      }
+    }
+    Graph graph = b.Build();
+    Graph reverse = graph.Reverse();
+    LandmarkIndexOptions lopt;
+    lopt.num_landmarks = 3;
+    LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+
+    KpjQuery query;
+    query.sources = {0};
+    query.targets = {n - 1, n / 2};
+    query.k = 15;
+    Result<std::vector<Path>> reference =
+        EnumerateTopKPaths(graph, query, 1'000'000);
+    if (!reference.ok()) continue;
+
+    for (Algorithm a : algorithms) {
+      KpjOptions options;
+      options.algorithm = a;
+      options.alpha = alpha;
+      options.landmarks = &landmarks;
+      Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+      ASSERT_TRUE(result.ok());
+      SCOPED_TRACE(::testing::Message() << AlgorithmName(a) << " alpha="
+                                        << alpha << " seed=" << seed);
+      ASSERT_EQ(result.value().paths.size(), reference.value().size());
+      for (size_t i = 0; i < reference.value().size(); ++i) {
+        ASSERT_EQ(result.value().paths[i].length,
+                  reference.value()[i].length);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaInvarianceTest,
+                         ::testing::Values(1.0001, 1.05, 1.5, 3.0, 16.0));
+
+}  // namespace
+}  // namespace kpj

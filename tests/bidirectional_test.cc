@@ -1,0 +1,93 @@
+#include "sssp/bidirectional.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/road_gen.h"
+#include "graph/graph_builder.h"
+#include "sssp/dijkstra.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+TEST(BidirectionalTest, TinyGraphExact) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(2, 3, 3);
+  b.AddEdge(0, 3, 10);
+  Graph g = b.Build();
+  Graph rev = g.Reverse();
+  BidirectionalDijkstra engine(g, rev);
+  EXPECT_EQ(engine.Run(0, 3), 6u);
+  EXPECT_EQ(engine.LastPath(), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(engine.Run(3, 0), kInfLength);
+  EXPECT_TRUE(engine.LastPath().empty());
+  EXPECT_EQ(engine.Run(2, 2), 0u);
+}
+
+TEST(BidirectionalTest, MatchesDijkstraOnRandomGraphs) {
+  Rng rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    NodeId n = static_cast<NodeId>(rng.NextInRange(20, 60));
+    GraphBuilder b(n);
+    b.EnsureNode(n - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v && rng.NextBool(0.08)) {
+          b.AddEdge(u, v, static_cast<Weight>(rng.NextInRange(1, 20)));
+        }
+      }
+    }
+    Graph g = b.Build();
+    Graph rev = g.Reverse();
+    BidirectionalDijkstra bidi(g, rev);
+    Dijkstra reference(g);
+    for (int pair = 0; pair < 15; ++pair) {
+      NodeId s = static_cast<NodeId>(rng.NextBounded(n));
+      NodeId t = static_cast<NodeId>(rng.NextBounded(n));
+      PathLength expected = reference.RunToTarget(s, t);
+      PathLength got = bidi.Run(s, t);
+      ASSERT_EQ(got, expected) << "trial " << trial << " " << s << "->" << t;
+      if (expected != kInfLength && s != t) {
+        // Path must realize the distance.
+        std::vector<NodeId> path = bidi.LastPath();
+        ASSERT_GE(path.size(), 2u);
+        EXPECT_EQ(path.front(), s);
+        EXPECT_EQ(path.back(), t);
+        PathLength len = 0;
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          PathLength w = g.EdgeWeight(path[i], path[i + 1]);
+          ASSERT_NE(w, kInfLength);
+          len += w;
+        }
+        EXPECT_EQ(len, expected);
+      }
+    }
+  }
+}
+
+TEST(BidirectionalTest, ExploresLessThanUnidirectionalOnRoadNetworks) {
+  RoadGenOptions opt;
+  opt.target_nodes = 20000;
+  opt.seed = 6;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  Graph rev = net.graph.Reverse();
+  BidirectionalDijkstra bidi(net.graph, rev);
+  Dijkstra uni(net.graph);
+  Rng rng(77);
+  uint64_t bidi_settled = 0;
+  uint64_t uni_settled = 0;
+  for (int i = 0; i < 10; ++i) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(net.graph.NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(net.graph.NumNodes()));
+    PathLength expected = uni.RunToTarget(s, t);
+    uni_settled += uni.stats().nodes_settled;
+    ASSERT_EQ(bidi.Run(s, t), expected);
+    bidi_settled += bidi.stats().nodes_settled;
+  }
+  EXPECT_LT(bidi_settled, uni_settled);
+}
+
+}  // namespace
+}  // namespace kpj

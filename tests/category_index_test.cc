@@ -1,0 +1,108 @@
+#include "index/category_index.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace kpj {
+namespace {
+
+TEST(CategoryIndexTest, AddAndFindCategories) {
+  CategoryIndex index(10);
+  CategoryId hotel = index.AddCategory("Hotel");
+  CategoryId lake = index.AddCategory("Lake");
+  EXPECT_NE(hotel, lake);
+  EXPECT_EQ(index.NumCategories(), 2u);
+  EXPECT_EQ(index.Find("Hotel").value(), hotel);
+  EXPECT_EQ(index.Find("Lake").value(), lake);
+  EXPECT_FALSE(index.Find("Crater").has_value());
+  EXPECT_EQ(index.Name(hotel), "Hotel");
+}
+
+TEST(CategoryIndexTest, AddCategoryIdempotent) {
+  CategoryIndex index(5);
+  CategoryId a = index.AddCategory("X");
+  CategoryId b = index.AddCategory("X");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(index.NumCategories(), 1u);
+}
+
+TEST(CategoryIndexTest, AssignAndQueryBothDirections) {
+  CategoryIndex index(6);
+  CategoryId cat = index.AddCategory("H");
+  index.Assign(3, cat);
+  index.Assign(1, cat);
+  index.Assign(5, cat);
+  EXPECT_EQ(index.Nodes(cat), (std::vector<NodeId>{1, 3, 5}));  // Sorted.
+  EXPECT_EQ(index.Size(cat), 3u);
+  EXPECT_TRUE(index.Belongs(3, cat));
+  EXPECT_FALSE(index.Belongs(2, cat));
+  auto cats = index.CategoriesOf(3);
+  ASSERT_EQ(cats.size(), 1u);
+  EXPECT_EQ(cats[0], cat);
+}
+
+TEST(CategoryIndexTest, DuplicateAssignmentIgnored) {
+  CategoryIndex index(4);
+  CategoryId cat = index.AddCategory("H");
+  index.Assign(2, cat);
+  index.Assign(2, cat);
+  EXPECT_EQ(index.Size(cat), 1u);
+  EXPECT_EQ(index.CategoriesOf(2).size(), 1u);
+}
+
+TEST(CategoryIndexTest, NodeInMultipleCategories) {
+  CategoryIndex index(4);
+  CategoryId a = index.AddCategory("A");
+  CategoryId b = index.AddCategory("B");
+  index.Assign(1, b);
+  index.Assign(1, a);
+  auto cats = index.CategoriesOf(1);
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0], a);  // Sorted by category id.
+  EXPECT_EQ(cats[1], b);
+  EXPECT_TRUE(index.Belongs(1, a));
+  EXPECT_TRUE(index.Belongs(1, b));
+}
+
+TEST(CategoryIndexTest, EmptyCategoryHasNoNodes) {
+  CategoryIndex index(4);
+  CategoryId cat = index.AddCategory("Empty");
+  EXPECT_TRUE(index.Nodes(cat).empty());
+}
+
+
+TEST(CategoryIndexTest, SaveLoadRoundTrip) {
+  CategoryIndex index(10);
+  CategoryId a = index.AddCategory("Alpha");
+  CategoryId b = index.AddCategory("Beta");
+  index.Assign(1, a);
+  index.Assign(5, a);
+  index.Assign(5, b);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "kpj_cat_test.bin").string();
+  ASSERT_TRUE(index.Save(path).ok());
+  Result<CategoryIndex> loaded = CategoryIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().Equals(index));
+  EXPECT_EQ(loaded.value().Find("Beta").value(), b);
+  EXPECT_EQ(loaded.value().Nodes(a), (std::vector<NodeId>{1, 5}));
+  EXPECT_TRUE(loaded.value().Belongs(5, b));
+  std::filesystem::remove(path);
+}
+
+TEST(CategoryIndexTest, LoadRejectsGarbage) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "kpj_cat_junk.bin").string();
+  {
+    std::ofstream junk(path, std::ios::binary);
+    junk << "not a category index";
+  }
+  Result<CategoryIndex> loaded = CategoryIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace kpj

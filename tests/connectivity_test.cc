@@ -1,0 +1,121 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+TEST(WccTest, TwoIslands) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(3, 4, 1);
+  b.EnsureNode(4);
+  Graph g = b.Build();
+  ComponentLabeling wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 3u);  // {0,1}, {2}, {3,4}
+  EXPECT_EQ(wcc.component[0], wcc.component[1]);
+  EXPECT_EQ(wcc.component[3], wcc.component[4]);
+  EXPECT_NE(wcc.component[0], wcc.component[2]);
+  EXPECT_NE(wcc.component[0], wcc.component[3]);
+}
+
+TEST(WccTest, DirectionIgnored) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(2, 1, 1);
+  Graph g = b.Build();
+  ComponentLabeling wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+TEST(SccTest, DirectedCycleVsChain) {
+  GraphBuilder b(6);
+  // Cycle 0->1->2->0, chain 3->4->5.
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 1);
+  b.AddEdge(2, 0, 1);
+  b.AddEdge(3, 4, 1);
+  b.AddEdge(4, 5, 1);
+  Graph g = b.Build();
+  ComponentLabeling scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4u);  // {0,1,2}, {3}, {4}, {5}
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  std::set<uint32_t> chain = {scc.component[3], scc.component[4],
+                              scc.component[5]};
+  EXPECT_EQ(chain.size(), 3u);
+}
+
+TEST(SccTest, DeepChainNoStackOverflow) {
+  // 200k-node path: recursive Tarjan would blow the stack.
+  const NodeId n = 200000;
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1, 1);
+  Graph g = b.Build();
+  ComponentLabeling scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(SccTest, BidirectionalGraphIsOneComponent) {
+  GraphBuilder b(4);
+  b.AddBidirectional(0, 1, 1);
+  b.AddBidirectional(1, 2, 1);
+  b.AddBidirectional(2, 3, 1);
+  Graph g = b.Build();
+  ComponentLabeling scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(InduceTest, KeepsOnlyInternalEdges) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(2, 3, 3);
+  Graph g = b.Build();
+  InducedSubgraph sub = InduceSubgraph(g, {1, 2});
+  EXPECT_EQ(sub.graph.NumNodes(), 2u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);
+  NodeId n1 = sub.old_to_new[1];
+  NodeId n2 = sub.old_to_new[2];
+  EXPECT_EQ(sub.graph.EdgeWeight(n1, n2), 2u);
+  EXPECT_EQ(sub.old_to_new[0], kInvalidNode);
+  EXPECT_EQ(sub.new_to_old[n1], 1u);
+  EXPECT_EQ(sub.new_to_old[n2], 2u);
+}
+
+TEST(LargestSccTest, ExtractsCycle) {
+  GraphBuilder b(7);
+  // Big cycle 0..3, small cycle 4..5, pendant 6.
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 1);
+  b.AddEdge(2, 3, 1);
+  b.AddEdge(3, 0, 1);
+  b.AddEdge(4, 5, 1);
+  b.AddEdge(5, 4, 1);
+  b.AddEdge(3, 6, 1);
+  Graph g = b.Build();
+  InducedSubgraph sub = LargestStronglyConnectedSubgraph(g);
+  EXPECT_EQ(sub.graph.NumNodes(), 4u);
+  EXPECT_EQ(sub.graph.NumEdges(), 4u);
+  ComponentLabeling scc = StronglyConnectedComponents(sub.graph);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(LargestSccTest, RandomBidirectionalGraphAlreadyStronglyConnected) {
+  Rng rng(5);
+  GraphBuilder b(50);
+  for (NodeId i = 1; i < 50; ++i) {
+    b.AddBidirectional(static_cast<NodeId>(rng.NextBounded(i)), i, 1);
+  }
+  Graph g = b.Build();
+  InducedSubgraph sub = LargestStronglyConnectedSubgraph(g);
+  EXPECT_EQ(sub.graph.NumNodes(), 50u);
+}
+
+}  // namespace
+}  // namespace kpj

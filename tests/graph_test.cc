@@ -1,0 +1,133 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace kpj {
+namespace {
+
+Graph Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3, plus 0 -> 3 direct.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 3, 2);
+  b.AddEdge(0, 2, 3);
+  b.AddEdge(2, 3, 4);
+  b.AddEdge(0, 3, 10);
+  return b.Build();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, BasicAccessors) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 5u);
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+}
+
+TEST(GraphTest, OutEdgesSortedByTarget) {
+  Graph g = Diamond();
+  auto edges = g.OutEdges(0);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].to, 1u);
+  EXPECT_EQ(edges[1].to, 2u);
+  EXPECT_EQ(edges[2].to, 3u);
+}
+
+TEST(GraphTest, EdgeWeightLookup) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.EdgeWeight(0, 1), 1u);
+  EXPECT_EQ(g.EdgeWeight(0, 3), 10u);
+  EXPECT_EQ(g.EdgeWeight(1, 0), kInfLength);  // Directed: no back edge.
+  EXPECT_FALSE(g.HasEdge(3, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST(GraphTest, ParallelEdgesKeepLightestWhenDeduped) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 7);
+  b.AddEdge(0, 1, 3);
+  b.AddEdge(0, 1, 9);
+  Graph g = b.Build(/*dedup_parallel=*/true);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 3u);
+}
+
+TEST(GraphTest, ParallelEdgesPreservedWhenNotDeduped) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 7);
+  b.AddEdge(0, 1, 3);
+  Graph g = b.Build(/*dedup_parallel=*/false);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 3u);  // Lookup returns the lightest.
+}
+
+TEST(GraphTest, SelfLoopsAlwaysDropped) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 1, 2);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, ReverseFlipsEveryArc) {
+  Graph g = Diamond();
+  Graph r = g.Reverse();
+  EXPECT_EQ(r.NumNodes(), g.NumNodes());
+  EXPECT_EQ(r.NumEdges(), g.NumEdges());
+  for (const WeightedEdge& e : g.ToEdgeList()) {
+    EXPECT_EQ(r.EdgeWeight(e.to, e.from), e.weight)
+        << e.from << "->" << e.to;
+  }
+  // Double reverse is the original.
+  EXPECT_TRUE(r.Reverse().Equals(g));
+}
+
+TEST(GraphTest, ToEdgeListRoundTrip) {
+  Graph g = Diamond();
+  Graph rebuilt = BuildGraph(g.NumNodes(), g.ToEdgeList());
+  EXPECT_TRUE(rebuilt.Equals(g));
+}
+
+TEST(GraphTest, BidirectionalHelper) {
+  GraphBuilder b(3);
+  b.AddBidirectional(0, 1, 5);
+  Graph g = b.Build();
+  EXPECT_EQ(g.EdgeWeight(0, 1), 5u);
+  EXPECT_EQ(g.EdgeWeight(1, 0), 5u);
+}
+
+TEST(GraphTest, EnsureNodeGrowsUniverse) {
+  GraphBuilder b;
+  b.AddEdge(0, 9, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_EQ(g.OutDegree(5), 0u);
+}
+
+TEST(GraphTest, TotalWeight) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.TotalWeight(), 1u + 2 + 3 + 4 + 10);
+}
+
+TEST(GraphTest, IsolatedNodesSupported) {
+  GraphBuilder b(5);
+  b.EnsureNode(4);
+  b.AddEdge(0, 1, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumNodes(), 5u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.OutEdges(3).size(), 0u);
+}
+
+}  // namespace
+}  // namespace kpj

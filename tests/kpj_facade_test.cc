@@ -1,0 +1,199 @@
+// The kpj.h facade: validation errors, KSP convenience, category queries,
+// GKPJ augmentation, and virtual-node stripping.
+
+#include <gtest/gtest.h>
+
+#include "core/kpj.h"
+#include "core/verifier.h"
+#include "graph/graph_builder.h"
+#include "index/category_index.h"
+
+namespace kpj {
+namespace {
+
+Graph Web() {
+  GraphBuilder b(6);
+  b.AddBidirectional(0, 1, 1);
+  b.AddBidirectional(1, 2, 2);
+  b.AddBidirectional(2, 3, 1);
+  b.AddBidirectional(0, 4, 3);
+  b.AddBidirectional(4, 3, 2);
+  b.AddBidirectional(1, 5, 1);
+  b.AddBidirectional(5, 3, 3);
+  return b.Build();
+}
+
+class FacadeTest : public ::testing::Test {
+ protected:
+  FacadeTest() : graph_(Web()), reverse_(graph_.Reverse()) {}
+  Graph graph_;
+  Graph reverse_;
+  KpjOptions options_;  // Defaults: IterBoundI, no landmarks.
+};
+
+TEST_F(FacadeTest, RejectsEmptySources) {
+  KpjQuery q;
+  q.targets = {3};
+  q.k = 1;
+  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+}
+
+TEST_F(FacadeTest, RejectsEmptyTargets) {
+  KpjQuery q;
+  q.sources = {0};
+  q.k = 1;
+  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+}
+
+TEST_F(FacadeTest, RejectsZeroK) {
+  KpjQuery q;
+  q.sources = {0};
+  q.targets = {3};
+  q.k = 0;
+  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+}
+
+TEST_F(FacadeTest, RejectsOutOfRangeIds) {
+  KpjQuery q;
+  q.sources = {99};
+  q.targets = {3};
+  q.k = 1;
+  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+  q.sources = {0};
+  q.targets = {99};
+  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+}
+
+TEST_F(FacadeTest, RejectsDuplicateSources) {
+  KpjQuery q;
+  q.sources = {0, 0};
+  q.targets = {3};
+  q.k = 1;
+  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+}
+
+TEST_F(FacadeTest, RejectsGkpjWithOverlap) {
+  KpjQuery q;
+  q.sources = {0, 3};
+  q.targets = {3, 2};
+  q.k = 1;
+  Result<KpjResult> r = RunKpj(graph_, reverse_, q, options_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FacadeTest, SingleSourceInTargetsDropsTrivialPath) {
+  KpjQuery q;
+  q.sources = {0};
+  q.targets = {0, 3};
+  q.k = 10;
+  Result<KpjResult> r = RunKpj(graph_, reverse_, q, options_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const Path& p : r.value().paths) EXPECT_GE(p.nodes.size(), 2u);
+  Status check = ValidateAgainstReference(graph_, q, r.value().paths);
+  EXPECT_TRUE(check.ok()) << check.ToString();
+}
+
+TEST_F(FacadeTest, AllTargetsEqualSourceYieldsEmptyResult) {
+  KpjQuery q;
+  q.sources = {0};
+  q.targets = {0};
+  q.k = 3;
+  Result<KpjResult> r = RunKpj(graph_, reverse_, q, options_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().paths.empty());
+}
+
+TEST_F(FacadeTest, UnreachableTargetGivesEmptyResult) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1);
+  b.EnsureNode(2);
+  Graph g = b.Build();
+  Graph rev = g.Reverse();
+  for (Algorithm a : kAllAlgorithms) {
+    KpjOptions o;
+    o.algorithm = a;
+    Result<KpjResult> r = RunKsp(g, rev, 0, 2, 5, o);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(a);
+    EXPECT_TRUE(r.value().paths.empty()) << AlgorithmName(a);
+  }
+}
+
+TEST_F(FacadeTest, KspConvenience) {
+  Result<KpjResult> r = RunKsp(graph_, reverse_, 0, 3, 3, options_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().paths.size(), 3u);
+  EXPECT_EQ(r.value().paths[0].length, 4u);  // 0-1-2-3.
+  KpjQuery q;
+  q.sources = {0};
+  q.targets = {3};
+  q.k = 3;
+  EXPECT_TRUE(ValidateAgainstReference(graph_, q, r.value().paths).ok());
+}
+
+TEST_F(FacadeTest, MakeCategoryQuery) {
+  CategoryIndex index(graph_.NumNodes());
+  CategoryId hotels = index.AddCategory("H");
+  index.Assign(3, hotels);
+  index.Assign(4, hotels);
+  Result<KpjQuery> q = MakeCategoryQuery(index, 0, hotels, 2);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().targets, (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(q.value().k, 2u);
+
+  CategoryId empty = index.AddCategory("Empty");
+  EXPECT_FALSE(MakeCategoryQuery(index, 0, empty, 2).ok());
+  EXPECT_FALSE(MakeCategoryQuery(index, 0, 999, 2).ok());
+}
+
+TEST_F(FacadeTest, GkpjBasic) {
+  KpjQuery q;
+  q.sources = {0, 2};
+  q.targets = {3};
+  q.k = 4;
+  for (Algorithm a : kAllAlgorithms) {
+    KpjOptions o;
+    o.algorithm = a;
+    Result<KpjResult> r = RunKpj(graph_, reverse_, q, o);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(a) << ": "
+                        << r.status().ToString();
+    const auto& paths = r.value().paths;
+    ASSERT_FALSE(paths.empty()) << AlgorithmName(a);
+    // Best path: 2 -> 3 with length 1.
+    EXPECT_EQ(paths[0].length, 1u) << AlgorithmName(a);
+    EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{2, 3}));
+    Status check = ValidateAgainstReference(graph_, q, paths);
+    EXPECT_TRUE(check.ok()) << AlgorithmName(a) << ": " << check.ToString();
+  }
+}
+
+TEST_F(FacadeTest, AugmentForGkpjShape) {
+  Result<GkpjAugmentation> aug = AugmentForGkpj(graph_, {0, 2});
+  ASSERT_TRUE(aug.ok());
+  EXPECT_EQ(aug.value().virtual_source, graph_.NumNodes());
+  EXPECT_EQ(aug.value().graph.NumNodes(), graph_.NumNodes() + 1);
+  EXPECT_EQ(aug.value().graph.NumEdges(), graph_.NumEdges() + 2);
+  EXPECT_EQ(aug.value().graph.EdgeWeight(aug.value().virtual_source, 0), 0u);
+  EXPECT_EQ(aug.value().graph.EdgeWeight(aug.value().virtual_source, 2), 0u);
+  EXPECT_FALSE(AugmentForGkpj(graph_, {}).ok());
+  EXPECT_FALSE(AugmentForGkpj(graph_, {0, 0}).ok());
+  EXPECT_FALSE(AugmentForGkpj(graph_, {99}).ok());
+}
+
+TEST_F(FacadeTest, StripVirtualNodes) {
+  KpjResult result;
+  result.paths.push_back(Path{{6, 0, 1}, 2});
+  result.paths.push_back(Path{{0, 1, 7}, 3});
+  StripVirtualNodes(6, &result);
+  EXPECT_EQ(result.paths[0].nodes, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(result.paths[1].nodes, (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(FacadeTest, AlgorithmNamesAreUnique) {
+  std::set<std::string> names;
+  for (Algorithm a : kAllAlgorithms) names.insert(AlgorithmName(a));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace kpj

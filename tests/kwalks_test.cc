@@ -1,0 +1,154 @@
+// Top-k shortest walks (general paths): exact small cases, DAG
+// equivalence with simple paths, and the walk-vs-simple-path dominance
+// property.
+
+#include <gtest/gtest.h>
+
+#include "core/kwalks.h"
+#include "core/verifier.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+KpjQuery Q(std::vector<NodeId> sources, std::vector<NodeId> targets,
+           uint32_t k) {
+  KpjQuery q;
+  q.sources = std::move(sources);
+  q.targets = std::move(targets);
+  q.k = k;
+  return q;
+}
+
+TEST(KWalksTest, LollipopCycleEnumeratesLoops) {
+  // 0 -> 1 (w 2), 1 -> 2 (w 1), 2 -> 1 (w 1): walks 0->1 of lengths
+  // 2, 4, 6, ...
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(1, 2, 1);
+  b.AddEdge(2, 1, 1);
+  Graph g = b.Build();
+  Result<std::vector<Path>> r = TopKShortestWalks(g, Q({0}, {1}, 4));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 4u);
+  EXPECT_EQ(r.value()[0].length, 2u);
+  EXPECT_EQ(r.value()[1].length, 4u);
+  EXPECT_EQ(r.value()[2].length, 6u);
+  EXPECT_EQ(r.value()[3].length, 8u);
+  // Second walk revisits node 1: not simple, by design.
+  EXPECT_EQ(r.value()[1].nodes, (std::vector<NodeId>{0, 1, 2, 1}));
+}
+
+TEST(KWalksTest, AcyclicGraphMatchesSimplePaths) {
+  // On a DAG, walks ARE simple paths, so both problems coincide.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId n = static_cast<NodeId>(rng.NextInRange(6, 16));
+    GraphBuilder b(n);
+    b.EnsureNode(n - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {  // Edges only forward: DAG.
+        if (rng.NextBool(0.3)) {
+          b.AddEdge(u, v, static_cast<Weight>(rng.NextInRange(1, 9)));
+        }
+      }
+    }
+    Graph g = b.Build();
+    KpjQuery q = Q({0}, {n - 1, n - 2}, 20);
+    Result<std::vector<Path>> walks = TopKShortestWalks(g, q);
+    Result<std::vector<Path>> simple = EnumerateTopKPaths(g, q);
+    ASSERT_TRUE(walks.ok());
+    ASSERT_TRUE(simple.ok());
+    ASSERT_EQ(walks.value().size(), simple.value().size()) << "trial "
+                                                           << trial;
+    for (size_t i = 0; i < walks.value().size(); ++i) {
+      EXPECT_EQ(walks.value()[i].length, simple.value()[i].length);
+      EXPECT_TRUE(IsSimplePath(walks.value()[i].nodes));
+    }
+  }
+}
+
+TEST(KWalksTest, WalkLengthsLowerBoundSimplePathLengths) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId n = static_cast<NodeId>(rng.NextInRange(6, 14));
+    GraphBuilder b(n);
+    b.EnsureNode(n - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v && rng.NextBool(0.25)) {
+          b.AddEdge(u, v, static_cast<Weight>(rng.NextInRange(1, 9)));
+        }
+      }
+    }
+    Graph g = b.Build();
+    KpjQuery q = Q({0}, {n - 1}, 12);
+    Result<std::vector<Path>> walks = TopKShortestWalks(g, q);
+    Result<std::vector<Path>> simple = EnumerateTopKPaths(g, q, 500'000);
+    ASSERT_TRUE(walks.ok());
+    if (!simple.ok()) continue;
+    // Rank-by-rank: the i-th walk cannot be longer than the i-th simple
+    // path (simple paths are a subset of walks).
+    for (size_t i = 0; i < simple.value().size(); ++i) {
+      ASSERT_LT(i, walks.value().size());
+      EXPECT_LE(walks.value()[i].length, simple.value()[i].length);
+    }
+  }
+}
+
+TEST(KWalksTest, WalksAreValidAndSorted) {
+  Rng rng(13);
+  GraphBuilder b(12);
+  b.EnsureNode(11);
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = 0; v < 12; ++v) {
+      if (u != v && rng.NextBool(0.3)) {
+        b.AddEdge(u, v, static_cast<Weight>(rng.NextInRange(1, 5)));
+      }
+    }
+  }
+  Graph g = b.Build();
+  Result<std::vector<Path>> r = TopKShortestWalks(g, Q({0}, {7, 9}, 30));
+  ASSERT_TRUE(r.ok());
+  PathLength prev = 0;
+  for (const Path& w : r.value()) {
+    EXPECT_GE(w.nodes.size(), 2u);
+    EXPECT_EQ(w.nodes.front(), 0u);
+    EXPECT_TRUE(w.nodes.back() == 7 || w.nodes.back() == 9);
+    EXPECT_EQ(ComputePathLength(g, w.nodes), w.length);
+    EXPECT_GE(w.length, prev);
+    prev = w.length;
+  }
+}
+
+TEST(KWalksTest, UnreachableAndErrors) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1);
+  b.EnsureNode(2);
+  Graph g = b.Build();
+  Result<std::vector<Path>> r = TopKShortestWalks(g, Q({0}, {2}, 5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+
+  EXPECT_FALSE(TopKShortestWalks(g, Q({0}, {2}, 0)).ok());
+  EXPECT_FALSE(TopKShortestWalks(g, Q({}, {2}, 1)).ok());
+  EXPECT_FALSE(TopKShortestWalks(g, Q({9}, {2}, 1)).ok());
+  EXPECT_FALSE(TopKShortestWalks(g, Q({0}, {9}, 1)).ok());
+}
+
+TEST(KWalksTest, CycleBackToSourceCounts) {
+  // 0 <-> 1, source 0 in the target set: the trivial walk is excluded but
+  // the cycle 0 -> 1 -> 0 counts.
+  GraphBuilder b(2);
+  b.AddBidirectional(0, 1, 3);
+  Graph g = b.Build();
+  Result<std::vector<Path>> r = TopKShortestWalks(g, Q({0}, {0}, 2));
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].nodes, (std::vector<NodeId>{0, 1, 0}));
+  EXPECT_EQ(r.value()[0].length, 6u);
+}
+
+}  // namespace
+}  // namespace kpj

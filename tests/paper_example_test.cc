@@ -1,0 +1,122 @@
+// End-to-end smoke test on the paper's running example (Fig. 1):
+// graph with hotels H = {v4, v6, v7}, query Q = {v1, "H", k}.
+// The paper's Examples 2.1 / 3.1 give ω(P1) = 5, ω(P2) = 6, ω(P3) = 7.
+
+#include <gtest/gtest.h>
+
+#include "core/kpj.h"
+#include "core/verifier.h"
+#include "graph/graph_builder.h"
+#include "index/landmark_index.h"
+
+namespace kpj {
+namespace {
+
+// Node v_i of the paper maps to id i-1 here.
+constexpr NodeId V(int i) { return static_cast<NodeId>(i - 1); }
+
+/// Reconstruction of Fig. 1 consistent with all worked examples in the
+/// paper (P1 = (v1,v8,v7) len 5, P2 = (v1,v3,v6) len 6, P3 len 7,
+/// d(v1,v3) = 3, ω(v3,v4) = 4, ω(v3,v5) = 2, ω(v5,v6) = 2, ω(v3,v7) = 4).
+Graph PaperGraph() {
+  GraphBuilder b(15);
+  auto add = [&](int x, int y, Weight w) { b.AddBidirectional(V(x), V(y), w); };
+  add(1, 2, 1);
+  add(2, 10, 1);
+  add(10, 9, 1);
+  add(1, 8, 2);
+  add(8, 7, 3);
+  add(8, 9, 1);
+  add(1, 3, 3);
+  add(3, 4, 4);
+  add(3, 5, 2);
+  add(5, 6, 2);
+  add(3, 6, 3);
+  add(3, 7, 4);
+  add(4, 15, 1);
+  add(1, 11, 1);
+  add(11, 12, 1);
+  add(12, 13, 1);
+  add(13, 14, 2);
+  add(14, 7, 10);
+  add(6, 15, 5);
+  return b.Build();
+}
+
+std::vector<NodeId> Hotels() { return {V(4), V(6), V(7)}; }
+
+class PaperExampleTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  PaperExampleTest()
+      : graph_(PaperGraph()),
+        reverse_(graph_.Reverse()),
+        landmarks_(LandmarkIndex::Build(graph_, reverse_, {})) {}
+
+  KpjResult MustRun(uint32_t k) {
+    KpjQuery query;
+    query.sources = {V(1)};
+    query.targets = Hotels();
+    query.k = k;
+    KpjOptions options;
+    options.algorithm = GetParam();
+    options.landmarks = &landmarks_;
+    Result<KpjResult> result = RunKpj(graph_, reverse_, query, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  Graph graph_;
+  Graph reverse_;
+  LandmarkIndex landmarks_;
+};
+
+TEST_P(PaperExampleTest, Top1IsV1V8V7Length5) {
+  KpjResult res = MustRun(1);
+  ASSERT_EQ(res.paths.size(), 1u);
+  EXPECT_EQ(res.paths[0].length, 5u);
+  EXPECT_EQ(res.paths[0].nodes, (std::vector<NodeId>{V(1), V(8), V(7)}));
+}
+
+TEST_P(PaperExampleTest, Top3LengthsAre567) {
+  KpjResult res = MustRun(3);
+  ASSERT_EQ(res.paths.size(), 3u);
+  EXPECT_EQ(res.paths[0].length, 5u);
+  EXPECT_EQ(res.paths[1].length, 6u);
+  EXPECT_EQ(res.paths[2].length, 7u);
+}
+
+TEST_P(PaperExampleTest, Top10MatchesExhaustiveReference) {
+  KpjResult res = MustRun(10);
+  KpjQuery query;
+  query.sources = {V(1)};
+  query.targets = Hotels();
+  query.k = 10;
+  Status status = ValidateAgainstReference(graph_, query, res.paths);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST_P(PaperExampleTest, LargeKReturnsAllSimplePaths) {
+  KpjResult res = MustRun(100000);
+  KpjQuery query;
+  query.sources = {V(1)};
+  query.targets = Hotels();
+  query.k = 100000;
+  Status status = ValidateAgainstReference(graph_, query, res.paths);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  // Exhausting the graph must return fewer than k paths.
+  EXPECT_LT(res.paths.size(), 100000u);
+  EXPECT_GT(res.paths.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, PaperExampleTest, ::testing::ValuesIn(kAllAlgorithms),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,93 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/kpj.h"
+#include "gen/road_gen.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(1000, threads,
+                [&](size_t i, unsigned) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, WorkerIdsWithinRange) {
+  unsigned workers = EffectiveWorkers(4);
+  std::atomic<unsigned> max_worker{0};
+  ParallelFor(500, 4, [&](size_t, unsigned w) {
+    unsigned cur = max_worker.load();
+    while (w > cur && !max_worker.compare_exchange_weak(cur, w)) {
+    }
+  });
+  EXPECT_LT(max_worker.load(), workers);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInOrderInline) {
+  std::vector<size_t> order;
+  ParallelFor(10, 1, [&](size_t i, unsigned w) {
+    EXPECT_EQ(w, 0u);
+    order.push_back(i);
+  });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, ConcurrentQueriesMatchSerialResults) {
+  // The real use case: many KPJ queries against one shared graph.
+  RoadGenOptions opt;
+  opt.target_nodes = 3000;
+  opt.seed = 55;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  Graph reverse = net.graph.Reverse();
+
+  Rng rng(3);
+  const size_t kQueries = 24;
+  std::vector<KpjQuery> queries(kQueries);
+  for (auto& q : queries) {
+    q.sources = {static_cast<NodeId>(rng.NextBounded(net.graph.NumNodes()))};
+    for (uint64_t t : rng.SampleDistinct(3, net.graph.NumNodes())) {
+      q.targets.push_back(static_cast<NodeId>(t));
+    }
+    q.k = 6;
+  }
+
+  KpjOptions options;  // IterBoundI, no landmarks.
+  std::vector<std::vector<PathLength>> serial(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    Result<KpjResult> r = RunKpj(net.graph, reverse, queries[i], options);
+    ASSERT_TRUE(r.ok());
+    for (const Path& p : r.value().paths) serial[i].push_back(p.length);
+  }
+
+  std::vector<std::vector<PathLength>> parallel(kQueries);
+  ParallelFor(kQueries, 4, [&](size_t i, unsigned) {
+    Result<KpjResult> r = RunKpj(net.graph, reverse, queries[i], options);
+    ASSERT_TRUE(r.ok());
+    for (const Path& p : r.value().paths) parallel[i].push_back(p.length);
+  });
+  for (size_t i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kpj

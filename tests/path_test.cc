@@ -1,0 +1,58 @@
+#include "core/path.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace kpj {
+namespace {
+
+Graph Line() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 2);
+  b.AddEdge(2, 3, 3);
+  return b.Build();
+}
+
+TEST(PathTest, IsSimplePath) {
+  EXPECT_TRUE(IsSimplePath(std::vector<NodeId>{}));
+  EXPECT_TRUE(IsSimplePath(std::vector<NodeId>{5}));
+  EXPECT_TRUE(IsSimplePath(std::vector<NodeId>{0, 1, 2}));
+  EXPECT_FALSE(IsSimplePath(std::vector<NodeId>{0, 1, 0}));
+  EXPECT_FALSE(IsSimplePath(std::vector<NodeId>{2, 2}));
+}
+
+TEST(PathTest, ComputePathLength) {
+  Graph g = Line();
+  EXPECT_EQ(ComputePathLength(g, std::vector<NodeId>{0, 1, 2, 3}), 6u);
+  EXPECT_EQ(ComputePathLength(g, std::vector<NodeId>{0}), 0u);
+  EXPECT_EQ(ComputePathLength(g, std::vector<NodeId>{}), 0u);
+  // Missing arc (backwards).
+  EXPECT_EQ(ComputePathLength(g, std::vector<NodeId>{1, 0}), kInfLength);
+  // Out-of-range node.
+  EXPECT_EQ(ComputePathLength(g, std::vector<NodeId>{9, 1}), kInfLength);
+}
+
+TEST(PathTest, Accessors) {
+  Path p{{4, 5, 6}, 11};
+  EXPECT_EQ(p.Source(), 4u);
+  EXPECT_EQ(p.Destination(), 6u);
+  EXPECT_EQ(p.NumEdges(), 2u);
+  EXPECT_FALSE(p.empty());
+  Path empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.NumEdges(), 0u);
+}
+
+TEST(PathTest, EqualityAndToString) {
+  Path a{{1, 2}, 3};
+  Path b{{1, 2}, 3};
+  Path c{{1, 3}, 3};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(PathToString(a), "1 -> 2 (len 3)");
+}
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,123 @@
+// Property suite: on randomized graphs, every algorithm must return
+// exactly the reference top-k length profile and structurally valid paths.
+//
+// This is the main correctness harness for the whole repository: it sweeps
+// directed and bidirectional random graphs, unreachable targets, sources
+// inside the target category, k far beyond the number of existing paths,
+// with and without landmarks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/kpj.h"
+#include "core/verifier.h"
+#include "graph/graph_builder.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+struct Scenario {
+  uint64_t seed;
+  NodeId num_nodes;
+  double edge_prob;
+  bool bidirectional;
+  uint32_t num_targets;
+  uint32_t k;
+};
+
+Graph RandomGraph(const Scenario& s, Rng& rng) {
+  GraphBuilder builder(s.num_nodes);
+  builder.EnsureNode(s.num_nodes - 1);
+  for (NodeId u = 0; u < s.num_nodes; ++u) {
+    for (NodeId v = 0; v < s.num_nodes; ++v) {
+      if (u == v) continue;
+      if (s.bidirectional && v < u) continue;
+      if (!rng.NextBool(s.edge_prob)) continue;
+      Weight w = static_cast<Weight>(rng.NextInRange(1, 10));
+      if (s.bidirectional) {
+        builder.AddBidirectional(u, v, w);
+      } else {
+        builder.AddEdge(u, v, w);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+class CrossAlgorithmTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossAlgorithmTest, AllAlgorithmsMatchReference) {
+  uint64_t master_seed = GetParam();
+  Rng rng(master_seed);
+
+  Scenario s;
+  s.seed = master_seed;
+  s.num_nodes = static_cast<NodeId>(rng.NextInRange(5, 28));
+  s.edge_prob = 0.05 + rng.NextDouble() * 0.25;
+  s.bidirectional = rng.NextBool(0.5);
+  s.num_targets =
+      static_cast<uint32_t>(rng.NextInRange(1, std::min<NodeId>(6, s.num_nodes)));
+  const uint32_t kChoices[] = {1, 2, 3, 5, 12, 60};
+  s.k = kChoices[rng.NextBounded(6)];
+
+  Graph graph = RandomGraph(s, rng);
+  Graph reverse = graph.Reverse();
+  LandmarkIndexOptions lopt;
+  lopt.num_landmarks = 4;
+  lopt.seed = master_seed ^ 0xabcdef;
+  LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+
+  KpjQuery query;
+  query.sources = {static_cast<NodeId>(rng.NextBounded(s.num_nodes))};
+  for (uint64_t t : rng.SampleDistinct(s.num_targets, s.num_nodes)) {
+    query.targets.push_back(static_cast<NodeId>(t));
+  }
+  query.k = s.k;
+
+  Result<std::vector<Path>> reference =
+      EnumerateTopKPaths(graph, query, /*max_expansions=*/4'000'000);
+  if (!reference.ok() &&
+      reference.status().code() == StatusCode::kFailedPrecondition) {
+    GTEST_SKIP() << "scenario too large for exhaustive reference: "
+                 << reference.status().ToString();
+  }
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (bool use_landmarks : {true, false}) {
+      KpjOptions options;
+      options.algorithm = algorithm;
+      options.landmarks = use_landmarks ? &landmarks : nullptr;
+      Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+      ASSERT_TRUE(result.ok())
+          << AlgorithmName(algorithm) << ": " << result.status().ToString();
+      const std::vector<Path>& paths = result.value().paths;
+
+      SCOPED_TRACE(::testing::Message()
+                   << "algorithm=" << AlgorithmName(algorithm)
+                   << " landmarks=" << use_landmarks << " seed="
+                   << master_seed << " n=" << s.num_nodes << " p="
+                   << s.edge_prob << " bidir=" << s.bidirectional
+                   << " targets=" << s.num_targets << " k=" << s.k);
+
+      Status structural = ValidateResultStructure(graph, query, paths);
+      ASSERT_TRUE(structural.ok()) << structural.ToString();
+
+      const std::vector<Path>& expected = reference.value();
+      ASSERT_EQ(paths.size(), expected.size());
+      for (size_t i = 0; i < paths.size(); ++i) {
+        ASSERT_EQ(paths[i].length, expected[i].length)
+            << "rank " << i << " length mismatch";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossAlgorithmTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace kpj

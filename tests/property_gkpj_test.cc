@@ -1,0 +1,87 @@
+// GKPJ property suite (§6): multi-source queries on randomized graphs,
+// all algorithms against the exhaustive reference.
+
+#include <gtest/gtest.h>
+
+#include "core/kpj.h"
+#include "core/verifier.h"
+#include "graph/graph_builder.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+class GkpjPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GkpjPropertyTest, AllAlgorithmsMatchReference) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 17);
+  NodeId n = static_cast<NodeId>(rng.NextInRange(8, 24));
+  double p = 0.08 + rng.NextDouble() * 0.2;
+  bool bidir = rng.NextBool(0.5);
+
+  GraphBuilder b(n);
+  b.EnsureNode(n - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = bidir ? u + 1 : 0; v < n; ++v) {
+      if (u == v || !rng.NextBool(p)) continue;
+      Weight w = static_cast<Weight>(rng.NextInRange(1, 8));
+      if (bidir) {
+        b.AddBidirectional(u, v, w);
+      } else {
+        b.AddEdge(u, v, w);
+      }
+    }
+  }
+  Graph graph = b.Build();
+  Graph reverse = graph.Reverse();
+  LandmarkIndexOptions lopt;
+  lopt.num_landmarks = 4;
+  lopt.seed = seed;
+  LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+
+  // Disjoint source and target sets.
+  uint32_t ns = static_cast<uint32_t>(rng.NextInRange(2, 4));
+  uint32_t nt = static_cast<uint32_t>(rng.NextInRange(1, 4));
+  auto picks = rng.SampleDistinct(ns + nt, n);
+  KpjQuery query;
+  for (uint32_t i = 0; i < ns; ++i) {
+    query.sources.push_back(static_cast<NodeId>(picks[i]));
+  }
+  for (uint32_t i = ns; i < ns + nt; ++i) {
+    query.targets.push_back(static_cast<NodeId>(picks[i]));
+  }
+  query.k = static_cast<uint32_t>(rng.NextInRange(1, 25));
+
+  Result<std::vector<Path>> reference =
+      EnumerateTopKPaths(graph, query, /*max_expansions=*/2'000'000);
+  if (!reference.ok()) GTEST_SKIP() << reference.status().ToString();
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    KpjOptions options;
+    options.algorithm = algorithm;
+    options.landmarks = &landmarks;
+    Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    SCOPED_TRACE(::testing::Message()
+                 << AlgorithmName(algorithm) << " seed=" << seed << " n="
+                 << n << " sources=" << ns << " targets=" << nt
+                 << " k=" << query.k);
+    Status structural =
+        ValidateResultStructure(graph, query, result.value().paths);
+    ASSERT_TRUE(structural.ok()) << structural.ToString();
+    ASSERT_EQ(result.value().paths.size(), reference.value().size());
+    for (size_t i = 0; i < reference.value().size(); ++i) {
+      ASSERT_EQ(result.value().paths[i].length,
+                reference.value()[i].length)
+          << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GkpjPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,101 @@
+#include "util/radix_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+TEST(RadixHeapTest, EmptyAfterConstruction) {
+  RadixHeap heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+TEST(RadixHeapTest, SingleElement) {
+  RadixHeap heap;
+  heap.Push(7, 100);
+  auto [id, key] = heap.Pop();
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(key, 100u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(RadixHeapTest, MonotonePushPopSequence) {
+  RadixHeap heap;
+  heap.Push(0, 5);
+  heap.Push(1, 3);
+  heap.Push(2, 8);
+  auto [id1, k1] = heap.Pop();
+  EXPECT_EQ(k1, 3u);
+  EXPECT_EQ(id1, 1u);
+  heap.Push(3, 3);  // Equal to last popped: allowed.
+  heap.Push(4, 4);
+  std::vector<uint64_t> keys;
+  while (!heap.empty()) keys.push_back(heap.Pop().second);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{3, 4, 5, 8}));
+}
+
+TEST(RadixHeapTest, ZeroKeysAndDuplicates) {
+  RadixHeap heap;
+  heap.Push(1, 0);
+  heap.Push(2, 0);
+  heap.Push(3, 0);
+  EXPECT_EQ(heap.Pop().second, 0u);
+  EXPECT_EQ(heap.Pop().second, 0u);
+  EXPECT_EQ(heap.Pop().second, 0u);
+}
+
+TEST(RadixHeapTest, LargeKeys) {
+  RadixHeap heap;
+  heap.Push(0, 1ULL << 60);
+  heap.Push(1, (1ULL << 60) + 1);
+  heap.Push(2, 1);
+  EXPECT_EQ(heap.Pop().second, 1u);
+  EXPECT_EQ(heap.Pop().second, 1ULL << 60);
+  EXPECT_EQ(heap.Pop().second, (1ULL << 60) + 1);
+}
+
+TEST(RadixHeapTest, ClearResets) {
+  RadixHeap heap;
+  heap.Push(0, 10);
+  heap.Pop();
+  heap.Clear();
+  heap.Push(1, 0);  // Smaller than previous last_: legal after Clear.
+  EXPECT_EQ(heap.Pop().second, 0u);
+}
+
+TEST(RadixHeapTest, RandomizedMonotoneWorkloadAgainstStdQueue) {
+  // Dijkstra-like usage: pushes are always >= the last popped key.
+  Rng rng(99);
+  RadixHeap heap;
+  using Entry = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> model;
+  uint64_t last = 0;
+  for (int round = 0; round < 20000; ++round) {
+    if (model.empty() || rng.NextBool(0.6)) {
+      uint64_t key = last + rng.NextBounded(50);
+      uint32_t id = static_cast<uint32_t>(rng.NextBounded(1000));
+      heap.Push(id, key);
+      model.emplace(key, id);
+    } else {
+      auto [id, key] = heap.Pop();
+      EXPECT_EQ(key, model.top().first);
+      model.pop();
+      last = key;
+    }
+  }
+  while (!model.empty()) {
+    auto [id, key] = heap.Pop();
+    EXPECT_EQ(key, model.top().first);
+    model.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+}  // namespace
+}  // namespace kpj

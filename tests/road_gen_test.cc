@@ -1,0 +1,102 @@
+#include "gen/road_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+
+namespace kpj {
+namespace {
+
+TEST(RoadGenTest, DeterministicForSeed) {
+  RoadGenOptions opt;
+  opt.target_nodes = 3000;
+  opt.seed = 5;
+  RoadNetwork a = GenerateRoadNetwork(opt);
+  RoadNetwork b = GenerateRoadNetwork(opt);
+  EXPECT_TRUE(a.graph.Equals(b.graph));
+  ASSERT_EQ(a.coords.size(), b.coords.size());
+}
+
+TEST(RoadGenTest, DifferentSeedsDiffer) {
+  RoadGenOptions opt;
+  opt.target_nodes = 3000;
+  opt.seed = 5;
+  RoadNetwork a = GenerateRoadNetwork(opt);
+  opt.seed = 6;
+  RoadNetwork b = GenerateRoadNetwork(opt);
+  EXPECT_FALSE(a.graph.Equals(b.graph));
+}
+
+TEST(RoadGenTest, HitsTargetSizeApproximately) {
+  for (uint32_t target : {1000u, 10000u, 50000u}) {
+    RoadGenOptions opt;
+    opt.target_nodes = target;
+    opt.seed = 1;
+    RoadNetwork net = GenerateRoadNetwork(opt);
+    EXPECT_GT(net.graph.NumNodes(), target / 2);
+    EXPECT_LT(net.graph.NumNodes(), target * 2);
+  }
+}
+
+TEST(RoadGenTest, StronglyConnected) {
+  RoadGenOptions opt;
+  opt.target_nodes = 5000;
+  opt.seed = 2;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  ComponentLabeling scc = StronglyConnectedComponents(net.graph);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(RoadGenTest, RoadLikeDegreeProfile) {
+  RoadGenOptions opt;
+  opt.target_nodes = 20000;
+  opt.seed = 3;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  double arcs_per_node = static_cast<double>(net.graph.NumEdges()) /
+                         net.graph.NumNodes();
+  // Real road networks (paper Table 1): ~2.0 - 2.6 directed arcs/node.
+  EXPECT_GT(arcs_per_node, 1.6);
+  EXPECT_LT(arcs_per_node, 3.2);
+}
+
+TEST(RoadGenTest, BidirectionalWithSymmetricWeights) {
+  RoadGenOptions opt;
+  opt.target_nodes = 2000;
+  opt.seed = 4;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  for (const WeightedEdge& e : net.graph.ToEdgeList()) {
+    EXPECT_EQ(net.graph.EdgeWeight(e.to, e.from), e.weight)
+        << e.from << "<->" << e.to;
+  }
+}
+
+TEST(RoadGenTest, PositiveWeights) {
+  RoadGenOptions opt;
+  opt.target_nodes = 2000;
+  opt.seed = 7;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  for (const WeightedEdge& e : net.graph.ToEdgeList()) {
+    EXPECT_GT(e.weight, 0u);
+  }
+}
+
+TEST(RoadGenTest, CoordsMatchNodeCount) {
+  RoadGenOptions opt;
+  opt.target_nodes = 1500;
+  opt.seed = 8;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  EXPECT_EQ(net.coords.size(), net.graph.NumNodes());
+}
+
+TEST(RoadGenTest, TinyTargetStillValid) {
+  RoadGenOptions opt;
+  opt.target_nodes = 4;
+  opt.seed = 9;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  EXPECT_GT(net.graph.NumNodes(), 0u);
+  ComponentLabeling scc = StronglyConnectedComponents(net.graph);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,324 @@
+// Tests for the shortest-path substrate: Dijkstra, A*, and the resumable
+// incremental search. Ground truth is Bellman-Ford.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "index/landmark_index.h"
+#include "index/target_bound.h"
+#include "sssp/astar.h"
+#include "sssp/dijkstra.h"
+#include "sssp/incremental_search.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+std::vector<PathLength> BellmanFord(const Graph& g, NodeId source) {
+  std::vector<PathLength> dist(g.NumNodes(), kInfLength);
+  dist[source] = 0;
+  for (NodeId round = 0; round + 1 < g.NumNodes(); ++round) {
+    bool changed = false;
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      if (dist[u] == kInfLength) continue;
+      for (const OutEdge& e : g.OutEdges(u)) {
+        if (dist[u] + e.weight < dist[e.to]) {
+          dist[e.to] = dist[u] + e.weight;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+Graph RandomGraph(uint64_t seed, NodeId n, double p) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  b.EnsureNode(n - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.NextBool(p)) {
+        b.AddEdge(u, v, static_cast<Weight>(rng.NextInRange(1, 20)));
+      }
+    }
+  }
+  return b.Build();
+}
+
+TEST(DijkstraTest, MatchesBellmanFordOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(seed, 40, 0.1);
+    Dijkstra engine(g);
+    engine.Run(0);
+    std::vector<PathLength> expected = BellmanFord(g, 0);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(engine.Distance(v), expected[v]) << "seed " << seed
+                                                 << " node " << v;
+    }
+  }
+}
+
+TEST(DijkstraTest, PathToReconstructsConsistentPath) {
+  Graph g = RandomGraph(3, 30, 0.15);
+  Dijkstra engine(g);
+  engine.Run(0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (!engine.Settled(v)) continue;
+    std::vector<NodeId> path = engine.PathTo(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), v);
+    PathLength len = 0;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      PathLength w = g.EdgeWeight(path[i], path[i + 1]);
+      ASSERT_NE(w, kInfLength);
+      len += w;
+    }
+    EXPECT_EQ(len, engine.Distance(v));
+  }
+}
+
+TEST(DijkstraTest, MultiSourceIsMinOverSources) {
+  Graph g = RandomGraph(7, 35, 0.12);
+  Dijkstra engine(g);
+  std::vector<std::pair<NodeId, PathLength>> seeds = {{3, 0}, {11, 0}, {20, 0}};
+  engine.RunMultiSource(seeds);
+  std::vector<PathLength> d3 = BellmanFord(g, 3);
+  std::vector<PathLength> d11 = BellmanFord(g, 11);
+  std::vector<PathLength> d20 = BellmanFord(g, 20);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    PathLength expected = std::min({d3[v], d11[v], d20[v]});
+    EXPECT_EQ(engine.Distance(v), expected);
+  }
+}
+
+TEST(DijkstraTest, MultiSourceInitialOffsets) {
+  // Virtual-node emulation: seeding with nonzero offsets.
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 10);
+  b.AddEdge(1, 2, 10);
+  Graph g = b.Build();
+  Dijkstra engine(g);
+  std::vector<std::pair<NodeId, PathLength>> seeds = {{0, 5}, {1, 1}};
+  engine.RunMultiSource(seeds);
+  EXPECT_EQ(engine.Distance(2), 11u);  // Via node 1.
+  EXPECT_EQ(engine.Parent(2), 1u);
+}
+
+TEST(DijkstraTest, RunToTargetEarlyStopsWithExactDistance) {
+  Graph g = RandomGraph(9, 50, 0.1);
+  Dijkstra engine(g);
+  std::vector<PathLength> expected = BellmanFord(g, 0);
+  for (NodeId t : {5u, 17u, 42u}) {
+    EXPECT_EQ(engine.RunToTarget(0, t), expected[t]);
+  }
+}
+
+TEST(DijkstraTest, RunToAnyTargetReturnsNearest) {
+  Graph g = RandomGraph(12, 50, 0.1);
+  Dijkstra engine(g);
+  EpochSet targets(g.NumNodes());
+  targets.Insert(10);
+  targets.Insert(20);
+  targets.Insert(30);
+  NodeId hit = engine.RunToAnyTarget(0, targets);
+  std::vector<PathLength> expected = BellmanFord(g, 0);
+  PathLength best = std::min({expected[10], expected[20], expected[30]});
+  if (best == kInfLength) {
+    EXPECT_EQ(hit, kInvalidNode);
+  } else {
+    ASSERT_NE(hit, kInvalidNode);
+    EXPECT_EQ(engine.Distance(hit), best);
+  }
+}
+
+TEST(DijkstraTest, UnreachableNodesStayInfinite) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1);
+  b.EnsureNode(2);
+  Graph g = b.Build();
+  Dijkstra engine(g);
+  engine.Run(0);
+  EXPECT_EQ(engine.Distance(2), kInfLength);
+  EXPECT_FALSE(engine.Settled(2));
+  EXPECT_TRUE(engine.PathTo(2).empty());
+}
+
+TEST(DijkstraTest, ReusableAcrossRuns) {
+  Graph g = RandomGraph(4, 30, 0.15);
+  Dijkstra engine(g);
+  for (NodeId s : {0u, 5u, 9u}) {
+    engine.Run(s);
+    std::vector<PathLength> expected = BellmanFord(g, s);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(engine.Distance(v), expected[v]);
+    }
+  }
+}
+
+TEST(DijkstraTest, DistancesToSetHelper) {
+  Graph g = RandomGraph(15, 40, 0.12);
+  Graph rev = g.Reverse();
+  std::vector<NodeId> targets = {7, 22};
+  SptResult spt = DistancesToSet(rev, targets);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    // dist(v -> targets) in g equals reverse multi-source distance.
+    std::vector<PathLength> dv = BellmanFord(g, v);
+    EXPECT_EQ(spt.dist[v], std::min(dv[7], dv[22]));
+  }
+}
+
+TEST(AStarTest, ZeroHeuristicMatchesDijkstra) {
+  Graph g = RandomGraph(21, 40, 0.12);
+  ZeroHeuristic zero;
+  AStar astar(g, &zero);
+  std::vector<PathLength> expected = BellmanFord(g, 2);
+  for (NodeId t : {0u, 9u, 33u}) {
+    EXPECT_EQ(astar.RunToTarget(2, t), expected[t]);
+  }
+}
+
+TEST(AStarTest, LandmarkHeuristicIsExactAndAdmissible) {
+  Graph g = RandomGraph(23, 50, 0.1);
+  Graph rev = g.Reverse();
+  LandmarkIndexOptions lopt;
+  lopt.num_landmarks = 6;
+  LandmarkIndex landmarks = LandmarkIndex::Build(g, rev, lopt);
+  std::vector<NodeId> targets = {13};
+  LandmarkSetBound bound(&landmarks, targets, BoundDirection::kToSet);
+  AStar astar(g, &bound);
+  for (NodeId s = 0; s < g.NumNodes(); ++s) {
+    std::vector<PathLength> expected = BellmanFord(g, s);
+    EXPECT_EQ(astar.RunToTarget(s, 13), expected[13]) << "source " << s;
+  }
+}
+
+TEST(AStarTest, MultiSourceToTargetSet) {
+  Graph g = RandomGraph(29, 40, 0.12);
+  ZeroHeuristic zero;
+  AStar astar(g, &zero);
+  EpochSet targets(g.NumNodes());
+  targets.Insert(31);
+  targets.Insert(4);
+  std::vector<std::pair<NodeId, PathLength>> seeds = {{0, 0}, {17, 0}};
+  NodeId hit = astar.RunToAnyTarget(seeds, targets);
+  std::vector<PathLength> d0 = BellmanFord(g, 0);
+  std::vector<PathLength> d17 = BellmanFord(g, 17);
+  PathLength best =
+      std::min({d0[31], d0[4], d17[31], d17[4]});
+  if (best == kInfLength) {
+    EXPECT_EQ(hit, kInvalidNode);
+  } else {
+    ASSERT_NE(hit, kInvalidNode);
+    EXPECT_EQ(astar.Distance(hit), best);
+  }
+}
+
+TEST(IncrementalSearchTest, FullyAdvancedMatchesDijkstra) {
+  Graph g = RandomGraph(31, 40, 0.12);
+  ZeroHeuristic zero;
+  IncrementalSearch inc(g, &zero);
+  std::pair<NodeId, PathLength> seed[] = {{0, 0}};
+  inc.Initialize(seed);
+  inc.AdvanceToBound(kInfLength);
+  EXPECT_TRUE(inc.Exhausted());
+  std::vector<PathLength> expected = BellmanFord(g, 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (expected[v] == kInfLength) {
+      EXPECT_FALSE(inc.Settled(v));
+    } else {
+      EXPECT_TRUE(inc.Settled(v));
+      EXPECT_EQ(inc.Distance(v), expected[v]);
+    }
+  }
+}
+
+TEST(IncrementalSearchTest, BoundCoverageProperty) {
+  // Prop. 5.2 analogue: after AdvanceToBound(B) with the zero heuristic,
+  // every node at true distance <= B is settled with its exact distance,
+  // and no settled node exceeds B.
+  Graph g = RandomGraph(37, 50, 0.1);
+  ZeroHeuristic zero;
+  IncrementalSearch inc(g, &zero);
+  std::pair<NodeId, PathLength> seed[] = {{1, 0}};
+  inc.Initialize(seed);
+  std::vector<PathLength> expected = BellmanFord(g, 1);
+  PathLength previous = 0;
+  for (PathLength bound : {5u, 12u, 30u, 80u}) {
+    inc.AdvanceToBound(bound);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (expected[v] <= bound) {
+        EXPECT_TRUE(inc.Settled(v)) << "bound " << bound << " node " << v;
+        EXPECT_EQ(inc.Distance(v), expected[v]);
+      } else if (inc.Settled(v)) {
+        ADD_FAILURE() << "node " << v << " settled beyond bound " << bound;
+      }
+    }
+    EXPECT_GE(bound, previous);
+    previous = bound;
+  }
+}
+
+TEST(IncrementalSearchTest, SettleCallbackSeesEveryNodeOnce) {
+  Graph g = RandomGraph(41, 30, 0.15);
+  ZeroHeuristic zero;
+  IncrementalSearch inc(g, &zero);
+  std::pair<NodeId, PathLength> seed[] = {{0, 0}};
+  inc.Initialize(seed);
+  std::vector<int> count(g.NumNodes(), 0);
+  inc.AdvanceToBound(kInfLength, [&](NodeId v) { ++count[v]; });
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(count[v], inc.Settled(v) ? 1 : 0);
+  }
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(count.begin(), count.end(), 1)),
+            inc.num_settled());
+}
+
+TEST(IncrementalSearchTest, AdvanceUntilAnySettledStopsAtNearest) {
+  Graph g = RandomGraph(43, 40, 0.12);
+  ZeroHeuristic zero;
+  IncrementalSearch inc(g, &zero);
+  std::pair<NodeId, PathLength> seed[] = {{0, 0}};
+  inc.Initialize(seed);
+  EpochSet stops(g.NumNodes());
+  stops.Insert(9);
+  stops.Insert(27);
+  NodeId hit = inc.AdvanceUntilAnySettled(stops);
+  std::vector<PathLength> expected = BellmanFord(g, 0);
+  PathLength best = std::min(expected[9], expected[27]);
+  if (best == kInfLength) {
+    EXPECT_EQ(hit, kInvalidNode);
+  } else {
+    ASSERT_NE(hit, kInvalidNode);
+    EXPECT_EQ(inc.Distance(hit), best);
+  }
+}
+
+TEST(IncrementalSearchTest, ReinitializeResetsState) {
+  Graph g = RandomGraph(47, 30, 0.15);
+  ZeroHeuristic zero;
+  IncrementalSearch inc(g, &zero);
+  std::pair<NodeId, PathLength> seed0[] = {{0, 0}};
+  inc.Initialize(seed0);
+  inc.AdvanceToBound(kInfLength);
+  size_t settled_from_0 = inc.num_settled();
+  std::pair<NodeId, PathLength> seed1[] = {{5, 0}};
+  inc.Initialize(seed1);
+  EXPECT_EQ(inc.num_settled(), 0u);
+  inc.AdvanceToBound(kInfLength);
+  std::vector<PathLength> expected = BellmanFord(g, 5);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (expected[v] != kInfLength) {
+      EXPECT_EQ(inc.Distance(v), expected[v]);
+    }
+  }
+  (void)settled_from_0;
+}
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,103 @@
+#include "core/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_builder.h"
+
+namespace kpj {
+namespace {
+
+SubspaceEntry Entry(double key, uint32_t vertex, bool has_path = false) {
+  SubspaceEntry e;
+  e.key = key;
+  e.vertex = vertex;
+  e.has_path = has_path;
+  return e;
+}
+
+TEST(SubspaceQueueTest, PopsInKeyOrder) {
+  SubspaceQueue q;
+  q.Push(Entry(5, 1));
+  q.Push(Entry(2, 2));
+  q.Push(Entry(8, 3));
+  q.Push(Entry(1, 4));
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.TopKey(), 1.0);
+  EXPECT_EQ(q.Pop().vertex, 4u);
+  EXPECT_EQ(q.Pop().vertex, 2u);
+  EXPECT_EQ(q.Pop().vertex, 1u);
+  EXPECT_EQ(q.Pop().vertex, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SubspaceQueueTest, TopKeyInfinityWhenEmpty) {
+  SubspaceQueue q;
+  EXPECT_TRUE(std::isinf(q.TopKey()));
+}
+
+TEST(SubspaceQueueTest, TiePrefersPathEntries) {
+  SubspaceQueue q;
+  q.Push(Entry(3, 1, /*has_path=*/false));
+  q.Push(Entry(3, 2, /*has_path=*/true));
+  q.Push(Entry(3, 3, /*has_path=*/false));
+  SubspaceEntry first = q.Pop();
+  EXPECT_TRUE(first.has_path);
+  EXPECT_EQ(first.vertex, 2u);
+}
+
+TEST(SubspaceQueueTest, MoveOutPreservesSuffix) {
+  SubspaceQueue q;
+  SubspaceEntry e = Entry(1, 9, true);
+  e.suffix = {4, 5, 6};
+  e.suffix_length = 12;
+  q.Push(std::move(e));
+  SubspaceEntry popped = q.Pop();
+  EXPECT_EQ(popped.suffix, (std::vector<NodeId>{4, 5, 6}));
+  EXPECT_EQ(popped.suffix_length, 12u);
+}
+
+TEST(SubspaceQueueTest, ClearEmpties) {
+  SubspaceQueue q;
+  q.Push(Entry(1, 1));
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(AssemblePathTest, ForwardAndReverseOrientation) {
+  PseudoTree tree;
+  tree.Reset(0);
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(1, 2, 3);
+  Graph g = b.Build();
+  uint32_t v1 = tree.AddChild(tree.root(), 1, 2);
+
+  SubspaceEntry e;
+  e.vertex = v1;
+  e.suffix = {2, 4};
+  e.suffix_length = 7;
+  Path forward = AssemblePath(tree, e, /*reverse_oriented=*/false);
+  EXPECT_EQ(forward.nodes, (std::vector<NodeId>{0, 1, 2, 4}));
+  EXPECT_EQ(forward.length, 9u);  // prefix 2 + suffix 7.
+
+  Path reversed = AssemblePath(tree, e, /*reverse_oriented=*/true);
+  EXPECT_EQ(reversed.nodes, (std::vector<NodeId>{4, 2, 1, 0}));
+  EXPECT_EQ(reversed.length, 9u);
+}
+
+TEST(AssemblePathTest, VirtualRootSkipped) {
+  PseudoTree tree;
+  tree.Reset(kInvalidNode);
+  SubspaceEntry e;
+  e.vertex = tree.root();
+  e.suffix = {7, 8, 9};
+  e.suffix_length = 5;
+  Path p = AssemblePath(tree, e, /*reverse_oriented=*/true);
+  EXPECT_EQ(p.nodes, (std::vector<NodeId>{9, 8, 7}));
+  EXPECT_EQ(p.length, 5u);
+}
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,240 @@
+// Unit tests for the small utility pieces: epoch arrays, RNG, stats,
+// string utilities, status/result, and saturating arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/epoch_array.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/types.h"
+
+namespace kpj {
+namespace {
+
+// ---------------------------------------------------------------- types
+
+TEST(TypesTest, SatAddBasics) {
+  EXPECT_EQ(SatAdd(2, 3), 5u);
+  EXPECT_EQ(SatAdd(kInfLength, 3), kInfLength);
+  EXPECT_EQ(SatAdd(3, kInfLength), kInfLength);
+  EXPECT_EQ(SatAdd(kInfLength - 1, 5), kInfLength);  // Overflow saturates.
+}
+
+TEST(TypesTest, ClampedSub) {
+  EXPECT_EQ(ClampedSub(7, 3), 4u);
+  EXPECT_EQ(ClampedSub(3, 7), 0u);
+  EXPECT_EQ(ClampedSub(3, 3), 0u);
+}
+
+// ----------------------------------------------------------- EpochArray
+
+TEST(EpochArrayTest, DefaultsUntilSet) {
+  EpochArray<int> arr(5, -1);
+  EXPECT_EQ(arr.Get(2), -1);
+  EXPECT_FALSE(arr.Stamped(2));
+  arr.Set(2, 42);
+  EXPECT_TRUE(arr.Stamped(2));
+  EXPECT_EQ(arr.Get(2), 42);
+}
+
+TEST(EpochArrayTest, NewEpochInvalidatesAll) {
+  EpochArray<int> arr(3, 0);
+  arr.Set(0, 1);
+  arr.Set(1, 2);
+  arr.NewEpoch();
+  EXPECT_EQ(arr.Get(0), 0);
+  EXPECT_EQ(arr.Get(1), 0);
+  arr.Set(1, 9);
+  EXPECT_EQ(arr.Get(1), 9);
+  EXPECT_EQ(arr.Get(0), 0);
+}
+
+TEST(EpochArrayTest, ManyEpochsStaySound) {
+  EpochArray<int> arr(2, 0);
+  for (int i = 0; i < 100000; ++i) {
+    arr.Set(0, i);
+    EXPECT_EQ(arr.Get(0), i);
+    arr.NewEpoch();
+    EXPECT_EQ(arr.Get(0), 0);
+  }
+}
+
+TEST(EpochSetTest, InsertContainsClear) {
+  EpochSet set(4);
+  EXPECT_FALSE(set.Contains(1));
+  set.Insert(1);
+  EXPECT_TRUE(set.Contains(1));
+  set.Erase(1);
+  EXPECT_FALSE(set.Contains(1));
+  set.Insert(2);
+  set.ClearAll();
+  EXPECT_FALSE(set.Contains(2));
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  // Different seed should diverge quickly.
+  Rng a2(7);
+  bool diverged = false;
+  for (int i = 0; i < 10; ++i) diverged |= (a2.Next() != c.Next());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SampleDistinctProducesDistinctInRange) {
+  Rng rng(2);
+  for (uint64_t universe : {10ull, 100ull, 1000ull}) {
+    for (uint64_t count :
+         std::initializer_list<uint64_t>{0, 1, universe / 2, universe}) {
+      auto sample = rng.SampleDistinct(count, universe);
+      EXPECT_EQ(sample.size(), count);
+      std::set<uint64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), count);
+      for (uint64_t v : sample) EXPECT_LT(v, universe);
+    }
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(3);
+  int buckets[10] = {0};
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.NextBounded(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(b, kDraws / 10 + kDraws / 50);
+  }
+}
+
+// ---------------------------------------------------------------- Sample
+
+TEST(SampleTest, EmptySampleIsZero) {
+  Sample s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SampleTest, SummaryStatistics) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 4.0);
+  EXPECT_NEAR(s.StdDev(), 1.2909944, 1e-6);
+}
+
+TEST(SampleTest, PercentilePosition) {
+  std::vector<double> population = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(PercentilePosition(population, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(PercentilePosition(population, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentilePosition(population, 100.0), 1.0);
+}
+
+// ------------------------------------------------------------ StringUtil
+
+TEST(StringUtilTest, SplitWhitespace) {
+  auto fields = SplitWhitespace("  a\tbb  ccc \n");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "bb");
+  EXPECT_EQ(fields[2], "ccc");
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, SplitChar) {
+  auto fields = SplitChar("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ParseInt) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt(" -7 ").value(), -7);
+  EXPECT_FALSE(ParseInt("4x").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("1e3").has_value());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+}
+
+TEST(StringUtilTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(106337), "106,337");
+}
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "Ok");
+  Status err = Status::IoError("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kIoError);
+  EXPECT_EQ(err.ToString(), "IoError: nope");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad(Status::NotFound("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,138 @@
+// POI assignment, query-set generation, and the dataset registry.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/datasets.h"
+#include "gen/poi_gen.h"
+#include "gen/query_gen.h"
+#include "gen/road_gen.h"
+#include "graph/connectivity.h"
+
+namespace kpj {
+namespace {
+
+TEST(PoiGenTest, NestedSetsAreNestedWithPaperSizes) {
+  const NodeId n = 50000;
+  CategoryIndex index(n);
+  NestedPoiSets sets = AssignNestedPoiSets(index, 42);
+  size_t expected[4] = {5, 25, 50, 75};  // n * 1e-4 * {1, 5, 10, 15}.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(index.Size(sets.t[i]), expected[i]) << "T" << (i + 1);
+  }
+  // Nesting T1 ⊂ T2 ⊂ T3 ⊂ T4.
+  for (int i = 0; i + 1 < 4; ++i) {
+    const auto& small = index.Nodes(sets.t[i]);
+    const auto& big = index.Nodes(sets.t[i + 1]);
+    std::set<NodeId> big_set(big.begin(), big.end());
+    for (NodeId v : small) {
+      EXPECT_TRUE(big_set.count(v)) << "T" << (i + 1) << " node " << v
+                                    << " missing from T" << (i + 2);
+    }
+  }
+}
+
+TEST(PoiGenTest, TinyGraphStillGetsNonEmptySets) {
+  CategoryIndex index(20);
+  NestedPoiSets sets = AssignNestedPoiSets(index, 1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(index.Size(sets.t[i]), 1u);
+    EXPECT_LE(index.Size(sets.t[i]), 20u);
+  }
+}
+
+TEST(PoiGenTest, CaliforniaSizesMatchPaper) {
+  CategoryIndex index(10000);
+  CaliforniaPoiSets cal = AssignCaliforniaLikePois(index, 7);
+  EXPECT_EQ(index.Size(cal.glacier), 1u);
+  EXPECT_EQ(index.Size(cal.lake), 8u);
+  EXPECT_EQ(index.Size(cal.crater), 14u);
+  EXPECT_EQ(index.Size(cal.harbor), 94u);
+  EXPECT_EQ(index.NumCategories(), 62u);  // 4 named + 58 filler.
+}
+
+TEST(QueryGenTest, FiveStrataOrderedByDistance) {
+  RoadGenOptions opt;
+  opt.target_nodes = 8000;
+  opt.seed = 3;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  Graph rev = net.graph.Reverse();
+  std::vector<NodeId> targets = {0, 5, 9};
+  QuerySets sets = GenerateQuerySets(rev, targets, 30, 99);
+
+  std::vector<PathLength> dist = DistancesToTargets(rev, targets);
+  // Max distance of stratum i must not exceed min distance of stratum i+2
+  // (adjacent strata may share boundary values).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sets.q[i].size(), 30u);
+    for (NodeId s : sets.q[i]) {
+      EXPECT_NE(dist[s], kInfLength);
+      // Sources are never targets.
+      EXPECT_TRUE(std::find(targets.begin(), targets.end(), s) ==
+                  targets.end());
+    }
+  }
+  auto max_of = [&](int i) {
+    PathLength m = 0;
+    for (NodeId s : sets.q[i]) m = std::max(m, dist[s]);
+    return m;
+  };
+  auto min_of = [&](int i) {
+    PathLength m = kInfLength;
+    for (NodeId s : sets.q[i]) m = std::min(m, dist[s]);
+    return m;
+  };
+  for (int i = 0; i + 2 < 5; ++i) {
+    EXPECT_LE(max_of(i), min_of(i + 2)) << "strata " << i << " vs " << i + 2;
+  }
+}
+
+TEST(QueryGenTest, DeterministicPerSeed) {
+  RoadGenOptions opt;
+  opt.target_nodes = 3000;
+  opt.seed = 4;
+  RoadNetwork net = GenerateRoadNetwork(opt);
+  Graph rev = net.graph.Reverse();
+  std::vector<NodeId> targets = {1};
+  QuerySets a = GenerateQuerySets(rev, targets, 10, 5);
+  QuerySets b = GenerateQuerySets(rev, targets, 10, 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.q[i], b.q[i]);
+}
+
+TEST(DatasetsTest, RegistryMatchesPaperTable1) {
+  EXPECT_STREQ(DatasetName(DatasetId::kCAL), "CAL");
+  EXPECT_EQ(DatasetPaperNodes(DatasetId::kCAL), 106337u);
+  EXPECT_EQ(DatasetPaperEdges(DatasetId::kCAL), 213964u);
+  EXPECT_EQ(DatasetPaperNodes(DatasetId::kUSA), 6262104u);
+  EXPECT_EQ(DatasetPaperEdges(DatasetId::kUSA), 15119284u);
+  EXPECT_EQ(DatasetPaperNodes(DatasetId::kSJ), 18263u);
+}
+
+TEST(DatasetsTest, MakeSmallDatasetEndToEnd) {
+  DatasetOptions opt;
+  opt.override_nodes = 4000;
+  opt.num_landmarks = 4;
+  opt.california_pois = true;
+  Dataset ds = MakeDataset(DatasetId::kSJ, opt);
+  EXPECT_EQ(ds.name, "SJ");
+  EXPECT_GT(ds.graph.NumNodes(), 2000u);
+  EXPECT_EQ(ds.reverse.NumNodes(), ds.graph.NumNodes());
+  EXPECT_EQ(ds.landmarks.num_landmarks(), 4u);
+  EXPECT_TRUE(ds.california.has_value());
+  EXPECT_EQ(ds.categories.Size(ds.california->harbor), 94u);
+  for (int i = 0; i < 4; ++i) EXPECT_GE(ds.categories.Size(ds.nested.t[i]), 1u);
+  ComponentLabeling scc = StronglyConnectedComponents(ds.graph);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(DatasetsTest, SkippingLandmarksWorks) {
+  DatasetOptions opt;
+  opt.override_nodes = 1000;
+  opt.num_landmarks = 0;
+  Dataset ds = MakeDataset(DatasetId::kCOL, opt);
+  EXPECT_EQ(ds.landmarks.num_landmarks(), 0u);
+}
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,102 @@
+// Zero-weight edges stress the iteratively bounding approaches: τ must
+// keep growing even when path lengths cluster at or near 0 (the +1 floor
+// on τ growth exists exactly for this), and tie handling must stay sound.
+
+#include <gtest/gtest.h>
+
+#include "core/kpj.h"
+#include "core/verifier.h"
+#include "graph/graph_builder.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+class ZeroWeightTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZeroWeightTest, AllAlgorithmsMatchReferenceWithZeroWeights) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 131 + 7);
+  NodeId n = static_cast<NodeId>(rng.NextInRange(6, 16));
+  GraphBuilder b(n);
+  b.EnsureNode(n - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.NextBool(0.25)) {
+        // ~40% of edges have weight zero.
+        Weight w = rng.NextBool(0.4)
+                       ? 0
+                       : static_cast<Weight>(rng.NextInRange(1, 5));
+        b.AddEdge(u, v, w);
+      }
+    }
+  }
+  Graph graph = b.Build();
+  Graph reverse = graph.Reverse();
+  LandmarkIndexOptions lopt;
+  lopt.num_landmarks = 3;
+  LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+
+  KpjQuery query;
+  query.sources = {0};
+  query.targets = {n - 1, n / 2};
+  query.k = 20;
+  Result<std::vector<Path>> reference =
+      EnumerateTopKPaths(graph, query, 2'000'000);
+  if (!reference.ok()) GTEST_SKIP() << reference.status().ToString();
+
+  for (Algorithm a : kAllAlgorithms) {
+    KpjOptions options;
+    options.algorithm = a;
+    options.landmarks = &landmarks;
+    Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(a);
+    SCOPED_TRACE(::testing::Message() << AlgorithmName(a) << " seed "
+                                      << seed);
+    Status structural =
+        ValidateResultStructure(graph, query, result.value().paths);
+    ASSERT_TRUE(structural.ok()) << structural.ToString();
+    ASSERT_EQ(result.value().paths.size(), reference.value().size());
+    for (size_t i = 0; i < reference.value().size(); ++i) {
+      ASSERT_EQ(result.value().paths[i].length,
+                reference.value()[i].length)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(ZeroWeightTest, AllZeroGraphTerminates) {
+  // Every edge weighs 0: all paths have length 0; τ must escape 0.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(1, 2, 0);
+  b.AddEdge(0, 2, 0);
+  b.AddEdge(2, 3, 0);
+  b.AddEdge(1, 3, 0);
+  b.AddEdge(0, 4, 0);
+  b.AddEdge(4, 3, 0);
+  Graph graph = b.Build();
+  Graph reverse = graph.Reverse();
+  KpjQuery query;
+  query.sources = {0};
+  query.targets = {3};
+  query.k = 10;
+  Result<std::vector<Path>> reference = EnumerateTopKPaths(graph, query);
+  ASSERT_TRUE(reference.ok());
+  for (Algorithm a : kAllAlgorithms) {
+    KpjOptions options;
+    options.algorithm = a;
+    Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(a);
+    EXPECT_EQ(result.value().paths.size(), reference.value().size())
+        << AlgorithmName(a);
+    for (const Path& p : result.value().paths) EXPECT_EQ(p.length, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroWeightTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace kpj

@@ -1,0 +1,13 @@
+// kpj_cli — command-line front end for the KPJ library.
+// See `kpj_cli help` or src/cli/cli.h for the command reference.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return kpj::cli::RunCli(args, std::cout, std::cerr);
+}
