@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_vary_destinations"
+  "../bench/bench_fig10_vary_destinations.pdb"
+  "CMakeFiles/bench_fig10_vary_destinations.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig10_vary_destinations.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig10_vary_destinations.dir/bench_fig10_vary_destinations.cc.o"
+  "CMakeFiles/bench_fig10_vary_destinations.dir/bench_fig10_vary_destinations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vary_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_splen_percentile"
+  "../bench/bench_fig11_splen_percentile.pdb"
+  "CMakeFiles/bench_fig11_splen_percentile.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_splen_percentile.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_splen_percentile.dir/bench_fig11_splen_percentile.cc.o"
+  "CMakeFiles/bench_fig11_splen_percentile.dir/bench_fig11_splen_percentile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_splen_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

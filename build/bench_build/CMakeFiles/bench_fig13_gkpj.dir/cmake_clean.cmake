@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_gkpj"
+  "../bench/bench_fig13_gkpj.pdb"
+  "CMakeFiles/bench_fig13_gkpj.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_gkpj.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_gkpj.dir/bench_fig13_gkpj.cc.o"
+  "CMakeFiles/bench_fig13_gkpj.dir/bench_fig13_gkpj.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_gkpj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_parameters"
+  "../bench/bench_fig6_parameters.pdb"
+  "CMakeFiles/bench_fig6_parameters.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6_parameters.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6_parameters.dir/bench_fig6_parameters.cc.o"
+  "CMakeFiles/bench_fig6_parameters.dir/bench_fig6_parameters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

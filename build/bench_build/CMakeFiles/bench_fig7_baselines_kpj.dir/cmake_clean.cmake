@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_baselines_kpj"
+  "../bench/bench_fig7_baselines_kpj.pdb"
+  "CMakeFiles/bench_fig7_baselines_kpj.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig7_baselines_kpj.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig7_baselines_kpj.dir/bench_fig7_baselines_kpj.cc.o"
+  "CMakeFiles/bench_fig7_baselines_kpj.dir/bench_fig7_baselines_kpj.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_baselines_kpj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_ksp"
+  "../bench/bench_fig8_ksp.pdb"
+  "CMakeFiles/bench_fig8_ksp.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig8_ksp.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig8_ksp.dir/bench_fig8_ksp.cc.o"
+  "CMakeFiles/bench_fig8_ksp.dir/bench_fig8_ksp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ksp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench_build/CMakeFiles/bench_fig9_our_approaches.dir/bench_common.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig9_our_approaches.dir/bench_common.cc.o.d"
+  "/root/repo/bench/bench_fig9_our_approaches.cc" "bench_build/CMakeFiles/bench_fig9_our_approaches.dir/bench_fig9_our_approaches.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig9_our_approaches.dir/bench_fig9_our_approaches.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kpj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_our_approaches"
+  "../bench/bench_fig9_our_approaches.pdb"
+  "CMakeFiles/bench_fig9_our_approaches.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig9_our_approaches.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig9_our_approaches.dir/bench_fig9_our_approaches.cc.o"
+  "CMakeFiles/bench_fig9_our_approaches.dir/bench_fig9_our_approaches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_our_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

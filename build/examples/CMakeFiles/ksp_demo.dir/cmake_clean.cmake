@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksp_demo.dir/ksp_demo.cpp.o"
+  "CMakeFiles/ksp_demo.dir/ksp_demo.cpp.o.d"
+  "ksp_demo"
+  "ksp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_cli_lib.dir/cli/cli.cc.o"
+  "CMakeFiles/kpj_cli_lib.dir/cli/cli.cc.o.d"
+  "libkpj_cli_lib.a"
+  "libkpj_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkpj_cli_lib.a"
+)

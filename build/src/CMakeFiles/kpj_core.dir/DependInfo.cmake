@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_first.cc" "src/CMakeFiles/kpj_core.dir/core/best_first.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/best_first.cc.o.d"
+  "/root/repo/src/core/constraint.cc" "src/CMakeFiles/kpj_core.dir/core/constraint.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/constraint.cc.o.d"
+  "/root/repo/src/core/da.cc" "src/CMakeFiles/kpj_core.dir/core/da.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/da.cc.o.d"
+  "/root/repo/src/core/da_spt.cc" "src/CMakeFiles/kpj_core.dir/core/da_spt.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/da_spt.cc.o.d"
+  "/root/repo/src/core/iter_bound.cc" "src/CMakeFiles/kpj_core.dir/core/iter_bound.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/iter_bound.cc.o.d"
+  "/root/repo/src/core/kpj.cc" "src/CMakeFiles/kpj_core.dir/core/kpj.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/kpj.cc.o.d"
+  "/root/repo/src/core/kwalks.cc" "src/CMakeFiles/kpj_core.dir/core/kwalks.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/kwalks.cc.o.d"
+  "/root/repo/src/core/path.cc" "src/CMakeFiles/kpj_core.dir/core/path.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/path.cc.o.d"
+  "/root/repo/src/core/pseudo_tree.cc" "src/CMakeFiles/kpj_core.dir/core/pseudo_tree.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/pseudo_tree.cc.o.d"
+  "/root/repo/src/core/spti.cc" "src/CMakeFiles/kpj_core.dir/core/spti.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/spti.cc.o.d"
+  "/root/repo/src/core/sptp.cc" "src/CMakeFiles/kpj_core.dir/core/sptp.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/sptp.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/CMakeFiles/kpj_core.dir/core/verifier.cc.o" "gcc" "src/CMakeFiles/kpj_core.dir/core/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kpj_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

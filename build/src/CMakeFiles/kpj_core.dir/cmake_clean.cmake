@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_core.dir/core/best_first.cc.o"
+  "CMakeFiles/kpj_core.dir/core/best_first.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/constraint.cc.o"
+  "CMakeFiles/kpj_core.dir/core/constraint.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/da.cc.o"
+  "CMakeFiles/kpj_core.dir/core/da.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/da_spt.cc.o"
+  "CMakeFiles/kpj_core.dir/core/da_spt.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/iter_bound.cc.o"
+  "CMakeFiles/kpj_core.dir/core/iter_bound.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/kpj.cc.o"
+  "CMakeFiles/kpj_core.dir/core/kpj.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/kwalks.cc.o"
+  "CMakeFiles/kpj_core.dir/core/kwalks.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/path.cc.o"
+  "CMakeFiles/kpj_core.dir/core/path.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/pseudo_tree.cc.o"
+  "CMakeFiles/kpj_core.dir/core/pseudo_tree.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/spti.cc.o"
+  "CMakeFiles/kpj_core.dir/core/spti.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/sptp.cc.o"
+  "CMakeFiles/kpj_core.dir/core/sptp.cc.o.d"
+  "CMakeFiles/kpj_core.dir/core/verifier.cc.o"
+  "CMakeFiles/kpj_core.dir/core/verifier.cc.o.d"
+  "libkpj_core.a"
+  "libkpj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_gen.dir/gen/datasets.cc.o"
+  "CMakeFiles/kpj_gen.dir/gen/datasets.cc.o.d"
+  "CMakeFiles/kpj_gen.dir/gen/poi_gen.cc.o"
+  "CMakeFiles/kpj_gen.dir/gen/poi_gen.cc.o.d"
+  "CMakeFiles/kpj_gen.dir/gen/query_gen.cc.o"
+  "CMakeFiles/kpj_gen.dir/gen/query_gen.cc.o.d"
+  "CMakeFiles/kpj_gen.dir/gen/road_gen.cc.o"
+  "CMakeFiles/kpj_gen.dir/gen/road_gen.cc.o.d"
+  "libkpj_gen.a"
+  "libkpj_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_graph.dir/graph/connectivity.cc.o"
+  "CMakeFiles/kpj_graph.dir/graph/connectivity.cc.o.d"
+  "CMakeFiles/kpj_graph.dir/graph/dimacs_io.cc.o"
+  "CMakeFiles/kpj_graph.dir/graph/dimacs_io.cc.o.d"
+  "CMakeFiles/kpj_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/kpj_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/kpj_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/kpj_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/kpj_graph.dir/graph/serialize.cc.o"
+  "CMakeFiles/kpj_graph.dir/graph/serialize.cc.o.d"
+  "libkpj_graph.a"
+  "libkpj_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/category_index.cc" "src/CMakeFiles/kpj_index.dir/index/category_index.cc.o" "gcc" "src/CMakeFiles/kpj_index.dir/index/category_index.cc.o.d"
+  "/root/repo/src/index/landmark_index.cc" "src/CMakeFiles/kpj_index.dir/index/landmark_index.cc.o" "gcc" "src/CMakeFiles/kpj_index.dir/index/landmark_index.cc.o.d"
+  "/root/repo/src/index/target_bound.cc" "src/CMakeFiles/kpj_index.dir/index/target_bound.cc.o" "gcc" "src/CMakeFiles/kpj_index.dir/index/target_bound.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kpj_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

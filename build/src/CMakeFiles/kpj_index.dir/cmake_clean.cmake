@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_index.dir/index/category_index.cc.o"
+  "CMakeFiles/kpj_index.dir/index/category_index.cc.o.d"
+  "CMakeFiles/kpj_index.dir/index/landmark_index.cc.o"
+  "CMakeFiles/kpj_index.dir/index/landmark_index.cc.o.d"
+  "CMakeFiles/kpj_index.dir/index/target_bound.cc.o"
+  "CMakeFiles/kpj_index.dir/index/target_bound.cc.o.d"
+  "libkpj_index.a"
+  "libkpj_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sssp/astar.cc" "src/CMakeFiles/kpj_sssp.dir/sssp/astar.cc.o" "gcc" "src/CMakeFiles/kpj_sssp.dir/sssp/astar.cc.o.d"
+  "/root/repo/src/sssp/bidirectional.cc" "src/CMakeFiles/kpj_sssp.dir/sssp/bidirectional.cc.o" "gcc" "src/CMakeFiles/kpj_sssp.dir/sssp/bidirectional.cc.o.d"
+  "/root/repo/src/sssp/dijkstra.cc" "src/CMakeFiles/kpj_sssp.dir/sssp/dijkstra.cc.o" "gcc" "src/CMakeFiles/kpj_sssp.dir/sssp/dijkstra.cc.o.d"
+  "/root/repo/src/sssp/incremental_search.cc" "src/CMakeFiles/kpj_sssp.dir/sssp/incremental_search.cc.o" "gcc" "src/CMakeFiles/kpj_sssp.dir/sssp/incremental_search.cc.o.d"
+  "/root/repo/src/sssp/spt.cc" "src/CMakeFiles/kpj_sssp.dir/sssp/spt.cc.o" "gcc" "src/CMakeFiles/kpj_sssp.dir/sssp/spt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kpj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

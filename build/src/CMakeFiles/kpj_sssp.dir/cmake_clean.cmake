@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_sssp.dir/sssp/astar.cc.o"
+  "CMakeFiles/kpj_sssp.dir/sssp/astar.cc.o.d"
+  "CMakeFiles/kpj_sssp.dir/sssp/bidirectional.cc.o"
+  "CMakeFiles/kpj_sssp.dir/sssp/bidirectional.cc.o.d"
+  "CMakeFiles/kpj_sssp.dir/sssp/dijkstra.cc.o"
+  "CMakeFiles/kpj_sssp.dir/sssp/dijkstra.cc.o.d"
+  "CMakeFiles/kpj_sssp.dir/sssp/incremental_search.cc.o"
+  "CMakeFiles/kpj_sssp.dir/sssp/incremental_search.cc.o.d"
+  "CMakeFiles/kpj_sssp.dir/sssp/spt.cc.o"
+  "CMakeFiles/kpj_sssp.dir/sssp/spt.cc.o.d"
+  "libkpj_sssp.a"
+  "libkpj_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_util.dir/util/logging.cc.o"
+  "CMakeFiles/kpj_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/kpj_util.dir/util/parallel.cc.o"
+  "CMakeFiles/kpj_util.dir/util/parallel.cc.o.d"
+  "CMakeFiles/kpj_util.dir/util/rng.cc.o"
+  "CMakeFiles/kpj_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/kpj_util.dir/util/stats.cc.o"
+  "CMakeFiles/kpj_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/kpj_util.dir/util/status.cc.o"
+  "CMakeFiles/kpj_util.dir/util/status.cc.o.d"
+  "CMakeFiles/kpj_util.dir/util/string_util.cc.o"
+  "CMakeFiles/kpj_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/kpj_util.dir/util/timer.cc.o"
+  "CMakeFiles/kpj_util.dir/util/timer.cc.o.d"
+  "libkpj_util.a"
+  "libkpj_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_stats_test.dir/algorithm_stats_test.cc.o"
+  "CMakeFiles/algorithm_stats_test.dir/algorithm_stats_test.cc.o.d"
+  "algorithm_stats_test"
+  "algorithm_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_invariance_test.dir/alpha_invariance_test.cc.o"
+  "CMakeFiles/alpha_invariance_test.dir/alpha_invariance_test.cc.o.d"
+  "alpha_invariance_test"
+  "alpha_invariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

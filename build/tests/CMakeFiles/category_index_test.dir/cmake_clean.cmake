@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_index_test.dir/category_index_test.cc.o"
+  "CMakeFiles/category_index_test.dir/category_index_test.cc.o.d"
+  "category_index_test"
+  "category_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

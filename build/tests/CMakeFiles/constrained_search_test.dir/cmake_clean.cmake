@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_search_test.dir/constrained_search_test.cc.o"
+  "CMakeFiles/constrained_search_test.dir/constrained_search_test.cc.o.d"
+  "constrained_search_test"
+  "constrained_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_heap_test.dir/indexed_heap_test.cc.o"
+  "CMakeFiles/indexed_heap_test.dir/indexed_heap_test.cc.o.d"
+  "indexed_heap_test"
+  "indexed_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

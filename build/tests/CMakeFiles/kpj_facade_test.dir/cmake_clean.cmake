@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_facade_test.dir/kpj_facade_test.cc.o"
+  "CMakeFiles/kpj_facade_test.dir/kpj_facade_test.cc.o.d"
+  "kpj_facade_test"
+  "kpj_facade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

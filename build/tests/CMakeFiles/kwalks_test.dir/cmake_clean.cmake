@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwalks_test.dir/kwalks_test.cc.o"
+  "CMakeFiles/kwalks_test.dir/kwalks_test.cc.o.d"
+  "kwalks_test"
+  "kwalks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwalks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_index_test.dir/landmark_index_test.cc.o"
+  "CMakeFiles/landmark_index_test.dir/landmark_index_test.cc.o.d"
+  "landmark_index_test"
+  "landmark_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_cross_algorithm_test.dir/property_cross_algorithm_test.cc.o"
+  "CMakeFiles/property_cross_algorithm_test.dir/property_cross_algorithm_test.cc.o.d"
+  "property_cross_algorithm_test"
+  "property_cross_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_cross_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_gkpj_test.dir/property_gkpj_test.cc.o"
+  "CMakeFiles/property_gkpj_test.dir/property_gkpj_test.cc.o.d"
+  "property_gkpj_test"
+  "property_gkpj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_gkpj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_tree_test.dir/pseudo_tree_test.cc.o"
+  "CMakeFiles/pseudo_tree_test.dir/pseudo_tree_test.cc.o.d"
+  "pseudo_tree_test"
+  "pseudo_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_heap_test.dir/radix_heap_test.cc.o"
+  "CMakeFiles/radix_heap_test.dir/radix_heap_test.cc.o.d"
+  "radix_heap_test"
+  "radix_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

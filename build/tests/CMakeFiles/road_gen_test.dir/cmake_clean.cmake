@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_gen_test.dir/road_gen_test.cc.o"
+  "CMakeFiles/road_gen_test.dir/road_gen_test.cc.o.d"
+  "road_gen_test"
+  "road_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_reuse_test.dir/solver_reuse_test.cc.o"
+  "CMakeFiles/solver_reuse_test.dir/solver_reuse_test.cc.o.d"
+  "solver_reuse_test"
+  "solver_reuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

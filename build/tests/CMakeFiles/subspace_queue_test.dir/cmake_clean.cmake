@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subspace_queue_test.dir/subspace_queue_test.cc.o"
+  "CMakeFiles/subspace_queue_test.dir/subspace_queue_test.cc.o.d"
+  "subspace_queue_test"
+  "subspace_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subspace_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_weight_test.dir/zero_weight_test.cc.o"
+  "CMakeFiles/zero_weight_test.dir/zero_weight_test.cc.o.d"
+  "zero_weight_test"
+  "zero_weight_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_weight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/kpj_cli.cc" "tools/CMakeFiles/kpj_cli.dir/kpj_cli.cc.o" "gcc" "tools/CMakeFiles/kpj_cli.dir/kpj_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kpj_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kpj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpj_cli.dir/kpj_cli.cc.o"
+  "CMakeFiles/kpj_cli.dir/kpj_cli.cc.o.d"
+  "kpj_cli"
+  "kpj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
