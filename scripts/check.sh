@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Configure, build, and run the test suite — the tier-1 gate for every
+# change. Usage:
+#
+#   scripts/check.sh                 # release-ish build + ctest
+#   scripts/check.sh --asan          # opt-in AddressSanitizer + UBSan run
+#   KPJ_CHECK_JOBS=8 scripts/check.sh
+#
+# The sanitizer run uses a separate build tree (build-asan/) so it never
+# invalidates the incremental default build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${KPJ_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+build_dir=build
+cmake_flags=()
+
+if [[ "${1:-}" == "--asan" || "${KPJ_CHECK_ASAN:-0}" == "1" ]]; then
+  build_dir=build-asan
+  cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all")
+fi
+
+cmake -B "$build_dir" -S . "${cmake_flags[@]}"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"

@@ -25,35 +25,63 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
 }
 
 /// Loads a graph by extension: .gr = DIMACS text, anything else = binary.
-Result<Graph> LoadGraph(const std::string& path) {
-  if (EndsWith(path, ".gr")) return ReadDimacsGraph(path);
-  return LoadGraphBinary(path);
+/// Binary files may carry a stored permutation (reordered layout); DIMACS
+/// text never does.
+Result<GraphFile> LoadGraph(const std::string& path) {
+  if (EndsWith(path, ".gr")) {
+    Result<Graph> graph = ReadDimacsGraph(path);
+    if (!graph.ok()) return graph.status();
+    GraphFile file;
+    file.graph = std::move(graph).value();
+    return file;
+  }
+  return LoadGraphFile(path);
 }
 
-Status SaveGraph(const Graph& graph, const std::string& path) {
-  if (EndsWith(path, ".gr")) return WriteDimacsGraph(graph, path);
-  return SaveGraphBinary(graph, path);
+Status SaveGraph(const Graph& graph, const Permutation& permutation,
+                 const std::string& path) {
+  if (EndsWith(path, ".gr")) {
+    if (!permutation.empty() && !permutation.IsIdentity()) {
+      return Status::InvalidArgument(
+          "DIMACS text cannot store a reordering permutation; write a "
+          "binary file instead");
+    }
+    return WriteDimacsGraph(graph, path);
+  }
+  return SaveGraphBinary(graph, permutation, path);
+}
+
+/// Reads the --reorder flag (default kNone).
+Result<ReorderStrategy> GetReorderFlag(const ParsedArgs& args) {
+  auto name = args.Get("reorder");
+  if (!name.has_value()) return ReorderStrategy::kNone;
+  return ParseReorderStrategy(*name);
 }
 
 void PrintHelp(std::ostream& out) {
   out << "kpj_cli — top-k shortest path join queries\n"
          "\n"
          "  kpj_cli generate  --nodes N [--seed S] --out FILE"
-         " [--coords FILE]\n"
-         "  kpj_cli convert   --in FILE --out FILE\n"
+         " [--coords FILE] [--reorder STRAT]\n"
+         "  kpj_cli convert   --in FILE --out FILE [--reorder STRAT]\n"
          "  kpj_cli info      --graph FILE\n"
          "  kpj_cli landmarks --graph FILE --out FILE [--count 16]"
-         " [--seed S]\n"
+         " [--seed S] [--threads N]\n"
          "  kpj_cli pois      --graph FILE --out FILE [--seed S] [--cal]\n"
          "  kpj_cli query     --graph FILE --source S\n"
          "                    (--targets A,B,C | --categories FILE"
          " --category NAME)\n"
          "                    [--k 10] [--algorithm NAME]"
-         " [--landmarks FILE] [--alpha 1.1] [--stats]\n"
+         " [--landmarks FILE] [--alpha 1.1]\n"
+         "                    [--reorder STRAT] [--stats]\n"
          "  kpj_cli batch     --graph FILE --queries FILE"
-         " [--algorithm NAME] [--landmarks FILE] [--threads N]\n"
+         " [--algorithm NAME] [--landmarks FILE]\n"
+         "                    [--threads N] [--reorder STRAT]\n"
          "\n"
          "Graph files: .gr = DIMACS text, otherwise compact binary.\n"
+         "Binary graphs may store a cache-locality reordering; node ids on\n"
+         "the command line and in output always refer to original ids.\n"
+         "Reorder strategies: none (default), bfs, degree, hybrid.\n"
          "Algorithms: DA, DA-SPT, BestFirst, IterBound, IterBoundP,\n"
          "            IterBoundI (default), IterBoundI-NL\n";
 }
@@ -75,18 +103,33 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
     return Fail(err, Status::InvalidArgument("--nodes must be >= 4"));
   }
 
+  Result<ReorderStrategy> reorder = GetReorderFlag(args);
+  if (!reorder.ok()) return Fail(err, reorder.status());
+
   RoadGenOptions opt;
   opt.target_nodes = static_cast<uint32_t>(nodes.value());
   opt.seed = static_cast<uint64_t>(seed.value());
   RoadNetwork net = GenerateRoadNetwork(opt);
-  Status saved = SaveGraph(net.graph, out_path.value());
+  // With --reorder, the file stores the cache-optimized layout plus the
+  // permutation, so queries keep addressing the generated ids.
+  Permutation perm;
+  Graph graph = std::move(net.graph);
+  if (reorder.value() != ReorderStrategy::kNone) {
+    perm = ComputeReordering(graph, reorder.value());
+    graph = ApplyPermutation(graph, perm);
+  }
+  Status saved = SaveGraph(graph, perm, out_path.value());
   if (!saved.ok()) return Fail(err, saved);
   if (auto coords = args.Get("coords"); coords.has_value()) {
     Status cs = WriteDimacsCoordinates(net.coords, *coords);
     if (!cs.ok()) return Fail(err, cs);
   }
-  out << "generated " << net.graph.NumNodes() << " nodes, "
-      << net.graph.NumEdges() << " arcs -> " << out_path.value() << "\n";
+  out << "generated " << graph.NumNodes() << " nodes, " << graph.NumEdges()
+      << " arcs -> " << out_path.value();
+  if (reorder.value() != ReorderStrategy::kNone) {
+    out << " (reordered: " << ReorderStrategyName(reorder.value()) << ")";
+  }
+  out << "\n";
   return 0;
 }
 
@@ -96,21 +139,37 @@ int CmdConvert(const ParsedArgs& args, std::ostream& out,
   Result<std::string> out_path = args.Require("out");
   if (!in_path.ok()) return Fail(err, in_path.status());
   if (!out_path.ok()) return Fail(err, out_path.status());
-  Result<Graph> graph = LoadGraph(in_path.value());
-  if (!graph.ok()) return Fail(err, graph.status());
-  Status saved = SaveGraph(graph.value(), out_path.value());
+  Result<ReorderStrategy> reorder = GetReorderFlag(args);
+  if (!reorder.ok()) return Fail(err, reorder.status());
+  Result<GraphFile> file = LoadGraph(in_path.value());
+  if (!file.ok()) return Fail(err, file.status());
+  Graph& graph = file.value().graph;
+  Permutation& perm = file.value().permutation;
+  if (reorder.value() != ReorderStrategy::kNone) {
+    // Compose on top of any permutation already stored in the input so the
+    // output stays addressable by the input's original ids.
+    Permutation extra = ComputeReordering(graph, reorder.value());
+    graph = ApplyPermutation(graph, extra);
+    perm = perm.empty() ? std::move(extra)
+                        : perm.ComposeWith(extra);
+  }
+  Status saved = SaveGraph(graph, perm, out_path.value());
   if (!saved.ok()) return Fail(err, saved);
   out << "converted " << in_path.value() << " -> " << out_path.value()
-      << " (" << graph.value().NumNodes() << " nodes)\n";
+      << " (" << graph.NumNodes() << " nodes";
+  if (reorder.value() != ReorderStrategy::kNone) {
+    out << ", reordered: " << ReorderStrategyName(reorder.value());
+  }
+  out << ")\n";
   return 0;
 }
 
 int CmdInfo(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Result<std::string> path = args.Require("graph");
   if (!path.ok()) return Fail(err, path.status());
-  Result<Graph> graph = LoadGraph(path.value());
-  if (!graph.ok()) return Fail(err, graph.status());
-  const Graph& g = graph.value();
+  Result<GraphFile> file = LoadGraph(path.value());
+  if (!file.ok()) return Fail(err, file.status());
+  const Graph& g = file.value().graph;
 
   uint32_t max_degree = 0;
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
@@ -125,7 +184,11 @@ int CmdInfo(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << "\n"
       << "max degree:   " << max_degree << "\n"
       << "SCCs:         " << FormatWithCommas(scc.num_components) << "\n"
-      << "total weight: " << FormatWithCommas(g.TotalWeight()) << "\n";
+      << "total weight: " << FormatWithCommas(g.TotalWeight()) << "\n"
+      << "reordered:    "
+      << (file.value().permutation.empty() ? "no"
+                                           : "yes (original ids preserved)")
+      << "\n";
   return 0;
 }
 
@@ -137,17 +200,24 @@ int CmdLandmarks(const ParsedArgs& args, std::ostream& out,
   if (!out_path.ok()) return Fail(err, out_path.status());
   Result<int64_t> count = args.GetInt("count", 16);
   Result<int64_t> seed = args.GetInt("seed", 42);
+  Result<int64_t> threads = args.GetInt("threads", 1);
   if (!count.ok()) return Fail(err, count.status());
   if (!seed.ok()) return Fail(err, seed.status());
+  if (!threads.ok() || threads.value() < 1) {
+    return Fail(err, Status::InvalidArgument("--threads must be >= 1"));
+  }
 
-  Result<Graph> graph = LoadGraph(path.value());
-  if (!graph.ok()) return Fail(err, graph.status());
+  // The index is built in (and aligned with) the file's stored layout, so
+  // it plugs into query/batch runs over the same graph file directly.
+  Result<GraphFile> file = LoadGraph(path.value());
+  if (!file.ok()) return Fail(err, file.status());
+  const Graph& graph = file.value().graph;
   Timer timer;
   LandmarkIndexOptions opt;
   opt.num_landmarks = static_cast<uint32_t>(count.value());
   opt.seed = static_cast<uint64_t>(seed.value());
-  LandmarkIndex index =
-      LandmarkIndex::Build(graph.value(), graph.value().Reverse(), opt);
+  opt.threads = static_cast<unsigned>(threads.value());
+  LandmarkIndex index = LandmarkIndex::Build(graph, graph.Reverse(), opt);
   Status saved = index.Save(out_path.value());
   if (!saved.ok()) return Fail(err, saved);
   out << "built " << index.num_landmarks() << " landmarks in "
@@ -162,13 +232,17 @@ int CmdPois(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!out_path.ok()) return Fail(err, out_path.status());
   Result<int64_t> seed = args.GetInt("seed", 7);
   if (!seed.ok()) return Fail(err, seed.status());
-  Result<Graph> graph = LoadGraph(path.value());
-  if (!graph.ok()) return Fail(err, graph.status());
+  Result<GraphFile> file = LoadGraph(path.value());
+  if (!file.ok()) return Fail(err, file.status());
+  const Graph& graph = file.value().graph;
 
-  CategoryIndex index(graph.value().NumNodes());
+  // POI assignment samples bare node ids (no graph structure), so the ids
+  // it stores are read as *original* ids at query time regardless of any
+  // reordering stored in the graph file.
+  CategoryIndex index(graph.NumNodes());
   AssignNestedPoiSets(index, static_cast<uint64_t>(seed.value()));
   if (args.Has("cal")) {
-    if (graph.value().NumNodes() < 94) {
+    if (graph.NumNodes() < 94) {
       return Fail(err, Status::InvalidArgument(
                            "--cal needs a graph with >= 94 nodes"));
     }
@@ -186,8 +260,9 @@ int CmdPois(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 struct QuerySetup {
-  Graph graph;
-  Graph reverse;
+  /// Graph in its internal (possibly reordered) layout plus the permutation
+  /// back to user-visible ids; the kpj.h facade translates at the boundary.
+  ReorderedGraph rg;
   LandmarkIndex landmarks;  // Empty if no --landmarks flag.
   KpjOptions options;
 };
@@ -195,12 +270,12 @@ struct QuerySetup {
 Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
   Result<std::string> path = args.Require("graph");
   if (!path.ok()) return path.status();
-  Result<Graph> graph = LoadGraph(path.value());
-  if (!graph.ok()) return graph.status();
+  Result<GraphFile> file = LoadGraph(path.value());
+  if (!file.ok()) return file.status();
+  Result<ReorderStrategy> reorder = GetReorderFlag(args);
+  if (!reorder.ok()) return reorder.status();
 
   QuerySetup setup;
-  setup.graph = std::move(graph).value();
-  setup.reverse = setup.graph.Reverse();
 
   setup.options.algorithm = Algorithm::kIterBoundSptI;
   if (auto name = args.Get("algorithm"); name.has_value()) {
@@ -211,12 +286,30 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
   if (auto lm = args.Get("landmarks"); lm.has_value()) {
     Result<LandmarkIndex> index = LandmarkIndex::Load(*lm);
     if (!index.ok()) return index.status();
-    if (index.value().num_nodes() != setup.graph.NumNodes()) {
+    if (index.value().num_nodes() != file.value().graph.NumNodes()) {
       return Status::InvalidArgument(
           "landmark index was built for a different graph");
     }
     setup.landmarks = std::move(index).value();
   }
+
+  // --reorder relabels in memory on top of whatever layout the file stores.
+  // The landmark file is aligned with the file's layout, so it is remapped
+  // by the same extra permutation to stay consistent.
+  if (reorder.value() != ReorderStrategy::kNone) {
+    Permutation extra =
+        ComputeReordering(file.value().graph, reorder.value());
+    file.value().graph = ApplyPermutation(file.value().graph, extra);
+    if (setup.landmarks.num_landmarks() > 0) {
+      setup.landmarks = setup.landmarks.Remap(extra);
+    }
+    file.value().permutation =
+        file.value().permutation.empty()
+            ? extra
+            : file.value().permutation.ComposeWith(extra);
+  }
+  setup.rg = WrapReordered(std::move(file.value().graph),
+                           std::move(file.value().permutation));
   return setup;
 }
 
@@ -238,7 +331,7 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     if (!cats_path.ok()) return Fail(err, cats_path.status());
     Result<CategoryIndex> index = CategoryIndex::Load(cats_path.value());
     if (!index.ok()) return Fail(err, index.status());
-    if (index.value().num_nodes() != s.graph.NumNodes()) {
+    if (index.value().num_nodes() != s.rg.graph.NumNodes()) {
       return Fail(err, Status::InvalidArgument(
                            "category index was built for a different graph"));
     }
@@ -277,7 +370,9 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   query.k = static_cast<uint32_t>(k.value());
 
   Timer timer;
-  Result<KpjResult> result = RunKpj(s.graph, s.reverse, query, s.options);
+  // The ReorderedGraph overload translates original-id sources/targets into
+  // the internal layout and maps result paths back.
+  Result<KpjResult> result = RunKpj(s.rg, query, s.options);
   if (!result.ok()) return Fail(err, result.status());
   double ms = timer.ElapsedMillis();
 
@@ -365,8 +460,7 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Timer batch_timer;
   ParallelFor(queries.size(), static_cast<unsigned>(threads.value()),
               [&](size_t i, unsigned /*worker*/) {
-                results[i] =
-                    RunKpj(s.graph, s.reverse, queries[i].query, s.options);
+                results[i] = RunKpj(s.rg, queries[i].query, s.options);
               });
   double total_ms = batch_timer.ElapsedMillis();
 

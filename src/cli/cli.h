@@ -42,18 +42,26 @@ Result<std::vector<NodeId>> ParseNodeList(const std::string& text);
 ///
 /// Commands:
 ///   generate  --nodes N [--seed S] --out FILE [--coords FILE]
+///             [--reorder none|bfs|degree|hybrid]
 ///   convert   --in FILE --out FILE          (.gr <-> .bin by extension)
+///             [--reorder STRAT]             (composes with a stored layout)
 ///   info      --graph FILE
 ///   landmarks --graph FILE --out FILE [--count 16] [--seed S]
+///             [--threads N]
 ///   pois      --graph FILE --out FILE [--seed S] [--cal]
 ///   query     --graph FILE --source S
 ///             (--targets A,B,C | --categories FILE --category NAME)
 ///             [--k 10]
 ///             [--algorithm NAME] [--landmarks FILE] [--alpha 1.1] [--stats]
+///             [--reorder STRAT]             (in-memory, at load time)
 ///   batch     --graph FILE --queries FILE [--algorithm NAME]
-///             [--landmarks FILE]
+///             [--landmarks FILE] [--threads N] [--reorder STRAT]
 ///             (query file: one `source k target...` line per query)
 ///   help
+///
+/// Node ids on the command line and in output always refer to the graph's
+/// original ids, even when the file stores (or --reorder applies) a
+/// cache-locality relabeling; translation happens inside the kpj.h facade.
 int RunCli(std::span<const std::string> args, std::ostream& out,
            std::ostream& err);
 

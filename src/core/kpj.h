@@ -7,10 +7,44 @@
 #include "core/kpj_query.h"
 #include "core/solver.h"
 #include "graph/graph.h"
+#include "graph/reorder.h"
 #include "index/category_index.h"
 #include "util/status.h"
 
 namespace kpj {
+
+/// A graph relabeled into a cache-friendly layout (graph/reorder.h)
+/// together with the permutation connecting it to the caller's ids.
+///
+/// The facade overloads taking a ReorderedGraph accept queries and return
+/// paths in *original* ids — translation into and out of the internal
+/// layout happens at this boundary, so callers never observe remapped ids.
+/// `options.landmarks`, by contrast, must already be in the internal
+/// layout (build it on `graph`, or Remap an existing index with
+/// `permutation`), since solvers consult it in that id space.
+struct ReorderedGraph {
+  Graph graph;              ///< Internal (relabeled) layout.
+  Graph reverse;            ///< graph.Reverse(), same layout.
+  Permutation permutation;  ///< original id -> internal id; empty = identity.
+
+  NodeId ToInternal(NodeId original) const {
+    return permutation.ToNew(original);
+  }
+  NodeId ToOriginal(NodeId internal) const {
+    return permutation.ToOld(internal);
+  }
+};
+
+/// Computes the `strategy` relabeling of `graph`, applies it, and builds
+/// the reverse graph. kNone yields an identity-permutation bundle (the
+/// graphs are plain copies).
+ReorderedGraph ReorderForLocality(const Graph& graph,
+                                  ReorderStrategy strategy);
+
+/// Wraps already-remapped graphs (e.g. loaded from a version-2 binary
+/// file, see graph/serialize.h) without recomputing anything. `permutation`
+/// may be empty; otherwise its size must match the graph.
+ReorderedGraph WrapReordered(Graph graph, Permutation permutation);
 
 /// Validates `query` against `graph` and produces the single-source view
 /// solvers execute. Fails on: empty source/target sets, out-of-range ids,
@@ -52,6 +86,18 @@ Result<KpjResult> RunKpj(const Graph& graph, const Graph& reverse,
 /// two physical nodes — a KPJ query whose category holds one node.
 Result<KpjResult> RunKsp(const Graph& graph, const Graph& reverse,
                          NodeId source, NodeId target, uint32_t k,
+                         const KpjOptions& options);
+
+/// RunKpj against a reordered graph: `query` is in original ids, the
+/// returned paths are in original ids, and the solver runs on the
+/// cache-optimized internal layout. See ReorderedGraph for the
+/// `options.landmarks` id-space requirement.
+Result<KpjResult> RunKpj(const ReorderedGraph& reordered,
+                         const KpjQuery& query, const KpjOptions& options);
+
+/// RunKsp against a reordered graph (original ids in and out).
+Result<KpjResult> RunKsp(const ReorderedGraph& reordered, NodeId source,
+                         NodeId target, uint32_t k,
                          const KpjOptions& options);
 
 /// Builds the KpjQuery for "top-k paths from `source` to category `T`"

@@ -1,0 +1,239 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+const char* ReorderStrategyName(ReorderStrategy strategy) {
+  switch (strategy) {
+    case ReorderStrategy::kNone:
+      return "none";
+    case ReorderStrategy::kBfs:
+      return "bfs";
+    case ReorderStrategy::kDegree:
+      return "degree";
+    case ReorderStrategy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+Result<ReorderStrategy> ParseReorderStrategy(std::string_view name) {
+  std::string canonical;
+  for (char c : name) {
+    canonical.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (ReorderStrategy s : kAllReorderStrategies) {
+    if (canonical == ReorderStrategyName(s)) return s;
+  }
+  return Status::InvalidArgument("unknown reorder strategy '" +
+                                 std::string(name) +
+                                 "' (want none, bfs, degree, or hybrid)");
+}
+
+Permutation Permutation::Identity(NodeId n) {
+  Permutation p;
+  p.old_to_new_.resize(n);
+  std::iota(p.old_to_new_.begin(), p.old_to_new_.end(), 0);
+  p.new_to_old_ = p.old_to_new_;
+  return p;
+}
+
+namespace {
+
+/// Validates that `map` hits every id in `[0, map.size())` exactly once.
+Status ValidateBijection(const std::vector<NodeId>& map) {
+  const NodeId n = static_cast<NodeId>(map.size());
+  std::vector<bool> seen(n, false);
+  for (NodeId v : map) {
+    if (v >= n) {
+      return Status::InvalidArgument("permutation entry " + std::to_string(v) +
+                                     " out of range [0, " + std::to_string(n) +
+                                     ")");
+    }
+    if (seen[v]) {
+      return Status::InvalidArgument("permutation maps two ids to " +
+                                     std::to_string(v));
+    }
+    seen[v] = true;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Permutation> Permutation::FromOldToNew(std::vector<NodeId> old_to_new) {
+  Status valid = ValidateBijection(old_to_new);
+  if (!valid.ok()) return valid;
+  Permutation p;
+  p.old_to_new_ = std::move(old_to_new);
+  p.new_to_old_.resize(p.old_to_new_.size());
+  for (NodeId old_id = 0; old_id < p.size(); ++old_id) {
+    p.new_to_old_[p.old_to_new_[old_id]] = old_id;
+  }
+  return p;
+}
+
+Result<Permutation> Permutation::FromNewToOld(std::vector<NodeId> new_to_old) {
+  Status valid = ValidateBijection(new_to_old);
+  if (!valid.ok()) return valid;
+  Permutation p;
+  p.new_to_old_ = std::move(new_to_old);
+  p.old_to_new_.resize(p.new_to_old_.size());
+  for (NodeId new_id = 0; new_id < p.size(); ++new_id) {
+    p.old_to_new_[p.new_to_old_[new_id]] = new_id;
+  }
+  return p;
+}
+
+bool Permutation::IsIdentity() const {
+  for (NodeId i = 0; i < size(); ++i) {
+    if (old_to_new_[i] != i) return false;
+  }
+  return true;
+}
+
+Permutation Permutation::Inverse() const {
+  Permutation p;
+  p.old_to_new_ = new_to_old_;
+  p.new_to_old_ = old_to_new_;
+  return p;
+}
+
+Permutation Permutation::ComposeWith(const Permutation& then) const {
+  if (empty()) return then;
+  if (then.empty()) return *this;
+  KPJ_CHECK(size() == then.size())
+      << "composing permutations of different sizes";
+  Permutation p;
+  p.old_to_new_.resize(size());
+  p.new_to_old_.resize(size());
+  for (NodeId old_id = 0; old_id < size(); ++old_id) {
+    NodeId new_id = then.ToNew(ToNew(old_id));
+    p.old_to_new_[old_id] = new_id;
+    p.new_to_old_[new_id] = old_id;
+  }
+  return p;
+}
+
+namespace {
+
+/// Nodes sorted by descending out-degree, ties by ascending id. Used both
+/// as the degree ordering itself and as the seed/sibling priority of the
+/// BFS passes.
+std::vector<NodeId> NodesByDegreeDesc(const Graph& graph) {
+  std::vector<NodeId> nodes(graph.NumNodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return graph.OutDegree(a) > graph.OutDegree(b);
+  });
+  return nodes;
+}
+
+/// BFS (pseudo-RCM) visit order. Seeds come from `seed_priority` (first
+/// unvisited wins), so passing the degree-descending order starts each
+/// component at its highest-degree node. When `degree_siblings` is set,
+/// the neighbours of a settled node enter the queue in descending-degree
+/// order instead of ascending-id order.
+std::vector<NodeId> BfsVisitOrder(const Graph& graph,
+                                  const std::vector<NodeId>& seed_priority,
+                                  bool degree_siblings) {
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  std::vector<NodeId> siblings;
+
+  for (NodeId seed : seed_priority) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    queue.push_back(seed);
+    size_t head = order.size();
+    order.push_back(seed);
+    // `order` doubles as the FIFO queue: nodes are appended once, scanned
+    // once.
+    while (head < order.size()) {
+      NodeId u = order[head++];
+      siblings.clear();
+      for (const OutEdge& e : graph.OutEdges(u)) {
+        if (visited[e.to]) continue;
+        visited[e.to] = true;
+        siblings.push_back(e.to);
+      }
+      if (degree_siblings) {
+        std::stable_sort(siblings.begin(), siblings.end(),
+                         [&](NodeId a, NodeId b) {
+                           return graph.OutDegree(a) > graph.OutDegree(b);
+                         });
+      }
+      order.insert(order.end(), siblings.begin(), siblings.end());
+    }
+  }
+  KPJ_CHECK(order.size() == n);
+  return order;
+}
+
+}  // namespace
+
+Permutation ComputeReordering(const Graph& graph, ReorderStrategy strategy) {
+  const NodeId n = graph.NumNodes();
+  switch (strategy) {
+    case ReorderStrategy::kNone:
+      return Permutation::Identity(n);
+    case ReorderStrategy::kBfs: {
+      Result<Permutation> p = Permutation::FromNewToOld(
+          BfsVisitOrder(graph, NodesByDegreeDesc(graph),
+                        /*degree_siblings=*/false));
+      KPJ_CHECK(p.ok()) << p.status().ToString();
+      return std::move(p).value();
+    }
+    case ReorderStrategy::kDegree: {
+      Result<Permutation> p =
+          Permutation::FromNewToOld(NodesByDegreeDesc(graph));
+      KPJ_CHECK(p.ok()) << p.status().ToString();
+      return std::move(p).value();
+    }
+    case ReorderStrategy::kHybrid: {
+      Result<Permutation> p = Permutation::FromNewToOld(
+          BfsVisitOrder(graph, NodesByDegreeDesc(graph),
+                        /*degree_siblings=*/true));
+      KPJ_CHECK(p.ok()) << p.status().ToString();
+      return std::move(p).value();
+    }
+  }
+  KPJ_LOG(Fatal) << "unknown reorder strategy";
+  return Permutation();
+}
+
+Graph ApplyPermutation(const Graph& graph, const Permutation& perm) {
+  if (perm.empty()) return graph;
+  const NodeId n = graph.NumNodes();
+  KPJ_CHECK(perm.size() == n)
+      << "permutation size " << perm.size() << " != node count " << n;
+
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (NodeId new_u = 0; new_u < n; ++new_u) {
+    offsets[new_u + 1] = offsets[new_u] + graph.OutDegree(perm.ToOld(new_u));
+  }
+  std::vector<OutEdge> adj(graph.NumEdges());
+  for (NodeId new_u = 0; new_u < n; ++new_u) {
+    EdgeId cursor = offsets[new_u];
+    for (const OutEdge& e : graph.OutEdges(perm.ToOld(new_u))) {
+      adj[cursor++] = OutEdge{perm.ToNew(e.to), e.weight};
+    }
+    std::sort(adj.begin() + offsets[new_u], adj.begin() + offsets[new_u + 1],
+              [](const OutEdge& a, const OutEdge& b) {
+                return a.to < b.to || (a.to == b.to && a.weight < b.weight);
+              });
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+}  // namespace kpj

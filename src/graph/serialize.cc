@@ -3,13 +3,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <utility>
 #include <vector>
 
 namespace kpj {
 namespace {
 
 constexpr uint64_t kMagic = 0x4b504a4752503031ULL;  // "KPJGRP01"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionBare = 1;      // CSR only
+constexpr uint32_t kVersionPermuted = 2;  // CSR + permutation section
 
 template <typename T>
 bool WritePod(std::ofstream& out, const T& value) {
@@ -46,16 +48,30 @@ bool ReadVec(std::ifstream& in, std::vector<T>& v, uint64_t max_count) {
 }  // namespace
 
 Status SaveGraphBinary(const Graph& graph, const std::string& path) {
+  return SaveGraphBinary(graph, Permutation(), path);
+}
+
+Status SaveGraphBinary(const Graph& graph, const Permutation& permutation,
+                       const std::string& path) {
+  const bool store_perm = !permutation.empty() && !permutation.IsIdentity();
+  if (store_perm && permutation.size() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "permutation size does not match graph node count");
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
-  if (!WritePod(out, kMagic) || !WritePod(out, kVersion) ||
+  uint32_t version = store_perm ? kVersionPermuted : kVersionBare;
+  if (!WritePod(out, kMagic) || !WritePod(out, version) ||
       !WriteVec(out, graph.offsets()) || !WriteVec(out, graph.adjacency())) {
+    return Status::IoError("write failed for " + path);
+  }
+  if (store_perm && !WriteVec(out, permutation.old_to_new())) {
     return Status::IoError("write failed for " + path);
   }
   return Status::Ok();
 }
 
-Result<Graph> LoadGraphBinary(const std::string& path) {
+Result<GraphFile> LoadGraphFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   uint64_t magic = 0;
@@ -63,7 +79,8 @@ Result<Graph> LoadGraphBinary(const std::string& path) {
   if (!ReadPod(in, magic) || magic != kMagic) {
     return Status::Corruption(path + ": bad magic");
   }
-  if (!ReadPod(in, version) || version != kVersion) {
+  if (!ReadPod(in, version) ||
+      (version != kVersionBare && version != kVersionPermuted)) {
     return Status::Corruption(path + ": unsupported version");
   }
   std::vector<EdgeId> offsets;
@@ -86,7 +103,30 @@ Result<Graph> LoadGraphBinary(const std::string& path) {
   for (const OutEdge& e : adj) {
     if (e.to >= n) return Status::Corruption(path + ": arc target out of range");
   }
-  return Graph(std::move(offsets), std::move(adj));
+
+  GraphFile file;
+  if (version == kVersionPermuted) {
+    std::vector<NodeId> old_to_new;
+    if (!ReadVec(in, old_to_new, kMax)) {
+      return Status::Corruption(path + ": truncated permutation");
+    }
+    if (old_to_new.size() != n) {
+      return Status::Corruption(path + ": permutation size mismatch");
+    }
+    Result<Permutation> perm = Permutation::FromOldToNew(std::move(old_to_new));
+    if (!perm.ok()) {
+      return Status::Corruption(path + ": " + perm.status().message());
+    }
+    file.permutation = std::move(perm).value();
+  }
+  file.graph = Graph(std::move(offsets), std::move(adj));
+  return file;
+}
+
+Result<Graph> LoadGraphBinary(const std::string& path) {
+  Result<GraphFile> file = LoadGraphFile(path);
+  if (!file.ok()) return file.status();
+  return std::move(file.value().graph);
 }
 
 }  // namespace kpj

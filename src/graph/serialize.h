@@ -4,18 +4,45 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/reorder.h"
 #include "util/status.h"
 
 namespace kpj {
+
+/// A graph loaded from disk together with the node-id permutation stored
+/// alongside it (empty when the file carries none). When a permutation is
+/// present the CSR is in the relabeled (cache-optimized) layout and
+/// `permutation` maps original ids to that layout, so preprocessed graphs
+/// stay addressable by the ids the user originally loaded.
+struct GraphFile {
+  Graph graph;
+  Permutation permutation;
+};
 
 /// Saves `graph` in a compact binary format (magic + versioned header +
 /// raw CSR arrays). Reloading a multi-million-node network this way is
 /// ~100x faster than re-parsing DIMACS text, which matters for the
 /// benchmark harnesses that reuse datasets across runs.
+///
+/// Writes format version 1 (no permutation section) — byte-identical to
+/// files produced before permutations existed.
 Status SaveGraphBinary(const Graph& graph, const std::string& path);
 
-/// Loads a graph saved by SaveGraphBinary. Validates magic, version, and
-/// structural invariants before constructing.
+/// Saves `graph` plus the permutation mapping original ids to its layout.
+/// An empty/identity permutation writes a version-1 file; otherwise a
+/// version-2 file with a trailing permutation section (`permutation.size()`
+/// must equal `graph.NumNodes()`).
+Status SaveGraphBinary(const Graph& graph, const Permutation& permutation,
+                       const std::string& path);
+
+/// Loads a version-1 or version-2 file, returning the stored permutation
+/// (empty for version 1). Validates magic, version, structural invariants,
+/// and that any permutation is a bijection of the right size.
+Result<GraphFile> LoadGraphFile(const std::string& path);
+
+/// Loads just the graph, discarding any stored permutation. Node ids are
+/// then those of the stored layout; callers that must honour original ids
+/// use LoadGraphFile.
 Result<Graph> LoadGraphBinary(const std::string& path);
 
 }  // namespace kpj

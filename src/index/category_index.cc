@@ -76,6 +76,23 @@ bool CategoryIndex::Belongs(NodeId node, CategoryId category) const {
   return std::binary_search(cats.begin(), cats.end(), category);
 }
 
+CategoryIndex CategoryIndex::Remap(const Permutation& permutation) const {
+  if (permutation.empty()) return *this;
+  KPJ_CHECK(permutation.size() == num_nodes_)
+      << "permutation size " << permutation.size() << " != node universe "
+      << num_nodes_;
+  CategoryIndex out = *this;
+  for (auto& nodes : out.nodes_by_category_) {
+    for (NodeId& v : nodes) v = permutation.ToNew(v);
+    std::sort(nodes.begin(), nodes.end());
+  }
+  for (NodeId old_id = 0; old_id < num_nodes_; ++old_id) {
+    out.categories_by_node_[permutation.ToNew(old_id)] =
+        categories_by_node_[old_id];
+  }
+  return out;
+}
+
 Status CategoryIndex::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open " + path + " for writing");

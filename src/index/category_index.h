@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/reorder.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -50,6 +51,14 @@ class CategoryIndex {
 
   /// True if `node` belongs to `category`. O(log |V_categories(node)|).
   bool Belongs(NodeId node, CategoryId category) const;
+
+  /// Returns a copy of this index with every node id mapped through
+  /// `permutation` (old id -> new id), so the index stays usable after a
+  /// cache-locality relabeling of the graph (graph/reorder.h). Category
+  /// ids, names, and set sizes are unchanged; node lists are re-sorted. An
+  /// empty permutation returns an unchanged copy; otherwise
+  /// `permutation.size()` must equal `num_nodes()`.
+  CategoryIndex Remap(const Permutation& permutation) const;
 
   /// Binary (de)serialization with magic/version validation, so POI
   /// assignments can ship alongside a saved graph.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 
 #include "sssp/dijkstra.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace kpj {
@@ -28,26 +30,27 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph,
   std::vector<uint32_t> to_table(static_cast<size_t>(num) * n,
                                  kUnreachable32);
 
-  Dijkstra forward(graph);
-  Dijkstra backward(reverse_graph);
   Rng rng(options.seed);
+  const bool farthest = options.selection == LandmarkSelection::kFarthest;
 
-  if (options.selection == LandmarkSelection::kRandom) {
+  if (!farthest) {
     for (uint64_t v : rng.SampleDistinct(num, n)) {
       index.landmarks_.push_back(static_cast<NodeId>(v));
     }
-  }
-
-  // Farthest-point selection (paper footnote 3): pick a random start node,
-  // take the node farthest from it as the first landmark, then iteratively
-  // take the node maximizing the minimum distance to the landmark set.
-  // Distances here are forward distances from candidate landmarks, which on
-  // the (bidirectional) road networks of the paper are symmetric.
-  NodeId first = 0;
-  if (options.selection == LandmarkSelection::kFarthest) {
+  } else {
+    // Farthest-point selection (paper footnote 3): pick a random start
+    // node, take the node farthest from it as the first landmark, then
+    // iteratively take the node maximizing the minimum distance to the
+    // landmark set. Distances here are forward distances from candidate
+    // landmarks, which on the (bidirectional) road networks of the paper
+    // are symmetric. This chain is inherently sequential — landmark l+1
+    // depends on the SSSP of landmark l — so it runs on one thread; the
+    // forward distances it computes are kept, and only the remaining
+    // (independent) per-landmark runs are parallelized below.
+    Dijkstra forward(graph);
     NodeId start = static_cast<NodeId>(rng.NextBounded(n));
     forward.Run(start);
-    first = start;
+    NodeId first = start;
     PathLength best = 0;
     for (NodeId v = 0; v < n; ++v) {
       PathLength d = forward.Distance(v);
@@ -56,25 +59,17 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph,
         first = v;
       }
     }
-  }
 
-  std::vector<PathLength> min_dist(n, kInfLength);
-  NodeId next = first;
-  for (uint32_t l = 0; l < num; ++l) {
-    if (options.selection == LandmarkSelection::kFarthest) {
+    std::vector<PathLength> min_dist(n, kInfLength);
+    NodeId next = first;
+    for (uint32_t l = 0; l < num; ++l) {
       index.landmarks_.push_back(next);
-    }
-    next = index.landmarks_[l];  // Current landmark (either strategy).
-    forward.Run(next);
-    backward.Run(next);
-    for (NodeId v = 0; v < n; ++v) {
-      PathLength df = forward.Distance(v);
-      PathLength db = backward.Distance(v);
-      from_table[static_cast<size_t>(v) * num + l] = Narrow(df);
-      to_table[static_cast<size_t>(v) * num + l] = Narrow(db);
-      if (df < min_dist[v]) min_dist[v] = df;
-    }
-    if (options.selection == LandmarkSelection::kFarthest) {
+      forward.Run(next);
+      for (NodeId v = 0; v < n; ++v) {
+        PathLength df = forward.Distance(v);
+        from_table[static_cast<size_t>(v) * num + l] = Narrow(df);
+        if (df < min_dist[v]) min_dist[v] = df;
+      }
       // Choose the next landmark: reachable node farthest from the set.
       next = index.landmarks_.front();
       PathLength far = 0;
@@ -85,13 +80,39 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph,
           next = v;
         }
       }
-      if (far == 0) {
-        // Every reachable node is already a landmark; stop early.
-        index.landmarks_.resize(l + 1);
-        break;
-      }
+      if (far == 0) break;  // Every reachable node is already a landmark.
     }
   }
+
+  // Table filling: one backward (and, for random selection, one forward)
+  // Dijkstra per landmark. The runs are independent and write disjoint
+  // strided slots, so they parallelize trivially; each worker keeps its own
+  // engines (O(n) workspace each). Distances are exact, so the result is
+  // byte-identical to the serial build for any thread count.
+  const uint32_t actual_count = static_cast<uint32_t>(index.landmarks_.size());
+  struct Workspace {
+    std::unique_ptr<Dijkstra> forward;
+    std::unique_ptr<Dijkstra> backward;
+  };
+  std::vector<Workspace> workspaces(EffectiveWorkers(options.threads));
+  ParallelFor(actual_count, options.threads, [&](size_t l, unsigned worker) {
+    Workspace& ws = workspaces[worker];
+    if (ws.backward == nullptr) {
+      ws.backward = std::make_unique<Dijkstra>(reverse_graph);
+      if (!farthest) ws.forward = std::make_unique<Dijkstra>(graph);
+    }
+    const NodeId landmark = index.landmarks_[l];
+    ws.backward->Run(landmark);
+    if (!farthest) ws.forward->Run(landmark);
+    for (NodeId v = 0; v < n; ++v) {
+      to_table[static_cast<size_t>(v) * num + l] =
+          Narrow(ws.backward->Distance(v));
+      if (!farthest) {
+        from_table[static_cast<size_t>(v) * num + l] =
+            Narrow(ws.forward->Distance(v));
+      }
+    }
+  });
   const uint32_t actual = static_cast<uint32_t>(index.landmarks_.size());
   if (actual == num) {
     index.dist_from_ = std::move(from_table);
@@ -110,6 +131,28 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph,
     }
   }
   return index;
+}
+
+LandmarkIndex LandmarkIndex::Remap(const Permutation& permutation) const {
+  if (permutation.empty()) return *this;
+  KPJ_CHECK(permutation.size() == num_nodes_)
+      << "permutation does not match landmark index";
+  LandmarkIndex out;
+  out.num_nodes_ = num_nodes_;
+  out.landmarks_.reserve(landmarks_.size());
+  for (NodeId l : landmarks_) out.landmarks_.push_back(permutation.ToNew(l));
+  // Node-major tables: a node's row moves as a block; landmark columns stay
+  // in selection order so column l still belongs to landmarks_[l].
+  out.dist_from_.resize(dist_from_.size());
+  out.dist_to_.resize(dist_to_.size());
+  const uint32_t num = num_landmarks();
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const size_t src = static_cast<size_t>(v) * num;
+    const size_t dst = static_cast<size_t>(permutation.ToNew(v)) * num;
+    std::copy_n(dist_from_.begin() + src, num, out.dist_from_.begin() + dst);
+    std::copy_n(dist_to_.begin() + src, num, out.dist_to_.begin() + dst);
+  }
+  return out;
 }
 
 PathLength LandmarkIndex::LowerBound(NodeId u, NodeId v) const {

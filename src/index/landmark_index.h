@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/reorder.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -28,6 +29,12 @@ struct LandmarkIndexOptions {
   /// Seed for the random start node of farthest-point selection.
   uint64_t seed = 42;
   LandmarkSelection selection = LandmarkSelection::kFarthest;
+  /// Worker threads for the table-filling Dijkstras (each landmark's runs
+  /// are independent; workers keep their own SSSP workspaces and write
+  /// disjoint table slots). Distances are exact, so the built index is
+  /// byte-identical for every thread count. Landmark *selection* stays
+  /// sequential: farthest-point selection is an inherently serial chain.
+  unsigned threads = 1;
 };
 
 /// Offline landmark (ALT) distance index (paper §4.2, [16]).
@@ -73,6 +80,14 @@ class LandmarkIndex {
   /// Lower bound on the point-to-point shortest distance dist(u, v).
   /// Returns kInfLength when the tables prove v unreachable from u.
   PathLength LowerBound(NodeId u, NodeId v) const;
+
+  /// Returns a copy of this index with every node id mapped through
+  /// `permutation` (old id -> new id): landmark ids are translated and the
+  /// node-major table rows permuted. Bounds are invariant:
+  /// `Remap(p).LowerBound(p.ToNew(u), p.ToNew(v)) == LowerBound(u, v)`.
+  /// An empty permutation returns an unchanged copy; otherwise
+  /// `permutation.size()` must equal `num_nodes()`.
+  LandmarkIndex Remap(const Permutation& permutation) const;
 
   /// Serialization (binary, with magic/version).
   Status Save(const std::string& path) const;

@@ -8,9 +8,13 @@ namespace kpj {
 
 unsigned EffectiveWorkers(unsigned threads) {
   if (threads <= 1) return 1;
+  // Clamp to the hardware: oversubscribing CPU-bound shortest-path work
+  // only adds context-switch overhead. hardware_concurrency() may return 0
+  // when the value is not computable; fall back to 2 workers so callers
+  // that explicitly asked for parallelism still get some overlap.
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 2;
-  return std::min(threads, hw * 4);  // Sanity cap.
+  return std::min(threads, hw);
 }
 
 void ParallelFor(size_t count, unsigned threads,

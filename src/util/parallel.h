@@ -20,7 +20,11 @@ void ParallelFor(size_t count, unsigned threads,
                  const std::function<void(size_t index, unsigned worker)>&
                      body);
 
-/// Number of workers ParallelFor will actually use for `threads`.
+/// Number of workers ParallelFor will actually use for `threads`: the
+/// request clamped to `std::thread::hardware_concurrency()`. When the
+/// hardware concurrency is unknown (reported as 0) the clamp falls back to
+/// 2 so explicit parallelism requests still overlap. `threads <= 1` is
+/// always 1 (inline execution).
 unsigned EffectiveWorkers(unsigned threads);
 
 }  // namespace kpj

@@ -170,6 +170,92 @@ TEST_F(CliFlowTest, FullPipeline) {
   EXPECT_NE(out.find("2 queries"), std::string::npos);
 }
 
+TEST_F(CliFlowTest, ReorderPreservesQueryResults) {
+  std::string g = PathFor("g.bin");
+  std::string lm = PathFor("g.lm");
+  ASSERT_EQ(Run({"generate", "--nodes", "2000", "--seed", "5", "--out", g}),
+            0);
+  ASSERT_EQ(Run({"landmarks", "--graph", g, "--out", lm, "--count", "4"}),
+            0);
+
+  auto paths_only = [](const std::string& text) {
+    std::string lengths;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty() && line[0] != '#') lengths += line + "\n";
+    }
+    return lengths;
+  };
+  std::vector<std::string> query = {"query",     "--graph",   g,
+                                    "--source",  "3",         "--targets",
+                                    "150,700,1300", "--k",    "5",
+                                    "--landmarks", lm};
+  std::string baseline;
+  ASSERT_EQ(Run(query, &baseline), 0) << baseline;
+  ASSERT_FALSE(paths_only(baseline).empty());
+
+  // In-memory reordering at query time: same paths, same (original) ids.
+  for (const char* strategy : {"bfs", "degree", "hybrid"}) {
+    std::string out;
+    std::vector<std::string> args = query;
+    args.push_back("--reorder");
+    args.push_back(strategy);
+    ASSERT_EQ(Run(args, &out), 0) << strategy << ": " << out;
+    EXPECT_EQ(paths_only(out), paths_only(baseline)) << strategy;
+  }
+
+  // Reordering baked into the file: info reports it, ids stay original.
+  std::string g2 = PathFor("g_bfs.bin");
+  std::string out;
+  ASSERT_EQ(Run({"convert", "--in", g, "--out", g2, "--reorder", "bfs"},
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run({"info", "--graph", g2}, &out), 0);
+  EXPECT_NE(out.find("reordered:    yes"), std::string::npos);
+  std::vector<std::string> query2 = query;
+  query2[2] = g2;
+  query2[10] = PathFor("g2.lm");  // Landmarks aligned to the file's layout.
+  ASSERT_EQ(Run({"landmarks", "--graph", g2, "--out", query2[10], "--count",
+                 "4"}),
+            0);
+  ASSERT_EQ(Run(query2, &out), 0) << out;
+  EXPECT_EQ(paths_only(out), paths_only(baseline));
+
+  // DIMACS text cannot carry a permutation.
+  std::string err;
+  EXPECT_NE(Run({"convert", "--in", g, "--out", PathFor("g.gr"),
+                 "--reorder", "bfs"},
+                nullptr, &err),
+            0);
+  EXPECT_NE(err.find("permutation"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, LandmarksThreadsFlagIsByteIdentical) {
+  std::string g = PathFor("g.bin");
+  std::string lm1 = PathFor("g1.lm");
+  std::string lm4 = PathFor("g4.lm");
+  ASSERT_EQ(Run({"generate", "--nodes", "800", "--seed", "6", "--out", g}),
+            0);
+  ASSERT_EQ(Run({"landmarks", "--graph", g, "--out", lm1, "--count", "3"}),
+            0);
+  ASSERT_EQ(Run({"landmarks", "--graph", g, "--out", lm4, "--count", "3",
+                 "--threads", "4"}),
+            0);
+  std::ifstream f1(lm1, std::ios::binary), f4(lm4, std::ios::binary);
+  std::stringstream b1, b4;
+  b1 << f1.rdbuf();
+  b4 << f4.rdbuf();
+  EXPECT_EQ(b1.str(), b4.str());
+
+  std::string err;
+  EXPECT_NE(Run({"landmarks", "--graph", g, "--out", lm1, "--threads", "0"},
+                nullptr, &err),
+            0);
+  EXPECT_NE(err.find("--threads"), std::string::npos);
+}
+
 TEST_F(CliFlowTest, QueryErrors) {
   std::string g = PathFor("g.bin");
   ASSERT_EQ(Run({"generate", "--nodes", "500", "--out", g}), 0);

@@ -289,6 +289,29 @@ TEST(LandmarkIndexTest, RandomSelectionIsDistinctAndAdmissible) {
   }
 }
 
+TEST(LandmarkIndexTest, ParallelBuildIsByteIdenticalToSerial) {
+  // Table filling parallelizes over landmarks; distances are exact and the
+  // write slots disjoint, so any thread count must reproduce the serial
+  // build bit for bit — for both selection strategies.
+  for (LandmarkSelection selection :
+       {LandmarkSelection::kFarthest, LandmarkSelection::kRandom}) {
+    Graph g = RandomGraph(14, 80, 0.08, true);
+    Graph rev = g.Reverse();
+    LandmarkIndexOptions opt;
+    opt.num_landmarks = 6;
+    opt.selection = selection;
+    opt.threads = 1;
+    LandmarkIndex serial = LandmarkIndex::Build(g, rev, opt);
+    for (unsigned threads : {2u, 8u}) {
+      opt.threads = threads;
+      LandmarkIndex parallel = LandmarkIndex::Build(g, rev, opt);
+      EXPECT_TRUE(parallel.Equals(serial))
+          << "threads=" << threads
+          << " selection=" << static_cast<int>(selection);
+    }
+  }
+}
+
 TEST(LandmarkIndexTest, FarthestSelectionSpreadsBetterThanRandom) {
   // On a long chain, farthest-point selection must include both
   // endpoints; the point bound between them is then exact.

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/kpj.h"
@@ -20,6 +21,22 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
     ParallelFor(1000, threads,
                 [&](size_t i, unsigned) { hits[i].fetch_add(1); });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EffectiveWorkersClampsToHardware) {
+  EXPECT_EQ(EffectiveWorkers(0), 1u);
+  EXPECT_EQ(EffectiveWorkers(1), 1u);
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;  // The documented fallback when hw is unknown.
+  // Requests never exceed the hardware: oversubscribing CPU-bound searches
+  // only adds context switches.
+  EXPECT_EQ(EffectiveWorkers(hw + 1), hw);
+  EXPECT_EQ(EffectiveWorkers(1u << 20), hw);
+  EXPECT_EQ(EffectiveWorkers(2), std::min(2u, hw));
+  // Monotone in the request.
+  for (unsigned t = 1; t < 20; ++t) {
+    EXPECT_LE(EffectiveWorkers(t), EffectiveWorkers(t + 1));
   }
 }
 
