@@ -1,0 +1,220 @@
+// Batch throughput of the concurrent KpjEngine (core/engine.h) against the
+// serial single-solver loop it replaces, on the road_240k workload.
+//
+// The engine must be a pure scheduling layer: every worker runs its own
+// pooled solver over the shared read-only instance, so the answer set is
+// byte-identical at every thread count. Each configuration's results are
+// canonicalized (full node sequences + lengths) and compared to the serial
+// baseline; a mismatch aborts the benchmark.
+//
+// Timing: configurations are measured in interleaved rounds (serial and
+// every thread count once per round) and the best round is reported, so
+// machine-wide drift cannot masquerade as a scaling effect. Thread counts
+// above the core count are still measured (clamp_to_hardware=false) —
+// on small machines the recorded speedup is honestly flat.
+//
+// Output: a table plus a JSON summary (speedups vs the serial loop and the
+// 8-thread engine's execution metrics) written to the path in
+// KPJ_BENCH_JSON, or to stdout when the variable is unset.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "core/kpj_instance.h"
+#include "core/solver.h"
+#include "gen/road_gen.h"
+#include "graph/reorder.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace kpj::bench {
+namespace {
+
+/// Relabels `graph` by a deterministic random permutation, simulating the
+/// topology-uncorrelated node numbering of real-world inputs (same baseline
+/// convention as bench_reorder).
+Graph ScrambleLayout(const Graph& graph, uint64_t seed) {
+  std::vector<NodeId> map(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) map[v] = v;
+  Rng rng(seed);
+  rng.Shuffle(map);
+  Result<Permutation> perm = Permutation::FromOldToNew(std::move(map));
+  KPJ_CHECK(perm.ok());
+  return ApplyPermutation(graph, perm.value());
+}
+
+/// Canonical rendering of a batch's answers: node sequences and lengths in
+/// input order. Two runs agree iff these strings are byte-identical.
+std::string Canonicalize(const std::vector<Result<KpjResult>>& results) {
+  std::ostringstream os;
+  for (size_t i = 0; i < results.size(); ++i) {
+    KPJ_CHECK(results[i].ok()) << results[i].status().ToString();
+    const KpjResult& r = results[i].value();
+    KPJ_CHECK(r.status.ok()) << r.status.ToString();
+    os << "q" << i << ":";
+    for (const Path& p : r.paths) {
+      os << " [" << p.length << ":";
+      for (NodeId v : p.nodes) os << " " << v;
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+constexpr double kInfMs = 1e300;
+
+int Main() {
+  const HarnessOptions harness = HarnessFromEnv();
+  const size_t num_queries = std::max<size_t>(harness.queries_per_set * 8, 40);
+  const uint32_t kTargets = 32;
+  const uint32_t kK = 20;
+  const uint32_t kLandmarks = 8;
+  const int kRounds = 3;
+  const unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+  RoadGenOptions road;
+  road.seed = 12;
+  road.target_nodes = 240000;
+  Graph base = ScrambleLayout(GenerateRoadNetwork(road).graph, 22);
+  std::fprintf(stderr, "[bench_engine] road_240k: %u nodes, %u arcs\n",
+               base.NumNodes(), base.NumEdges());
+  const NodeId num_nodes = base.NumNodes();
+  const uint32_t num_arcs = base.NumEdges();
+
+  Result<KpjInstance> made = KpjInstance::Make(std::move(base),
+                                               ReorderStrategy::kHybrid);
+  KPJ_CHECK(made.ok()) << made.status().ToString();
+  KpjInstance instance = std::move(made).value();
+
+  LandmarkIndexOptions lm_opt;
+  lm_opt.num_landmarks = kLandmarks;
+  KPJ_CHECK(instance
+                .AttachLandmarks(LandmarkIndex::Build(
+                    instance.graph(), instance.reverse(), lm_opt))
+                .ok());
+
+  // Workload in original ids: k paths from a random source to a fixed
+  // random target set, the paper's single-source KPJ shape.
+  std::vector<NodeId> targets;
+  for (uint64_t t : Rng(98).SampleDistinct(kTargets, num_nodes)) {
+    targets.push_back(static_cast<NodeId>(t));
+  }
+  Rng rng(97);
+  std::vector<KpjQuery> queries;
+  for (size_t i = 0; i < num_queries; ++i) {
+    KpjQuery q;
+    q.sources = {static_cast<NodeId>(rng.NextBounded(num_nodes))};
+    q.targets = targets;
+    q.k = kK;
+    queries.push_back(std::move(q));
+  }
+
+  KpjOptions solver_options;
+  solver_options.algorithm = Algorithm::kIterBoundSptI;
+
+  // Serial baseline: one warm solver, one thread, plain loop — the code
+  // shape CmdBatch had before the engine existed.
+  std::unique_ptr<KpjSolver> serial_solver =
+      MakeSolver(instance, solver_options);
+  auto run_serial = [&]() {
+    std::vector<Result<KpjResult>> results;
+    results.reserve(queries.size());
+    for (const KpjQuery& q : queries) {
+      results.emplace_back(RunKpjOnInstance(instance, q, solver_options,
+                                            serial_solver.get(),
+                                            /*cancel=*/nullptr));
+    }
+    return results;
+  };
+
+  // Engines are built once per thread count so their per-worker solver
+  // pools stay warm across rounds, mirroring a long-lived server.
+  std::vector<std::unique_ptr<KpjEngine>> engines;
+  for (unsigned threads : kThreadCounts) {
+    KpjEngineOptions eopt;
+    eopt.threads = threads;
+    eopt.clamp_to_hardware = false;  // Measure 8 workers even on small boxes.
+    eopt.solver = solver_options;
+    engines.push_back(std::make_unique<KpjEngine>(instance, eopt));
+  }
+
+  // Warm-up + reference answers.
+  const std::string reference = Canonicalize(run_serial());
+  std::vector<bool> identical(engines.size(), true);
+  for (size_t i = 0; i < engines.size(); ++i) {
+    identical[i] =
+        Canonicalize(engines[i]->RunBatch(queries)) == reference;
+    KPJ_CHECK(identical[i])
+        << "engine results diverge from serial at threads="
+        << kThreadCounts[i];
+  }
+
+  double serial_ms = kInfMs;
+  std::vector<double> engine_ms(engines.size(), kInfMs);
+  for (int round = 0; round < kRounds; ++round) {
+    Timer timer;
+    run_serial();
+    serial_ms = std::min(serial_ms, timer.ElapsedMillis());
+    for (size_t i = 0; i < engines.size(); ++i) {
+      timer.Restart();
+      engines[i]->RunBatch(queries);
+      engine_ms[i] = std::min(engine_ms[i], timer.ElapsedMillis());
+    }
+  }
+
+  Table table("Engine batch throughput on road_240k (" +
+                  std::to_string(num_queries) + " queries)",
+              {"batch ms", "ms/query", "speedup"});
+  table.AddRow("serial loop",
+               {serial_ms, serial_ms / static_cast<double>(num_queries), 1.0});
+  for (size_t i = 0; i < engines.size(); ++i) {
+    table.AddRow("engine x" + std::to_string(kThreadCounts[i]),
+                 {engine_ms[i],
+                  engine_ms[i] / static_cast<double>(num_queries),
+                  serial_ms / engine_ms[i]});
+  }
+  table.Print();
+
+  std::ostringstream json;
+  json << "{\"bench\":\"bench_engine\",\"dataset\":\"road_240k\""
+       << ",\"nodes\":" << num_nodes << ",\"arcs\":" << num_arcs
+       << ",\"queries\":" << num_queries
+       << ",\"algorithm\":\"" << AlgorithmName(solver_options.algorithm)
+       << "\",\"serial_ms\":" << serial_ms << ",\"rows\":[";
+  for (size_t i = 0; i < engines.size(); ++i) {
+    if (i) json << ",";
+    json << "{\"threads\":" << kThreadCounts[i]
+         << ",\"batch_ms\":" << engine_ms[i]
+         << ",\"speedup\":" << serial_ms / engine_ms[i]
+         << ",\"identical_to_serial\":" << (identical[i] ? "true" : "false")
+         << "}";
+  }
+  json << "],\"engine_x8_metrics\":" << engines.back()->MetricsJson() << "}";
+
+  if (const char* path = std::getenv("KPJ_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream out(path, std::ios::trunc);
+    out << json.str() << "\n";
+    std::fprintf(stderr, "[bench_engine] JSON -> %s\n", path);
+  } else {
+    std::cout << json.str() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kpj::bench
+
+int main() { return kpj::bench::Main(); }

@@ -4,10 +4,13 @@
 #
 #   scripts/check.sh                 # release-ish build + ctest
 #   scripts/check.sh --asan          # opt-in AddressSanitizer + UBSan run
+#   scripts/check.sh --tsan          # opt-in ThreadSanitizer run of the
+#                                    # concurrency suite (engine, pool,
+#                                    # parallel) only
 #   KPJ_CHECK_JOBS=8 scripts/check.sh
 #
-# The sanitizer run uses a separate build tree (build-asan/) so it never
-# invalidates the incremental default build.
+# Sanitizer runs use separate build trees (build-asan/, build-tsan/) so
+# they never invalidate the incremental default build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,12 +18,20 @@ cd "$(dirname "$0")/.."
 jobs="${KPJ_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 build_dir=build
 cmake_flags=()
+ctest_flags=()
 
 if [[ "${1:-}" == "--asan" || "${KPJ_CHECK_ASAN:-0}" == "1" ]]; then
   build_dir=build-asan
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all")
+elif [[ "${1:-}" == "--tsan" || "${KPJ_CHECK_TSAN:-0}" == "1" ]]; then
+  # TSAN and ASAN cannot be combined; the TSAN tree only runs the tests
+  # that actually exercise threads (the full suite is single-threaded and
+  # ~10x slower under TSAN for no added coverage).
+  build_dir=build-tsan
+  cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all")
+  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test")
 fi
 
 cmake -B "$build_dir" -S . "${cmake_flags[@]}"
 cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${ctest_flags[@]}"

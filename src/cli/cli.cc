@@ -4,14 +4,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/engine.h"
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "gen/poi_gen.h"
 #include "gen/road_gen.h"
 #include "graph/connectivity.h"
 #include "graph/dimacs_io.h"
 #include "graph/serialize.h"
 #include "index/landmark_index.h"
-#include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -58,6 +59,46 @@ Result<ReorderStrategy> GetReorderFlag(const ParsedArgs& args) {
   return ParseReorderStrategy(*name);
 }
 
+/// Reads the --threads flag (default `def`, must be >= 1). The single
+/// parsing/validation point shared by landmarks/query/batch; the advisory
+/// hardware clamp is applied downstream (ThreadPool::ClampToHardware).
+Result<unsigned> GetThreadsFlag(const ParsedArgs& args, int64_t def = 1) {
+  Result<int64_t> threads = args.GetInt("threads", def);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  return static_cast<unsigned>(threads.value());
+}
+
+/// Reads the --deadline-ms flag (default 0 = unbounded).
+Result<double> GetDeadlineFlag(const ParsedArgs& args) {
+  auto text = args.Get("deadline-ms");
+  if (!text.has_value()) return 0.0;
+  auto parsed = ParseDouble(*text);
+  if (!parsed || *parsed < 0.0) {
+    return Status::InvalidArgument("--deadline-ms must be >= 0");
+  }
+  return *parsed;
+}
+
+/// Honors --metrics-json FILE ('-' = stdout): dumps the engine's execution
+/// metrics after the queries ran.
+Status MaybeDumpMetrics(const ParsedArgs& args, const KpjEngine& engine,
+                        std::ostream& out) {
+  auto path = args.Get("metrics-json");
+  if (!path.has_value()) return Status::Ok();
+  std::string json = engine.MetricsJson();
+  if (*path == "-" || path->empty()) {
+    out << json << "\n";
+    return Status::Ok();
+  }
+  std::ofstream file(*path);
+  if (!file) return Status::IoError("cannot open " + *path);
+  file << json << "\n";
+  return Status::Ok();
+}
+
 void PrintHelp(std::ostream& out) {
   out << "kpj_cli — top-k shortest path join queries\n"
          "\n"
@@ -73,12 +114,17 @@ void PrintHelp(std::ostream& out) {
          " --category NAME)\n"
          "                    [--k 10] [--algorithm NAME]"
          " [--landmarks FILE] [--alpha 1.1]\n"
-         "                    [--reorder STRAT] [--stats]\n"
+         "                    [--reorder STRAT] [--stats] [--threads N]\n"
+         "                    [--deadline-ms MS] [--metrics-json FILE|-]\n"
          "  kpj_cli batch     --graph FILE --queries FILE"
          " [--algorithm NAME] [--landmarks FILE]\n"
          "                    [--threads N] [--reorder STRAT]\n"
+         "                    [--deadline-ms MS] [--metrics-json FILE|-]\n"
          "\n"
          "Graph files: .gr = DIMACS text, otherwise compact binary.\n"
+         "Queries run on the concurrent engine: --threads sets the worker\n"
+         "pool, --deadline-ms bounds each query (partial results are\n"
+         "flagged, not errors), --metrics-json dumps execution metrics.\n"
          "Binary graphs may store a cache-locality reordering; node ids on\n"
          "the command line and in output always refer to original ids.\n"
          "Reorder strategies: none (default), bfs, degree, hybrid.\n"
@@ -200,12 +246,10 @@ int CmdLandmarks(const ParsedArgs& args, std::ostream& out,
   if (!out_path.ok()) return Fail(err, out_path.status());
   Result<int64_t> count = args.GetInt("count", 16);
   Result<int64_t> seed = args.GetInt("seed", 42);
-  Result<int64_t> threads = args.GetInt("threads", 1);
+  Result<unsigned> threads = GetThreadsFlag(args);
   if (!count.ok()) return Fail(err, count.status());
   if (!seed.ok()) return Fail(err, seed.status());
-  if (!threads.ok() || threads.value() < 1) {
-    return Fail(err, Status::InvalidArgument("--threads must be >= 1"));
-  }
+  if (!threads.ok()) return Fail(err, threads.status());
 
   // The index is built in (and aligned with) the file's stored layout, so
   // it plugs into query/batch runs over the same graph file directly.
@@ -216,7 +260,7 @@ int CmdLandmarks(const ParsedArgs& args, std::ostream& out,
   LandmarkIndexOptions opt;
   opt.num_landmarks = static_cast<uint32_t>(count.value());
   opt.seed = static_cast<uint64_t>(seed.value());
-  opt.threads = static_cast<unsigned>(threads.value());
+  opt.threads = threads.value();
   LandmarkIndex index = LandmarkIndex::Build(graph, graph.Reverse(), opt);
   Status saved = index.Save(out_path.value());
   if (!saved.ok()) return Fail(err, saved);
@@ -260,11 +304,14 @@ int CmdPois(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 struct QuerySetup {
-  /// Graph in its internal (possibly reordered) layout plus the permutation
-  /// back to user-visible ids; the kpj.h facade translates at the boundary.
-  ReorderedGraph rg;
-  LandmarkIndex landmarks;  // Empty if no --landmarks flag.
+  /// The unified handle serving the command: graph in its internal
+  /// (possibly reordered) layout, the permutation back to user-visible
+  /// ids, and any attached indexes. Node-id translation happens inside the
+  /// instance-based facade / engine.
+  KpjInstance instance;
   KpjOptions options;
+
+  explicit QuerySetup(KpjInstance inst) : instance(std::move(inst)) {}
 };
 
 Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
@@ -275,14 +322,14 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
   Result<ReorderStrategy> reorder = GetReorderFlag(args);
   if (!reorder.ok()) return reorder.status();
 
-  QuerySetup setup;
-
-  setup.options.algorithm = Algorithm::kIterBoundSptI;
+  KpjOptions options;
+  options.algorithm = Algorithm::kIterBoundSptI;
   if (auto name = args.Get("algorithm"); name.has_value()) {
     Result<Algorithm> algorithm = ParseAlgorithm(*name);
     if (!algorithm.ok()) return algorithm.status();
-    setup.options.algorithm = algorithm.value();
+    options.algorithm = algorithm.value();
   }
+  LandmarkIndex landmarks;  // Empty unless --landmarks.
   if (auto lm = args.Get("landmarks"); lm.has_value()) {
     Result<LandmarkIndex> index = LandmarkIndex::Load(*lm);
     if (!index.ok()) return index.status();
@@ -290,7 +337,7 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
       return Status::InvalidArgument(
           "landmark index was built for a different graph");
     }
-    setup.landmarks = std::move(index).value();
+    landmarks = std::move(index).value();
   }
 
   // --reorder relabels in memory on top of whatever layout the file stores.
@@ -300,16 +347,23 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
     Permutation extra =
         ComputeReordering(file.value().graph, reorder.value());
     file.value().graph = ApplyPermutation(file.value().graph, extra);
-    if (setup.landmarks.num_landmarks() > 0) {
-      setup.landmarks = setup.landmarks.Remap(extra);
+    if (landmarks.num_landmarks() > 0) {
+      landmarks = landmarks.Remap(extra);
     }
     file.value().permutation =
         file.value().permutation.empty()
             ? extra
             : file.value().permutation.ComposeWith(extra);
   }
-  setup.rg = WrapReordered(std::move(file.value().graph),
-                           std::move(file.value().permutation));
+  Result<KpjInstance> instance = KpjInstance::Wrap(
+      std::move(file.value().graph), std::move(file.value().permutation));
+  if (!instance.ok()) return instance.status();
+  QuerySetup setup(std::move(instance).value());
+  setup.options = options;
+  if (landmarks.num_landmarks() > 0) {
+    Status attached = setup.instance.AttachLandmarks(std::move(landmarks));
+    if (!attached.ok()) return attached;
+  }
   return setup;
 }
 
@@ -317,7 +371,6 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Result<QuerySetup> setup = LoadQuerySetup(args);
   if (!setup.ok()) return Fail(err, setup.status());
   QuerySetup& s = setup.value();
-  if (s.landmarks.num_landmarks() > 0) s.options.landmarks = &s.landmarks;
 
   Result<std::string> source_text = args.Require("source");
   if (!source_text.ok()) return Fail(err, source_text.status());
@@ -331,16 +384,16 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     if (!cats_path.ok()) return Fail(err, cats_path.status());
     Result<CategoryIndex> index = CategoryIndex::Load(cats_path.value());
     if (!index.ok()) return Fail(err, index.status());
-    if (index.value().num_nodes() != s.rg.graph.NumNodes()) {
-      return Fail(err, Status::InvalidArgument(
-                           "category index was built for a different graph"));
-    }
-    std::optional<CategoryId> cat = index.value().Find(*cat_name);
+    // AttachCategories rejects an index built for a different graph.
+    Status attached = s.instance.AttachCategories(std::move(index).value());
+    if (!attached.ok()) return Fail(err, attached);
+    const CategoryIndex& cats = *s.instance.categories();
+    std::optional<CategoryId> cat = cats.Find(*cat_name);
     if (!cat.has_value()) {
       return Fail(err,
                   Status::NotFound("category '" + *cat_name + "'"));
     }
-    target_nodes = index.value().Nodes(*cat);
+    target_nodes = cats.Nodes(*cat);
     if (target_nodes.empty()) {
       return Fail(err, Status::InvalidArgument("category is empty"));
     }
@@ -363,16 +416,24 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     }
     s.options.alpha = *parsed;
   }
+  Result<unsigned> threads = GetThreadsFlag(args);
+  if (!threads.ok()) return Fail(err, threads.status());
+  Result<double> deadline = GetDeadlineFlag(args);
+  if (!deadline.ok()) return Fail(err, deadline.status());
 
   KpjQuery query;
   query.sources = std::move(sources).value();
   query.targets = std::move(target_nodes);
   query.k = static_cast<uint32_t>(k.value());
 
+  KpjEngineOptions engine_options;
+  engine_options.threads = threads.value();
+  engine_options.default_deadline_ms = deadline.value();
+  engine_options.solver = s.options;
+  KpjEngine engine(s.instance, engine_options);
+
   Timer timer;
-  // The ReorderedGraph overload translates original-id sources/targets into
-  // the internal layout and maps result paths back.
-  Result<KpjResult> result = RunKpj(s.rg, query, s.options);
+  Result<KpjResult> result = engine.Submit(std::move(query)).get();
   if (!result.ok()) return Fail(err, result.status());
   double ms = timer.ElapsedMillis();
 
@@ -381,6 +442,11 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   out << "# " << result.value().paths.size() << " paths in " << ms
       << " ms using " << AlgorithmName(s.options.algorithm) << "\n";
+  if (!result.value().status.ok()) {
+    // Deadline/cancellation: the paths above are a valid prefix of the
+    // answer, flagged rather than treated as a hard failure.
+    out << "# partial result: " << result.value().status.ToString() << "\n";
+  }
   if (args.Has("stats")) {
     const QueryStats& st = result.value().stats;
     out << "# shortest-path computations: "
@@ -389,6 +455,8 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         << "# nodes settled:              " << st.nodes_settled << "\n"
         << "# SPT nodes:                  " << st.spt_nodes << "\n";
   }
+  Status dumped = MaybeDumpMetrics(args, engine, out);
+  if (!dumped.ok()) return Fail(err, dumped);
   return 0;
 }
 
@@ -396,7 +464,6 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Result<QuerySetup> setup = LoadQuerySetup(args);
   if (!setup.ok()) return Fail(err, setup.status());
   QuerySetup& s = setup.value();
-  if (s.landmarks.num_landmarks() > 0) s.options.landmarks = &s.landmarks;
 
   Result<std::string> queries_path = args.Require("queries");
   if (!queries_path.ok()) return Fail(err, queries_path.status());
@@ -406,10 +473,10 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
                 Status::IoError("cannot open " + queries_path.value()));
   }
 
-  Result<int64_t> threads = args.GetInt("threads", 1);
-  if (!threads.ok() || threads.value() < 1) {
-    return Fail(err, Status::InvalidArgument("--threads must be >= 1"));
-  }
+  Result<unsigned> threads = GetThreadsFlag(args);
+  if (!threads.ok()) return Fail(err, threads.status());
+  Result<double> deadline = GetDeadlineFlag(args);
+  if (!deadline.ok()) return Fail(err, deadline.status());
 
   // Parse all queries up front so they can be executed in parallel.
   struct BatchQuery {
@@ -452,29 +519,37 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     queries.push_back(std::move(bq));
   }
 
-  // Execute (optionally across threads: the graph and landmark index are
-  // shared read-only; each RunKpj call owns its solver state). Results are
-  // buffered and printed in input order.
-  std::vector<Result<KpjResult>> results(queries.size(),
-                                         Status::FailedPrecondition("unrun"));
+  // Execute on the engine: the pool runs one warm solver per worker over
+  // the shared read-only instance. Results come back in input order.
+  std::vector<KpjQuery> engine_queries;
+  engine_queries.reserve(queries.size());
+  for (const BatchQuery& bq : queries) engine_queries.push_back(bq.query);
+
+  KpjEngineOptions engine_options;
+  engine_options.threads = threads.value();
+  engine_options.default_deadline_ms = deadline.value();
+  engine_options.solver = s.options;
+  KpjEngine engine(s.instance, engine_options);
+
   Timer batch_timer;
-  ParallelFor(queries.size(), static_cast<unsigned>(threads.value()),
-              [&](size_t i, unsigned /*worker*/) {
-                results[i] = RunKpj(s.rg, queries[i].query, s.options);
-              });
+  std::vector<Result<KpjResult>> results = engine.RunBatch(engine_queries);
   double total_ms = batch_timer.ElapsedMillis();
 
   for (size_t i = 0; i < queries.size(); ++i) {
     if (!results[i].ok()) return Fail(err, results[i].status());
     out << "query " << queries[i].line_no << ":";
     for (const Path& p : results[i].value().paths) out << " " << p.length;
+    if (!results[i].value().status.ok()) {
+      out << " # partial: " << results[i].value().status.ToString();
+    }
     out << "\n";
   }
   out << "# " << queries.size() << " queries, " << total_ms
       << " ms wall (" << (queries.empty() ? 0.0 : total_ms / queries.size())
       << " ms/query, " << AlgorithmName(s.options.algorithm) << ", "
-      << EffectiveWorkers(static_cast<unsigned>(threads.value()))
-      << " workers)\n";
+      << engine.num_workers() << " workers)\n";
+  Status dumped = MaybeDumpMetrics(args, engine, out);
+  if (!dumped.ok()) return Fail(err, dumped);
   return 0;
 }
 

@@ -54,14 +54,23 @@ Result<std::vector<NodeId>> ParseNodeList(const std::string& text);
 ///             [--k 10]
 ///             [--algorithm NAME] [--landmarks FILE] [--alpha 1.1] [--stats]
 ///             [--reorder STRAT]             (in-memory, at load time)
+///             [--threads N] [--deadline-ms MS] [--metrics-json FILE|-]
 ///   batch     --graph FILE --queries FILE [--algorithm NAME]
 ///             [--landmarks FILE] [--threads N] [--reorder STRAT]
+///             [--deadline-ms MS] [--metrics-json FILE|-]
 ///             (query file: one `source k target...` line per query)
 ///   help
 ///
+/// query and batch run on the concurrent KpjEngine over a KpjInstance:
+/// --threads sets the worker pool size, --deadline-ms bounds each query
+/// (an expired deadline yields a flagged partial result, not an error),
+/// and --metrics-json dumps the engine's execution metrics as JSON to a
+/// file ('-' = stdout).
+///
 /// Node ids on the command line and in output always refer to the graph's
 /// original ids, even when the file stores (or --reorder applies) a
-/// cache-locality relabeling; translation happens inside the kpj.h facade.
+/// cache-locality relabeling; translation happens inside the instance
+/// facade (core/kpj_instance.h).
 int RunCli(std::span<const std::string> args, std::ostream& out,
            std::ostream& err);
 

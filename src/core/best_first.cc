@@ -32,6 +32,7 @@ bool BestFirstFramework::ComputeRootPath(const PreparedQuery& query,
   SubspaceSearchRequest request;
   request.start = query.source;
   request.prefix_length = 0;
+  request.cancel = cancel_;
 
   ++stats->shortest_path_computations;
   SubspaceSearchResult result = search_.Run(request, *heuristic_, stats);
@@ -92,17 +93,26 @@ double BestFirstFramework::CompLB(uint32_t v, QueryStats* stats) {
 
 KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
   KpjResult res;
+  cancel_ = query.cancel;
   tree_.Reset(query.source);
   search_.SetTargets(query.targets);
 
   SubspaceEntry initial;
-  if (!InitializeQuery(query, &initial, &res.stats)) return res;
+  if (!InitializeQuery(query, &initial, &res.stats)) {
+    // "No path" and "cancelled mid-initialization" both land here; the
+    // token distinguishes them.
+    if (cancel_ != nullptr && cancel_->ShouldStop()) {
+      res.status = cancel_->CancelStatus();
+    }
+    return res;
+  }
   KPJ_DCHECK(heuristic_ != nullptr);
 
   SubspaceQueue queue;
   queue.Push(std::move(initial));
 
   while (res.paths.size() < query.k && !queue.empty()) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) break;
     res.stats.max_queue_size =
         std::max<uint64_t>(res.stats.max_queue_size, queue.size());
     SubspaceEntry entry = queue.Pop();
@@ -156,6 +166,7 @@ KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
     request.start_counts_as_destination =
         !vx.finish_banned && search_.target_set().Contains(vx.node);
     request.tau = tau;
+    request.cancel = cancel_;
 
     if (std::isfinite(tau)) {
       ++res.stats.lower_bound_tests;
@@ -164,6 +175,7 @@ KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
     }
     SubspaceSearchResult result =
         search_.Run(request, *heuristic_, &res.stats);
+    if (cancel_ != nullptr && cancel_->ShouldStop()) break;
     switch (result.outcome) {
       case SearchOutcome::kFound: {
         if (std::isfinite(tau)) ++res.stats.shortest_path_computations;
@@ -188,6 +200,10 @@ KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
       case SearchOutcome::kEmpty:
         break;  // No path at any τ: discard the subspace.
     }
+  }
+  if (cancel_ != nullptr && cancel_->ShouldStop() &&
+      res.paths.size() < query.k) {
+    res.status = cancel_->CancelStatus();
   }
   return res;
 }

@@ -54,6 +54,9 @@ class BestFirstFramework : public KpjSolver {
   const Heuristic* heuristic_ = nullptr;
   /// Storage for the base class's per-query landmark bound (Eq. (2)).
   std::optional<LandmarkSetBound> landmark_bound_;
+  /// Per-query cancellation token (from PreparedQuery); set by Run before
+  /// InitializeQuery so derived initializers can honor it too.
+  const CancellationToken* cancel_ = nullptr;
 
  private:
   /// Alg. 3: lightweight subspace lower bound from the first deviation

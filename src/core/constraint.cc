@@ -96,6 +96,12 @@ SubspaceSearchResult ConstrainedSearch::Run(
   }
 
   while (!heap_.empty()) {
+    if (request.cancel != nullptr && request.cancel->ShouldStop()) {
+      // Abandon mid-search: kBounded keeps the subspace alive, and the
+      // caller notices the latched token before acting on the outcome.
+      out.outcome = SearchOutcome::kBounded;
+      return out;
+    }
     NodeId u = heap_.Pop();
     ++stats->nodes_settled;
     if (u != request.start && targets_.Contains(u)) {

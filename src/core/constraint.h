@@ -48,6 +48,10 @@ struct SubspaceSearchRequest {
   /// Only visit nodes already settled by this incremental search (the
   /// SPT_I restriction); nullptr disables.
   const IncrementalSearch* restrict_to = nullptr;
+  /// Cooperative cancellation; polled once per heap pop. A cancelled
+  /// search bails out with kBounded (no claim about the subspace) — the
+  /// caller must re-check the token before trusting the outcome.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// What a subspace search learned (Alg. 5's three-way contract, extended

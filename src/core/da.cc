@@ -23,6 +23,7 @@ void DaSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
   request.banned_first_hops = vx.banned;
   request.start_counts_as_destination =
       !vx.finish_banned && search_.target_set().Contains(vx.node);
+  request.cancel = cancel_;
 
   ++stats->shortest_path_computations;
   ++stats->subspaces_created;
@@ -41,6 +42,7 @@ void DaSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
 
 KpjResult DaSolver::Run(const PreparedQuery& query) {
   KpjResult res;
+  cancel_ = query.cancel;
   tree_.Reset(query.source);
   search_.SetTargets(query.targets);
 
@@ -51,6 +53,7 @@ KpjResult DaSolver::Run(const PreparedQuery& query) {
   res.stats.subspaces_created = 0;
 
   while (res.paths.size() < query.k && !queue.empty()) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) break;
     res.stats.max_queue_size =
         std::max<uint64_t>(res.stats.max_queue_size, queue.size());
     SubspaceEntry entry = queue.Pop();
@@ -62,6 +65,10 @@ KpjResult DaSolver::Run(const PreparedQuery& query) {
         /*create_destination_vertex=*/true);
     PushCandidate(division.revised, queue, &res.stats);
     for (uint32_t v : division.created) PushCandidate(v, queue, &res.stats);
+  }
+  if (cancel_ != nullptr && cancel_->ShouldStop() &&
+      res.paths.size() < query.k) {
+    res.status = cancel_->CancelStatus();
   }
   return res;
 }

@@ -33,6 +33,8 @@ class DaSolver final : public KpjSolver {
   ConstrainedSearch search_;
   PseudoTree tree_;
   ZeroHeuristic zero_;
+  /// Per-query cancellation token (from PreparedQuery); set by Run.
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace kpj

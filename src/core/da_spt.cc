@@ -87,6 +87,7 @@ void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
   request.prefix_length = vx.prefix_length;
   request.banned_first_hops = vx.banned;
   request.start_counts_as_destination = zero_suffix_ok;
+  request.cancel = cancel_;
 
   FullSptBound bound(&full_spt_);
   ++stats->shortest_path_computations;
@@ -104,6 +105,7 @@ void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
 
 KpjResult DaSptSolver::Run(const PreparedQuery& query) {
   KpjResult res;
+  cancel_ = query.cancel;
   tree_.Reset(query.source);
   search_.SetTargets(query.targets);
 
@@ -113,17 +115,24 @@ KpjResult DaSptSolver::Run(const PreparedQuery& query) {
   std::vector<std::pair<NodeId, PathLength>> seeds;
   seeds.reserve(query.targets.size());
   for (NodeId t : query.targets) seeds.emplace_back(t, 0);
+  reverse_dijkstra_.SetCancelToken(cancel_);
   reverse_dijkstra_.RunMultiSource(seeds);
-  full_spt_ = reverse_dijkstra_.Snapshot();
   res.stats.nodes_settled += reverse_dijkstra_.stats().nodes_settled;
   res.stats.edges_relaxed += reverse_dijkstra_.stats().edges_relaxed;
   res.stats.spt_nodes = reverse_dijkstra_.stats().nodes_settled;
+  if (cancel_ != nullptr && cancel_->ShouldStop()) {
+    // A truncated SPT has unusable distances; stop before any candidate.
+    res.status = cancel_->CancelStatus();
+    return res;
+  }
+  full_spt_ = reverse_dijkstra_.Snapshot();
 
   SubspaceQueue queue;
   PushCandidate(tree_.root(), queue, &res.stats);
   res.stats.subspaces_created = 0;
 
   while (res.paths.size() < query.k && !queue.empty()) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) break;
     res.stats.max_queue_size =
         std::max<uint64_t>(res.stats.max_queue_size, queue.size());
     SubspaceEntry entry = queue.Pop();
@@ -135,6 +144,10 @@ KpjResult DaSptSolver::Run(const PreparedQuery& query) {
         /*create_destination_vertex=*/true);
     PushCandidate(division.revised, queue, &res.stats);
     for (uint32_t v : division.created) PushCandidate(v, queue, &res.stats);
+  }
+  if (cancel_ != nullptr && cancel_->ShouldStop() &&
+      res.paths.size() < query.k) {
+    res.status = cancel_->CancelStatus();
   }
   return res;
 }

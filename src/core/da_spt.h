@@ -40,6 +40,8 @@ class DaSptSolver final : public KpjSolver {
   Dijkstra reverse_dijkstra_;
   PseudoTree tree_;
   SptResult full_spt_;  // Rebuilt per query; dist/parent toward targets.
+  /// Per-query cancellation token (from PreparedQuery); set by Run.
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace kpj

@@ -1,0 +1,162 @@
+#include "core/engine.h"
+
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/cancellation.h"
+#include "util/timer.h"
+
+namespace kpj {
+
+unsigned KpjEngine::ResolveThreads(const KpjEngineOptions& options) {
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 2;
+  } else if (options.clamp_to_hardware) {
+    threads = ThreadPool::ClampToHardware(threads);
+  }
+  return threads;
+}
+
+KpjEngine::KpjEngine(const KpjInstance& instance, KpjEngineOptions options)
+    : instance_(instance),
+      options_(std::move(options)),
+      pool_(ResolveThreads(options_)) {
+  // Eagerly build one solver per worker so the first queries do not pay
+  // the O(n) workspace allocations, and so construction fails fast if the
+  // options are unusable.
+  solvers_.reserve(pool_.num_workers());
+  for (unsigned w = 0; w < pool_.num_workers(); ++w) {
+    solvers_.push_back(MakeSolver(instance_, options_.solver));
+  }
+}
+
+Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
+                                    unsigned worker) {
+  CancellationToken token;
+  const CancellationToken* cancel = nullptr;
+  if (deadline_ms > 0.0) {
+    token.SetDeadlineAfterMs(deadline_ms);
+    cancel = &token;
+  }
+
+  Timer timer;
+  Result<KpjResult> result = RunKpjOnInstance(
+      instance_, query, options_.solver, solvers_[worker].get(), cancel);
+  metrics_.latency.Record(timer.ElapsedMillis());
+
+  if (!result.ok()) {
+    metrics_.queries_failed.Increment();
+    return result;
+  }
+  const KpjResult& r = result.value();
+  if (r.status.ok()) {
+    metrics_.queries_served.Increment();
+  } else {
+    metrics_.deadline_exceeded.Increment();
+  }
+  metrics_.paths_returned.Add(r.paths.size());
+  metrics_.heap_pops.Add(r.stats.nodes_settled);
+  metrics_.edges_relaxed.Add(r.stats.edges_relaxed);
+  metrics_.sp_computations.Add(r.stats.shortest_path_computations);
+  return result;
+}
+
+std::future<Result<KpjResult>> KpjEngine::Submit(KpjQuery query) {
+  return Submit(std::move(query), options_.default_deadline_ms);
+}
+
+std::future<Result<KpjResult>> KpjEngine::Submit(KpjQuery query,
+                                                 double deadline_ms) {
+  // ThreadPool::Task is a std::function (copyable), so the per-task state
+  // lives behind a shared_ptr.
+  struct PendingQuery {
+    KpjQuery query;
+    std::promise<Result<KpjResult>> promise;
+  };
+  auto pending = std::make_shared<PendingQuery>();
+  pending->query = std::move(query);
+  std::future<Result<KpjResult>> future = pending->promise.get_future();
+  pool_.Submit([this, pending, deadline_ms](unsigned worker) {
+    pending->promise.set_value(
+        RunOne(pending->query, deadline_ms, worker));
+  });
+  return future;
+}
+
+std::vector<Result<KpjResult>> KpjEngine::RunBatch(
+    std::span<const KpjQuery> queries) {
+  return RunBatch(queries, options_.default_deadline_ms);
+}
+
+std::vector<Result<KpjResult>> KpjEngine::RunBatch(
+    std::span<const KpjQuery> queries, double deadline_ms) {
+  // Result<T> has no default constructor; prefill with a placeholder that
+  // every executed index overwrites.
+  std::vector<Result<KpjResult>> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results.emplace_back(Status::FailedPrecondition("query not executed"));
+  }
+  pool_.ParallelFor(queries.size(), [&](size_t i, unsigned worker) {
+    results[i] = RunOne(queries[i], deadline_ms, worker);
+  });
+  return results;
+}
+
+EngineMetricsSnapshot KpjEngine::MetricsSnapshot() const {
+  EngineMetricsSnapshot snap;
+  snap.queries_served = metrics_.queries_served.value();
+  snap.queries_failed = metrics_.queries_failed.value();
+  snap.deadline_exceeded = metrics_.deadline_exceeded.value();
+  snap.paths_returned = metrics_.paths_returned.value();
+  snap.heap_pops = metrics_.heap_pops.value();
+  snap.edges_relaxed = metrics_.edges_relaxed.value();
+  snap.sp_computations = metrics_.sp_computations.value();
+  snap.latency_count = metrics_.latency.count();
+  snap.latency_mean_ms = metrics_.latency.Mean();
+  snap.latency_min_ms = metrics_.latency.min_ms();
+  snap.latency_max_ms = metrics_.latency.max_ms();
+  snap.latency_p50_ms = metrics_.latency.Percentile(50.0);
+  snap.latency_p90_ms = metrics_.latency.Percentile(90.0);
+  snap.latency_p99_ms = metrics_.latency.Percentile(99.0);
+  return snap;
+}
+
+std::string KpjEngine::MetricsJson() const {
+  EngineMetricsSnapshot s = MetricsSnapshot();
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"workers\": " << num_workers() << ",\n"
+      << "  \"queries_served\": " << s.queries_served << ",\n"
+      << "  \"queries_failed\": " << s.queries_failed << ",\n"
+      << "  \"deadline_exceeded\": " << s.deadline_exceeded << ",\n"
+      << "  \"paths_returned\": " << s.paths_returned << ",\n"
+      << "  \"heap_pops\": " << s.heap_pops << ",\n"
+      << "  \"edges_relaxed\": " << s.edges_relaxed << ",\n"
+      << "  \"sp_computations\": " << s.sp_computations << ",\n"
+      << "  \"latency_count\": " << s.latency_count << ",\n"
+      << "  \"latency_mean_ms\": " << s.latency_mean_ms << ",\n"
+      << "  \"latency_min_ms\": " << s.latency_min_ms << ",\n"
+      << "  \"latency_max_ms\": " << s.latency_max_ms << ",\n"
+      << "  \"latency_p50_ms\": " << s.latency_p50_ms << ",\n"
+      << "  \"latency_p90_ms\": " << s.latency_p90_ms << ",\n"
+      << "  \"latency_p99_ms\": " << s.latency_p99_ms << "\n"
+      << "}";
+  return out.str();
+}
+
+void KpjEngine::ResetMetrics() {
+  metrics_.queries_served.Reset();
+  metrics_.queries_failed.Reset();
+  metrics_.deadline_exceeded.Reset();
+  metrics_.paths_returned.Reset();
+  metrics_.heap_pops.Reset();
+  metrics_.edges_relaxed.Reset();
+  metrics_.sp_computations.Reset();
+  metrics_.latency.Reset();
+}
+
+}  // namespace kpj

@@ -1,0 +1,139 @@
+#ifndef KPJ_CORE_ENGINE_H_
+#define KPJ_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/kpj_instance.h"
+#include "core/kpj_query.h"
+#include "core/solver.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace kpj {
+
+/// Engine configuration, fixed at construction.
+struct KpjEngineOptions {
+  /// Worker threads. 0 picks the hardware concurrency.
+  unsigned threads = 0;
+  /// Apply the advisory hardware clamp to an explicit `threads` request.
+  /// Turn off to deliberately oversubscribe (determinism and sanitizer
+  /// tests run N workers on fewer cores; correctness is unaffected).
+  bool clamp_to_hardware = true;
+  /// Deadline applied to every query that does not carry its own, in
+  /// milliseconds. 0 disables (queries run to completion).
+  double default_deadline_ms = 0.0;
+  /// Solver selection and knobs. `solver.landmarks` may be left null: the
+  /// instance's attached landmark index is used (ResolveOptions).
+  KpjOptions solver;
+};
+
+/// Point-in-time copy of the engine's execution metrics. Counts are sums
+/// over all workers since construction (or the last ResetMetrics).
+struct EngineMetricsSnapshot {
+  uint64_t queries_served = 0;      ///< Completed OK with a full answer.
+  uint64_t queries_failed = 0;      ///< Rejected (validation) queries.
+  uint64_t deadline_exceeded = 0;   ///< Stopped by deadline/cancellation.
+  uint64_t paths_returned = 0;      ///< Paths across all results.
+  uint64_t heap_pops = 0;           ///< Nodes settled across all searches.
+  uint64_t edges_relaxed = 0;
+  uint64_t sp_computations = 0;     ///< Exact shortest-path computations.
+  uint64_t latency_count = 0;       ///< Queries with a recorded latency.
+  double latency_mean_ms = 0.0;
+  double latency_min_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+/// Concurrent KPJ query engine over one immutable KpjInstance.
+///
+/// Owns a fixed ThreadPool and one KpjSolver per worker, so every query
+/// reuses a warm per-worker workspace (epoch-reset arrays, heaps) without
+/// any locking — a worker only ever touches its own solver. Queries are
+/// submitted one-shot (Submit -> future) or as an order-preserving batch
+/// (RunBatch), optionally bounded by a per-query deadline enforced through
+/// the cooperative CancellationToken threaded into the solver loops.
+///
+/// Results are deterministic: a query's answer does not depend on the
+/// number of workers or on what else is in flight, because solvers share
+/// nothing but the read-only instance.
+///
+/// The instance must outlive the engine and must not be moved while the
+/// engine exists (solvers keep references into it).
+class KpjEngine {
+ public:
+  explicit KpjEngine(const KpjInstance& instance,
+                     KpjEngineOptions options = {});
+
+  /// Destruction waits for in-flight and queued queries to finish.
+  ~KpjEngine() = default;
+
+  KpjEngine(const KpjEngine&) = delete;
+  KpjEngine& operator=(const KpjEngine&) = delete;
+
+  unsigned num_workers() const { return pool_.num_workers(); }
+  const KpjInstance& instance() const { return instance_; }
+  const KpjEngineOptions& options() const { return options_; }
+
+  /// Enqueues one query (original ids) and returns a future for its
+  /// result. Uses the engine's default deadline.
+  std::future<Result<KpjResult>> Submit(KpjQuery query);
+
+  /// Enqueues one query with an explicit deadline in milliseconds
+  /// (0 = run to completion, overriding the engine default).
+  std::future<Result<KpjResult>> Submit(KpjQuery query, double deadline_ms);
+
+  /// Runs every query in `queries` across the pool and returns results in
+  /// input order. Uses the engine's default deadline. Blocks the caller;
+  /// concurrent Submit calls interleave safely on the same pool.
+  std::vector<Result<KpjResult>> RunBatch(std::span<const KpjQuery> queries);
+
+  /// RunBatch with an explicit per-query deadline (0 = no deadline).
+  std::vector<Result<KpjResult>> RunBatch(std::span<const KpjQuery> queries,
+                                          double deadline_ms);
+
+  EngineMetricsSnapshot MetricsSnapshot() const;
+
+  /// Metrics as a JSON object (stable keys; for --metrics-json and
+  /// dashboards).
+  std::string MetricsJson() const;
+
+  void ResetMetrics();
+
+ private:
+  /// Executes one query on `worker`'s pooled solver, recording metrics.
+  Result<KpjResult> RunOne(const KpjQuery& query, double deadline_ms,
+                           unsigned worker);
+
+  static unsigned ResolveThreads(const KpjEngineOptions& options);
+
+  const KpjInstance& instance_;
+  const KpjEngineOptions options_;
+  ThreadPool pool_;
+  /// One solver per worker, indexed by worker id; workers use only their
+  /// own entry, so no synchronization is needed.
+  std::vector<std::unique_ptr<KpjSolver>> solvers_;
+
+  struct Metrics {
+    Counter queries_served;
+    Counter queries_failed;
+    Counter deadline_exceeded;
+    Counter paths_returned;
+    Counter heap_pops;
+    Counter edges_relaxed;
+    Counter sp_computations;
+    LatencyHistogram latency;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_ENGINE_H_

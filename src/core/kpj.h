@@ -13,6 +13,12 @@
 
 namespace kpj {
 
+// NOTE: the loose-graph and ReorderedGraph entry points below are kept as
+// thin compatibility shims for one release. New code should build a
+// KpjInstance (core/kpj_instance.h) and use the instance-based overloads —
+// one handle bundles graph, reverse, permutation, and the offline indexes,
+// and the concurrent KpjEngine (core/engine.h) only accepts instances.
+
 /// A graph relabeled into a cache-friendly layout (graph/reorder.h)
 /// together with the permutation connecting it to the caller's ids.
 ///
@@ -77,8 +83,9 @@ Result<GkpjAugmentation> AugmentForGkpj(const Graph& graph,
 /// constructs the solver selected by `options`, runs it, and strips any
 /// virtual source from the returned paths.
 ///
-/// For repeated single-source queries over one graph, prefer building a
-/// solver once via MakeSolver and calling Run on PrepareQuery results.
+/// Deprecated shim — prefer RunKpj(const KpjInstance&, ...). For repeated
+/// single-source queries over one graph, prefer a KpjEngine, or build a
+/// solver once via MakeSolver and call Run on PrepareQuery results.
 Result<KpjResult> RunKpj(const Graph& graph, const Graph& reverse,
                          const KpjQuery& query, const KpjOptions& options);
 
@@ -91,7 +98,8 @@ Result<KpjResult> RunKsp(const Graph& graph, const Graph& reverse,
 /// RunKpj against a reordered graph: `query` is in original ids, the
 /// returned paths are in original ids, and the solver runs on the
 /// cache-optimized internal layout. See ReorderedGraph for the
-/// `options.landmarks` id-space requirement.
+/// `options.landmarks` id-space requirement. Deprecated shim — prefer
+/// RunKpj(const KpjInstance&, ...).
 Result<KpjResult> RunKpj(const ReorderedGraph& reordered,
                          const KpjQuery& query, const KpjOptions& options);
 

@@ -1,0 +1,167 @@
+#include "core/kpj_instance.h"
+
+#include <utility>
+#include <vector>
+
+namespace kpj {
+
+Result<KpjInstance> KpjInstance::Make(Graph graph, ReorderStrategy strategy) {
+  if (graph.NumNodes() == 0) {
+    return Status::InvalidArgument("cannot build an instance over an empty graph");
+  }
+  ReorderedGraph bundle;
+  bundle.permutation = ComputeReordering(graph, strategy);
+  bundle.graph = ApplyPermutation(graph, bundle.permutation);
+  bundle.reverse = bundle.graph.Reverse();
+  return KpjInstance(std::move(bundle));
+}
+
+Result<KpjInstance> KpjInstance::Wrap(Graph graph, Permutation permutation) {
+  if (graph.NumNodes() == 0) {
+    return Status::InvalidArgument("cannot build an instance over an empty graph");
+  }
+  if (!permutation.empty() && permutation.size() != graph.NumNodes()) {
+    return Status::InvalidArgument("permutation does not match graph");
+  }
+  ReorderedGraph bundle;
+  bundle.graph = std::move(graph);
+  bundle.reverse = bundle.graph.Reverse();
+  bundle.permutation = std::move(permutation);
+  return KpjInstance(std::move(bundle));
+}
+
+Status KpjInstance::AttachLandmarks(LandmarkIndex landmarks) {
+  if (landmarks.num_nodes() != bundle_.graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "landmark index node count does not match graph");
+  }
+  landmarks_ = std::move(landmarks);
+  return Status::Ok();
+}
+
+Status KpjInstance::AttachCategories(CategoryIndex categories) {
+  if (categories.num_nodes() != bundle_.graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "category index node count does not match graph");
+  }
+  categories_ = std::move(categories);
+  return Status::Ok();
+}
+
+KpjOptions ResolveOptions(const KpjInstance& instance,
+                          const KpjOptions& options) {
+  KpjOptions resolved = options;
+  if (resolved.landmarks == nullptr) resolved.landmarks = instance.landmarks();
+  return resolved;
+}
+
+std::unique_ptr<KpjSolver> MakeSolver(const KpjInstance& instance,
+                                      const KpjOptions& options) {
+  return MakeSolver(instance.graph(), instance.reverse(),
+                    ResolveOptions(instance, options));
+}
+
+namespace {
+
+/// Translates the query's node ids into the internal layout; fails fast on
+/// out-of-range ids so Permutation::ToNew never sees them.
+Result<KpjQuery> TranslateQuery(const KpjInstance& instance,
+                                const KpjQuery& query) {
+  const NodeId n = instance.NumNodes();
+  KpjQuery internal = query;
+  for (NodeId& s : internal.sources) {
+    if (s >= n) return Status::InvalidArgument("source node out of range");
+    s = instance.ToInternal(s);
+  }
+  for (NodeId& t : internal.targets) {
+    if (t >= n) return Status::InvalidArgument("target node out of range");
+    t = instance.ToInternal(t);
+  }
+  return internal;
+}
+
+}  // namespace
+
+Result<PreparedQuery> PrepareQuery(const KpjInstance& instance,
+                                   const KpjQuery& query) {
+  Result<KpjQuery> internal = TranslateQuery(instance, query);
+  if (!internal.ok()) return internal.status();
+  return PrepareQuery(instance.graph(), instance.reverse(), internal.value());
+}
+
+Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
+                                   const KpjQuery& query,
+                                   const KpjOptions& options,
+                                   KpjSolver* pooled_solver,
+                                   const CancellationToken* cancel) {
+  Result<KpjQuery> internal = TranslateQuery(instance, query);
+  if (!internal.ok()) return internal.status();
+  Result<PreparedQuery> prepared = PrepareQuery(
+      instance.graph(), instance.reverse(), internal.value());
+  if (!prepared.ok()) return prepared.status();
+  PreparedQuery& pq = prepared.value();
+  pq.cancel = cancel;
+
+  if (pq.targets.empty()) {
+    // Every target coincided with the single source: only the trivial
+    // path exists and it is excluded by definition.
+    return KpjResult{};
+  }
+
+  KpjResult result;
+  if (!pq.virtual_source) {
+    if (pooled_solver != nullptr) {
+      result = pooled_solver->Run(pq);
+    } else {
+      result = MakeSolver(instance, options)->Run(pq);
+    }
+  } else {
+    // GKPJ (§6): a virtual super-source changes the graph, so the pooled
+    // solver (bound to the plain graphs) cannot serve it — build an
+    // ephemeral solver over the augmented bundle.
+    Result<GkpjAugmentation> augmented =
+        AugmentForGkpj(instance.graph(), internal.value().sources);
+    if (!augmented.ok()) return augmented.status();
+    const GkpjAugmentation& aug = augmented.value();
+    pq.graph = &aug.graph;
+    pq.reverse = &aug.reverse;
+    pq.source = aug.virtual_source;
+    std::unique_ptr<KpjSolver> solver = MakeSolver(
+        aug.graph, aug.reverse, ResolveOptions(instance, options));
+    result = solver->Run(pq);
+    StripVirtualNodes(instance.NumNodes(), &result);
+  }
+
+  if (!instance.permutation().empty()) {
+    for (Path& path : result.paths) {
+      for (NodeId& v : path.nodes) v = instance.ToOriginal(v);
+    }
+  }
+  return result;
+}
+
+Result<KpjResult> RunKpj(const KpjInstance& instance, const KpjQuery& query,
+                         const KpjOptions& options) {
+  return RunKpjOnInstance(instance, query, options, /*pooled_solver=*/nullptr,
+                          /*cancel=*/nullptr);
+}
+
+Result<KpjResult> RunKsp(const KpjInstance& instance, NodeId source,
+                         NodeId target, uint32_t k,
+                         const KpjOptions& options) {
+  KpjQuery query;
+  query.sources = {source};
+  query.targets = {target};
+  query.k = k;
+  return RunKpj(instance, query, options);
+}
+
+Result<KpjQuery> MakeCategoryQuery(const KpjInstance& instance, NodeId source,
+                                   CategoryId category, uint32_t k) {
+  if (instance.categories() == nullptr) {
+    return Status::FailedPrecondition("instance has no category index");
+  }
+  return MakeCategoryQuery(*instance.categories(), source, category, k);
+}
+
+}  // namespace kpj

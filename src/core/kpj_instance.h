@@ -1,0 +1,150 @@
+#ifndef KPJ_CORE_KPJ_INSTANCE_H_
+#define KPJ_CORE_KPJ_INSTANCE_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/kpj.h"
+#include "core/kpj_query.h"
+#include "core/solver.h"
+#include "graph/graph.h"
+#include "graph/reorder.h"
+#include "index/category_index.h"
+#include "index/landmark_index.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace kpj {
+
+/// The unified query-serving handle: one immutable bundle of everything a
+/// KPJ query needs — the graph (in its cache-optimized internal layout),
+/// its reverse, the permutation connecting internal ids to the caller's
+/// original ids, and the optional offline indexes (landmarks, categories).
+///
+/// This replaces the loose `(graph, reverse, options)` triples and the
+/// ReorderedGraph-vs-raw-graph overload split of the old facade: build one
+/// KpjInstance, then pass it to MakeSolver / PrepareQuery / RunKpj /
+/// RunKsp / MakeCategoryQuery and to KpjEngine. All of those speak
+/// *original* ids at the boundary; translation happens inside.
+///
+/// Id spaces of the attachments:
+///  * the LandmarkIndex must be in the *internal* layout (build it on
+///    `graph()`, or Remap an existing index with `permutation()`) — solvers
+///    consult it in that space; AttachLandmarks validates the node count.
+///  * the CategoryIndex stays in *original* ids (it is a user-boundary
+///    artifact; MakeCategoryQuery output feeds RunKpj, which translates).
+///
+/// Solvers and engines keep references into the instance, so it must
+/// outlive them and must not be moved once any solver exists.
+class KpjInstance {
+ public:
+  /// Relabels `graph` with `strategy` (kNone keeps the identity layout),
+  /// builds the reverse graph, and wraps the result. Fails on an empty
+  /// graph.
+  static Result<KpjInstance> Make(Graph graph,
+                                  ReorderStrategy strategy =
+                                      ReorderStrategy::kNone);
+
+  /// Wraps an already-relabeled graph (e.g. loaded from a version-2 binary
+  /// file) without recomputing anything. `permutation` may be empty
+  /// (identity); otherwise its size must match the graph.
+  static Result<KpjInstance> Wrap(Graph graph, Permutation permutation);
+
+  KpjInstance(KpjInstance&&) = default;
+  KpjInstance& operator=(KpjInstance&&) = default;
+
+  /// Attaches the landmark index (internal layout; see class comment).
+  /// Fails if its node count does not match the graph.
+  Status AttachLandmarks(LandmarkIndex landmarks);
+
+  /// Attaches the category index (original ids; see class comment). Fails
+  /// if its node count does not match the graph.
+  Status AttachCategories(CategoryIndex categories);
+
+  const Graph& graph() const { return bundle_.graph; }
+  const Graph& reverse() const { return bundle_.reverse; }
+  const Permutation& permutation() const { return bundle_.permutation; }
+  /// nullptr when not attached.
+  const LandmarkIndex* landmarks() const {
+    return landmarks_ ? &*landmarks_ : nullptr;
+  }
+  /// nullptr when not attached.
+  const CategoryIndex* categories() const {
+    return categories_ ? &*categories_ : nullptr;
+  }
+
+  NodeId NumNodes() const { return bundle_.graph.NumNodes(); }
+  NodeId ToInternal(NodeId original) const {
+    return bundle_.permutation.ToNew(original);
+  }
+  NodeId ToOriginal(NodeId internal) const {
+    return bundle_.permutation.ToOld(internal);
+  }
+
+ private:
+  explicit KpjInstance(ReorderedGraph bundle) : bundle_(std::move(bundle)) {}
+
+  ReorderedGraph bundle_;
+  std::optional<LandmarkIndex> landmarks_;
+  std::optional<CategoryIndex> categories_;
+};
+
+/// Resolves the options a solver for `instance` actually runs with: when
+/// `options.landmarks` is null and the instance has an attached index, the
+/// attached index is used. Engines and the facade share this so pooled
+/// solvers and one-shot solvers always agree.
+KpjOptions ResolveOptions(const KpjInstance& instance,
+                          const KpjOptions& options);
+
+/// Constructs the solver selected by `options` bound to the instance's
+/// graphs, with landmarks resolved via ResolveOptions. The instance must
+/// outlive (and not move under) the solver.
+std::unique_ptr<KpjSolver> MakeSolver(const KpjInstance& instance,
+                                      const KpjOptions& options);
+
+/// Validates `query` (given in original ids) against the instance and
+/// produces the internal-layout single-source view solvers execute. Same
+/// rules as the legacy PrepareQuery; additionally translates ids.
+Result<PreparedQuery> PrepareQuery(const KpjInstance& instance,
+                                   const KpjQuery& query);
+
+/// Core execution routine shared by RunKpj(instance, ...) and KpjEngine:
+/// translates `query` into the internal layout, prepares it, runs it, and
+/// translates the result paths back to original ids.
+///
+/// `pooled_solver` may be a reusable solver previously built by
+/// MakeSolver(instance, options) — its workspaces are reused without
+/// locking (callers guarantee exclusive use for the duration of the call).
+/// Pass nullptr to construct an ephemeral solver. GKPJ queries (multiple
+/// sources) always run on an ephemeral solver over the augmented graph.
+///
+/// `cancel` (may be null) is polled by the solver's expansion loops; on a
+/// tripped token the returned KpjResult carries the paths proven optimal
+/// so far and a kDeadlineExceeded / kCancelled `status`. Validation
+/// failures surface as a non-ok Result instead.
+Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
+                                   const KpjQuery& query,
+                                   const KpjOptions& options,
+                                   KpjSolver* pooled_solver,
+                                   const CancellationToken* cancel);
+
+/// One-shot convenience over RunKpjOnInstance (no pooled solver, no
+/// cancellation).
+Result<KpjResult> RunKpj(const KpjInstance& instance, const KpjQuery& query,
+                         const KpjOptions& options);
+
+/// KSP convenience (paper Def. 3.1): top-k simple shortest paths between
+/// two physical nodes — a KPJ query whose category holds one node.
+Result<KpjResult> RunKsp(const KpjInstance& instance, NodeId source,
+                         NodeId target, uint32_t k, const KpjOptions& options);
+
+/// Builds the KpjQuery for "top-k paths from `source` to category
+/// `category`" using the instance's attached category index (original
+/// ids). Fails when no index is attached or the category is unknown/empty.
+Result<KpjQuery> MakeCategoryQuery(const KpjInstance& instance, NodeId source,
+                                   CategoryId category, uint32_t k);
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_KPJ_INSTANCE_H_

@@ -6,7 +6,9 @@
 
 #include "core/path.h"
 #include "index/landmark_index.h"
+#include "util/cancellation.h"
 #include "util/epoch_array.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace kpj {
@@ -84,9 +86,15 @@ struct QueryStats {
 
 /// Query answer: up to k paths, sorted by non-decreasing length. Fewer than
 /// k paths are returned when the graph does not contain k simple paths.
+///
+/// `status` is OK for a complete answer. A cancelled or deadline-bounded
+/// query returns kCancelled / kDeadlineExceeded together with the paths
+/// proven optimal before the stop — a well-formed partial result, never a
+/// crash. Stats always reflect the work actually performed.
 struct KpjResult {
   std::vector<Path> paths;
   QueryStats stats;
+  Status status;
 };
 
 /// A validated, single-source view of a query that solvers execute.
@@ -103,6 +111,10 @@ struct PreparedQuery {
   std::vector<NodeId> real_sources;
   /// True when `source` is a virtual super-source to strip from output.
   bool virtual_source = false;
+  /// Optional cooperative cancellation token polled by the solver's
+  /// expansion loops (deadline / budget enforcement). Not owned; must
+  /// outlive the Run call. nullptr runs to completion.
+  const CancellationToken* cancel = nullptr;
 };
 
 }  // namespace kpj

@@ -95,6 +95,8 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   KPJ_CHECK(query.graph == &graph_ && query.reverse == &reverse_)
       << "solver bound to different graphs";
   KpjResult res;
+  cancel_ = query.cancel;
+  spti_.SetCancelToken(cancel_);
 
   // Per-query bounds (§4.2 / §6).
   const Heuristic* forward_guide = &zero_;
@@ -129,7 +131,12 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   if (hit == kInvalidNode) {
     res.stats.nodes_settled += spti_.stats().nodes_settled;
     res.stats.edges_relaxed += spti_.stats().edges_relaxed;
-    return res;  // The category is unreachable: no paths at all.
+    // Either the category is unreachable (no paths at all) or the token
+    // tripped mid-phase-1; the token distinguishes them.
+    if (cancel_ != nullptr && cancel_->ShouldStop()) {
+      res.status = cancel_->CancelStatus();
+    }
+    return res;
   }
 
   tree_.Reset(kInvalidNode);  // Virtual destination t.
@@ -150,6 +157,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   res.stats.final_tau = static_cast<double>(spti_.Distance(hit));
 
   while (res.paths.size() < query.k && !queue.empty()) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) break;
     res.stats.max_queue_size =
         std::max<uint64_t>(res.stats.max_queue_size, queue.size());
     SubspaceEntry entry = queue.Pop();
@@ -200,6 +208,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
     request.banned_first_hops = vx.banned;
     request.tau = tau;
     request.restrict_to = &spti_;
+    request.cancel = cancel_;
 
     if (std::isfinite(tau)) {
       ++res.stats.lower_bound_tests;
@@ -208,6 +217,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
     }
     SubspaceSearchResult result =
         rev_search_.Run(request, *reverse_heuristic_, &res.stats);
+    if (cancel_ != nullptr && cancel_->ShouldStop()) break;
     switch (result.outcome) {
       case SearchOutcome::kFound: {
         if (std::isfinite(tau)) ++res.stats.shortest_path_computations;
@@ -242,6 +252,10 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   res.stats.nodes_settled += spti_.stats().nodes_settled;
   res.stats.edges_relaxed += spti_.stats().edges_relaxed;
   res.stats.spt_nodes = spti_.num_settled();
+  if (cancel_ != nullptr && cancel_->ShouldStop() &&
+      res.paths.size() < query.k) {
+    res.status = cancel_->CancelStatus();
+  }
   return res;
 }
 

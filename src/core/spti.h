@@ -70,6 +70,9 @@ class IterBoundSptiSolver final : public KpjSolver {
   std::optional<LandmarkSetBound> forward_bound_;  // lb(v, V_T), Eq. (2)
   std::optional<LandmarkSetBound> source_bound_;   // lb(s, v), Eq. (2)
   std::optional<SptiSourceBound> reverse_heuristic_;
+
+  /// Per-query cancellation token (from PreparedQuery); set by Run.
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace kpj

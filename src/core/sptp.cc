@@ -26,6 +26,7 @@ bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
     guide = &*source_bound_;
   }
   sptp_.SetHeuristic(guide);
+  sptp_.SetCancelToken(query.cancel);
 
   std::vector<std::pair<NodeId, PathLength>> seeds;
   seeds.reserve(query.targets.size());

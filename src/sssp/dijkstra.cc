@@ -32,6 +32,7 @@ void Dijkstra::Prepare(
 
 NodeId Dijkstra::Loop(NodeId stop_node, const EpochSet* stop_set) {
   while (!heap_.empty()) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) return kInvalidNode;
     auto [u, du] = heap_.PopWithKey();
     settled_.Insert(u);
     ++stats_.nodes_settled;

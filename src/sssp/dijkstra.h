@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "sssp/spt.h"
+#include "util/cancellation.h"
 #include "util/epoch_array.h"
 #include "util/indexed_heap.h"
 #include "util/types.h"
@@ -23,6 +24,12 @@ class Dijkstra {
  public:
   /// The engine keeps a reference to `graph`; the graph must outlive it.
   explicit Dijkstra(const Graph& graph);
+
+  /// Installs a cooperative cancellation token polled once per settled
+  /// node; a tripped token makes the current run stop early, leaving
+  /// partially computed labels. nullptr (the default) disables polling.
+  /// Callers must check the token after a run before trusting distances.
+  void SetCancelToken(const CancellationToken* cancel) { cancel_ = cancel; }
 
   /// Full single-source shortest paths from `source`.
   void Run(NodeId source);
@@ -73,6 +80,7 @@ class Dijkstra {
   EpochSet settled_;
   IndexedHeap<PathLength> heap_;
   SearchStats stats_;
+  const CancellationToken* cancel_ = nullptr;
 };
 
 /// One-shot convenience: full SSSP snapshot from `source`.

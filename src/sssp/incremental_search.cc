@@ -57,6 +57,7 @@ void IncrementalSearch::Settle(NodeId u,
 void IncrementalSearch::AdvanceToBound(
     PathLength bound, const std::function<void(NodeId)>& on_settle) {
   while (!heap_.empty() && heap_.TopKey() <= bound) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) return;
     Settle(heap_.Pop(), on_settle);
   }
 }
@@ -65,6 +66,7 @@ bool IncrementalSearch::AdvanceUntilSettled(
     NodeId stop, const std::function<void(NodeId)>& on_settle) {
   if (Settled(stop)) return true;
   while (!heap_.empty()) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) return false;
     NodeId u = heap_.Pop();
     Settle(u, on_settle);
     if (u == stop) return true;
@@ -75,6 +77,7 @@ bool IncrementalSearch::AdvanceUntilSettled(
 NodeId IncrementalSearch::AdvanceUntilAnySettled(
     const EpochSet& stops, const std::function<void(NodeId)>& on_settle) {
   while (!heap_.empty()) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) return kInvalidNode;
     NodeId u = heap_.Pop();
     Settle(u, on_settle);
     if (stops.Contains(u)) return u;

@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "sssp/astar.h"
 #include "sssp/spt.h"
+#include "util/cancellation.h"
 #include "util/epoch_array.h"
 #include "util/indexed_heap.h"
 #include "util/types.h"
@@ -39,6 +40,13 @@ class IncrementalSearch {
     KPJ_CHECK(heuristic != nullptr);
     heuristic_ = heuristic;
   }
+
+  /// Installs a cooperative cancellation token polled once per settled
+  /// node in the Advance* loops; a tripped token makes them return early
+  /// (AdvanceUntilSettled false / AdvanceUntilAnySettled kInvalidNode, as
+  /// if exhausted). nullptr (the default) disables polling. Callers must
+  /// check the token after an advance before trusting the outcome.
+  void SetCancelToken(const CancellationToken* cancel) { cancel_ = cancel; }
 
   /// Resets all state and seeds the frontier. Settle callbacks fire later,
   /// during Advance* calls, never here.
@@ -95,6 +103,7 @@ class IncrementalSearch {
   IndexedHeap<PathLength> heap_;
   SearchStats stats_;
   size_t num_settled_ = 0;
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace kpj

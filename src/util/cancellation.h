@@ -1,0 +1,84 @@
+#ifndef KPJ_UTIL_CANCELLATION_H_
+#define KPJ_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "util/status.h"
+
+namespace kpj {
+
+/// Cooperative cancellation handle shared between a query submitter and the
+/// solver running the query.
+///
+/// Two triggers latch the token: an explicit RequestCancel() from any
+/// thread, and an optional wall-clock deadline checked lazily inside
+/// ShouldStop(). Solver expansion loops poll ShouldStop() once per
+/// iteration; the clock is only consulted every `kCheckStride` polls so the
+/// hot loops pay a relaxed atomic load, not a syscall, per pop.
+///
+/// The token is monotone: once it reports stop it reports stop forever, so
+/// a solver may finish the current iteration and re-check later without
+/// missing the signal.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+
+  /// Arms a deadline `deadline_ms` milliseconds from now. Non-positive
+  /// budgets trip on the first clock check (useful for "already expired"
+  /// tests). Call before sharing the token with the solver thread.
+  void SetDeadlineAfterMs(double deadline_ms) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       deadline_ms));
+    has_deadline_ = true;
+  }
+
+  /// Latches the token from any thread; every subsequent ShouldStop()
+  /// returns true.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once the token is latched or the deadline has passed. Cheap
+  /// enough for per-pop polling in solver loops.
+  bool ShouldStop() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    // Amortize the steady_clock read over kCheckStride polls.
+    if (polls_.fetch_add(1, std::memory_order_relaxed) % kCheckStride != 0) {
+      return false;
+    }
+    if (Clock::now() >= deadline_) {
+      deadline_hit_.store(true, std::memory_order_relaxed);
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Status describing why the token stopped the query: kDeadlineExceeded
+  /// when the deadline tripped, kCancelled for an explicit request. Only
+  /// meaningful after ShouldStop() returned true.
+  Status CancelStatus() const {
+    if (deadline_hit_.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Cancelled("query cancelled");
+  }
+
+ private:
+  static constexpr unsigned kCheckStride = 64;
+
+  // `cancelled_` is mutable because a const ShouldStop() latches it when
+  // the deadline trips (observing the deadline IS the cancellation).
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> deadline_hit_{false};
+  mutable std::atomic<unsigned> polls_{0};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_CANCELLATION_H_

@@ -1,20 +1,11 @@
 #include "util/parallel.h"
 
-#include <algorithm>
-#include <thread>
-#include <vector>
+#include "util/thread_pool.h"
 
 namespace kpj {
 
 unsigned EffectiveWorkers(unsigned threads) {
-  if (threads <= 1) return 1;
-  // Clamp to the hardware: oversubscribing CPU-bound shortest-path work
-  // only adds context-switch overhead. hardware_concurrency() may return 0
-  // when the value is not computable; fall back to 2 workers so callers
-  // that explicitly asked for parallelism still get some overlap.
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 2;
-  return std::min(threads, hw);
+  return ThreadPool::ClampToHardware(threads);
 }
 
 void ParallelFor(size_t count, unsigned threads,
@@ -22,23 +13,15 @@ void ParallelFor(size_t count, unsigned threads,
   unsigned workers = EffectiveWorkers(threads);
   if (count == 0) return;
   if (workers == 1) {
+    // Inline, in order, on the caller — no threads spawned for the serial
+    // case so single-threaded callers stay deterministic and cheap.
     for (size_t i = 0; i < count; ++i) body(i, 0);
     return;
   }
-
-  std::atomic<size_t> next{0};
-  auto drain = [&](unsigned worker) {
-    for (;;) {
-      size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      body(i, worker);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(drain, w);
-  drain(0);
-  for (std::thread& t : pool) t.join();
+  // One-shot pool: long-lived callers that amortize thread startup across
+  // many submissions should own a ThreadPool directly (as KpjEngine does).
+  ThreadPool pool(workers);
+  pool.ParallelFor(count, body);
 }
 
 }  // namespace kpj

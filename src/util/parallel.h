@@ -24,7 +24,8 @@ void ParallelFor(size_t count, unsigned threads,
 /// request clamped to `std::thread::hardware_concurrency()`. When the
 /// hardware concurrency is unknown (reported as 0) the clamp falls back to
 /// 2 so explicit parallelism requests still overlap. `threads <= 1` is
-/// always 1 (inline execution).
+/// always 1 (inline execution). Thin wrapper over
+/// ThreadPool::ClampToHardware — the single implementation of the clamp.
 unsigned EffectiveWorkers(unsigned threads);
 
 }  // namespace kpj

@@ -49,6 +49,92 @@ double Sample::Percentile(double p) const {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+namespace {
+
+// Histogram bucket geometry: base 1µs, ratio √2. ln(√2) for the log-domain
+// bucket computation.
+constexpr double kBaseMs = 1e-3;
+constexpr double kLnRatio = 0.34657359027997264;  // ln(sqrt(2))
+
+}  // namespace
+
+void LatencyHistogram::Record(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  buckets_[BucketFor(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t ns = static_cast<uint64_t>(ms * 1e6);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  // CAS loops for min/max: rare retries, and only under contention on the
+  // extremes.
+  uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::sum_ms() const {
+  return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+}
+
+double LatencyHistogram::min_ms() const {
+  uint64_t v = min_ns_.load(std::memory_order_relaxed);
+  if (v == UINT64_MAX) return 0.0;
+  return static_cast<double>(v) / 1e6;
+}
+
+double LatencyHistogram::max_ms() const {
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+}
+
+double LatencyHistogram::Mean() const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  return sum_ms() / static_cast<double>(n);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested percentile among n observations (1-based).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidpointMs(b);
+  }
+  return BucketMidpointMs(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketFor(double ms) {
+  if (ms <= kBaseMs) return 0;
+  double idx = std::log(ms / kBaseMs) / kLnRatio;
+  if (idx < 0.0) return 0;
+  size_t b = static_cast<size_t>(idx) + 1;
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+double LatencyHistogram::BucketMidpointMs(size_t bucket) {
+  if (bucket == 0) return kBaseMs * 0.5;
+  // Geometric midpoint of [base * r^(b-1), base * r^b).
+  return kBaseMs * std::exp((static_cast<double>(bucket) - 0.5) * kLnRatio);
+}
+
 double PercentilePosition(const std::vector<double>& population,
                           double value) {
   if (population.empty()) return 0.0;

@@ -1,7 +1,10 @@
 #ifndef KPJ_UTIL_STATS_H_
 #define KPJ_UTIL_STATS_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace kpj {
@@ -43,6 +46,60 @@ class Sample {
 /// `population` need not be sorted. Used to reproduce Fig. 11's percentile
 /// positions.
 double PercentilePosition(const std::vector<double>& population, double value);
+
+/// Monotone event counter safe to bump from many engine workers at once.
+/// Relaxed atomics: counts are eventually consistent telemetry, not
+/// synchronization.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Thread-safe fixed-memory latency histogram with geometric buckets.
+///
+/// Unlike Sample (which stores every value and is single-threaded), this
+/// accepts concurrent Record() calls from engine workers and answers
+/// approximate percentiles from bucket counts. Bucket `i` covers latencies
+/// in `[base * ratio^i, base * ratio^(i+1))` with base 1µs and ratio √2,
+/// giving ~4.2% relative resolution across 1µs .. ~1.3e3 s in 64 buckets.
+class LatencyHistogram {
+ public:
+  /// Records one latency observation in milliseconds.
+  void Record(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_ms() const;
+  double min_ms() const;
+  double max_ms() const;
+  double Mean() const;
+
+  /// Approximate percentile in milliseconds, `p` in [0, 100]; the value
+  /// returned is the geometric midpoint of the bucket holding the rank.
+  /// 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  void Reset();
+
+  static constexpr size_t kBuckets = 64;
+
+ private:
+  static size_t BucketFor(double ms);
+  static double BucketMidpointMs(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  // Stored as nanosecond integers so aggregation stays lock-free without
+  // double CAS loops.
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<uint64_t> max_ns_{0};
+};
 
 }  // namespace kpj
 

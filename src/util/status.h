@@ -19,6 +19,8 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kFailedPrecondition,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight error-or-success carrier (the library is exception-free).
@@ -48,6 +50,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

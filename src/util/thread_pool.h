@@ -1,0 +1,79 @@
+#ifndef KPJ_UTIL_THREAD_POOL_H_
+#define KPJ_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kpj {
+
+/// Fixed-size worker pool with a shared FIFO task queue.
+///
+/// Generalizes the one-shot ParallelFor spawning pattern into reusable
+/// threads: the KPJ engine keeps per-worker solver state alive across many
+/// queries, so workers need stable identities (`worker` in
+/// `[0, num_workers())`) and must outlive individual submissions.
+///
+/// The pool spawns exactly `threads` workers (minimum 1) without clamping
+/// to the hardware: callers that want the advisory hardware clamp apply
+/// EffectiveWorkers() first. Determinism and sanitizer tests deliberately
+/// oversubscribe a small machine, which is safe for correctness.
+///
+/// Destruction waits for all queued tasks to run before joining, so every
+/// submitted task is eventually executed exactly once.
+class ThreadPool {
+ public:
+  /// A task receives the id of the worker executing it.
+  using Task = std::function<void(unsigned worker)>;
+
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker. Thread-safe.
+  void Submit(Task task);
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  /// Tasks submitted concurrently with the wait may or may not be covered.
+  void WaitIdle();
+
+  /// Runs `body(index, worker)` for every index in `[0, count)` on the
+  /// pool's workers, pulling indices from a shared atomic counter (dynamic
+  /// load balancing). Blocks the caller until all indices are done; the
+  /// caller does not participate, so `worker` ids stay stable pool ids.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t index, unsigned worker)>&
+                       body);
+
+  /// Advisory clamp for a requested thread count: the request clamped to
+  /// `std::thread::hardware_concurrency()`. When hardware concurrency is
+  /// unknown (reported as 0) the clamp falls back to 2 so explicit
+  /// parallelism requests still overlap. `threads <= 1` is always 1.
+  /// This is the single implementation of the clamp shared by the free
+  /// EffectiveWorkers(), the landmark builder, and the CLI.
+  static unsigned ClampToHardware(unsigned threads);
+
+ private:
+  void WorkerLoop(unsigned worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when tasks arrive / stop
+  std::condition_variable idle_cv_;   // signalled when the pool may be idle
+  std::deque<Task> queue_;
+  unsigned active_ = 0;  // workers currently running a task
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_THREAD_POOL_H_

@@ -1,0 +1,195 @@
+#include "core/kpj_instance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/kpj.h"
+#include "gen/road_gen.h"
+#include "graph/graph.h"
+#include "graph/reorder.h"
+#include "index/category_index.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+Graph TestGraph(uint32_t nodes = 2000, uint64_t seed = 5) {
+  RoadGenOptions opt;
+  opt.target_nodes = nodes;
+  opt.seed = seed;
+  return GenerateRoadNetwork(opt).graph;
+}
+
+std::vector<KpjQuery> TestQueries(NodeId num_nodes, size_t count = 12) {
+  Rng rng(31);
+  std::vector<KpjQuery> queries(count);
+  for (auto& q : queries) {
+    q.sources = {static_cast<NodeId>(rng.NextBounded(num_nodes))};
+    for (uint64_t t : rng.SampleDistinct(4, num_nodes)) {
+      q.targets.push_back(static_cast<NodeId>(t));
+    }
+    q.k = 5;
+  }
+  return queries;
+}
+
+std::vector<std::vector<NodeId>> FlattenPaths(const KpjResult& result) {
+  std::vector<std::vector<NodeId>> out;
+  for (const Path& p : result.paths) out.push_back(p.nodes);
+  return out;
+}
+
+TEST(KpjInstanceTest, MakeRejectsEmptyGraph) {
+  Result<KpjInstance> r = KpjInstance::Make(Graph());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KpjInstanceTest, WrapRejectsMismatchedPermutation) {
+  Graph g = TestGraph();
+  std::vector<NodeId> map(g.NumNodes() - 1);
+  for (NodeId v = 0; v + 1 < g.NumNodes(); ++v) map[v] = v;
+  Result<Permutation> perm = Permutation::FromOldToNew(std::move(map));
+  ASSERT_TRUE(perm.ok());
+  Result<KpjInstance> r = KpjInstance::Wrap(std::move(g), perm.value());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KpjInstanceTest, WrapWithEmptyPermutationIsIdentity) {
+  Graph g = TestGraph();
+  NodeId n = g.NumNodes();
+  Result<KpjInstance> r = KpjInstance::Wrap(std::move(g), Permutation());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().NumNodes(), n);
+  EXPECT_EQ(r.value().ToInternal(17), 17u);
+  EXPECT_EQ(r.value().ToOriginal(17), 17u);
+}
+
+TEST(KpjInstanceTest, AttachLandmarksValidatesNodeCount) {
+  Result<KpjInstance> r = KpjInstance::Make(TestGraph());
+  ASSERT_TRUE(r.ok());
+  KpjInstance& instance = r.value();
+  Graph other = TestGraph(500, 9);
+  LandmarkIndexOptions opt;
+  opt.num_landmarks = 2;
+  LandmarkIndex wrong = LandmarkIndex::Build(other, other.Reverse(), opt);
+  EXPECT_EQ(instance.AttachLandmarks(std::move(wrong)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(instance.landmarks(), nullptr);
+
+  LandmarkIndex right =
+      LandmarkIndex::Build(instance.graph(), instance.reverse(), opt);
+  EXPECT_TRUE(instance.AttachLandmarks(std::move(right)).ok());
+  ASSERT_NE(instance.landmarks(), nullptr);
+  EXPECT_EQ(instance.landmarks()->num_landmarks(), 2u);
+}
+
+TEST(KpjInstanceTest, AttachCategoriesValidatesNodeCount) {
+  Result<KpjInstance> r = KpjInstance::Make(TestGraph());
+  ASSERT_TRUE(r.ok());
+  CategoryIndex wrong(42);
+  EXPECT_EQ(r.value().AttachCategories(std::move(wrong)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value().categories(), nullptr);
+}
+
+TEST(KpjInstanceTest, MatchesLegacyFacadeOnIdentityLayout) {
+  Graph g = TestGraph();
+  Graph reverse = g.Reverse();
+  Result<KpjInstance> instance = KpjInstance::Make(g);
+  ASSERT_TRUE(instance.ok());
+  KpjOptions options;  // IterBoundI, no landmarks.
+  for (const KpjQuery& q : TestQueries(g.NumNodes())) {
+    Result<KpjResult> legacy = RunKpj(g, reverse, q, options);
+    Result<KpjResult> via_instance = RunKpj(instance.value(), q, options);
+    ASSERT_TRUE(legacy.ok());
+    ASSERT_TRUE(via_instance.ok());
+    EXPECT_EQ(FlattenPaths(legacy.value()),
+              FlattenPaths(via_instance.value()));
+  }
+}
+
+TEST(KpjInstanceTest, ReorderedInstanceAnswersInOriginalIds) {
+  // A reordered instance must be indistinguishable from the identity one
+  // at the API boundary: same queries, same original-id answers.
+  Graph g = TestGraph();
+  Result<KpjInstance> identity = KpjInstance::Make(g);
+  Result<KpjInstance> reordered =
+      KpjInstance::Make(g, ReorderStrategy::kHybrid);
+  ASSERT_TRUE(identity.ok());
+  ASSERT_TRUE(reordered.ok());
+  EXPECT_TRUE(identity.value().permutation().empty() ||
+              identity.value().permutation().IsIdentity());
+  EXPECT_FALSE(reordered.value().permutation().IsIdentity());
+  KpjOptions options;
+  for (const KpjQuery& q : TestQueries(g.NumNodes())) {
+    Result<KpjResult> a = RunKpj(identity.value(), q, options);
+    Result<KpjResult> b = RunKpj(reordered.value(), q, options);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(FlattenPaths(a.value()), FlattenPaths(b.value()));
+  }
+}
+
+TEST(KpjInstanceTest, ResolveOptionsPrefersExplicitLandmarks) {
+  Result<KpjInstance> r = KpjInstance::Make(TestGraph());
+  ASSERT_TRUE(r.ok());
+  KpjInstance& instance = r.value();
+  LandmarkIndexOptions lm_opt;
+  lm_opt.num_landmarks = 2;
+  ASSERT_TRUE(instance
+                  .AttachLandmarks(LandmarkIndex::Build(
+                      instance.graph(), instance.reverse(), lm_opt))
+                  .ok());
+
+  KpjOptions options;
+  EXPECT_EQ(ResolveOptions(instance, options).landmarks,
+            instance.landmarks());
+
+  LandmarkIndex standalone =
+      LandmarkIndex::Build(instance.graph(), instance.reverse(), lm_opt);
+  options.landmarks = &standalone;
+  EXPECT_EQ(ResolveOptions(instance, options).landmarks, &standalone);
+}
+
+TEST(KpjInstanceTest, CategoryQueryRequiresAttachedIndex) {
+  Result<KpjInstance> r = KpjInstance::Make(TestGraph());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(MakeCategoryQuery(r.value(), 0, 0, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KpjInstanceTest, CategoryQueryOnReorderedInstanceUsesOriginalIds) {
+  Graph g = TestGraph();
+  NodeId n = g.NumNodes();
+  Result<KpjInstance> r = KpjInstance::Make(g, ReorderStrategy::kBfs);
+  ASSERT_TRUE(r.ok());
+  KpjInstance& instance = r.value();
+
+  // Categories are a user-boundary artifact: original ids in, original
+  // ids out, regardless of the internal relabeling.
+  CategoryIndex cats(n);
+  CategoryId fuel = cats.AddCategory("fuel");
+  std::vector<NodeId> members = {3, 99, 1042, n - 1};
+  for (NodeId v : members) cats.Assign(v, fuel);
+  ASSERT_TRUE(instance.AttachCategories(std::move(cats)).ok());
+
+  Result<KpjQuery> q = MakeCategoryQuery(instance, 7, fuel, 4);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().targets, members);
+
+  Result<KpjResult> result = RunKpj(instance, q.value(), KpjOptions());
+  ASSERT_TRUE(result.ok());
+  for (const Path& p : result.value().paths) {
+    ASSERT_FALSE(p.nodes.empty());
+    EXPECT_EQ(p.nodes.front(), 7u);
+    EXPECT_TRUE(std::find(members.begin(), members.end(), p.nodes.back()) !=
+                members.end());
+  }
+}
+
+}  // namespace
+}  // namespace kpj
