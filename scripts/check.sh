@@ -6,11 +6,16 @@
 #   scripts/check.sh --asan          # opt-in AddressSanitizer + UBSan run
 #   scripts/check.sh --tsan          # opt-in ThreadSanitizer run of the
 #                                    # concurrency suite (engine, pool,
-#                                    # parallel) only
+#                                    # parallel, trace, observability) only
 #   KPJ_CHECK_JOBS=8 scripts/check.sh
 #
 # Sanitizer runs use separate build trees (build-asan/, build-tsan/) so
 # they never invalidate the incremental default build.
+#
+# After ctest, every mode drives the built kpj_cli end to end on a small
+# generated graph with --trace-out / --metrics-out and validates the
+# emitted trace JSON, metrics JSON, and Prometheus text with
+# tools/validate_metrics.py.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,9 +34,34 @@ elif [[ "${1:-}" == "--tsan" || "${KPJ_CHECK_TSAN:-0}" == "1" ]]; then
   # ~10x slower under TSAN for no added coverage).
   build_dir=build-tsan
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all")
-  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test")
+  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|trace_test|observability_test")
 fi
 
 cmake -B "$build_dir" -S . "${cmake_flags[@]}"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${ctest_flags[@]}"
+
+# --- Observability smoke: run the CLI with tracing + metrics on a small
+# graph and validate every emitted artifact.
+smoke_dir="$build_dir/check-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+cli="$build_dir/tools/kpj_cli"
+
+"$cli" generate --nodes 2000 --seed 3 --out "$smoke_dir/g.bin" > /dev/null
+"$cli" query --graph "$smoke_dir/g.bin" --source 0 --targets 100,200,300 \
+  --k 5 --stats --slow-query-ms 1000 \
+  --trace-out "$smoke_dir/query_trace.json" \
+  --metrics-out "$smoke_dir/query_metrics.json" > /dev/null
+printf '0 3 100 200\n5 2 300\n' > "$smoke_dir/queries.txt"
+"$cli" batch --graph "$smoke_dir/g.bin" --queries "$smoke_dir/queries.txt" \
+  --threads 2 \
+  --trace-out "$smoke_dir/batch_trace.json" \
+  --metrics-out "$smoke_dir/batch_metrics.prom" \
+  --metrics-format prom > /dev/null
+
+python3 tools/validate_metrics.py --mode trace "$smoke_dir/query_trace.json"
+python3 tools/validate_metrics.py --mode metrics-json "$smoke_dir/query_metrics.json"
+python3 tools/validate_metrics.py --mode trace "$smoke_dir/batch_trace.json"
+python3 tools/validate_metrics.py --mode prom "$smoke_dir/batch_metrics.prom"
+echo "observability smoke OK"

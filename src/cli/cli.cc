@@ -15,6 +15,7 @@
 #include "index/landmark_index.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace kpj::cli {
 namespace {
@@ -82,21 +83,60 @@ Result<double> GetDeadlineFlag(const ParsedArgs& args) {
   return *parsed;
 }
 
-/// Honors --metrics-json FILE ('-' = stdout): dumps the engine's execution
-/// metrics after the queries ran.
+/// Reads the --slow-query-ms flag (default 0 = disabled).
+Result<double> GetSlowQueryFlag(const ParsedArgs& args) {
+  auto text = args.Get("slow-query-ms");
+  if (!text.has_value()) return 0.0;
+  auto parsed = ParseDouble(*text);
+  if (!parsed || *parsed < 0.0) {
+    return Status::InvalidArgument("--slow-query-ms must be >= 0");
+  }
+  return *parsed;
+}
+
+/// Dumps the engine's execution metrics after the queries ran. The output
+/// path comes from --metrics-out FILE ('-' = stdout), with --metrics-json
+/// kept as a legacy alias; --metrics-format picks json (default) or prom
+/// (Prometheus text exposition).
 Status MaybeDumpMetrics(const ParsedArgs& args, const KpjEngine& engine,
                         std::ostream& out) {
-  auto path = args.Get("metrics-json");
+  std::string format = args.Get("metrics-format").value_or("json");
+  if (format != "json" && format != "prom") {
+    return Status::InvalidArgument(
+        "--metrics-format must be 'json' or 'prom'");
+  }
+  auto path = args.Get("metrics-out");
+  if (!path.has_value()) path = args.Get("metrics-json");
   if (!path.has_value()) return Status::Ok();
-  std::string json = engine.MetricsJson();
+  std::string payload =
+      format == "prom" ? engine.MetricsPrometheus() : engine.MetricsJson();
   if (*path == "-" || path->empty()) {
-    out << json << "\n";
+    out << payload << "\n";
     return Status::Ok();
   }
   std::ofstream file(*path);
   if (!file) return Status::IoError("cannot open " + *path);
-  file << json << "\n";
+  file << payload << "\n";
   return Status::Ok();
+}
+
+/// Turns the global trace recorder on when --trace-out is present. Call
+/// before the traced work; pair with FinishTrace after it.
+void MaybeStartTrace(const ParsedArgs& args) {
+  if (!args.Get("trace-out").has_value()) return;
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+}
+
+/// Stops recording and writes the Chrome trace JSON named by --trace-out.
+Status MaybeFinishTrace(const ParsedArgs& args) {
+  auto path = args.Get("trace-out");
+  if (!path.has_value()) return Status::Ok();
+  TraceRecorder::Global().Disable();
+  if (*path == "-" || path->empty()) {
+    return Status::InvalidArgument("--trace-out needs a file path");
+  }
+  return TraceRecorder::Global().WriteJson(*path);
 }
 
 void PrintHelp(std::ostream& out) {
@@ -115,16 +155,28 @@ void PrintHelp(std::ostream& out) {
          "                    [--k 10] [--algorithm NAME]"
          " [--landmarks FILE] [--alpha 1.1]\n"
          "                    [--reorder STRAT] [--stats] [--threads N]\n"
-         "                    [--deadline-ms MS] [--metrics-json FILE|-]\n"
+         "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
+         "                    [--metrics-out FILE|-]"
+         " [--metrics-format json|prom]\n"
+         "                    [--trace-out FILE]\n"
          "  kpj_cli batch     --graph FILE --queries FILE"
          " [--algorithm NAME] [--landmarks FILE]\n"
          "                    [--threads N] [--reorder STRAT]\n"
-         "                    [--deadline-ms MS] [--metrics-json FILE|-]\n"
+         "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
+         "                    [--metrics-out FILE|-]"
+         " [--metrics-format json|prom]\n"
+         "                    [--trace-out FILE]\n"
          "\n"
          "Graph files: .gr = DIMACS text, otherwise compact binary.\n"
          "Queries run on the concurrent engine: --threads sets the worker\n"
          "pool, --deadline-ms bounds each query (partial results are\n"
-         "flagged, not errors), --metrics-json dumps execution metrics.\n"
+         "flagged, not errors).\n"
+         "Observability: --metrics-out dumps execution metrics as JSON\n"
+         "(default) or Prometheus text (--metrics-format=prom);\n"
+         "--metrics-json FILE is a legacy alias for --metrics-out with the\n"
+         "json format. --trace-out writes a Chrome trace_event JSON file\n"
+         "(load in chrome://tracing or Perfetto). --slow-query-ms logs\n"
+         "queries at/over the threshold to stderr with their query id.\n"
          "Binary graphs may store a cache-locality reordering; node ids on\n"
          "the command line and in output always refer to original ids.\n"
          "Reorder strategies: none (default), bfs, degree, hybrid.\n"
@@ -420,6 +472,8 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!threads.ok()) return Fail(err, threads.status());
   Result<double> deadline = GetDeadlineFlag(args);
   if (!deadline.ok()) return Fail(err, deadline.status());
+  Result<double> slow_query = GetSlowQueryFlag(args);
+  if (!slow_query.ok()) return Fail(err, slow_query.status());
 
   KpjQuery query;
   query.sources = std::move(sources).value();
@@ -430,12 +484,16 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   engine_options.threads = threads.value();
   engine_options.default_deadline_ms = deadline.value();
   engine_options.solver = s.options;
+  engine_options.slow_query_ms = slow_query.value();
   KpjEngine engine(s.instance, engine_options);
 
+  MaybeStartTrace(args);
   Timer timer;
   Result<KpjResult> result = engine.Submit(std::move(query)).get();
-  if (!result.ok()) return Fail(err, result.status());
   double ms = timer.ElapsedMillis();
+  Status traced = MaybeFinishTrace(args);
+  if (!result.ok()) return Fail(err, result.status());
+  if (!traced.ok()) return Fail(err, traced);
 
   for (const Path& p : result.value().paths) {
     out << PathToString(p) << "\n";
@@ -449,11 +507,23 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   if (args.Has("stats")) {
     const QueryStats& st = result.value().stats;
+    const AlgoStats& a = st.algo;
     out << "# shortest-path computations: "
         << st.shortest_path_computations << "\n"
         << "# bound tests:                " << st.lower_bound_tests << "\n"
         << "# nodes settled:              " << st.nodes_settled << "\n"
-        << "# SPT nodes:                  " << st.spt_nodes << "\n";
+        << "# SPT nodes:                  " << st.spt_nodes << "\n"
+        << "# heap pushes:                " << a.heap_pushes << "\n"
+        << "# heap pops:                  " << a.heap_pops << "\n"
+        << "# heap decrease-keys:         " << a.heap_decrease_keys << "\n"
+        << "# node expansions:            " << a.node_expansions << "\n"
+        << "# SPT resume hits/misses:     " << a.spt_resume_hits << "/"
+        << a.spt_resume_misses << "\n"
+        << "# iter-bound rounds:          " << a.iter_bound_rounds << "\n"
+        << "# candidates gen/pruned:      " << a.candidates_generated << "/"
+        << a.candidates_pruned << "\n"
+        << "# lower-bound tightness:      " << a.LowerBoundTightness()
+        << "\n";
   }
   Status dumped = MaybeDumpMetrics(args, engine, out);
   if (!dumped.ok()) return Fail(err, dumped);
@@ -477,6 +547,8 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!threads.ok()) return Fail(err, threads.status());
   Result<double> deadline = GetDeadlineFlag(args);
   if (!deadline.ok()) return Fail(err, deadline.status());
+  Result<double> slow_query = GetSlowQueryFlag(args);
+  if (!slow_query.ok()) return Fail(err, slow_query.status());
 
   // Parse all queries up front so they can be executed in parallel.
   struct BatchQuery {
@@ -529,11 +601,15 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   engine_options.threads = threads.value();
   engine_options.default_deadline_ms = deadline.value();
   engine_options.solver = s.options;
+  engine_options.slow_query_ms = slow_query.value();
   KpjEngine engine(s.instance, engine_options);
 
+  MaybeStartTrace(args);
   Timer batch_timer;
   std::vector<Result<KpjResult>> results = engine.RunBatch(engine_queries);
   double total_ms = batch_timer.ElapsedMillis();
+  Status traced = MaybeFinishTrace(args);
+  if (!traced.ok()) return Fail(err, traced);
 
   for (size_t i = 0; i < queries.size(); ++i) {
     if (!results[i].ok()) return Fail(err, results[i].status());

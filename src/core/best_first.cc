@@ -109,6 +109,7 @@ KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
   KPJ_DCHECK(heuristic_ != nullptr);
 
   SubspaceQueue queue;
+  ++res.stats.algo.candidates_generated;
   queue.Push(std::move(initial));
 
   while (res.paths.size() < query.k && !queue.empty()) {
@@ -131,7 +132,10 @@ KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
       auto enqueue = [&](uint32_t v) {
         ++res.stats.subspaces_created;
         double lb = CompLB(v, &res.stats);
-        if (lb == kInfinity) return;  // Provably empty subspace.
+        if (lb == kInfinity) {
+          ++res.stats.algo.candidates_pruned;
+          return;  // Provably empty subspace.
+        }
         SubspaceEntry fresh;
         fresh.vertex = v;
         // Alg. 2 line 9: the chosen path's length bounds every path in
@@ -186,11 +190,21 @@ KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
         found.key =
             static_cast<double>(vx.prefix_length + result.suffix_length);
         found.suffix.assign(result.suffix.begin() + 1, result.suffix.end());
+        // The popped key was a lower bound on the exact length just
+        // computed; their integer ratio measures CompLB tightness.
+        if (entry.key >= 0 && std::isfinite(entry.key)) {
+          res.stats.algo.lb_tightness_num +=
+              static_cast<uint64_t>(std::llround(entry.key));
+          res.stats.algo.lb_tightness_den +=
+              static_cast<uint64_t>(std::llround(found.key));
+        }
+        ++res.stats.algo.candidates_generated;
         queue.Push(std::move(found));
         break;
       }
       case SearchOutcome::kBounded: {
         KPJ_DCHECK(std::isfinite(tau));
+        ++res.stats.algo.iter_bound_rounds;
         SubspaceEntry bounded;
         bounded.vertex = entry.vertex;
         bounded.key = tau;  // Tightened lower bound.
@@ -198,6 +212,7 @@ KpjResult BestFirstFramework::Run(const PreparedQuery& query) {
         break;
       }
       case SearchOutcome::kEmpty:
+        ++res.stats.algo.candidates_pruned;
         break;  // No path at any τ: discard the subspace.
     }
   }

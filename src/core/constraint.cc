@@ -63,6 +63,7 @@ SubspaceSearchResult ConstrainedSearch::Run(
       return out;
     }
     dist_.Set(request.start, 0);
+    ++stats->algo.heap_pushes;
     heap_.Push(request.start, h0);
   } else {
     // Virtual root: seed from its real neighbours over 0-weight hops.
@@ -90,6 +91,7 @@ SubspaceSearchResult ConstrainedSearch::Run(
       }
       if (!heap_.Contains(seed)) {
         dist_.Set(seed, 0);
+        ++stats->algo.heap_pushes;
         heap_.Push(seed, hs);
       }
     }
@@ -104,6 +106,8 @@ SubspaceSearchResult ConstrainedSearch::Run(
     }
     NodeId u = heap_.Pop();
     ++stats->nodes_settled;
+    ++stats->algo.heap_pops;
+    ++stats->algo.node_expansions;
     if (u != request.start && targets_.Contains(u)) {
       // First pop of a target: optimal by A* admissibility (heuristics
       // here are admissible; the SPT_P-augmented one is not consistent,
@@ -157,6 +161,11 @@ SubspaceSearchResult ConstrainedSearch::Run(
         }
         dist_.Set(w, nd);
         parent_.Set(w, u);
+        if (heap_.Contains(w)) {
+          ++stats->algo.heap_decrease_keys;
+        } else {
+          ++stats->algo.heap_pushes;
+        }
         heap_.PushOrDecrease(w, SatAdd(nd, hw));
       }
     }

@@ -28,8 +28,12 @@ void DaSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
   ++stats->shortest_path_computations;
   ++stats->subspaces_created;
   SubspaceSearchResult result = search_.Run(request, zero_, stats);
-  if (result.outcome != SearchOutcome::kFound) return;
+  if (result.outcome != SearchOutcome::kFound) {
+    ++stats->algo.candidates_pruned;
+    return;
+  }
 
+  ++stats->algo.candidates_generated;
   SubspaceEntry entry;
   entry.vertex = v;
   entry.has_path = true;

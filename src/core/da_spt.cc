@@ -15,7 +15,8 @@ DaSptSolver::DaSptSolver(const Graph& graph, const Graph& reverse,
   (void)options;  // DA-SPT uses neither landmarks nor alpha.
 }
 
-bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue) {
+bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue,
+                                   QueryStats* stats) {
   const PseudoTree::Vertex& vx = tree_.vertex(v);
   // Prefix nodes are already marked in search_.forbidden() by the caller.
   const EpochSet& forbidden = search_.forbidden();
@@ -57,6 +58,7 @@ bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue) {
     cur = parent;
   }
 
+  ++stats->algo.candidates_generated;
   SubspaceEntry entry;
   entry.vertex = v;
   entry.has_path = true;
@@ -80,7 +82,7 @@ void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
   // is allowed) beats every deviation, so check it first.
   bool zero_suffix_ok =
       !vx.finish_banned && search_.target_set().Contains(vx.node);
-  if (!zero_suffix_ok && TryConcatenation(v, queue)) return;
+  if (!zero_suffix_ok && TryConcatenation(v, queue, stats)) return;
 
   SubspaceSearchRequest request;
   request.start = vx.node;
@@ -92,8 +94,12 @@ void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
   FullSptBound bound(&full_spt_);
   ++stats->shortest_path_computations;
   SubspaceSearchResult result = search_.Run(request, bound, stats);
-  if (result.outcome != SearchOutcome::kFound) return;
+  if (result.outcome != SearchOutcome::kFound) {
+    ++stats->algo.candidates_pruned;
+    return;
+  }
 
+  ++stats->algo.candidates_generated;
   SubspaceEntry entry;
   entry.vertex = v;
   entry.has_path = true;
@@ -116,7 +122,9 @@ KpjResult DaSptSolver::Run(const PreparedQuery& query) {
   seeds.reserve(query.targets.size());
   for (NodeId t : query.targets) seeds.emplace_back(t, 0);
   reverse_dijkstra_.SetCancelToken(cancel_);
+  reverse_dijkstra_.SetAlgoStats(&res.stats.algo);
   reverse_dijkstra_.RunMultiSource(seeds);
+  reverse_dijkstra_.SetAlgoStats(nullptr);  // res is stack storage.
   res.stats.nodes_settled += reverse_dijkstra_.stats().nodes_settled;
   res.stats.edges_relaxed += reverse_dijkstra_.stats().edges_relaxed;
   res.stats.spt_nodes = reverse_dijkstra_.stats().nodes_settled;

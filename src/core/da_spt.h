@@ -32,7 +32,7 @@ class DaSptSolver final : public KpjSolver {
   void PushCandidate(uint32_t v, SubspaceQueue& queue, QueryStats* stats);
 
   /// Pascoal fast path; returns true and pushes if it applied.
-  bool TryConcatenation(uint32_t v, SubspaceQueue& queue);
+  bool TryConcatenation(uint32_t v, SubspaceQueue& queue, QueryStats* stats);
 
   const Graph& graph_;
   const Graph& reverse_;

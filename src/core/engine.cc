@@ -1,13 +1,23 @@
 #include "core/engine.h"
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "util/cancellation.h"
+#include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace kpj {
+namespace {
+
+/// JSON has no NaN/Inf literals; exposition substitutes 0 so downstream
+/// parsers never choke on a freshly reset (empty) histogram.
+double FiniteOrZero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
 
 unsigned KpjEngine::ResolveThreads(const KpjEngineOptions& options) {
   unsigned threads = options.threads;
@@ -34,7 +44,7 @@ KpjEngine::KpjEngine(const KpjInstance& instance, KpjEngineOptions options)
 }
 
 Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
-                                    unsigned worker) {
+                                    unsigned worker, uint64_t query_id) {
   CancellationToken token;
   const CancellationToken* cancel = nullptr;
   if (deadline_ms > 0.0) {
@@ -43,9 +53,15 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
   }
 
   Timer timer;
-  Result<KpjResult> result = RunKpjOnInstance(
-      instance_, query, options_.solver, solvers_[worker].get(), cancel);
-  metrics_.latency.Record(timer.ElapsedMillis());
+  // Result<T> has no default constructor; the placeholder is overwritten.
+  Result<KpjResult> result = Status::FailedPrecondition("query not executed");
+  {
+    KPJ_TRACE_SPAN("engine.query");
+    result = RunKpjOnInstance(instance_, query, options_.solver,
+                              solvers_[worker].get(), cancel);
+  }
+  double elapsed_ms = timer.ElapsedMillis();
+  metrics_.latency.Record(elapsed_ms);
 
   if (!result.ok()) {
     metrics_.queries_failed.Increment();
@@ -61,6 +77,22 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
   metrics_.heap_pops.Add(r.stats.nodes_settled);
   metrics_.edges_relaxed.Add(r.stats.edges_relaxed);
   metrics_.sp_computations.Add(r.stats.shortest_path_computations);
+  metrics_.algo.Add(r.stats.algo);
+
+  if (options_.slow_query_ms > 0.0 &&
+      (elapsed_ms >= options_.slow_query_ms || !r.status.ok())) {
+    metrics_.slow_queries.Increment();
+    internal::LogMessage log(LogLevel::kWarning, __FILE__, __LINE__);
+    log << "slow query id=" << query_id << " took " << elapsed_ms
+        << " ms (threshold " << options_.slow_query_ms << " ms";
+    if (deadline_ms > 0.0) {
+      log << ", " << 100.0 * elapsed_ms / deadline_ms << "% of the "
+          << deadline_ms << " ms deadline";
+    }
+    log << ") expansions=" << r.stats.algo.node_expansions
+        << " paths=" << r.paths.size();
+    if (!r.status.ok()) log << " status=" << r.status.ToString();
+  }
   return result;
 }
 
@@ -79,9 +111,10 @@ std::future<Result<KpjResult>> KpjEngine::Submit(KpjQuery query,
   auto pending = std::make_shared<PendingQuery>();
   pending->query = std::move(query);
   std::future<Result<KpjResult>> future = pending->promise.get_future();
-  pool_.Submit([this, pending, deadline_ms](unsigned worker) {
+  uint64_t id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  pool_.Submit([this, pending, deadline_ms, id](unsigned worker) {
     pending->promise.set_value(
-        RunOne(pending->query, deadline_ms, worker));
+        RunOne(pending->query, deadline_ms, worker, id));
   });
   return future;
 }
@@ -100,8 +133,12 @@ std::vector<Result<KpjResult>> KpjEngine::RunBatch(
   for (size_t i = 0; i < queries.size(); ++i) {
     results.emplace_back(Status::FailedPrecondition("query not executed"));
   }
+  // Ids are assigned by input position so a batch query's id does not
+  // depend on worker scheduling.
+  uint64_t base_id =
+      next_query_id_.fetch_add(queries.size(), std::memory_order_relaxed);
   pool_.ParallelFor(queries.size(), [&](size_t i, unsigned worker) {
-    results[i] = RunOne(queries[i], deadline_ms, worker);
+    results[i] = RunOne(queries[i], deadline_ms, worker, base_id + i);
   });
   return results;
 }
@@ -115,6 +152,7 @@ EngineMetricsSnapshot KpjEngine::MetricsSnapshot() const {
   snap.heap_pops = metrics_.heap_pops.value();
   snap.edges_relaxed = metrics_.edges_relaxed.value();
   snap.sp_computations = metrics_.sp_computations.value();
+  snap.slow_queries = metrics_.slow_queries.value();
   snap.latency_count = metrics_.latency.count();
   snap.latency_mean_ms = metrics_.latency.Mean();
   snap.latency_min_ms = metrics_.latency.min_ms();
@@ -122,6 +160,7 @@ EngineMetricsSnapshot KpjEngine::MetricsSnapshot() const {
   snap.latency_p50_ms = metrics_.latency.Percentile(50.0);
   snap.latency_p90_ms = metrics_.latency.Percentile(90.0);
   snap.latency_p99_ms = metrics_.latency.Percentile(99.0);
+  snap.algo = metrics_.algo.Snapshot();
   return snap;
 }
 
@@ -133,18 +172,115 @@ std::string KpjEngine::MetricsJson() const {
       << "  \"queries_served\": " << s.queries_served << ",\n"
       << "  \"queries_failed\": " << s.queries_failed << ",\n"
       << "  \"deadline_exceeded\": " << s.deadline_exceeded << ",\n"
+      << "  \"slow_queries\": " << s.slow_queries << ",\n"
       << "  \"paths_returned\": " << s.paths_returned << ",\n"
       << "  \"heap_pops\": " << s.heap_pops << ",\n"
       << "  \"edges_relaxed\": " << s.edges_relaxed << ",\n"
       << "  \"sp_computations\": " << s.sp_computations << ",\n"
+      << "  \"algo_heap_pushes\": " << s.algo.heap_pushes << ",\n"
+      << "  \"algo_heap_pops\": " << s.algo.heap_pops << ",\n"
+      << "  \"algo_heap_decrease_keys\": " << s.algo.heap_decrease_keys
+      << ",\n"
+      << "  \"algo_node_expansions\": " << s.algo.node_expansions << ",\n"
+      << "  \"algo_spt_resume_hits\": " << s.algo.spt_resume_hits << ",\n"
+      << "  \"algo_spt_resume_misses\": " << s.algo.spt_resume_misses
+      << ",\n"
+      << "  \"algo_iter_bound_rounds\": " << s.algo.iter_bound_rounds
+      << ",\n"
+      << "  \"algo_candidates_generated\": " << s.algo.candidates_generated
+      << ",\n"
+      << "  \"algo_candidates_pruned\": " << s.algo.candidates_pruned
+      << ",\n"
+      << "  \"algo_lb_tightness\": "
+      << FiniteOrZero(s.algo.LowerBoundTightness()) << ",\n"
       << "  \"latency_count\": " << s.latency_count << ",\n"
-      << "  \"latency_mean_ms\": " << s.latency_mean_ms << ",\n"
-      << "  \"latency_min_ms\": " << s.latency_min_ms << ",\n"
-      << "  \"latency_max_ms\": " << s.latency_max_ms << ",\n"
-      << "  \"latency_p50_ms\": " << s.latency_p50_ms << ",\n"
-      << "  \"latency_p90_ms\": " << s.latency_p90_ms << ",\n"
-      << "  \"latency_p99_ms\": " << s.latency_p99_ms << "\n"
+      << "  \"latency_mean_ms\": " << FiniteOrZero(s.latency_mean_ms)
+      << ",\n"
+      << "  \"latency_min_ms\": " << FiniteOrZero(s.latency_min_ms) << ",\n"
+      << "  \"latency_max_ms\": " << FiniteOrZero(s.latency_max_ms) << ",\n"
+      << "  \"latency_p50_ms\": " << FiniteOrZero(s.latency_p50_ms) << ",\n"
+      << "  \"latency_p90_ms\": " << FiniteOrZero(s.latency_p90_ms) << ",\n"
+      << "  \"latency_p99_ms\": " << FiniteOrZero(s.latency_p99_ms) << "\n"
       << "}";
+  return out.str();
+}
+
+std::string KpjEngine::MetricsPrometheus() const {
+  EngineMetricsSnapshot s = MetricsSnapshot();
+  std::ostringstream out;
+  auto counter = [&out](const char* name, const char* help, uint64_t value) {
+    out << "# HELP " << name << " " << help << "\n"
+        << "# TYPE " << name << " counter\n"
+        << name << " " << value << "\n";
+  };
+  auto gauge = [&out](const char* name, const char* help, double value) {
+    out << "# HELP " << name << " " << help << "\n"
+        << "# TYPE " << name << " gauge\n"
+        << name << " " << FiniteOrZero(value) << "\n";
+  };
+
+  gauge("kpj_workers", "Engine worker threads.",
+        static_cast<double>(num_workers()));
+  counter("kpj_queries_served_total", "Queries answered completely.",
+          s.queries_served);
+  counter("kpj_queries_failed_total", "Queries rejected by validation.",
+          s.queries_failed);
+  counter("kpj_queries_deadline_exceeded_total",
+          "Queries stopped by deadline or cancellation.",
+          s.deadline_exceeded);
+  counter("kpj_slow_queries_total",
+          "Queries at or above the slow-query threshold.", s.slow_queries);
+  counter("kpj_paths_returned_total", "Result paths across all queries.",
+          s.paths_returned);
+  counter("kpj_sp_computations_total",
+          "Exact shortest-path computations (CompSP).", s.sp_computations);
+  counter("kpj_heap_pushes_total", "Priority-queue inserts in all searches.",
+          s.algo.heap_pushes);
+  counter("kpj_heap_pops_total", "Priority-queue pops in all searches.",
+          s.algo.heap_pops);
+  counter("kpj_heap_decrease_keys_total",
+          "Priority-queue decrease-key operations.",
+          s.algo.heap_decrease_keys);
+  counter("kpj_node_expansions_total", "Nodes settled across all searches.",
+          s.algo.node_expansions);
+  counter("kpj_edges_relaxed_total", "Edges relaxed across all searches.",
+          s.edges_relaxed);
+  counter("kpj_spt_resume_hits_total",
+          "SPT_I growth calls answered from the existing tree.",
+          s.algo.spt_resume_hits);
+  counter("kpj_spt_resume_misses_total",
+          "SPT_I growth calls that settled new nodes.",
+          s.algo.spt_resume_misses);
+  counter("kpj_iter_bound_rounds_total",
+          "Subspace re-tests after enlarging tau.", s.algo.iter_bound_rounds);
+  counter("kpj_candidates_generated_total",
+          "Candidate paths pushed into result queues.",
+          s.algo.candidates_generated);
+  counter("kpj_candidates_pruned_total",
+          "Subspaces discarded without yielding a path.",
+          s.algo.candidates_pruned);
+  gauge("kpj_lower_bound_tightness_ratio",
+        "Mean CompLB / exact-length ratio (1.0 = exact).",
+        s.algo.LowerBoundTightness());
+
+  // Latency distribution with Prometheus cumulative buckets.
+  const char* hist = "kpj_query_latency_ms";
+  out << "# HELP " << hist << " Per-query wall time in milliseconds.\n"
+      << "# TYPE " << hist << " histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    cumulative += metrics_.latency.bucket_count(b);
+    double ub = LatencyHistogram::BucketUpperBoundMs(b);
+    out << hist << "_bucket{le=\"";
+    if (std::isinf(ub)) {
+      out << "+Inf";
+    } else {
+      out << ub;
+    }
+    out << "\"} " << cumulative << "\n";
+  }
+  out << hist << "_sum " << FiniteOrZero(metrics_.latency.sum_ms()) << "\n"
+      << hist << "_count " << metrics_.latency.count() << "\n";
   return out.str();
 }
 
@@ -156,7 +292,9 @@ void KpjEngine::ResetMetrics() {
   metrics_.heap_pops.Reset();
   metrics_.edges_relaxed.Reset();
   metrics_.sp_computations.Reset();
+  metrics_.slow_queries.Reset();
   metrics_.latency.Reset();
+  metrics_.algo.Reset();
 }
 
 }  // namespace kpj

@@ -1,6 +1,7 @@
 #ifndef KPJ_CORE_ENGINE_H_
 #define KPJ_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/instrumentation.h"
 #include "core/kpj_instance.h"
 #include "core/kpj_query.h"
 #include "core/solver.h"
@@ -31,6 +33,11 @@ struct KpjEngineOptions {
   /// Solver selection and knobs. `solver.landmarks` may be left null: the
   /// instance's attached landmark index is used (ResolveOptions).
   KpjOptions solver;
+  /// Slow-query log threshold in milliseconds; queries at or above it are
+  /// reported through KPJ_LOG(Warning) with their query id (and, when a
+  /// deadline applies, the fraction of it consumed). Deadline-exceeded
+  /// queries are always logged while the threshold is active. 0 disables.
+  double slow_query_ms = 0.0;
 };
 
 /// Point-in-time copy of the engine's execution metrics. Counts are sums
@@ -43,6 +50,7 @@ struct EngineMetricsSnapshot {
   uint64_t heap_pops = 0;           ///< Nodes settled across all searches.
   uint64_t edges_relaxed = 0;
   uint64_t sp_computations = 0;     ///< Exact shortest-path computations.
+  uint64_t slow_queries = 0;        ///< Queries past the slow-query bar.
   uint64_t latency_count = 0;       ///< Queries with a recorded latency.
   double latency_mean_ms = 0.0;
   double latency_min_ms = 0.0;
@@ -50,6 +58,9 @@ struct EngineMetricsSnapshot {
   double latency_p50_ms = 0.0;
   double latency_p90_ms = 0.0;
   double latency_p99_ms = 0.0;
+  /// Aggregated per-query algorithm counters (exact integer sums; identical
+  /// for the same workload at any worker count).
+  AlgoStats algo;
 };
 
 /// Concurrent KPJ query engine over one immutable KpjInstance.
@@ -105,12 +116,19 @@ class KpjEngine {
   /// dashboards).
   std::string MetricsJson() const;
 
+  /// Metrics in Prometheus text exposition format (`# HELP`/`# TYPE`
+  /// comments, `kpj_`-prefixed counters, and the latency histogram with
+  /// cumulative `le` buckets).
+  std::string MetricsPrometheus() const;
+
   void ResetMetrics();
 
  private:
   /// Executes one query on `worker`'s pooled solver, recording metrics.
+  /// `query_id` is a per-engine sequence number used by the trace span and
+  /// the slow-query log.
   Result<KpjResult> RunOne(const KpjQuery& query, double deadline_ms,
-                           unsigned worker);
+                           unsigned worker, uint64_t query_id);
 
   static unsigned ResolveThreads(const KpjEngineOptions& options);
 
@@ -129,9 +147,13 @@ class KpjEngine {
     Counter heap_pops;
     Counter edges_relaxed;
     Counter sp_computations;
+    Counter slow_queries;
     LatencyHistogram latency;
+    AtomicAlgoStats algo;
   };
   Metrics metrics_;
+  /// Monotonic query-id source shared by Submit and RunBatch.
+  std::atomic<uint64_t> next_query_id_{0};
 };
 
 }  // namespace kpj

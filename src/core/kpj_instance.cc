@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/trace.h"
+
 namespace kpj {
 
 Result<KpjInstance> KpjInstance::Make(Graph graph, ReorderStrategy strategy) {
@@ -94,6 +96,7 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
                                    const KpjOptions& options,
                                    KpjSolver* pooled_solver,
                                    const CancellationToken* cancel) {
+  TraceSpan prepare_span("instance.prepare");
   Result<KpjQuery> internal = TranslateQuery(instance, query);
   if (!internal.ok()) return internal.status();
   Result<PreparedQuery> prepared = PrepareQuery(
@@ -101,6 +104,7 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
   if (!prepared.ok()) return prepared.status();
   PreparedQuery& pq = prepared.value();
   pq.cancel = cancel;
+  prepare_span.End();
 
   if (pq.targets.empty()) {
     // Every target coincided with the single source: only the trivial
@@ -110,6 +114,7 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
 
   KpjResult result;
   if (!pq.virtual_source) {
+    KPJ_TRACE_SPAN("solver.run");
     if (pooled_solver != nullptr) {
       result = pooled_solver->Run(pq);
     } else {
@@ -119,6 +124,7 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
     // GKPJ (§6): a virtual super-source changes the graph, so the pooled
     // solver (bound to the plain graphs) cannot serve it — build an
     // ephemeral solver over the augmented bundle.
+    KPJ_TRACE_SPAN("solver.run_gkpj");
     Result<GkpjAugmentation> augmented =
         AugmentForGkpj(instance.graph(), internal.value().sources);
     if (!augmented.ok()) return augmented.status();

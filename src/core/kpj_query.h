@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/instrumentation.h"
 #include "core/path.h"
 #include "index/landmark_index.h"
 #include "util/cancellation.h"
@@ -82,6 +83,10 @@ struct QueryStats {
   uint64_t spt_nodes = 0;
   /// Final τ reached (iteratively bounding approaches only).
   double final_tau = 0.0;
+  /// Fine-grained algorithm counters (heap traffic, SPT reuse, bounding
+  /// rounds, candidate churn, lower-bound tightness). Always filled; the
+  /// engine aggregates these across workers for metrics exposition.
+  AlgoStats algo;
 };
 
 /// Query answer: up to k paths, sorted by non-decreasing length. Fewer than

@@ -34,10 +34,18 @@ IterBoundSptiSolver::IterBoundSptiSolver(const Graph& graph,
   KPJ_CHECK(options_.alpha > 1.0) << "alpha must exceed 1";
 }
 
-void IterBoundSptiSolver::GrowTree(double tau) {
+void IterBoundSptiSolver::GrowTree(double tau, QueryStats* stats) {
+  size_t before = spti_.num_settled();
   spti_.AdvanceToBound(TauToBound(tau), [this](NodeId v) {
     if (target_membership_.Contains(v)) d_.push_back(v);
   });
+  // A "resume hit" answered the new τ entirely from the existing tree —
+  // the payoff of keeping SPT_I alive across bounding rounds (§5.3).
+  if (spti_.num_settled() == before) {
+    ++stats->algo.spt_resume_hits;
+  } else {
+    ++stats->algo.spt_resume_misses;
+  }
 }
 
 double IterBoundSptiSolver::CompLb(uint32_t v, const PreparedQuery& query,
@@ -97,6 +105,8 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   KpjResult res;
   cancel_ = query.cancel;
   spti_.SetCancelToken(cancel_);
+  // res is stack storage: the pointer is cleared on every exit path below.
+  spti_.SetAlgoStats(&res.stats.algo);
 
   // Per-query bounds (§4.2 / §6).
   const Heuristic* forward_guide = &zero_;
@@ -136,6 +146,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
     if (cancel_ != nullptr && cancel_->ShouldStop()) {
       res.status = cancel_->CancelStatus();
     }
+    spti_.SetAlgoStats(nullptr);
     return res;
   }
 
@@ -152,6 +163,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
     initial.suffix_length = spti_.Distance(hit);
     initial.key = static_cast<double>(initial.suffix_length);
     initial.suffix.assign(forward_path.rbegin(), forward_path.rend());
+    ++res.stats.algo.candidates_generated;
     queue.Push(std::move(initial));
   }
   res.stats.final_tau = static_cast<double>(spti_.Distance(hit));
@@ -174,7 +186,10 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
       auto enqueue = [&](uint32_t v) {
         ++res.stats.subspaces_created;
         double lb = CompLb(v, query, &res.stats);
-        if (lb == kInfinity) return;
+        if (lb == kInfinity) {
+          ++res.stats.algo.candidates_pruned;
+          return;
+        }
         SubspaceEntry fresh;
         fresh.vertex = v;
         fresh.key = std::max(lb, chosen_length);
@@ -193,7 +208,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
       tau = std::max(options_.alpha * base, base + 1.0);
       res.stats.final_tau = std::max(res.stats.final_tau, tau);
     }
-    GrowTree(tau);  // Alg. 7, invoked between lines 9 and 10 of Alg. 4.
+    GrowTree(tau, &res.stats);  // Alg. 7, between lines 9 and 10 of Alg. 4.
 
     rev_search_.ClearForbidden();
     tree_.MarkPrefix(entry.vertex, &rev_search_.forbidden());
@@ -233,11 +248,19 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
           found.suffix.assign(result.suffix.begin() + 1,
                               result.suffix.end());
         }
+        if (entry.key >= 0 && std::isfinite(entry.key)) {
+          res.stats.algo.lb_tightness_num +=
+              static_cast<uint64_t>(std::llround(entry.key));
+          res.stats.algo.lb_tightness_den +=
+              static_cast<uint64_t>(std::llround(found.key));
+        }
+        ++res.stats.algo.candidates_generated;
         queue.Push(std::move(found));
         break;
       }
       case SearchOutcome::kBounded: {
         KPJ_DCHECK(std::isfinite(tau));
+        ++res.stats.algo.iter_bound_rounds;
         SubspaceEntry bounded;
         bounded.vertex = entry.vertex;
         bounded.key = tau;
@@ -245,6 +268,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
         break;
       }
       case SearchOutcome::kEmpty:
+        ++res.stats.algo.candidates_pruned;
         break;
     }
   }
@@ -252,6 +276,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   res.stats.nodes_settled += spti_.stats().nodes_settled;
   res.stats.edges_relaxed += spti_.stats().edges_relaxed;
   res.stats.spt_nodes = spti_.num_settled();
+  spti_.SetAlgoStats(nullptr);
   if (cancel_ != nullptr && cancel_->ShouldStop() &&
       res.paths.size() < query.k) {
     res.status = cancel_->CancelStatus();

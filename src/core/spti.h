@@ -50,8 +50,8 @@ class IterBoundSptiSolver final : public KpjSolver {
   double CompLb(uint32_t v, const PreparedQuery& query, QueryStats* stats);
 
   /// Alg. 7: settles SPT_I nodes while their key is within τ, keeping D
-  /// (the settled targets) current.
-  void GrowTree(double tau);
+  /// (the settled targets) current. Counts a resume hit/miss in `stats`.
+  void GrowTree(double tau, QueryStats* stats);
 
   const Graph& graph_;
   const Graph& reverse_;

@@ -31,8 +31,10 @@ bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
   std::vector<std::pair<NodeId, PathLength>> seeds;
   seeds.reserve(query.targets.size());
   for (NodeId t : query.targets) seeds.emplace_back(t, 0);
+  sptp_.SetAlgoStats(&stats->algo);
   sptp_.Initialize(seeds);
   bool reached = sptp_.AdvanceUntilSettled(query.source);
+  sptp_.SetAlgoStats(nullptr);  // stats points at caller stack storage.
   stats->nodes_settled += sptp_.stats().nodes_settled;
   stats->edges_relaxed += sptp_.stats().edges_relaxed;
   stats->spt_nodes = sptp_.num_settled();

@@ -21,6 +21,10 @@ NodeId AStar::Loop(NodeId stop_node, const EpochSet* stop_set) {
     NodeId u = heap_.Pop();
     settled_.Insert(u);
     ++stats_.nodes_settled;
+    if (algo_ != nullptr) {
+      ++algo_->heap_pops;
+      ++algo_->node_expansions;
+    }
     if (u == stop_node) return u;
     if (stop_set != nullptr && stop_set->Contains(u)) return u;
     PathLength du = dist_.Get(u);
@@ -31,6 +35,13 @@ NodeId AStar::Loop(NodeId stop_node, const EpochSet* stop_set) {
       if (nd < dist_.Get(e.to)) {
         dist_.Set(e.to, nd);
         parent_.Set(e.to, u);
+        if (algo_ != nullptr) {
+          if (heap_.Contains(e.to)) {
+            ++algo_->heap_decrease_keys;
+          } else {
+            ++algo_->heap_pushes;
+          }
+        }
         heap_.PushOrDecrease(e.to, SatAdd(nd, heuristic_->Estimate(e.to)));
       }
     }
@@ -46,6 +57,7 @@ PathLength AStar::RunToTarget(NodeId source, NodeId target) {
   stats_.Reset();
   KPJ_CHECK(source < graph_.NumNodes());
   dist_.Set(source, 0);
+  if (algo_ != nullptr) ++algo_->heap_pushes;
   heap_.Push(source, heuristic_->Estimate(source));
   NodeId hit = Loop(target, nullptr);
   return hit == kInvalidNode ? kInfLength : dist_.Get(target);
@@ -64,6 +76,13 @@ NodeId AStar::RunToAnyTarget(
     if (d0 < dist_.Get(node)) {
       dist_.Set(node, d0);
       parent_.Set(node, kInvalidNode);
+      if (algo_ != nullptr) {
+        if (heap_.Contains(node)) {
+          ++algo_->heap_decrease_keys;
+        } else {
+          ++algo_->heap_pushes;
+        }
+      }
       heap_.PushOrDecrease(node, SatAdd(d0, heuristic_->Estimate(node)));
     }
   }

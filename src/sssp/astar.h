@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/instrumentation.h"
 #include "graph/graph.h"
 #include "sssp/spt.h"
 #include "util/epoch_array.h"
@@ -46,6 +47,10 @@ class AStar {
   /// Replaces the heuristic used by subsequent runs.
   void SetHeuristic(const Heuristic* heuristic) { heuristic_ = heuristic; }
 
+  /// Installs an optional per-query counter sink (null disables counting).
+  /// The pointee must outlive every subsequent run.
+  void SetAlgoStats(AlgoStats* algo) { algo_ = algo; }
+
   /// Point-to-point search; returns the distance or kInfLength.
   PathLength RunToTarget(NodeId source, NodeId target);
 
@@ -73,6 +78,7 @@ class AStar {
   EpochSet settled_;
   IndexedHeap<PathLength> heap_;
   SearchStats stats_;
+  AlgoStats* algo_ = nullptr;
 };
 
 }  // namespace kpj

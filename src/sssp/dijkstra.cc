@@ -25,6 +25,13 @@ void Dijkstra::Prepare(
     if (d0 < dist_.Get(node)) {
       dist_.Set(node, d0);
       parent_.Set(node, kInvalidNode);
+      if (algo_ != nullptr) {
+        if (heap_.Contains(node)) {
+          ++algo_->heap_decrease_keys;
+        } else {
+          ++algo_->heap_pushes;
+        }
+      }
       heap_.PushOrDecrease(node, d0);
     }
   }
@@ -36,6 +43,10 @@ NodeId Dijkstra::Loop(NodeId stop_node, const EpochSet* stop_set) {
     auto [u, du] = heap_.PopWithKey();
     settled_.Insert(u);
     ++stats_.nodes_settled;
+    if (algo_ != nullptr) {
+      ++algo_->heap_pops;
+      ++algo_->node_expansions;
+    }
     if (u == stop_node) return u;
     if (stop_set != nullptr && stop_set->Contains(u)) return u;
     for (const OutEdge& e : graph_.OutEdges(u)) {
@@ -45,6 +56,13 @@ NodeId Dijkstra::Loop(NodeId stop_node, const EpochSet* stop_set) {
       if (nd < dist_.Get(e.to)) {
         dist_.Set(e.to, nd);
         parent_.Set(e.to, u);
+        if (algo_ != nullptr) {
+          if (heap_.Contains(e.to)) {
+            ++algo_->heap_decrease_keys;
+          } else {
+            ++algo_->heap_pushes;
+          }
+        }
         heap_.PushOrDecrease(e.to, nd);
       }
     }

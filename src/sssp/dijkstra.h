@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/instrumentation.h"
 #include "graph/graph.h"
 #include "sssp/spt.h"
 #include "util/cancellation.h"
@@ -30,6 +31,12 @@ class Dijkstra {
   /// partially computed labels. nullptr (the default) disables polling.
   /// Callers must check the token after a run before trusting distances.
   void SetCancelToken(const CancellationToken* cancel) { cancel_ = cancel; }
+
+  /// Installs an optional per-query counter sink. When null (the default)
+  /// the search skips all AlgoStats bookkeeping. The pointee must stay
+  /// valid for the duration of every subsequent run; callers that point at
+  /// stack storage must clear this before that storage dies.
+  void SetAlgoStats(AlgoStats* algo) { algo_ = algo; }
 
   /// Full single-source shortest paths from `source`.
   void Run(NodeId source);
@@ -81,6 +88,7 @@ class Dijkstra {
   IndexedHeap<PathLength> heap_;
   SearchStats stats_;
   const CancellationToken* cancel_ = nullptr;
+  AlgoStats* algo_ = nullptr;
 };
 
 /// One-shot convenience: full SSSP snapshot from `source`.

@@ -30,6 +30,13 @@ void IncrementalSearch::Initialize(
     if (d0 < dist_.Get(node)) {
       dist_.Set(node, d0);
       parent_.Set(node, kInvalidNode);
+      if (algo_ != nullptr) {
+        if (heap_.Contains(node)) {
+          ++algo_->heap_decrease_keys;
+        } else {
+          ++algo_->heap_pushes;
+        }
+      }
       heap_.PushOrDecrease(node, SatAdd(d0, heuristic_->Estimate(node)));
     }
   }
@@ -40,6 +47,10 @@ void IncrementalSearch::Settle(NodeId u,
   settled_.Insert(u);
   ++num_settled_;
   ++stats_.nodes_settled;
+  if (algo_ != nullptr) {
+    ++algo_->heap_pops;
+    ++algo_->node_expansions;
+  }
   if (on_settle) on_settle(u);
   PathLength du = dist_.Get(u);
   for (const OutEdge& e : graph_.OutEdges(u)) {
@@ -49,6 +60,13 @@ void IncrementalSearch::Settle(NodeId u,
     if (nd < dist_.Get(e.to)) {
       dist_.Set(e.to, nd);
       parent_.Set(e.to, u);
+      if (algo_ != nullptr) {
+        if (heap_.Contains(e.to)) {
+          ++algo_->heap_decrease_keys;
+        } else {
+          ++algo_->heap_pushes;
+        }
+      }
       heap_.PushOrDecrease(e.to, SatAdd(nd, heuristic_->Estimate(e.to)));
     }
   }

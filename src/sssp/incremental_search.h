@@ -48,6 +48,10 @@ class IncrementalSearch {
   /// check the token after an advance before trusting the outcome.
   void SetCancelToken(const CancellationToken* cancel) { cancel_ = cancel; }
 
+  /// Installs an optional per-query counter sink (null disables counting).
+  /// The pointee must outlive every subsequent Initialize/Advance call.
+  void SetAlgoStats(AlgoStats* algo) { algo_ = algo; }
+
   /// Resets all state and seeds the frontier. Settle callbacks fire later,
   /// during Advance* calls, never here.
   void Initialize(std::span<const std::pair<NodeId, PathLength>> sources);
@@ -104,6 +108,7 @@ class IncrementalSearch {
   SearchStats stats_;
   size_t num_settled_ = 0;
   const CancellationToken* cancel_ = nullptr;
+  AlgoStats* algo_ = nullptr;
 };
 
 }  // namespace kpj

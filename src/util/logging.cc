@@ -1,5 +1,8 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -30,6 +33,25 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Process-start origin so timestamps read as small elapsed seconds rather
+// than raw clock values.
+const int64_t g_log_origin_us = MonotonicMicros();
+
+// Small dense per-thread id (registration order), stable for the thread's
+// lifetime. std::this_thread::get_id() renders as an opaque 15-digit value;
+// this keeps log lines readable and correlates with trace tids.
+uint32_t LogThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 LogLevel MinLogLevel() { return g_min_level; }
@@ -40,12 +62,22 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  double elapsed_s =
+      static_cast<double>(MonotonicMicros() - g_log_origin_us) * 1e-6;
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%12.6f T%02u %s %s:%d] ", elapsed_s,
+                LogThreadId(), LevelName(level), file, line);
+  stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= g_min_level || level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // Compose the full line first and hand it to stdio in one call: fwrite
+    // locks the stream internally, so concurrent workers never interleave
+    // characters mid-line.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) std::abort();

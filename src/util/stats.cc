@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace kpj {
 
@@ -56,12 +57,25 @@ namespace {
 constexpr double kBaseMs = 1e-3;
 constexpr double kLnRatio = 0.34657359027997264;  // ln(sqrt(2))
 
+// Largest latency representable by the nanosecond accumulators (~213 days).
+constexpr double kMaxRecordableMs = 1.8e13;
+
+// Saturating counter bump: parks at UINT64_MAX instead of wrapping to 0.
+void SaturatingIncrement(std::atomic<uint64_t>& counter) {
+  uint64_t cur = counter.load(std::memory_order_relaxed);
+  while (cur != UINT64_MAX &&
+         !counter.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 void LatencyHistogram::Record(double ms) {
-  if (ms < 0.0) ms = 0.0;
-  buckets_[BucketFor(ms)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isnan(ms) || ms < 0.0) ms = 0.0;
+  if (ms > kMaxRecordableMs) ms = kMaxRecordableMs;  // +inf lands here too.
+  SaturatingIncrement(buckets_[BucketFor(ms)]);
+  SaturatingIncrement(count_);
   uint64_t ns = static_cast<uint64_t>(ms * 1e6);
   sum_ns_.fetch_add(ns, std::memory_order_relaxed);
   // CAS loops for min/max: rare retries, and only under contention on the
@@ -105,12 +119,19 @@ double LatencyHistogram::Percentile(double p) const {
   uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
   if (rank < 1) rank = 1;
   if (rank > n) rank = n;
+  double value = BucketMidpointMs(kBuckets - 1);
   uint64_t seen = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
     seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketMidpointMs(b);
+    if (seen >= rank) {
+      value = BucketMidpointMs(b);
+      break;
+    }
   }
-  return BucketMidpointMs(kBuckets - 1);
+  // A bucket midpoint can lie outside the observed range (most visibly for
+  // a single sample, where the exact answer is that sample); the true
+  // percentile is always within [min, max].
+  return std::clamp(value, min_ms(), max_ms());
 }
 
 void LatencyHistogram::Reset() {
@@ -133,6 +154,11 @@ double LatencyHistogram::BucketMidpointMs(size_t bucket) {
   if (bucket == 0) return kBaseMs * 0.5;
   // Geometric midpoint of [base * r^(b-1), base * r^b).
   return kBaseMs * std::exp((static_cast<double>(bucket) - 0.5) * kLnRatio);
+}
+
+double LatencyHistogram::BucketUpperBoundMs(size_t bucket) {
+  if (bucket >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kBaseMs * std::exp(static_cast<double>(bucket) * kLnRatio);
 }
 
 double PercentilePosition(const std::vector<double>& population,

@@ -70,7 +70,10 @@ class Counter {
 /// giving ~4.2% relative resolution across 1µs .. ~1.3e3 s in 64 buckets.
 class LatencyHistogram {
  public:
-  /// Records one latency observation in milliseconds.
+  /// Records one latency observation in milliseconds. Malformed inputs are
+  /// clamped rather than corrupting state: NaN and negative values record
+  /// as 0, +inf as the largest representable latency. Bucket and total
+  /// counts saturate at UINT64_MAX instead of wrapping.
   void Record(double ms);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -80,13 +83,24 @@ class LatencyHistogram {
   double Mean() const;
 
   /// Approximate percentile in milliseconds, `p` in [0, 100]; the value
-  /// returned is the geometric midpoint of the bucket holding the rank.
-  /// 0 for an empty histogram.
+  /// returned is the geometric midpoint of the bucket holding the rank,
+  /// clamped into [min_ms, max_ms] (so a single-sample histogram returns
+  /// that sample exactly). 0 for an empty histogram.
   double Percentile(double p) const;
 
   void Reset();
 
   static constexpr size_t kBuckets = 64;
+
+  /// Observations recorded into bucket `b` (for exposition formats that
+  /// publish the raw distribution, e.g. Prometheus).
+  uint64_t bucket_count(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket `b` in milliseconds; +inf for the
+  /// last bucket (it absorbs everything past the geometric range).
+  static double BucketUpperBoundMs(size_t bucket);
 
  private:
   static size_t BucketFor(double ms);

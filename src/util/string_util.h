@@ -27,6 +27,10 @@ std::optional<double> ParseDouble(std::string_view text);
 /// Formats `value` with thousands separators ("1,234,567") for tables.
 std::string FormatWithCommas(uint64_t value);
 
+/// Returns `text` as a double-quoted JSON string literal with all required
+/// escapes (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace kpj
 
 #endif  // KPJ_UTIL_STRING_UTIL_H_

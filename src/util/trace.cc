@@ -1,0 +1,144 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace kpj {
+namespace {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder() : origin_ns_(MonotonicNanos()) {
+  static std::atomic<uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t TraceRecorder::NowUs() const {
+  return (MonotonicNanos() - origin_ns_) / 1000;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  // One registry entry per (recorder, thread) pair. The shared_ptr keeps the
+  // buffer alive for export even after the thread exits; the thread_local
+  // cache makes the steady-state lookup lock-free. The cache is keyed by the
+  // recorder's unique id, not its address — a new recorder can reuse a
+  // destroyed one's address and must not inherit its stale buffer.
+  struct Slot {
+    uint64_t owner_id = 0;
+    std::shared_ptr<ThreadBuffer> buffer;
+  };
+  thread_local Slot slot;
+  if (slot.owner_id != id_) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      buffer->tid = next_tid_++;
+      buffers_.push_back(buffer);
+    }
+    slot.owner_id = id_;
+    slot.buffer = std::move(buffer);
+  }
+  return slot.buffer.get();
+}
+
+void TraceRecorder::AddCompleteEvent(const char* name, int64_t start_us,
+                                     int64_t dur_us) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->events.push_back(Event{name, 'X', start_us, dur_us, buf->tid});
+}
+
+void TraceRecorder::AddInstant(const char* name) {
+  if (!enabled()) return;
+  int64_t now = NowUs();
+  ThreadBuffer* buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->events.push_back(Event{name, 'i', now, 0, buf->tid});
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+size_t TraceRecorder::event_count() const {
+  size_t n = 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::Snapshot() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      events.insert(events.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    // Longer spans first so chrome://tracing nests children correctly when
+    // parent and child start in the same microsecond.
+    return a.dur_us > b.dur_us;
+  });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::vector<Event> events = Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << JsonEscape(e.name) << ",\"ph\":\"" << e.phase
+        << "\",\"ts\":" << e.ts_us;
+    if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
+    if (e.phase == 'i') out << ",\"s\":\"t\"";
+    out << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to trace output: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace kpj

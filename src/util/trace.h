@@ -1,0 +1,134 @@
+#ifndef KPJ_UTIL_TRACE_H_
+#define KPJ_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kpj {
+
+/// Process-wide span/event recorder producing Chrome `trace_event` JSON
+/// (loadable in chrome://tracing and Perfetto). Recording is off by default;
+/// when disabled every record call reduces to one relaxed atomic load, so
+/// instrumented code paths cost nothing in production.
+///
+/// Threading model: each thread appends to its own buffer (registered once
+/// per thread under a mutex); buffers are kept alive by shared_ptr so export
+/// can run after worker threads exit. Appends take a per-buffer mutex that is
+/// uncontended in practice (only export touches foreign buffers).
+class TraceRecorder {
+ public:
+  /// A single completed span ("X" phase) or instant event ("i" phase).
+  struct Event {
+    std::string name;
+    char phase;         // 'X' complete span, 'i' instant.
+    int64_t ts_us;      // Start, microseconds since recorder construction.
+    int64_t dur_us;     // Span duration; 0 for instants.
+    uint32_t tid;       // Small dense thread id (registration order).
+  };
+
+  /// The process-wide recorder used by the KPJ_TRACE_* macros.
+  static TraceRecorder& Global();
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Current timestamp in microseconds since recorder construction.
+  int64_t NowUs() const;
+
+  /// Records a completed span [start_us, start_us + dur_us) on the calling
+  /// thread. No-op when disabled.
+  void AddCompleteEvent(const char* name, int64_t start_us, int64_t dur_us);
+
+  /// Records an instant event at the current time. No-op when disabled.
+  void AddInstant(const char* name);
+
+  /// Drops all recorded events (buffers of exited threads included).
+  void Clear();
+
+  /// Number of events currently recorded across all threads.
+  size_t event_count() const;
+
+  /// Snapshot of all events, sorted by (ts_us, tid) for stable output.
+  std::vector<Event> Snapshot() const;
+
+  /// Serializes all recorded events as a Chrome trace JSON object:
+  /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+  std::string ToChromeJson() const;
+
+  /// Writes `ToChromeJson()` to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    uint32_t tid = 0;
+    std::vector<Event> events;
+  };
+
+  ThreadBuffer* LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  int64_t origin_ns_ = 0;
+  /// Process-unique instance id; keys the per-thread buffer cache so a
+  /// recorder reusing a destroyed one's address is never confused with it.
+  uint64_t id_ = 0;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII span: records an "X" complete event covering its lifetime. Cheap to
+/// construct when tracing is disabled (one relaxed load, no clock read).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     TraceRecorder& recorder = TraceRecorder::Global())
+      : recorder_(&recorder), name_(name) {
+    if (recorder_->enabled()) start_us_ = recorder_->NowUs();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { End(); }
+
+  /// Closes the span early (before scope exit); subsequent End() calls and
+  /// the destructor become no-ops.
+  void End() {
+    if (start_us_ >= 0 && recorder_->enabled()) {
+      recorder_->AddCompleteEvent(name_, start_us_,
+                                  recorder_->NowUs() - start_us_);
+    }
+    start_us_ = -1;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  int64_t start_us_ = -1;
+};
+
+}  // namespace kpj
+
+#define KPJ_TRACE_CONCAT_INNER(a, b) a##b
+#define KPJ_TRACE_CONCAT(a, b) KPJ_TRACE_CONCAT_INNER(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define KPJ_TRACE_SPAN(name) \
+  ::kpj::TraceSpan KPJ_TRACE_CONCAT(kpj_trace_span_, __LINE__)(name)
+
+/// Zero-duration marker at the current time.
+#define KPJ_TRACE_INSTANT(name) \
+  ::kpj::TraceRecorder::Global().AddInstant(name)
+
+#endif  // KPJ_UTIL_TRACE_H_

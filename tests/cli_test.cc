@@ -328,6 +328,102 @@ TEST_F(CliFlowTest, PoisAndCategoryQuery) {
 }
 
 
+TEST_F(CliFlowTest, ObservabilityFlagsEmitMetricsAndTraces) {
+  std::string g = PathFor("g.bin");
+  std::string queries = PathFor("q.txt");
+  ASSERT_EQ(Run({"generate", "--nodes", "1500", "--seed", "8", "--out", g}),
+            0);
+  {
+    std::ofstream qf(queries);
+    qf << "0 4 500 900\n"
+       << "10 3 600\n";
+  }
+
+  // JSON metrics to stdout via the new --metrics-out spelling.
+  std::string out;
+  ASSERT_EQ(Run({"batch", "--graph", g, "--queries", queries,
+                 "--metrics-out", "-"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("\"queries_served\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"algo_node_expansions\""), std::string::npos);
+
+  // Prometheus text exposition.
+  ASSERT_EQ(Run({"batch", "--graph", g, "--queries", queries,
+                 "--metrics-out", "-", "--metrics-format", "prom"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("# TYPE kpj_queries_served_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("kpj_queries_served_total 2"), std::string::npos);
+  EXPECT_NE(out.find("kpj_query_latency_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+
+  // The legacy --metrics-json spelling still works.
+  std::string mpath = PathFor("metrics.json");
+  ASSERT_EQ(Run({"batch", "--graph", g, "--queries", queries,
+                 "--metrics-json", mpath}),
+            0);
+  std::ifstream mf(mpath);
+  std::stringstream mbody;
+  mbody << mf.rdbuf();
+  EXPECT_NE(mbody.str().find("\"queries_served\": 2"), std::string::npos);
+
+  // --trace-out writes a Chrome trace with the per-query span taxonomy.
+  std::string tpath = PathFor("trace.json");
+  ASSERT_EQ(Run({"batch", "--graph", g, "--queries", queries, "--trace-out",
+                 tpath}),
+            0);
+  std::ifstream tf(tpath);
+  std::stringstream tbody;
+  tbody << tf.rdbuf();
+  EXPECT_NE(tbody.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tbody.str().find("\"engine.query\""), std::string::npos);
+  EXPECT_NE(tbody.str().find("\"instance.prepare\""), std::string::npos);
+  EXPECT_NE(tbody.str().find("\"solver.run\""), std::string::npos);
+
+  // query takes the same flags; --slow-query-ms with a tiny threshold
+  // pushes the query into the slow-query counter.
+  ASSERT_EQ(Run({"query", "--graph", g, "--source", "0", "--targets",
+                 "500,900", "--k", "3", "--slow-query-ms", "0.000001",
+                 "--metrics-out", "-", "--trace-out", PathFor("q.json")},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("\"slow_queries\": 1"), std::string::npos);
+
+  // Flag validation.
+  std::string err;
+  EXPECT_NE(Run({"batch", "--graph", g, "--queries", queries,
+                 "--metrics-out", "-", "--metrics-format", "xml"},
+                nullptr, &err),
+            0);
+  EXPECT_NE(err.find("--metrics-format"), std::string::npos);
+  EXPECT_NE(Run({"query", "--graph", g, "--source", "0", "--targets", "500",
+                 "--slow-query-ms", "-1"},
+                nullptr, &err),
+            0);
+  EXPECT_NE(err.find("--slow-query-ms"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, StatsPrintsAlgorithmCounters) {
+  std::string g = PathFor("g.bin");
+  ASSERT_EQ(Run({"generate", "--nodes", "1500", "--seed", "8", "--out", g}),
+            0);
+  std::string out;
+  ASSERT_EQ(Run({"query", "--graph", g, "--source", "0", "--targets",
+                 "500,900", "--k", "3", "--stats"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("# heap pushes:"), std::string::npos);
+  EXPECT_NE(out.find("# node expansions:"), std::string::npos);
+  EXPECT_NE(out.find("# SPT resume hits/misses:"), std::string::npos);
+  EXPECT_NE(out.find("# lower-bound tightness:"), std::string::npos);
+}
+
 TEST_F(CliFlowTest, BatchWithThreadsMatchesSerial) {
   std::string g = PathFor("g.bin");
   std::string queries = PathFor("q.txt");

@@ -1,0 +1,179 @@
+// TraceRecorder / TraceSpan (util/trace.h): recording gates, span nesting,
+// Chrome JSON export round-trip, and cross-thread tid assignment.
+
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kpj {
+namespace {
+
+TEST(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec;
+  ASSERT_FALSE(rec.enabled());
+  rec.AddCompleteEvent("x", 0, 10);
+  rec.AddInstant("y");
+  { TraceSpan span("z", rec); }
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, EnableDisableGatesRecording) {
+  TraceRecorder rec;
+  rec.Enable();
+  rec.AddInstant("a");
+  rec.Disable();
+  rec.AddInstant("b");
+  rec.Enable();
+  rec.AddInstant("c");
+  ASSERT_EQ(rec.event_count(), 2u);
+  std::vector<TraceRecorder::Event> events = rec.Snapshot();
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "c");
+  rec.Clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, NestedSpansCoverEachOther) {
+  TraceRecorder rec;
+  rec.Enable();
+  {
+    TraceSpan outer("outer", rec);
+    {
+      TraceSpan inner("inner", rec);
+      rec.AddInstant("tick");
+    }
+  }
+  ASSERT_EQ(rec.event_count(), 3u);
+  // Snapshot sorts by start time with longer spans first at ties, so the
+  // nesting order is outer, inner, tick.
+  std::vector<TraceRecorder::Event> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceRecorder::Event* outer = nullptr;
+  const TraceRecorder::Event* inner = nullptr;
+  const TraceRecorder::Event* tick = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "outer") outer = &e;
+    if (e.name == "inner") inner = &e;
+    if (e.name == "tick") tick = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(outer->phase, 'X');
+  EXPECT_EQ(inner->phase, 'X');
+  EXPECT_EQ(tick->phase, 'i');
+  // Inner is contained in outer; the instant is contained in inner.
+  EXPECT_LE(outer->ts_us, inner->ts_us);
+  EXPECT_GE(outer->ts_us + outer->dur_us, inner->ts_us + inner->dur_us);
+  EXPECT_LE(inner->ts_us, tick->ts_us);
+  EXPECT_GE(inner->ts_us + inner->dur_us, tick->ts_us);
+}
+
+TEST(TraceRecorderTest, EndClosesSpanEarlyAndOnlyOnce) {
+  TraceRecorder rec;
+  rec.Enable();
+  TraceSpan span("once", rec);
+  span.End();
+  span.End();  // Second End and the destructor must not re-record.
+  EXPECT_EQ(rec.event_count(), 1u);
+}
+
+TEST(TraceRecorderTest, ChromeJsonShapeAndEscaping) {
+  TraceRecorder rec;
+  rec.Enable();
+  rec.AddCompleteEvent("solve \"q\"", 5, 7);
+  rec.AddInstant("mark");
+  std::string json = rec.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  // The quote inside the span name must come out escaped.
+  EXPECT_NE(json.find("solve \\\"q\\\""), std::string::npos);
+  EXPECT_EQ(json.find("solve \"q\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, WriteJsonRoundTrips) {
+  TraceRecorder rec;
+  rec.Enable();
+  rec.AddCompleteEvent("io", 1, 2);
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("kpj_trace_test_" + std::to_string(::getpid()) + ".json");
+  ASSERT_TRUE(rec.WriteJson(path.string()).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), rec.ToChromeJson());
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(rec.WriteJson("/nonexistent-dir/trace.json").ok());
+}
+
+TEST(TraceRecorderTest, ThreadsGetDistinctDenseTids) {
+  TraceRecorder rec;
+  rec.Enable();
+  rec.AddInstant("main");
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([&rec] {
+      TraceSpan span("worker", rec);
+      rec.AddInstant("worker.tick");
+    });
+  }
+  for (auto& t : workers) t.join();
+  // 1 main instant + 3 * (span + instant); buffers of exited threads are
+  // retained for export.
+  ASSERT_EQ(rec.event_count(), 7u);
+  std::vector<uint32_t> tids;
+  for (const auto& e : rec.Snapshot()) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  ASSERT_EQ(tids.size(), 4u);  // Main thread + 3 workers.
+  // Dense ids in registration order: 0..3.
+  EXPECT_EQ(tids.front(), 0u);
+  EXPECT_EQ(tids.back(), 3u);
+}
+
+TEST(TraceRecorderTest, ConcurrentRecordingLosesNothing) {
+  TraceRecorder rec;
+  rec.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec] {
+      for (int i = 0; i < kPerThread; ++i) rec.AddInstant("evt");
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(rec.event_count(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceRecorderTest, SnapshotIsSortedByTimestamp) {
+  TraceRecorder rec;
+  rec.Enable();
+  rec.AddCompleteEvent("late", 100, 5);
+  rec.AddCompleteEvent("early", 10, 5);
+  rec.AddCompleteEvent("middle", 50, 5);
+  std::vector<TraceRecorder::Event> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "early");
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[2].name, "late");
+}
+
+}  // namespace
+}  // namespace kpj

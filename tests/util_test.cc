@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 
@@ -234,6 +236,87 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("hello"));
   std::string s = std::move(r).value();
   EXPECT_EQ(s, "hello");
+}
+
+// ------------------------------------------------------ latency histogram
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSamplePercentileIsExact) {
+  LatencyHistogram h;
+  h.Record(3.5);
+  EXPECT_EQ(h.count(), 1u);
+  // Percentiles clamp into [min, max], so one sample comes back exactly.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 3.5);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 3.5);
+}
+
+TEST(LatencyHistogramTest, MalformedInputsAreClampedNotCorrupting) {
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(-5.0);
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_TRUE(std::isfinite(h.sum_ms()));
+  EXPECT_TRUE(std::isfinite(h.Percentile(50.0)));
+  EXPECT_DOUBLE_EQ(h.min_ms(), 0.0);  // NaN and negatives recorded as 0.
+}
+
+TEST(LatencyHistogramTest, PercentileApproximatesWithinBucketResolution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  // Geometric √2 buckets are ~41% wide, so a percentile can land anywhere
+  // within one bucket of the true value: check a multiplicative band.
+  EXPECT_GE(h.Percentile(50.0), 50.0 / 1.5);
+  EXPECT_LE(h.Percentile(50.0), 50.0 * 1.5);
+  EXPECT_GE(h.Percentile(90.0), 90.0 / 1.5);
+  EXPECT_LE(h.Percentile(90.0), 90.0 * 1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 100.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 5050.0);
+}
+
+TEST(LatencyHistogramTest, BucketAccessorsCoverTheWholeRange) {
+  LatencyHistogram h;
+  h.Record(0.5);
+  h.Record(2.0);
+  h.Record(1e30);  // Falls into the last (absorbing) bucket.
+  uint64_t total = 0;
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    total += h.bucket_count(b);
+    if (b + 1 < LatencyHistogram::kBuckets) {
+      // Upper bounds are strictly increasing over the geometric range.
+      EXPECT_LT(LatencyHistogram::BucketUpperBoundMs(b),
+                LatencyHistogram::BucketUpperBoundMs(b + 1));
+    }
+  }
+  EXPECT_EQ(total, h.count());
+  EXPECT_GT(
+      h.bucket_count(LatencyHistogram::kBuckets - 1), 0u);
+  EXPECT_TRUE(std::isinf(
+      LatencyHistogram::BucketUpperBoundMs(LatencyHistogram::kBuckets - 1)));
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(7.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 0.0);
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(h.bucket_count(b), 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Schema checks for the KPJ CLI's observability outputs.
+
+Validates one file per invocation:
+
+    tools/validate_metrics.py --mode metrics-json engine_metrics.json
+    tools/validate_metrics.py --mode prom         engine_metrics.prom
+    tools/validate_metrics.py --mode trace        trace.json
+
+Exit status 0 means the file is well-formed; any violation prints a
+diagnostic and exits 1. Used by scripts/check.sh to gate the CLI smoke
+run, and handy standalone when wiring dashboards.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+METRICS_REQUIRED_KEYS = [
+    "workers",
+    "queries_served",
+    "queries_failed",
+    "deadline_exceeded",
+    "slow_queries",
+    "paths_returned",
+    "heap_pops",
+    "edges_relaxed",
+    "sp_computations",
+    "algo_heap_pushes",
+    "algo_heap_pops",
+    "algo_heap_decrease_keys",
+    "algo_node_expansions",
+    "algo_spt_resume_hits",
+    "algo_spt_resume_misses",
+    "algo_iter_bound_rounds",
+    "algo_candidates_generated",
+    "algo_candidates_pruned",
+    "algo_lb_tightness",
+    "latency_count",
+    "latency_mean_ms",
+    "latency_min_ms",
+    "latency_max_ms",
+    "latency_p50_ms",
+    "latency_p90_ms",
+    "latency_p99_ms",
+]
+
+PROM_REQUIRED_SERIES = [
+    "kpj_workers",
+    "kpj_queries_served_total",
+    "kpj_queries_failed_total",
+    "kpj_queries_deadline_exceeded_total",
+    "kpj_slow_queries_total",
+    "kpj_paths_returned_total",
+    "kpj_sp_computations_total",
+    "kpj_heap_pushes_total",
+    "kpj_heap_pops_total",
+    "kpj_heap_decrease_keys_total",
+    "kpj_node_expansions_total",
+    "kpj_edges_relaxed_total",
+    "kpj_spt_resume_hits_total",
+    "kpj_spt_resume_misses_total",
+    "kpj_iter_bound_rounds_total",
+    "kpj_candidates_generated_total",
+    "kpj_candidates_pruned_total",
+    "kpj_lower_bound_tightness_ratio",
+    "kpj_query_latency_ms",
+]
+
+
+def fail(message):
+    print(f"validate_metrics: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics_json(text):
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"metrics JSON does not parse: {e}")
+    if not isinstance(data, dict):
+        fail("metrics JSON root must be an object")
+    for key in METRICS_REQUIRED_KEYS:
+        if key not in data:
+            fail(f"metrics JSON missing key {key!r}")
+        value = data[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"metrics key {key!r} must be a number, got {value!r}")
+        if isinstance(value, float) and not math.isfinite(value):
+            fail(f"metrics key {key!r} is not finite: {value!r}")
+        if value < 0:
+            fail(f"metrics key {key!r} is negative: {value!r}")
+    if not 0.0 <= data["algo_lb_tightness"] <= 1.0 + 1e-9:
+        fail(f"algo_lb_tightness outside [0, 1]: {data['algo_lb_tightness']}")
+
+
+def check_prom(text):
+    # sample line: name{labels} value  |  name value
+    sample_re = re.compile(
+        r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+    typed = {}
+    seen = set()
+    bucket_counts = []
+    histogram_count = None
+    for line_no, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram"):
+                fail(f"line {line_no}: malformed TYPE comment: {line!r}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            fail(f"line {line_no}: unknown comment form: {line!r}")
+        m = sample_re.match(line)
+        if m is None:
+            fail(f"line {line_no}: unparseable sample: {line!r}")
+        name, labels, value_text = m.groups()
+        try:
+            value = float(value_text)
+        except ValueError:
+            fail(f"line {line_no}: non-numeric value: {line!r}")
+        if not math.isfinite(value):
+            fail(f"line {line_no}: non-finite value: {line!r}")
+        if value < 0:
+            fail(f"line {line_no}: negative value: {line!r}")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in typed:
+            fail(f"line {line_no}: sample {name!r} has no TYPE comment")
+        seen.add(base)
+        if name == "kpj_query_latency_ms_bucket":
+            if labels is None or 'le="' not in labels:
+                fail(f"line {line_no}: histogram bucket without le label")
+            bucket_counts.append(value)
+        if name == "kpj_query_latency_ms_count":
+            histogram_count = value
+    for name in PROM_REQUIRED_SERIES:
+        if name not in seen:
+            fail(f"missing series {name!r}")
+    if not bucket_counts:
+        fail("histogram has no buckets")
+    if any(b > a for b, a in zip(bucket_counts, bucket_counts[1:])):
+        fail("histogram buckets are not cumulative")
+    if histogram_count is None:
+        fail("histogram has no _count sample")
+    if bucket_counts[-1] != histogram_count:
+        fail(f"+Inf bucket {bucket_counts[-1]} != _count {histogram_count}")
+
+
+def check_trace(text):
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"trace JSON does not parse: {e}")
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        fail("trace JSON must be an object with a 'traceEvents' array")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"event {i} is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"event {i} missing {key!r}")
+        if event["ph"] not in ("X", "i"):
+            fail(f"event {i} has unsupported phase {event['ph']!r}")
+        if event["ph"] == "X":
+            if "dur" not in event or event["dur"] < 0:
+                fail(f"event {i}: complete event needs dur >= 0")
+        if event["ph"] == "i" and event.get("s") != "t":
+            fail(f"event {i}: instant event needs scope 's': 't'")
+        if event["ts"] < 0:
+            fail(f"event {i} has negative timestamp")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", required=True,
+                        choices=["metrics-json", "prom", "trace"])
+    parser.add_argument("path")
+    args = parser.parse_args()
+    with open(args.path, "r", encoding="utf-8") as f:
+        text = f.read()
+    if args.mode == "metrics-json":
+        check_metrics_json(text)
+    elif args.mode == "prom":
+        check_prom(text)
+    else:
+        check_trace(text)
+    print(f"validate_metrics: {args.mode} OK: {args.path}")
+
+
+if __name__ == "__main__":
+    main()
