@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/kpj_instance.h"
 #include "core/solver.h"
 #include "util/timer.h"
 
@@ -21,9 +22,9 @@ namespace {
 using namespace kpj;
 using namespace kpj::bench;
 
-QueryStats CollectStats(const Dataset& ds, Algorithm algorithm,
-                        NodeId source, const std::vector<NodeId>& targets,
-                        uint32_t k) {
+QueryStats CollectStats(const KpjInstance& instance, const Dataset& ds,
+                        Algorithm algorithm, NodeId source,
+                        const std::vector<NodeId>& targets, uint32_t k) {
   KpjOptions options;
   options.algorithm = algorithm;
   options.landmarks = &ds.landmarks;
@@ -31,7 +32,7 @@ QueryStats CollectStats(const Dataset& ds, Algorithm algorithm,
   query.sources = {source};
   query.targets = targets;
   query.k = k;
-  Result<KpjResult> r = RunKpj(ds.graph, ds.reverse, query, options);
+  Result<KpjResult> r = RunKpj(instance, query, options);
   KPJ_CHECK(r.ok()) << r.status().ToString();
   return r.value().stats;
 }
@@ -41,6 +42,8 @@ QueryStats CollectStats(const Dataset& ds, Algorithm algorithm,
 int main() {
   HarnessOptions harness = HarnessFromEnv();
   Dataset ds = BuildDataset(DatasetId::kCAL, harness, /*california=*/true);
+  Result<KpjInstance> instance = KpjInstance::Wrap(ds.graph, Permutation());
+  KPJ_CHECK(instance.ok()) << instance.status().ToString();
   const std::vector<NodeId>& targets = ds.Targets(ds.california->lake);
   QuerySets sets = GenerateQuerySets(ds.reverse, targets,
                                      harness.queries_per_set, 97);
@@ -156,7 +159,7 @@ int main() {
         "Ablation 3: work per query (CAL, T=Lake, Q3 source, k=20)",
         {"SP comps", "bound tests", "nodes settled", "SPT nodes"});
     for (Algorithm a : BaselineFigureAlgorithms()) {
-      QueryStats stats = CollectStats(ds, a, sets.q[2][0], targets, 20);
+      QueryStats stats = CollectStats(instance.value(), ds, a, sets.q[2][0], targets, 20);
       table.AddRow(AlgorithmName(a),
                    {static_cast<double>(stats.shortest_path_computations),
                     static_cast<double>(stats.lower_bound_tests),

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "gen/road_gen.h"
 #include "index/landmark_index.h"
 #include "util/rng.h"
@@ -30,6 +31,11 @@ int main(int argc, char** argv) {
   RoadNetwork net = GenerateRoadNetwork(road);
   Graph reverse = net.graph.Reverse();
   LandmarkIndex landmarks = LandmarkIndex::Build(net.graph, reverse, {});
+  Result<KpjInstance> instance = KpjInstance::Wrap(net.graph, Permutation());
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
 
   Rng rng(17);
   NodeId source = static_cast<NodeId>(rng.NextBounded(net.graph.NumNodes()));
@@ -46,7 +52,7 @@ int main(int argc, char** argv) {
     options.landmarks = &landmarks;
     Timer timer;
     Result<KpjResult> result =
-        RunKsp(net.graph, reverse, source, target, k, options);
+        RunKsp(instance.value(), source, target, k, options);
     double ms = timer.ElapsedMillis();
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", AlgorithmName(algorithm),

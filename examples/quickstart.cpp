@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "graph/graph_builder.h"
 #include "index/category_index.h"
 #include "index/landmark_index.h"
@@ -39,6 +40,11 @@ int main() {
 
   // 3. Offline landmark index (Eq. (2) lower bounds).
   LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, {});
+  Result<KpjInstance> instance = KpjInstance::Wrap(graph, Permutation());
+  if (!instance.ok()) {
+    std::fprintf(stderr, "wrap: %s\n", instance.status().ToString().c_str());
+    return 1;
+  }
 
   // 4. Ask for the top-3 shortest paths from v1 to any hotel.
   Result<KpjQuery> query = MakeCategoryQuery(categories, /*source=*/0, hotel,
@@ -52,7 +58,7 @@ int main() {
   options.landmarks = &landmarks;
 
   Result<KpjResult> result =
-      RunKpj(graph, reverse, query.value(), options);
+      RunKpj(instance.value(), query.value(), options);
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
     return 1;

@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "gen/poi_gen.h"
 #include "gen/road_gen.h"
 #include "index/category_index.h"
@@ -32,6 +33,11 @@ int main(int argc, char** argv) {
   Timer build_timer;
   RoadNetwork city = GenerateRoadNetwork(road);
   Graph reverse = city.graph.Reverse();
+  Result<KpjInstance> instance = KpjInstance::Wrap(city.graph, Permutation());
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
   std::printf("city: %u intersections, %u road segments (%.0f ms)\n",
               city.graph.NumNodes(), city.graph.NumEdges() / 2,
               build_timer.ElapsedMillis());
@@ -72,7 +78,7 @@ int main(int argc, char** argv) {
     options.landmarks = &landmarks;
     Timer timer;
     Result<KpjResult> result =
-        RunKpj(city.graph, reverse, query.value(), options);
+        RunKpj(instance.value(), query.value(), options);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
@@ -98,7 +104,7 @@ int main(int argc, char** argv) {
   KpjOptions options;
   options.landmarks = &landmarks;
   Result<KpjResult> hospital_routes =
-      RunKpj(city.graph, reverse, er.value(), options);
+      RunKpj(instance.value(), er.value(), options);
   std::printf("\ntop-3 hospital routes: ");
   for (const Path& p : hospital_routes.value().paths) {
     std::printf("%llu ", static_cast<unsigned long long>(p.length));

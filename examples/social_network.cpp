@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "graph/graph_builder.h"
 #include "index/landmark_index.h"
 #include "util/rng.h"
@@ -58,6 +59,11 @@ int main() {
   LandmarkIndexOptions lopt;
   lopt.num_landmarks = 8;
   LandmarkIndex landmarks = LandmarkIndex::Build(network, reverse, lopt);
+  Result<KpjInstance> instance = KpjInstance::Wrap(network, Permutation());
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
 
   // Two gangs: disjoint account sets.
   Rng rng(123);
@@ -75,7 +81,7 @@ int main() {
   KpjOptions options;
   options.algorithm = Algorithm::kIterBoundSptI;
   options.landmarks = &landmarks;
-  Result<KpjResult> result = RunKpj(network, reverse, query, options);
+  Result<KpjResult> result = RunKpj(instance.value(), query, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;

@@ -6,7 +6,12 @@
 #   scripts/check.sh --asan          # opt-in AddressSanitizer + UBSan run
 #   scripts/check.sh --tsan          # opt-in ThreadSanitizer run of the
 #                                    # concurrency suite (engine, pool,
-#                                    # parallel, trace, observability) only
+#                                    # parallel, trace, observability,
+#                                    # cache reuse) only
+#   scripts/check.sh --bench-gate    # opt-in perf gate: re-run bench_cache
+#                                    # and diff against the checked-in
+#                                    # BENCH_cache.json with
+#                                    # tools/compare_bench.py (>10% fails)
 #   KPJ_CHECK_JOBS=8 scripts/check.sh
 #
 # Sanitizer runs use separate build trees (build-asan/, build-tsan/) so
@@ -22,24 +27,37 @@ cd "$(dirname "$0")/.."
 
 jobs="${KPJ_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 build_dir=build
+mode=default
 cmake_flags=()
 ctest_flags=()
 
 if [[ "${1:-}" == "--asan" || "${KPJ_CHECK_ASAN:-0}" == "1" ]]; then
   build_dir=build-asan
+  mode=asan
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all")
 elif [[ "${1:-}" == "--tsan" || "${KPJ_CHECK_TSAN:-0}" == "1" ]]; then
   # TSAN and ASAN cannot be combined; the TSAN tree only runs the tests
   # that actually exercise threads (the full suite is single-threaded and
   # ~10x slower under TSAN for no added coverage).
   build_dir=build-tsan
+  mode=tsan
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all")
-  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|trace_test|observability_test")
+  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|trace_test|observability_test|cache_reuse_test")
+elif [[ "${1:-}" == "--bench-gate" || "${KPJ_CHECK_BENCH_GATE:-0}" == "1" ]]; then
+  mode=bench-gate
 fi
 
 cmake -B "$build_dir" -S . "${cmake_flags[@]}"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${ctest_flags[@]}"
+
+if [[ "$mode" == "asan" ]]; then
+  # Re-run the cache determinism suite with a deliberately tiny (1 MiB)
+  # budget so constant LRU eviction runs under the sanitizer, not just the
+  # comfortable default the ctest pass uses.
+  KPJ_CACHE_TEST_MB=1 "$build_dir/tests/cache_reuse_test"
+  echo "asan tiny-cache eviction pass OK"
+fi
 
 # --- Observability smoke: run the CLI with tracing + metrics on a small
 # graph and validate every emitted artifact.
@@ -65,3 +83,16 @@ python3 tools/validate_metrics.py --mode metrics-json "$smoke_dir/query_metrics.
 python3 tools/validate_metrics.py --mode trace "$smoke_dir/batch_trace.json"
 python3 tools/validate_metrics.py --mode prom "$smoke_dir/batch_metrics.prom"
 echo "observability smoke OK"
+
+# --- Opt-in bench gate: re-run the cross-query cache benchmark and fail
+# if any timing or speedup leaf regressed >10% against the checked-in
+# baseline BENCH_cache.json.
+if [[ "$mode" == "bench-gate" ]]; then
+  gate_dir="$build_dir/check-bench"
+  rm -rf "$gate_dir"
+  mkdir -p "$gate_dir"
+  KPJ_BENCH_JSON="$gate_dir/BENCH_cache.json" "$build_dir/bench/bench_cache"
+  python3 tools/compare_bench.py BENCH_cache.json "$gate_dir/BENCH_cache.json" \
+    --threshold 0.10
+  echo "bench gate OK"
+fi

@@ -94,6 +94,25 @@ Result<double> GetSlowQueryFlag(const ParsedArgs& args) {
   return *parsed;
 }
 
+/// Reads the cross-query cache budget: --no-cache wins, otherwise
+/// --cache-mb N (default 64 MiB). Results are byte-identical either way;
+/// the cache only trades memory for repeated-source latency.
+Result<size_t> GetCacheFlag(const ParsedArgs& args) {
+  if (args.Has("no-cache")) {
+    if (args.Get("cache-mb").has_value()) {
+      return Status::InvalidArgument(
+          "--no-cache and --cache-mb are mutually exclusive");
+    }
+    return size_t{0};
+  }
+  Result<int64_t> mb = args.GetInt("cache-mb", 64);
+  if (!mb.ok()) return mb.status();
+  if (mb.value() < 0) {
+    return Status::InvalidArgument("--cache-mb must be >= 0");
+  }
+  return static_cast<size_t>(mb.value());
+}
+
 /// Dumps the engine's execution metrics after the queries ran. The output
 /// path comes from --metrics-out FILE ('-' = stdout), with --metrics-json
 /// kept as a legacy alias; --metrics-format picks json (default) or prom
@@ -156,6 +175,7 @@ void PrintHelp(std::ostream& out) {
          " [--landmarks FILE] [--alpha 1.1]\n"
          "                    [--reorder STRAT] [--stats] [--threads N]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
+         "                    [--cache-mb MB | --no-cache]\n"
          "                    [--metrics-out FILE|-]"
          " [--metrics-format json|prom]\n"
          "                    [--trace-out FILE]\n"
@@ -163,6 +183,7 @@ void PrintHelp(std::ostream& out) {
          " [--algorithm NAME] [--landmarks FILE]\n"
          "                    [--threads N] [--reorder STRAT]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
+         "                    [--cache-mb MB | --no-cache]\n"
          "                    [--metrics-out FILE|-]"
          " [--metrics-format json|prom]\n"
          "                    [--trace-out FILE]\n"
@@ -177,6 +198,10 @@ void PrintHelp(std::ostream& out) {
          "json format. --trace-out writes a Chrome trace_event JSON file\n"
          "(load in chrome://tracing or Perfetto). --slow-query-ms logs\n"
          "queries at/over the threshold to stderr with their query id.\n"
+         "Cross-query reuse: the engine keeps shortest-path-tree and\n"
+         "category-bound caches sized by --cache-mb (default 64 MiB);\n"
+         "--no-cache turns them off. Answers are byte-identical either\n"
+         "way — caching only changes latency.\n"
          "Binary graphs may store a cache-locality reordering; node ids on\n"
          "the command line and in output always refer to original ids.\n"
          "Reorder strategies: none (default), bfs, degree, hybrid.\n"
@@ -481,10 +506,13 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   query.k = static_cast<uint32_t>(k.value());
 
   KpjEngineOptions engine_options;
+  Result<size_t> cache_mb = GetCacheFlag(args);
+  if (!cache_mb.ok()) return Fail(err, cache_mb.status());
   engine_options.threads = threads.value();
   engine_options.default_deadline_ms = deadline.value();
   engine_options.solver = s.options;
   engine_options.slow_query_ms = slow_query.value();
+  engine_options.cache_mb = cache_mb.value();
   KpjEngine engine(s.instance, engine_options);
 
   MaybeStartTrace(args);
@@ -598,10 +626,13 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   for (const BatchQuery& bq : queries) engine_queries.push_back(bq.query);
 
   KpjEngineOptions engine_options;
+  Result<size_t> cache_mb = GetCacheFlag(args);
+  if (!cache_mb.ok()) return Fail(err, cache_mb.status());
   engine_options.threads = threads.value();
   engine_options.default_deadline_ms = deadline.value();
   engine_options.solver = s.options;
   engine_options.slow_query_ms = slow_query.value();
+  engine_options.cache_mb = cache_mb.value();
   KpjEngine engine(s.instance, engine_options);
 
   MaybeStartTrace(args);

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <utility>
+
+#include "core/spt_cache.h"
 
 namespace kpj {
 
@@ -49,15 +53,60 @@ bool BestFirstFramework::ComputeRootPath(const PreparedQuery& query,
 bool BestFirstFramework::InitializeQuery(const PreparedQuery& query,
                                          SubspaceEntry* initial,
                                          QueryStats* stats) {
+  SptCache* spt_cache = query.cache != nullptr ? query.cache->spt : nullptr;
+  TargetBoundCache* bound_cache =
+      query.cache != nullptr ? query.cache->bounds : nullptr;
+  const uint64_t epoch = query.cache != nullptr ? query.cache->epoch : 0;
+
   if (options_.landmarks != nullptr) {
-    landmark_bound_.emplace(options_.landmarks, query.targets,
-                            BoundDirection::kToSet, query.source,
-                            options_.max_active_landmarks);
+    landmark_bound_ = MakeCachedSetBound(
+        options_.landmarks, query.targets, BoundDirection::kToSet,
+        query.source, options_.max_active_landmarks, bound_cache, epoch,
+        &stats->algo);
     heuristic_ = &*landmark_bound_;
   } else {
     heuristic_ = &zero_;
   }
-  return ComputeRootPath(query, initial, stats);
+
+  // Cross-query reuse: the overall shortest path (including "there is
+  // none") is a pure function of (source, targets, heuristic config), so
+  // the cached initial entry equals the recomputed one exactly.
+  SptCacheKey key;
+  if (spt_cache != nullptr) {
+    key.kind = SptCacheKind::kRootPath;
+    key.epoch = epoch;
+    key.source = query.source;
+    key.config = SptCacheConfig(options_.landmarks != nullptr,
+                                options_.max_active_landmarks);
+    key.targets = query.targets;
+    if (std::optional<SptCacheValue> cached = spt_cache->Lookup(key)) {
+      ++stats->algo.spt_cache_hits;
+      const CachedRootPath& root = *cached->root_path;
+      if (!root.found) return false;
+      initial->vertex = tree_.root();
+      initial->has_path = true;
+      initial->suffix_length = root.suffix_length;
+      initial->key = static_cast<double>(root.suffix_length);
+      initial->suffix.assign(root.suffix.begin(), root.suffix.end());
+      return true;
+    }
+    ++stats->algo.spt_cache_misses;
+  }
+
+  bool found = ComputeRootPath(query, initial, stats);
+  if (spt_cache != nullptr &&
+      (query.cancel == nullptr || !query.cancel->ShouldStop())) {
+    auto root = std::make_shared<CachedRootPath>();
+    root->found = found;
+    if (found) {
+      root->suffix.assign(initial->suffix.begin(), initial->suffix.end());
+      root->suffix_length = initial->suffix_length;
+    }
+    SptCacheValue value;
+    value.root_path = std::move(root);
+    spt_cache->Insert(std::move(key), std::move(value));
+  }
+  return found;
 }
 
 double BestFirstFramework::CompLB(uint32_t v, QueryStats* stats) {

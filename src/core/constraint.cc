@@ -28,13 +28,18 @@ SubspaceSearchResult ConstrainedSearch::Run(
   SubspaceSearchResult out;
   KPJ_DCHECK(request.start < graph_.NumNodes() ||
              request.start == kInvalidNode);
+  // The previous result's suffix dies here, as documented on
+  // SubspaceSearchResult.
+  suffix_arena_.Reset();
 
   // Zero-length suffix: the prefix itself ends at a target and finishing
   // there is allowed — it is necessarily the shortest path in the subspace.
   if (request.start_counts_as_destination) {
     if (static_cast<double>(request.prefix_length) <= request.tau) {
       out.outcome = SearchOutcome::kFound;
-      out.suffix = {request.start};
+      std::span<NodeId> only = suffix_arena_.AllocateArray<NodeId>(1);
+      only[0] = request.start;
+      out.suffix = only;
       out.suffix_length = 0;
     } else {
       out.outcome = SearchOutcome::kBounded;
@@ -114,10 +119,16 @@ SubspaceSearchResult ConstrainedSearch::Run(
       // which the reopening relaxation below accounts for).
       out.outcome = SearchOutcome::kFound;
       out.suffix_length = dist_.Get(u);
+      size_t hops = 0;
       for (NodeId cur = u; cur != kInvalidNode; cur = parent_.Get(cur)) {
-        out.suffix.push_back(cur);
+        ++hops;
       }
-      std::reverse(out.suffix.begin(), out.suffix.end());
+      std::span<NodeId> suffix = suffix_arena_.AllocateArray<NodeId>(hops);
+      size_t slot = hops;
+      for (NodeId cur = u; cur != kInvalidNode; cur = parent_.Get(cur)) {
+        suffix[--slot] = cur;
+      }
+      out.suffix = suffix;
       // A real start heads its own suffix; a virtual root's suffix starts
       // at whichever seed the path entered through.
       KPJ_DCHECK(request.start == kInvalidNode ||

@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "sssp/astar.h"
 #include "sssp/incremental_search.h"
+#include "util/arena.h"
 #include "util/epoch_array.h"
 #include "util/indexed_heap.h"
 #include "util/types.h"
@@ -68,8 +69,10 @@ enum class SearchOutcome {
 
 struct SubspaceSearchResult {
   SearchOutcome outcome = SearchOutcome::kEmpty;
-  /// For kFound: nodes from `start` to the destination, inclusive.
-  std::vector<NodeId> suffix;
+  /// For kFound: nodes from `start` to the destination, inclusive. Backed
+  /// by the ConstrainedSearch's arena — valid only until that engine's
+  /// next Run call; callers copy what they keep.
+  std::span<const NodeId> suffix;
   /// For kFound: total weight of the suffix edges (excludes the prefix).
   PathLength suffix_length = 0;
 };
@@ -113,6 +116,8 @@ class ConstrainedSearch {
   EpochArray<PathLength> dist_;
   EpochArray<NodeId> parent_;
   IndexedHeap<PathLength> heap_;
+  /// Backs the suffix of the most recent result; recycled every Run.
+  Arena suffix_arena_;
 };
 
 }  // namespace kpj

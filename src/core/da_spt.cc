@@ -1,8 +1,12 @@
 #include "core/da_spt.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "core/spt_cache.h"
 
 namespace kpj {
 
@@ -34,7 +38,7 @@ bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue,
       }
     }
     if (banned) continue;
-    PathLength est = SatAdd(e.weight, full_spt_.dist[e.to]);
+    PathLength est = SatAdd(e.weight, full_spt_->dist[e.to]);
     if (est < best_estimate) {
       best_estimate = est;
       best_hop = e.to;
@@ -48,10 +52,10 @@ bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue,
 
   // Pascoal's test: the SPT path from best_hop must avoid prefix nodes
   // (it is itself simple, so this suffices for whole-path simplicity).
-  std::vector<NodeId> suffix;
+  SmallVec<NodeId, 8> suffix;
   suffix.push_back(best_hop);
   for (NodeId cur = best_hop;;) {
-    NodeId parent = full_spt_.parent[cur];
+    NodeId parent = full_spt_->parent[cur];
     if (parent == kInvalidNode) break;
     if (forbidden.Contains(parent)) return false;  // Not simple: fall back.
     suffix.push_back(parent);
@@ -91,7 +95,7 @@ void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
   request.start_counts_as_destination = zero_suffix_ok;
   request.cancel = cancel_;
 
-  FullSptBound bound(&full_spt_);
+  FullSptBound bound(full_spt_.get());
   ++stats->shortest_path_computations;
   SubspaceSearchResult result = search_.Run(request, bound, stats);
   if (result.outcome != SearchOutcome::kFound) {
@@ -117,23 +121,51 @@ KpjResult DaSptSolver::Run(const PreparedQuery& query) {
 
   // Build the full SPT toward the (virtual) destination: one multi-source
   // Dijkstra on the reverse graph over all of V_T. This is DA-SPT's
-  // up-front cost (paper §3, deficiency 3).
-  std::vector<std::pair<NodeId, PathLength>> seeds;
-  seeds.reserve(query.targets.size());
-  for (NodeId t : query.targets) seeds.emplace_back(t, 0);
-  reverse_dijkstra_.SetCancelToken(cancel_);
-  reverse_dijkstra_.SetAlgoStats(&res.stats.algo);
-  reverse_dijkstra_.RunMultiSource(seeds);
-  reverse_dijkstra_.SetAlgoStats(nullptr);  // res is stack storage.
-  res.stats.nodes_settled += reverse_dijkstra_.stats().nodes_settled;
-  res.stats.edges_relaxed += reverse_dijkstra_.stats().edges_relaxed;
-  res.stats.spt_nodes = reverse_dijkstra_.stats().nodes_settled;
-  if (cancel_ != nullptr && cancel_->ShouldStop()) {
-    // A truncated SPT has unusable distances; stop before any candidate.
-    res.status = cancel_->CancelStatus();
-    return res;
+  // up-front cost (paper §3, deficiency 3) — and the payoff of the
+  // cross-query cache: the SPT depends only on the target set, so every
+  // query against the same category reuses it.
+  SptCache* cache = query.cache != nullptr ? query.cache->spt : nullptr;
+  SptCacheKey key;
+  if (cache != nullptr) {
+    key.kind = SptCacheKind::kReverseTargetSpt;
+    key.epoch = query.cache->epoch;
+    key.targets = query.targets;
   }
-  full_spt_ = reverse_dijkstra_.Snapshot();
+  full_spt_.reset();
+  if (cache != nullptr) {
+    if (std::optional<SptCacheValue> hit = cache->Lookup(key)) {
+      full_spt_ = hit->full_spt;
+      ++res.stats.algo.spt_cache_hits;
+      // spt_nodes stays 0: stats report work actually performed.
+    } else {
+      ++res.stats.algo.spt_cache_misses;
+    }
+  }
+  if (full_spt_ == nullptr) {
+    std::vector<std::pair<NodeId, PathLength>> seeds;
+    seeds.reserve(query.targets.size());
+    for (NodeId t : query.targets) seeds.emplace_back(t, 0);
+    reverse_dijkstra_.SetCancelToken(cancel_);
+    reverse_dijkstra_.SetAlgoStats(&res.stats.algo);
+    reverse_dijkstra_.RunMultiSource(seeds);
+    reverse_dijkstra_.SetAlgoStats(nullptr);  // res is stack storage.
+    res.stats.nodes_settled += reverse_dijkstra_.stats().nodes_settled;
+    res.stats.edges_relaxed += reverse_dijkstra_.stats().edges_relaxed;
+    res.stats.spt_nodes = reverse_dijkstra_.stats().nodes_settled;
+    if (cancel_ != nullptr && cancel_->ShouldStop()) {
+      // A truncated SPT has unusable distances; stop before any candidate
+      // and never cache it.
+      res.status = cancel_->CancelStatus();
+      return res;
+    }
+    full_spt_ =
+        std::make_shared<const SptResult>(reverse_dijkstra_.Snapshot());
+    if (cache != nullptr) {
+      SptCacheValue value;
+      value.full_spt = full_spt_;
+      cache->Insert(std::move(key), std::move(value));
+    }
+  }
 
   SubspaceQueue queue;
   PushCandidate(tree_.root(), queue, &res.stats);

@@ -1,6 +1,8 @@
 #ifndef KPJ_CORE_DA_SPT_H_
 #define KPJ_CORE_DA_SPT_H_
 
+#include <memory>
+
 #include "core/constraint.h"
 #include "core/heuristics.h"
 #include "core/kpj_query.h"
@@ -39,7 +41,10 @@ class DaSptSolver final : public KpjSolver {
   ConstrainedSearch search_;
   Dijkstra reverse_dijkstra_;
   PseudoTree tree_;
-  SptResult full_spt_;  // Rebuilt per query; dist/parent toward targets.
+  /// Full SPT toward the query's targets; rebuilt per query or adopted
+  /// from the cross-query cache (the SPT is a pure function of the target
+  /// set, so sharing it is byte-identical to recomputing).
+  std::shared_ptr<const SptResult> full_spt_;
   /// Per-query cancellation token (from PreparedQuery); set by Run.
   const CancellationToken* cancel_ = nullptr;
 };

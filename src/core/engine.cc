@@ -41,6 +41,13 @@ KpjEngine::KpjEngine(const KpjInstance& instance, KpjEngineOptions options)
   for (unsigned w = 0; w < pool_.num_workers(); ++w) {
     solvers_.push_back(MakeSolver(instance_, options_.solver));
   }
+  if (options_.cache_mb > 0) {
+    size_t budget = options_.cache_mb * size_t{1024} * 1024;
+    // The SPT substrate dominates (full trees vs. per-landmark scalars).
+    spt_cache_ = std::make_unique<SptCache>(budget - budget / 4);
+    bound_cache_ = std::make_unique<TargetBoundCache>(budget / 4);
+    purged_epoch_.store(instance_.epoch(), std::memory_order_relaxed);
+  }
 }
 
 Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
@@ -52,13 +59,29 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
     cancel = &token;
   }
 
+  QueryCacheContext cache_ctx;
+  const QueryCacheContext* cache = nullptr;
+  if (spt_cache_ != nullptr) {
+    uint64_t epoch = instance_.epoch();
+    uint64_t seen = purged_epoch_.load(std::memory_order_acquire);
+    if (seen != epoch && purged_epoch_.compare_exchange_strong(
+                             seen, epoch, std::memory_order_acq_rel)) {
+      spt_cache_->PurgeOlderEpochs(epoch);
+      bound_cache_->PurgeOlderEpochs(epoch);
+    }
+    cache_ctx.spt = spt_cache_.get();
+    cache_ctx.bounds = bound_cache_.get();
+    cache_ctx.epoch = epoch;
+    cache = &cache_ctx;
+  }
+
   Timer timer;
   // Result<T> has no default constructor; the placeholder is overwritten.
   Result<KpjResult> result = Status::FailedPrecondition("query not executed");
   {
     KPJ_TRACE_SPAN("engine.query");
     result = RunKpjOnInstance(instance_, query, options_.solver,
-                              solvers_[worker].get(), cancel);
+                              solvers_[worker].get(), cancel, cache);
   }
   double elapsed_ms = timer.ElapsedMillis();
   metrics_.latency.Record(elapsed_ms);
@@ -161,6 +184,14 @@ EngineMetricsSnapshot KpjEngine::MetricsSnapshot() const {
   snap.latency_p90_ms = metrics_.latency.Percentile(90.0);
   snap.latency_p99_ms = metrics_.latency.Percentile(99.0);
   snap.algo = metrics_.algo.Snapshot();
+  if (spt_cache_ != nullptr) {
+    SptCacheStats spt = spt_cache_->StatsSnapshot();
+    TargetBoundCacheStats bounds = bound_cache_->StatsSnapshot();
+    snap.spt_cache_insertions = spt.insertions;
+    snap.spt_cache_evictions = spt.evictions;
+    snap.bound_cache_evictions = bounds.evictions;
+    snap.cache_bytes = spt.bytes + bounds.bytes;
+  }
   return snap;
 }
 
@@ -193,6 +224,15 @@ std::string KpjEngine::MetricsJson() const {
       << ",\n"
       << "  \"algo_lb_tightness\": "
       << FiniteOrZero(s.algo.LowerBoundTightness()) << ",\n"
+      << "  \"algo_spt_cache_hits\": " << s.algo.spt_cache_hits << ",\n"
+      << "  \"algo_spt_cache_misses\": " << s.algo.spt_cache_misses << ",\n"
+      << "  \"algo_bound_cache_hits\": " << s.algo.bound_cache_hits << ",\n"
+      << "  \"algo_bound_cache_misses\": " << s.algo.bound_cache_misses
+      << ",\n"
+      << "  \"spt_cache_insertions\": " << s.spt_cache_insertions << ",\n"
+      << "  \"spt_cache_evictions\": " << s.spt_cache_evictions << ",\n"
+      << "  \"bound_cache_evictions\": " << s.bound_cache_evictions << ",\n"
+      << "  \"cache_bytes\": " << s.cache_bytes << ",\n"
       << "  \"latency_count\": " << s.latency_count << ",\n"
       << "  \"latency_mean_ms\": " << FiniteOrZero(s.latency_mean_ms)
       << ",\n"
@@ -262,6 +302,26 @@ std::string KpjEngine::MetricsPrometheus() const {
   gauge("kpj_lower_bound_tightness_ratio",
         "Mean CompLB / exact-length ratio (1.0 = exact).",
         s.algo.LowerBoundTightness());
+  counter("kpj_spt_cache_hits_total",
+          "Queries that adopted cached SPT/root-path state.",
+          s.algo.spt_cache_hits);
+  counter("kpj_spt_cache_misses_total",
+          "SPT cache lookups that had to recompute.",
+          s.algo.spt_cache_misses);
+  counter("kpj_bound_cache_hits_total",
+          "Landmark set aggregates served from cache.",
+          s.algo.bound_cache_hits);
+  counter("kpj_bound_cache_misses_total",
+          "Landmark set aggregates computed afresh.",
+          s.algo.bound_cache_misses);
+  counter("kpj_spt_cache_evictions_total",
+          "SPT cache entries evicted (LRU or epoch purge).",
+          s.spt_cache_evictions);
+  counter("kpj_bound_cache_evictions_total",
+          "Bound cache entries evicted (LRU or epoch purge).",
+          s.bound_cache_evictions);
+  gauge("kpj_cache_bytes", "Resident bytes across both reuse caches.",
+        static_cast<double>(s.cache_bytes));
 
   // Latency distribution with Prometheus cumulative buckets.
   const char* hist = "kpj_query_latency_ms";
@@ -295,6 +355,10 @@ void KpjEngine::ResetMetrics() {
   metrics_.slow_queries.Reset();
   metrics_.latency.Reset();
   metrics_.algo.Reset();
+  if (spt_cache_ != nullptr) {
+    spt_cache_->ResetStats();
+    bound_cache_->ResetStats();
+  }
 }
 
 }  // namespace kpj

@@ -13,6 +13,8 @@
 #include "core/kpj_instance.h"
 #include "core/kpj_query.h"
 #include "core/solver.h"
+#include "core/spt_cache.h"
+#include "index/target_bound.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -38,6 +40,13 @@ struct KpjEngineOptions {
   /// deadline applies, the fraction of it consumed). Deadline-exceeded
   /// queries are always logged while the threshold is active. 0 disables.
   double slow_query_ms = 0.0;
+  /// Cross-query reuse cache budget in MiB, split between the SPT cache
+  /// (3/4) and the category-bound cache (1/4); see DESIGN.md "Cross-query
+  /// reuse". 0 (the default) disables caching entirely. Results are
+  /// byte-identical either way, at any worker count — the caches only
+  /// shortcut recomputation of state a cold run reaches at the same
+  /// program point. The CLI defaults this to 64 (--cache-mb/--no-cache).
+  size_t cache_mb = 0;
 };
 
 /// Point-in-time copy of the engine's execution metrics. Counts are sums
@@ -61,6 +70,12 @@ struct EngineMetricsSnapshot {
   /// Aggregated per-query algorithm counters (exact integer sums; identical
   /// for the same workload at any worker count).
   AlgoStats algo;
+  /// Cross-query cache object counters (all zero when caching is off).
+  /// Hit/miss counts live in `algo` (they are per-query solver events).
+  uint64_t spt_cache_insertions = 0;
+  uint64_t spt_cache_evictions = 0;
+  uint64_t bound_cache_evictions = 0;
+  uint64_t cache_bytes = 0;  ///< Current resident bytes across both caches.
 };
 
 /// Concurrent KPJ query engine over one immutable KpjInstance.
@@ -138,6 +153,14 @@ class KpjEngine {
   /// One solver per worker, indexed by worker id; workers use only their
   /// own entry, so no synchronization is needed.
   std::vector<std::unique_ptr<KpjSolver>> solvers_;
+  /// Cross-query reuse caches, shared by all workers (both are internally
+  /// synchronized). Null when options_.cache_mb == 0.
+  std::unique_ptr<SptCache> spt_cache_;
+  std::unique_ptr<TargetBoundCache> bound_cache_;
+  /// Last instance epoch a worker observed; on a change the stale entries
+  /// are purged eagerly (lookups could never hit them anyway — the epoch
+  /// is part of every cache key).
+  std::atomic<uint64_t> purged_epoch_{0};
 
   struct Metrics {
     Counter queries_served;

@@ -36,6 +36,16 @@ struct AlgoStats {
   // tau (the iterative-bounding rounds of Sec. 5 in the paper).
   uint64_t iter_bound_rounds = 0;
 
+  // Cross-query reuse (PR 4). SPT cache: adopting a previously computed
+  // shortest-path-tree substrate (full reverse SPT, SPT_P/SPT_I warm
+  // state, or a root path) instead of recomputing it. Bound cache:
+  // serving the per-category landmark aggregates from cache. Both always
+  // zero when the engine cache is disabled.
+  uint64_t spt_cache_hits = 0;
+  uint64_t spt_cache_misses = 0;
+  uint64_t bound_cache_hits = 0;
+  uint64_t bound_cache_misses = 0;
+
   // Candidate-path churn: paths materialized into the result queue vs.
   // subspaces discarded before yielding a path (lb = inf or proven empty).
   uint64_t candidates_generated = 0;
@@ -58,6 +68,10 @@ struct AlgoStats {
     spt_resume_hits += other.spt_resume_hits;
     spt_resume_misses += other.spt_resume_misses;
     iter_bound_rounds += other.iter_bound_rounds;
+    spt_cache_hits += other.spt_cache_hits;
+    spt_cache_misses += other.spt_cache_misses;
+    bound_cache_hits += other.bound_cache_hits;
+    bound_cache_misses += other.bound_cache_misses;
     candidates_generated += other.candidates_generated;
     candidates_pruned += other.candidates_pruned;
     lb_tightness_num += other.lb_tightness_num;
@@ -89,6 +103,10 @@ class AtomicAlgoStats {
     spt_resume_hits_.Add(s.spt_resume_hits);
     spt_resume_misses_.Add(s.spt_resume_misses);
     iter_bound_rounds_.Add(s.iter_bound_rounds);
+    spt_cache_hits_.Add(s.spt_cache_hits);
+    spt_cache_misses_.Add(s.spt_cache_misses);
+    bound_cache_hits_.Add(s.bound_cache_hits);
+    bound_cache_misses_.Add(s.bound_cache_misses);
     candidates_generated_.Add(s.candidates_generated);
     candidates_pruned_.Add(s.candidates_pruned);
     lb_tightness_num_.Add(s.lb_tightness_num);
@@ -104,6 +122,10 @@ class AtomicAlgoStats {
     s.spt_resume_hits = spt_resume_hits_.value();
     s.spt_resume_misses = spt_resume_misses_.value();
     s.iter_bound_rounds = iter_bound_rounds_.value();
+    s.spt_cache_hits = spt_cache_hits_.value();
+    s.spt_cache_misses = spt_cache_misses_.value();
+    s.bound_cache_hits = bound_cache_hits_.value();
+    s.bound_cache_misses = bound_cache_misses_.value();
     s.candidates_generated = candidates_generated_.value();
     s.candidates_pruned = candidates_pruned_.value();
     s.lb_tightness_num = lb_tightness_num_.value();
@@ -119,6 +141,10 @@ class AtomicAlgoStats {
     spt_resume_hits_.Reset();
     spt_resume_misses_.Reset();
     iter_bound_rounds_.Reset();
+    spt_cache_hits_.Reset();
+    spt_cache_misses_.Reset();
+    bound_cache_hits_.Reset();
+    bound_cache_misses_.Reset();
     candidates_generated_.Reset();
     candidates_pruned_.Reset();
     lb_tightness_num_.Reset();
@@ -133,6 +159,10 @@ class AtomicAlgoStats {
   Counter spt_resume_hits_;
   Counter spt_resume_misses_;
   Counter iter_bound_rounds_;
+  Counter spt_cache_hits_;
+  Counter spt_cache_misses_;
+  Counter bound_cache_hits_;
+  Counter bound_cache_misses_;
   Counter candidates_generated_;
   Counter candidates_pruned_;
   Counter lb_tightness_num_;

@@ -157,100 +157,6 @@ void StripVirtualNodes(NodeId num_real_nodes, KpjResult* result) {
   }
 }
 
-Result<KpjResult> RunKpj(const Graph& graph, const Graph& reverse,
-                         const KpjQuery& query, const KpjOptions& options) {
-  Result<PreparedQuery> prepared = PrepareQuery(graph, reverse, query);
-  if (!prepared.ok()) return prepared.status();
-  PreparedQuery& pq = prepared.value();
-
-  if (pq.targets.empty()) {
-    // Every target coincided with the single source: only the trivial
-    // path exists and it is excluded by definition.
-    return KpjResult{};
-  }
-
-  if (!pq.virtual_source) {
-    std::unique_ptr<KpjSolver> solver = MakeSolver(graph, reverse, options);
-    return solver->Run(pq);
-  }
-
-  // GKPJ (§6): virtual super-source with 0-weight arcs into V_S.
-  Result<GkpjAugmentation> augmented = AugmentForGkpj(graph, query.sources);
-  if (!augmented.ok()) return augmented.status();
-  const GkpjAugmentation& aug = augmented.value();
-  pq.graph = &aug.graph;
-  pq.reverse = &aug.reverse;
-  pq.source = aug.virtual_source;
-  std::unique_ptr<KpjSolver> solver =
-      MakeSolver(aug.graph, aug.reverse, options);
-  KpjResult result = solver->Run(pq);
-  StripVirtualNodes(graph.NumNodes(), &result);
-  return result;
-}
-
-Result<KpjResult> RunKsp(const Graph& graph, const Graph& reverse,
-                         NodeId source, NodeId target, uint32_t k,
-                         const KpjOptions& options) {
-  KpjQuery query;
-  query.sources = {source};
-  query.targets = {target};
-  query.k = k;
-  return RunKpj(graph, reverse, query, options);
-}
-
-ReorderedGraph ReorderForLocality(const Graph& graph,
-                                  ReorderStrategy strategy) {
-  ReorderedGraph out;
-  out.permutation = ComputeReordering(graph, strategy);
-  out.graph = ApplyPermutation(graph, out.permutation);
-  out.reverse = out.graph.Reverse();
-  return out;
-}
-
-ReorderedGraph WrapReordered(Graph graph, Permutation permutation) {
-  KPJ_CHECK(permutation.empty() || permutation.size() == graph.NumNodes())
-      << "permutation does not match graph";
-  ReorderedGraph out;
-  out.graph = std::move(graph);
-  out.reverse = out.graph.Reverse();
-  out.permutation = std::move(permutation);
-  return out;
-}
-
-Result<KpjResult> RunKpj(const ReorderedGraph& reordered,
-                         const KpjQuery& query, const KpjOptions& options) {
-  if (reordered.permutation.empty()) {
-    return RunKpj(reordered.graph, reordered.reverse, query, options);
-  }
-  const NodeId n = reordered.graph.NumNodes();
-  KpjQuery internal = query;
-  for (NodeId& s : internal.sources) {
-    if (s >= n) return Status::InvalidArgument("source node out of range");
-    s = reordered.ToInternal(s);
-  }
-  for (NodeId& t : internal.targets) {
-    if (t >= n) return Status::InvalidArgument("target node out of range");
-    t = reordered.ToInternal(t);
-  }
-  Result<KpjResult> result =
-      RunKpj(reordered.graph, reordered.reverse, internal, options);
-  if (!result.ok()) return result.status();
-  for (Path& path : result.value().paths) {
-    for (NodeId& v : path.nodes) v = reordered.ToOriginal(v);
-  }
-  return result;
-}
-
-Result<KpjResult> RunKsp(const ReorderedGraph& reordered, NodeId source,
-                         NodeId target, uint32_t k,
-                         const KpjOptions& options) {
-  KpjQuery query;
-  query.sources = {source};
-  query.targets = {target};
-  query.k = k;
-  return RunKpj(reordered, query, options);
-}
-
 Result<KpjQuery> MakeCategoryQuery(const CategoryIndex& index, NodeId source,
                                    CategoryId category, uint32_t k) {
   if (category >= index.NumCategories()) {

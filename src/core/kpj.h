@@ -13,21 +13,11 @@
 
 namespace kpj {
 
-// NOTE: the loose-graph and ReorderedGraph entry points below are kept as
-// thin compatibility shims for one release. New code should build a
-// KpjInstance (core/kpj_instance.h) and use the instance-based overloads —
-// one handle bundles graph, reverse, permutation, and the offline indexes,
-// and the concurrent KpjEngine (core/engine.h) only accepts instances.
-
 /// A graph relabeled into a cache-friendly layout (graph/reorder.h)
 /// together with the permutation connecting it to the caller's ids.
-///
-/// The facade overloads taking a ReorderedGraph accept queries and return
-/// paths in *original* ids — translation into and out of the internal
-/// layout happens at this boundary, so callers never observe remapped ids.
-/// `options.landmarks`, by contrast, must already be in the internal
-/// layout (build it on `graph`, or Remap an existing index with
-/// `permutation`), since solvers consult it in that id space.
+/// KpjInstance (core/kpj_instance.h) owns one of these; queries go through
+/// the instance-based RunKpj/RunKsp or a KpjEngine, which translate ids at
+/// the boundary so callers never observe remapped ids.
 struct ReorderedGraph {
   Graph graph;              ///< Internal (relabeled) layout.
   Graph reverse;            ///< graph.Reverse(), same layout.
@@ -40,17 +30,6 @@ struct ReorderedGraph {
     return permutation.ToOld(internal);
   }
 };
-
-/// Computes the `strategy` relabeling of `graph`, applies it, and builds
-/// the reverse graph. kNone yields an identity-permutation bundle (the
-/// graphs are plain copies).
-ReorderedGraph ReorderForLocality(const Graph& graph,
-                                  ReorderStrategy strategy);
-
-/// Wraps already-remapped graphs (e.g. loaded from a version-2 binary
-/// file, see graph/serialize.h) without recomputing anything. `permutation`
-/// may be empty; otherwise its size must match the graph.
-ReorderedGraph WrapReordered(Graph graph, Permutation permutation);
 
 /// Validates `query` against `graph` and produces the single-source view
 /// solvers execute. Fails on: empty source/target sets, out-of-range ids,
@@ -78,35 +57,6 @@ struct GkpjAugmentation {
 /// duplicate-free).
 Result<GkpjAugmentation> AugmentForGkpj(const Graph& graph,
                                         std::vector<NodeId> sources);
-
-/// One-shot convenience: validates, prepares (augmenting for GKPJ),
-/// constructs the solver selected by `options`, runs it, and strips any
-/// virtual source from the returned paths.
-///
-/// Deprecated shim — prefer RunKpj(const KpjInstance&, ...). For repeated
-/// single-source queries over one graph, prefer a KpjEngine, or build a
-/// solver once via MakeSolver and call Run on PrepareQuery results.
-Result<KpjResult> RunKpj(const Graph& graph, const Graph& reverse,
-                         const KpjQuery& query, const KpjOptions& options);
-
-/// KSP convenience (paper Def. 3.1): top-k simple shortest paths between
-/// two physical nodes — a KPJ query whose category holds one node.
-Result<KpjResult> RunKsp(const Graph& graph, const Graph& reverse,
-                         NodeId source, NodeId target, uint32_t k,
-                         const KpjOptions& options);
-
-/// RunKpj against a reordered graph: `query` is in original ids, the
-/// returned paths are in original ids, and the solver runs on the
-/// cache-optimized internal layout. See ReorderedGraph for the
-/// `options.landmarks` id-space requirement. Deprecated shim — prefer
-/// RunKpj(const KpjInstance&, ...).
-Result<KpjResult> RunKpj(const ReorderedGraph& reordered,
-                         const KpjQuery& query, const KpjOptions& options);
-
-/// RunKsp against a reordered graph (original ids in and out).
-Result<KpjResult> RunKsp(const ReorderedGraph& reordered, NodeId source,
-                         NodeId target, uint32_t k,
-                         const KpjOptions& options);
 
 /// Builds the KpjQuery for "top-k paths from `source` to category `T`"
 /// using the inverted index (paper §2).

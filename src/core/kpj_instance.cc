@@ -38,6 +38,7 @@ Status KpjInstance::AttachLandmarks(LandmarkIndex landmarks) {
         "landmark index node count does not match graph");
   }
   landmarks_ = std::move(landmarks);
+  ++epoch_;
   return Status::Ok();
 }
 
@@ -47,6 +48,7 @@ Status KpjInstance::AttachCategories(CategoryIndex categories) {
         "category index node count does not match graph");
   }
   categories_ = std::move(categories);
+  ++epoch_;
   return Status::Ok();
 }
 
@@ -95,7 +97,8 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
                                    const KpjQuery& query,
                                    const KpjOptions& options,
                                    KpjSolver* pooled_solver,
-                                   const CancellationToken* cancel) {
+                                   const CancellationToken* cancel,
+                                   const QueryCacheContext* cache) {
   TraceSpan prepare_span("instance.prepare");
   Result<KpjQuery> internal = TranslateQuery(instance, query);
   if (!internal.ok()) return internal.status();
@@ -115,6 +118,7 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
   KpjResult result;
   if (!pq.virtual_source) {
     KPJ_TRACE_SPAN("solver.run");
+    pq.cache = cache;
     if (pooled_solver != nullptr) {
       result = pooled_solver->Run(pq);
     } else {

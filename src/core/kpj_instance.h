@@ -74,6 +74,11 @@ class KpjInstance {
     return categories_ ? &*categories_ : nullptr;
   }
 
+  /// Mutation epoch: starts at 1 and increments whenever an index is
+  /// (re)attached. Cross-query caches key on it, so attaching a new
+  /// landmark or category index invalidates every older cache entry.
+  uint64_t epoch() const { return epoch_; }
+
   NodeId NumNodes() const { return bundle_.graph.NumNodes(); }
   NodeId ToInternal(NodeId original) const {
     return bundle_.permutation.ToNew(original);
@@ -88,6 +93,7 @@ class KpjInstance {
   ReorderedGraph bundle_;
   std::optional<LandmarkIndex> landmarks_;
   std::optional<CategoryIndex> categories_;
+  uint64_t epoch_ = 1;
 };
 
 /// Resolves the options a solver for `instance` actually runs with: when
@@ -123,11 +129,17 @@ Result<PreparedQuery> PrepareQuery(const KpjInstance& instance,
 /// tripped token the returned KpjResult carries the paths proven optimal
 /// so far and a kDeadlineExceeded / kCancelled `status`. Validation
 /// failures surface as a non-ok Result instead.
+///
+/// `cache` (may be null) enables cross-query reuse (core/spt_cache.h).
+/// It is threaded to single-source solvers only: GKPJ queries run on the
+/// augmented super-source graph, whose node space the caches do not
+/// describe. Results are byte-identical with or without a cache.
 Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
                                    const KpjQuery& query,
                                    const KpjOptions& options,
                                    KpjSolver* pooled_solver,
-                                   const CancellationToken* cancel);
+                                   const CancellationToken* cancel,
+                                   const QueryCacheContext* cache = nullptr);
 
 /// One-shot convenience over RunKpjOnInstance (no pooled solver, no
 /// cancellation).

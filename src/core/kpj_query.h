@@ -102,6 +102,8 @@ struct KpjResult {
   Status status;
 };
 
+struct QueryCacheContext;  // core/spt_cache.h
+
 /// A validated, single-source view of a query that solvers execute.
 /// kpj.cc (the facade) builds this from a KpjQuery — directly for a single
 /// source, or via a virtual super-source for GKPJ (§6).
@@ -120,6 +122,10 @@ struct PreparedQuery {
   /// expansion loops (deadline / budget enforcement). Not owned; must
   /// outlive the Run call. nullptr runs to completion.
   const CancellationToken* cancel = nullptr;
+  /// Optional cross-query reuse caches (core/spt_cache.h), set by the
+  /// engine when caching is enabled. Not owned; nullptr disables reuse.
+  /// Solvers adopting cached state must stay byte-identical to a cold run.
+  const QueryCacheContext* cache = nullptr;
 };
 
 }  // namespace kpj

@@ -6,13 +6,19 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/small_vec.h"
 #include "util/types.h"
 
 namespace kpj {
 
+/// Node-sequence storage of a result path. Small-vector backed: short
+/// paths (the common case for nearby POI queries and the unit tests) stay
+/// inline and never touch the global allocator.
+using PathNodes = SmallVec<NodeId, 8>;
+
 /// A simple path: node sequence plus its (cached) length.
 struct Path {
-  std::vector<NodeId> nodes;
+  PathNodes nodes;
   PathLength length = 0;
 
   bool empty() const { return nodes.empty(); }

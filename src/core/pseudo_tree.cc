@@ -37,16 +37,6 @@ void PseudoTree::MarkPrefix(uint32_t v, EpochSet* forbidden) const {
   }
 }
 
-void PseudoTree::GetPrefixNodes(uint32_t v, std::vector<NodeId>* out) const {
-  size_t first = out->size();
-  for (uint32_t cur = v; cur != kNoVertex; cur = vertices_[cur].parent) {
-    if (vertices_[cur].node != kInvalidNode) {
-      out->push_back(vertices_[cur].node);
-    }
-  }
-  std::reverse(out->begin() + first, out->end());
-}
-
 DivisionResult DivideSubspace(PseudoTree& tree, const Graph& graph,
                               uint32_t u, std::span<const NodeId> suffix,
                               bool create_destination_vertex) {

@@ -1,12 +1,14 @@
 #ifndef KPJ_CORE_PSEUDO_TREE_H_
 #define KPJ_CORE_PSEUDO_TREE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/epoch_array.h"
+#include "util/small_vec.h"
 #include "util/types.h"
 
 namespace kpj {
@@ -37,7 +39,9 @@ class PseudoTree {
     /// Length of the tree path from the root to this vertex.
     PathLength prefix_length = 0;
     /// Banned next-hop nodes (the subspace's X_u, stored by target node).
-    std::vector<NodeId> banned;
+    /// Small-vector backed: one division bans one hop, so most lists hold
+    /// a handful of entries.
+    SmallVec<NodeId, 4> banned;
     /// If true, paths of this subspace may pass through but not *end* at
     /// this vertex's node (the banned virtual edge (u, t)).
     bool finish_banned = false;
@@ -72,8 +76,18 @@ class PseudoTree {
   void MarkPrefix(uint32_t v, EpochSet* forbidden) const;
 
   /// Appends the graph nodes of the root→v path (skipping a virtual root)
-  /// to `out`, in root-first order. O(depth).
-  void GetPrefixNodes(uint32_t v, std::vector<NodeId>* out) const;
+  /// to `out`, in root-first order. O(depth). Works with any push_back-able
+  /// contiguous container (std::vector, PathNodes).
+  template <typename Container>
+  void GetPrefixNodes(uint32_t v, Container* out) const {
+    size_t first = out->size();
+    for (uint32_t cur = v; cur != kNoVertex; cur = vertices_[cur].parent) {
+      if (vertices_[cur].node != kInvalidNode) {
+        out->push_back(vertices_[cur].node);
+      }
+    }
+    std::reverse(out->begin() + first, out->end());
+  }
 
  private:
   std::vector<Vertex> vertices_;

@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <utility>
+#include <vector>
+
+#include "core/spt_cache.h"
 
 namespace kpj {
 
@@ -108,17 +113,24 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   // res is stack storage: the pointer is cleared on every exit path below.
   spti_.SetAlgoStats(&res.stats.algo);
 
+  SptCache* spt_cache = query.cache != nullptr ? query.cache->spt : nullptr;
+  TargetBoundCache* bound_cache =
+      query.cache != nullptr ? query.cache->bounds : nullptr;
+  const uint64_t epoch = query.cache != nullptr ? query.cache->epoch : 0;
+
   // Per-query bounds (§4.2 / §6).
   const Heuristic* forward_guide = &zero_;
   const Heuristic* source_fallback = &zero_;
   if (use_landmarks_ && options_.landmarks != nullptr) {
-    forward_bound_.emplace(options_.landmarks, query.targets,
-                           BoundDirection::kToSet, query.source,
-                           options_.max_active_landmarks);
+    forward_bound_ = MakeCachedSetBound(
+        options_.landmarks, query.targets, BoundDirection::kToSet,
+        query.source, options_.max_active_landmarks, bound_cache, epoch,
+        &res.stats.algo);
     forward_guide = &*forward_bound_;
-    source_bound_.emplace(options_.landmarks, query.real_sources,
-                          BoundDirection::kFromSet, query.targets.front(),
-                          options_.max_active_landmarks);
+    source_bound_ = MakeCachedSetBound(
+        options_.landmarks, query.real_sources, BoundDirection::kFromSet,
+        query.targets.front(), options_.max_active_landmarks, bound_cache,
+        epoch, &res.stats.algo);
     source_fallback = &*source_bound_;
   } else {
     forward_bound_.reset();
@@ -127,17 +139,58 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   reverse_heuristic_.emplace(&spti_, source_fallback);
 
   // Phase 1 of SPT_I: the initial shortest path as a by-product (§5.3).
+  // Cross-query reuse caches the *end-of-phase-1* state only: the grown
+  // tree of the main loop depends on k and the subspace schedule, and a
+  // warm superset tree would change lower bounds (hence tie-breaking).
+  // The phase-1 state is a pure function of (source, targets, heuristic
+  // config), so restoring it is byte-identical to recomputing it.
   spti_.SetHeuristic(forward_guide);
-  std::pair<NodeId, PathLength> seed[] = {{query.source, 0}};
-  spti_.Initialize(seed);
   target_membership_.ClearAll();
   for (NodeId t : query.targets) target_membership_.Insert(t);
   d_.clear();
-  NodeId hit = spti_.AdvanceUntilAnySettled(
-      target_membership_,
-      [this](NodeId v) {
-        if (target_membership_.Contains(v)) d_.push_back(v);
-      });
+
+  SptCacheKey key;
+  bool restored = false;
+  NodeId hit = kInvalidNode;
+  if (spt_cache != nullptr) {
+    key.kind = SptCacheKind::kForwardSpti;
+    key.epoch = epoch;
+    key.source = query.source;
+    key.config =
+        SptCacheConfig(use_landmarks_ && options_.landmarks != nullptr,
+                       options_.max_active_landmarks);
+    key.targets = query.targets;
+    if (std::optional<SptCacheValue> cached = spt_cache->Lookup(key)) {
+      spti_.RestoreSnapshot(*cached->snapshot);
+      d_ = *cached->settled_targets;  // {hit}, or empty when unreachable.
+      hit = d_.empty() ? kInvalidNode : d_.front();
+      ++res.stats.algo.spt_cache_hits;
+      restored = true;
+    } else {
+      ++res.stats.algo.spt_cache_misses;
+    }
+  }
+  if (!restored) {
+    std::pair<NodeId, PathLength> seed[] = {{query.source, 0}};
+    spti_.Initialize(seed);
+    hit = spti_.AdvanceUntilAnySettled(
+        target_membership_,
+        [this](NodeId v) {
+          if (target_membership_.Contains(v)) d_.push_back(v);
+        });
+    if (spt_cache != nullptr &&
+        (cancel_ == nullptr || !cancel_->ShouldStop())) {
+      // Unreachable (exhausted) phase-1 states are cacheable too;
+      // cancelled (truncated) ones are not.
+      auto snap = std::make_shared<SearchSnapshot>();
+      spti_.ExportSnapshot(snap.get());
+      SptCacheValue value;
+      value.snapshot = std::move(snap);
+      value.settled_targets =
+          std::make_shared<const std::vector<NodeId>>(d_);
+      spt_cache->Insert(std::move(key), std::move(value));
+    }
+  }
   if (hit == kInvalidNode) {
     res.stats.nodes_settled += spti_.stats().nodes_settled;
     res.stats.edges_relaxed += spti_.stats().edges_relaxed;
@@ -243,7 +296,7 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
         found.key =
             static_cast<double>(vx.prefix_length + result.suffix_length);
         if (vx.node == kInvalidNode) {
-          found.suffix = std::move(result.suffix);
+          found.suffix.assign(result.suffix.begin(), result.suffix.end());
         } else {
           found.suffix.assign(result.suffix.begin() + 1,
                               result.suffix.end());

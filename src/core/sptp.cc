@@ -1,8 +1,12 @@
 #include "core/sptp.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "core/spt_cache.h"
 
 namespace kpj {
 
@@ -16,23 +20,52 @@ IterBoundSptpSolver::IterBoundSptpSolver(const Graph& graph,
 bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
                                           SubspaceEntry* initial,
                                           QueryStats* stats) {
+  SptCache* spt_cache = query.cache != nullptr ? query.cache->spt : nullptr;
+  TargetBoundCache* bound_cache =
+      query.cache != nullptr ? query.cache->bounds : nullptr;
+  const uint64_t epoch = query.cache != nullptr ? query.cache->epoch : 0;
+
   // Guide PartialSPT (Alg. 6) with lb(s, w): the A* on the reverse graph
   // aims at the source.
   const Heuristic* guide = &zero_;
   if (options_.landmarks != nullptr) {
-    source_bound_.emplace(options_.landmarks, query.real_sources,
-                          BoundDirection::kFromSet, query.targets.front(),
-                          options_.max_active_landmarks);
+    source_bound_ = MakeCachedSetBound(
+        options_.landmarks, query.real_sources, BoundDirection::kFromSet,
+        query.targets.front(), options_.max_active_landmarks, bound_cache,
+        epoch, &stats->algo);
     guide = &*source_bound_;
   }
   sptp_.SetHeuristic(guide);
   sptp_.SetCancelToken(query.cancel);
 
-  std::vector<std::pair<NodeId, PathLength>> seeds;
-  seeds.reserve(query.targets.size());
-  for (NodeId t : query.targets) seeds.emplace_back(t, 0);
+  // Cross-query reuse: the post-initialization SPT_P (state right after the
+  // source settled) is a pure function of (targets, source, heuristic
+  // config), so a warm restore reproduces the cold state bit-for-bit and
+  // the AdvanceUntilSettled below early-returns.
+  SptCacheKey key;
+  bool restored = false;
+  if (spt_cache != nullptr) {
+    key.kind = SptCacheKind::kReverseSptp;
+    key.epoch = epoch;
+    key.source = query.source;
+    key.config = SptCacheConfig(options_.landmarks != nullptr,
+                                options_.max_active_landmarks);
+    key.targets = query.targets;
+    if (std::optional<SptCacheValue> hit = spt_cache->Lookup(key)) {
+      sptp_.RestoreSnapshot(*hit->snapshot);
+      ++stats->algo.spt_cache_hits;
+      restored = true;
+    } else {
+      ++stats->algo.spt_cache_misses;
+    }
+  }
   sptp_.SetAlgoStats(&stats->algo);
-  sptp_.Initialize(seeds);
+  if (!restored) {
+    std::vector<std::pair<NodeId, PathLength>> seeds;
+    seeds.reserve(query.targets.size());
+    for (NodeId t : query.targets) seeds.emplace_back(t, 0);
+    sptp_.Initialize(seeds);
+  }
   bool reached = sptp_.AdvanceUntilSettled(query.source);
   sptp_.SetAlgoStats(nullptr);  // stats points at caller stack storage.
   stats->nodes_settled += sptp_.stats().nodes_settled;
@@ -41,13 +74,22 @@ bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
   // This initial computation answers the first shortest path; it is not a
   // separate CompSP (the SPT_P comes "without any extra cost").
   ++stats->shortest_path_computations;
+  if (!restored && spt_cache != nullptr && reached &&
+      (query.cancel == nullptr || !query.cancel->ShouldStop())) {
+    auto snap = std::make_shared<SearchSnapshot>();
+    sptp_.ExportSnapshot(snap.get());
+    SptCacheValue value;
+    value.snapshot = std::move(snap);
+    spt_cache->Insert(std::move(key), std::move(value));
+  }
   if (!reached) return false;
 
   // lb(v, V_T): exact inside SPT_P, Eq. (2) landmarks outside (§5.2).
   if (options_.landmarks != nullptr) {
-    landmark_bound_.emplace(options_.landmarks, query.targets,
-                            BoundDirection::kToSet, query.source,
-                            options_.max_active_landmarks);
+    landmark_bound_ = MakeCachedSetBound(
+        options_.landmarks, query.targets, BoundDirection::kToSet,
+        query.source, options_.max_active_landmarks, bound_cache, epoch,
+        &stats->algo);
     sptp_bound_.emplace(&sptp_, &*landmark_bound_);
   } else {
     sptp_bound_.emplace(&sptp_, &zero_);

@@ -9,6 +9,7 @@
 #include "core/kpj_query.h"
 #include "core/pseudo_tree.h"
 #include "util/logging.h"
+#include "util/small_vec.h"
 #include "util/types.h"
 
 namespace kpj {
@@ -26,8 +27,9 @@ struct SubspaceEntry {
   PathLength suffix_length = 0;
   /// For has_path: path nodes strictly after the vertex's node (so empty
   /// for a path ending at the vertex itself). This is also exactly the
-  /// argument DivideSubspace expects.
-  std::vector<NodeId> suffix;
+  /// argument DivideSubspace expects. Small-vector backed: most suffixes
+  /// are short deviations, and entries churn through the queue constantly.
+  SmallVec<NodeId, 8> suffix;
 };
 
 /// Min-priority queue over SubspaceEntry that supports moving entries out

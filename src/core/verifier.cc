@@ -65,7 +65,9 @@ Result<std::vector<Path>> EnumerateTopKPaths(const Graph& graph,
     // A completed path must have at least one edge (the trivial path is
     // excluded by definition; see DESIGN.md).
     if (partial.nodes.size() > 1 && targets.count(tail) != 0) {
-      results.push_back(Path{partial.nodes, partial.length});
+      results.push_back(
+          Path{PathNodes(partial.nodes.begin(), partial.nodes.end()),
+               partial.length});
       // Paths ending here may still be extended towards other targets, so
       // fall through to expansion.
     }
@@ -131,7 +133,7 @@ Status ValidateResultStructure(const Graph& graph, const KpjQuery& query,
       return Status::FailedPrecondition(where.str() +
                                         "lengths not non-decreasing");
     }
-    if (!seen.insert(p.nodes).second) {
+    if (!seen.insert({p.nodes.begin(), p.nodes.end()}).second) {
       return Status::FailedPrecondition(where.str() + "duplicate path");
     }
   }

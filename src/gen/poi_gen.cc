@@ -21,6 +21,11 @@ NestedPoiSets AssignNestedPoiSets(CategoryIndex& index, uint64_t seed) {
     sizes[i] = static_cast<size_t>(kScale[i] * n * 1e-4);
     if (sizes[i] == 0) sizes[i] = static_cast<size_t>(i + 1);
     sizes[i] = std::min<size_t>(sizes[i], n);
+    // The zero-size fallback can invert the order on ~1e3-node graphs
+    // (e.g. |T2| falls back to 2 while 15n*1e-4 keeps |T4| at 1); the
+    // nesting invariant needs nondecreasing sizes, and the pool below is
+    // only |T4| deep.
+    if (i > 0) sizes[i] = std::max(sizes[i], sizes[i - 1]);
   }
   // Nesting: draw |T4| distinct nodes once; Ti is the prefix of size |Ti|.
   std::vector<uint64_t> pool = rng.SampleDistinct(sizes[3], n);

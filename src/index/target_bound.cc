@@ -7,30 +7,55 @@
 
 namespace kpj {
 
+std::shared_ptr<const LandmarkSetAggregates>
+LandmarkSetBound::ComputeAggregates(const LandmarkIndex& index,
+                                    std::span<const NodeId> set,
+                                    BoundDirection direction) {
+  auto agg = std::make_shared<LandmarkSetAggregates>();
+  const uint32_t num = index.num_landmarks();
+  agg->min_primary.assign(num, kInfLength);
+  agg->max_secondary.assign(num, 0);
+  for (uint32_t l = 0; l < num; ++l) {
+    PathLength min_p = kInfLength;
+    PathLength max_s = 0;
+    for (NodeId x : set) {
+      PathLength from = index.DistFromLandmark(l, x);  // δ(w, x)
+      PathLength to = index.DistToLandmark(l, x);      // δ(x, w)
+      PathLength p = direction == BoundDirection::kToSet ? from : to;
+      PathLength s = direction == BoundDirection::kToSet ? to : from;
+      min_p = std::min(min_p, p);
+      max_s = std::max(max_s, s);
+    }
+    agg->min_primary[l] = min_p;
+    agg->max_secondary[l] = max_s;
+  }
+  return agg;
+}
+
 LandmarkSetBound::LandmarkSetBound(const LandmarkIndex* index,
                                    std::span<const NodeId> set,
                                    BoundDirection direction,
                                    NodeId scoring_node, uint32_t max_active)
     : index_(index), direction_(direction) {
   KPJ_CHECK(index_ != nullptr);
-  const uint32_t num = index_->num_landmarks();
-  min_primary_.assign(num, kInfLength);
-  max_secondary_.assign(num, 0);
-  for (uint32_t l = 0; l < num; ++l) {
-    PathLength min_p = kInfLength;
-    PathLength max_s = 0;
-    for (NodeId x : set) {
-      PathLength from = index_->DistFromLandmark(l, x);  // δ(w, x)
-      PathLength to = index_->DistToLandmark(l, x);      // δ(x, w)
-      PathLength p = direction == BoundDirection::kToSet ? from : to;
-      PathLength s = direction == BoundDirection::kToSet ? to : from;
-      min_p = std::min(min_p, p);
-      max_s = std::max(max_s, s);
-    }
-    min_primary_[l] = min_p;
-    max_secondary_[l] = max_s;
-  }
+  agg_ = ComputeAggregates(*index_, set, direction);
+  SelectActive(scoring_node, max_active);
+}
 
+LandmarkSetBound::LandmarkSetBound(
+    const LandmarkIndex* index,
+    std::shared_ptr<const LandmarkSetAggregates> aggregates,
+    BoundDirection direction, NodeId scoring_node, uint32_t max_active)
+    : index_(index), direction_(direction), agg_(std::move(aggregates)) {
+  KPJ_CHECK(index_ != nullptr);
+  KPJ_CHECK(agg_ != nullptr);
+  KPJ_CHECK(agg_->min_primary.size() == index_->num_landmarks());
+  SelectActive(scoring_node, max_active);
+}
+
+void LandmarkSetBound::SelectActive(NodeId scoring_node,
+                                    uint32_t max_active) {
+  const uint32_t num = index_->num_landmarks();
   active_.resize(num);
   std::iota(active_.begin(), active_.end(), 0);
   if (max_active > 0 && max_active < num &&
@@ -57,20 +82,22 @@ PathLength LandmarkSetBound::EstimateOne(uint32_t l, NodeId u) const {
   PathLength best = 0;
   PathLength from_u = index_->DistFromLandmark(l, u);  // δ(w, u)
   PathLength to_u = index_->DistToLandmark(l, u);      // δ(u, w)
+  const PathLength min_primary = agg_->min_primary[l];
+  const PathLength max_secondary = agg_->max_secondary[l];
   if (direction_ == BoundDirection::kToSet) {
     // dist(u, S) >= min_x δ(w,x) - δ(w,u): valid whenever δ(w,u) finite.
     // If w reaches u but no set member, u cannot reach the set at all
     // (u -> x would give w -> u -> x).
     if (from_u != kInfLength) {
-      if (min_primary_[l] == kInfLength) return kInfLength;
-      best = std::max(best, ClampedSub(min_primary_[l], from_u));
+      if (min_primary == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(min_primary, from_u));
     }
     // dist(u, S) >= δ(u,w) - max_x δ(x,w): valid when the max is finite,
     // i.e. every set member reaches w. Then if u cannot reach w, u can
     // reach no set member either (u -> x -> w would be finite).
-    if (max_secondary_[l] != kInfLength) {
+    if (max_secondary != kInfLength) {
       if (to_u == kInfLength) return kInfLength;
-      best = std::max(best, ClampedSub(to_u, max_secondary_[l]));
+      best = std::max(best, ClampedSub(to_u, max_secondary));
     }
   } else {
     // Symmetric pair for dist(S, u):
@@ -78,12 +105,12 @@ PathLength LandmarkSetBound::EstimateOne(uint32_t l, NodeId u) const {
     //   dist(S, u) >= δ(w,u) - max_x δ(w,x)
     // with the same unreachability inferences as above.
     if (to_u != kInfLength) {
-      if (min_primary_[l] == kInfLength) return kInfLength;
-      best = std::max(best, ClampedSub(min_primary_[l], to_u));
+      if (min_primary == kInfLength) return kInfLength;
+      best = std::max(best, ClampedSub(min_primary, to_u));
     }
-    if (max_secondary_[l] != kInfLength) {
+    if (max_secondary != kInfLength) {
       if (from_u == kInfLength) return kInfLength;
-      best = std::max(best, ClampedSub(from_u, max_secondary_[l]));
+      best = std::max(best, ClampedSub(from_u, max_secondary));
     }
   }
   return best;
@@ -100,6 +127,117 @@ PathLength LandmarkSetBound::Estimate(NodeId u) const {
     best = std::max(best, b);
   }
   return best;
+}
+
+size_t TargetBoundCache::KeyHash::operator()(const Key& key) const {
+  size_t h = 14695981039346656037ull;
+  constexpr size_t kPrime = 1099511628211ull;
+  h = (h ^ key.epoch) * kPrime;
+  h = (h ^ static_cast<size_t>(key.direction)) * kPrime;
+  for (NodeId x : key.set) h = (h ^ x) * kPrime;
+  return h;
+}
+
+TargetBoundCache::TargetBoundCache(size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+size_t TargetBoundCache::EntryBytes(const Key& key,
+                                    const LandmarkSetAggregates& agg) {
+  return 2 * key.set.capacity() * sizeof(NodeId) + agg.MemoryBytes() + 128;
+}
+
+std::shared_ptr<const LandmarkSetAggregates> TargetBoundCache::Lookup(
+    uint64_t epoch, BoundDirection direction, std::span<const NodeId> set) {
+  Key key{epoch, direction, std::vector<NodeId>(set.begin(), set.end())};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void TargetBoundCache::Insert(
+    uint64_t epoch, BoundDirection direction, std::span<const NodeId> set,
+    std::shared_ptr<const LandmarkSetAggregates> aggregates) {
+  KPJ_CHECK(aggregates != nullptr);
+  Key key{epoch, direction, std::vector<NodeId>(set.begin(), set.end())};
+  size_t bytes = EntryBytes(key, *aggregates);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= EntryBytes(it->second->first, *it->second->second);
+    bytes_ += bytes;
+    it->second->second = std::move(aggregates);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(std::move(key), std::move(aggregates));
+  index_.emplace(lru_.front().first, lru_.begin());
+  bytes_ += bytes;
+  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+    auto& victim = lru_.back();
+    bytes_ -= EntryBytes(victim.first, *victim.second);
+    index_.erase(victim.first);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TargetBoundCache::PurgeOlderEpochs(uint64_t current_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.epoch < current_epoch) {
+      bytes_ -= EntryBytes(it->first, *it->second);
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+TargetBoundCacheStats TargetBoundCache::StatsSnapshot() const {
+  TargetBoundCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.bytes = bytes_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+void TargetBoundCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+LandmarkSetBound MakeCachedSetBound(const LandmarkIndex* index,
+                                    std::span<const NodeId> set,
+                                    BoundDirection direction,
+                                    NodeId scoring_node, uint32_t max_active,
+                                    TargetBoundCache* cache, uint64_t epoch,
+                                    AlgoStats* algo) {
+  if (cache == nullptr) {
+    return LandmarkSetBound(index, set, direction, scoring_node, max_active);
+  }
+  std::shared_ptr<const LandmarkSetAggregates> agg =
+      cache->Lookup(epoch, direction, set);
+  if (agg != nullptr) {
+    if (algo != nullptr) ++algo->bound_cache_hits;
+  } else {
+    if (algo != nullptr) ++algo->bound_cache_misses;
+    agg = LandmarkSetBound::ComputeAggregates(*index, set, direction);
+    cache->Insert(epoch, direction, set, agg);
+  }
+  return LandmarkSetBound(index, std::move(agg), direction, scoring_node,
+                          max_active);
 }
 
 }  // namespace kpj

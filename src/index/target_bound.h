@@ -1,9 +1,17 @@
 #ifndef KPJ_INDEX_TARGET_BOUND_H_
 #define KPJ_INDEX_TARGET_BOUND_H_
 
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/instrumentation.h"
 #include "index/landmark_index.h"
 #include "sssp/astar.h"
 #include "util/types.h"
@@ -19,6 +27,21 @@ enum class BoundDirection {
   /// reverse-oriented SPT_I search (bounding distance *from* the source
   /// side, §5.3/§6) and by GKPJ's multi-node source.
   kFromSet,
+};
+
+/// Per-landmark distance aggregates over a fixed node set — the O(|L|*|S|)
+/// part of building a LandmarkSetBound, and a pure function of (landmark
+/// tables, set, direction). Shareable across queries hitting the same
+/// category: see TargetBoundCache.
+struct LandmarkSetAggregates {
+  std::vector<PathLength> min_primary;   // kToSet: min_x δ(w,x); kFromSet: min_x δ(x,w)
+  std::vector<PathLength> max_secondary; // kToSet: max_x δ(x,w); kFromSet: max_x δ(w,x)
+
+  size_t MemoryBytes() const {
+    return sizeof(LandmarkSetAggregates) +
+           (min_primary.capacity() + max_secondary.capacity()) *
+               sizeof(PathLength);
+  }
 };
 
 /// Per-query landmark lower bound against a fixed node set (Eq. (2)).
@@ -50,6 +73,21 @@ class LandmarkSetBound final : public Heuristic {
                    NodeId scoring_node = kInvalidNode,
                    uint32_t max_active = 0);
 
+  /// Same bound built from precomputed (typically cached) set aggregates.
+  /// `aggregates` must have been computed for this index and direction;
+  /// active-landmark selection is still performed per query (it depends on
+  /// the scoring node, which is not part of any cache key).
+  LandmarkSetBound(const LandmarkIndex* index,
+                   std::shared_ptr<const LandmarkSetAggregates> aggregates,
+                   BoundDirection direction,
+                   NodeId scoring_node = kInvalidNode,
+                   uint32_t max_active = 0);
+
+  /// The O(|L| * |S|) aggregation step, exposed for the cache.
+  static std::shared_ptr<const LandmarkSetAggregates> ComputeAggregates(
+      const LandmarkIndex& index, std::span<const NodeId> set,
+      BoundDirection direction);
+
   /// Lower bound on the distance between `u` and the set, per direction.
   PathLength Estimate(NodeId u) const override;
 
@@ -59,19 +97,92 @@ class LandmarkSetBound final : public Heuristic {
   const std::vector<uint32_t>& active_landmarks() const { return active_; }
 
  private:
+  void SelectActive(NodeId scoring_node, uint32_t max_active);
+
   /// Bound contribution of landmark slot `l` at node `u`; kInfLength means
   /// a proof that the set is unreachable from/to `u`.
   PathLength EstimateOne(uint32_t l, NodeId u) const;
 
   const LandmarkIndex* index_;
   BoundDirection direction_;
-  // Aggregates over the set per landmark. "primary" powers the difference
-  // whose minuend is a set aggregate; "secondary" the one whose subtrahend
-  // is a set aggregate. See EstimateOne for the exact formulas.
-  std::vector<PathLength> min_primary_;   // kToSet: min_x δ(w,x); kFromSet: min_x δ(x,w)
-  std::vector<PathLength> max_secondary_; // kToSet: max_x δ(x,w); kFromSet: max_x δ(w,x)
+  // Aggregates over the set per landmark; shared when cached. "primary"
+  // powers the difference whose minuend is a set aggregate; "secondary"
+  // the one whose subtrahend is a set aggregate. See EstimateOne.
+  std::shared_ptr<const LandmarkSetAggregates> agg_;
   std::vector<uint32_t> active_;          // Landmark slots to evaluate.
 };
+
+/// Monotonic operation counters plus the current byte footprint.
+struct TargetBoundCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t bytes = 0;
+  size_t entries = 0;
+};
+
+/// LRU cache of LandmarkSetAggregates keyed by (epoch, direction, node
+/// set) — the category-bound cache: repeated KPJ queries against the same
+/// POI category pay the O(|L| * |S|) sweep once. Thread-safe. Epoch
+/// invalidation is lazy (the epoch is part of the key) plus eager via
+/// PurgeOlderEpochs.
+class TargetBoundCache {
+ public:
+  explicit TargetBoundCache(size_t budget_bytes);
+
+  TargetBoundCache(const TargetBoundCache&) = delete;
+  TargetBoundCache& operator=(const TargetBoundCache&) = delete;
+
+  std::shared_ptr<const LandmarkSetAggregates> Lookup(
+      uint64_t epoch, BoundDirection direction, std::span<const NodeId> set);
+
+  void Insert(uint64_t epoch, BoundDirection direction,
+              std::span<const NodeId> set,
+              std::shared_ptr<const LandmarkSetAggregates> aggregates);
+
+  /// Eagerly removes every entry older than `current_epoch`; removals
+  /// count as evictions.
+  void PurgeOlderEpochs(uint64_t current_epoch);
+
+  TargetBoundCacheStats StatsSnapshot() const;
+  void ResetStats();
+
+ private:
+  struct Key {
+    uint64_t epoch;
+    BoundDirection direction;
+    std::vector<NodeId> set;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  using LruList =
+      std::list<std::pair<Key, std::shared_ptr<const LandmarkSetAggregates>>>;
+
+  static size_t EntryBytes(const Key& key, const LandmarkSetAggregates& agg);
+
+  size_t budget_bytes_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  size_t bytes_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// Builds a LandmarkSetBound, serving the O(|L| * |S|) aggregation from
+/// `cache` when possible. With a null cache this is exactly the plain
+/// constructor. Cache hits/misses are counted into `algo` (if non-null) —
+/// and, either way, the returned bound is byte-identical to an uncached
+/// one: aggregates are a pure function of the key.
+LandmarkSetBound MakeCachedSetBound(const LandmarkIndex* index,
+                                    std::span<const NodeId> set,
+                                    BoundDirection direction,
+                                    NodeId scoring_node, uint32_t max_active,
+                                    TargetBoundCache* cache, uint64_t epoch,
+                                    AlgoStats* algo);
 
 }  // namespace kpj
 

@@ -23,11 +23,13 @@ void IncrementalSearch::Initialize(
   parent_.NewEpoch();
   settled_.ClearAll();
   heap_.Clear();
+  touched_.clear();
   stats_.Reset();
   num_settled_ = 0;
   for (const auto& [node, d0] : sources) {
     KPJ_CHECK(node < graph_.NumNodes());
     if (d0 < dist_.Get(node)) {
+      Touch(node);
       dist_.Set(node, d0);
       parent_.Set(node, kInvalidNode);
       if (algo_ != nullptr) {
@@ -58,6 +60,7 @@ void IncrementalSearch::Settle(NodeId u,
     if (settled_.Contains(e.to)) continue;
     PathLength nd = du + e.weight;
     if (nd < dist_.Get(e.to)) {
+      Touch(e.to);
       dist_.Set(e.to, nd);
       parent_.Set(e.to, u);
       if (algo_ != nullptr) {
@@ -101,6 +104,44 @@ NodeId IncrementalSearch::AdvanceUntilAnySettled(
     if (stops.Contains(u)) return u;
   }
   return kInvalidNode;
+}
+
+void IncrementalSearch::ExportSnapshot(SearchSnapshot* out) const {
+  out->touched = touched_;
+  out->dist.clear();
+  out->parent.clear();
+  out->settled.clear();
+  out->dist.reserve(touched_.size());
+  out->parent.reserve(touched_.size());
+  out->settled.reserve(touched_.size());
+  for (NodeId u : touched_) {
+    KPJ_DCHECK(dist_.Stamped(u));
+    out->dist.push_back(dist_.Get(u));
+    out->parent.push_back(parent_.Get(u));
+    out->settled.push_back(settled_.Contains(u) ? 1 : 0);
+  }
+  heap_.ExportRaw(&out->heap);
+  out->num_settled = num_settled_;
+}
+
+void IncrementalSearch::RestoreSnapshot(const SearchSnapshot& snap) {
+  KPJ_CHECK(snap.dist.size() == snap.touched.size());
+  KPJ_CHECK(snap.parent.size() == snap.touched.size());
+  KPJ_CHECK(snap.settled.size() == snap.touched.size());
+  dist_.NewEpoch();
+  parent_.NewEpoch();
+  settled_.ClearAll();
+  stats_.Reset();
+  touched_ = snap.touched;
+  for (size_t i = 0; i < snap.touched.size(); ++i) {
+    NodeId u = snap.touched[i];
+    KPJ_CHECK(u < graph_.NumNodes());
+    dist_.Set(u, snap.dist[i]);
+    parent_.Set(u, snap.parent[i]);
+    if (snap.settled[i] != 0) settled_.Insert(u);
+  }
+  heap_.RestoreRaw(snap.heap);
+  num_settled_ = snap.num_settled;
 }
 
 std::vector<NodeId> IncrementalSearch::PathTo(NodeId u) const {

@@ -16,6 +16,30 @@
 
 namespace kpj {
 
+/// Portable image of an IncrementalSearch's complete mutable state: every
+/// labelled node with its distance/parent/settled flag plus the frontier
+/// heap's raw slot layout. Restoring a snapshot reproduces the search
+/// bit-for-bit — the same future pop order, ties included — which is what
+/// makes cross-query SPT caching byte-identical to a cold run.
+struct SearchSnapshot {
+  std::vector<NodeId> touched;     // labelled nodes, first-touch order
+  std::vector<PathLength> dist;    // parallel to `touched`
+  std::vector<NodeId> parent;      // parallel to `touched`
+  std::vector<uint8_t> settled;    // parallel to `touched` (1 = settled)
+  std::vector<std::pair<uint32_t, PathLength>> heap;  // raw slot order
+  size_t num_settled = 0;
+
+  /// Approximate heap footprint, for cache byte accounting.
+  size_t MemoryBytes() const {
+    return touched.capacity() * sizeof(NodeId) +
+           dist.capacity() * sizeof(PathLength) +
+           parent.capacity() * sizeof(NodeId) +
+           settled.capacity() +
+           heap.capacity() * sizeof(std::pair<uint32_t, PathLength>) +
+           sizeof(SearchSnapshot);
+  }
+};
+
 /// Resumable best-first (A*) search whose frontier survives between calls.
 ///
 /// This is the engine behind both online index structures of Section 5:
@@ -96,8 +120,24 @@ class IncrementalSearch {
   size_t num_settled() const { return num_settled_; }
   const SearchStats& stats() const { return stats_; }
 
+  /// Captures the complete mutable search state (labels, settled set,
+  /// frontier) in O(touched nodes). The snapshot is independent of this
+  /// object and can outlive it.
+  void ExportSnapshot(SearchSnapshot* out) const;
+
+  /// Replaces all state with a snapshot previously captured from a search
+  /// over the same graph with a heuristic producing identical estimates.
+  /// Per-call SearchStats are zeroed: they report work actually performed
+  /// after the restore, not work embodied in the adopted tree.
+  void RestoreSnapshot(const SearchSnapshot& snap);
+
  private:
   void Settle(NodeId u, const std::function<void(NodeId)>& on_settle);
+
+  /// Records the first labelling of `u` for snapshot export.
+  void Touch(NodeId u) {
+    if (!dist_.Stamped(u)) touched_.push_back(u);
+  }
 
   const Graph& graph_;
   const Heuristic* heuristic_;
@@ -105,6 +145,7 @@ class IncrementalSearch {
   EpochArray<NodeId> parent_;
   EpochSet settled_;
   IndexedHeap<PathLength> heap_;
+  std::vector<NodeId> touched_;
   SearchStats stats_;
   size_t num_settled_ = 0;
   const CancellationToken* cancel_ = nullptr;

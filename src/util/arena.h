@@ -1,0 +1,107 @@
+#ifndef KPJ_UTIL_ARENA_H_
+#define KPJ_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+/// Bump allocator for per-query scratch data. Allocations are O(1) pointer
+/// arithmetic; Reset() recycles every chunk without returning memory to the
+/// system, so a solver that resets its arena once per query settles into a
+/// steady state with zero allocator traffic.
+///
+/// Individual allocations are never freed; everything lives until Reset()
+/// or destruction. Only trivially destructible payloads belong here.
+class Arena {
+ public:
+  explicit Arena(size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                  : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `alignment` (a power of two).
+  /// Zero-byte requests return a distinct, valid (non-null) pointer.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    KPJ_DCHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+    while (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      size_t offset = AlignUp(chunk.used, alignment);
+      if (offset + bytes <= chunk.size) {
+        chunk.used = offset + bytes;
+        bytes_allocated_ += bytes;
+        return chunk.data.get() + offset;
+      }
+      ++current_;
+    }
+    size_t chunk_bytes = chunks_.empty() ? first_chunk_bytes_
+                                         : chunks_.back().size * 2;
+    if (chunk_bytes < bytes + alignment) chunk_bytes = bytes + alignment;
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(chunk_bytes);
+    chunk.size = chunk_bytes;
+    chunk.used = 0;
+    chunks_.push_back(std::move(chunk));
+    current_ = chunks_.size() - 1;
+    Chunk& fresh = chunks_.back();
+    size_t offset = AlignUp(0, alignment);
+    fresh.used = offset + bytes;
+    bytes_allocated_ += bytes;
+    return fresh.data.get() + offset;
+  }
+
+  /// Typed array of `count` default-uninitialized elements. T must be
+  /// trivially destructible (the arena never runs destructors).
+  template <typename T>
+  std::span<T> AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    T* data = static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+    return std::span<T>(data, count);
+  }
+
+  /// Recycles all chunks. Previously returned pointers become dangling.
+  void Reset() {
+    for (Chunk& chunk : chunks_) chunk.used = 0;
+    current_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (excludes alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes of chunk storage owned by the arena.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kDefaultChunkBytes = 4096;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static size_t AlignUp(size_t value, size_t alignment) {
+    return (value + alignment - 1) & ~(alignment - 1);
+  }
+
+  size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_ARENA_H_

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
@@ -112,6 +114,30 @@ class IndexedHeap {
   std::pair<uint32_t, Key> PopWithKey() {
     Key k = TopKey();
     return {Pop(), k};
+  }
+
+  /// Copies the internal entries in slot order into `out` as (id, key)
+  /// pairs. RestoreRaw with the same sequence reproduces the identical
+  /// array layout — and therefore the identical future pop order, ties
+  /// included.
+  void ExportRaw(std::vector<std::pair<uint32_t, Key>>* out) const {
+    out->clear();
+    out->reserve(heap_.size());
+    for (const Entry& e : heap_) out->emplace_back(e.id, e.key);
+  }
+
+  /// Replaces the contents with entries previously obtained from
+  /// ExportRaw, preserving slot order exactly. The sequence must be a
+  /// valid heap over distinct ids within capacity.
+  void RestoreRaw(std::span<const std::pair<uint32_t, Key>> entries) {
+    Clear();
+    heap_.reserve(entries.size());
+    for (const auto& [id, key] : entries) {
+      KPJ_DCHECK(id < pos_.size());
+      KPJ_DCHECK(pos_[id] == kAbsent);
+      pos_[id] = heap_.size();
+      heap_.push_back(Entry{key, id});
+    }
   }
 
  private:

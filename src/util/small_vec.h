@@ -1,0 +1,233 @@
+#ifndef KPJ_UTIL_SMALL_VEC_H_
+#define KPJ_UTIL_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kpj {
+
+/// Contiguous dynamic array with `N` elements of inline storage. Path node
+/// lists, candidate suffixes and banned-hop lists are overwhelmingly short;
+/// keeping them inline takes the hot candidate loops off the global
+/// allocator. Spills to the heap transparently past `N`.
+///
+/// Restricted to trivially copyable element types so growth, copies and
+/// moves are plain memcpy and no destructors ever run per element.
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+  using size_type = size_t;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  template <typename It>
+  SmallVec(It first, It last) {
+    assign(first, last);
+  }
+
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept { StealFrom(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVec() { FreeHeap(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  T& operator[](size_t i) {
+    KPJ_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    KPJ_DCHECK(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void reserve(size_t want) {
+    if (want > capacity_) Grow(want);
+  }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    push_back(T(std::forward<Args>(args)...));
+    return back();
+  }
+
+  void pop_back() {
+    KPJ_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  void resize(size_t count, const T& fill = T()) {
+    if (count > size_) {
+      reserve(count);
+      std::fill(data_ + size_, data_ + count, fill);
+    }
+    size_ = count;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    append(first, last);
+  }
+
+  template <typename It>
+  void append(It first, It last) {
+    if constexpr (std::random_access_iterator<It>) {
+      reserve(size_ + static_cast<size_t>(std::distance(first, last)));
+    }
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  /// Inserts [first, last) before `pos`. Returns an iterator to the first
+  /// inserted element.
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    size_t at = static_cast<size_t>(pos - data_);
+    KPJ_DCHECK(at <= size_);
+    size_t count = static_cast<size_t>(std::distance(first, last));
+    reserve(size_ + count);
+    std::memmove(data_ + at + count, data_ + at, (size_ - at) * sizeof(T));
+    std::copy(first, last, data_ + at);
+    size_ += count;
+    return data_ + at;
+  }
+
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    size_t at = static_cast<size_t>(first - data_);
+    size_t count = static_cast<size_t>(last - first);
+    KPJ_DCHECK(at + count <= size_);
+    std::memmove(data_ + at, data_ + at + count,
+                 (size_ - at - count) * sizeof(T));
+    size_ -= count;
+    return data_ + at;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  bool OnHeap() const { return data_ != InlineData(); }
+
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(size_t want) {
+    size_t new_cap = capacity_ * 2;
+    if (new_cap < want) new_cap = want;
+    T* fresh = std::allocator<T>().allocate(new_cap);
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    FreeHeap();
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void FreeHeap() {
+    if (OnHeap()) std::allocator<T>().deallocate(data_, capacity_);
+  }
+
+  /// Takes other's contents; assumes our heap storage (if any) was freed.
+  /// Leaves `other` empty and inline.
+  void StealFrom(SmallVec& other) {
+    if (other.OnHeap()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+    } else {
+      data_ = InlineData();
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(data_, other.data_, size_ * sizeof(T));
+    }
+    other.data_ = other.InlineData();
+    other.capacity_ = N;
+    other.size_ = 0;
+  }
+
+  alignas(T) std::byte inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+template <typename T, size_t N>
+bool operator==(const SmallVec<T, N>& a, const std::vector<T>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+template <typename T, size_t N>
+bool operator==(const std::vector<T>& a, const SmallVec<T, N>& b) {
+  return b == a;
+}
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_SMALL_VEC_H_

@@ -115,22 +115,33 @@ double LatencyHistogram::Percentile(double p) const {
   if (n == 0) return 0.0;
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
-  // Rank of the requested percentile among n observations (1-based).
-  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  // Ceiling nearest rank (1-based): the smallest rank whose cumulative
+  // share covers p. Flooring here instead under-reports high percentiles
+  // at bucket boundaries (p99 of {low, high} would come back as low).
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
   if (rank < 1) rank = 1;
   if (rank > n) rank = n;
-  double value = BucketMidpointMs(kBuckets - 1);
+  double value = max_ms();
   uint64_t seen = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen >= rank) {
-      value = BucketMidpointMs(b);
+    uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (seen + in_bucket >= rank && in_bucket > 0) {
+      // Interpolate linearly by rank position inside the bucket; the last
+      // bucket has no finite upper bound, so use the observed max.
+      double lo = BucketLowerBoundMs(b);
+      double hi = BucketUpperBoundMs(b);
+      if (!std::isfinite(hi)) hi = max_ms();
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(in_bucket);
+      value = lo + frac * (hi - lo);
       break;
     }
+    seen += in_bucket;
   }
-  // A bucket midpoint can lie outside the observed range (most visibly for
-  // a single sample, where the exact answer is that sample); the true
-  // percentile is always within [min, max].
+  // Interpolated positions can still lie outside the observed range (most
+  // visibly for a single sample, where the exact answer is that sample);
+  // the true percentile is always within [min, max].
   return std::clamp(value, min_ms(), max_ms());
 }
 
@@ -154,6 +165,11 @@ double LatencyHistogram::BucketMidpointMs(size_t bucket) {
   if (bucket == 0) return kBaseMs * 0.5;
   // Geometric midpoint of [base * r^(b-1), base * r^b).
   return kBaseMs * std::exp((static_cast<double>(bucket) - 0.5) * kLnRatio);
+}
+
+double LatencyHistogram::BucketLowerBoundMs(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return kBaseMs * std::exp(static_cast<double>(bucket - 1) * kLnRatio);
 }
 
 double LatencyHistogram::BucketUpperBoundMs(size_t bucket) {

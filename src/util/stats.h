@@ -82,10 +82,12 @@ class LatencyHistogram {
   double max_ms() const;
   double Mean() const;
 
-  /// Approximate percentile in milliseconds, `p` in [0, 100]; the value
-  /// returned is the geometric midpoint of the bucket holding the rank,
-  /// clamped into [min_ms, max_ms] (so a single-sample histogram returns
-  /// that sample exactly). 0 for an empty histogram.
+  /// Approximate percentile in milliseconds, `p` in [0, 100]. Uses the
+  /// ceiling nearest-rank rule (rank = ceil(p/100 * n)) and interpolates
+  /// linearly inside the bucket holding that rank, clamped into
+  /// [min_ms, max_ms] — so a histogram whose samples all share one bucket
+  /// reports a percentile inside the observed range, and p50 of n equal
+  /// samples is the sample itself. 0 for an empty histogram.
   double Percentile(double p) const;
 
   void Reset();
@@ -105,6 +107,8 @@ class LatencyHistogram {
  private:
   static size_t BucketFor(double ms);
   static double BucketMidpointMs(size_t bucket);
+  /// Exclusive lower bound of bucket `b` in milliseconds (0 for bucket 0).
+  static double BucketLowerBoundMs(size_t bucket);
 
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};

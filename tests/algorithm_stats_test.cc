@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "gen/datasets.h"
 #include "gen/query_gen.h"
 #include "util/rng.h"
@@ -23,13 +24,17 @@ class StatsTest : public ::testing::Test {
     opt.override_nodes = 8000;
     opt.num_landmarks = 8;
     dataset_ = new Dataset(MakeDataset(DatasetId::kSJ, opt));
+    instance_ = new KpjInstance(
+        KpjInstance::Wrap(dataset_->graph, Permutation()).value());
     CategoryId t2 = dataset_->nested.t[1];
     queries_ = new QuerySets(GenerateQuerySets(
         dataset_->reverse, dataset_->Targets(t2), /*per_set=*/3, 7));
   }
   static void TearDownTestSuite() {
+    delete instance_;
     delete dataset_;
     delete queries_;
+    instance_ = nullptr;
     dataset_ = nullptr;
     queries_ = nullptr;
   }
@@ -42,17 +47,18 @@ class StatsTest : public ::testing::Test {
     KpjOptions options;
     options.algorithm = algorithm;
     options.landmarks = &dataset_->landmarks;
-    Result<KpjResult> r =
-        RunKpj(dataset_->graph, dataset_->reverse, query, options);
+    Result<KpjResult> r = RunKpj(*instance_, query, options);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     return std::move(r).value();
   }
 
   static Dataset* dataset_;
+  static KpjInstance* instance_;
   static QuerySets* queries_;
 };
 
 Dataset* StatsTest::dataset_ = nullptr;
+KpjInstance* StatsTest::instance_ = nullptr;
 QuerySets* StatsTest::queries_ = nullptr;
 
 TEST_F(StatsTest, Lemma41BestFirstComputesNoMorePathsThanDA) {

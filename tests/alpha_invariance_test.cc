@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "core/verifier.h"
 #include "graph/graph_builder.h"
 #include "index/landmark_index.h"
@@ -37,6 +38,8 @@ TEST_P(AlphaInvarianceTest, ResultsIndependentOfAlpha) {
     LandmarkIndexOptions lopt;
     lopt.num_landmarks = 3;
     LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+    Result<KpjInstance> inst = KpjInstance::Wrap(graph, Permutation());
+    ASSERT_TRUE(inst.ok());
 
     KpjQuery query;
     query.sources = {0};
@@ -51,7 +54,7 @@ TEST_P(AlphaInvarianceTest, ResultsIndependentOfAlpha) {
       options.algorithm = a;
       options.alpha = alpha;
       options.landmarks = &landmarks;
-      Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+      Result<KpjResult> result = RunKpj(inst.value(), query, options);
       ASSERT_TRUE(result.ok());
       SCOPED_TRACE(::testing::Message() << AlgorithmName(a) << " alpha="
                                         << alpha << " seed=" << seed);

@@ -1,0 +1,255 @@
+// Engine-level cross-query reuse: caching must change latency only. Every
+// test compares full node sequences (not just lengths) between cache-off
+// and cache-on runs — the byte-identical guarantee of DESIGN.md
+// "Cross-query reuse" — including under eviction thrash, multi-worker
+// interleaving, and epoch invalidation.
+//
+// The cache budget can be forced down with KPJ_CACHE_TEST_MB (check.sh
+// uses 1 MiB under ASan to exercise eviction paths under the sanitizer).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kpj.h"
+#include "core/kpj_instance.h"
+#include "gen/road_gen.h"
+#include "graph/graph.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+
+namespace kpj {
+namespace {
+
+size_t CacheMbFromEnv(size_t def) {
+  const char* env = std::getenv("KPJ_CACHE_TEST_MB");
+  if (env == nullptr || *env == '\0') return def;
+  long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<size_t>(parsed) : def;
+}
+
+Graph TestGraph(uint32_t nodes = 3000, uint64_t seed = 21) {
+  RoadGenOptions opt;
+  opt.target_nodes = nodes;
+  opt.seed = seed;
+  return GenerateRoadNetwork(opt).graph;
+}
+
+/// A zipf-ish batch: few sources repeat often (cache-friendly), the rest
+/// are one-shot; all queries share one target category.
+std::vector<KpjQuery> RepeatingBatch(NodeId num_nodes, size_t count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> targets;
+  for (uint64_t t : rng.SampleDistinct(6, num_nodes)) {
+    targets.push_back(static_cast<NodeId>(t));
+  }
+  std::vector<NodeId> hot_sources;
+  for (uint64_t s : rng.SampleDistinct(4, num_nodes)) {
+    hot_sources.push_back(static_cast<NodeId>(s));
+  }
+  std::vector<KpjQuery> queries(count);
+  for (size_t i = 0; i < count; ++i) {
+    NodeId source = rng.NextBool(0.7)
+                        ? hot_sources[rng.NextBounded(hot_sources.size())]
+                        : static_cast<NodeId>(rng.NextBounded(num_nodes));
+    queries[i].sources = {source};
+    queries[i].targets = targets;
+    queries[i].k = 8;
+  }
+  return queries;
+}
+
+std::vector<std::vector<std::vector<NodeId>>> RunAll(
+    const KpjInstance& instance, const std::vector<KpjQuery>& queries,
+    Algorithm algorithm, unsigned threads, size_t cache_mb) {
+  KpjEngineOptions options;
+  options.threads = threads;
+  options.clamp_to_hardware = false;
+  options.solver.algorithm = algorithm;
+  options.cache_mb = cache_mb;
+  KpjEngine engine(instance, options);
+  std::vector<Result<KpjResult>> results = engine.RunBatch(queries);
+  std::vector<std::vector<std::vector<NodeId>>> flattened;
+  flattened.reserve(results.size());
+  for (const Result<KpjResult>& r : results) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<std::vector<NodeId>> paths;
+    if (r.ok()) {
+      for (const Path& p : r.value().paths) {
+        paths.emplace_back(p.nodes.begin(), p.nodes.end());
+      }
+    }
+    flattened.push_back(std::move(paths));
+  }
+  return flattened;
+}
+
+class CacheReuseTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  static void SetUpTestSuite() {
+    Graph g = TestGraph();
+    instance_ = new KpjInstance(
+        KpjInstance::Wrap(std::move(g), Permutation()).value());
+    LandmarkIndexOptions opt;
+    opt.num_landmarks = 6;
+    ASSERT_TRUE(instance_
+                    ->AttachLandmarks(LandmarkIndex::Build(
+                        instance_->graph(), instance_->reverse(), opt))
+                    .ok());
+  }
+  static void TearDownTestSuite() {
+    delete instance_;
+    instance_ = nullptr;
+  }
+
+  static KpjInstance* instance_;
+};
+
+KpjInstance* CacheReuseTest::instance_ = nullptr;
+
+TEST_P(CacheReuseTest, CacheOnEqualsCacheOffSingleWorker) {
+  std::vector<KpjQuery> batch =
+      RepeatingBatch(instance_->NumNodes(), 40, 77);
+  auto cold = RunAll(*instance_, batch, GetParam(), 1, 0);
+  auto warm =
+      RunAll(*instance_, batch, GetParam(), 1, CacheMbFromEnv(16));
+  ASSERT_EQ(cold.size(), warm.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i], warm[i]) << "query " << i;
+  }
+}
+
+TEST_P(CacheReuseTest, CacheOnEqualsCacheOffFourWorkers) {
+  std::vector<KpjQuery> batch =
+      RepeatingBatch(instance_->NumNodes(), 48, 99);
+  auto cold = RunAll(*instance_, batch, GetParam(), 1, 0);
+  auto warm =
+      RunAll(*instance_, batch, GetParam(), 4, CacheMbFromEnv(16));
+  ASSERT_EQ(cold.size(), warm.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i], warm[i]) << "query " << i;
+  }
+}
+
+TEST_P(CacheReuseTest, TinyCacheThrashStaysDeterministicUnderFourWorkers) {
+  // 1 MiB budget forces constant eviction; interleaved insert/evict/adopt
+  // across 4 workers must not leak into the answers.
+  std::vector<KpjQuery> batch =
+      RepeatingBatch(instance_->NumNodes(), 48, 123);
+  auto cold = RunAll(*instance_, batch, GetParam(), 1, 0);
+  auto thrash = RunAll(*instance_, batch, GetParam(), 4, 1);
+  ASSERT_EQ(cold.size(), thrash.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i], thrash[i]) << "query " << i;
+  }
+}
+
+TEST_P(CacheReuseTest, RepeatedSourcesActuallyHitTheCache) {
+  std::vector<KpjQuery> batch =
+      RepeatingBatch(instance_->NumNodes(), 40, 77);
+  KpjEngineOptions options;
+  options.threads = 1;
+  options.solver.algorithm = GetParam();
+  options.cache_mb = CacheMbFromEnv(16);
+  KpjEngine engine(*instance_, options);
+  engine.RunBatch(batch);
+  EngineMetricsSnapshot snap = engine.MetricsSnapshot();
+  // DA has no cacheable substrate; every other algorithm must both miss
+  // (first sight of a source) and hit (the repeats).
+  if (GetParam() != Algorithm::kDA) {
+    EXPECT_GT(snap.algo.spt_cache_hits, 0u);
+    EXPECT_GT(snap.algo.spt_cache_misses, 0u);
+    EXPECT_GT(snap.spt_cache_insertions, 0u);
+    EXPECT_GT(snap.cache_bytes, 0u);
+  }
+  // Only the landmark-driven engines build set bounds at all; DA works
+  // without bounds, DA-SPT bounds off its own SPT, and the -NL variant
+  // deliberately skips landmarks.
+  if (GetParam() == Algorithm::kBestFirst ||
+      GetParam() == Algorithm::kIterBound ||
+      GetParam() == Algorithm::kIterBoundSptP ||
+      GetParam() == Algorithm::kIterBoundSptI) {
+    EXPECT_GT(snap.algo.bound_cache_hits, 0u);
+    EXPECT_GT(snap.algo.bound_cache_misses, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CacheReuseTest,
+                         ::testing::ValuesIn(kAllAlgorithms),
+                         [](const auto& info) {
+                           std::string name = AlgorithmName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CacheInvalidationTest, AttachLandmarksBumpsEpochAndDropsEntries) {
+  Graph g = TestGraph(1500, 5);
+  Result<KpjInstance> wrapped = KpjInstance::Wrap(std::move(g), Permutation());
+  ASSERT_TRUE(wrapped.ok());
+  KpjInstance& instance = wrapped.value();
+  EXPECT_EQ(instance.epoch(), 1u);
+
+  LandmarkIndexOptions small;
+  small.num_landmarks = 2;
+  ASSERT_TRUE(instance
+                  .AttachLandmarks(LandmarkIndex::Build(
+                      instance.graph(), instance.reverse(), small))
+                  .ok());
+  EXPECT_EQ(instance.epoch(), 2u);
+
+  KpjEngineOptions options;
+  options.threads = 1;
+  options.solver.algorithm = Algorithm::kIterBoundSptP;
+  options.cache_mb = 16;
+  KpjEngine engine(instance, options);
+  std::vector<KpjQuery> batch = RepeatingBatch(instance.NumNodes(), 20, 3);
+  auto before = RunAll(instance, batch, Algorithm::kIterBoundSptP, 1, 0);
+  engine.RunBatch(batch);
+  uint64_t warm_hits = engine.MetricsSnapshot().algo.spt_cache_hits;
+  EXPECT_GT(warm_hits, 0u);
+
+  // Re-attach a *different* landmark index: epoch bumps, every cached
+  // bound/SPT keyed on epoch 2 becomes unreachable, and the engine purges
+  // it on the next query. The new answers must match a cold engine run
+  // with the new index.
+  LandmarkIndexOptions bigger;
+  bigger.num_landmarks = 6;
+  ASSERT_TRUE(instance
+                  .AttachLandmarks(LandmarkIndex::Build(
+                      instance.graph(), instance.reverse(), bigger))
+                  .ok());
+  EXPECT_EQ(instance.epoch(), 3u);
+
+  engine.ResetMetrics();
+  auto after_cached = engine.RunBatch(batch);
+  EngineMetricsSnapshot snap = engine.MetricsSnapshot();
+  // First queries after invalidation cannot hit entries from epoch 2.
+  EXPECT_GT(snap.algo.spt_cache_misses, 0u);
+
+  auto after_cold = RunAll(instance, batch, Algorithm::kIterBoundSptP, 1, 0);
+  ASSERT_EQ(after_cached.size(), after_cold.size());
+  for (size_t i = 0; i < after_cached.size(); ++i) {
+    ASSERT_TRUE(after_cached[i].ok());
+    std::vector<std::vector<NodeId>> paths;
+    for (const Path& p : after_cached[i].value().paths) {
+      paths.emplace_back(p.nodes.begin(), p.nodes.end());
+    }
+    EXPECT_EQ(paths, after_cold[i]) << "query " << i;
+  }
+  // Sanity: the index change really changed the workload's bounds (the
+  // pre-invalidation answers were computed with 2 landmarks, the new ones
+  // with 6 — answers agree anyway because landmarks never change paths).
+  ASSERT_EQ(before.size(), after_cold.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after_cold[i]) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kpj

@@ -47,7 +47,8 @@ TEST_F(ConstrainedSearchTest, UnconstrainedFindsShortest) {
   search_.ClearForbidden();
   SubspaceSearchResult r = Run(req);
   EXPECT_EQ(r.outcome, SearchOutcome::kFound);
-  EXPECT_EQ(r.suffix, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(std::vector<NodeId>(r.suffix.begin(), r.suffix.end()),
+            (std::vector<NodeId>{0, 1, 2, 3}));
   EXPECT_EQ(r.suffix_length, 3u);
 }
 
@@ -59,7 +60,8 @@ TEST_F(ConstrainedSearchTest, BannedFirstHopReroutes) {
   search_.ClearForbidden();
   SubspaceSearchResult r = Run(req);
   EXPECT_EQ(r.outcome, SearchOutcome::kFound);
-  EXPECT_EQ(r.suffix, (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(std::vector<NodeId>(r.suffix.begin(), r.suffix.end()),
+            (std::vector<NodeId>{0, 3}));
   EXPECT_EQ(r.suffix_length, 5u);
 }
 
@@ -72,7 +74,8 @@ TEST_F(ConstrainedSearchTest, ForbiddenNodeReroutes) {
   search_.forbidden().Insert(2);  // Pretend 2 is on the prefix.
   SubspaceSearchResult r = Run(req);
   EXPECT_EQ(r.outcome, SearchOutcome::kFound);
-  EXPECT_EQ(r.suffix, (std::vector<NodeId>{1, 4, 3}));
+  EXPECT_EQ(std::vector<NodeId>(r.suffix.begin(), r.suffix.end()),
+            (std::vector<NodeId>{1, 4, 3}));
   EXPECT_EQ(r.suffix_length, 2u);
 }
 
@@ -111,7 +114,8 @@ TEST_F(ConstrainedSearchTest, StartCountsAsDestination) {
   search_.ClearForbidden();
   SubspaceSearchResult r = Run(req);
   EXPECT_EQ(r.outcome, SearchOutcome::kFound);
-  EXPECT_EQ(r.suffix, (std::vector<NodeId>{3}));
+  EXPECT_EQ(std::vector<NodeId>(r.suffix.begin(), r.suffix.end()),
+            (std::vector<NodeId>{3}));
   EXPECT_EQ(r.suffix_length, 0u);
 
   req.tau = 6.0;  // Prefix alone exceeds τ.
@@ -140,7 +144,8 @@ TEST_F(ConstrainedSearchTest, VirtualRootSeeds) {
   search_.ClearForbidden();
   SubspaceSearchResult r = Run(req);
   EXPECT_EQ(r.outcome, SearchOutcome::kFound);
-  EXPECT_EQ(r.suffix, (std::vector<NodeId>{2, 3}));  // 2 is closer.
+  EXPECT_EQ(std::vector<NodeId>(r.suffix.begin(), r.suffix.end()),
+            (std::vector<NodeId>{2, 3}));  // 2 is closer.
   EXPECT_EQ(r.suffix_length, 1u);
 
   std::vector<NodeId> banned = {2};

@@ -37,7 +37,9 @@ std::vector<KpjQuery> TestQueries(NodeId num_nodes, size_t count = 24,
 
 std::vector<std::vector<NodeId>> FlattenPaths(const KpjResult& result) {
   std::vector<std::vector<NodeId>> out;
-  for (const Path& p : result.paths) out.push_back(p.nodes);
+  for (const Path& p : result.paths) {
+    out.emplace_back(p.nodes.begin(), p.nodes.end());
+  }
   return out;
 }
 
@@ -157,7 +159,6 @@ TEST(KpjEngineTest, PerQueryDeadlineOverridesEngineDefault) {
 
 TEST(KpjEngineTest, GkpjQueriesRunOnTheEngine) {
   Graph g = TestGraph();
-  Graph reverse = g.Reverse();
   Result<KpjInstance> instance = KpjInstance::Make(g);
   ASSERT_TRUE(instance.ok());
   KpjEngine engine(instance.value(), Unclamped(2));
@@ -173,7 +174,8 @@ TEST(KpjEngineTest, GkpjQueriesRunOnTheEngine) {
   query.k = 5;
 
   Result<KpjResult> via_engine = engine.Submit(query).get();
-  Result<KpjResult> legacy = RunKpj(g, reverse, query, KpjOptions());
+  Result<KpjResult> legacy =
+      RunKpj(instance.value(), query, KpjOptions());
   ASSERT_TRUE(via_engine.ok()) << via_engine.status().ToString();
   ASSERT_TRUE(legacy.ok());
   EXPECT_EQ(FlattenPaths(via_engine.value()), FlattenPaths(legacy.value()));

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "core/verifier.h"
 #include "graph/graph_builder.h"
 #include "index/category_index.h"
@@ -25,9 +26,11 @@ Graph Web() {
 
 class FacadeTest : public ::testing::Test {
  protected:
-  FacadeTest() : graph_(Web()), reverse_(graph_.Reverse()) {}
-  Graph graph_;
-  Graph reverse_;
+  FacadeTest()
+      : graph_(Web()),
+        instance_(KpjInstance::Wrap(Web(), Permutation()).value()) {}
+  Graph graph_;  // Identity-layout copy for reference validation.
+  KpjInstance instance_;
   KpjOptions options_;  // Defaults: IterBoundI, no landmarks.
 };
 
@@ -35,14 +38,14 @@ TEST_F(FacadeTest, RejectsEmptySources) {
   KpjQuery q;
   q.targets = {3};
   q.k = 1;
-  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+  EXPECT_FALSE(RunKpj(instance_, q, options_).ok());
 }
 
 TEST_F(FacadeTest, RejectsEmptyTargets) {
   KpjQuery q;
   q.sources = {0};
   q.k = 1;
-  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+  EXPECT_FALSE(RunKpj(instance_, q, options_).ok());
 }
 
 TEST_F(FacadeTest, RejectsZeroK) {
@@ -50,7 +53,7 @@ TEST_F(FacadeTest, RejectsZeroK) {
   q.sources = {0};
   q.targets = {3};
   q.k = 0;
-  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+  EXPECT_FALSE(RunKpj(instance_, q, options_).ok());
 }
 
 TEST_F(FacadeTest, RejectsOutOfRangeIds) {
@@ -58,10 +61,10 @@ TEST_F(FacadeTest, RejectsOutOfRangeIds) {
   q.sources = {99};
   q.targets = {3};
   q.k = 1;
-  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+  EXPECT_FALSE(RunKpj(instance_, q, options_).ok());
   q.sources = {0};
   q.targets = {99};
-  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+  EXPECT_FALSE(RunKpj(instance_, q, options_).ok());
 }
 
 TEST_F(FacadeTest, RejectsDuplicateSources) {
@@ -69,7 +72,7 @@ TEST_F(FacadeTest, RejectsDuplicateSources) {
   q.sources = {0, 0};
   q.targets = {3};
   q.k = 1;
-  EXPECT_FALSE(RunKpj(graph_, reverse_, q, options_).ok());
+  EXPECT_FALSE(RunKpj(instance_, q, options_).ok());
 }
 
 TEST_F(FacadeTest, RejectsGkpjWithOverlap) {
@@ -77,7 +80,7 @@ TEST_F(FacadeTest, RejectsGkpjWithOverlap) {
   q.sources = {0, 3};
   q.targets = {3, 2};
   q.k = 1;
-  Result<KpjResult> r = RunKpj(graph_, reverse_, q, options_);
+  Result<KpjResult> r = RunKpj(instance_, q, options_);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
@@ -87,7 +90,7 @@ TEST_F(FacadeTest, SingleSourceInTargetsDropsTrivialPath) {
   q.sources = {0};
   q.targets = {0, 3};
   q.k = 10;
-  Result<KpjResult> r = RunKpj(graph_, reverse_, q, options_);
+  Result<KpjResult> r = RunKpj(instance_, q, options_);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   for (const Path& p : r.value().paths) EXPECT_GE(p.nodes.size(), 2u);
   Status check = ValidateAgainstReference(graph_, q, r.value().paths);
@@ -99,7 +102,7 @@ TEST_F(FacadeTest, AllTargetsEqualSourceYieldsEmptyResult) {
   q.sources = {0};
   q.targets = {0};
   q.k = 3;
-  Result<KpjResult> r = RunKpj(graph_, reverse_, q, options_);
+  Result<KpjResult> r = RunKpj(instance_, q, options_);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.value().paths.empty());
 }
@@ -108,19 +111,19 @@ TEST_F(FacadeTest, UnreachableTargetGivesEmptyResult) {
   GraphBuilder b(3);
   b.AddEdge(0, 1, 1);
   b.EnsureNode(2);
-  Graph g = b.Build();
-  Graph rev = g.Reverse();
+  Result<KpjInstance> inst = KpjInstance::Wrap(b.Build(), Permutation());
+  ASSERT_TRUE(inst.ok());
   for (Algorithm a : kAllAlgorithms) {
     KpjOptions o;
     o.algorithm = a;
-    Result<KpjResult> r = RunKsp(g, rev, 0, 2, 5, o);
+    Result<KpjResult> r = RunKsp(inst.value(), 0, 2, 5, o);
     ASSERT_TRUE(r.ok()) << AlgorithmName(a);
     EXPECT_TRUE(r.value().paths.empty()) << AlgorithmName(a);
   }
 }
 
 TEST_F(FacadeTest, KspConvenience) {
-  Result<KpjResult> r = RunKsp(graph_, reverse_, 0, 3, 3, options_);
+  Result<KpjResult> r = RunKsp(instance_, 0, 3, 3, options_);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r.value().paths.size(), 3u);
   EXPECT_EQ(r.value().paths[0].length, 4u);  // 0-1-2-3.
@@ -154,7 +157,7 @@ TEST_F(FacadeTest, GkpjBasic) {
   for (Algorithm a : kAllAlgorithms) {
     KpjOptions o;
     o.algorithm = a;
-    Result<KpjResult> r = RunKpj(graph_, reverse_, q, o);
+    Result<KpjResult> r = RunKpj(instance_, q, o);
     ASSERT_TRUE(r.ok()) << AlgorithmName(a) << ": "
                         << r.status().ToString();
     const auto& paths = r.value().paths;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "core/verifier.h"
 #include "graph/graph_builder.h"
 #include "index/landmark_index.h"
@@ -50,7 +51,8 @@ class PaperExampleTest : public ::testing::TestWithParam<Algorithm> {
   PaperExampleTest()
       : graph_(PaperGraph()),
         reverse_(graph_.Reverse()),
-        landmarks_(LandmarkIndex::Build(graph_, reverse_, {})) {}
+        landmarks_(LandmarkIndex::Build(graph_, reverse_, {})),
+        instance_(KpjInstance::Wrap(graph_, Permutation()).value()) {}
 
   KpjResult MustRun(uint32_t k) {
     KpjQuery query;
@@ -60,7 +62,7 @@ class PaperExampleTest : public ::testing::TestWithParam<Algorithm> {
     KpjOptions options;
     options.algorithm = GetParam();
     options.landmarks = &landmarks_;
-    Result<KpjResult> result = RunKpj(graph_, reverse_, query, options);
+    Result<KpjResult> result = RunKpj(instance_, query, options);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return std::move(result).value();
   }
@@ -68,6 +70,7 @@ class PaperExampleTest : public ::testing::TestWithParam<Algorithm> {
   Graph graph_;
   Graph reverse_;
   LandmarkIndex landmarks_;
+  KpjInstance instance_;
 };
 
 TEST_P(PaperExampleTest, Top1IsV1V8V7Length5) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "gen/road_gen.h"
 #include "util/rng.h"
 
@@ -74,7 +75,8 @@ TEST(ParallelForTest, ConcurrentQueriesMatchSerialResults) {
   opt.target_nodes = 3000;
   opt.seed = 55;
   RoadNetwork net = GenerateRoadNetwork(opt);
-  Graph reverse = net.graph.Reverse();
+  Result<KpjInstance> inst = KpjInstance::Wrap(net.graph, Permutation());
+  ASSERT_TRUE(inst.ok());
 
   Rng rng(3);
   const size_t kQueries = 24;
@@ -90,14 +92,14 @@ TEST(ParallelForTest, ConcurrentQueriesMatchSerialResults) {
   KpjOptions options;  // IterBoundI, no landmarks.
   std::vector<std::vector<PathLength>> serial(kQueries);
   for (size_t i = 0; i < kQueries; ++i) {
-    Result<KpjResult> r = RunKpj(net.graph, reverse, queries[i], options);
+    Result<KpjResult> r = RunKpj(inst.value(), queries[i], options);
     ASSERT_TRUE(r.ok());
     for (const Path& p : r.value().paths) serial[i].push_back(p.length);
   }
 
   std::vector<std::vector<PathLength>> parallel(kQueries);
   ParallelFor(kQueries, 4, [&](size_t i, unsigned) {
-    Result<KpjResult> r = RunKpj(net.graph, reverse, queries[i], options);
+    Result<KpjResult> r = RunKpj(inst.value(), queries[i], options);
     ASSERT_TRUE(r.ok());
     for (const Path& p : r.value().paths) parallel[i].push_back(p.length);
   });

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "core/verifier.h"
 #include "graph/graph_builder.h"
 #include "index/landmark_index.h"
@@ -69,6 +70,8 @@ TEST_P(CrossAlgorithmTest, AllAlgorithmsMatchReference) {
   lopt.num_landmarks = 4;
   lopt.seed = master_seed ^ 0xabcdef;
   LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+  Result<KpjInstance> inst = KpjInstance::Wrap(graph, Permutation());
+  ASSERT_TRUE(inst.ok());
 
   KpjQuery query;
   query.sources = {static_cast<NodeId>(rng.NextBounded(s.num_nodes))};
@@ -91,7 +94,7 @@ TEST_P(CrossAlgorithmTest, AllAlgorithmsMatchReference) {
       KpjOptions options;
       options.algorithm = algorithm;
       options.landmarks = use_landmarks ? &landmarks : nullptr;
-      Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+      Result<KpjResult> result = RunKpj(inst.value(), query, options);
       ASSERT_TRUE(result.ok())
           << AlgorithmName(algorithm) << ": " << result.status().ToString();
       const std::vector<Path>& paths = result.value().paths;

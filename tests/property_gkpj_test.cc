@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "core/verifier.h"
 #include "graph/graph_builder.h"
 #include "index/landmark_index.h"
@@ -40,6 +41,8 @@ TEST_P(GkpjPropertyTest, AllAlgorithmsMatchReference) {
   lopt.num_landmarks = 4;
   lopt.seed = seed;
   LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+  Result<KpjInstance> inst = KpjInstance::Wrap(graph, Permutation());
+  ASSERT_TRUE(inst.ok());
 
   // Disjoint source and target sets.
   uint32_t ns = static_cast<uint32_t>(rng.NextInRange(2, 4));
@@ -62,7 +65,7 @@ TEST_P(GkpjPropertyTest, AllAlgorithmsMatchReference) {
     KpjOptions options;
     options.algorithm = algorithm;
     options.landmarks = &landmarks;
-    Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+    Result<KpjResult> result = RunKpj(inst.value(), query, options);
     ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
     SCOPED_TRACE(::testing::Message()
                  << AlgorithmName(algorithm) << " seed=" << seed << " n="

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "graph/graph_builder.h"
 #include "graph/reorder.h"
 #include "index/landmark_index.h"
@@ -50,7 +51,10 @@ std::vector<std::pair<PathLength, std::vector<NodeId>>> Profile(
     const std::vector<Path>& paths) {
   std::vector<std::pair<PathLength, std::vector<NodeId>>> out;
   out.reserve(paths.size());
-  for (const Path& p : paths) out.emplace_back(p.length, p.nodes);
+  for (const Path& p : paths) {
+    out.emplace_back(p.length,
+                     std::vector<NodeId>(p.nodes.begin(), p.nodes.end()));
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -73,6 +77,8 @@ TEST_P(ReorderPropertyTest, AllAlgorithmsInvariantUnderReordering) {
   lopt.num_landmarks = 4;
   lopt.seed = master_seed ^ 0x5eed;
   LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+  Result<KpjInstance> identity = KpjInstance::Wrap(graph, Permutation());
+  ASSERT_TRUE(identity.ok());
 
   KpjQuery query;
   const uint32_t num_sources =
@@ -94,7 +100,7 @@ TEST_P(ReorderPropertyTest, AllAlgorithmsInvariantUnderReordering) {
     KpjOptions options;
     options.algorithm = algorithm;
     options.landmarks = &landmarks;
-    Result<KpjResult> baseline = RunKpj(graph, reverse, query, options);
+    Result<KpjResult> baseline = RunKpj(identity.value(), query, options);
     ASSERT_TRUE(baseline.ok())
         << AlgorithmName(algorithm) << ": " << baseline.status().ToString();
     auto expected = Profile(baseline.value().paths);
@@ -106,12 +112,15 @@ TEST_P(ReorderPropertyTest, AllAlgorithmsInvariantUnderReordering) {
                    << ReorderStrategyName(strategy) << " seed=" << master_seed
                    << " n=" << n << " gkpj=" << gkpj << " k=" << k);
 
-      ReorderedGraph rg = ReorderForLocality(graph, strategy);
-      LandmarkIndex remapped = landmarks.Remap(rg.permutation);
+      Result<KpjInstance> reordered = KpjInstance::Make(graph, strategy);
+      ASSERT_TRUE(reordered.ok());
+      LandmarkIndex remapped =
+          landmarks.Remap(reordered.value().permutation());
       KpjOptions reordered_options = options;
       reordered_options.landmarks = &remapped;
 
-      Result<KpjResult> result = RunKpj(rg, query, reordered_options);
+      Result<KpjResult> result =
+          RunKpj(reordered.value(), query, reordered_options);
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       // Paths come back in original ids: profiles must match exactly.
       EXPECT_EQ(Profile(result.value().paths), expected);

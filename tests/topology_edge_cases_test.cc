@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "core/verifier.h"
 #include "graph/graph_builder.h"
 #include "sssp/dijkstra.h"
@@ -14,10 +15,11 @@ namespace {
 class TopologyTest : public ::testing::TestWithParam<Algorithm> {
  protected:
   KpjResult MustRun(const Graph& graph, KpjQuery query) {
-    Graph reverse = graph.Reverse();
+    Result<KpjInstance> inst = KpjInstance::Wrap(graph, Permutation());
+    EXPECT_TRUE(inst.ok());
     KpjOptions options;
     options.algorithm = GetParam();
-    Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+    Result<KpjResult> result = RunKpj(inst.value(), query, options);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     Status check =
         ValidateAgainstReference(graph, query, result.value().paths);

@@ -8,10 +8,14 @@
 #include <set>
 #include <string>
 
+#include <vector>
+
+#include "util/arena.h"
 #include "util/epoch_array.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/small_vec.h"
 #include "util/string_util.h"
 #include "util/types.h"
 
@@ -285,6 +289,128 @@ TEST(LatencyHistogramTest, PercentileApproximatesWithinBucketResolution) {
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.sum_ms(), 5050.0);
 }
+
+TEST(LatencyHistogramTest, EqualSamplesReportThemselvesAtEveryPercentile) {
+  // Regression: the old floor-based rank picked a bucket midpoint that the
+  // [min, max] clamp had to rescue; the interpolated rank must already
+  // land on the sample when every observation is identical.
+  LatencyHistogram h;
+  h.Record(7.0);
+  h.Record(7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(90.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 7.0);
+}
+
+TEST(LatencyHistogramTest, HighPercentileOfTwoSamplesIsTheHighOne) {
+  // Regression: floor(0.99 * 2) = 1 used to return the *low* sample for
+  // p99; ceiling nearest-rank must select the second observation.
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(1000.0);
+  EXPECT_GE(h.Percentile(99.0), 1000.0 / 1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1000.0);
+  // p50 covers exactly the first observation.
+  EXPECT_LE(h.Percentile(50.0), 1.5);
+}
+
+TEST(LatencyHistogramTest, PercentileIsMonotoneInP) {
+  LatencyHistogram h;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    h.Record(static_cast<double>(rng.NextInRange(1, 10'000)) / 10.0);
+  }
+  double prev = 0.0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+// ------------------------------------------------------------- small_vec
+
+TEST(SmallVecTest, InlineUntilCapacityThenHeap) {
+  SmallVec<uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);  // Spills to the heap.
+  EXPECT_EQ(v.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, ComparesAgainstStdVectorBothWays) {
+  SmallVec<uint32_t, 4> v;
+  std::vector<uint32_t> same = {1, 2, 3};
+  v.assign(same.begin(), same.end());
+  std::vector<uint32_t> different = {1, 2, 4};
+  EXPECT_TRUE(v == same);
+  EXPECT_TRUE(same == v);
+  EXPECT_FALSE(v == different);
+  EXPECT_FALSE(different == v);
+}
+
+TEST(SmallVecTest, MoveStealsHeapStorageAndCopiesInline) {
+  SmallVec<uint32_t, 2> inline_vec;
+  inline_vec.push_back(9);
+  SmallVec<uint32_t, 2> inline_moved = std::move(inline_vec);
+  ASSERT_EQ(inline_moved.size(), 1u);
+  EXPECT_EQ(inline_moved[0], 9u);
+
+  SmallVec<uint32_t, 2> heap_vec;
+  for (uint32_t i = 0; i < 40; ++i) heap_vec.push_back(i);
+  const uint32_t* heap_data = heap_vec.data();
+  SmallVec<uint32_t, 2> heap_moved = std::move(heap_vec);
+  ASSERT_EQ(heap_moved.size(), 40u);
+  EXPECT_EQ(heap_moved.data(), heap_data);  // Pointer stolen, not copied.
+  EXPECT_TRUE(heap_vec.empty());
+}
+
+TEST(SmallVecTest, AssignEraseInsertKeepOrder) {
+  SmallVec<uint32_t, 4> v;
+  std::vector<uint32_t> src = {5, 6, 7, 8, 9};
+  v.assign(src.begin(), src.end());
+  v.erase(v.begin() + 1);  // {5, 7, 8, 9}
+  uint32_t one = 1;
+  v.insert(v.begin(), &one, &one + 1);  // {1, 5, 7, 8, 9}
+  EXPECT_TRUE(v == (std::vector<uint32_t>{1, 5, 7, 8, 9}));
+}
+
+// ----------------------------------------------------------------- arena
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(128);
+  auto a = arena.AllocateArray<uint64_t>(10);
+  auto b = arena.AllocateArray<uint64_t>(10);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % alignof(uint64_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % alignof(uint64_t), 0u);
+  for (size_t i = 0; i < 10; ++i) a[i] = i;
+  for (size_t i = 0; i < 10; ++i) b[i] = 100 + i;
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(a[i], i);  // b didn't clobber a.
+  EXPECT_GE(arena.bytes_allocated(), 160u);
+}
+
+TEST(ArenaTest, ResetRecyclesWithoutShrinking) {
+  Arena arena(64);
+  for (int round = 0; round < 3; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    auto span = arena.AllocateArray<uint32_t>(1000);
+    for (size_t i = 0; i < span.size(); ++i) span[i] = round;
+    EXPECT_EQ(span[999], static_cast<uint32_t>(round));
+  }
+  size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  arena.AllocateArray<uint32_t>(1000);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // Steady state: no growth.
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsValid) {
+  Arena arena;
+  EXPECT_NE(arena.Allocate(0), nullptr);
+}
+
 
 TEST(LatencyHistogramTest, BucketAccessorsCoverTheWholeRange) {
   LatencyHistogram h;

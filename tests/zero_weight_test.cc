@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/kpj.h"
+#include "core/kpj_instance.h"
 #include "core/verifier.h"
 #include "graph/graph_builder.h"
 #include "index/landmark_index.h"
@@ -37,6 +38,8 @@ TEST_P(ZeroWeightTest, AllAlgorithmsMatchReferenceWithZeroWeights) {
   LandmarkIndexOptions lopt;
   lopt.num_landmarks = 3;
   LandmarkIndex landmarks = LandmarkIndex::Build(graph, reverse, lopt);
+  Result<KpjInstance> inst = KpjInstance::Wrap(graph, Permutation());
+  ASSERT_TRUE(inst.ok());
 
   KpjQuery query;
   query.sources = {0};
@@ -50,7 +53,7 @@ TEST_P(ZeroWeightTest, AllAlgorithmsMatchReferenceWithZeroWeights) {
     KpjOptions options;
     options.algorithm = a;
     options.landmarks = &landmarks;
-    Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+    Result<KpjResult> result = RunKpj(inst.value(), query, options);
     ASSERT_TRUE(result.ok()) << AlgorithmName(a);
     SCOPED_TRACE(::testing::Message() << AlgorithmName(a) << " seed "
                                       << seed);
@@ -77,7 +80,8 @@ TEST(ZeroWeightTest, AllZeroGraphTerminates) {
   b.AddEdge(0, 4, 0);
   b.AddEdge(4, 3, 0);
   Graph graph = b.Build();
-  Graph reverse = graph.Reverse();
+  Result<KpjInstance> inst = KpjInstance::Wrap(graph, Permutation());
+  ASSERT_TRUE(inst.ok());
   KpjQuery query;
   query.sources = {0};
   query.targets = {3};
@@ -87,7 +91,7 @@ TEST(ZeroWeightTest, AllZeroGraphTerminates) {
   for (Algorithm a : kAllAlgorithms) {
     KpjOptions options;
     options.algorithm = a;
-    Result<KpjResult> result = RunKpj(graph, reverse, query, options);
+    Result<KpjResult> result = RunKpj(inst.value(), query, options);
     ASSERT_TRUE(result.ok()) << AlgorithmName(a);
     EXPECT_EQ(result.value().paths.size(), reference.value().size())
         << AlgorithmName(a);

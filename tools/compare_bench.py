@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON artifacts and fail on performance regressions.
+
+    tools/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Both files are the JSON summaries the bench binaries emit via
+KPJ_BENCH_JSON (e.g. BENCH_cache.json). The tool walks both trees,
+pairs up numeric leaves by path, and applies a direction rule per key:
+
+  * keys ending in ``_ms``  — timings, lower is better; regression when
+    candidate > baseline * (1 + threshold)
+  * keys named ``speedup`` or ending in ``_speedup`` — higher is better;
+    regression when candidate < baseline * (1 - threshold)
+  * everything else — informational only, never gates
+
+Subtrees whose key ends in ``_metrics`` (embedded engine metric dumps)
+are skipped: their latency fields describe the capture run, not the
+benchmark contract. List elements that are objects carrying an
+``algorithm``/``name``/``bench`` field are paired by that field instead
+of positionally, so reordering rows does not fake a regression.
+
+Exit status 0 when no gated leaf regressed beyond the threshold, 1
+otherwise (and 2 for malformed inputs). Used by scripts/check.sh
+--bench-gate; handy standalone when comparing two checkouts.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def collect_leaves(node, path, out):
+    """Flattens numeric leaves into {path_tuple: (key_name, value)}."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key.endswith("_metrics"):
+                continue
+            collect_leaves(value, path + (key,), out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            label = index
+            if isinstance(value, dict):
+                for id_key in ("algorithm", "name", "bench"):
+                    if isinstance(value.get(id_key), str):
+                        label = f"{id_key}={value[id_key]}"
+                        break
+            collect_leaves(value, path + (label,), out)
+    elif is_number(node):
+        key_name = ""
+        for part in reversed(path):
+            if isinstance(part, str) and "=" not in part:
+                key_name = part
+                break
+        out[path] = (key_name, float(node))
+
+
+def direction(key_name):
+    """Returns 'lower', 'higher', or None (ungated) for a leaf key."""
+    if key_name.endswith("_ms"):
+        return "lower"
+    if key_name == "speedup" or key_name.endswith("_speedup"):
+        return "higher"
+    return None
+
+
+def format_path(path):
+    return ".".join(str(part) for part in path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative slack (default 0.10 = 10%%)")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        print("compare_bench: --threshold must be >= 0", file=sys.stderr)
+        return 2
+
+    trees = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                trees.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+
+    old_leaves, new_leaves = {}, {}
+    collect_leaves(trees[0], (), old_leaves)
+    collect_leaves(trees[1], (), new_leaves)
+
+    regressions = []
+    rows = []
+    for path in sorted(old_leaves, key=format_path):
+        if path not in new_leaves:
+            rows.append((format_path(path), old_leaves[path][1], None,
+                         "dropped"))
+            continue
+        key_name, old = old_leaves[path]
+        new = new_leaves[path][1]
+        rule = direction(key_name)
+        if old != 0:
+            change = (new - old) / abs(old)
+            delta = f"{change:+.1%}"
+        else:
+            change = 0.0 if new == 0 else float("inf")
+            delta = "n/a" if new == 0 else "+inf"
+        note = ""
+        if rule == "lower" and new > old * (1.0 + args.threshold):
+            note = "REGRESSION"
+        elif rule == "higher" and new < old * (1.0 - args.threshold):
+            note = "REGRESSION"
+        elif rule is None:
+            note = "info"
+        if note == "REGRESSION":
+            regressions.append(format_path(path))
+        rows.append((format_path(path), old, new, f"{delta} {note}".strip()))
+    for path in sorted(set(new_leaves) - set(old_leaves), key=format_path):
+        rows.append((format_path(path), None, new_leaves[path][1], "new"))
+
+    width = max((len(r[0]) for r in rows), default=4)
+    print(f"{'leaf':<{width}}  {'baseline':>12}  {'candidate':>12}  change")
+    for path, old, new, note in rows:
+        old_text = f"{old:.3f}" if old is not None else "-"
+        new_text = f"{new:.3f}" if new is not None else "-"
+        print(f"{path:<{width}}  {old_text:>12}  {new_text:>12}  {note}")
+
+    if regressions:
+        print(f"compare_bench: {len(regressions)} leaf(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"compare_bench: OK within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,14 @@ METRICS_REQUIRED_KEYS = [
     "algo_candidates_generated",
     "algo_candidates_pruned",
     "algo_lb_tightness",
+    "algo_spt_cache_hits",
+    "algo_spt_cache_misses",
+    "algo_bound_cache_hits",
+    "algo_bound_cache_misses",
+    "spt_cache_insertions",
+    "spt_cache_evictions",
+    "bound_cache_evictions",
+    "cache_bytes",
     "latency_count",
     "latency_mean_ms",
     "latency_min_ms",
@@ -66,6 +74,13 @@ PROM_REQUIRED_SERIES = [
     "kpj_candidates_generated_total",
     "kpj_candidates_pruned_total",
     "kpj_lower_bound_tightness_ratio",
+    "kpj_spt_cache_hits_total",
+    "kpj_spt_cache_misses_total",
+    "kpj_bound_cache_hits_total",
+    "kpj_bound_cache_misses_total",
+    "kpj_spt_cache_evictions_total",
+    "kpj_bound_cache_evictions_total",
+    "kpj_cache_bytes",
     "kpj_query_latency_ms",
 ]
 
