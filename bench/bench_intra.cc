@@ -1,0 +1,211 @@
+// Intra-query parallelism (core/intra.h) on a road_60k workload.
+//
+// Two measurements:
+//  * a single hard DA query (many targets, large k — long deviation
+//    rounds) served by a 4-worker engine at intra_threads 1, 2 and 4:
+//    the wall-time a lone interactive query gains by fanning its
+//    deviation searches across otherwise-idle workers. Answers must be
+//    byte-identical at every setting (the core contract of DESIGN.md
+//    "Intra-query parallelism").
+//  * a saturated batch at intra_threads=1: the sequential round path the
+//    refactor must not have slowed (regression-gated via
+//    BENCH_intra.json and tools/compare_bench.py).
+//
+// Timing is best-of-round; on a single-core container the intra speedups
+// hover around 1.0 (lanes only help with real spare cores — see the
+// baseline note in BENCH_intra.json).
+//
+// Output: a table plus a JSON summary written to the path in
+// KPJ_BENCH_JSON, or to stdout when the variable is unset.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "core/kpj_instance.h"
+#include "gen/road_gen.h"
+#include "graph/reorder.h"
+#include "index/landmark_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace kpj::bench {
+namespace {
+
+/// Relabels `graph` by a deterministic random permutation, simulating the
+/// topology-uncorrelated node numbering of real-world inputs (same baseline
+/// convention as bench_reorder / bench_cache).
+Graph ScrambleLayout(const Graph& graph, uint64_t seed) {
+  std::vector<NodeId> map(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) map[v] = v;
+  Rng rng(seed);
+  rng.Shuffle(map);
+  Result<Permutation> perm = Permutation::FromOldToNew(std::move(map));
+  KPJ_CHECK(perm.ok());
+  return ApplyPermutation(graph, perm.value());
+}
+
+/// Canonical rendering of one query's answer: node sequences and lengths.
+/// Two runs agree iff these strings are byte-identical.
+std::string Canonicalize(const Result<KpjResult>& result) {
+  KPJ_CHECK(result.ok()) << result.status().ToString();
+  const KpjResult& r = result.value();
+  KPJ_CHECK(r.status.ok()) << r.status.ToString();
+  std::ostringstream os;
+  for (const Path& p : r.paths) {
+    os << "[" << p.length << ":";
+    for (NodeId v : p.nodes) os << " " << v;
+    os << "]";
+  }
+  return os.str();
+}
+
+constexpr double kInfMs = 1e300;
+
+int Main() {
+  const HarnessOptions harness = HarnessFromEnv();
+  const size_t num_batch_queries =
+      std::max<size_t>(harness.queries_per_set * 6, 30);
+  const uint32_t kTargets = 24;
+  const uint32_t kK = 32;
+  const uint32_t kLandmarks = 8;
+  const int kRounds = 3;
+  const unsigned kWorkers = 4;
+
+  RoadGenOptions road;
+  road.seed = 12;
+  road.target_nodes = 60000;
+  Graph base = ScrambleLayout(GenerateRoadNetwork(road).graph, 22);
+  std::fprintf(stderr, "[bench_intra] road_60k: %u nodes, %u arcs\n",
+               base.NumNodes(), base.NumEdges());
+  const NodeId num_nodes = base.NumNodes();
+  const uint32_t num_arcs = base.NumEdges();
+
+  Result<KpjInstance> made =
+      KpjInstance::Make(std::move(base), ReorderStrategy::kHybrid);
+  KPJ_CHECK(made.ok()) << made.status().ToString();
+  KpjInstance instance = std::move(made).value();
+
+  LandmarkIndexOptions lm_opt;
+  lm_opt.num_landmarks = kLandmarks;
+  KPJ_CHECK(instance
+                .AttachLandmarks(LandmarkIndex::Build(
+                    instance.graph(), instance.reverse(), lm_opt))
+                .ok());
+
+  std::vector<NodeId> targets;
+  for (uint64_t t : Rng(98).SampleDistinct(kTargets, num_nodes)) {
+    targets.push_back(static_cast<NodeId>(t));
+  }
+  KpjQuery hard;
+  hard.sources = {static_cast<NodeId>(Rng(96).NextBounded(num_nodes))};
+  hard.targets = targets;
+  hard.k = kK;
+
+  auto make_engine = [&](unsigned intra) {
+    KpjEngineOptions eopt;
+    eopt.threads = kWorkers;
+    eopt.clamp_to_hardware = false;
+    eopt.intra_threads = intra;
+    eopt.solver.algorithm = Algorithm::kDA;
+    return std::make_unique<KpjEngine>(instance, eopt);
+  };
+
+  // --- Single hard query at intra 1/2/4 -----------------------------------
+  auto intra1 = make_engine(1);
+  auto intra2 = make_engine(2);
+  auto intra4 = make_engine(4);
+
+  // Correctness gate + warm-up in one: answers must not depend on lanes.
+  const std::string reference = Canonicalize(intra1->Submit(hard).get());
+  bool identical_2 = Canonicalize(intra2->Submit(hard).get()) == reference;
+  bool identical_4 = Canonicalize(intra4->Submit(hard).get()) == reference;
+  KPJ_CHECK(identical_2) << "answers diverge at intra_threads=2";
+  KPJ_CHECK(identical_4) << "answers diverge at intra_threads=4";
+
+  double intra1_ms = kInfMs, intra2_ms = kInfMs, intra4_ms = kInfMs;
+  for (int round = 0; round < kRounds; ++round) {
+    Timer timer;
+    intra1->Submit(hard).get();
+    intra1_ms = std::min(intra1_ms, timer.ElapsedMillis());
+    timer.Restart();
+    intra2->Submit(hard).get();
+    intra2_ms = std::min(intra2_ms, timer.ElapsedMillis());
+    timer.Restart();
+    intra4->Submit(hard).get();
+    intra4_ms = std::min(intra4_ms, timer.ElapsedMillis());
+  }
+  std::string intra4_metrics = intra4->MetricsJson();
+
+  // --- Saturated batch, sequential rounds (intra_threads=1) ---------------
+  Rng rng(97);
+  std::vector<KpjQuery> batch;
+  for (size_t i = 0; i < num_batch_queries; ++i) {
+    KpjQuery q;
+    q.sources = {static_cast<NodeId>(rng.NextBounded(num_nodes))};
+    q.targets = targets;
+    q.k = 16;
+    batch.push_back(std::move(q));
+  }
+  auto batch_engine = make_engine(1);
+  batch_engine->RunBatch(batch);  // Warm the per-worker solvers.
+  double batch_ms = kInfMs;
+  for (int round = 0; round < kRounds; ++round) {
+    Timer timer;
+    batch_engine->RunBatch(batch);
+    batch_ms = std::min(batch_ms, timer.ElapsedMillis());
+  }
+
+  Table table("Intra-query parallelism on road_60k (1 hard DA query, k=" +
+                  std::to_string(kK) + ", " + std::to_string(kTargets) +
+                  " targets, " + std::to_string(kWorkers) + " workers)",
+              {"intra1 ms", "intra2 ms", "intra4 ms", "x2", "x4"});
+  table.AddRow("DA", {intra1_ms, intra2_ms, intra4_ms, intra1_ms / intra2_ms,
+                      intra1_ms / intra4_ms});
+  table.Print();
+  Table batch_table("Batch throughput, sequential rounds (road_60k, " +
+                        std::to_string(num_batch_queries) + " queries)",
+                    {"batch ms"});
+  batch_table.AddRow("DA", {batch_ms});
+  batch_table.Print();
+
+  std::ostringstream json;
+  json << "{\"bench\":\"bench_intra\",\"dataset\":\"road_60k\""
+       << ",\"nodes\":" << num_nodes << ",\"arcs\":" << num_arcs
+       << ",\"workers\":" << kWorkers << ",\"k\":" << kK
+       << ",\"batch_queries\":" << num_batch_queries << ",\"rows\":["
+       << "{\"name\":\"single_hard_query\",\"algorithm\":\"DA\""
+       << ",\"intra1_ms\":" << intra1_ms << ",\"intra2_ms\":" << intra2_ms
+       << ",\"intra4_ms\":" << intra4_ms
+       << ",\"intra2_speedup\":" << intra1_ms / intra2_ms
+       << ",\"intra4_speedup\":" << intra1_ms / intra4_ms
+       << ",\"identical_2\":" << (identical_2 ? "true" : "false")
+       << ",\"identical_4\":" << (identical_4 ? "true" : "false") << "},"
+       << "{\"name\":\"batch_sequential_rounds\",\"batch_ms\":" << batch_ms
+       << "}"
+       << "],\"intra4_metrics\":" << intra4_metrics << "}";
+
+  if (const char* path = std::getenv("KPJ_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream out(path, std::ios::trunc);
+    out << json.str() << "\n";
+    std::fprintf(stderr, "[bench_intra] JSON -> %s\n", path);
+  } else {
+    std::cout << json.str() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kpj::bench
+
+int main() { return kpj::bench::Main(); }

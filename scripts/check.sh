@@ -4,18 +4,23 @@
 #
 #   scripts/check.sh                 # release-ish build + ctest
 #   scripts/check.sh --asan          # opt-in AddressSanitizer + UBSan run
+#   scripts/check.sh --ubsan         # opt-in UndefinedBehaviorSanitizer-
+#                                    # only run (full suite; catches UB
+#                                    # that ASan's redzones mask and runs
+#                                    # much faster than --asan)
 #   scripts/check.sh --tsan          # opt-in ThreadSanitizer run of the
 #                                    # concurrency suite (engine, pool,
-#                                    # parallel, trace, observability,
-#                                    # cache reuse) only
+#                                    # parallel, intra, trace,
+#                                    # observability, cache reuse) only
 #   scripts/check.sh --bench-gate    # opt-in perf gate: re-run bench_cache
-#                                    # and diff against the checked-in
-#                                    # BENCH_cache.json with
-#                                    # tools/compare_bench.py (>10% fails)
+#                                    # and bench_intra and diff against the
+#                                    # checked-in BENCH_*.json baselines
+#                                    # with tools/compare_bench.py (>10%
+#                                    # fails)
 #   KPJ_CHECK_JOBS=8 scripts/check.sh
 #
-# Sanitizer runs use separate build trees (build-asan/, build-tsan/) so
-# they never invalidate the incremental default build.
+# Sanitizer runs use separate build trees (build-asan/, build-ubsan/,
+# build-tsan/) so they never invalidate the incremental default build.
 #
 # After ctest, every mode drives the built kpj_cli end to end on a small
 # generated graph with --trace-out / --metrics-out and validates the
@@ -35,6 +40,10 @@ if [[ "${1:-}" == "--asan" || "${KPJ_CHECK_ASAN:-0}" == "1" ]]; then
   build_dir=build-asan
   mode=asan
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all")
+elif [[ "${1:-}" == "--ubsan" || "${KPJ_CHECK_UBSAN:-0}" == "1" ]]; then
+  build_dir=build-ubsan
+  mode=ubsan
+  cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=undefined -fno-sanitize-recover=all")
 elif [[ "${1:-}" == "--tsan" || "${KPJ_CHECK_TSAN:-0}" == "1" ]]; then
   # TSAN and ASAN cannot be combined; the TSAN tree only runs the tests
   # that actually exercise threads (the full suite is single-threaded and
@@ -42,7 +51,7 @@ elif [[ "${1:-}" == "--tsan" || "${KPJ_CHECK_TSAN:-0}" == "1" ]]; then
   build_dir=build-tsan
   mode=tsan
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all")
-  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|trace_test|observability_test|cache_reuse_test")
+  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|intra_test|trace_test|observability_test|cache_reuse_test")
 elif [[ "${1:-}" == "--bench-gate" || "${KPJ_CHECK_BENCH_GATE:-0}" == "1" ]]; then
   mode=bench-gate
 fi
@@ -68,7 +77,7 @@ cli="$build_dir/tools/kpj_cli"
 
 "$cli" generate --nodes 2000 --seed 3 --out "$smoke_dir/g.bin" > /dev/null
 "$cli" query --graph "$smoke_dir/g.bin" --source 0 --targets 100,200,300 \
-  --k 5 --stats --slow-query-ms 1000 \
+  --k 5 --stats --slow-query-ms 1000 --intra-threads 2 \
   --trace-out "$smoke_dir/query_trace.json" \
   --metrics-out "$smoke_dir/query_metrics.json" > /dev/null
 printf '0 3 100 200\n5 2 300\n' > "$smoke_dir/queries.txt"
@@ -84,15 +93,18 @@ python3 tools/validate_metrics.py --mode trace "$smoke_dir/batch_trace.json"
 python3 tools/validate_metrics.py --mode prom "$smoke_dir/batch_metrics.prom"
 echo "observability smoke OK"
 
-# --- Opt-in bench gate: re-run the cross-query cache benchmark and fail
-# if any timing or speedup leaf regressed >10% against the checked-in
-# baseline BENCH_cache.json.
+# --- Opt-in bench gate: re-run the cross-query cache and intra-query
+# parallelism benchmarks and fail if any timing or speedup leaf regressed
+# >10% against the checked-in baselines.
 if [[ "$mode" == "bench-gate" ]]; then
   gate_dir="$build_dir/check-bench"
   rm -rf "$gate_dir"
   mkdir -p "$gate_dir"
   KPJ_BENCH_JSON="$gate_dir/BENCH_cache.json" "$build_dir/bench/bench_cache"
   python3 tools/compare_bench.py BENCH_cache.json "$gate_dir/BENCH_cache.json" \
+    --threshold 0.10
+  KPJ_BENCH_JSON="$gate_dir/BENCH_intra.json" "$build_dir/bench/bench_intra"
+  python3 tools/compare_bench.py BENCH_intra.json "$gate_dir/BENCH_intra.json" \
     --threshold 0.10
   echo "bench gate OK"
 fi

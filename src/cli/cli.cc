@@ -13,6 +13,7 @@
 #include "graph/dimacs_io.h"
 #include "graph/serialize.h"
 #include "index/landmark_index.h"
+#include "util/concurrency.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -70,6 +71,22 @@ Result<unsigned> GetThreadsFlag(const ParsedArgs& args, int64_t def = 1) {
     return Status::InvalidArgument("--threads must be >= 1");
   }
   return static_cast<unsigned>(threads.value());
+}
+
+/// Reads the --intra-threads flag: lanes each query's deviation rounds
+/// may fan out across (default 1 = sequential rounds; 0 = auto-split the
+/// pool between in-flight queries). Explicit values share the advisory
+/// hardware clamp with --threads (EffectiveWorkers); answers are
+/// byte-identical at every setting.
+Result<unsigned> GetIntraThreadsFlag(const ParsedArgs& args) {
+  Result<int64_t> intra = args.GetInt("intra-threads", 1);
+  if (!intra.ok()) return intra.status();
+  if (intra.value() < 0) {
+    return Status::InvalidArgument("--intra-threads must be >= 0");
+  }
+  unsigned lanes = static_cast<unsigned>(intra.value());
+  if (lanes > 1) lanes = EffectiveWorkers(lanes);
+  return lanes;
 }
 
 /// Reads the --deadline-ms flag (default 0 = unbounded).
@@ -174,6 +191,7 @@ void PrintHelp(std::ostream& out) {
          "                    [--k 10] [--algorithm NAME]"
          " [--landmarks FILE] [--alpha 1.1]\n"
          "                    [--reorder STRAT] [--stats] [--threads N]\n"
+         "                    [--intra-threads N]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
          "                    [--cache-mb MB | --no-cache]\n"
          "                    [--metrics-out FILE|-]"
@@ -181,7 +199,8 @@ void PrintHelp(std::ostream& out) {
          "                    [--trace-out FILE]\n"
          "  kpj_cli batch     --graph FILE --queries FILE"
          " [--algorithm NAME] [--landmarks FILE]\n"
-         "                    [--threads N] [--reorder STRAT]\n"
+         "                    [--threads N] [--intra-threads N]"
+         " [--reorder STRAT]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
          "                    [--cache-mb MB | --no-cache]\n"
          "                    [--metrics-out FILE|-]"
@@ -191,7 +210,10 @@ void PrintHelp(std::ostream& out) {
          "Graph files: .gr = DIMACS text, otherwise compact binary.\n"
          "Queries run on the concurrent engine: --threads sets the worker\n"
          "pool, --deadline-ms bounds each query (partial results are\n"
-         "flagged, not errors).\n"
+         "flagged, not errors). --intra-threads fans each query's\n"
+         "deviation searches across the pool (1 = sequential, 0 = auto-\n"
+         "split workers between in-flight queries); answers are\n"
+         "byte-identical at any setting.\n"
          "Observability: --metrics-out dumps execution metrics as JSON\n"
          "(default) or Prometheus text (--metrics-format=prom);\n"
          "--metrics-json FILE is a legacy alias for --metrics-out with the\n"
@@ -495,6 +517,8 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   Result<unsigned> threads = GetThreadsFlag(args);
   if (!threads.ok()) return Fail(err, threads.status());
+  Result<unsigned> intra = GetIntraThreadsFlag(args);
+  if (!intra.ok()) return Fail(err, intra.status());
   Result<double> deadline = GetDeadlineFlag(args);
   if (!deadline.ok()) return Fail(err, deadline.status());
   Result<double> slow_query = GetSlowQueryFlag(args);
@@ -509,6 +533,7 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Result<size_t> cache_mb = GetCacheFlag(args);
   if (!cache_mb.ok()) return Fail(err, cache_mb.status());
   engine_options.threads = threads.value();
+  engine_options.intra_threads = intra.value();
   engine_options.default_deadline_ms = deadline.value();
   engine_options.solver = s.options;
   engine_options.slow_query_ms = slow_query.value();
@@ -573,6 +598,8 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
   Result<unsigned> threads = GetThreadsFlag(args);
   if (!threads.ok()) return Fail(err, threads.status());
+  Result<unsigned> intra = GetIntraThreadsFlag(args);
+  if (!intra.ok()) return Fail(err, intra.status());
   Result<double> deadline = GetDeadlineFlag(args);
   if (!deadline.ok()) return Fail(err, deadline.status());
   Result<double> slow_query = GetSlowQueryFlag(args);
@@ -629,6 +656,7 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Result<size_t> cache_mb = GetCacheFlag(args);
   if (!cache_mb.ok()) return Fail(err, cache_mb.status());
   engine_options.threads = threads.value();
+  engine_options.intra_threads = intra.value();
   engine_options.default_deadline_ms = deadline.value();
   engine_options.solver = s.options;
   engine_options.slow_query_ms = slow_query.value();

@@ -19,11 +19,11 @@ DaSptSolver::DaSptSolver(const Graph& graph, const Graph& reverse,
   (void)options;  // DA-SPT uses neither landmarks nor alpha.
 }
 
-bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue,
-                                   QueryStats* stats) {
+bool DaSptSolver::TryConcatenation(uint32_t v, ConstrainedSearch& cs,
+                                   SubspaceEntry* entry, QueryStats* stats) {
   const PseudoTree::Vertex& vx = tree_.vertex(v);
-  // Prefix nodes are already marked in search_.forbidden() by the caller.
-  const EpochSet& forbidden = search_.forbidden();
+  // Prefix nodes are already marked in cs.forbidden() by the caller.
+  const EpochSet& forbidden = cs.forbidden();
 
   // Find the deviation edge minimizing weight + exact SPT distance.
   NodeId best_hop = kInvalidNode;
@@ -55,6 +55,11 @@ bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue,
   SmallVec<NodeId, 8> suffix;
   suffix.push_back(best_hop);
   for (NodeId cur = best_hop;;) {
+    // The walk is O(|path|) but paths can span most of a road network;
+    // poll so a deadline cannot be overshot by a full concatenation. A
+    // cancelled candidate falls back to the general search, which bails
+    // on its first heap pop — the caller's loop then stops either way.
+    if (cancel_ != nullptr && cancel_->ShouldStop()) return false;
     NodeId parent = full_spt_->parent[cur];
     if (parent == kInvalidNode) break;
     if (forbidden.Contains(parent)) return false;  // Not simple: fall back.
@@ -63,30 +68,28 @@ bool DaSptSolver::TryConcatenation(uint32_t v, SubspaceQueue& queue,
   }
 
   ++stats->algo.candidates_generated;
-  SubspaceEntry entry;
-  entry.vertex = v;
-  entry.has_path = true;
-  entry.suffix_length = best_estimate;
-  entry.key = static_cast<double>(vx.prefix_length + best_estimate);
-  entry.suffix = std::move(suffix);
-  queue.Push(std::move(entry));
+  entry->vertex = v;
+  entry->has_path = true;
+  entry->suffix_length = best_estimate;
+  entry->key = static_cast<double>(vx.prefix_length + best_estimate);
+  entry->suffix = std::move(suffix);
   // Not counted in shortest_path_computations: the whole point of the
   // concatenation test is to avoid a shortest-path run.
   return true;
 }
 
-void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
-                                QueryStats* stats) {
+bool DaSptSolver::ComputeCandidate(uint32_t v, ConstrainedSearch& cs,
+                                   SubspaceEntry* entry, QueryStats* stats) {
   const PseudoTree::Vertex& vx = tree_.vertex(v);
-  search_.ClearForbidden();
-  tree_.MarkPrefix(v, &search_.forbidden());
+  cs.ClearForbidden();
+  tree_.MarkPrefix(v, &cs.forbidden());
   ++stats->subspaces_created;
 
   // The zero-length suffix (prefix already ends at a target and finishing
   // is allowed) beats every deviation, so check it first.
   bool zero_suffix_ok =
-      !vx.finish_banned && search_.target_set().Contains(vx.node);
-  if (!zero_suffix_ok && TryConcatenation(v, queue, stats)) return;
+      !vx.finish_banned && cs.target_set().Contains(vx.node);
+  if (!zero_suffix_ok && TryConcatenation(v, cs, entry, stats)) return true;
 
   SubspaceSearchRequest request;
   request.start = vx.node;
@@ -97,27 +100,69 @@ void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
 
   FullSptBound bound(full_spt_.get());
   ++stats->shortest_path_computations;
-  SubspaceSearchResult result = search_.Run(request, bound, stats);
+  SubspaceSearchResult result = cs.Run(request, bound, stats);
   if (result.outcome != SearchOutcome::kFound) {
     ++stats->algo.candidates_pruned;
-    return;
+    return false;
   }
 
   ++stats->algo.candidates_generated;
+  entry->vertex = v;
+  entry->has_path = true;
+  entry->suffix_length = result.suffix_length;
+  entry->key = static_cast<double>(vx.prefix_length + result.suffix_length);
+  entry->suffix.assign(result.suffix.begin() + 1, result.suffix.end());
+  return true;
+}
+
+void DaSptSolver::PushCandidate(uint32_t v, SubspaceQueue& queue,
+                                QueryStats* stats) {
   SubspaceEntry entry;
-  entry.vertex = v;
-  entry.has_path = true;
-  entry.suffix_length = result.suffix_length;
-  entry.key = static_cast<double>(vx.prefix_length + result.suffix_length);
-  entry.suffix.assign(result.suffix.begin() + 1, result.suffix.end());
-  queue.Push(std::move(entry));
+  if (ComputeCandidate(v, search_, &entry, stats)) {
+    queue.Push(std::move(entry));
+  }
+}
+
+void DaSptSolver::ExpandDivision(const DivisionResult& division,
+                                 SubspaceQueue& queue, QueryStats* stats) {
+  std::vector<uint32_t> slots;
+  slots.reserve(1 + division.created.size());
+  slots.push_back(division.revised);
+  slots.insert(slots.end(), division.created.begin(),
+               division.created.end());
+
+  struct Slot {
+    SubspaceEntry entry;
+    QueryStats stats;
+    bool found = false;
+  };
+  std::vector<Slot> results(slots.size());
+  RunDeviationRound(
+      intra_, slots.size(), &stats->algo, [&](size_t i, unsigned lane) {
+        ConstrainedSearch& cs =
+            lane == 0 ? search_ : *lane_search_[lane - 1];
+        results[i].found =
+            ComputeCandidate(slots[i], cs, &results[i].entry,
+                             &results[i].stats);
+      });
+  for (Slot& r : results) {
+    stats->Accumulate(r.stats);
+    if (r.found) queue.Push(std::move(r.entry));
+  }
 }
 
 KpjResult DaSptSolver::Run(const PreparedQuery& query) {
   KpjResult res;
   cancel_ = query.cancel;
+  intra_ = query.intra;
   tree_.Reset(query.source);
   search_.SetTargets(query.targets);
+  for (unsigned lane = 1; lane < IntraLanes(intra_); ++lane) {
+    if (lane_search_.size() < lane) {
+      lane_search_.push_back(std::make_unique<ConstrainedSearch>(graph_));
+    }
+    lane_search_[lane - 1]->SetTargets(query.targets);
+  }
 
   // Build the full SPT toward the (virtual) destination: one multi-source
   // Dijkstra on the reverse graph over all of V_T. This is DA-SPT's
@@ -182,8 +227,7 @@ KpjResult DaSptSolver::Run(const PreparedQuery& query) {
     DivisionResult division = DivideSubspace(
         tree_, graph_, entry.vertex, entry.suffix,
         /*create_destination_vertex=*/true);
-    PushCandidate(division.revised, queue, &res.stats);
-    for (uint32_t v : division.created) PushCandidate(v, queue, &res.stats);
+    ExpandDivision(division, queue, &res.stats);
   }
   if (cancel_ != nullptr && cancel_->ShouldStop() &&
       res.paths.size() < query.k) {

@@ -1,11 +1,12 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <thread>
 #include <utility>
 
 #include "util/cancellation.h"
+#include "util/concurrency.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -20,14 +21,7 @@ double FiniteOrZero(double v) { return std::isfinite(v) ? v : 0.0; }
 }  // namespace
 
 unsigned KpjEngine::ResolveThreads(const KpjEngineOptions& options) {
-  unsigned threads = options.threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 2;
-  } else if (options.clamp_to_hardware) {
-    threads = ThreadPool::ClampToHardware(threads);
-  }
-  return threads;
+  return ResolveWorkerCount(options.threads, options.clamp_to_hardware);
 }
 
 KpjEngine::KpjEngine(const KpjInstance& instance, KpjEngineOptions options)
@@ -75,14 +69,37 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
     cache = &cache_ctx;
   }
 
+  // Resolve this query's intra-parallelism fan-out against the current
+  // load *after* counting ourselves in, so a lone query sees active == 1
+  // and claims the whole pool under the auto-split policy.
+  unsigned active =
+      active_queries_.fetch_add(1, std::memory_order_relaxed) + 1;
+  unsigned intra_lanes = options_.intra_threads;
+  if (intra_lanes == 0) {
+    intra_lanes = std::max(1u, pool_.num_workers() / std::max(1u, active));
+  } else if (options_.clamp_to_hardware) {
+    intra_lanes = EffectiveWorkers(intra_lanes);
+  }
+  IntraQueryContext intra_ctx;
+  const IntraQueryContext* intra = nullptr;
+  if (intra_lanes > 1) {
+    intra_ctx.pool = &pool_;
+    intra_ctx.threads = intra_lanes;
+    intra_ctx.steals = &metrics_.intra_steals;
+    intra_ctx.parallel_rounds = &metrics_.intra_parallel_rounds;
+    intra_ctx.fanout = &metrics_.intra_fanout;
+    intra = &intra_ctx;
+  }
+
   Timer timer;
   // Result<T> has no default constructor; the placeholder is overwritten.
   Result<KpjResult> result = Status::FailedPrecondition("query not executed");
   {
     KPJ_TRACE_SPAN("engine.query");
     result = RunKpjOnInstance(instance_, query, options_.solver,
-                              solvers_[worker].get(), cancel, cache);
+                              solvers_[worker].get(), cancel, cache, intra);
   }
+  active_queries_.fetch_sub(1, std::memory_order_relaxed);
   double elapsed_ms = timer.ElapsedMillis();
   metrics_.latency.Record(elapsed_ms);
 
@@ -184,6 +201,11 @@ EngineMetricsSnapshot KpjEngine::MetricsSnapshot() const {
   snap.latency_p90_ms = metrics_.latency.Percentile(90.0);
   snap.latency_p99_ms = metrics_.latency.Percentile(99.0);
   snap.algo = metrics_.algo.Snapshot();
+  snap.intra_steals = metrics_.intra_steals.value();
+  snap.intra_parallel_rounds = metrics_.intra_parallel_rounds.value();
+  snap.intra_fanout_count = metrics_.intra_fanout.count();
+  snap.intra_fanout_mean = metrics_.intra_fanout.Mean();
+  snap.intra_fanout_max = metrics_.intra_fanout.max_ms();
   if (spt_cache_ != nullptr) {
     SptCacheStats spt = spt_cache_->StatsSnapshot();
     TargetBoundCacheStats bounds = bound_cache_->StatsSnapshot();
@@ -228,6 +250,15 @@ std::string KpjEngine::MetricsJson() const {
       << "  \"algo_spt_cache_misses\": " << s.algo.spt_cache_misses << ",\n"
       << "  \"algo_bound_cache_hits\": " << s.algo.bound_cache_hits << ",\n"
       << "  \"algo_bound_cache_misses\": " << s.algo.bound_cache_misses
+      << ",\n"
+      << "  \"algo_intra_rounds\": " << s.algo.intra_rounds << ",\n"
+      << "  \"algo_intra_tasks\": " << s.algo.intra_tasks << ",\n"
+      << "  \"intra_steals\": " << s.intra_steals << ",\n"
+      << "  \"intra_parallel_rounds\": " << s.intra_parallel_rounds << ",\n"
+      << "  \"intra_fanout_count\": " << s.intra_fanout_count << ",\n"
+      << "  \"intra_fanout_mean\": " << FiniteOrZero(s.intra_fanout_mean)
+      << ",\n"
+      << "  \"intra_fanout_max\": " << FiniteOrZero(s.intra_fanout_max)
       << ",\n"
       << "  \"spt_cache_insertions\": " << s.spt_cache_insertions << ",\n"
       << "  \"spt_cache_evictions\": " << s.spt_cache_evictions << ",\n"
@@ -322,25 +353,42 @@ std::string KpjEngine::MetricsPrometheus() const {
           s.bound_cache_evictions);
   gauge("kpj_cache_bytes", "Resident bytes across both reuse caches.",
         static_cast<double>(s.cache_bytes));
+  counter("kpj_intra_rounds_total",
+          "Deviation rounds executed (all execution modes).",
+          s.algo.intra_rounds);
+  counter("kpj_intra_tasks_total",
+          "Deviation tasks (candidate slots) executed.", s.algo.intra_tasks);
+  counter("kpj_intra_steals_total",
+          "Deviation tasks executed by helper lanes.", s.intra_steals);
+  counter("kpj_intra_parallel_rounds_total",
+          "Deviation rounds that fanned out across the pool.",
+          s.intra_parallel_rounds);
 
-  // Latency distribution with Prometheus cumulative buckets.
-  const char* hist = "kpj_query_latency_ms";
-  out << "# HELP " << hist << " Per-query wall time in milliseconds.\n"
-      << "# TYPE " << hist << " histogram\n";
-  uint64_t cumulative = 0;
-  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
-    cumulative += metrics_.latency.bucket_count(b);
-    double ub = LatencyHistogram::BucketUpperBoundMs(b);
-    out << hist << "_bucket{le=\"";
-    if (std::isinf(ub)) {
-      out << "+Inf";
-    } else {
-      out << ub;
+  // Histograms with Prometheus cumulative buckets.
+  auto histogram = [&out](const char* name, const char* help,
+                          const LatencyHistogram& h) {
+    out << "# HELP " << name << " " << help << "\n"
+        << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      cumulative += h.bucket_count(b);
+      double ub = LatencyHistogram::BucketUpperBoundMs(b);
+      out << name << "_bucket{le=\"";
+      if (std::isinf(ub)) {
+        out << "+Inf";
+      } else {
+        out << ub;
+      }
+      out << "\"} " << cumulative << "\n";
     }
-    out << "\"} " << cumulative << "\n";
-  }
-  out << hist << "_sum " << FiniteOrZero(metrics_.latency.sum_ms()) << "\n"
-      << hist << "_count " << metrics_.latency.count() << "\n";
+    out << name << "_sum " << FiniteOrZero(h.sum_ms()) << "\n"
+        << name << "_count " << h.count() << "\n";
+  };
+  histogram("kpj_query_latency_ms", "Per-query wall time in milliseconds.",
+            metrics_.latency);
+  histogram("kpj_intra_fanout",
+            "Slots per fanned-out deviation round (dimensionless).",
+            metrics_.intra_fanout);
   return out.str();
 }
 
@@ -355,6 +403,9 @@ void KpjEngine::ResetMetrics() {
   metrics_.slow_queries.Reset();
   metrics_.latency.Reset();
   metrics_.algo.Reset();
+  metrics_.intra_steals.Reset();
+  metrics_.intra_parallel_rounds.Reset();
+  metrics_.intra_fanout.Reset();
   if (spt_cache_ != nullptr) {
     spt_cache_->ResetStats();
     bound_cache_->ResetStats();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/instrumentation.h"
+#include "core/intra.h"
 #include "core/kpj_instance.h"
 #include "core/kpj_query.h"
 #include "core/solver.h"
@@ -47,6 +48,15 @@ struct KpjEngineOptions {
   /// shortcut recomputation of state a cold run reaches at the same
   /// program point. The CLI defaults this to 64 (--cache-mb/--no-cache).
   size_t cache_mb = 0;
+  /// Intra-query parallelism: lanes (including the owning worker) each
+  /// query's deviation rounds may fan out across the pool. 1 (the
+  /// default) runs rounds inline — full backward compatibility. 0 is the
+  /// auto-split policy: each query gets num_workers / in-flight-queries
+  /// lanes, so a lone expensive query uses the whole pool while a full
+  /// batch degrades to per-query parallelism only. Explicit values are
+  /// clamped by `clamp_to_hardware`. Results are byte-identical at every
+  /// setting (DESIGN.md "Intra-query parallelism").
+  unsigned intra_threads = 1;
 };
 
 /// Point-in-time copy of the engine's execution metrics. Counts are sums
@@ -76,6 +86,16 @@ struct EngineMetricsSnapshot {
   uint64_t spt_cache_evictions = 0;
   uint64_t bound_cache_evictions = 0;
   uint64_t cache_bytes = 0;  ///< Current resident bytes across both caches.
+  /// Intra-query parallelism scheduling facts (all zero at
+  /// intra_threads <= 1). Deliberately *not* in `algo`: steals and
+  /// fan-out depend on worker timing, while AlgoStats must be identical
+  /// at any thread count. The deterministic round structure is in
+  /// `algo.intra_rounds` / `algo.intra_tasks`.
+  uint64_t intra_steals = 0;           ///< Slots executed by helper lanes.
+  uint64_t intra_parallel_rounds = 0;  ///< Rounds that actually fanned out.
+  uint64_t intra_fanout_count = 0;     ///< Fanned-out rounds recorded.
+  double intra_fanout_mean = 0.0;      ///< Mean slots per fanned-out round.
+  double intra_fanout_max = 0.0;       ///< Largest fanned-out round.
 };
 
 /// Concurrent KPJ query engine over one immutable KpjInstance.
@@ -173,10 +193,19 @@ class KpjEngine {
     Counter slow_queries;
     LatencyHistogram latency;
     AtomicAlgoStats algo;
+    /// Intra-query scheduling facts; see EngineMetricsSnapshot.
+    Counter intra_steals;
+    Counter intra_parallel_rounds;
+    /// Per-round fan-out distribution (values are slot counts; the
+    /// geometric ms buckets resolve the interesting 1..100 range well).
+    LatencyHistogram intra_fanout;
   };
   Metrics metrics_;
   /// Monotonic query-id source shared by Submit and RunBatch.
   std::atomic<uint64_t> next_query_id_{0};
+  /// Queries currently inside RunOne; drives the intra_threads == 0
+  /// auto-split policy (workers / active queries).
+  std::atomic<unsigned> active_queries_{0};
 };
 
 }  // namespace kpj

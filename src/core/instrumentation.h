@@ -51,6 +51,15 @@ struct AlgoStats {
   uint64_t candidates_generated = 0;
   uint64_t candidates_pruned = 0;
 
+  // Intra-query round structure (PR 5): deviation rounds routed through
+  // RunDeviationRound and the slots (candidate computations) they carried.
+  // Counted in every execution mode — they describe the algorithm's
+  // division structure, not the scheduling — so AlgoStats stay identical
+  // at any intra_threads setting. Scheduling-dependent counts (steals,
+  // fan-out) live in the engine metrics instead.
+  uint64_t intra_rounds = 0;
+  uint64_t intra_tasks = 0;
+
   // Lower-bound tightness: for every subspace whose exact shortest path was
   // eventually found, accumulates lb (num) and the exact length (den).
   // num/den in [0,1]; 1.0 means CompLB was exact everywhere.
@@ -74,6 +83,8 @@ struct AlgoStats {
     bound_cache_misses += other.bound_cache_misses;
     candidates_generated += other.candidates_generated;
     candidates_pruned += other.candidates_pruned;
+    intra_rounds += other.intra_rounds;
+    intra_tasks += other.intra_tasks;
     lb_tightness_num += other.lb_tightness_num;
     lb_tightness_den += other.lb_tightness_den;
   }
@@ -109,6 +120,8 @@ class AtomicAlgoStats {
     bound_cache_misses_.Add(s.bound_cache_misses);
     candidates_generated_.Add(s.candidates_generated);
     candidates_pruned_.Add(s.candidates_pruned);
+    intra_rounds_.Add(s.intra_rounds);
+    intra_tasks_.Add(s.intra_tasks);
     lb_tightness_num_.Add(s.lb_tightness_num);
     lb_tightness_den_.Add(s.lb_tightness_den);
   }
@@ -128,6 +141,8 @@ class AtomicAlgoStats {
     s.bound_cache_misses = bound_cache_misses_.value();
     s.candidates_generated = candidates_generated_.value();
     s.candidates_pruned = candidates_pruned_.value();
+    s.intra_rounds = intra_rounds_.value();
+    s.intra_tasks = intra_tasks_.value();
     s.lb_tightness_num = lb_tightness_num_.value();
     s.lb_tightness_den = lb_tightness_den_.value();
     return s;
@@ -147,6 +162,8 @@ class AtomicAlgoStats {
     bound_cache_misses_.Reset();
     candidates_generated_.Reset();
     candidates_pruned_.Reset();
+    intra_rounds_.Reset();
+    intra_tasks_.Reset();
     lb_tightness_num_.Reset();
     lb_tightness_den_.Reset();
   }
@@ -165,6 +182,8 @@ class AtomicAlgoStats {
   Counter bound_cache_misses_;
   Counter candidates_generated_;
   Counter candidates_pruned_;
+  Counter intra_rounds_;
+  Counter intra_tasks_;
   Counter lb_tightness_num_;
   Counter lb_tightness_den_;
 };

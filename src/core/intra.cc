@@ -1,0 +1,27 @@
+#include "core/intra.h"
+
+namespace kpj {
+
+void RunDeviationRound(const IntraQueryContext* ctx, size_t count,
+                       AlgoStats* algo,
+                       const std::function<void(size_t, unsigned)>& body) {
+  if (count == 0) return;
+  ++algo->intra_rounds;
+  algo->intra_tasks += count;
+  if (IntraLanes(ctx) > 1 && count > 1) {
+    size_t stolen = ctx->pool->HelpedParallelFor(count, ctx->threads - 1,
+                                                 body);
+    if (ctx->steals != nullptr) ctx->steals->Add(stolen);
+    if (ctx->parallel_rounds != nullptr) ctx->parallel_rounds->Increment();
+    // Fan-out histogram reuses the latency bucket layout: the recorded
+    // "milliseconds" are really slot counts, which the geometric buckets
+    // resolve well in the interesting 1..100 range.
+    if (ctx->fanout != nullptr) {
+      ctx->fanout->Record(static_cast<double>(count));
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) body(i, 0);
+}
+
+}  // namespace kpj

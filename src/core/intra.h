@@ -1,0 +1,64 @@
+#ifndef KPJ_CORE_INTRA_H_
+#define KPJ_CORE_INTRA_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "core/instrumentation.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace kpj {
+
+/// Intra-query parallel execution context, threaded to solvers through
+/// PreparedQuery::intra by the engine. One deviation round — the
+/// independent candidate computations produced by a single subspace
+/// division — is fanned out across the engine's thread pool via
+/// ThreadPool::HelpedParallelFor: the owning worker drains the round's
+/// task list itself (lane 0) while idle workers steal slots as helper
+/// lanes, which is deadlock-free under nesting because neither side ever
+/// blocks on the other starting.
+///
+/// Determinism: candidates are collected per-slot and merged in canonical
+/// slot order by the solver, so results are byte-identical at any
+/// `threads` value and any engine worker count.
+struct IntraQueryContext {
+  /// The engine's pool; helper tasks for each round are submitted here.
+  ThreadPool* pool = nullptr;
+  /// Total lanes a round may use, including the owning worker (lane 0).
+  /// <= 1 disables fan-out (rounds run inline on the owner).
+  unsigned threads = 1;
+  /// Engine-level observability (may be null). These count *scheduling*
+  /// facts — how many slots helpers actually stole, how many rounds
+  /// fanned out, the per-round fan-out distribution — and are therefore
+  /// kept out of AlgoStats, whose values must not depend on scheduling.
+  Counter* steals = nullptr;
+  Counter* parallel_rounds = nullptr;
+  LatencyHistogram* fanout = nullptr;
+};
+
+/// Number of lanes a solver must provision workspaces for under `ctx`
+/// (1 when intra-query parallelism is disabled).
+inline unsigned IntraLanes(const IntraQueryContext* ctx) {
+  if (ctx == nullptr || ctx->pool == nullptr || ctx->threads <= 1) return 1;
+  return ctx->threads;
+}
+
+/// Runs `body(slot, lane)` for every slot in `[0, count)` — one deviation
+/// candidate computation per slot. With an enabled context and more than
+/// one slot the round fans out over the pool (lane 0 is always the calling
+/// worker; two calls on the same lane never overlap); otherwise it runs
+/// inline, in slot order, on lane 0.
+///
+/// Always bumps `algo->intra_rounds` / `algo->intra_tasks`: they count the
+/// algorithm's round structure (divisions and deviation slots), which is
+/// identical at every `threads` setting, so AlgoStats — part of the
+/// byte-identical KpjResult contract — stay execution-mode independent.
+void RunDeviationRound(const IntraQueryContext* ctx, size_t count,
+                       AlgoStats* algo,
+                       const std::function<void(size_t slot, unsigned lane)>&
+                           body);
+
+}  // namespace kpj
+
+#endif  // KPJ_CORE_INTRA_H_

@@ -98,7 +98,8 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
                                    const KpjOptions& options,
                                    KpjSolver* pooled_solver,
                                    const CancellationToken* cancel,
-                                   const QueryCacheContext* cache) {
+                                   const QueryCacheContext* cache,
+                                   const IntraQueryContext* intra) {
   TraceSpan prepare_span("instance.prepare");
   Result<KpjQuery> internal = TranslateQuery(instance, query);
   if (!internal.ok()) return internal.status();
@@ -107,6 +108,7 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
   if (!prepared.ok()) return prepared.status();
   PreparedQuery& pq = prepared.value();
   pq.cancel = cancel;
+  pq.intra = intra;
   prepare_span.End();
 
   if (pq.targets.empty()) {

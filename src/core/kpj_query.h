@@ -1,6 +1,7 @@
 #ifndef KPJ_CORE_KPJ_QUERY_H_
 #define KPJ_CORE_KPJ_QUERY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -87,6 +88,22 @@ struct QueryStats {
   /// rounds, candidate churn, lower-bound tightness). Always filled; the
   /// engine aggregates these across workers for metrics exposition.
   AlgoStats algo;
+
+  /// Merges counters collected by an independent slice of the query (one
+  /// deviation slot of a parallel round): sums the work counters, takes
+  /// the max of the running maxima. Integer sums commute, so merging in
+  /// canonical slot order yields the same totals as sequential execution.
+  void Accumulate(const QueryStats& other) {
+    shortest_path_computations += other.shortest_path_computations;
+    lower_bound_tests += other.lower_bound_tests;
+    subspaces_created += other.subspaces_created;
+    nodes_settled += other.nodes_settled;
+    edges_relaxed += other.edges_relaxed;
+    max_queue_size = std::max(max_queue_size, other.max_queue_size);
+    spt_nodes += other.spt_nodes;
+    final_tau = std::max(final_tau, other.final_tau);
+    algo.Accumulate(other.algo);
+  }
 };
 
 /// Query answer: up to k paths, sorted by non-decreasing length. Fewer than
@@ -102,7 +119,8 @@ struct KpjResult {
   Status status;
 };
 
-struct QueryCacheContext;  // core/spt_cache.h
+struct QueryCacheContext;   // core/spt_cache.h
+struct IntraQueryContext;   // core/intra.h
 
 /// A validated, single-source view of a query that solvers execute.
 /// kpj.cc (the facade) builds this from a KpjQuery — directly for a single
@@ -126,6 +144,10 @@ struct PreparedQuery {
   /// engine when caching is enabled. Not owned; nullptr disables reuse.
   /// Solvers adopting cached state must stay byte-identical to a cold run.
   const QueryCacheContext* cache = nullptr;
+  /// Optional intra-query parallelism context (core/intra.h), set by the
+  /// engine when intra_threads > 1. Not owned; nullptr (or threads <= 1)
+  /// runs deviation rounds inline. Results are byte-identical either way.
+  const IntraQueryContext* intra = nullptr;
 };
 
 }  // namespace kpj

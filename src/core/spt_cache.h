@@ -108,6 +108,12 @@ struct SptCacheStats {
 /// byte budget (total budget / shard count). Epoch invalidation is lazy —
 /// an entry with a stale epoch can never be looked up (the epoch is part
 /// of the key) — plus eager via PurgeOlderEpochs.
+///
+/// Lookup returns a *copy* of the stored value, so the snapshot a query
+/// adopts is private to that query: once copied into solver state it may
+/// be read concurrently by every intra-query deviation lane (core/intra.h)
+/// without touching cache synchronization, and a concurrent eviction or
+/// insert on the shard cannot invalidate it.
 class SptCache {
  public:
   explicit SptCache(size_t budget_bytes);

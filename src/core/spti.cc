@@ -54,11 +54,12 @@ void IterBoundSptiSolver::GrowTree(double tau, QueryStats* stats) {
 }
 
 double IterBoundSptiSolver::CompLb(uint32_t v, const PreparedQuery& query,
+                                   EpochSet* forbidden_scratch,
                                    QueryStats* stats) {
   const PseudoTree::Vertex& vx = tree_.vertex(v);
-  rev_search_.ClearForbidden();
-  tree_.MarkPrefix(v, &rev_search_.forbidden());
-  const EpochSet& forbidden = rev_search_.forbidden();
+  forbidden_scratch->ClearAll();
+  tree_.MarkPrefix(v, forbidden_scratch);
+  const EpochSet& forbidden = *forbidden_scratch;
 
   double lb = kInfinity;
   if (vx.node == kInvalidNode) {
@@ -104,11 +105,61 @@ double IterBoundSptiSolver::CompLb(uint32_t v, const PreparedQuery& query,
   return lb;
 }
 
+void IterBoundSptiSolver::ExpandDivision(const DivisionResult& division,
+                                         const PreparedQuery& query,
+                                         double chosen_length,
+                                         SubspaceQueue& queue,
+                                         QueryStats* stats) {
+  // Canonical slot order — revised vertex, then created vertices in
+  // creation order — matches sequential execution; the merge below
+  // preserves it regardless of which lane computed which slot.
+  std::vector<uint32_t> slots;
+  slots.reserve(1 + division.created.size());
+  slots.push_back(division.revised);
+  slots.insert(slots.end(), division.created.begin(),
+               division.created.end());
+
+  struct Slot {
+    double lb = kInfinity;
+    QueryStats stats;
+  };
+  std::vector<Slot> results(slots.size());
+  RunDeviationRound(
+      intra_, slots.size(), &stats->algo, [&](size_t i, unsigned lane) {
+        // Stolen tasks poll the token too; a skipped lb only matters when
+        // cancelled, where the main loop exits before using it.
+        if (cancel_ != nullptr && cancel_->ShouldStop()) return;
+        EpochSet* forbidden = lane == 0 ? &rev_search_.forbidden()
+                                        : lane_forbidden_[lane - 1].get();
+        results[i].lb = CompLb(slots[i], query, forbidden,
+                               &results[i].stats);
+      });
+  for (size_t i = 0; i < results.size(); ++i) {
+    stats->Accumulate(results[i].stats);
+    ++stats->subspaces_created;
+    if (results[i].lb == kInfinity) {
+      ++stats->algo.candidates_pruned;
+      continue;
+    }
+    SubspaceEntry fresh;
+    fresh.vertex = slots[i];
+    fresh.key = std::max(results[i].lb, chosen_length);
+    queue.Push(std::move(fresh));
+  }
+}
+
 KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   KPJ_CHECK(query.graph == &graph_ && query.reverse == &reverse_)
       << "solver bound to different graphs";
   KpjResult res;
   cancel_ = query.cancel;
+  intra_ = query.intra;
+  // One forbidden-set scratch (reverse-graph sized) per helper lane,
+  // provisioned up front so rounds never allocate into shared vectors.
+  while (lane_forbidden_.size() + 1 < IntraLanes(intra_)) {
+    lane_forbidden_.push_back(
+        std::make_unique<EpochSet>(reverse_.NumNodes()));
+  }
   spti_.SetCancelToken(cancel_);
   // res is stack storage: the pointer is cleared on every exit path below.
   spti_.SetAlgoStats(&res.stats.algo);
@@ -232,24 +283,10 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
           AssemblePath(tree_, entry, /*reverse_oriented=*/true));
       if (res.paths.size() == query.k) break;
 
-      double chosen_length = entry.key;
       DivisionResult division = DivideSubspace(
           tree_, reverse_, entry.vertex, entry.suffix,
           /*create_destination_vertex=*/false);
-      auto enqueue = [&](uint32_t v) {
-        ++res.stats.subspaces_created;
-        double lb = CompLb(v, query, &res.stats);
-        if (lb == kInfinity) {
-          ++res.stats.algo.candidates_pruned;
-          return;
-        }
-        SubspaceEntry fresh;
-        fresh.vertex = v;
-        fresh.key = std::max(lb, chosen_length);
-        queue.Push(std::move(fresh));
-      };
-      enqueue(division.revised);
-      for (uint32_t v : division.created) enqueue(v);
+      ExpandDivision(division, query, entry.key, queue, &res.stats);
       continue;
     }
 

@@ -6,6 +6,7 @@
 
 #include "sssp/dijkstra.h"
 #include "util/logging.h"
+#include "util/concurrency.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 

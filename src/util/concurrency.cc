@@ -1,0 +1,27 @@
+#include "util/concurrency.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace kpj {
+
+unsigned EffectiveWorkers(unsigned threads) {
+  if (threads <= 1) return 1;
+  // Clamp to the hardware: oversubscribing CPU-bound shortest-path work
+  // only adds context-switch overhead. hardware_concurrency() may return 0
+  // when the value is not computable; fall back to 2 workers so callers
+  // that explicitly asked for parallelism still get some overlap.
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return std::min(threads, hw);
+}
+
+unsigned ResolveWorkerCount(unsigned requested, bool clamp_to_hardware) {
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 2 : hw;
+  }
+  return clamp_to_hardware ? EffectiveWorkers(requested) : requested;
+}
+
+}  // namespace kpj

@@ -4,10 +4,6 @@
 
 namespace kpj {
 
-unsigned EffectiveWorkers(unsigned threads) {
-  return ThreadPool::ClampToHardware(threads);
-}
-
 void ParallelFor(size_t count, unsigned threads,
                  const std::function<void(size_t, unsigned)>& body) {
   unsigned workers = EffectiveWorkers(threads);

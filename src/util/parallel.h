@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/concurrency.h"  // EffectiveWorkers, used by all callers here
+
 namespace kpj {
 
 /// Runs `body(index, worker)` for every index in `[0, count)` across up to
@@ -16,17 +18,12 @@ namespace kpj {
 /// different indices; `worker` identifies the executing worker in
 /// `[0, num_workers)` so callers can keep per-worker state (e.g. one
 /// solver each). `threads == 0` or `1` runs inline on the caller.
+///
+/// The worker count actually used is EffectiveWorkers(threads) — the
+/// shared hardware clamp from util/concurrency.h.
 void ParallelFor(size_t count, unsigned threads,
                  const std::function<void(size_t index, unsigned worker)>&
                      body);
-
-/// Number of workers ParallelFor will actually use for `threads`: the
-/// request clamped to `std::thread::hardware_concurrency()`. When the
-/// hardware concurrency is unknown (reported as 0) the clamp falls back to
-/// 2 so explicit parallelism requests still overlap. `threads <= 1` is
-/// always 1 (inline execution). Thin wrapper over
-/// ThreadPool::ClampToHardware — the single implementation of the clamp.
-unsigned EffectiveWorkers(unsigned threads);
 
 }  // namespace kpj
 

@@ -42,6 +42,13 @@ METRICS_REQUIRED_KEYS = [
     "algo_spt_cache_misses",
     "algo_bound_cache_hits",
     "algo_bound_cache_misses",
+    "algo_intra_rounds",
+    "algo_intra_tasks",
+    "intra_steals",
+    "intra_parallel_rounds",
+    "intra_fanout_count",
+    "intra_fanout_mean",
+    "intra_fanout_max",
     "spt_cache_insertions",
     "spt_cache_evictions",
     "bound_cache_evictions",
@@ -81,6 +88,11 @@ PROM_REQUIRED_SERIES = [
     "kpj_spt_cache_evictions_total",
     "kpj_bound_cache_evictions_total",
     "kpj_cache_bytes",
+    "kpj_intra_rounds_total",
+    "kpj_intra_tasks_total",
+    "kpj_intra_steals_total",
+    "kpj_intra_parallel_rounds_total",
+    "kpj_intra_fanout",
     "kpj_query_latency_ms",
 ]
 
