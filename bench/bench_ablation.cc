@@ -27,7 +27,7 @@ QueryStats CollectStats(const KpjInstance& instance, const Dataset& ds,
                         const std::vector<NodeId>& targets, uint32_t k) {
   KpjOptions options;
   options.algorithm = algorithm;
-  options.landmarks = &ds.landmarks;
+  options.oracle = &ds.landmarks;
   KpjQuery query;
   query.sources = {source};
   query.targets = targets;
@@ -100,7 +100,7 @@ int main() {
       for (uint32_t active : {0u, 8u, 4u, 2u}) {
         KpjOptions options;
         options.algorithm = Algorithm::kIterBoundSptI;
-        options.landmarks = &ds.landmarks;
+        options.oracle = &ds.landmarks;
         options.max_active_landmarks = active;
         std::unique_ptr<KpjSolver> solver =
             MakeSolver(ds.graph, ds.reverse, options);

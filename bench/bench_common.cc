@@ -48,9 +48,9 @@ double MeanQueryMillis(const Dataset& dataset, Algorithm algorithm,
   options.algorithm = algorithm;
   options.alpha = alpha;
   if (landmarks_override != nullptr) {
-    options.landmarks = landmarks_override;
+    options.oracle = landmarks_override;
   } else {
-    options.landmarks =
+    options.oracle =
         dataset.landmarks.num_landmarks() > 0 ? &dataset.landmarks : nullptr;
   }
   std::unique_ptr<KpjSolver> solver =
@@ -84,7 +84,7 @@ double MeanGkpjQueryMillis(const Dataset& dataset, Algorithm algorithm,
   Rng rng(seed);
   KpjOptions options;
   options.algorithm = algorithm;
-  options.landmarks =
+  options.oracle =
       dataset.landmarks.num_landmarks() > 0 ? &dataset.landmarks : nullptr;
 
   Sample sample;

@@ -10,6 +10,7 @@
 #include "index/target_bound.h"
 #include "sssp/astar.h"
 #include "sssp/dijkstra.h"
+#include "sssp/monotone_dijkstra.h"
 #include "util/indexed_heap.h"
 #include "util/radix_heap.h"
 #include "util/rng.h"
@@ -80,6 +81,21 @@ void BM_DijkstraFullSssp(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.NumNodes());
 }
 BENCHMARK(BM_DijkstraFullSssp);
+
+void BM_MonotoneDijkstraFullSssp(benchmark::State& state) {
+  // The radix-heap SSSP used by the landmark and hub-label index builds;
+  // same sources as BM_DijkstraFullSssp for a like-for-like comparison
+  // against the IndexedHeap engine.
+  const Graph& g = Network().graph;
+  MonotoneDijkstra engine(g);
+  Rng rng(3);
+  for (auto _ : state) {
+    engine.Run(static_cast<NodeId>(rng.NextBounded(g.NumNodes())));
+    benchmark::DoNotOptimize(engine.Distance(0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumNodes());
+}
+BENCHMARK(BM_MonotoneDijkstraFullSssp);
 
 void BM_PointToPointDijkstra(benchmark::State& state) {
   const Graph& g = Network().graph;

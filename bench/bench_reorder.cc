@@ -146,7 +146,7 @@ double MeanIterBoundIMillis(const Graph& graph, const Graph& reverse,
                             const std::vector<NodeId>& targets, uint32_t k) {
   KpjOptions options;
   options.algorithm = Algorithm::kIterBoundSptI;
-  options.landmarks = &landmarks;
+  options.oracle = &landmarks;
   std::unique_ptr<KpjSolver> solver = MakeSolver(graph, reverse, options);
   auto run = [&](NodeId s) {
     KpjQuery query;

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   for (Algorithm algorithm : kAllAlgorithms) {
     KpjOptions options;
     options.algorithm = algorithm;
-    options.landmarks = &landmarks;
+    options.oracle = &landmarks;
     Timer timer;
     Result<KpjResult> result =
         RunKsp(instance.value(), source, target, k, options);

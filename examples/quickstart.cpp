@@ -55,7 +55,7 @@ int main() {
   }
   KpjOptions options;
   options.algorithm = Algorithm::kIterBoundSptI;  // The paper's best.
-  options.landmarks = &landmarks;
+  options.oracle = &landmarks;
 
   Result<KpjResult> result =
       RunKpj(instance.value(), query.value(), options);

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     }
     KpjOptions options;
     options.algorithm = algorithm;
-    options.landmarks = &landmarks;
+    options.oracle = &landmarks;
     Timer timer;
     Result<KpjResult> result =
         RunKpj(instance.value(), query.value(), options);
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   // 5. Bonus: nearest hospital routes with the best engine.
   Result<KpjQuery> er = MakeCategoryQuery(categories, home, hospitals, 3);
   KpjOptions options;
-  options.landmarks = &landmarks;
+  options.oracle = &landmarks;
   Result<KpjResult> hospital_routes =
       RunKpj(instance.value(), er.value(), options);
   std::printf("\ntop-3 hospital routes: ");

@@ -80,7 +80,7 @@ int main() {
 
   KpjOptions options;
   options.algorithm = Algorithm::kIterBoundSptI;
-  options.landmarks = &landmarks;
+  options.oracle = &landmarks;
   Result<KpjResult> result = RunKpj(instance.value(), query, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());

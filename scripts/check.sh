@@ -12,11 +12,11 @@
 #                                    # concurrency suite (engine, pool,
 #                                    # parallel, intra, trace,
 #                                    # observability, cache reuse) only
-#   scripts/check.sh --bench-gate    # opt-in perf gate: re-run bench_cache
-#                                    # and bench_intra and diff against the
-#                                    # checked-in BENCH_*.json baselines
-#                                    # with tools/compare_bench.py (>10%
-#                                    # fails)
+#   scripts/check.sh --bench-gate    # opt-in perf gate: re-run bench_cache,
+#                                    # bench_intra, and bench_oracle and
+#                                    # diff against the checked-in
+#                                    # BENCH_*.json baselines with
+#                                    # tools/compare_bench.py (>10% fails)
 #   KPJ_CHECK_JOBS=8 scripts/check.sh
 #
 # Sanitizer runs use separate build trees (build-asan/, build-ubsan/,
@@ -51,7 +51,9 @@ elif [[ "${1:-}" == "--tsan" || "${KPJ_CHECK_TSAN:-0}" == "1" ]]; then
   build_dir=build-tsan
   mode=tsan
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all")
-  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|intra_test|trace_test|observability_test|cache_reuse_test")
+  # hub_label_index_test is in the list for its multi-threaded
+  # byte-identical-build property, not for raw coverage.
+  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|intra_test|trace_test|observability_test|cache_reuse_test|hub_label_index_test")
 elif [[ "${1:-}" == "--bench-gate" || "${KPJ_CHECK_BENCH_GATE:-0}" == "1" ]]; then
   mode=bench-gate
 fi
@@ -93,6 +95,18 @@ python3 tools/validate_metrics.py --mode trace "$smoke_dir/batch_trace.json"
 python3 tools/validate_metrics.py --mode prom "$smoke_dir/batch_metrics.prom"
 echo "observability smoke OK"
 
+# --- Oracle smoke: build hub labels offline into a version-3 graph file,
+# then answer the same query under both oracles; the top-k length profiles
+# must agree (path identities may differ under ties, so only the "(len N)"
+# suffixes are compared).
+"$cli" index --graph "$smoke_dir/g.bin" --out "$smoke_dir/g_hl.bin" > /dev/null
+"$cli" query --graph "$smoke_dir/g_hl.bin" --oracle alt --source 0 \
+  --targets 100,200,300 --k 5 | grep -o 'len [0-9]*' > "$smoke_dir/alt_lens.txt"
+"$cli" query --graph "$smoke_dir/g_hl.bin" --oracle hublabel --source 0 \
+  --targets 100,200,300 --k 5 | grep -o 'len [0-9]*' > "$smoke_dir/hub_lens.txt"
+diff "$smoke_dir/alt_lens.txt" "$smoke_dir/hub_lens.txt"
+echo "oracle smoke OK"
+
 # --- Opt-in bench gate: re-run the cross-query cache and intra-query
 # parallelism benchmarks and fail if any timing or speedup leaf regressed
 # >10% against the checked-in baselines.
@@ -105,6 +119,9 @@ if [[ "$mode" == "bench-gate" ]]; then
     --threshold 0.10
   KPJ_BENCH_JSON="$gate_dir/BENCH_intra.json" "$build_dir/bench/bench_intra"
   python3 tools/compare_bench.py BENCH_intra.json "$gate_dir/BENCH_intra.json" \
+    --threshold 0.10
+  KPJ_BENCH_JSON="$gate_dir/BENCH_oracle.json" "$build_dir/bench/bench_oracle"
+  python3 tools/compare_bench.py BENCH_oracle.json "$gate_dir/BENCH_oracle.json" \
     --threshold 0.10
   echo "bench gate OK"
 fi

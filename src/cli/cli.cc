@@ -12,6 +12,7 @@
 #include "graph/connectivity.h"
 #include "graph/dimacs_io.h"
 #include "graph/serialize.h"
+#include "index/hub_label_index.h"
 #include "index/landmark_index.h"
 #include "util/concurrency.h"
 #include "util/string_util.h"
@@ -87,6 +88,15 @@ Result<unsigned> GetIntraThreadsFlag(const ParsedArgs& args) {
   unsigned lanes = static_cast<unsigned>(intra.value());
   if (lanes > 1) lanes = EffectiveWorkers(lanes);
   return lanes;
+}
+
+/// Reads the --oracle flag: which attached distance oracle the solvers
+/// should consult (default alt = landmark/ALT bounds).
+Result<OracleKind> GetOracleFlag(const ParsedArgs& args) {
+  auto name = args.Get("oracle");
+  if (!name.has_value() || *name == "alt") return OracleKind::kAlt;
+  if (*name == "hublabel") return OracleKind::kHubLabel;
+  return Status::InvalidArgument("--oracle must be 'alt' or 'hublabel'");
 }
 
 /// Reads the --deadline-ms flag (default 0 = unbounded).
@@ -184,12 +194,15 @@ void PrintHelp(std::ostream& out) {
          "  kpj_cli info      --graph FILE\n"
          "  kpj_cli landmarks --graph FILE --out FILE [--count 16]"
          " [--seed S] [--threads N]\n"
+         "  kpj_cli index     --graph FILE --out FILE [--seeds 16]"
+         " [--threads N]\n"
          "  kpj_cli pois      --graph FILE --out FILE [--seed S] [--cal]\n"
          "  kpj_cli query     --graph FILE --source S\n"
          "                    (--targets A,B,C | --categories FILE"
          " --category NAME)\n"
          "                    [--k 10] [--algorithm NAME]"
          " [--landmarks FILE] [--alpha 1.1]\n"
+         "                    [--oracle alt|hublabel]\n"
          "                    [--reorder STRAT] [--stats] [--threads N]\n"
          "                    [--intra-threads N]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
@@ -199,6 +212,7 @@ void PrintHelp(std::ostream& out) {
          "                    [--trace-out FILE]\n"
          "  kpj_cli batch     --graph FILE --queries FILE"
          " [--algorithm NAME] [--landmarks FILE]\n"
+         "                    [--oracle alt|hublabel]\n"
          "                    [--threads N] [--intra-threads N]"
          " [--reorder STRAT]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
@@ -224,6 +238,10 @@ void PrintHelp(std::ostream& out) {
          "category-bound caches sized by --cache-mb (default 64 MiB);\n"
          "--no-cache turns them off. Answers are byte-identical either\n"
          "way — caching only changes latency.\n"
+         "Distance oracles: 'index' precomputes exact 2-hop hub labels and\n"
+         "stores them in a version-3 binary graph file; --oracle=hublabel\n"
+         "makes the solvers use them for (tight, exact) lower bounds\n"
+         "instead of the landmark/ALT bounds (--oracle=alt, the default).\n"
          "Binary graphs may store a cache-locality reordering; node ids on\n"
          "the command line and in output always refer to original ids.\n"
          "Reorder strategies: none (default), bfs, degree, hybrid.\n"
@@ -368,6 +386,44 @@ int CmdLandmarks(const ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
+int CmdIndex(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  Result<std::string> path = args.Require("graph");
+  Result<std::string> out_path = args.Require("out");
+  if (!path.ok()) return Fail(err, path.status());
+  if (!out_path.ok()) return Fail(err, out_path.status());
+  if (EndsWith(out_path.value(), ".gr")) {
+    return Fail(err, Status::InvalidArgument(
+                         "hub labels need a binary output file (DIMACS "
+                         "text cannot store the label section)"));
+  }
+  Result<int64_t> seeds = args.GetInt("seeds", 16);
+  Result<unsigned> threads = GetThreadsFlag(args);
+  if (!seeds.ok()) return Fail(err, seeds.status());
+  if (!threads.ok()) return Fail(err, threads.status());
+  if (seeds.value() < 1) {
+    return Fail(err, Status::InvalidArgument("--seeds must be >= 1"));
+  }
+
+  // Labels are built in (and stored alongside) the file's layout, so a
+  // later `query --graph OUT --oracle hublabel` needs no extra alignment.
+  Result<GraphFile> file = LoadGraph(path.value());
+  if (!file.ok()) return Fail(err, file.status());
+  const Graph& graph = file.value().graph;
+  Timer timer;
+  HubLabelOptions opt;
+  opt.order_seeds = static_cast<uint32_t>(seeds.value());
+  opt.threads = threads.value();
+  HubLabelIndex index = HubLabelIndex::Build(graph, graph.Reverse(), opt);
+  double build_s = timer.ElapsedSeconds();
+  Status saved = SaveGraphBinary(graph, file.value().permutation, &index,
+                                 out_path.value());
+  if (!saved.ok()) return Fail(err, saved);
+  out << "built hub labels for " << graph.NumNodes() << " nodes in "
+      << build_s << " s (avg " << index.AverageLabelSize()
+      << " entries/node/side) -> " << out_path.value() << "\n";
+  return 0;
+}
+
 int CmdPois(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Result<std::string> path = args.Require("graph");
   Result<std::string> out_path = args.Require("out");
@@ -439,9 +495,13 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
     landmarks = std::move(index).value();
   }
 
+  Result<OracleKind> oracle = GetOracleFlag(args);
+  if (!oracle.ok()) return oracle.status();
+
   // --reorder relabels in memory on top of whatever layout the file stores.
-  // The landmark file is aligned with the file's layout, so it is remapped
-  // by the same extra permutation to stay consistent.
+  // The landmark file and any stored hub labels are aligned with the
+  // file's layout, so they are remapped by the same extra permutation to
+  // stay consistent.
   if (reorder.value() != ReorderStrategy::kNone) {
     Permutation extra =
         ComputeReordering(file.value().graph, reorder.value());
@@ -449,11 +509,16 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
     if (landmarks.num_landmarks() > 0) {
       landmarks = landmarks.Remap(extra);
     }
+    if (file.value().hub_labels.has_value()) {
+      file.value().hub_labels = file.value().hub_labels->Remap(extra);
+    }
     file.value().permutation =
         file.value().permutation.empty()
             ? extra
             : file.value().permutation.ComposeWith(extra);
   }
+  std::optional<HubLabelIndex> hub_labels =
+      std::move(file.value().hub_labels);
   Result<KpjInstance> instance = KpjInstance::Wrap(
       std::move(file.value().graph), std::move(file.value().permutation));
   if (!instance.ok()) return instance.status();
@@ -462,6 +527,19 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
   if (landmarks.num_landmarks() > 0) {
     Status attached = setup.instance.AttachLandmarks(std::move(landmarks));
     if (!attached.ok()) return attached;
+  }
+  if (hub_labels.has_value()) {
+    Status attached =
+        setup.instance.AttachHubLabels(std::move(hub_labels).value());
+    if (!attached.ok()) return attached;
+  }
+  if (oracle.value() == OracleKind::kHubLabel) {
+    Status selected = setup.instance.SelectOracle(OracleKind::kHubLabel);
+    if (!selected.ok()) {
+      return Status::InvalidArgument(
+          "--oracle hublabel needs a graph file with stored hub labels "
+          "(build one with 'kpj_cli index')");
+    }
   }
   return setup;
 }
@@ -792,6 +870,7 @@ int RunCli(std::span<const std::string> args, std::ostream& out,
   if (a.command == "convert") return CmdConvert(a, out, err);
   if (a.command == "info") return CmdInfo(a, out, err);
   if (a.command == "landmarks") return CmdLandmarks(a, out, err);
+  if (a.command == "index") return CmdIndex(a, out, err);
   if (a.command == "pois") return CmdPois(a, out, err);
   if (a.command == "query") return CmdQuery(a, out, err);
   if (a.command == "batch") return CmdBatch(a, out, err);

@@ -58,12 +58,11 @@ bool BestFirstFramework::InitializeQuery(const PreparedQuery& query,
       query.cache != nullptr ? query.cache->bounds : nullptr;
   const uint64_t epoch = query.cache != nullptr ? query.cache->epoch : 0;
 
-  if (options_.landmarks != nullptr) {
-    landmark_bound_ = MakeCachedSetBound(
-        options_.landmarks, query.targets, BoundDirection::kToSet,
-        query.source, options_.max_active_landmarks, bound_cache, epoch,
-        &stats->algo);
-    heuristic_ = &*landmark_bound_;
+  if (options_.oracle != nullptr) {
+    oracle_bound_ = MakeCachedSetBound(
+        options_.oracle, query.targets, BoundDirection::kToSet, query.source,
+        options_.max_active_landmarks, bound_cache, epoch, &stats->algo);
+    heuristic_ = oracle_bound_.get();
   } else {
     heuristic_ = &zero_;
   }
@@ -76,8 +75,10 @@ bool BestFirstFramework::InitializeQuery(const PreparedQuery& query,
     key.kind = SptCacheKind::kRootPath;
     key.epoch = epoch;
     key.source = query.source;
-    key.config = SptCacheConfig(options_.landmarks != nullptr,
-                                options_.max_active_landmarks);
+    key.config = SptCacheConfig(
+        options_.oracle != nullptr, options_.max_active_landmarks,
+        options_.oracle != nullptr ? options_.oracle->kind()
+                                   : OracleKind::kAlt);
     key.targets = query.targets;
     if (std::optional<SptCacheValue> cached = spt_cache->Lookup(key)) {
       ++stats->algo.spt_cache_hits;

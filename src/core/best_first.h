@@ -62,8 +62,8 @@ class BestFirstFramework : public KpjSolver {
   /// state the main loop does not mutate mid-round, so deviation lanes
   /// share it without synchronization.
   const Heuristic* heuristic_ = nullptr;
-  /// Storage for the base class's per-query landmark bound (Eq. (2)).
-  std::optional<LandmarkSetBound> landmark_bound_;
+  /// Storage for the base class's per-query oracle set bound (Eq. (2)).
+  std::unique_ptr<Heuristic> oracle_bound_;
   /// Per-query cancellation token (from PreparedQuery); set by Run before
   /// InitializeQuery so derived initializers can honor it too.
   const CancellationToken* cancel_ = nullptr;

@@ -333,6 +333,26 @@ std::string KpjEngine::MetricsPrometheus() const {
   gauge("kpj_lower_bound_tightness_ratio",
         "Mean CompLB / exact-length ratio (1.0 = exact).",
         s.algo.LowerBoundTightness());
+  // Raw tightness terms, labeled by the solver this engine runs: their
+  // quotient is the ratio above, but as monotone counters they survive
+  // scraping/rate() and make per-algorithm oracle comparisons (ALT vs hub
+  // labels) directly observable.
+  {
+    const char* algo_name = AlgorithmName(options_.solver.algorithm);
+    auto labeled_counter = [&out, algo_name](const char* name,
+                                             const char* help,
+                                             uint64_t value) {
+      out << "# HELP " << name << " " << help << "\n"
+          << "# TYPE " << name << " counter\n"
+          << name << "{algorithm=\"" << algo_name << "\"} " << value << "\n";
+    };
+    labeled_counter("kpj_lb_tightness_num_total",
+                    "Sum of popped lower bounds at exact-path pops.",
+                    s.algo.lb_tightness_num);
+    labeled_counter("kpj_lb_tightness_den_total",
+                    "Sum of exact path lengths at exact-path pops.",
+                    s.algo.lb_tightness_den);
+  }
   counter("kpj_spt_cache_hits_total",
           "Queries that adopted cached SPT/root-path state.",
           s.algo.spt_cache_hits);

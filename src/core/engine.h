@@ -33,8 +33,8 @@ struct KpjEngineOptions {
   /// Deadline applied to every query that does not carry its own, in
   /// milliseconds. 0 disables (queries run to completion).
   double default_deadline_ms = 0.0;
-  /// Solver selection and knobs. `solver.landmarks` may be left null: the
-  /// instance's attached landmark index is used (ResolveOptions).
+  /// Solver selection and knobs. `solver.oracle` may be left null: the
+  /// instance's selected distance oracle is used (ResolveOptions).
   KpjOptions solver;
   /// Slow-query log threshold in milliseconds; queries at or above it are
   /// reported through KPJ_LOG(Warning) with their query id (and, when a

@@ -42,6 +42,33 @@ Status KpjInstance::AttachLandmarks(LandmarkIndex landmarks) {
   return Status::Ok();
 }
 
+Status KpjInstance::AttachHubLabels(HubLabelIndex labels) {
+  if (labels.num_nodes() != bundle_.graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "hub label index node count does not match graph");
+  }
+  hub_labels_ = std::move(labels);
+  ++epoch_;
+  return Status::Ok();
+}
+
+Status KpjInstance::SelectOracle(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kAlt:
+      if (!landmarks_) {
+        return Status::FailedPrecondition("no landmark index attached");
+      }
+      break;
+    case OracleKind::kHubLabel:
+      if (!hub_labels_) {
+        return Status::FailedPrecondition("no hub label index attached");
+      }
+      break;
+  }
+  selected_oracle_ = kind;
+  return Status::Ok();
+}
+
 Status KpjInstance::AttachCategories(CategoryIndex categories) {
   if (categories.num_nodes() != bundle_.graph.NumNodes()) {
     return Status::InvalidArgument(
@@ -55,7 +82,7 @@ Status KpjInstance::AttachCategories(CategoryIndex categories) {
 KpjOptions ResolveOptions(const KpjInstance& instance,
                           const KpjOptions& options) {
   KpjOptions resolved = options;
-  if (resolved.landmarks == nullptr) resolved.landmarks = instance.landmarks();
+  if (resolved.oracle == nullptr) resolved.oracle = instance.oracle();
   return resolved;
 }
 

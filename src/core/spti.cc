@@ -172,17 +172,16 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
   // Per-query bounds (§4.2 / §6).
   const Heuristic* forward_guide = &zero_;
   const Heuristic* source_fallback = &zero_;
-  if (use_landmarks_ && options_.landmarks != nullptr) {
+  if (use_landmarks_ && options_.oracle != nullptr) {
     forward_bound_ = MakeCachedSetBound(
-        options_.landmarks, query.targets, BoundDirection::kToSet,
-        query.source, options_.max_active_landmarks, bound_cache, epoch,
-        &res.stats.algo);
-    forward_guide = &*forward_bound_;
+        options_.oracle, query.targets, BoundDirection::kToSet, query.source,
+        options_.max_active_landmarks, bound_cache, epoch, &res.stats.algo);
+    forward_guide = forward_bound_.get();
     source_bound_ = MakeCachedSetBound(
-        options_.landmarks, query.real_sources, BoundDirection::kFromSet,
+        options_.oracle, query.real_sources, BoundDirection::kFromSet,
         query.targets.front(), options_.max_active_landmarks, bound_cache,
         epoch, &res.stats.algo);
-    source_fallback = &*source_bound_;
+    source_fallback = source_bound_.get();
   } else {
     forward_bound_.reset();
     source_bound_.reset();
@@ -207,9 +206,10 @@ KpjResult IterBoundSptiSolver::Run(const PreparedQuery& query) {
     key.kind = SptCacheKind::kForwardSpti;
     key.epoch = epoch;
     key.source = query.source;
-    key.config =
-        SptCacheConfig(use_landmarks_ && options_.landmarks != nullptr,
-                       options_.max_active_landmarks);
+    const bool use_oracle = use_landmarks_ && options_.oracle != nullptr;
+    key.config = SptCacheConfig(
+        use_oracle, options_.max_active_landmarks,
+        use_oracle ? options_.oracle->kind() : OracleKind::kAlt);
     key.targets = query.targets;
     if (std::optional<SptCacheValue> cached = spt_cache->Lookup(key)) {
       spti_.RestoreSnapshot(*cached->snapshot);

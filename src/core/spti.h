@@ -79,8 +79,8 @@ class IterBoundSptiSolver final : public KpjSolver {
   std::vector<NodeId> d_;  // D: settled targets, in settle order.
 
   // Per-query bound objects.
-  std::optional<LandmarkSetBound> forward_bound_;  // lb(v, V_T), Eq. (2)
-  std::optional<LandmarkSetBound> source_bound_;   // lb(s, v), Eq. (2)
+  std::unique_ptr<Heuristic> forward_bound_;  // lb(v, V_T), Eq. (2)
+  std::unique_ptr<Heuristic> source_bound_;   // lb(s, v), Eq. (2)
   std::optional<SptiSourceBound> reverse_heuristic_;
 
   /// Per-query cancellation token (from PreparedQuery); set by Run.

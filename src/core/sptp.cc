@@ -28,12 +28,12 @@ bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
   // Guide PartialSPT (Alg. 6) with lb(s, w): the A* on the reverse graph
   // aims at the source.
   const Heuristic* guide = &zero_;
-  if (options_.landmarks != nullptr) {
+  if (options_.oracle != nullptr) {
     source_bound_ = MakeCachedSetBound(
-        options_.landmarks, query.real_sources, BoundDirection::kFromSet,
+        options_.oracle, query.real_sources, BoundDirection::kFromSet,
         query.targets.front(), options_.max_active_landmarks, bound_cache,
         epoch, &stats->algo);
-    guide = &*source_bound_;
+    guide = source_bound_.get();
   }
   sptp_.SetHeuristic(guide);
   sptp_.SetCancelToken(query.cancel);
@@ -48,8 +48,10 @@ bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
     key.kind = SptCacheKind::kReverseSptp;
     key.epoch = epoch;
     key.source = query.source;
-    key.config = SptCacheConfig(options_.landmarks != nullptr,
-                                options_.max_active_landmarks);
+    key.config = SptCacheConfig(
+        options_.oracle != nullptr, options_.max_active_landmarks,
+        options_.oracle != nullptr ? options_.oracle->kind()
+                                   : OracleKind::kAlt);
     key.targets = query.targets;
     if (std::optional<SptCacheValue> hit = spt_cache->Lookup(key)) {
       sptp_.RestoreSnapshot(*hit->snapshot);
@@ -84,13 +86,13 @@ bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
   }
   if (!reached) return false;
 
-  // lb(v, V_T): exact inside SPT_P, Eq. (2) landmarks outside (§5.2).
-  if (options_.landmarks != nullptr) {
-    landmark_bound_ = MakeCachedSetBound(
-        options_.landmarks, query.targets, BoundDirection::kToSet,
-        query.source, options_.max_active_landmarks, bound_cache, epoch,
-        &stats->algo);
-    sptp_bound_.emplace(&sptp_, &*landmark_bound_);
+  // lb(v, V_T): exact inside SPT_P, the oracle's Eq. (2) bound outside
+  // (§5.2).
+  if (options_.oracle != nullptr) {
+    oracle_bound_ = MakeCachedSetBound(
+        options_.oracle, query.targets, BoundDirection::kToSet, query.source,
+        options_.max_active_landmarks, bound_cache, epoch, &stats->algo);
+    sptp_bound_.emplace(&sptp_, oracle_bound_.get());
   } else {
     sptp_bound_.emplace(&sptp_, &zero_);
   }

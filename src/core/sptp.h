@@ -1,6 +1,7 @@
 #ifndef KPJ_CORE_SPTP_H_
 #define KPJ_CORE_SPTP_H_
 
+#include <memory>
 #include <optional>
 
 #include "core/best_first.h"
@@ -29,8 +30,8 @@ class IterBoundSptpSolver final : public BestFirstFramework {
  private:
   IncrementalSearch sptp_;  // Reverse-graph A*; settled set = SPT_P.
   /// Per-query source-side bound guiding SPT_P construction (lb(s, w)).
-  std::optional<LandmarkSetBound> source_bound_;
-  /// Per-query SPT_P-over-landmark bound used by CompLB / TestLB.
+  std::unique_ptr<Heuristic> source_bound_;
+  /// Per-query SPT_P-over-oracle bound used by CompLB / TestLB.
   std::optional<SptpBound> sptp_bound_;
 };
 

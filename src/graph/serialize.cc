@@ -12,6 +12,9 @@ namespace {
 constexpr uint64_t kMagic = 0x4b504a4752503031ULL;  // "KPJGRP01"
 constexpr uint32_t kVersionBare = 1;      // CSR only
 constexpr uint32_t kVersionPermuted = 2;  // CSR + permutation section
+// CSR + has-permutation flag + optional permutation + checksummed
+// hub-label section (index/hub_label_index.h stream format).
+constexpr uint32_t kVersionHubLabels = 3;
 
 template <typename T>
 bool WritePod(std::ofstream& out, const T& value) {
@@ -53,20 +56,46 @@ Status SaveGraphBinary(const Graph& graph, const std::string& path) {
 
 Status SaveGraphBinary(const Graph& graph, const Permutation& permutation,
                        const std::string& path) {
+  return SaveGraphBinary(graph, permutation, /*hub_labels=*/nullptr, path);
+}
+
+Status SaveGraphBinary(const Graph& graph, const Permutation& permutation,
+                       const HubLabelIndex* hub_labels,
+                       const std::string& path) {
   const bool store_perm = !permutation.empty() && !permutation.IsIdentity();
   if (store_perm && permutation.size() != graph.NumNodes()) {
     return Status::InvalidArgument(
         "permutation size does not match graph node count");
   }
+  const bool store_labels = hub_labels != nullptr;
+  if (store_labels && hub_labels->num_nodes() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "hub label index node count does not match graph");
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
-  uint32_t version = store_perm ? kVersionPermuted : kVersionBare;
+  // Label-free files keep their historical v1/v2 bytes exactly; only a
+  // stored label index moves the file to version 3.
+  uint32_t version = store_labels ? kVersionHubLabels
+                     : store_perm ? kVersionPermuted
+                                  : kVersionBare;
   if (!WritePod(out, kMagic) || !WritePod(out, version) ||
       !WriteVec(out, graph.offsets()) || !WriteVec(out, graph.adjacency())) {
     return Status::IoError("write failed for " + path);
   }
+  if (version == kVersionHubLabels) {
+    uint8_t has_perm = store_perm ? 1 : 0;
+    if (!WritePod(out, has_perm)) {
+      return Status::IoError("write failed for " + path);
+    }
+  }
   if (store_perm && !WriteVec(out, permutation.old_to_new())) {
     return Status::IoError("write failed for " + path);
+  }
+  if (store_labels) {
+    Status labels = hub_labels->SaveToStream(out);
+    if (!labels.ok()) return labels;
+    if (!out) return Status::IoError("write failed for " + path);
   }
   return Status::Ok();
 }
@@ -80,7 +109,8 @@ Result<GraphFile> LoadGraphFile(const std::string& path) {
     return Status::Corruption(path + ": bad magic");
   }
   if (!ReadPod(in, version) ||
-      (version != kVersionBare && version != kVersionPermuted)) {
+      (version != kVersionBare && version != kVersionPermuted &&
+       version != kVersionHubLabels)) {
     return Status::Corruption(path + ": unsupported version");
   }
   std::vector<EdgeId> offsets;
@@ -105,7 +135,15 @@ Result<GraphFile> LoadGraphFile(const std::string& path) {
   }
 
   GraphFile file;
-  if (version == kVersionPermuted) {
+  bool read_perm = version == kVersionPermuted;
+  if (version == kVersionHubLabels) {
+    uint8_t has_perm = 0;
+    if (!ReadPod(in, has_perm) || has_perm > 1) {
+      return Status::Corruption(path + ": bad permutation flag");
+    }
+    read_perm = has_perm == 1;
+  }
+  if (read_perm) {
     std::vector<NodeId> old_to_new;
     if (!ReadVec(in, old_to_new, kMax)) {
       return Status::Corruption(path + ": truncated permutation");
@@ -118,6 +156,16 @@ Result<GraphFile> LoadGraphFile(const std::string& path) {
       return Status::Corruption(path + ": " + perm.status().message());
     }
     file.permutation = std::move(perm).value();
+  }
+  if (version == kVersionHubLabels) {
+    Result<HubLabelIndex> labels = HubLabelIndex::LoadFromStream(in);
+    if (!labels.ok()) {
+      return Status::Corruption(path + ": " + labels.status().message());
+    }
+    if (labels.value().num_nodes() != n) {
+      return Status::Corruption(path + ": hub label node count mismatch");
+    }
+    file.hub_labels = std::move(labels).value();
   }
   file.graph = Graph(std::move(offsets), std::move(adj));
   return file;

@@ -1,22 +1,27 @@
 #ifndef KPJ_GRAPH_SERIALIZE_H_
 #define KPJ_GRAPH_SERIALIZE_H_
 
+#include <optional>
 #include <string>
 
 #include "graph/graph.h"
 #include "graph/reorder.h"
+#include "index/hub_label_index.h"
 #include "util/status.h"
 
 namespace kpj {
 
 /// A graph loaded from disk together with the node-id permutation stored
-/// alongside it (empty when the file carries none). When a permutation is
-/// present the CSR is in the relabeled (cache-optimized) layout and
-/// `permutation` maps original ids to that layout, so preprocessed graphs
-/// stay addressable by the ids the user originally loaded.
+/// alongside it (empty when the file carries none) and, for version-3
+/// files, the precomputed hub-label index. When a permutation is present
+/// the CSR is in the relabeled (cache-optimized) layout and `permutation`
+/// maps original ids to that layout, so preprocessed graphs stay
+/// addressable by the ids the user originally loaded; a stored hub-label
+/// index is in the same layout as the stored CSR.
 struct GraphFile {
   Graph graph;
   Permutation permutation;
+  std::optional<HubLabelIndex> hub_labels;
 };
 
 /// Saves `graph` in a compact binary format (magic + versioned header +
@@ -35,9 +40,20 @@ Status SaveGraphBinary(const Graph& graph, const std::string& path);
 Status SaveGraphBinary(const Graph& graph, const Permutation& permutation,
                        const std::string& path);
 
-/// Loads a version-1 or version-2 file, returning the stored permutation
-/// (empty for version 1). Validates magic, version, structural invariants,
-/// and that any permutation is a bijection of the right size.
+/// Saves `graph`, the permutation, and a prebuilt hub-label index (`kpj
+/// index` output). The label index must be in the stored layout and match
+/// the node count. Writes a version-3 file: version-2 layout (with an
+/// explicit has-permutation flag) followed by a checksummed hub-label
+/// section. Without labels this degrades to the overloads above (v1/v2
+/// bytes, unchanged).
+Status SaveGraphBinary(const Graph& graph, const Permutation& permutation,
+                       const HubLabelIndex* hub_labels,
+                       const std::string& path);
+
+/// Loads a version-1, -2 or -3 file, returning the stored permutation
+/// (empty for version 1) and hub labels (version 3 only). Validates magic,
+/// version, structural invariants, that any permutation is a bijection of
+/// the right size, and the hub-label section's checksum.
 Result<GraphFile> LoadGraphFile(const std::string& path);
 
 /// Loads just the graph, discarding any stored permutation. Node ids are

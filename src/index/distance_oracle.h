@@ -1,0 +1,115 @@
+#ifndef KPJ_INDEX_DISTANCE_ORACLE_H_
+#define KPJ_INDEX_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "sssp/astar.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Which distance-oracle family an index implements. The kind is part of
+/// every derived cache key (SptCacheConfig, TargetBoundCache::Key), so
+/// cached search state and set aggregates never leak across oracles.
+enum class OracleKind : uint8_t {
+  /// Landmark (ALT) triangle-inequality bounds — LandmarkIndex.
+  kAlt = 0,
+  /// 2-hop hub labels with exact point-to-point distances — HubLabelIndex.
+  kHubLabel = 1,
+};
+
+/// Stable display/CLI name ("alt", "hublabel").
+const char* OracleKindName(OracleKind kind);
+
+/// Direction of a node-to-set distance bound.
+enum class BoundDirection {
+  /// Bound on dist(u, S) = min over x in S of dist(u, x). This is the
+  /// paper's lb(u, V_T) of Eq. (2): the set is the destination category.
+  kToSet,
+  /// Bound on dist(S, u) = min over x in S of dist(x, u). Used by the
+  /// reverse-oriented SPT_I search (bounding distance *from* the source
+  /// side, §5.3/§6) and by GKPJ's multi-node source.
+  kFromSet,
+};
+
+/// Opaque per-(set, direction) precomputation of an oracle — the part of
+/// building a set bound that is a pure function of (oracle, set,
+/// direction) and therefore shareable across queries via TargetBoundCache.
+/// Each oracle defines its own concrete subtype; an aggregate must only
+/// ever be handed back to the oracle that produced it (the bound cache
+/// guarantees this by keying on DistanceOracle::Identity()).
+class SetAggregates {
+ public:
+  virtual ~SetAggregates() = default;
+
+  /// Approximate resident size, for cache byte accounting.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// A point-to-point / point-to-set lower-bound oracle over a fixed graph.
+///
+/// This is the pluggable axis behind every solver's heuristic: CompLB
+/// (Alg. 3), TestLB (Alg. 5) and the A*-style CompSP all consume bounds
+/// through this interface. Contract:
+///
+///  * LowerBound(u, v) <= dist(u, v) for all real nodes (admissibility),
+///    kInfLength only when v is provably unreachable from u, and 0 when
+///    either node is virtual (>= num_nodes(); GKPJ super-sources attach
+///    via zero-weight arcs, so no other bound is admissible).
+///  * MakeSetBound yields a Heuristic h with h(u) <= dist(u, S) (kToSet)
+///    resp. h(u) <= dist(S, u) (kFromSet), consistent along edges of the
+///    forward resp. reverse graph, h(x) == 0 for set members, and
+///    h(u) == 0 for virtual nodes (u >= num_nodes()).
+///  * Bounds are a pure function of (oracle contents, set, direction,
+///    scoring_node, max_active): equal inputs give byte-identical bounds,
+///    which is what makes cross-query caching and the engine's
+///    determinism guarantees sound.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  virtual OracleKind kind() const = 0;
+  virtual NodeId num_nodes() const = 0;
+
+  /// Cache-key fingerprint: two oracles with different contents (or
+  /// different kinds) must return different values with overwhelming
+  /// probability. Mixed into TargetBoundCache keys so aggregates computed
+  /// by one oracle are never served to another.
+  virtual uint64_t Identity() const = 0;
+
+  /// Lower bound on dist(u, v); kInfLength only on a proof of
+  /// unreachability. For exact oracles (hub labels) this IS dist(u, v).
+  virtual PathLength LowerBound(NodeId u, NodeId v) const = 0;
+
+  /// The cacheable per-set precomputation (O(|L|*|S|) for ALT, a label
+  /// merge for hub labels).
+  virtual std::shared_ptr<const SetAggregates> ComputeSetAggregates(
+      std::span<const NodeId> set, BoundDirection direction) const = 0;
+
+  /// Builds the per-query set bound from (typically cached) aggregates.
+  /// `aggregates` must come from this oracle's ComputeSetAggregates with
+  /// the same direction. `scoring_node`/`max_active` drive ALT's
+  /// active-landmark selection; oracles without that notion ignore them.
+  /// The returned heuristic keeps a reference to this oracle and shares
+  /// ownership of the aggregates.
+  virtual std::unique_ptr<Heuristic> MakeSetBound(
+      std::shared_ptr<const SetAggregates> aggregates,
+      BoundDirection direction, NodeId scoring_node,
+      uint32_t max_active) const = 0;
+};
+
+inline const char* OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kAlt:
+      return "alt";
+    case OracleKind::kHubLabel:
+      return "hublabel";
+  }
+  return "unknown";
+}
+
+}  // namespace kpj
+
+#endif  // KPJ_INDEX_DISTANCE_ORACLE_H_

@@ -1,0 +1,546 @@
+#include "index/hub_label_index.h"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "sssp/monotone_dijkstra.h"
+#include "util/concurrency.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace kpj {
+namespace {
+
+constexpr uint64_t kHubLabelMagic = 0x4b504a484c423031ULL;  // "KPJHLB01"
+constexpr uint32_t kAbsent32 = UINT32_MAX;
+
+uint64_t FnvMix(const void* data, size_t len, uint64_t h) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (size_t i = 0; i < len; ++i) h = (h ^ bytes[i]) * kPrime;
+  return h;
+}
+
+template <typename T>
+uint64_t FnvMixVec(const std::vector<T>& v, uint64_t h) {
+  uint64_t count = v.size();
+  h = FnvMix(&count, sizeof(count), h);
+  return FnvMix(v.data(), v.size() * sizeof(T), h);
+}
+
+/// Contraction-order approximation: nodes scored by sampled subtree-size
+/// betweenness — `order_seeds` farthest-point-spread SSSPs, each node
+/// credited with the size of its shortest-path subtree per sample (the
+/// number of sampled shortest paths through it). Descending score with
+/// ascending-id tie-break; fully deterministic.
+std::vector<NodeId> ComputeOrder(const Graph& graph,
+                                 const HubLabelOptions& options) {
+  const NodeId n = graph.NumNodes();
+  std::vector<uint64_t> score(n, 0);
+  const uint32_t seeds = std::min<uint32_t>(std::max(options.order_seeds, 1u),
+                                            n);
+  MonotoneDijkstra sssp(graph);
+  std::vector<PathLength> min_dist(n, kInfLength);
+  std::vector<char> is_seed(n, 0);
+  std::vector<uint32_t> subtree(n, 0);
+  std::vector<NodeId> settled;
+  settled.reserve(n);
+
+  // First seed: highest out-degree (a road intersection, not a cul-de-sac),
+  // lowest id on ties.
+  NodeId seed = 0;
+  size_t best_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    size_t deg = graph.OutEdges(v).size();
+    if (deg > best_degree) {
+      best_degree = deg;
+      seed = v;
+    }
+  }
+
+  for (uint32_t k = 0; k < seeds; ++k) {
+    is_seed[seed] = 1;
+    sssp.Run(seed);
+    settled.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      PathLength d = sssp.Distance(v);
+      if (d == kInfLength) continue;
+      settled.push_back(v);
+      if (d < min_dist[v]) min_dist[v] = d;
+    }
+    // Children before parents: descending distance, deterministic
+    // tie-break. (Zero-weight ties may split a subtree across the tie —
+    // harmless for an ordering score.)
+    std::sort(settled.begin(), settled.end(), [&](NodeId a, NodeId b) {
+      PathLength da = sssp.Distance(a), db = sssp.Distance(b);
+      return da != db ? da > db : a > b;
+    });
+    for (NodeId v : settled) subtree[v] = 1;
+    for (NodeId v : settled) {
+      NodeId p = sssp.Parent(v);
+      if (p != kInvalidNode) subtree[p] += subtree[v];
+    }
+    for (NodeId v : settled) {
+      if (v != seed) score[v] += subtree[v];
+    }
+    // Next seed: farthest-point spread; an untouched node (another SCC)
+    // beats any reachable one.
+    NodeId next = kInvalidNode;
+    PathLength far = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_seed[v]) continue;
+      if (min_dist[v] == kInfLength) {
+        next = v;
+        far = kInfLength;
+        break;
+      }
+      if (min_dist[v] > far) {
+        far = min_dist[v];
+        next = v;
+      }
+    }
+    if (next == kInvalidNode || far == 0) break;
+    seed = next;
+  }
+
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return score[a] != score[b] ? score[a] > score[b] : a < b;
+  });
+  return order;
+}
+
+/// Per-worker state of the pruned label searches.
+struct BuildWorkspace {
+  std::vector<PathLength> dist;      // node -> tentative distance
+  std::vector<NodeId> touched;       // nodes with dist != kInfLength
+  std::vector<uint32_t> hub_dist;    // rank -> committed hub distance
+  RadixHeap radix;                   // integer-weight monotone queue
+  IndexedHeap<PathLength> fallback;  // float-weight fallback queue
+
+  explicit BuildWorkspace(NodeId n)
+      : dist(n, kInfLength), hub_dist(n, kAbsent32) {
+    if constexpr (!std::is_integral_v<Weight>) fallback.Reset(n);
+  }
+};
+
+/// Pruned Dijkstra from `hub` over `graph`: settles nodes in distance
+/// order, skips (without labeling or expanding) every node v whose
+/// committed 2-hop query min over g of hub_label[g] + opposite[v][g]
+/// already covers the tentative distance, and reports the surviving
+/// (node, distance) labels in settle order. Pruning reads only labels
+/// committed by earlier batches, so concurrent searches of one batch all
+/// see the same snapshot — the output is scheduling-independent.
+void PrunedSearch(const Graph& graph, NodeId hub,
+                  std::span<const HubLabelIndex::Entry> hub_label,
+                  const std::vector<std::vector<HubLabelIndex::Entry>>&
+                      opposite,
+                  BuildWorkspace& ws,
+                  std::vector<std::pair<NodeId, uint32_t>>& out) {
+  for (const HubLabelIndex::Entry& e : hub_label) ws.hub_dist[e.rank] = e.dist;
+
+  auto covered = [&](NodeId v, PathLength d) {
+    for (const HubLabelIndex::Entry& e : opposite[v]) {
+      uint32_t hd = ws.hub_dist[e.rank];
+      if (hd != kAbsent32 &&
+          static_cast<PathLength>(hd) + e.dist <= d) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto settle = [&](NodeId u, PathLength du) {
+    if (covered(u, du)) return;  // A better-ranked hub already serves u.
+    KPJ_CHECK(du <= std::numeric_limits<uint32_t>::max())
+        << "hub-label distance exceeds 32-bit storage";
+    out.emplace_back(u, static_cast<uint32_t>(du));
+    for (const OutEdge& e : graph.OutEdges(u)) {
+      PathLength nd = du + e.weight;
+      if (nd < ws.dist[e.to]) {
+        if (ws.dist[e.to] == kInfLength) ws.touched.push_back(e.to);
+        ws.dist[e.to] = nd;
+        if constexpr (std::is_integral_v<Weight>) {
+          ws.radix.Push(e.to, nd);
+        } else {
+          ws.fallback.PushOrDecrease(e.to, nd);
+        }
+      }
+    }
+  };
+
+  ws.dist[hub] = 0;
+  ws.touched.push_back(hub);
+  if constexpr (std::is_integral_v<Weight>) {
+    ws.radix.Clear();
+    ws.radix.Push(hub, 0);
+    while (!ws.radix.empty()) {
+      auto [u, key] = ws.radix.Pop();
+      if (key != ws.dist[u]) continue;  // Stale (lazily deleted) entry.
+      settle(u, key);
+    }
+  } else {
+    ws.fallback.Clear();
+    ws.fallback.Push(hub, 0);
+    while (!ws.fallback.empty()) {
+      auto [u, key] = ws.fallback.PopWithKey();
+      settle(u, key);
+    }
+  }
+
+  for (const HubLabelIndex::Entry& e : hub_label) {
+    ws.hub_dist[e.rank] = kAbsent32;
+  }
+  for (NodeId v : ws.touched) ws.dist[v] = kInfLength;
+  ws.touched.clear();
+}
+
+}  // namespace
+
+HubLabelIndex HubLabelIndex::Build(const Graph& graph,
+                                   const Graph& reverse_graph,
+                                   const HubLabelOptions& options) {
+  const NodeId n = graph.NumNodes();
+  KPJ_CHECK(reverse_graph.NumNodes() == n)
+      << "reverse graph node count mismatch";
+  KPJ_CHECK(options.batch_size >= 1);
+
+  HubLabelIndex index;
+  index.num_nodes_ = n;
+  if (n == 0) {
+    index.checksum_ = index.ComputeChecksum();
+    return index;
+  }
+
+  std::vector<NodeId> order = ComputeOrder(graph, options);
+  index.rank_of_node_.assign(n, 0);
+  for (NodeId r = 0; r < n; ++r) index.rank_of_node_[order[r]] = r;
+
+  // Pruned landmark labeling in rank order, parallelized batch-
+  // synchronously: every hub of a batch searches against the labels
+  // committed by *previous* batches only, then the batch's additions are
+  // appended in rank order. Slightly less pruning than the sequential
+  // schedule (same-batch hubs cannot prune each other), identical exact
+  // query answers, and byte-identical output at any thread count.
+  std::vector<std::vector<Entry>> labels_in(n);
+  std::vector<std::vector<Entry>> labels_out(n);
+  std::vector<std::unique_ptr<BuildWorkspace>> workspaces(
+      EffectiveWorkers(options.threads));
+  std::vector<std::vector<std::pair<NodeId, uint32_t>>> add_in(
+      options.batch_size);
+  std::vector<std::vector<std::pair<NodeId, uint32_t>>> add_out(
+      options.batch_size);
+
+  for (NodeId batch_start = 0; batch_start < n;
+       batch_start += options.batch_size) {
+    const size_t batch =
+        std::min<size_t>(options.batch_size, n - batch_start);
+    ParallelFor(batch, options.threads, [&](size_t i, unsigned worker) {
+      if (workspaces[worker] == nullptr) {
+        workspaces[worker] = std::make_unique<BuildWorkspace>(n);
+      }
+      BuildWorkspace& ws = *workspaces[worker];
+      const NodeId hub = order[batch_start + i];
+      add_in[i].clear();
+      add_out[i].clear();
+      // Forward search: δ(hub, v) entries for the in-labels of reached
+      // nodes, pruned via L_out(hub) x L_in(v).
+      PrunedSearch(graph, hub, labels_out[hub], labels_in, ws, add_in[i]);
+      // Backward search over the reverse graph: δ(v, hub) entries for the
+      // out-labels, pruned via L_out(v) x L_in(hub).
+      PrunedSearch(reverse_graph, hub, labels_in[hub], labels_out, ws,
+                   add_out[i]);
+    });
+    for (size_t i = 0; i < batch; ++i) {
+      const uint32_t rank = batch_start + static_cast<uint32_t>(i);
+      for (const auto& [v, d] : add_in[i]) labels_in[v].push_back({rank, d});
+      for (const auto& [v, d] : add_out[i]) {
+        labels_out[v].push_back({rank, d});
+      }
+    }
+  }
+
+  auto flatten = [n](const std::vector<std::vector<Entry>>& rows,
+                     std::vector<uint64_t>& offsets,
+                     std::vector<Entry>& entries) {
+    offsets.assign(n + 1, 0);
+    size_t total = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      offsets[v] = total;
+      total += rows[v].size();
+    }
+    offsets[n] = total;
+    entries.reserve(total);
+    for (NodeId v = 0; v < n; ++v) {
+      entries.insert(entries.end(), rows[v].begin(), rows[v].end());
+    }
+  };
+  flatten(labels_in, index.in_offsets_, index.in_entries_);
+  flatten(labels_out, index.out_offsets_, index.out_entries_);
+  index.checksum_ = index.ComputeChecksum();
+  return index;
+}
+
+PathLength HubLabelIndex::LowerBound(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return 0;
+  if (u == v) return 0;
+  std::span<const Entry> a = OutLabel(u);
+  std::span<const Entry> b = InLabel(v);
+  PathLength best = kInfLength;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].rank < b[j].rank) {
+      ++i;
+    } else if (a[i].rank > b[j].rank) {
+      ++j;
+    } else {
+      PathLength d = static_cast<PathLength>(a[i].dist) + b[j].dist;
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<const SetAggregates> HubLabelIndex::ComputeSetAggregates(
+    std::span<const NodeId> set, BoundDirection direction) const {
+  auto agg = std::make_shared<HubSetAggregates>();
+  std::vector<Entry> all;
+  for (NodeId x : set) {
+    if (x >= num_nodes_) continue;
+    std::span<const Entry> label =
+        direction == BoundDirection::kToSet ? InLabel(x) : OutLabel(x);
+    all.insert(all.end(), label.begin(), label.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.dist < b.dist;
+  });
+  agg->merged.reserve(all.size());
+  for (const Entry& e : all) {
+    if (agg->merged.empty() || agg->merged.back().rank != e.rank) {
+      agg->merged.push_back(e);  // First = minimum distance for this hub.
+    }
+  }
+  return agg;
+}
+
+std::unique_ptr<Heuristic> HubLabelIndex::MakeSetBound(
+    std::shared_ptr<const SetAggregates> aggregates, BoundDirection direction,
+    NodeId scoring_node, uint32_t max_active) const {
+  // Exact bounds have no active-subset notion: every hub in the node label
+  // is consulted regardless, so the ALT tuning knobs are ignored.
+  (void)scoring_node;
+  (void)max_active;
+  KPJ_CHECK(aggregates != nullptr);
+  return std::make_unique<HubSetBound>(
+      this,
+      std::static_pointer_cast<const HubSetAggregates>(std::move(aggregates)),
+      direction);
+}
+
+HubSetBound::HubSetBound(const HubLabelIndex* index,
+                         std::shared_ptr<const HubSetAggregates> aggregates,
+                         BoundDirection direction)
+    : index_(index), agg_(std::move(aggregates)), direction_(direction) {
+  KPJ_CHECK(index_ != nullptr);
+  KPJ_CHECK(agg_ != nullptr);
+}
+
+PathLength HubSetBound::Estimate(NodeId u) const {
+  // Virtual query nodes (GKPJ super-source, §6) are outside the offline
+  // labels; 0 is the only admissible bound (they attach via 0-weight arcs).
+  if (u >= index_->num_nodes()) return 0;
+  std::span<const HubLabelIndex::Entry> label =
+      direction_ == BoundDirection::kToSet ? index_->OutLabel(u)
+                                           : index_->InLabel(u);
+  const std::vector<HubLabelIndex::Entry>& merged = agg_->merged;
+  PathLength best = kInfLength;
+  size_t i = 0, j = 0;
+  while (i < label.size() && j < merged.size()) {
+    if (label[i].rank < merged[j].rank) {
+      ++i;
+    } else if (label[i].rank > merged[j].rank) {
+      ++j;
+    } else {
+      PathLength d = static_cast<PathLength>(label[i].dist) + merged[j].dist;
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+HubLabelIndex HubLabelIndex::Remap(const Permutation& permutation) const {
+  if (permutation.empty()) return *this;
+  KPJ_CHECK(permutation.size() == num_nodes_)
+      << "permutation does not match hub label index";
+  HubLabelIndex out;
+  out.num_nodes_ = num_nodes_;
+  out.rank_of_node_.assign(num_nodes_, 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    out.rank_of_node_[permutation.ToNew(v)] = rank_of_node_[v];
+  }
+  // Entries address hubs by rank, so rows move wholesale and their
+  // contents are untouched: bounds are invariant under relabeling.
+  auto permute = [&](const std::vector<uint64_t>& offsets,
+                     const std::vector<Entry>& entries,
+                     std::vector<uint64_t>& out_offsets,
+                     std::vector<Entry>& out_entries) {
+    out_offsets.assign(num_nodes_ + 1, 0);
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      out_offsets[permutation.ToNew(v) + 1] = offsets[v + 1] - offsets[v];
+    }
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      out_offsets[v + 1] += out_offsets[v];
+    }
+    out_entries.resize(entries.size());
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      std::copy_n(entries.begin() + offsets[v], offsets[v + 1] - offsets[v],
+                  out_entries.begin() + out_offsets[permutation.ToNew(v)]);
+    }
+  };
+  permute(in_offsets_, in_entries_, out.in_offsets_, out.in_entries_);
+  permute(out_offsets_, out_entries_, out.out_offsets_, out.out_entries_);
+  out.checksum_ = out.ComputeChecksum();
+  return out;
+}
+
+uint64_t HubLabelIndex::ComputeChecksum() const {
+  uint64_t h = 14695981039346656037ull;
+  h = FnvMix(&num_nodes_, sizeof(num_nodes_), h);
+  h = FnvMixVec(rank_of_node_, h);
+  h = FnvMixVec(in_offsets_, h);
+  h = FnvMixVec(in_entries_, h);
+  h = FnvMixVec(out_offsets_, h);
+  h = FnvMixVec(out_entries_, h);
+  return h;
+}
+
+uint64_t HubLabelIndex::Identity() const {
+  uint64_t h = 14695981039346656037ull;
+  uint8_t kind_byte = static_cast<uint8_t>(kind());
+  h = FnvMix(&kind_byte, sizeof(kind_byte), h);
+  h = FnvMix(&num_nodes_, sizeof(num_nodes_), h);
+  uint64_t sum = checksum_;
+  h = FnvMix(&sum, sizeof(sum), h);
+  return h;
+}
+
+size_t HubLabelIndex::MemoryBytes() const {
+  return sizeof(HubLabelIndex) +
+         rank_of_node_.capacity() * sizeof(uint32_t) +
+         (in_offsets_.capacity() + out_offsets_.capacity()) *
+             sizeof(uint64_t) +
+         (in_entries_.capacity() + out_entries_.capacity()) * sizeof(Entry);
+}
+
+namespace {
+
+bool WriteBytes(std::ostream& out, const void* data, size_t len) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(len));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool WritePod(std::ostream& out, const T& value) {
+  return WriteBytes(out, &value, sizeof(T));
+}
+
+template <typename T>
+bool WriteVec(std::ostream& out, const std::vector<T>& v) {
+  uint64_t count = v.size();
+  return WritePod(out, count) &&
+         WriteBytes(out, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>& v) {
+  uint64_t count = 0;
+  if (!ReadPod(in, count)) return false;
+  if (count > (1ULL << 36)) return false;
+  v.resize(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status HubLabelIndex::SaveToStream(std::ostream& out) const {
+  if (!WritePod(out, kHubLabelMagic) || !WritePod(out, num_nodes_) ||
+      !WriteVec(out, rank_of_node_) || !WriteVec(out, in_offsets_) ||
+      !WriteVec(out, in_entries_) || !WriteVec(out, out_offsets_) ||
+      !WriteVec(out, out_entries_) || !WritePod(out, checksum_)) {
+    return Status::IoError("hub label write failed");
+  }
+  return Status::Ok();
+}
+
+Result<HubLabelIndex> HubLabelIndex::LoadFromStream(std::istream& in) {
+  uint64_t magic = 0;
+  HubLabelIndex index;
+  uint64_t stored_checksum = 0;
+  if (!ReadPod(in, magic) || magic != kHubLabelMagic) {
+    return Status::Corruption("hub label section: bad magic");
+  }
+  if (!ReadPod(in, index.num_nodes_) || !ReadVec(in, index.rank_of_node_) ||
+      !ReadVec(in, index.in_offsets_) || !ReadVec(in, index.in_entries_) ||
+      !ReadVec(in, index.out_offsets_) || !ReadVec(in, index.out_entries_) ||
+      !ReadPod(in, stored_checksum)) {
+    return Status::Corruption("hub label section: truncated");
+  }
+  const NodeId n = index.num_nodes_;
+  if (index.rank_of_node_.size() != n) {
+    return Status::Corruption("hub label section: rank table size mismatch");
+  }
+  std::vector<char> seen(n, 0);
+  for (uint32_t r : index.rank_of_node_) {
+    if (r >= n || seen[r]) {
+      return Status::Corruption("hub label section: rank table not a "
+                                "permutation");
+    }
+    seen[r] = 1;
+  }
+  auto check_side = [n](const std::vector<uint64_t>& offsets,
+                        const std::vector<Entry>& entries) {
+    if (n == 0) return offsets.empty() && entries.empty();
+    if (offsets.size() != static_cast<size_t>(n) + 1) return false;
+    if (offsets.front() != 0 || offsets.back() != entries.size()) {
+      return false;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (offsets[v] > offsets[v + 1]) return false;
+      for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        if (entries[i].rank >= n) return false;
+        if (i > offsets[v] && entries[i - 1].rank >= entries[i].rank) {
+          return false;  // Rows must be strictly rank-ascending.
+        }
+      }
+    }
+    return true;
+  };
+  if (!check_side(index.in_offsets_, index.in_entries_) ||
+      !check_side(index.out_offsets_, index.out_entries_)) {
+    return Status::Corruption("hub label section: malformed label rows");
+  }
+  index.checksum_ = index.ComputeChecksum();
+  if (index.checksum_ != stored_checksum) {
+    return Status::Corruption("hub label section: checksum mismatch");
+  }
+  return index;
+}
+
+}  // namespace kpj

@@ -1,0 +1,184 @@
+#ifndef KPJ_INDEX_HUB_LABEL_INDEX_H_
+#define KPJ_INDEX_HUB_LABEL_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/reorder.h"
+#include "index/distance_oracle.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace kpj {
+
+/// Options for offline hub-label construction.
+struct HubLabelOptions {
+  /// Sample SSSPs used to score nodes for the contraction order (a
+  /// subtree-size betweenness approximation; more seeds = better order =
+  /// smaller labels, at linear extra build cost).
+  uint32_t order_seeds = 16;
+  /// Worker threads for the batched pruned-label searches. The batch
+  /// schedule is fixed (independent of the thread count), every search in
+  /// a batch prunes against the same committed snapshot, and results are
+  /// committed in rank order — so the built index is byte-identical for
+  /// any thread count, like the landmark build.
+  unsigned threads = 1;
+  /// Hubs labeled per synchronous batch. Must be >= 1. Part of the label
+  /// contents (larger batches prune a little less), NOT a tuning knob to
+  /// vary per machine: changing it changes the (still correct) labels.
+  uint32_t batch_size = 16;
+};
+
+/// 2-hop hub labeling (pruned landmark labeling over a contraction-style
+/// node order) — the label-based distance oracle of ROADMAP item 3, in the
+/// spirit of Zhu et al.'s hierarchical 2-hop labels.
+///
+/// Every node u stores an out-label {(h, δ(u,h))} and an in-label
+/// {(h, δ(h,u))}, both sorted by hub rank; by the 2-hop cover property the
+/// minimum of δ(u,h) + δ(h,v) over common hubs equals δ(u,v) *exactly*.
+/// LowerBound is therefore the true distance (tightness 1.0), and set
+/// bounds are exact node-to-set distances.
+///
+/// Entries reference hubs by rank, not node id, so Remap only permutes
+/// label rows and the rank table — bounds are invariant under reorder.
+///
+/// Distances inside labels are stored as uint32 (like the landmark
+/// tables); construction checks that no finite distance exceeds that
+/// range. Unreachability is represented by absence (no common hub), never
+/// by a sentinel entry.
+class HubLabelIndex final : public DistanceOracle {
+ public:
+  /// One label entry: `rank` of the hub and the exact distance between
+  /// the labeled node and that hub (direction depends on the label side).
+  struct Entry {
+    uint32_t rank;
+    uint32_t dist;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Builds the index. `reverse_graph` must be `graph.Reverse()`.
+  /// Deterministic in `options` (thread count excluded).
+  static HubLabelIndex Build(const Graph& graph, const Graph& reverse_graph,
+                             const HubLabelOptions& options = {});
+
+  /// Constructs an empty (useless) index; bounds degenerate to all-zero.
+  HubLabelIndex() = default;
+
+  // DistanceOracle interface -------------------------------------------
+  OracleKind kind() const override { return OracleKind::kHubLabel; }
+  NodeId num_nodes() const override { return num_nodes_; }
+  uint64_t Identity() const override;
+  /// Exact δ(u, v); kInfLength iff v is unreachable from u.
+  PathLength LowerBound(NodeId u, NodeId v) const override;
+  std::shared_ptr<const SetAggregates> ComputeSetAggregates(
+      std::span<const NodeId> set, BoundDirection direction) const override;
+  std::unique_ptr<Heuristic> MakeSetBound(
+      std::shared_ptr<const SetAggregates> aggregates,
+      BoundDirection direction, NodeId scoring_node,
+      uint32_t max_active) const override;
+  // ---------------------------------------------------------------------
+
+  /// Alias for LowerBound: for hub labels the bound is the distance.
+  PathLength Distance(NodeId u, NodeId v) const { return LowerBound(u, v); }
+
+  /// Returns a copy with every node id mapped through `permutation`
+  /// (old id -> new id). Since entries address hubs by rank, only the
+  /// label rows and the rank-of-node table move:
+  /// `Remap(p).LowerBound(p.ToNew(u), p.ToNew(v)) == LowerBound(u, v)`.
+  HubLabelIndex Remap(const Permutation& permutation) const;
+
+  bool Equals(const HubLabelIndex& other) const {
+    return num_nodes_ == other.num_nodes_ &&
+           rank_of_node_ == other.rank_of_node_ &&
+           in_offsets_ == other.in_offsets_ &&
+           out_offsets_ == other.out_offsets_ &&
+           in_entries_ == other.in_entries_ &&
+           out_entries_ == other.out_entries_;
+  }
+
+  /// Streamed serialization with a trailing FNV-1a checksum, used for the
+  /// hub-label section of version-3 graph files (graph/serialize.h).
+  Status SaveToStream(std::ostream& out) const;
+  static Result<HubLabelIndex> LoadFromStream(std::istream& in);
+
+  /// Content checksum (FNV-1a over the label arrays) — the value written
+  /// to / verified against the serialized section, and the content part of
+  /// Identity(). Computed once at build/load/remap time.
+  uint64_t Checksum() const { return checksum_; }
+
+  size_t TotalEntries() const {
+    return in_entries_.size() + out_entries_.size();
+  }
+  double AverageLabelSize() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(TotalEntries()) / (2.0 * num_nodes_);
+  }
+  size_t MemoryBytes() const;
+
+  /// Out-label of `u` ({rank, δ(u, hub)}, rank-ascending).
+  std::span<const Entry> OutLabel(NodeId u) const {
+    return {out_entries_.data() + out_offsets_[u],
+            out_entries_.data() + out_offsets_[u + 1]};
+  }
+  /// In-label of `u` ({rank, δ(hub, u)}, rank-ascending).
+  std::span<const Entry> InLabel(NodeId u) const {
+    return {in_entries_.data() + in_offsets_[u],
+            in_entries_.data() + in_offsets_[u + 1]};
+  }
+
+ private:
+  friend class HubSetBound;
+
+  /// FNV-1a over all label arrays; the cached value behind Checksum().
+  uint64_t ComputeChecksum() const;
+
+  NodeId num_nodes_ = 0;
+  std::vector<uint32_t> rank_of_node_;  // node -> contraction rank
+  // CSR label storage, entries sorted by rank within each row.
+  std::vector<uint64_t> in_offsets_;   // n + 1 (empty when n == 0)
+  std::vector<uint64_t> out_offsets_;  // n + 1
+  std::vector<Entry> in_entries_;
+  std::vector<Entry> out_entries_;
+  uint64_t checksum_ = 0;
+};
+
+/// Aggregates of a hub-label oracle over a node set: the rank-sorted merge
+/// of the set members' labels with the per-hub minimum distance. kToSet
+/// merges in-labels (hub -> set distances); kFromSet merges out-labels
+/// (set -> hub distances).
+struct HubSetAggregates final : SetAggregates {
+  std::vector<HubLabelIndex::Entry> merged;
+
+  size_t MemoryBytes() const override {
+    return sizeof(HubSetAggregates) +
+           merged.capacity() * sizeof(HubLabelIndex::Entry);
+  }
+};
+
+/// Exact node-to-set distance as a Heuristic: a merge-join of the node's
+/// label against the set aggregate. Being an exact distance it is both
+/// admissible and consistent, and kInfLength means truly unreachable.
+class HubSetBound final : public Heuristic {
+ public:
+  HubSetBound(const HubLabelIndex* index,
+              std::shared_ptr<const HubSetAggregates> aggregates,
+              BoundDirection direction);
+
+  PathLength Estimate(NodeId u) const override;
+
+  BoundDirection direction() const { return direction_; }
+
+ private:
+  const HubLabelIndex* index_;
+  std::shared_ptr<const HubSetAggregates> agg_;
+  BoundDirection direction_;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_INDEX_HUB_LABEL_INDEX_H_

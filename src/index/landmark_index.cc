@@ -4,7 +4,7 @@
 #include <fstream>
 #include <memory>
 
-#include "sssp/dijkstra.h"
+#include "sssp/monotone_dijkstra.h"
 #include "util/logging.h"
 #include "util/concurrency.h"
 #include "util/parallel.h"
@@ -48,7 +48,7 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph,
     // depends on the SSSP of landmark l — so it runs on one thread; the
     // forward distances it computes are kept, and only the remaining
     // (independent) per-landmark runs are parallelized below.
-    Dijkstra forward(graph);
+    MonotoneDijkstra forward(graph);
     NodeId start = static_cast<NodeId>(rng.NextBounded(n));
     forward.Run(start);
     NodeId first = start;
@@ -92,15 +92,15 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph,
   // byte-identical to the serial build for any thread count.
   const uint32_t actual_count = static_cast<uint32_t>(index.landmarks_.size());
   struct Workspace {
-    std::unique_ptr<Dijkstra> forward;
-    std::unique_ptr<Dijkstra> backward;
+    std::unique_ptr<MonotoneDijkstra> forward;
+    std::unique_ptr<MonotoneDijkstra> backward;
   };
   std::vector<Workspace> workspaces(EffectiveWorkers(options.threads));
   ParallelFor(actual_count, options.threads, [&](size_t l, unsigned worker) {
     Workspace& ws = workspaces[worker];
     if (ws.backward == nullptr) {
-      ws.backward = std::make_unique<Dijkstra>(reverse_graph);
-      if (!farthest) ws.forward = std::make_unique<Dijkstra>(graph);
+      ws.backward = std::make_unique<MonotoneDijkstra>(reverse_graph);
+      if (!farthest) ws.forward = std::make_unique<MonotoneDijkstra>(graph);
     }
     const NodeId landmark = index.landmarks_[l];
     ws.backward->Run(landmark);
@@ -156,8 +156,25 @@ LandmarkIndex LandmarkIndex::Remap(const Permutation& permutation) const {
   return out;
 }
 
+uint64_t LandmarkIndex::Identity() const {
+  uint64_t h = 14695981039346656037ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  auto mix = [&h](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((value >> (8 * i)) & 0xff)) * kPrime;
+    }
+  };
+  mix(static_cast<uint64_t>(kind()));
+  mix(num_nodes_);
+  mix(landmarks_.size());
+  for (NodeId l : landmarks_) mix(l);
+  return h;
+}
+
 PathLength LandmarkIndex::LowerBound(NodeId u, NodeId v) const {
-  KPJ_DCHECK(u < num_nodes_ && v < num_nodes_);
+  // Virtual nodes (GKPJ super-source) are outside the tables; 0 is the
+  // only admissible bound for them (DistanceOracle contract).
+  if (u >= num_nodes_ || v >= num_nodes_) return 0;
   if (u == v) return 0;
   PathLength best = 0;
   for (uint32_t l = 0; l < num_landmarks(); ++l) {

@@ -2,11 +2,14 @@
 #define KPJ_INDEX_LANDMARK_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/reorder.h"
+#include "index/distance_oracle.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -51,7 +54,7 @@ struct LandmarkIndexOptions {
 ///
 /// Construction is O(|L| (m + n log n)); storage O(|L| n) — both as stated
 /// in the paper's "Remarks & Time Complexity".
-class LandmarkIndex {
+class LandmarkIndex final : public DistanceOracle {
  public:
   /// Builds the index. `reverse_graph` must be `graph.Reverse()` (passed in
   /// so callers can reuse an already-built reverse graph).
@@ -64,8 +67,22 @@ class LandmarkIndex {
   uint32_t num_landmarks() const {
     return static_cast<uint32_t>(landmarks_.size());
   }
-  NodeId num_nodes() const { return num_nodes_; }
   const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  // DistanceOracle interface -------------------------------------------
+  OracleKind kind() const override { return OracleKind::kAlt; }
+  NodeId num_nodes() const override { return num_nodes_; }
+  /// FNV-1a over the landmark set and table shape — cheap (O(|L|)) and
+  /// distinct across differently-built indexes with overwhelming
+  /// probability (different landmark node sets).
+  uint64_t Identity() const override;
+  std::shared_ptr<const SetAggregates> ComputeSetAggregates(
+      std::span<const NodeId> set, BoundDirection direction) const override;
+  std::unique_ptr<Heuristic> MakeSetBound(
+      std::shared_ptr<const SetAggregates> aggregates,
+      BoundDirection direction, NodeId scoring_node,
+      uint32_t max_active) const override;
+  // ---------------------------------------------------------------------
 
   /// δ(landmark_l, v); kInfLength if unreachable.
   PathLength DistFromLandmark(uint32_t l, NodeId v) const {
@@ -79,7 +96,7 @@ class LandmarkIndex {
 
   /// Lower bound on the point-to-point shortest distance dist(u, v).
   /// Returns kInfLength when the tables prove v unreachable from u.
-  PathLength LowerBound(NodeId u, NodeId v) const;
+  PathLength LowerBound(NodeId u, NodeId v) const override;
 
   /// Returns a copy of this index with every node id mapped through
   /// `permutation` (old id -> new id): landmark ids are translated and the

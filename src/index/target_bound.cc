@@ -129,9 +129,28 @@ PathLength LandmarkSetBound::Estimate(NodeId u) const {
   return best;
 }
 
+std::shared_ptr<const SetAggregates> LandmarkIndex::ComputeSetAggregates(
+    std::span<const NodeId> set, BoundDirection direction) const {
+  return LandmarkSetBound::ComputeAggregates(*this, set, direction);
+}
+
+std::unique_ptr<Heuristic> LandmarkIndex::MakeSetBound(
+    std::shared_ptr<const SetAggregates> aggregates, BoundDirection direction,
+    NodeId scoring_node, uint32_t max_active) const {
+  KPJ_CHECK(aggregates != nullptr);
+  // The cache keys aggregates by Identity(), so anything handed back here
+  // was produced by this oracle's ComputeSetAggregates.
+  return std::make_unique<LandmarkSetBound>(
+      this,
+      std::static_pointer_cast<const LandmarkSetAggregates>(
+          std::move(aggregates)),
+      direction, scoring_node, max_active);
+}
+
 size_t TargetBoundCache::KeyHash::operator()(const Key& key) const {
   size_t h = 14695981039346656037ull;
   constexpr size_t kPrime = 1099511628211ull;
+  h = (h ^ key.oracle) * kPrime;
   h = (h ^ key.epoch) * kPrime;
   h = (h ^ static_cast<size_t>(key.direction)) * kPrime;
   for (NodeId x : key.set) h = (h ^ x) * kPrime;
@@ -142,13 +161,15 @@ TargetBoundCache::TargetBoundCache(size_t budget_bytes)
     : budget_bytes_(budget_bytes) {}
 
 size_t TargetBoundCache::EntryBytes(const Key& key,
-                                    const LandmarkSetAggregates& agg) {
+                                    const SetAggregates& agg) {
   return 2 * key.set.capacity() * sizeof(NodeId) + agg.MemoryBytes() + 128;
 }
 
-std::shared_ptr<const LandmarkSetAggregates> TargetBoundCache::Lookup(
-    uint64_t epoch, BoundDirection direction, std::span<const NodeId> set) {
-  Key key{epoch, direction, std::vector<NodeId>(set.begin(), set.end())};
+std::shared_ptr<const SetAggregates> TargetBoundCache::Lookup(
+    uint64_t oracle_identity, uint64_t epoch, BoundDirection direction,
+    std::span<const NodeId> set) {
+  Key key{oracle_identity, epoch, direction,
+          std::vector<NodeId>(set.begin(), set.end())};
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -161,10 +182,12 @@ std::shared_ptr<const LandmarkSetAggregates> TargetBoundCache::Lookup(
 }
 
 void TargetBoundCache::Insert(
-    uint64_t epoch, BoundDirection direction, std::span<const NodeId> set,
-    std::shared_ptr<const LandmarkSetAggregates> aggregates) {
+    uint64_t oracle_identity, uint64_t epoch, BoundDirection direction,
+    std::span<const NodeId> set,
+    std::shared_ptr<const SetAggregates> aggregates) {
   KPJ_CHECK(aggregates != nullptr);
-  Key key{epoch, direction, std::vector<NodeId>(set.begin(), set.end())};
+  Key key{oracle_identity, epoch, direction,
+          std::vector<NodeId>(set.begin(), set.end())};
   size_t bytes = EntryBytes(key, *aggregates);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -218,26 +241,27 @@ void TargetBoundCache::ResetStats() {
   evictions_.store(0, std::memory_order_relaxed);
 }
 
-LandmarkSetBound MakeCachedSetBound(const LandmarkIndex* index,
-                                    std::span<const NodeId> set,
-                                    BoundDirection direction,
-                                    NodeId scoring_node, uint32_t max_active,
-                                    TargetBoundCache* cache, uint64_t epoch,
-                                    AlgoStats* algo) {
+std::unique_ptr<Heuristic> MakeCachedSetBound(
+    const DistanceOracle* oracle, std::span<const NodeId> set,
+    BoundDirection direction, NodeId scoring_node, uint32_t max_active,
+    TargetBoundCache* cache, uint64_t epoch, AlgoStats* algo) {
+  KPJ_CHECK(oracle != nullptr);
+  std::shared_ptr<const SetAggregates> agg;
   if (cache == nullptr) {
-    return LandmarkSetBound(index, set, direction, scoring_node, max_active);
-  }
-  std::shared_ptr<const LandmarkSetAggregates> agg =
-      cache->Lookup(epoch, direction, set);
-  if (agg != nullptr) {
-    if (algo != nullptr) ++algo->bound_cache_hits;
+    agg = oracle->ComputeSetAggregates(set, direction);
   } else {
-    if (algo != nullptr) ++algo->bound_cache_misses;
-    agg = LandmarkSetBound::ComputeAggregates(*index, set, direction);
-    cache->Insert(epoch, direction, set, agg);
+    const uint64_t identity = oracle->Identity();
+    agg = cache->Lookup(identity, epoch, direction, set);
+    if (agg != nullptr) {
+      if (algo != nullptr) ++algo->bound_cache_hits;
+    } else {
+      if (algo != nullptr) ++algo->bound_cache_misses;
+      agg = oracle->ComputeSetAggregates(set, direction);
+      cache->Insert(identity, epoch, direction, set, agg);
+    }
   }
-  return LandmarkSetBound(index, std::move(agg), direction, scoring_node,
-                          max_active);
+  return oracle->MakeSetBound(std::move(agg), direction, scoring_node,
+                              max_active);
 }
 
 }  // namespace kpj

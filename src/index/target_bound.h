@@ -12,32 +12,23 @@
 #include <vector>
 
 #include "core/instrumentation.h"
+#include "index/distance_oracle.h"
 #include "index/landmark_index.h"
 #include "sssp/astar.h"
 #include "util/types.h"
 
 namespace kpj {
 
-/// Direction of a node-to-set distance bound.
-enum class BoundDirection {
-  /// Bound on dist(u, S) = min over x in S of dist(u, x). This is the
-  /// paper's lb(u, V_T) of Eq. (2): the set is the destination category.
-  kToSet,
-  /// Bound on dist(S, u) = min over x in S of dist(x, u). Used by the
-  /// reverse-oriented SPT_I search (bounding distance *from* the source
-  /// side, §5.3/§6) and by GKPJ's multi-node source.
-  kFromSet,
-};
-
 /// Per-landmark distance aggregates over a fixed node set — the O(|L|*|S|)
 /// part of building a LandmarkSetBound, and a pure function of (landmark
 /// tables, set, direction). Shareable across queries hitting the same
-/// category: see TargetBoundCache.
-struct LandmarkSetAggregates {
+/// category: see TargetBoundCache. (BoundDirection itself lives in
+/// index/distance_oracle.h with the oracle interface.)
+struct LandmarkSetAggregates final : SetAggregates {
   std::vector<PathLength> min_primary;   // kToSet: min_x δ(w,x); kFromSet: min_x δ(x,w)
   std::vector<PathLength> max_secondary; // kToSet: max_x δ(x,w); kFromSet: max_x δ(w,x)
 
-  size_t MemoryBytes() const {
+  size_t MemoryBytes() const override {
     return sizeof(LandmarkSetAggregates) +
            (min_primary.capacity() + max_secondary.capacity()) *
                sizeof(PathLength);
@@ -121,9 +112,11 @@ struct TargetBoundCacheStats {
   size_t entries = 0;
 };
 
-/// LRU cache of LandmarkSetAggregates keyed by (epoch, direction, node
-/// set) — the category-bound cache: repeated KPJ queries against the same
-/// POI category pay the O(|L| * |S|) sweep once. Thread-safe. Epoch
+/// LRU cache of SetAggregates keyed by (oracle identity, epoch, direction,
+/// node set) — the category-bound cache: repeated KPJ queries against the
+/// same POI category pay the per-set aggregation once. Thread-safe. The
+/// oracle's Identity() is part of the key, so aggregates computed by one
+/// oracle (or one oracle's contents) are never served to another. Epoch
 /// invalidation is lazy (the epoch is part of the key) plus eager via
 /// PurgeOlderEpochs.
 class TargetBoundCache {
@@ -133,12 +126,14 @@ class TargetBoundCache {
   TargetBoundCache(const TargetBoundCache&) = delete;
   TargetBoundCache& operator=(const TargetBoundCache&) = delete;
 
-  std::shared_ptr<const LandmarkSetAggregates> Lookup(
-      uint64_t epoch, BoundDirection direction, std::span<const NodeId> set);
+  std::shared_ptr<const SetAggregates> Lookup(uint64_t oracle_identity,
+                                              uint64_t epoch,
+                                              BoundDirection direction,
+                                              std::span<const NodeId> set);
 
-  void Insert(uint64_t epoch, BoundDirection direction,
-              std::span<const NodeId> set,
-              std::shared_ptr<const LandmarkSetAggregates> aggregates);
+  void Insert(uint64_t oracle_identity, uint64_t epoch,
+              BoundDirection direction, std::span<const NodeId> set,
+              std::shared_ptr<const SetAggregates> aggregates);
 
   /// Eagerly removes every entry older than `current_epoch`; removals
   /// count as evictions.
@@ -149,6 +144,7 @@ class TargetBoundCache {
 
  private:
   struct Key {
+    uint64_t oracle;  // DistanceOracle::Identity()
     uint64_t epoch;
     BoundDirection direction;
     std::vector<NodeId> set;
@@ -158,9 +154,9 @@ class TargetBoundCache {
     size_t operator()(const Key& key) const;
   };
   using LruList =
-      std::list<std::pair<Key, std::shared_ptr<const LandmarkSetAggregates>>>;
+      std::list<std::pair<Key, std::shared_ptr<const SetAggregates>>>;
 
-  static size_t EntryBytes(const Key& key, const LandmarkSetAggregates& agg);
+  static size_t EntryBytes(const Key& key, const SetAggregates& agg);
 
   size_t budget_bytes_;
   mutable std::mutex mu_;
@@ -172,17 +168,16 @@ class TargetBoundCache {
   std::atomic<uint64_t> evictions_{0};
 };
 
-/// Builds a LandmarkSetBound, serving the O(|L| * |S|) aggregation from
-/// `cache` when possible. With a null cache this is exactly the plain
-/// constructor. Cache hits/misses are counted into `algo` (if non-null) —
+/// Builds the oracle's set bound, serving the per-set aggregation
+/// (O(|L| * |S|) for ALT, a label merge for hub labels) from `cache` when
+/// possible. With a null cache this is ComputeSetAggregates + MakeSetBound
+/// directly. Cache hits/misses are counted into `algo` (if non-null) —
 /// and, either way, the returned bound is byte-identical to an uncached
 /// one: aggregates are a pure function of the key.
-LandmarkSetBound MakeCachedSetBound(const LandmarkIndex* index,
-                                    std::span<const NodeId> set,
-                                    BoundDirection direction,
-                                    NodeId scoring_node, uint32_t max_active,
-                                    TargetBoundCache* cache, uint64_t epoch,
-                                    AlgoStats* algo);
+std::unique_ptr<Heuristic> MakeCachedSetBound(
+    const DistanceOracle* oracle, std::span<const NodeId> set,
+    BoundDirection direction, NodeId scoring_node, uint32_t max_active,
+    TargetBoundCache* cache, uint64_t epoch, AlgoStats* algo);
 
 }  // namespace kpj
 

@@ -46,7 +46,7 @@ class StatsTest : public ::testing::Test {
     query.k = k;
     KpjOptions options;
     options.algorithm = algorithm;
-    options.landmarks = &dataset_->landmarks;
+    options.oracle = &dataset_->landmarks;
     Result<KpjResult> r = RunKpj(*instance_, query, options);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     return std::move(r).value();

@@ -53,7 +53,7 @@ TEST_P(AlphaInvarianceTest, ResultsIndependentOfAlpha) {
       KpjOptions options;
       options.algorithm = a;
       options.alpha = alpha;
-      options.landmarks = &landmarks;
+      options.oracle = &landmarks;
       Result<KpjResult> result = RunKpj(inst.value(), query, options);
       ASSERT_TRUE(result.ok());
       SCOPED_TRACE(::testing::Message() << AlgorithmName(a) << " alpha="

@@ -148,13 +148,13 @@ TEST(KpjInstanceTest, ResolveOptionsPrefersExplicitLandmarks) {
                   .ok());
 
   KpjOptions options;
-  EXPECT_EQ(ResolveOptions(instance, options).landmarks,
+  EXPECT_EQ(ResolveOptions(instance, options).oracle,
             instance.landmarks());
 
   LandmarkIndex standalone =
       LandmarkIndex::Build(instance.graph(), instance.reverse(), lm_opt);
-  options.landmarks = &standalone;
-  EXPECT_EQ(ResolveOptions(instance, options).landmarks, &standalone);
+  options.oracle = &standalone;
+  EXPECT_EQ(ResolveOptions(instance, options).oracle, &standalone);
 }
 
 TEST(KpjInstanceTest, CategoryQueryRequiresAttachedIndex) {

@@ -61,7 +61,7 @@ class PaperExampleTest : public ::testing::TestWithParam<Algorithm> {
     query.k = k;
     KpjOptions options;
     options.algorithm = GetParam();
-    options.landmarks = &landmarks_;
+    options.oracle = &landmarks_;
     Result<KpjResult> result = RunKpj(instance_, query, options);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return std::move(result).value();

@@ -93,7 +93,7 @@ TEST_P(CrossAlgorithmTest, AllAlgorithmsMatchReference) {
     for (bool use_landmarks : {true, false}) {
       KpjOptions options;
       options.algorithm = algorithm;
-      options.landmarks = use_landmarks ? &landmarks : nullptr;
+      options.oracle = use_landmarks ? &landmarks : nullptr;
       Result<KpjResult> result = RunKpj(inst.value(), query, options);
       ASSERT_TRUE(result.ok())
           << AlgorithmName(algorithm) << ": " << result.status().ToString();

@@ -64,7 +64,7 @@ TEST_P(GkpjPropertyTest, AllAlgorithmsMatchReference) {
   for (Algorithm algorithm : kAllAlgorithms) {
     KpjOptions options;
     options.algorithm = algorithm;
-    options.landmarks = &landmarks;
+    options.oracle = &landmarks;
     Result<KpjResult> result = RunKpj(inst.value(), query, options);
     ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
     SCOPED_TRACE(::testing::Message()

@@ -99,7 +99,7 @@ TEST_P(ReorderPropertyTest, AllAlgorithmsInvariantUnderReordering) {
   for (Algorithm algorithm : kAllAlgorithms) {
     KpjOptions options;
     options.algorithm = algorithm;
-    options.landmarks = &landmarks;
+    options.oracle = &landmarks;
     Result<KpjResult> baseline = RunKpj(identity.value(), query, options);
     ASSERT_TRUE(baseline.ok())
         << AlgorithmName(algorithm) << ": " << baseline.status().ToString();
@@ -117,7 +117,7 @@ TEST_P(ReorderPropertyTest, AllAlgorithmsInvariantUnderReordering) {
       LandmarkIndex remapped =
           landmarks.Remap(reordered.value().permutation());
       KpjOptions reordered_options = options;
-      reordered_options.landmarks = &remapped;
+      reordered_options.oracle = &remapped;
 
       Result<KpjResult> result =
           RunKpj(reordered.value(), query, reordered_options);

@@ -59,7 +59,7 @@ LandmarkIndex* SolverReuseTest::landmarks_ = nullptr;
 TEST_P(SolverReuseTest, RepeatedQueriesMatchFreshSolvers) {
   KpjOptions options;
   options.algorithm = GetParam();
-  options.landmarks = landmarks_;
+  options.oracle = landmarks_;
   std::unique_ptr<KpjSolver> reused =
       MakeSolver(net_->graph, *reverse_, options);
 
@@ -92,7 +92,7 @@ TEST_P(SolverReuseTest, RepeatedQueriesMatchFreshSolvers) {
 TEST_P(SolverReuseTest, SameQueryTwiceIsIdentical) {
   KpjOptions options;
   options.algorithm = GetParam();
-  options.landmarks = landmarks_;
+  options.oracle = landmarks_;
   std::unique_ptr<KpjSolver> solver =
       MakeSolver(net_->graph, *reverse_, options);
   PreparedQuery prepared = Prepare(1, {100, 200, 300}, 10);
@@ -107,7 +107,7 @@ TEST_P(SolverReuseTest, SameQueryTwiceIsIdentical) {
 TEST_P(SolverReuseTest, GrowingKIsPrefixConsistent) {
   KpjOptions options;
   options.algorithm = GetParam();
-  options.landmarks = landmarks_;
+  options.oracle = landmarks_;
   std::unique_ptr<KpjSolver> solver =
       MakeSolver(net_->graph, *reverse_, options);
   PreparedQuery small = Prepare(5, {50, 500}, 4);

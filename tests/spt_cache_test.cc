@@ -170,45 +170,50 @@ class BoundCacheTest : public ::testing::Test {
 
 TEST_F(BoundCacheTest, LookupMissInsertHit) {
   TargetBoundCache cache(1 << 20);
+  const uint64_t id = landmarks_.Identity();
   std::vector<NodeId> set = {5, 17, 40};
-  EXPECT_EQ(cache.Lookup(1, BoundDirection::kToSet, set), nullptr);
+  EXPECT_EQ(cache.Lookup(id, 1, BoundDirection::kToSet, set), nullptr);
   auto agg =
       LandmarkSetBound::ComputeAggregates(landmarks_, set,
                                           BoundDirection::kToSet);
-  cache.Insert(1, BoundDirection::kToSet, set, agg);
+  cache.Insert(id, 1, BoundDirection::kToSet, set, agg);
 
-  EXPECT_EQ(cache.Lookup(1, BoundDirection::kToSet, set), agg);
+  EXPECT_EQ(cache.Lookup(id, 1, BoundDirection::kToSet, set), agg);
   // Any key component mismatch misses.
-  EXPECT_EQ(cache.Lookup(2, BoundDirection::kToSet, set), nullptr);
-  EXPECT_EQ(cache.Lookup(1, BoundDirection::kFromSet, set), nullptr);
+  EXPECT_EQ(cache.Lookup(id, 2, BoundDirection::kToSet, set), nullptr);
+  EXPECT_EQ(cache.Lookup(id, 1, BoundDirection::kFromSet, set), nullptr);
   std::vector<NodeId> other = {5, 17, 41};
-  EXPECT_EQ(cache.Lookup(1, BoundDirection::kToSet, other), nullptr);
+  EXPECT_EQ(cache.Lookup(id, 1, BoundDirection::kToSet, other), nullptr);
+  // A different oracle identity misses even with everything else equal.
+  EXPECT_EQ(cache.Lookup(id ^ 1, 1, BoundDirection::kToSet, set), nullptr);
 
   TargetBoundCacheStats stats = cache.StatsSnapshot();
   EXPECT_EQ(stats.hits, 1u);
-  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.misses, 5u);
   EXPECT_EQ(stats.entries, 1u);
 }
 
 TEST_F(BoundCacheTest, PurgeOlderEpochs) {
   TargetBoundCache cache(1 << 20);
+  const uint64_t id = landmarks_.Identity();
   std::vector<NodeId> set = {5, 17, 40};
   auto agg = LandmarkSetBound::ComputeAggregates(landmarks_, set,
                                                  BoundDirection::kToSet);
-  cache.Insert(1, BoundDirection::kToSet, set, agg);
-  cache.Insert(3, BoundDirection::kFromSet, set, agg);
+  cache.Insert(id, 1, BoundDirection::kToSet, set, agg);
+  cache.Insert(id, 3, BoundDirection::kFromSet, set, agg);
   cache.PurgeOlderEpochs(3);
-  EXPECT_EQ(cache.Lookup(1, BoundDirection::kToSet, set), nullptr);
-  EXPECT_NE(cache.Lookup(3, BoundDirection::kFromSet, set), nullptr);
+  EXPECT_EQ(cache.Lookup(id, 1, BoundDirection::kToSet, set), nullptr);
+  EXPECT_NE(cache.Lookup(id, 3, BoundDirection::kFromSet, set), nullptr);
   EXPECT_EQ(cache.StatsSnapshot().evictions, 1u);
 }
 
 TEST_F(BoundCacheTest, EvictsUnderByteBudget) {
   TargetBoundCache cache(2 << 10);
+  const uint64_t id = landmarks_.Identity();
   for (NodeId i = 0; i + 8 < 64; ++i) {
     std::vector<NodeId> set = {i, static_cast<NodeId>(i + 3),
                                static_cast<NodeId>(i + 8)};
-    cache.Insert(1, BoundDirection::kToSet, set,
+    cache.Insert(id, 1, BoundDirection::kToSet, set,
                  LandmarkSetBound::ComputeAggregates(
                      landmarks_, set, BoundDirection::kToSet));
   }
@@ -224,28 +229,27 @@ TEST_F(BoundCacheTest, CachedSetBoundMatchesPlainConstruction) {
   std::vector<NodeId> set = {5, 17, 40};
   AlgoStats algo;
   for (int round = 0; round < 2; ++round) {  // Round 0 misses, 1 hits.
-    LandmarkSetBound cached =
+    std::unique_ptr<Heuristic> cached =
         MakeCachedSetBound(&landmarks_, set, BoundDirection::kToSet,
                            /*scoring_node=*/12, /*max_active=*/2, &cache,
                            /*epoch=*/1, &algo);
     LandmarkSetBound plain(&landmarks_, set, BoundDirection::kToSet, 12, 2);
     for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
-      ASSERT_EQ(cached.Estimate(u), plain.Estimate(u))
+      ASSERT_EQ(cached->Estimate(u), plain.Estimate(u))
           << "round " << round << " node " << u;
     }
-    EXPECT_EQ(cached.active_landmarks(), plain.active_landmarks());
   }
   EXPECT_EQ(algo.bound_cache_misses, 1u);
   EXPECT_EQ(algo.bound_cache_hits, 1u);
 
-  // Null cache degrades to the plain constructor and counts nothing.
+  // Null cache degrades to direct construction and counts nothing.
   AlgoStats no_cache;
-  LandmarkSetBound uncached =
+  std::unique_ptr<Heuristic> uncached =
       MakeCachedSetBound(&landmarks_, set, BoundDirection::kToSet, 12, 2,
                          nullptr, 1, &no_cache);
   LandmarkSetBound plain(&landmarks_, set, BoundDirection::kToSet, 12, 2);
   for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
-    ASSERT_EQ(uncached.Estimate(u), plain.Estimate(u));
+    ASSERT_EQ(uncached->Estimate(u), plain.Estimate(u));
   }
   EXPECT_EQ(no_cache.bound_cache_misses, 0u);
   EXPECT_EQ(no_cache.bound_cache_hits, 0u);

@@ -52,7 +52,7 @@ TEST_P(ZeroWeightTest, AllAlgorithmsMatchReferenceWithZeroWeights) {
   for (Algorithm a : kAllAlgorithms) {
     KpjOptions options;
     options.algorithm = a;
-    options.landmarks = &landmarks;
+    options.oracle = &landmarks;
     Result<KpjResult> result = RunKpj(inst.value(), query, options);
     ASSERT_TRUE(result.ok()) << AlgorithmName(a);
     SCOPED_TRACE(::testing::Message() << AlgorithmName(a) << " seed "

@@ -81,6 +81,8 @@ PROM_REQUIRED_SERIES = [
     "kpj_candidates_generated_total",
     "kpj_candidates_pruned_total",
     "kpj_lower_bound_tightness_ratio",
+    "kpj_lb_tightness_num_total",
+    "kpj_lb_tightness_den_total",
     "kpj_spt_cache_hits_total",
     "kpj_spt_cache_misses_total",
     "kpj_bound_cache_hits_total",
@@ -161,6 +163,12 @@ def check_prom(text):
         if base not in typed:
             fail(f"line {line_no}: sample {name!r} has no TYPE comment")
         seen.add(base)
+        if name in ("kpj_lb_tightness_num_total",
+                    "kpj_lb_tightness_den_total"):
+            # Raw tightness terms are per-solver series; without the
+            # algorithm label they would aggregate into a meaningless sum.
+            if labels is None or 'algorithm="' not in labels:
+                fail(f"line {line_no}: {name} without algorithm label")
         if name == "kpj_query_latency_ms_bucket":
             if labels is None or 'le="' not in labels:
                 fail(f"line {line_no}: histogram bucket without le label")
