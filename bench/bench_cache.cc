@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/kpj_instance.h"
 #include "gen/road_gen.h"
@@ -162,12 +163,12 @@ int Main() {
     row.algorithm = algorithm;
 
     auto make_engine = [&](size_t cache_mb, unsigned threads) {
-      KpjEngineOptions eopt;
-      eopt.threads = threads;
-      eopt.clamp_to_hardware = false;
-      eopt.solver.algorithm = algorithm;
-      eopt.cache_mb = cache_mb;
-      return std::make_unique<KpjEngine>(instance, eopt);
+      api::EngineConfig config;
+      config.workers = threads;
+      config.clamp_to_hardware = false;
+      config.algorithm = algorithm;
+      config.cache_mb = cache_mb;
+      return std::make_unique<KpjEngine>(instance, config.ToEngineOptions());
     };
     auto off = make_engine(0, 1);
     auto on = make_engine(kCacheMb, 1);

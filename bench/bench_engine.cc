@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/kpj_instance.h"
 #include "core/solver.h"
@@ -143,11 +144,12 @@ int Main() {
   // pools stay warm across rounds, mirroring a long-lived server.
   std::vector<std::unique_ptr<KpjEngine>> engines;
   for (unsigned threads : kThreadCounts) {
-    KpjEngineOptions eopt;
-    eopt.threads = threads;
-    eopt.clamp_to_hardware = false;  // Measure 8 workers even on small boxes.
-    eopt.solver = solver_options;
-    engines.push_back(std::make_unique<KpjEngine>(instance, eopt));
+    api::EngineConfig config;
+    config.workers = threads;
+    config.clamp_to_hardware = false;  // Measure 8 workers even on small boxes.
+    config.algorithm = solver_options.algorithm;
+    engines.push_back(
+        std::make_unique<KpjEngine>(instance, config.ToEngineOptions()));
   }
 
   // Warm-up + reference answers.

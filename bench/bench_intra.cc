@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/kpj_instance.h"
 #include "gen/road_gen.h"
@@ -112,12 +113,12 @@ int Main() {
   hard.k = kK;
 
   auto make_engine = [&](unsigned intra) {
-    KpjEngineOptions eopt;
-    eopt.threads = kWorkers;
-    eopt.clamp_to_hardware = false;
-    eopt.intra_threads = intra;
-    eopt.solver.algorithm = Algorithm::kDA;
-    return std::make_unique<KpjEngine>(instance, eopt);
+    api::EngineConfig config;
+    config.workers = kWorkers;
+    config.clamp_to_hardware = false;
+    config.intra_threads = intra;
+    config.algorithm = Algorithm::kDA;
+    return std::make_unique<KpjEngine>(instance, config.ToEngineOptions());
   };
 
   // --- Single hard query at intra 1/2/4 -----------------------------------

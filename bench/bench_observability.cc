@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/instrumentation.h"
 #include "core/kpj_instance.h"
@@ -135,11 +136,11 @@ int Main() {
   std::string reference_counters;
   std::vector<bool> counters_identical;
   for (unsigned threads : kThreadCounts) {
-    KpjEngineOptions eopt;
-    eopt.threads = threads;
-    eopt.clamp_to_hardware = false;
-    eopt.solver = solver_options;
-    KpjEngine engine(instance, eopt);
+    api::EngineConfig config;
+    config.workers = threads;
+    config.clamp_to_hardware = false;
+    config.algorithm = solver_options.algorithm;
+    KpjEngine engine(instance, config.ToEngineOptions());
     std::string answers = Canonicalize(engine.RunBatch(queries));
     std::string counters = AlgoStatsKey(engine.MetricsSnapshot().algo);
     if (reference_answers.empty()) {
@@ -160,11 +161,11 @@ int Main() {
 
   // --- Overhead: single-worker engine, tracing off vs on, interleaved
   // rounds, best-of. One engine so the solver pool is equally warm.
-  KpjEngineOptions eopt;
-  eopt.threads = 1;
-  eopt.clamp_to_hardware = false;
-  eopt.solver = solver_options;
-  KpjEngine engine(instance, eopt);
+  api::EngineConfig overhead_config;
+  overhead_config.workers = 1;
+  overhead_config.clamp_to_hardware = false;
+  overhead_config.algorithm = solver_options.algorithm;
+  KpjEngine engine(instance, overhead_config.ToEngineOptions());
   engine.RunBatch(queries);  // Warm-up.
 
   TraceRecorder& recorder = TraceRecorder::Global();

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/kpj_instance.h"
 #include "gen/road_gen.h"
@@ -210,10 +211,13 @@ int Main() {
     row.algorithm = algorithm;
 
     auto make_engine = [&](const DistanceOracle* oracle) {
-      KpjEngineOptions eopt;
-      eopt.threads = 1;
-      eopt.clamp_to_hardware = false;
-      eopt.solver.algorithm = algorithm;
+      api::EngineConfig config;
+      config.workers = 1;
+      config.clamp_to_hardware = false;
+      config.algorithm = algorithm;
+      KpjEngineOptions eopt = config.ToEngineOptions();
+      // The A/B comparison pins each engine to one oracle explicitly,
+      // independent of the instance's SelectOracle state.
       eopt.solver.oracle = oracle;
       return std::make_unique<KpjEngine>(instance, eopt);
     };

@@ -11,7 +11,8 @@
 #   scripts/check.sh --tsan          # opt-in ThreadSanitizer run of the
 #                                    # concurrency suite (engine, pool,
 #                                    # parallel, intra, trace,
-#                                    # observability, cache reuse) only
+#                                    # observability, cache reuse, api,
+#                                    # socket, server) only
 #   scripts/check.sh --bench-gate    # opt-in perf gate: re-run bench_cache,
 #                                    # bench_intra, and bench_oracle and
 #                                    # diff against the checked-in
@@ -25,7 +26,9 @@
 # After ctest, every mode drives the built kpj_cli end to end on a small
 # generated graph with --trace-out / --metrics-out and validates the
 # emitted trace JSON, metrics JSON, and Prometheus text with
-# tools/validate_metrics.py.
+# tools/validate_metrics.py, then boots kpjd on loopback and round-trips
+# health/query/metrics/drain through kpj_client (failing on any leaked
+# daemon process).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,7 +56,7 @@ elif [[ "${1:-}" == "--tsan" || "${KPJ_CHECK_TSAN:-0}" == "1" ]]; then
   cmake_flags+=("-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all")
   # hub_label_index_test is in the list for its multi-threaded
   # byte-identical-build property, not for raw coverage.
-  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|intra_test|trace_test|observability_test|cache_reuse_test|hub_label_index_test")
+  ctest_flags+=("-R" "engine_test|thread_pool_test|parallel_test|intra_test|trace_test|observability_test|cache_reuse_test|hub_label_index_test|api_test|socket_test|server_test")
 elif [[ "${1:-}" == "--bench-gate" || "${KPJ_CHECK_BENCH_GATE:-0}" == "1" ]]; then
   mode=bench-gate
 fi
@@ -106,6 +109,71 @@ echo "observability smoke OK"
   --targets 100,200,300 --k 5 | grep -o 'len [0-9]*' > "$smoke_dir/hub_lens.txt"
 diff "$smoke_dir/alt_lens.txt" "$smoke_dir/hub_lens.txt"
 echo "oracle smoke OK"
+
+# --- Service smoke: boot kpjd on an ephemeral loopback port, round-trip
+# health + query + metrics through kpj_client over the wire protocol, then
+# drain and require a clean exit with no leaked daemon process. The wire
+# query must match what kpj_cli computes in-process on the same graph.
+kpjd="$build_dir/tools/kpjd"
+kpj_client="$build_dir/tools/kpj_client"
+kpjd_pid=""
+cleanup_kpjd() {
+  if [[ -n "$kpjd_pid" ]] && kill -0 "$kpjd_pid" 2>/dev/null; then
+    kill -9 "$kpjd_pid" 2>/dev/null || true
+    echo "service smoke FAILED: kpjd (pid $kpjd_pid) leaked" >&2
+  fi
+}
+trap cleanup_kpjd EXIT
+
+"$kpjd" --graph "$smoke_dir/g.bin" --port 0 \
+  --port-file "$smoke_dir/kpjd.port" --workers 2 \
+  --metrics-out "$smoke_dir/kpjd_metrics.json" \
+  > "$smoke_dir/kpjd.log" 2>&1 &
+kpjd_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$smoke_dir/kpjd.port" ]] && break
+  if ! kill -0 "$kpjd_pid" 2>/dev/null; then
+    cat "$smoke_dir/kpjd.log" >&2
+    echo "service smoke FAILED: kpjd exited before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$smoke_dir/kpjd.port" ]] || {
+  echo "service smoke FAILED: no port file" >&2; exit 1; }
+
+"$kpj_client" health --port-file "$smoke_dir/kpjd.port" > /dev/null
+"$kpj_client" query --port-file "$smoke_dir/kpjd.port" \
+  --source 0 --targets 100,200,300 --k 5 > "$smoke_dir/wire_answer.txt"
+# Byte-identity gate: the daemon's paths equal the in-process CLI's.
+"$cli" query --graph "$smoke_dir/g.bin" --source 0 --targets 100,200,300 \
+  --k 5 | grep ' -> ' > "$smoke_dir/cli_answer.txt"
+grep ' -> ' "$smoke_dir/wire_answer.txt" > "$smoke_dir/wire_paths.txt"
+diff "$smoke_dir/cli_answer.txt" "$smoke_dir/wire_paths.txt"
+
+"$kpj_client" metrics --port-file "$smoke_dir/kpjd.port" --format prom \
+  > "$smoke_dir/kpjd_metrics.prom"
+python3 tools/validate_metrics.py --mode prom --server \
+  "$smoke_dir/kpjd_metrics.prom"
+
+"$kpj_client" drain --port-file "$smoke_dir/kpjd.port" > /dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$kpjd_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$kpjd_pid" 2>/dev/null; then
+  echo "service smoke FAILED: kpjd did not exit after drain" >&2
+  exit 1
+fi
+wait "$kpjd_pid"
+kpjd_pid=""
+trap - EXIT
+# The daemon flushed its final metrics on drain; they must carry the
+# server-level schema too.
+python3 tools/validate_metrics.py --mode metrics-json --server \
+  "$smoke_dir/kpjd_metrics.json"
+grep -q "kpjd drained cleanly" "$smoke_dir/kpjd.log"
+echo "service smoke OK"
 
 # --- Opt-in bench gate: re-run the cross-query cache and intra-query
 # parallelism benchmarks and fail if any timing or speedup leaf regressed

@@ -1,0 +1,488 @@
+#include "api/wire.h"
+
+#include <limits>
+#include <utility>
+
+namespace kpj::api {
+namespace {
+
+/// Reads a non-negative integer field into U (uint32/uint64), rejecting
+/// negatives and overflow with the shared "field 'k' ..." error format.
+template <typename U>
+Result<U> GetUint(const JsonValue& object, std::string_view key, U def) {
+  Result<int64_t> value = GetInt(object, key, static_cast<int64_t>(def));
+  if (!value.ok()) return value.status();
+  if (value.value() < 0 ||
+      static_cast<uint64_t>(value.value()) > std::numeric_limits<U>::max()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' out of range");
+  }
+  return static_cast<U>(value.value());
+}
+
+/// Reads an array of node ids.
+Result<std::vector<NodeId>> GetNodeArray(const JsonValue& object,
+                                         std::string_view key) {
+  const JsonValue* field = object.Find(key);
+  if (field == nullptr || !field->is_array()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be an array of node ids");
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(field->items().size());
+  for (const JsonValue& item : field->items()) {
+    if (!item.is_int() || item.int_value() < 0) {
+      return Status::InvalidArgument("field '" + std::string(key) +
+                                     "' must be an array of node ids");
+    }
+    nodes.push_back(static_cast<NodeId>(item.int_value()));
+  }
+  return nodes;
+}
+
+JsonValue NodeArray(const std::vector<NodeId>& nodes) {
+  JsonValue array = JsonValue::Array();
+  for (NodeId node : nodes) array.Append(JsonValue::Uint(node));
+  return array;
+}
+
+}  // namespace
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kQuery: return "query";
+    case RequestType::kBatch: return "batch";
+    case RequestType::kMetrics: return "metrics";
+    case RequestType::kHealth: return "health";
+    case RequestType::kDrain: return "drain";
+    case RequestType::kSwap: return "swap";
+  }
+  return "query";
+}
+
+Result<RequestType> ParseRequestType(std::string_view name) {
+  constexpr RequestType kAll[] = {
+      RequestType::kQuery,  RequestType::kBatch, RequestType::kMetrics,
+      RequestType::kHealth, RequestType::kDrain, RequestType::kSwap,
+  };
+  for (RequestType type : kAll) {
+    if (name == RequestTypeName(type)) return type;
+  }
+  return Status::InvalidArgument("unknown request type '" +
+                                 std::string(name) + "'");
+}
+
+// --- QueryRequest ---------------------------------------------------------
+
+JsonValue ToJson(const QueryRequest& request) {
+  JsonValue object = JsonValue::Object();
+  object.Set("sources", NodeArray(request.sources));
+  object.Set("targets", NodeArray(request.targets));
+  object.Set("k", JsonValue::Uint(request.k));
+  if (request.deadline_ms >= 0.0) {
+    object.Set("deadline_ms", JsonValue::Double(request.deadline_ms));
+  }
+  return object;
+}
+
+Result<QueryRequest> QueryRequestFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("query payload must be an object");
+  }
+  QueryRequest request;
+  Result<std::vector<NodeId>> sources = GetNodeArray(json, "sources");
+  if (!sources.ok()) return sources.status();
+  request.sources = std::move(sources).value();
+  Result<std::vector<NodeId>> targets = GetNodeArray(json, "targets");
+  if (!targets.ok()) return targets.status();
+  request.targets = std::move(targets).value();
+  Result<uint32_t> k = GetUint<uint32_t>(json, "k", 1);
+  if (!k.ok()) return k.status();
+  request.k = k.value();
+  Result<double> deadline = GetDouble(json, "deadline_ms", -1.0);
+  if (!deadline.ok()) return deadline.status();
+  request.deadline_ms = deadline.value();
+  return request;
+}
+
+// --- QueryResponse --------------------------------------------------------
+
+JsonValue ToJson(const QueryResponse& response) {
+  JsonValue object = JsonValue::Object();
+  object.Set("status", JsonValue::Str(StatusCodeName(response.status)));
+  if (!response.message.empty()) {
+    object.Set("message", JsonValue::Str(response.message));
+  }
+  JsonValue paths = JsonValue::Array();
+  for (const PathPayload& path : response.paths) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("nodes", NodeArray(path.nodes));
+    entry.Set("length", JsonValue::Uint(path.length));
+    paths.Append(std::move(entry));
+  }
+  object.Set("paths", std::move(paths));
+  object.Set("epoch", JsonValue::Uint(response.epoch));
+  object.Set("elapsed_ms", JsonValue::Double(response.elapsed_ms));
+  object.Set("queue_ms", JsonValue::Double(response.queue_ms));
+  object.Set("sp_computations", JsonValue::Uint(response.sp_computations));
+  object.Set("nodes_settled", JsonValue::Uint(response.nodes_settled));
+  return object;
+}
+
+Result<QueryResponse> QueryResponseFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("query response must be an object");
+  }
+  QueryResponse response;
+  Result<std::string> status = GetString(json, "status");
+  if (!status.ok()) return status.status();
+  Result<StatusCode> code = ParseStatusCode(status.value());
+  if (!code.ok()) return code.status();
+  response.status = code.value();
+  Result<std::string> message = GetString(json, "message", "");
+  if (!message.ok()) return message.status();
+  response.message = std::move(message).value();
+  const JsonValue* paths = json.Find("paths");
+  if (paths == nullptr || !paths->is_array()) {
+    return Status::InvalidArgument("field 'paths' must be an array");
+  }
+  response.paths.reserve(paths->items().size());
+  for (const JsonValue& entry : paths->items()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("field 'paths' must hold objects");
+    }
+    PathPayload path;
+    Result<std::vector<NodeId>> nodes = GetNodeArray(entry, "nodes");
+    if (!nodes.ok()) return nodes.status();
+    path.nodes = std::move(nodes).value();
+    Result<uint64_t> length = GetUint<uint64_t>(entry, "length", 0);
+    if (!length.ok()) return length.status();
+    path.length = length.value();
+    response.paths.push_back(std::move(path));
+  }
+  Result<uint64_t> epoch = GetUint<uint64_t>(json, "epoch", 0);
+  if (!epoch.ok()) return epoch.status();
+  response.epoch = epoch.value();
+  Result<double> elapsed = GetDouble(json, "elapsed_ms", 0.0);
+  if (!elapsed.ok()) return elapsed.status();
+  response.elapsed_ms = elapsed.value();
+  Result<double> queued = GetDouble(json, "queue_ms", 0.0);
+  if (!queued.ok()) return queued.status();
+  response.queue_ms = queued.value();
+  Result<uint64_t> sp = GetUint<uint64_t>(json, "sp_computations", 0);
+  if (!sp.ok()) return sp.status();
+  response.sp_computations = sp.value();
+  Result<uint64_t> settled = GetUint<uint64_t>(json, "nodes_settled", 0);
+  if (!settled.ok()) return settled.status();
+  response.nodes_settled = settled.value();
+  return response;
+}
+
+// --- BatchRequest / BatchResponse -----------------------------------------
+
+JsonValue ToJson(const BatchRequest& request) {
+  JsonValue object = JsonValue::Object();
+  JsonValue queries = JsonValue::Array();
+  for (const QueryRequest& query : request.queries) {
+    queries.Append(ToJson(query));
+  }
+  object.Set("queries", std::move(queries));
+  if (request.deadline_ms >= 0.0) {
+    object.Set("deadline_ms", JsonValue::Double(request.deadline_ms));
+  }
+  return object;
+}
+
+Result<BatchRequest> BatchRequestFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("batch payload must be an object");
+  }
+  const JsonValue* queries = json.Find("queries");
+  if (queries == nullptr || !queries->is_array()) {
+    return Status::InvalidArgument("field 'queries' must be an array");
+  }
+  BatchRequest request;
+  request.queries.reserve(queries->items().size());
+  for (const JsonValue& entry : queries->items()) {
+    Result<QueryRequest> query = QueryRequestFromJson(entry);
+    if (!query.ok()) return query.status();
+    request.queries.push_back(std::move(query).value());
+  }
+  Result<double> deadline = GetDouble(json, "deadline_ms", -1.0);
+  if (!deadline.ok()) return deadline.status();
+  request.deadline_ms = deadline.value();
+  return request;
+}
+
+JsonValue ToJson(const BatchResponse& response) {
+  JsonValue object = JsonValue::Object();
+  object.Set("status", JsonValue::Str(StatusCodeName(response.status)));
+  if (!response.message.empty()) {
+    object.Set("message", JsonValue::Str(response.message));
+  }
+  JsonValue results = JsonValue::Array();
+  for (const QueryResponse& result : response.results) {
+    results.Append(ToJson(result));
+  }
+  object.Set("results", std::move(results));
+  return object;
+}
+
+Result<BatchResponse> BatchResponseFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("batch response must be an object");
+  }
+  BatchResponse response;
+  Result<std::string> status = GetString(json, "status");
+  if (!status.ok()) return status.status();
+  Result<StatusCode> code = ParseStatusCode(status.value());
+  if (!code.ok()) return code.status();
+  response.status = code.value();
+  Result<std::string> message = GetString(json, "message", "");
+  if (!message.ok()) return message.status();
+  response.message = std::move(message).value();
+  const JsonValue* results = json.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    return Status::InvalidArgument("field 'results' must be an array");
+  }
+  response.results.reserve(results->items().size());
+  for (const JsonValue& entry : results->items()) {
+    Result<QueryResponse> result = QueryResponseFromJson(entry);
+    if (!result.ok()) return result.status();
+    response.results.push_back(std::move(result).value());
+  }
+  return response;
+}
+
+// --- MetricsRequest -------------------------------------------------------
+
+JsonValue ToJson(const MetricsRequest& request) {
+  JsonValue object = JsonValue::Object();
+  object.Set("format", JsonValue::Str(request.format));
+  return object;
+}
+
+Result<MetricsRequest> MetricsRequestFromJson(const JsonValue& json) {
+  MetricsRequest request;
+  if (json.is_null()) return request;  // Format defaults to json.
+  if (!json.is_object()) {
+    return Status::InvalidArgument("metrics payload must be an object");
+  }
+  Result<std::string> format = GetString(json, "format", "json");
+  if (!format.ok()) return format.status();
+  request.format = std::move(format).value();
+  if (request.format != "json" && request.format != "prom") {
+    return Status::InvalidArgument("field 'format' must be 'json' or 'prom'");
+  }
+  return request;
+}
+
+// --- SwapRequest ----------------------------------------------------------
+
+JsonValue ToJson(const SwapRequest& request) {
+  JsonValue object = JsonValue::Object();
+  object.Set("graph", JsonValue::Str(request.graph));
+  if (!request.landmarks.empty()) {
+    object.Set("landmarks", JsonValue::Str(request.landmarks));
+  }
+  if (request.oracle.has_value()) {
+    object.Set("oracle", JsonValue::Str(OracleKindName(*request.oracle)));
+  }
+  return object;
+}
+
+Result<SwapRequest> SwapRequestFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("swap payload must be an object");
+  }
+  SwapRequest request;
+  Result<std::string> graph = GetString(json, "graph");
+  if (!graph.ok()) return graph.status();
+  request.graph = std::move(graph).value();
+  Result<std::string> landmarks = GetString(json, "landmarks", "");
+  if (!landmarks.ok()) return landmarks.status();
+  request.landmarks = std::move(landmarks).value();
+  if (const JsonValue* oracle = json.Find("oracle"); oracle != nullptr) {
+    if (!oracle->is_string()) {
+      return Status::InvalidArgument("field 'oracle' must be a string");
+    }
+    Result<OracleKind> kind = ParseOracleKind(oracle->string_value());
+    if (!kind.ok()) {
+      return Status::InvalidArgument("field 'oracle' must be 'alt' or "
+                                     "'hublabel'");
+    }
+    request.oracle = kind.value();
+  }
+  return request;
+}
+
+// --- HealthInfo -----------------------------------------------------------
+
+JsonValue ToJson(const HealthInfo& info) {
+  JsonValue object = JsonValue::Object();
+  object.Set("serving", JsonValue::Bool(info.serving));
+  object.Set("epoch", JsonValue::Uint(info.epoch));
+  object.Set("graph", JsonValue::Str(info.graph));
+  object.Set("uptime_ms", JsonValue::Uint(info.uptime_ms));
+  object.Set("in_flight", JsonValue::Uint(info.in_flight));
+  return object;
+}
+
+Result<HealthInfo> HealthInfoFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("health payload must be an object");
+  }
+  HealthInfo info;
+  Result<bool> serving = GetBool(json, "serving", false);
+  if (!serving.ok()) return serving.status();
+  info.serving = serving.value();
+  Result<uint64_t> epoch = GetUint<uint64_t>(json, "epoch", 0);
+  if (!epoch.ok()) return epoch.status();
+  info.epoch = epoch.value();
+  Result<std::string> graph = GetString(json, "graph", "");
+  if (!graph.ok()) return graph.status();
+  info.graph = std::move(graph).value();
+  Result<uint64_t> uptime = GetUint<uint64_t>(json, "uptime_ms", 0);
+  if (!uptime.ok()) return uptime.status();
+  info.uptime_ms = uptime.value();
+  Result<uint64_t> in_flight = GetUint<uint64_t>(json, "in_flight", 0);
+  if (!in_flight.ok()) return in_flight.status();
+  info.in_flight = in_flight.value();
+  return info;
+}
+
+// --- SwapInfo -------------------------------------------------------------
+
+JsonValue ToJson(const SwapInfo& info) {
+  JsonValue object = JsonValue::Object();
+  object.Set("old_epoch", JsonValue::Uint(info.old_epoch));
+  object.Set("new_epoch", JsonValue::Uint(info.new_epoch));
+  object.Set("load_ms", JsonValue::Double(info.load_ms));
+  return object;
+}
+
+Result<SwapInfo> SwapInfoFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("swap response must be an object");
+  }
+  SwapInfo info;
+  Result<uint64_t> old_epoch = GetUint<uint64_t>(json, "old_epoch", 0);
+  if (!old_epoch.ok()) return old_epoch.status();
+  info.old_epoch = old_epoch.value();
+  Result<uint64_t> new_epoch = GetUint<uint64_t>(json, "new_epoch", 0);
+  if (!new_epoch.ok()) return new_epoch.status();
+  info.new_epoch = new_epoch.value();
+  Result<double> load_ms = GetDouble(json, "load_ms", 0.0);
+  if (!load_ms.ok()) return load_ms.status();
+  info.load_ms = load_ms.value();
+  return info;
+}
+
+// --- Envelopes ------------------------------------------------------------
+
+std::string SerializeRequest(const RequestEnvelope& request) {
+  JsonValue object = JsonValue::Object();
+  object.Set("v", JsonValue::Uint(request.version));
+  object.Set("id", JsonValue::Uint(request.id));
+  object.Set("type", JsonValue::Str(RequestTypeName(request.type)));
+  if (!request.payload.is_null()) {
+    object.Set("payload", request.payload);
+  }
+  return object.Dump();
+}
+
+namespace {
+
+/// Shared envelope-prefix parsing: version rules + correlation id.
+Result<std::pair<uint32_t, uint64_t>> ParseEnvelopePrefix(
+    const JsonValue& object) {
+  Result<uint32_t> version = GetUint<uint32_t>(object, "v", 0);
+  if (!version.ok()) return version.status();
+  if (version.value() == 0) {
+    return Status::InvalidArgument("missing field 'v'");
+  }
+  if (version.value() > kApiVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(version.value()) +
+        " (this server speaks <= " + std::to_string(kApiVersion) + ")");
+  }
+  Result<uint64_t> id = GetUint<uint64_t>(object, "id", 0);
+  if (!id.ok()) return id.status();
+  return std::make_pair(version.value(), id.value());
+}
+
+}  // namespace
+
+Result<RequestEnvelope> ParseRequest(std::string_view text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& object = parsed.value();
+  if (!object.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Result<std::pair<uint32_t, uint64_t>> prefix = ParseEnvelopePrefix(object);
+  if (!prefix.ok()) return prefix.status();
+  RequestEnvelope request;
+  request.version = prefix.value().first;
+  request.id = prefix.value().second;
+  Result<std::string> type = GetString(object, "type");
+  if (!type.ok()) return type.status();
+  Result<RequestType> parsed_type = ParseRequestType(type.value());
+  if (!parsed_type.ok()) return parsed_type.status();
+  request.type = parsed_type.value();
+  if (const JsonValue* payload = object.Find("payload"); payload != nullptr) {
+    request.payload = *payload;
+  }
+  return request;
+}
+
+std::string SerializeResponse(const ResponseEnvelope& response) {
+  JsonValue object = JsonValue::Object();
+  object.Set("v", JsonValue::Uint(response.version));
+  object.Set("id", JsonValue::Uint(response.id));
+  object.Set("status", JsonValue::Str(StatusCodeName(response.status)));
+  if (!response.message.empty()) {
+    object.Set("message", JsonValue::Str(response.message));
+  }
+  if (!response.payload.is_null()) {
+    object.Set("payload", response.payload);
+  }
+  return object.Dump();
+}
+
+Result<ResponseEnvelope> ParseResponse(std::string_view text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& object = parsed.value();
+  if (!object.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  Result<std::pair<uint32_t, uint64_t>> prefix = ParseEnvelopePrefix(object);
+  if (!prefix.ok()) return prefix.status();
+  ResponseEnvelope response;
+  response.version = prefix.value().first;
+  response.id = prefix.value().second;
+  Result<std::string> status = GetString(object, "status");
+  if (!status.ok()) return status.status();
+  Result<StatusCode> code = ParseStatusCode(status.value());
+  if (!code.ok()) return code.status();
+  response.status = code.value();
+  Result<std::string> message = GetString(object, "message", "");
+  if (!message.ok()) return message.status();
+  response.message = std::move(message).value();
+  if (const JsonValue* payload = object.Find("payload"); payload != nullptr) {
+    response.payload = *payload;
+  }
+  return response;
+}
+
+ResponseEnvelope ErrorResponse(uint64_t id, StatusCode status,
+                               std::string message) {
+  ResponseEnvelope response;
+  response.id = id;
+  response.status = status;
+  response.message = std::move(message);
+  return response;
+}
+
+}  // namespace kpj::api

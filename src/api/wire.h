@@ -1,0 +1,124 @@
+#ifndef KPJ_API_WIRE_H_
+#define KPJ_API_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/api.h"
+#include "api/json.h"
+#include "index/distance_oracle.h"
+#include "util/status.h"
+
+namespace kpj::api {
+
+/// The six request types kpjd serves (docs/PROTOCOL.md).
+enum class RequestType : uint32_t {
+  kQuery = 0,    ///< One KpjQuery -> QueryResponse.
+  kBatch = 1,    ///< Ordered batch -> BatchResponse.
+  kMetrics = 2,  ///< Metrics exposition (json or prom format).
+  kHealth = 3,   ///< Liveness + serving epoch.
+  kDrain = 4,    ///< Begin graceful drain; acknowledged immediately.
+  kSwap = 5,     ///< Hot-swap the serving instance to a new graph file.
+};
+
+const char* RequestTypeName(RequestType type);
+Result<RequestType> ParseRequestType(std::string_view name);
+
+/// Payload of a kMetrics request.
+struct MetricsRequest {
+  std::string format = "json";  ///< "json" or "prom".
+};
+
+/// Payload of a kSwap request: paths are resolved by the *server* process.
+struct SwapRequest {
+  std::string graph;                ///< New graph file (required).
+  std::string landmarks;            ///< Optional landmark index file.
+  std::optional<OracleKind> oracle; ///< Absent = keep the current kind.
+};
+
+/// Payload of a kHealth response.
+struct HealthInfo {
+  bool serving = false;    ///< False while draining.
+  uint64_t epoch = 0;      ///< Current serving-state epoch.
+  std::string graph;       ///< Graph file backing the current epoch.
+  uint64_t uptime_ms = 0;  ///< Milliseconds since the server started.
+  uint64_t in_flight = 0;  ///< Admitted queries currently executing.
+};
+
+/// Payload of a kSwap response.
+struct SwapInfo {
+  uint64_t old_epoch = 0;
+  uint64_t new_epoch = 0;
+  double load_ms = 0.0;  ///< Wall time spent building the new state.
+};
+
+/// One request frame: {"v":1,"id":7,"type":"query","payload":{...}}.
+/// `id` is an opaque client-chosen correlation id echoed in the response.
+struct RequestEnvelope {
+  uint32_t version = kApiVersion;
+  uint64_t id = 0;
+  RequestType type = RequestType::kQuery;
+  /// Parsed payload object (kind depends on `type`); Null for types that
+  /// carry none (health, drain).
+  JsonValue payload;
+};
+
+/// One response frame:
+/// {"v":1,"id":7,"status":"ok","message":"","payload":{...}}.
+struct ResponseEnvelope {
+  uint32_t version = kApiVersion;
+  uint64_t id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::string message;
+  JsonValue payload;
+};
+
+// --- Payload (de)serialization -------------------------------------------
+
+JsonValue ToJson(const QueryRequest& request);
+Result<QueryRequest> QueryRequestFromJson(const JsonValue& json);
+
+JsonValue ToJson(const QueryResponse& response);
+Result<QueryResponse> QueryResponseFromJson(const JsonValue& json);
+
+JsonValue ToJson(const BatchRequest& request);
+Result<BatchRequest> BatchRequestFromJson(const JsonValue& json);
+
+JsonValue ToJson(const BatchResponse& response);
+Result<BatchResponse> BatchResponseFromJson(const JsonValue& json);
+
+JsonValue ToJson(const MetricsRequest& request);
+Result<MetricsRequest> MetricsRequestFromJson(const JsonValue& json);
+
+JsonValue ToJson(const SwapRequest& request);
+Result<SwapRequest> SwapRequestFromJson(const JsonValue& json);
+
+JsonValue ToJson(const HealthInfo& info);
+Result<HealthInfo> HealthInfoFromJson(const JsonValue& json);
+
+JsonValue ToJson(const SwapInfo& info);
+Result<SwapInfo> SwapInfoFromJson(const JsonValue& json);
+
+// --- Envelope (de)serialization ------------------------------------------
+
+/// Serializes one request frame body (the length prefix is the socket
+/// layer's job; util/socket.h WriteFrame).
+std::string SerializeRequest(const RequestEnvelope& request);
+
+/// Parses a request frame body. Enforces the versioning rules: a version
+/// above kApiVersion is rejected with kInvalidArgument (the message names
+/// both versions); unknown fields are ignored.
+Result<RequestEnvelope> ParseRequest(std::string_view text);
+
+std::string SerializeResponse(const ResponseEnvelope& response);
+Result<ResponseEnvelope> ParseResponse(std::string_view text);
+
+/// Convenience: an error response echoing `id`.
+ResponseEnvelope ErrorResponse(uint64_t id, StatusCode status,
+                               std::string message);
+
+}  // namespace kpj::api
+
+#endif  // KPJ_API_WIRE_H_

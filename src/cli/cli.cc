@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <fstream>
-#include <sstream>
 
 #include "core/engine.h"
 #include "core/kpj.h"
@@ -14,7 +13,6 @@
 #include "graph/serialize.h"
 #include "index/hub_label_index.h"
 #include "index/landmark_index.h"
-#include "util/concurrency.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -32,14 +30,7 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
 /// Binary files may carry a stored permutation (reordered layout); DIMACS
 /// text never does.
 Result<GraphFile> LoadGraph(const std::string& path) {
-  if (EndsWith(path, ".gr")) {
-    Result<Graph> graph = ReadDimacsGraph(path);
-    if (!graph.ok()) return graph.status();
-    GraphFile file;
-    file.graph = std::move(graph).value();
-    return file;
-  }
-  return LoadGraphFile(path);
+  return LoadGraphAuto(path);
 }
 
 Status SaveGraph(const Graph& graph, const Permutation& permutation,
@@ -60,84 +51,6 @@ Result<ReorderStrategy> GetReorderFlag(const ParsedArgs& args) {
   auto name = args.Get("reorder");
   if (!name.has_value()) return ReorderStrategy::kNone;
   return ParseReorderStrategy(*name);
-}
-
-/// Reads the --threads flag (default `def`, must be >= 1). The single
-/// parsing/validation point shared by landmarks/query/batch; the advisory
-/// hardware clamp is applied downstream (ThreadPool::ClampToHardware).
-Result<unsigned> GetThreadsFlag(const ParsedArgs& args, int64_t def = 1) {
-  Result<int64_t> threads = args.GetInt("threads", def);
-  if (!threads.ok()) return threads.status();
-  if (threads.value() < 1) {
-    return Status::InvalidArgument("--threads must be >= 1");
-  }
-  return static_cast<unsigned>(threads.value());
-}
-
-/// Reads the --intra-threads flag: lanes each query's deviation rounds
-/// may fan out across (default 1 = sequential rounds; 0 = auto-split the
-/// pool between in-flight queries). Explicit values share the advisory
-/// hardware clamp with --threads (EffectiveWorkers); answers are
-/// byte-identical at every setting.
-Result<unsigned> GetIntraThreadsFlag(const ParsedArgs& args) {
-  Result<int64_t> intra = args.GetInt("intra-threads", 1);
-  if (!intra.ok()) return intra.status();
-  if (intra.value() < 0) {
-    return Status::InvalidArgument("--intra-threads must be >= 0");
-  }
-  unsigned lanes = static_cast<unsigned>(intra.value());
-  if (lanes > 1) lanes = EffectiveWorkers(lanes);
-  return lanes;
-}
-
-/// Reads the --oracle flag: which attached distance oracle the solvers
-/// should consult (default alt = landmark/ALT bounds).
-Result<OracleKind> GetOracleFlag(const ParsedArgs& args) {
-  auto name = args.Get("oracle");
-  if (!name.has_value() || *name == "alt") return OracleKind::kAlt;
-  if (*name == "hublabel") return OracleKind::kHubLabel;
-  return Status::InvalidArgument("--oracle must be 'alt' or 'hublabel'");
-}
-
-/// Reads the --deadline-ms flag (default 0 = unbounded).
-Result<double> GetDeadlineFlag(const ParsedArgs& args) {
-  auto text = args.Get("deadline-ms");
-  if (!text.has_value()) return 0.0;
-  auto parsed = ParseDouble(*text);
-  if (!parsed || *parsed < 0.0) {
-    return Status::InvalidArgument("--deadline-ms must be >= 0");
-  }
-  return *parsed;
-}
-
-/// Reads the --slow-query-ms flag (default 0 = disabled).
-Result<double> GetSlowQueryFlag(const ParsedArgs& args) {
-  auto text = args.Get("slow-query-ms");
-  if (!text.has_value()) return 0.0;
-  auto parsed = ParseDouble(*text);
-  if (!parsed || *parsed < 0.0) {
-    return Status::InvalidArgument("--slow-query-ms must be >= 0");
-  }
-  return *parsed;
-}
-
-/// Reads the cross-query cache budget: --no-cache wins, otherwise
-/// --cache-mb N (default 64 MiB). Results are byte-identical either way;
-/// the cache only trades memory for repeated-source latency.
-Result<size_t> GetCacheFlag(const ParsedArgs& args) {
-  if (args.Has("no-cache")) {
-    if (args.Get("cache-mb").has_value()) {
-      return Status::InvalidArgument(
-          "--no-cache and --cache-mb are mutually exclusive");
-    }
-    return size_t{0};
-  }
-  Result<int64_t> mb = args.GetInt("cache-mb", 64);
-  if (!mb.ok()) return mb.status();
-  if (mb.value() < 0) {
-    return Status::InvalidArgument("--cache-mb must be >= 0");
-  }
-  return static_cast<size_t>(mb.value());
 }
 
 /// Dumps the engine's execution metrics after the queries ran. The output
@@ -363,7 +276,7 @@ int CmdLandmarks(const ParsedArgs& args, std::ostream& out,
   if (!out_path.ok()) return Fail(err, out_path.status());
   Result<int64_t> count = args.GetInt("count", 16);
   Result<int64_t> seed = args.GetInt("seed", 42);
-  Result<unsigned> threads = GetThreadsFlag(args);
+  Result<unsigned> threads = api::ParseThreadsFlag(args);
   if (!count.ok()) return Fail(err, count.status());
   if (!seed.ok()) return Fail(err, seed.status());
   if (!threads.ok()) return Fail(err, threads.status());
@@ -397,7 +310,7 @@ int CmdIndex(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
                          "text cannot store the label section)"));
   }
   Result<int64_t> seeds = args.GetInt("seeds", 16);
-  Result<unsigned> threads = GetThreadsFlag(args);
+  Result<unsigned> threads = api::ParseThreadsFlag(args);
   if (!seeds.ok()) return Fail(err, seeds.status());
   if (!threads.ok()) return Fail(err, threads.status());
   if (seeds.value() < 1) {
@@ -464,7 +377,9 @@ struct QuerySetup {
   /// ids, and any attached indexes. Node-id translation happens inside the
   /// instance-based facade / engine.
   KpjInstance instance;
-  KpjOptions options;
+  /// The shared engine vocabulary (api/options_parse.h), parsed once;
+  /// kpjd reads the same flags through the same code path.
+  api::EngineConfig config;
 
   explicit QuerySetup(KpjInstance inst) : instance(std::move(inst)) {}
 };
@@ -477,13 +392,9 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
   Result<ReorderStrategy> reorder = GetReorderFlag(args);
   if (!reorder.ok()) return reorder.status();
 
-  KpjOptions options;
-  options.algorithm = Algorithm::kIterBoundSptI;
-  if (auto name = args.Get("algorithm"); name.has_value()) {
-    Result<Algorithm> algorithm = ParseAlgorithm(*name);
-    if (!algorithm.ok()) return algorithm.status();
-    options.algorithm = algorithm.value();
-  }
+  Result<api::EngineConfig> config = api::ParseEngineConfig(args);
+  if (!config.ok()) return config.status();
+
   LandmarkIndex landmarks;  // Empty unless --landmarks.
   if (auto lm = args.Get("landmarks"); lm.has_value()) {
     Result<LandmarkIndex> index = LandmarkIndex::Load(*lm);
@@ -494,9 +405,6 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
     }
     landmarks = std::move(index).value();
   }
-
-  Result<OracleKind> oracle = GetOracleFlag(args);
-  if (!oracle.ok()) return oracle.status();
 
   // --reorder relabels in memory on top of whatever layout the file stores.
   // The landmark file and any stored hub labels are aligned with the
@@ -523,7 +431,7 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
       std::move(file.value().graph), std::move(file.value().permutation));
   if (!instance.ok()) return instance.status();
   QuerySetup setup(std::move(instance).value());
-  setup.options = options;
+  setup.config = config.value();
   if (landmarks.num_landmarks() > 0) {
     Status attached = setup.instance.AttachLandmarks(std::move(landmarks));
     if (!attached.ok()) return attached;
@@ -533,7 +441,7 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
         setup.instance.AttachHubLabels(std::move(hub_labels).value());
     if (!attached.ok()) return attached;
   }
-  if (oracle.value() == OracleKind::kHubLabel) {
+  if (setup.config.oracle == OracleKind::kHubLabel) {
     Status selected = setup.instance.SelectOracle(OracleKind::kHubLabel);
     if (!selected.ok()) {
       return Status::InvalidArgument(
@@ -586,37 +494,13 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!k.ok() || k.value() <= 0) {
     return Fail(err, Status::InvalidArgument("--k must be positive"));
   }
-  if (auto alpha = args.Get("alpha"); alpha.has_value()) {
-    auto parsed = ParseDouble(*alpha);
-    if (!parsed || *parsed <= 1.0) {
-      return Fail(err, Status::InvalidArgument("--alpha must be > 1"));
-    }
-    s.options.alpha = *parsed;
-  }
-  Result<unsigned> threads = GetThreadsFlag(args);
-  if (!threads.ok()) return Fail(err, threads.status());
-  Result<unsigned> intra = GetIntraThreadsFlag(args);
-  if (!intra.ok()) return Fail(err, intra.status());
-  Result<double> deadline = GetDeadlineFlag(args);
-  if (!deadline.ok()) return Fail(err, deadline.status());
-  Result<double> slow_query = GetSlowQueryFlag(args);
-  if (!slow_query.ok()) return Fail(err, slow_query.status());
 
   KpjQuery query;
   query.sources = std::move(sources).value();
   query.targets = std::move(target_nodes);
   query.k = static_cast<uint32_t>(k.value());
 
-  KpjEngineOptions engine_options;
-  Result<size_t> cache_mb = GetCacheFlag(args);
-  if (!cache_mb.ok()) return Fail(err, cache_mb.status());
-  engine_options.threads = threads.value();
-  engine_options.intra_threads = intra.value();
-  engine_options.default_deadline_ms = deadline.value();
-  engine_options.solver = s.options;
-  engine_options.slow_query_ms = slow_query.value();
-  engine_options.cache_mb = cache_mb.value();
-  KpjEngine engine(s.instance, engine_options);
+  KpjEngine engine(s.instance, s.config.ToEngineOptions());
 
   MaybeStartTrace(args);
   Timer timer;
@@ -630,7 +514,7 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     out << PathToString(p) << "\n";
   }
   out << "# " << result.value().paths.size() << " paths in " << ms
-      << " ms using " << AlgorithmName(s.options.algorithm) << "\n";
+      << " ms using " << AlgorithmName(s.config.algorithm) << "\n";
   if (!result.value().status.ok()) {
     // Deadline/cancellation: the paths above are a valid prefix of the
     // answer, flagged rather than treated as a hard failure.
@@ -673,15 +557,6 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return Fail(err,
                 Status::IoError("cannot open " + queries_path.value()));
   }
-
-  Result<unsigned> threads = GetThreadsFlag(args);
-  if (!threads.ok()) return Fail(err, threads.status());
-  Result<unsigned> intra = GetIntraThreadsFlag(args);
-  if (!intra.ok()) return Fail(err, intra.status());
-  Result<double> deadline = GetDeadlineFlag(args);
-  if (!deadline.ok()) return Fail(err, deadline.status());
-  Result<double> slow_query = GetSlowQueryFlag(args);
-  if (!slow_query.ok()) return Fail(err, slow_query.status());
 
   // Parse all queries up front so they can be executed in parallel.
   struct BatchQuery {
@@ -730,16 +605,7 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   engine_queries.reserve(queries.size());
   for (const BatchQuery& bq : queries) engine_queries.push_back(bq.query);
 
-  KpjEngineOptions engine_options;
-  Result<size_t> cache_mb = GetCacheFlag(args);
-  if (!cache_mb.ok()) return Fail(err, cache_mb.status());
-  engine_options.threads = threads.value();
-  engine_options.intra_threads = intra.value();
-  engine_options.default_deadline_ms = deadline.value();
-  engine_options.solver = s.options;
-  engine_options.slow_query_ms = slow_query.value();
-  engine_options.cache_mb = cache_mb.value();
-  KpjEngine engine(s.instance, engine_options);
+  KpjEngine engine(s.instance, s.config.ToEngineOptions());
 
   MaybeStartTrace(args);
   Timer batch_timer;
@@ -759,7 +625,7 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   out << "# " << queries.size() << " queries, " << total_ms
       << " ms wall (" << (queries.empty() ? 0.0 : total_ms / queries.size())
-      << " ms/query, " << AlgorithmName(s.options.algorithm) << ", "
+      << " ms/query, " << AlgorithmName(s.config.algorithm) << ", "
       << engine.num_workers() << " workers)\n";
   Status dumped = MaybeDumpMetrics(args, engine, out);
   if (!dumped.ok()) return Fail(err, dumped);
@@ -767,91 +633,6 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 }  // namespace
-
-std::optional<std::string> ParsedArgs::Get(const std::string& name) const {
-  auto it = flags.find(name);
-  if (it == flags.end()) return std::nullopt;
-  return it->second;
-}
-
-Result<int64_t> ParsedArgs::GetInt(const std::string& name,
-                                   int64_t def) const {
-  auto it = flags.find(name);
-  if (it == flags.end()) return def;
-  auto parsed = ParseInt(it->second);
-  if (!parsed) {
-    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
-                                   it->second + "'");
-  }
-  return *parsed;
-}
-
-Result<std::string> ParsedArgs::Require(const std::string& name) const {
-  auto it = flags.find(name);
-  if (it == flags.end()) {
-    return Status::InvalidArgument("missing required flag --" + name);
-  }
-  return it->second;
-}
-
-Result<ParsedArgs> ParseArgs(std::span<const std::string> args) {
-  if (args.empty()) {
-    return Status::InvalidArgument("missing command (try 'help')");
-  }
-  ParsedArgs out;
-  out.command = args[0];
-  for (size_t i = 1; i < args.size(); ++i) {
-    const std::string& token = args[i];
-    if (token.rfind("--", 0) != 0) {
-      return Status::InvalidArgument("unexpected argument '" + token + "'");
-    }
-    std::string body = token.substr(2);
-    if (body.empty()) {
-      return Status::InvalidArgument("empty flag '--'");
-    }
-    size_t eq = body.find('=');
-    if (eq != std::string::npos) {
-      out.flags[body.substr(0, eq)] = body.substr(eq + 1);
-    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
-      out.flags[body] = args[i + 1];
-      ++i;
-    } else {
-      out.flags[body] = "";
-    }
-  }
-  return out;
-}
-
-Result<Algorithm> ParseAlgorithm(const std::string& name) {
-  std::string canonical;
-  for (char c : name) {
-    if (c == '_') c = '-';
-    canonical.push_back(
-        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
-  for (Algorithm a : kAllAlgorithms) {
-    std::string candidate = AlgorithmName(a);
-    for (char& c : candidate) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    if (candidate == canonical) return a;
-  }
-  return Status::InvalidArgument("unknown algorithm '" + name + "'");
-}
-
-Result<std::vector<NodeId>> ParseNodeList(const std::string& text) {
-  std::vector<NodeId> out;
-  for (std::string_view part : SplitChar(text, ',')) {
-    auto v = ParseInt(part);
-    if (!v || *v < 0) {
-      return Status::InvalidArgument("bad node id '" + std::string(part) +
-                                     "'");
-    }
-    out.push_back(static_cast<NodeId>(*v));
-  }
-  if (out.empty()) return Status::InvalidArgument("empty node list");
-  return out;
-}
 
 int RunCli(std::span<const std::string> args, std::ostream& out,
            std::ostream& err) {

@@ -1,41 +1,24 @@
 #ifndef KPJ_CLI_CLI_H_
 #define KPJ_CLI_CLI_H_
 
-#include <map>
-#include <optional>
 #include <ostream>
 #include <span>
 #include <string>
-#include <vector>
 
+#include "api/options_parse.h"
 #include "core/kpj_query.h"
 #include "util/status.h"
 
 namespace kpj::cli {
 
-/// Parsed command line: `kpj_cli <command> [--flag value | --flag=value]...`
-struct ParsedArgs {
-  std::string command;
-  std::map<std::string, std::string> flags;
-
-  bool Has(const std::string& name) const { return flags.count(name) != 0; }
-  std::optional<std::string> Get(const std::string& name) const;
-  /// Integer flag with default; Status on malformed value.
-  Result<int64_t> GetInt(const std::string& name, int64_t def) const;
-  /// Flag required to be present.
-  Result<std::string> Require(const std::string& name) const;
-};
-
-/// Parses argv-style tokens (excluding the program name). Flags may be
-/// written `--name value` or `--name=value`; bare `--name` stores "".
-Result<ParsedArgs> ParseArgs(std::span<const std::string> args);
-
-/// Parses an algorithm name as printed by AlgorithmName (case-insensitive,
-/// '-'/'_' interchangeable): "DA", "da-spt", "IterBoundI", ...
-Result<Algorithm> ParseAlgorithm(const std::string& name);
-
-/// Parses "1,2,3" into node ids.
-Result<std::vector<NodeId>> ParseNodeList(const std::string& text);
+/// The flag grammar and shared parsers live in the versioned API layer
+/// (api/options_parse.h) so kpj_cli, kpjd and kpj_client accept the same
+/// vocabulary with one validation path; these aliases keep the historical
+/// kpj::cli spellings working.
+using api::ParsedArgs;
+using api::ParseArgs;
+using api::ParseAlgorithm;
+using api::ParseNodeList;
 
 /// Entry point used by the kpj_cli binary and by tests. Returns the
 /// process exit code; human output goes to `out`, errors to `err`.

@@ -3,8 +3,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include "graph/dimacs_io.h"
 
 namespace kpj {
 namespace {
@@ -175,6 +178,20 @@ Result<Graph> LoadGraphBinary(const std::string& path) {
   Result<GraphFile> file = LoadGraphFile(path);
   if (!file.ok()) return file.status();
   return std::move(file.value().graph);
+}
+
+Result<GraphFile> LoadGraphAuto(const std::string& path) {
+  constexpr std::string_view kDimacs = ".gr";
+  if (path.size() >= kDimacs.size() &&
+      path.compare(path.size() - kDimacs.size(), kDimacs.size(), kDimacs) ==
+          0) {
+    Result<Graph> graph = ReadDimacsGraph(path);
+    if (!graph.ok()) return graph.status();
+    GraphFile file;
+    file.graph = std::move(graph).value();
+    return file;
+  }
+  return LoadGraphFile(path);
 }
 
 }  // namespace kpj

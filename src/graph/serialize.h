@@ -61,6 +61,11 @@ Result<GraphFile> LoadGraphFile(const std::string& path);
 /// use LoadGraphFile.
 Result<Graph> LoadGraphBinary(const std::string& path);
 
+/// Loads a graph by file extension — the convention every tool shares:
+/// ".gr" parses DIMACS text (never a permutation or labels), anything
+/// else reads the binary format via LoadGraphFile.
+Result<GraphFile> LoadGraphAuto(const std::string& path);
+
 }  // namespace kpj
 
 #endif  // KPJ_GRAPH_SERIALIZE_H_

@@ -1,0 +1,573 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <poll.h>
+#include <sstream>
+#include <utility>
+
+#include "graph/serialize.h"
+#include "index/landmark_index.h"
+#include "util/logging.h"
+
+namespace kpj::server {
+namespace {
+
+double FiniteOrZero(double value) {
+  return std::isfinite(value) ? value : 0.0;
+}
+
+/// Blocks until `primary` or the drain fd is readable. Returns true when
+/// the primary fd has data (served before drain, so pipelined requests
+/// are answered); false when only the drain broadcast fired.
+bool PollReadable(int primary, int drain_fd) {
+  for (;;) {
+    pollfd fds[2] = {{primary, POLLIN, 0}, {drain_fd, POLLIN, 0}};
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (fds[0].revents != 0) return true;
+    if (fds[1].revents != 0) return false;
+  }
+}
+
+}  // namespace
+
+// --- ServingState ---------------------------------------------------------
+
+Result<std::shared_ptr<ServingState>> ServingState::Load(
+    const std::string& graph_path, const std::string& landmarks_path,
+    const api::EngineConfig& config, uint64_t epoch) {
+  KPJ_RETURN_IF_ERROR(config.Validate());
+  Result<GraphFile> file = LoadGraphAuto(graph_path);
+  if (!file.ok()) return file.status();
+  std::optional<HubLabelIndex> hub_labels =
+      std::move(file.value().hub_labels);
+  Result<KpjInstance> instance = KpjInstance::Wrap(
+      std::move(file.value().graph), std::move(file.value().permutation));
+  if (!instance.ok()) return instance.status();
+  auto state = std::make_shared<ServingState>(std::move(instance).value());
+  state->epoch = epoch;
+  state->graph_path = graph_path;
+  if (hub_labels.has_value()) {
+    KPJ_RETURN_IF_ERROR(
+        state->instance.AttachHubLabels(std::move(hub_labels).value()));
+  }
+  if (!landmarks_path.empty()) {
+    Result<LandmarkIndex> landmarks = LandmarkIndex::Load(landmarks_path);
+    if (!landmarks.ok()) return landmarks.status();
+    if (landmarks.value().num_nodes() != state->instance.NumNodes()) {
+      return Status::InvalidArgument(
+          "landmark index was built for a different graph");
+    }
+    KPJ_RETURN_IF_ERROR(
+        state->instance.AttachLandmarks(std::move(landmarks).value()));
+  }
+  if (config.oracle == OracleKind::kHubLabel) {
+    Status selected = state->instance.SelectOracle(OracleKind::kHubLabel);
+    if (!selected.ok()) {
+      return Status::InvalidArgument(
+          "--oracle hublabel needs a graph file with stored hub labels "
+          "(build one with 'kpj_cli index')");
+    }
+  }
+  // The instance is at its final heap address now; the engine may keep
+  // references into it.
+  state->engine = std::make_unique<KpjEngine>(state->instance,
+                                              config.ToEngineOptions());
+  return state;
+}
+
+// --- AdmissionController --------------------------------------------------
+
+AdmissionController::Outcome AdmissionController::Admit(double deadline_ms,
+                                                        double* queue_ms) {
+  *queue_ms = 0.0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (active_ < slots_) {
+    ++active_;
+    in_flight_.store(active_, std::memory_order_relaxed);
+    return Outcome::kAdmitted;
+  }
+  if (waiting_ >= max_queue_) return Outcome::kQueueFull;
+  ++waiting_;
+  Timer wait_timer;
+  bool slot_available;
+  if (deadline_ms > 0.0) {
+    slot_available = slot_free_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(deadline_ms),
+        [this] { return active_ < slots_; });
+  } else {
+    slot_free_.wait(lock, [this] { return active_ < slots_; });
+    slot_available = true;
+  }
+  --waiting_;
+  *queue_ms = wait_timer.ElapsedMillis();
+  if (!slot_available) return Outcome::kDeadlineExhausted;
+  ++active_;
+  in_flight_.store(active_, std::memory_order_relaxed);
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KPJ_CHECK(active_ > 0) << "Release without a matching Admit";
+    --active_;
+    in_flight_.store(active_, std::memory_order_relaxed);
+  }
+  slot_free_.notify_one();
+}
+
+// --- KpjServer ------------------------------------------------------------
+
+KpjServer::KpjServer(KpjServerOptions options)
+    : options_(std::move(options)) {}
+
+KpjServer::~KpjServer() {
+  RequestDrain();
+  Wait();
+}
+
+Status KpjServer::Start() {
+  Result<std::shared_ptr<ServingState>> state =
+      ServingState::Load(options_.graph_path, options_.landmarks_path,
+                         options_.engine, /*epoch=*/1);
+  if (!state.ok()) return state.status();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state_ = std::move(state).value();
+  }
+  admission_ = std::make_unique<AdmissionController>(
+      this->state()->engine->num_workers(), options_.max_queue);
+
+  Result<Socket> listener =
+      ListenTcp(options_.host, options_.port, options_.backlog);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  Result<uint16_t> port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = port.value();
+  uptime_.Restart();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void KpjServer::RequestDrain() { drain_.Notify(); }
+
+void KpjServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connections.swap(connections_);
+  }
+  for (Connection& connection : connections) {
+    if (connection.thread.joinable()) connection.thread.join();
+  }
+}
+
+std::shared_ptr<ServingState> KpjServer::state() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_;
+}
+
+void KpjServer::AcceptLoop() {
+  while (!drain_.triggered()) {
+    if (!PollReadable(listener_.fd(), drain_.fd())) break;
+    Result<Socket> accepted = AcceptConnection(listener_);
+    if (!accepted.ok()) {
+      if (drain_.triggered()) break;
+      continue;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Connection connection;
+    connection.done = done;
+    connection.thread = std::thread(
+        [this, done](Socket socket) {
+          ConnectionLoop(std::move(socket));
+          done->store(true, std::memory_order_release);
+        },
+        std::move(accepted).value());
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    // Reclaim finished connections so a long-lived server does not
+    // accumulate joinable threads.
+    for (Connection& old : connections_) {
+      if (old.done->load(std::memory_order_acquire) &&
+          old.thread.joinable()) {
+        old.thread.join();
+      }
+    }
+    std::erase_if(connections_, [](const Connection& c) {
+      return !c.thread.joinable();
+    });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void KpjServer::ConnectionLoop(Socket socket) {
+  for (;;) {
+    // Drain: pipelined requests already on the wire are still answered
+    // (the socket wins the poll); the connection closes once idle.
+    if (!PollReadable(socket.fd(), drain_.fd())) break;
+    Result<Frame> frame = ReadFrame(socket, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      metrics_.rejected.Increment();
+      api::ResponseEnvelope response = api::ErrorResponse(
+          0, api::StatusCode::kInvalidArgument, frame.status().message());
+      (void)WriteFrame(socket, api::SerializeResponse(response));
+      break;
+    }
+    if (frame.value().eof) break;
+    api::ResponseEnvelope response;
+    Result<api::RequestEnvelope> request =
+        api::ParseRequest(frame.value().payload);
+    if (!request.ok()) {
+      metrics_.rejected.Increment();
+      response = api::ErrorResponse(0, api::StatusCode::kInvalidArgument,
+                                    request.status().message());
+    } else {
+      response = Handle(request.value());
+    }
+    if (!WriteFrame(socket, api::SerializeResponse(response)).ok()) break;
+  }
+}
+
+api::ResponseEnvelope KpjServer::Handle(const api::RequestEnvelope& request) {
+  switch (request.type) {
+    case api::RequestType::kQuery:
+      return HandleQuery(request);
+    case api::RequestType::kBatch:
+      return HandleBatch(request);
+    case api::RequestType::kMetrics:
+      return HandleMetrics(request);
+    case api::RequestType::kHealth:
+      return HandleHealth(request);
+    case api::RequestType::kDrain: {
+      RequestDrain();
+      api::ResponseEnvelope response;
+      response.id = request.id;
+      return response;
+    }
+    case api::RequestType::kSwap:
+      return HandleSwap(request);
+  }
+  return api::ErrorResponse(request.id, api::StatusCode::kInternal,
+                            "unhandled request type");
+}
+
+api::QueryResponse KpjServer::RunAdmitted(
+    const std::shared_ptr<ServingState>& state,
+    const api::QueryRequest& request, double batch_deadline_ms) {
+  double deadline_ms = request.deadline_ms >= 0.0 ? request.deadline_ms
+                       : batch_deadline_ms >= 0.0 ? batch_deadline_ms
+                                                  : options_.engine.deadline_ms;
+  api::QueryResponse response;
+  response.epoch = state->epoch;
+
+  double queue_ms = 0.0;
+  AdmissionController::Outcome outcome =
+      admission_->Admit(deadline_ms, &queue_ms);
+  metrics_.queue_time.Record(queue_ms);
+  response.queue_ms = queue_ms;
+  if (outcome != AdmissionController::Outcome::kAdmitted) {
+    metrics_.shed.Increment();
+    response.status = api::StatusCode::kOverloaded;
+    response.message = outcome == AdmissionController::Outcome::kQueueFull
+                           ? "admission queue full"
+                           : "queue time exhausted the deadline";
+    return response;
+  }
+  // Queue time is part of the request's budget: the solver only gets what
+  // is left. A budget the queue already consumed is a shed, not a run.
+  double remaining_ms = deadline_ms;
+  if (deadline_ms > 0.0) {
+    remaining_ms = deadline_ms - queue_ms;
+    if (remaining_ms <= 0.0) {
+      admission_->Release();
+      metrics_.shed.Increment();
+      response.status = api::StatusCode::kOverloaded;
+      response.message = "queue time exhausted the deadline";
+      return response;
+    }
+  }
+  metrics_.accepted.Increment();
+  Timer run_timer;
+  Result<KpjResult> result =
+      state->engine->Submit(request.ToQuery(), remaining_ms).get();
+  double elapsed_ms = run_timer.ElapsedMillis();
+  admission_->Release();
+  if (drain_.triggered()) metrics_.drained.Increment();
+  return api::BuildQueryResponse(result, state->epoch, elapsed_ms, queue_ms);
+}
+
+api::ResponseEnvelope KpjServer::HandleQuery(
+    const api::RequestEnvelope& request) {
+  Result<api::QueryRequest> query =
+      api::QueryRequestFromJson(request.payload);
+  if (!query.ok()) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id, api::StatusCode::kInvalidArgument,
+                              query.status().message());
+  }
+  std::shared_ptr<ServingState> serving = state();
+  if (drain_.triggered() || serving == nullptr) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id, api::StatusCode::kUnavailable,
+                              "server is draining");
+  }
+  api::QueryResponse response =
+      RunAdmitted(serving, query.value(), /*batch_deadline_ms=*/-1.0);
+  api::ResponseEnvelope envelope;
+  envelope.id = request.id;
+  envelope.status = response.status;
+  envelope.message = response.message;
+  envelope.payload = api::ToJson(response);
+  return envelope;
+}
+
+api::ResponseEnvelope KpjServer::HandleBatch(
+    const api::RequestEnvelope& request) {
+  Result<api::BatchRequest> batch =
+      api::BatchRequestFromJson(request.payload);
+  if (!batch.ok()) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id, api::StatusCode::kInvalidArgument,
+                              batch.status().message());
+  }
+  std::shared_ptr<ServingState> serving = state();
+  if (drain_.triggered() || serving == nullptr) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id, api::StatusCode::kUnavailable,
+                              "server is draining");
+  }
+  const std::vector<api::QueryRequest>& queries = batch.value().queries;
+  double deadline_ms = batch.value().deadline_ms >= 0.0
+                           ? batch.value().deadline_ms
+                           : options_.engine.deadline_ms;
+
+  // One admission slot per batch: the engine spreads the queries across
+  // its own pool (this is exactly RunBatch, so answers are byte-identical
+  // to the in-process engine), while admission keeps the number of
+  // concurrently executing *requests* bounded.
+  api::BatchResponse response;
+  double queue_ms = 0.0;
+  AdmissionController::Outcome outcome =
+      admission_->Admit(deadline_ms, &queue_ms);
+  metrics_.queue_time.Record(queue_ms);
+  double remaining_ms = deadline_ms > 0.0 ? deadline_ms - queue_ms
+                                          : deadline_ms;
+  if (outcome != AdmissionController::Outcome::kAdmitted ||
+      (deadline_ms > 0.0 && remaining_ms <= 0.0)) {
+    if (outcome == AdmissionController::Outcome::kAdmitted) {
+      admission_->Release();
+    }
+    metrics_.shed.Add(queries.size());
+    return api::ErrorResponse(
+        request.id, api::StatusCode::kOverloaded,
+        outcome == AdmissionController::Outcome::kQueueFull
+            ? "admission queue full"
+            : "queue time exhausted the deadline");
+  }
+  metrics_.accepted.Add(queries.size());
+  std::vector<KpjQuery> engine_queries;
+  engine_queries.reserve(queries.size());
+  for (const api::QueryRequest& query : queries) {
+    engine_queries.push_back(query.ToQuery());
+  }
+  std::vector<Result<KpjResult>> results =
+      serving->engine->RunBatch(engine_queries, remaining_ms);
+  admission_->Release();
+  if (drain_.triggered()) metrics_.drained.Add(queries.size());
+
+  response.results.reserve(results.size());
+  for (const Result<KpjResult>& result : results) {
+    // Batch entries carry no per-query wall time (they ran concurrently);
+    // queue_ms is the shared admission wait.
+    response.results.push_back(api::BuildQueryResponse(
+        result, serving->epoch, /*elapsed_ms=*/0.0, queue_ms));
+  }
+  api::ResponseEnvelope envelope;
+  envelope.id = request.id;
+  envelope.payload = api::ToJson(response);
+  return envelope;
+}
+
+api::ResponseEnvelope KpjServer::HandleMetrics(
+    const api::RequestEnvelope& request) {
+  Result<api::MetricsRequest> metrics =
+      api::MetricsRequestFromJson(request.payload);
+  if (!metrics.ok()) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id, api::StatusCode::kInvalidArgument,
+                              metrics.status().message());
+  }
+  std::string body = metrics.value().format == "prom" ? MetricsPrometheus()
+                                                      : MetricsJson();
+  api::JsonValue payload = api::JsonValue::Object();
+  payload.Set("format", api::JsonValue::Str(metrics.value().format));
+  payload.Set("body", api::JsonValue::Str(std::move(body)));
+  api::ResponseEnvelope envelope;
+  envelope.id = request.id;
+  envelope.payload = std::move(payload);
+  return envelope;
+}
+
+api::ResponseEnvelope KpjServer::HandleHealth(
+    const api::RequestEnvelope& request) {
+  std::shared_ptr<ServingState> serving = state();
+  api::HealthInfo info;
+  info.serving = !drain_.triggered() && serving != nullptr;
+  if (serving != nullptr) {
+    info.epoch = serving->epoch;
+    info.graph = serving->graph_path;
+  }
+  info.uptime_ms = static_cast<uint64_t>(uptime_.ElapsedMillis());
+  info.in_flight = admission_ != nullptr ? admission_->in_flight() : 0;
+  api::ResponseEnvelope envelope;
+  envelope.id = request.id;
+  envelope.payload = api::ToJson(info);
+  return envelope;
+}
+
+api::ResponseEnvelope KpjServer::HandleSwap(
+    const api::RequestEnvelope& request) {
+  Result<api::SwapRequest> swap = api::SwapRequestFromJson(request.payload);
+  if (!swap.ok()) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id, api::StatusCode::kInvalidArgument,
+                              swap.status().message());
+  }
+  if (drain_.triggered()) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id, api::StatusCode::kUnavailable,
+                              "server is draining");
+  }
+  Result<api::SwapInfo> info = Swap(swap.value());
+  if (!info.ok()) {
+    metrics_.rejected.Increment();
+    return api::ErrorResponse(request.id,
+                              api::FromCoreStatus(info.status()),
+                              info.status().message());
+  }
+  api::ResponseEnvelope envelope;
+  envelope.id = request.id;
+  envelope.payload = api::ToJson(info.value());
+  return envelope;
+}
+
+Result<api::SwapInfo> KpjServer::Swap(const api::SwapRequest& request) {
+  // Swaps serialize; queries keep flowing on the current state while the
+  // new one loads (the only shared lock, state_mutex_, is held just for
+  // the pointer flip).
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  std::shared_ptr<ServingState> old_state = state();
+  api::EngineConfig config = options_.engine;
+  if (request.oracle.has_value()) config.oracle = *request.oracle;
+  Timer load_timer;
+  uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  Result<std::shared_ptr<ServingState>> loaded = ServingState::Load(
+      request.graph, request.landmarks, config, epoch);
+  if (!loaded.ok()) return loaded.status();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state_ = std::move(loaded).value();
+  }
+  api::SwapInfo info;
+  info.old_epoch = old_state != nullptr ? old_state->epoch : 0;
+  info.new_epoch = epoch;
+  info.load_ms = load_timer.ElapsedMillis();
+  // old_state's engine (and caches) die with the last in-flight reference.
+  return info;
+}
+
+// --- Metrics exposition ---------------------------------------------------
+
+std::string KpjServer::MetricsJson() const {
+  std::shared_ptr<ServingState> serving = state();
+  std::string engine_json = serving != nullptr
+                                ? serving->engine->MetricsJson()
+                                : std::string("{\n  \"workers\": 0\n}");
+  std::ostringstream extra;
+  extra << "  \"server_accepted\": " << metrics_.accepted.value() << ",\n"
+        << "  \"server_rejected\": " << metrics_.rejected.value() << ",\n"
+        << "  \"server_shed\": " << metrics_.shed.value() << ",\n"
+        << "  \"server_drained\": " << metrics_.drained.value() << ",\n"
+        << "  \"server_in_flight\": "
+        << (admission_ != nullptr ? admission_->in_flight() : 0) << ",\n"
+        << "  \"server_epoch\": "
+        << (serving != nullptr ? serving->epoch : 0) << ",\n"
+        << "  \"server_queue_count\": " << metrics_.queue_time.count()
+        << ",\n"
+        << "  \"server_queue_mean_ms\": "
+        << FiniteOrZero(metrics_.queue_time.Mean()) << ",\n"
+        << "  \"server_queue_max_ms\": "
+        << FiniteOrZero(metrics_.queue_time.max_ms()) << ",\n"
+        << "  \"server_queue_p99_ms\": "
+        << FiniteOrZero(metrics_.queue_time.Percentile(99.0));
+  // Splice the server series into the engine object: drop the closing
+  // brace (and its newline), append, close again.
+  size_t brace = engine_json.rfind('}');
+  KPJ_CHECK(brace != std::string::npos);
+  size_t cut = brace;
+  if (cut > 0 && engine_json[cut - 1] == '\n') --cut;
+  engine_json.erase(cut);
+  engine_json += ",\n" + extra.str() + "\n}";
+  return engine_json;
+}
+
+std::string KpjServer::MetricsPrometheus() const {
+  std::shared_ptr<ServingState> serving = state();
+  std::ostringstream out;
+  if (serving != nullptr) out << serving->engine->MetricsPrometheus();
+  auto counter = [&out](const char* name, const char* help, uint64_t value) {
+    out << "# HELP " << name << " " << help << "\n"
+        << "# TYPE " << name << " counter\n"
+        << name << " " << value << "\n";
+  };
+  counter("kpj_server_accepted_total",
+          "Queries admitted to the engine by the server.",
+          metrics_.accepted.value());
+  counter("kpj_server_rejected_total",
+          "Requests rejected (malformed, invalid, or unavailable).",
+          metrics_.rejected.value());
+  counter("kpj_server_shed_total",
+          "Queries shed with kOverloaded by admission control.",
+          metrics_.shed.value());
+  counter("kpj_server_drained_total",
+          "In-flight queries answered after drain began.",
+          metrics_.drained.value());
+  out << "# HELP kpj_server_in_flight Admitted queries currently executing.\n"
+      << "# TYPE kpj_server_in_flight gauge\n"
+      << "kpj_server_in_flight "
+      << (admission_ != nullptr ? admission_->in_flight() : 0) << "\n";
+  out << "# HELP kpj_server_epoch Generation of the serving instance; "
+         "increments on hot swap.\n"
+      << "# TYPE kpj_server_epoch gauge\n"
+      << "kpj_server_epoch " << (serving != nullptr ? serving->epoch : 0)
+      << "\n";
+  // Queue-time histogram, same cumulative-le shape as the engine's.
+  const LatencyHistogram& h = metrics_.queue_time;
+  out << "# HELP kpj_server_queue_time_ms Admission-queue wait per query.\n"
+      << "# TYPE kpj_server_queue_time_ms histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    cumulative += h.bucket_count(b);
+    double ub = LatencyHistogram::BucketUpperBoundMs(b);
+    out << "kpj_server_queue_time_ms_bucket{le=\"";
+    if (std::isinf(ub)) {
+      out << "+Inf";
+    } else {
+      out << ub;
+    }
+    out << "\"} " << cumulative << "\n";
+  }
+  out << "kpj_server_queue_time_ms_sum " << FiniteOrZero(h.sum_ms()) << "\n"
+      << "kpj_server_queue_time_ms_count " << h.count() << "\n";
+  return out.str();
+}
+
+}  // namespace kpj::server

@@ -1,0 +1,210 @@
+#ifndef KPJ_SERVER_SERVER_H_
+#define KPJ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "api/wire.h"
+#include "core/engine.h"
+#include "core/kpj_instance.h"
+#include "util/shutdown_signal.h"
+#include "util/socket.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace kpj::server {
+
+/// One immutable serving generation: the instance, its engine, and the
+/// metadata responses report. Hot swap builds a new ServingState in the
+/// background and flips the server's shared_ptr; requests snapshot the
+/// pointer once, so an in-flight query finishes entirely on the state it
+/// started with — answers never mix epochs, and the old engine (plus its
+/// caches) dies with its last reference.
+struct ServingState {
+  KpjInstance instance;
+  /// Built after `instance` is at its final address (the engine keeps
+  /// references into it; ServingState is always heap-allocated and never
+  /// moved).
+  std::unique_ptr<KpjEngine> engine;
+  /// Server-level swap generation (1 = initial load, +1 per swap). This is
+  /// the `epoch` every QueryResponse carries.
+  uint64_t epoch = 1;
+  std::string graph_path;
+
+  explicit ServingState(KpjInstance inst) : instance(std::move(inst)) {}
+  ServingState(const ServingState&) = delete;
+  ServingState& operator=(const ServingState&) = delete;
+
+  /// Loads a graph file (.gr = DIMACS text, else binary — stored hub
+  /// labels are attached automatically), optionally attaches a landmark
+  /// index (remapped into the stored layout), selects `config.oracle`,
+  /// and builds the engine.
+  static Result<std::shared_ptr<ServingState>> Load(
+      const std::string& graph_path, const std::string& landmarks_path,
+      const api::EngineConfig& config, uint64_t epoch);
+};
+
+/// Admission control in front of the engine pool: `slots` concurrent
+/// executions (one per engine worker, so the engine's internal queue stays
+/// empty and queue time is measured *here*, where it can be deducted from
+/// the deadline) plus a bounded wait queue. Arrivals past the queue bound
+/// are shed immediately; waiters whose deadline expires before a slot
+/// frees are shed with their queue-time budget exhausted. Both outcomes
+/// surface as kOverloaded — queueing is never unbounded.
+class AdmissionController {
+ public:
+  AdmissionController(unsigned slots, size_t max_queue)
+      : slots_(slots), max_queue_(max_queue) {}
+
+  enum class Outcome {
+    kAdmitted,
+    kQueueFull,          ///< Shed at arrival: wait queue at its bound.
+    kDeadlineExhausted,  ///< Shed while waiting: queue time ate the deadline.
+  };
+
+  /// Blocks until a slot frees (at most `deadline_ms` when positive;
+  /// indefinitely at 0 = unbounded deadline). On admission `*queue_ms` is
+  /// the time spent waiting. Pair every kAdmitted with one Release().
+  Outcome Admit(double deadline_ms, double* queue_ms);
+
+  void Release();
+
+  uint64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const unsigned slots_;
+  const size_t max_queue_;
+  std::mutex mutex_;
+  std::condition_variable slot_free_;
+  unsigned active_ = 0;
+  size_t waiting_ = 0;
+  std::atomic<uint64_t> in_flight_{0};
+};
+
+struct KpjServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = kernel-assigned; read back with port().
+  /// listen(2) backlog for not-yet-accepted connections.
+  int backlog = 64;
+  /// Bound on queries waiting for an engine slot; arrivals past it are
+  /// shed with kOverloaded.
+  size_t max_queue = 16;
+  /// Largest request frame accepted (protects against hostile prefixes).
+  size_t max_frame_bytes = 16 << 20;
+  /// Engine configuration for the initial state and every swap.
+  api::EngineConfig engine;
+  /// Initial graph (required) and optional landmark index.
+  std::string graph_path;
+  std::string landmarks_path;
+};
+
+/// The kpjd service core: a length-prefixed JSON request server over
+/// KpjEngine with admission control, graceful drain, and hot instance
+/// swap. The daemon binary (tools/kpjd.cc) is a thin flag wrapper; tests
+/// drive this class directly on a loopback port.
+class KpjServer {
+ public:
+  explicit KpjServer(KpjServerOptions options);
+  ~KpjServer();
+
+  KpjServer(const KpjServer&) = delete;
+  KpjServer& operator=(const KpjServer&) = delete;
+
+  /// Loads the initial serving state, binds the listener, and starts the
+  /// accept loop. Returns only after the server is reachable.
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Begins graceful drain: stop accepting connections and new queries,
+  /// let admitted queries finish and be answered. Idempotent; safe from
+  /// signal handlers via ShutdownSignal::Notify on drain_signal().
+  void RequestDrain();
+
+  /// The drain broadcast; kpjd points its SIGTERM/SIGINT handlers here.
+  ShutdownSignal& drain_signal() { return drain_; }
+
+  bool draining() const { return drain_.triggered(); }
+
+  /// Blocks until drain completes: accept loop exited, every connection
+  /// closed, all in-flight queries answered.
+  void Wait();
+
+  /// Loads `request.graph` (+ optional landmarks) into a fresh
+  /// ServingState and flips the serving pointer. In-flight queries finish
+  /// on the old state; the flip itself drops no queries. Swaps serialize.
+  Result<api::SwapInfo> Swap(const api::SwapRequest& request);
+
+  /// Current serving state (snapshot; safe to hold across a swap).
+  std::shared_ptr<ServingState> state() const;
+
+  /// Engine metrics with the server's own series spliced in
+  /// (server_accepted/rejected/shed/drained, queue-time histogram).
+  std::string MetricsJson() const;
+  std::string MetricsPrometheus() const;
+
+ private:
+  /// Accept loop: poll {listener, drain}; one thread per connection.
+  void AcceptLoop();
+  /// Connection loop: poll {socket, drain}; length-prefixed frames in,
+  /// one response frame per request.
+  void ConnectionLoop(Socket socket);
+
+  api::ResponseEnvelope Handle(const api::RequestEnvelope& request);
+  api::ResponseEnvelope HandleQuery(const api::RequestEnvelope& request);
+  api::ResponseEnvelope HandleBatch(const api::RequestEnvelope& request);
+  api::ResponseEnvelope HandleMetrics(const api::RequestEnvelope& request);
+  api::ResponseEnvelope HandleHealth(const api::RequestEnvelope& request);
+  api::ResponseEnvelope HandleSwap(const api::RequestEnvelope& request);
+
+  /// Runs one query through admission + the engine on a state snapshot.
+  api::QueryResponse RunAdmitted(const std::shared_ptr<ServingState>& state,
+                                 const api::QueryRequest& request,
+                                 double batch_deadline_ms);
+
+  const KpjServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  Timer uptime_;
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<ServingState> state_;
+  /// Serializes Swap() calls (the flip itself is under state_mutex_).
+  std::mutex swap_mutex_;
+  std::atomic<uint64_t> next_epoch_{2};
+
+  std::unique_ptr<AdmissionController> admission_;
+  ShutdownSignal drain_;
+
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+
+  struct Metrics {
+    Counter accepted;  ///< Queries admitted to the engine.
+    Counter rejected;  ///< Malformed / invalid / unavailable requests.
+    Counter shed;      ///< Queries shed with kOverloaded.
+    Counter drained;   ///< In-flight queries answered after drain began.
+    LatencyHistogram queue_time;  ///< Admission-queue wait per query.
+  };
+  Metrics metrics_;
+};
+
+}  // namespace kpj::server
+
+#endif  // KPJ_SERVER_SERVER_H_

@@ -1,0 +1,71 @@
+#include "util/shutdown_signal.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace kpj {
+namespace {
+
+/// The instance whose handlers are installed; written only under
+/// InstallHandlers/destructor (single-threaded setup), read by the
+/// async-signal handler.
+std::atomic<ShutdownSignal*> g_installed{nullptr};
+
+struct sigaction g_previous_term;
+struct sigaction g_previous_int;
+
+void HandleSignal(int /*signum*/) {
+  ShutdownSignal* signal = g_installed.load(std::memory_order_acquire);
+  if (signal != nullptr) signal->Notify();
+}
+
+}  // namespace
+
+ShutdownSignal::ShutdownSignal() {
+  int fds[2];
+  KPJ_CHECK(::pipe(fds) == 0) << "pipe() failed";
+  pipe_read_ = fds[0];
+  pipe_write_ = fds[1];
+  // The write side must never block inside a signal handler.
+  ::fcntl(pipe_write_, F_SETFL, O_NONBLOCK);
+}
+
+ShutdownSignal::~ShutdownSignal() {
+  if (handlers_installed_) {
+    ::sigaction(SIGTERM, &g_previous_term, nullptr);
+    ::sigaction(SIGINT, &g_previous_int, nullptr);
+    g_installed.store(nullptr, std::memory_order_release);
+  }
+  if (pipe_read_ >= 0) ::close(pipe_read_);
+  if (pipe_write_ >= 0) ::close(pipe_write_);
+}
+
+void ShutdownSignal::Notify() {
+  bool expected = false;
+  if (!triggered_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    return;  // Already triggered; the pipe byte is already in flight.
+  }
+  // The byte is deliberately never read back: the fd stays readable as a
+  // broadcast to every poll()er. A full pipe is fine — it is readable.
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(pipe_write_, &byte, 1);
+}
+
+void ShutdownSignal::InstallHandlers() {
+  KPJ_CHECK(g_installed.load(std::memory_order_acquire) == nullptr)
+      << "another ShutdownSignal already owns the signal handlers";
+  g_installed.store(this, std::memory_order_release);
+  struct sigaction action{};
+  action.sa_handler = HandleSignal;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // No SA_RESTART: blocked accept() must wake.
+  ::sigaction(SIGTERM, &action, &g_previous_term);
+  ::sigaction(SIGINT, &action, &g_previous_int);
+  handlers_installed_ = true;
+}
+
+}  // namespace kpj

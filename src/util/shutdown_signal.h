@@ -1,0 +1,47 @@
+#ifndef KPJ_UTIL_SHUTDOWN_SIGNAL_H_
+#define KPJ_UTIL_SHUTDOWN_SIGNAL_H_
+
+#include <atomic>
+
+namespace kpj {
+
+/// Self-pipe shutdown broadcast: Notify() (async-signal-safe) makes fd()
+/// permanently readable, so any number of poll()-based loops — the accept
+/// loop, every connection thread — observe one drain request without
+/// locks. Used by kpjd for SIGTERM/SIGINT graceful drain and by tests for
+/// programmatic drain.
+class ShutdownSignal {
+ public:
+  ShutdownSignal();
+  ~ShutdownSignal();
+
+  ShutdownSignal(const ShutdownSignal&) = delete;
+  ShutdownSignal& operator=(const ShutdownSignal&) = delete;
+
+  /// Requests shutdown. Safe from signal handlers (atomic store + one
+  /// write() on the pipe) and idempotent.
+  void Notify();
+
+  /// Poll this fd for POLLIN; it stays readable forever after Notify()
+  /// (the byte is never drained), so every waiter wakes.
+  int fd() const { return pipe_read_; }
+
+  bool triggered() const {
+    return triggered_.load(std::memory_order_acquire);
+  }
+
+  /// Installs SIGTERM/SIGINT handlers that Notify() this instance. Only
+  /// one instance may install handlers at a time (process-global signal
+  /// disposition); the destructor restores the previous handlers.
+  void InstallHandlers();
+
+ private:
+  int pipe_read_ = -1;
+  int pipe_write_ = -1;
+  std::atomic<bool> triggered_{false};
+  bool handlers_installed_ = false;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_SHUTDOWN_SIGNAL_H_

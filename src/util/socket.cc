@@ -1,0 +1,172 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace kpj {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddress(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+/// write() the whole buffer, retrying partial writes and EINTR.
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::write(fd, data + written, size - written);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// read() exactly `size` bytes. `*got` reports progress so callers can
+/// distinguish clean EOF (0 bytes read) from a truncated stream.
+Status ReadAll(int fd, char* data, size_t size, size_t* got) {
+  *got = 0;
+  while (*got < size) {
+    ssize_t n = ::read(fd, data + *got, size - *got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed mid-frame");
+    }
+    *got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog) {
+  Result<sockaddr_in> addr = MakeAddress(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Socket> AcceptConnection(const Socket& listener) {
+  for (;;) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  Result<sockaddr_in> addr = MakeAddress(host, port);
+  if (!addr.ok()) return addr.status();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  for (;;) {
+    if (::connect(sock.fd(),
+                  reinterpret_cast<const sockaddr*>(&addr.value()),
+                  sizeof(sockaddr_in)) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+Status WriteFrame(const Socket& socket, std::string_view payload) {
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("frame too large");
+  }
+  uint32_t size = static_cast<uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(size >> 24),
+      static_cast<unsigned char>(size >> 16),
+      static_cast<unsigned char>(size >> 8),
+      static_cast<unsigned char>(size),
+  };
+  KPJ_RETURN_IF_ERROR(
+      WriteAll(socket.fd(), reinterpret_cast<const char*>(prefix), 4));
+  return WriteAll(socket.fd(), payload.data(), payload.size());
+}
+
+Result<Frame> ReadFrame(const Socket& socket, size_t max_bytes) {
+  unsigned char prefix[4];
+  size_t got = 0;
+  Status read =
+      ReadAll(socket.fd(), reinterpret_cast<char*>(prefix), 4, &got);
+  if (!read.ok()) {
+    // EOF before any prefix byte is an orderly disconnect, not an error.
+    if (got == 0 && read.message().rfind("connection closed", 0) == 0) {
+      Frame frame;
+      frame.eof = true;
+      return frame;
+    }
+    return read;
+  }
+  uint32_t size = (static_cast<uint32_t>(prefix[0]) << 24) |
+                  (static_cast<uint32_t>(prefix[1]) << 16) |
+                  (static_cast<uint32_t>(prefix[2]) << 8) |
+                  static_cast<uint32_t>(prefix[3]);
+  if (size > max_bytes) {
+    return Status::InvalidArgument("frame of " + std::to_string(size) +
+                                   " bytes exceeds the " +
+                                   std::to_string(max_bytes) + "-byte limit");
+  }
+  Frame frame;
+  frame.payload.resize(size);
+  if (size > 0) {
+    KPJ_RETURN_IF_ERROR(
+        ReadAll(socket.fd(), frame.payload.data(), size, &got));
+  }
+  return frame;
+}
+
+}  // namespace kpj

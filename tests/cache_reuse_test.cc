@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/kpj.h"
 #include "core/kpj_instance.h"
@@ -66,12 +67,12 @@ std::vector<KpjQuery> RepeatingBatch(NodeId num_nodes, size_t count,
 std::vector<std::vector<std::vector<NodeId>>> RunAll(
     const KpjInstance& instance, const std::vector<KpjQuery>& queries,
     Algorithm algorithm, unsigned threads, size_t cache_mb) {
-  KpjEngineOptions options;
-  options.threads = threads;
-  options.clamp_to_hardware = false;
-  options.solver.algorithm = algorithm;
-  options.cache_mb = cache_mb;
-  KpjEngine engine(instance, options);
+  api::EngineConfig config;
+  config.workers = threads;
+  config.clamp_to_hardware = false;
+  config.algorithm = algorithm;
+  config.cache_mb = cache_mb;
+  KpjEngine engine(instance, config.ToEngineOptions());
   std::vector<Result<KpjResult>> results = engine.RunBatch(queries);
   std::vector<std::vector<std::vector<NodeId>>> flattened;
   flattened.reserve(results.size());
@@ -151,11 +152,11 @@ TEST_P(CacheReuseTest, TinyCacheThrashStaysDeterministicUnderFourWorkers) {
 TEST_P(CacheReuseTest, RepeatedSourcesActuallyHitTheCache) {
   std::vector<KpjQuery> batch =
       RepeatingBatch(instance_->NumNodes(), 40, 77);
-  KpjEngineOptions options;
-  options.threads = 1;
-  options.solver.algorithm = GetParam();
-  options.cache_mb = CacheMbFromEnv(16);
-  KpjEngine engine(*instance_, options);
+  api::EngineConfig config;
+  config.workers = 1;
+  config.algorithm = GetParam();
+  config.cache_mb = CacheMbFromEnv(16);
+  KpjEngine engine(*instance_, config.ToEngineOptions());
   engine.RunBatch(batch);
   EngineMetricsSnapshot snap = engine.MetricsSnapshot();
   // DA has no cacheable substrate; every other algorithm must both miss
@@ -203,11 +204,11 @@ TEST(CacheInvalidationTest, AttachLandmarksBumpsEpochAndDropsEntries) {
                   .ok());
   EXPECT_EQ(instance.epoch(), 2u);
 
-  KpjEngineOptions options;
-  options.threads = 1;
-  options.solver.algorithm = Algorithm::kIterBoundSptP;
-  options.cache_mb = 16;
-  KpjEngine engine(instance, options);
+  api::EngineConfig config;
+  config.workers = 1;
+  config.algorithm = Algorithm::kIterBoundSptP;
+  config.cache_mb = 16;
+  KpjEngine engine(instance, config.ToEngineOptions());
   std::vector<KpjQuery> batch = RepeatingBatch(instance.NumNodes(), 20, 3);
   auto before = RunAll(instance, batch, Algorithm::kIterBoundSptP, 1, 0);
   engine.RunBatch(batch);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.h"
 #include "core/kpj.h"
 #include "core/kpj_instance.h"
 #include "gen/road_gen.h"
@@ -44,11 +45,11 @@ std::vector<std::vector<NodeId>> FlattenPaths(const KpjResult& result) {
 }
 
 KpjEngineOptions Unclamped(unsigned threads) {
-  KpjEngineOptions options;
-  options.threads = threads;
+  api::EngineConfig config;
+  config.workers = threads;
   // Correctness must not depend on the core count of the test machine.
-  options.clamp_to_hardware = false;
-  return options;
+  config.clamp_to_hardware = false;
+  return config.ToEngineOptions();
 }
 
 TEST(KpjEngineTest, ResultsAreIdenticalAcrossWorkerCounts) {
@@ -141,9 +142,11 @@ TEST(KpjEngineTest, ExpiredDeadlineYieldsWellFormedPartialResult) {
 TEST(KpjEngineTest, PerQueryDeadlineOverridesEngineDefault) {
   Result<KpjInstance> instance = KpjInstance::Make(TestGraph());
   ASSERT_TRUE(instance.ok());
-  KpjEngineOptions options = Unclamped(2);
-  options.default_deadline_ms = 1e-6;  // Engine default: already expired.
-  KpjEngine engine(instance.value(), options);
+  api::EngineConfig config;
+  config.workers = 2;
+  config.clamp_to_hardware = false;
+  config.deadline_ms = 1e-6;  // Engine default: already expired.
+  KpjEngine engine(instance.value(), config.ToEngineOptions());
 
   KpjQuery query = TestQueries(instance.value().NumNodes(), 1).front();
   Result<KpjResult> bounded = engine.Submit(query).get();

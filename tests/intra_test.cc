@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/kpj.h"
 #include "core/kpj_instance.h"
@@ -170,12 +171,12 @@ std::vector<KpjResult> RunQueries(const KpjInstance& instance,
                                   const std::vector<KpjQuery>& queries,
                                   Algorithm algorithm, unsigned workers,
                                   unsigned intra) {
-  KpjEngineOptions options;
-  options.threads = workers;
-  options.clamp_to_hardware = false;  // The sweep oversubscribes 1 core.
-  options.intra_threads = intra;
-  options.solver.algorithm = algorithm;
-  KpjEngine engine(instance, options);
+  api::EngineConfig config;
+  config.workers = workers;
+  config.clamp_to_hardware = false;  // The sweep oversubscribes 1 core.
+  config.intra_threads = intra;
+  config.algorithm = algorithm;
+  KpjEngine engine(instance, config.ToEngineOptions());
   std::vector<KpjResult> results;
   for (const KpjQuery& query : queries) {
     Result<KpjResult> r = engine.Submit(query).get();
@@ -256,12 +257,12 @@ TEST(IntraMetricsTest, RoundAndTaskCountersAreSchedulingIndependent) {
   std::vector<KpjQuery> queries = MixedQueries(instance.NumNodes(), 11);
 
   auto snapshot_for = [&](unsigned workers, unsigned intra) {
-    KpjEngineOptions options;
-    options.threads = workers;
-    options.clamp_to_hardware = false;
-    options.intra_threads = intra;
-    options.solver.algorithm = Algorithm::kDA;
-    KpjEngine engine(instance, options);
+    api::EngineConfig config;
+    config.workers = workers;
+    config.clamp_to_hardware = false;
+    config.intra_threads = intra;
+    config.algorithm = Algorithm::kDA;
+    KpjEngine engine(instance, config.ToEngineOptions());
     for (const KpjQuery& query : queries) {
       Result<KpjResult> r = engine.Submit(query).get();
       EXPECT_TRUE(r.ok());
@@ -304,12 +305,12 @@ TEST(IntraDeadlineTest, OneMillisecondDeadlineInterruptsRoad240k) {
 
   for (Algorithm algorithm :
        {Algorithm::kDA, Algorithm::kDaSpt, Algorithm::kIterBoundSptINoLm}) {
-    KpjEngineOptions options;
-    options.threads = 2;
-    options.clamp_to_hardware = false;
-    options.intra_threads = 4;
-    options.solver.algorithm = algorithm;
-    KpjEngine engine(instance, options);
+    api::EngineConfig config;
+    config.workers = 2;
+    config.clamp_to_hardware = false;
+    config.intra_threads = 4;
+    config.algorithm = algorithm;
+    KpjEngine engine(instance, config.ToEngineOptions());
     Timer timer;
     Result<KpjResult> r = engine.Submit(query, /*deadline_ms=*/1.0).get();
     double elapsed_ms = timer.ElapsedMillis();

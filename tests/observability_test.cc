@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "api/api.h"
 #include "core/engine.h"
 #include "core/instrumentation.h"
 #include "core/kpj.h"
@@ -163,10 +164,10 @@ TEST(ObservabilityTest, EngineAggregateIsIdenticalAcrossWorkerCounts) {
   AlgoStats reference;
   bool have_reference = false;
   for (unsigned threads : {1u, 2u, 4u}) {
-    KpjEngineOptions options;
-    options.threads = threads;
-    options.clamp_to_hardware = false;
-    KpjEngine engine(made.value(), options);
+    api::EngineConfig config;
+    config.workers = threads;
+    config.clamp_to_hardware = false;
+    KpjEngine engine(made.value(), config.ToEngineOptions());
     for (const Result<KpjResult>& r : engine.RunBatch(queries)) {
       ASSERT_TRUE(r.ok());
     }
@@ -187,19 +188,19 @@ TEST(ObservabilityTest, SlowQueryThresholdCountsAndLogs) {
   std::vector<KpjQuery> queries = TestQueries(made.value().NumNodes(), 4);
 
   // Threshold far below any real query: everything is "slow".
-  KpjEngineOptions options;
-  options.threads = 1;
-  options.slow_query_ms = 1e-6;
-  KpjEngine engine(made.value(), options);
+  api::EngineConfig config;
+  config.workers = 1;
+  config.slow_query_ms = 1e-6;
+  KpjEngine engine(made.value(), config.ToEngineOptions());
   for (const Result<KpjResult>& r : engine.RunBatch(queries)) {
     ASSERT_TRUE(r.ok());
   }
   EXPECT_EQ(engine.MetricsSnapshot().slow_queries, queries.size());
 
   // Disabled threshold: nothing is slow.
-  KpjEngineOptions quiet;
-  quiet.threads = 1;
-  KpjEngine quiet_engine(made.value(), quiet);
+  api::EngineConfig quiet;
+  quiet.workers = 1;
+  KpjEngine quiet_engine(made.value(), quiet.ToEngineOptions());
   for (const Result<KpjResult>& r : quiet_engine.RunBatch(queries)) {
     ASSERT_TRUE(r.ok());
   }
@@ -210,9 +211,9 @@ TEST(ObservabilityTest, MetricsJsonCarriesAlgoCounters) {
   Result<KpjInstance> made = KpjInstance::Make(TestGraph());
   ASSERT_TRUE(made.ok());
   std::vector<KpjQuery> queries = TestQueries(made.value().NumNodes(), 4);
-  KpjEngineOptions options;
-  options.threads = 1;
-  KpjEngine engine(made.value(), options);
+  api::EngineConfig config;
+  config.workers = 1;
+  KpjEngine engine(made.value(), config.ToEngineOptions());
   for (const Result<KpjResult>& r : engine.RunBatch(queries)) {
     ASSERT_TRUE(r.ok());
   }
@@ -235,9 +236,9 @@ TEST(ObservabilityTest, MetricsPrometheusIsWellFormed) {
   Result<KpjInstance> made = KpjInstance::Make(TestGraph());
   ASSERT_TRUE(made.ok());
   std::vector<KpjQuery> queries = TestQueries(made.value().NumNodes(), 4);
-  KpjEngineOptions options;
-  options.threads = 1;
-  KpjEngine engine(made.value(), options);
+  api::EngineConfig config;
+  config.workers = 1;
+  KpjEngine engine(made.value(), config.ToEngineOptions());
   for (const Result<KpjResult>& r : engine.RunBatch(queries)) {
     ASSERT_TRUE(r.ok());
   }

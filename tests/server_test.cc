@@ -1,0 +1,662 @@
+// kpjd service-layer lifecycle: byte-identity with the in-process engine,
+// admission control / overload shedding, queue-time deadline budgets, hot
+// instance swap (epochs never mix), and graceful drain with every
+// in-flight query answered.
+//
+// Tests drive server::KpjServer directly on a loopback port, speaking the
+// wire protocol through util/socket.h — the same bytes kpj_client sends.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "api/wire.h"
+#include "core/engine.h"
+#include "core/kpj_instance.h"
+#include "gen/road_gen.h"
+#include "graph/serialize.h"
+#include "index/landmark_index.h"
+#include "server/server.h"
+#include "util/timer.h"
+
+namespace kpj::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AdmissionController unit tests.
+
+TEST(AdmissionControllerTest, AdmitsUpToSlotsThenShedsAtTheQueueBound) {
+  AdmissionController admission(/*slots=*/1, /*max_queue=*/0);
+  double queue_ms = -1.0;
+  ASSERT_EQ(admission.Admit(0.0, &queue_ms),
+            AdmissionController::Outcome::kAdmitted);
+  EXPECT_GE(queue_ms, 0.0);
+  EXPECT_EQ(admission.in_flight(), 1u);
+  // Slot taken, queue bound 0: the next arrival sheds immediately.
+  EXPECT_EQ(admission.Admit(1000.0, &queue_ms),
+            AdmissionController::Outcome::kQueueFull);
+  admission.Release();
+  EXPECT_EQ(admission.in_flight(), 0u);
+  EXPECT_EQ(admission.Admit(0.0, &queue_ms),
+            AdmissionController::Outcome::kAdmitted);
+  admission.Release();
+}
+
+TEST(AdmissionControllerTest, WaiterIsShedWhenQueueTimeEatsTheDeadline) {
+  AdmissionController admission(/*slots=*/1, /*max_queue=*/4);
+  double queue_ms = 0.0;
+  ASSERT_EQ(admission.Admit(0.0, &queue_ms),
+            AdmissionController::Outcome::kAdmitted);
+  // The slot is never released, so a 20 ms budget must expire in queue.
+  Timer timer;
+  EXPECT_EQ(admission.Admit(20.0, &queue_ms),
+            AdmissionController::Outcome::kDeadlineExhausted);
+  EXPECT_GE(timer.ElapsedMillis(), 15.0);
+  admission.Release();
+}
+
+TEST(AdmissionControllerTest, WaiterProceedsWhenASlotFrees) {
+  AdmissionController admission(/*slots=*/1, /*max_queue=*/4);
+  double queue_ms = 0.0;
+  ASSERT_EQ(admission.Admit(0.0, &queue_ms),
+            AdmissionController::Outcome::kAdmitted);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    admission.Release();
+  });
+  // Unbounded deadline: waits until the releaser frees the slot.
+  EXPECT_EQ(admission.Admit(0.0, &queue_ms),
+            AdmissionController::Outcome::kAdmitted);
+  EXPECT_GT(queue_ms, 0.0);
+  releaser.join();
+  admission.Release();
+}
+
+// ---------------------------------------------------------------------------
+// Server fixture and wire-speaking test client.
+
+std::string GraphPath(uint32_t nodes, uint64_t seed) {
+  std::string path = ::testing::TempDir() + "kpj_server_test_" +
+                     std::to_string(nodes) + "_" + std::to_string(seed) +
+                     ".bin";
+  RoadGenOptions opt;
+  opt.target_nodes = nodes;
+  opt.seed = seed;
+  Graph graph = GenerateRoadNetwork(opt).graph;
+  Status saved = SaveGraphBinary(graph, Permutation(), path);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  return path;
+}
+
+/// One connection to a test server; every request round-trips through the
+/// real serialized wire format.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    Result<Socket> socket = ConnectTcp("127.0.0.1", port);
+    EXPECT_TRUE(socket.ok()) << socket.status().ToString();
+    socket_ = std::move(socket).value();
+  }
+
+  Status Send(api::RequestType type, api::JsonValue payload,
+              uint64_t id = 1) {
+    api::RequestEnvelope request;
+    request.id = id;
+    request.type = type;
+    request.payload = std::move(payload);
+    return WriteFrame(socket_, api::SerializeRequest(request));
+  }
+
+  Result<api::ResponseEnvelope> Receive() {
+    Result<Frame> frame = ReadFrame(socket_, 64u << 20);
+    if (!frame.ok()) return frame.status();
+    if (frame.value().eof) return Status::IoError("unexpected EOF");
+    return api::ParseResponse(frame.value().payload);
+  }
+
+  Result<api::ResponseEnvelope> RoundTrip(api::RequestType type,
+                                          api::JsonValue payload,
+                                          uint64_t id = 1) {
+    Status sent = Send(type, std::move(payload), id);
+    if (!sent.ok()) return sent;
+    return Receive();
+  }
+
+  Result<api::QueryResponse> Query(const api::QueryRequest& request) {
+    Result<api::ResponseEnvelope> envelope =
+        RoundTrip(api::RequestType::kQuery, api::ToJson(request));
+    if (!envelope.ok()) return envelope.status();
+    return api::QueryResponseFromJson(envelope.value().payload);
+  }
+
+  Socket& socket() { return socket_; }
+
+ private:
+  Socket socket_;
+};
+
+api::QueryRequest MakeRequest(std::vector<NodeId> sources,
+                              std::vector<NodeId> targets, uint32_t k) {
+  api::QueryRequest request;
+  request.sources = std::move(sources);
+  request.targets = std::move(targets);
+  request.k = k;
+  return request;
+}
+
+/// The in-process reference: same file, same config, same RunBatch entry
+/// point the daemon uses. Byte-identity means node sequences and lengths
+/// match this exactly.
+std::vector<KpjResult> InProcess(const std::string& graph_path,
+                                 const api::EngineConfig& config,
+                                 const std::vector<KpjQuery>& queries) {
+  Result<GraphFile> file = LoadGraphAuto(graph_path);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  Result<KpjInstance> instance = KpjInstance::Wrap(
+      std::move(file.value().graph), std::move(file.value().permutation));
+  EXPECT_TRUE(instance.ok());
+  KpjEngine engine(instance.value(), config.ToEngineOptions());
+  std::vector<Result<KpjResult>> raw = engine.RunBatch(queries);
+  std::vector<KpjResult> results;
+  for (Result<KpjResult>& r : raw) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    results.push_back(r.ok() ? std::move(r).value() : KpjResult{});
+  }
+  return results;
+}
+
+void ExpectSamePaths(const api::QueryResponse& response,
+                     const KpjResult& reference, const std::string& where) {
+  ASSERT_EQ(response.paths.size(), reference.paths.size()) << where;
+  for (size_t i = 0; i < reference.paths.size(); ++i) {
+    EXPECT_EQ(response.paths[i].length, reference.paths[i].length)
+        << where << " path " << i;
+    std::vector<NodeId> expected(reference.paths[i].nodes.begin(),
+                                 reference.paths[i].nodes.end());
+    EXPECT_EQ(response.paths[i].nodes, expected) << where << " path " << i;
+  }
+}
+
+KpjServerOptions SmallServerOptions(const std::string& graph_path) {
+  KpjServerOptions options;
+  options.graph_path = graph_path;
+  options.engine.workers = 2;
+  options.engine.cache_mb = 8;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity: the daemon's answers equal in-process RunBatch answers.
+
+TEST(KpjServerTest, QueriesAreByteIdenticalToInProcessEngine) {
+  const std::string path = GraphPath(2500, 21);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<api::QueryRequest> requests = {
+      MakeRequest({5}, {100, 200, 300}, 4),
+      MakeRequest({17}, {900}, 8),
+      MakeRequest({3, 7}, {250, 260, 270}, 5),  // GKPJ (two sources).
+  };
+  std::vector<KpjQuery> queries;
+  for (const api::QueryRequest& r : requests) queries.push_back(r.ToQuery());
+  api::EngineConfig config = SmallServerOptions(path).engine;
+  std::vector<KpjResult> reference = InProcess(path, config, queries);
+
+  Client client(server.port());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<api::QueryResponse> response = client.Query(requests[i]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, api::StatusCode::kOk);
+    EXPECT_EQ(response.value().epoch, 1u);
+    ExpectSamePaths(response.value(), reference[i],
+                    "query " + std::to_string(i));
+  }
+}
+
+TEST(KpjServerTest, BatchIsByteIdenticalAndOrderPreserving) {
+  const std::string path = GraphPath(2500, 21);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+
+  api::BatchRequest batch;
+  batch.queries = {
+      MakeRequest({1}, {500, 600}, 3),
+      MakeRequest({2}, {700}, 6),
+      MakeRequest({9}, {40, 41, 42}, 2),
+  };
+  std::vector<KpjQuery> queries;
+  for (const api::QueryRequest& r : batch.queries) {
+    queries.push_back(r.ToQuery());
+  }
+  std::vector<KpjResult> reference =
+      InProcess(path, SmallServerOptions(path).engine, queries);
+
+  Client client(server.port());
+  Result<api::ResponseEnvelope> envelope =
+      client.RoundTrip(api::RequestType::kBatch, api::ToJson(batch));
+  ASSERT_TRUE(envelope.ok()) << envelope.status().ToString();
+  EXPECT_EQ(envelope.value().status, api::StatusCode::kOk);
+  Result<api::BatchResponse> response =
+      api::BatchResponseFromJson(envelope.value().payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response.value().results.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(response.value().results[i].status, api::StatusCode::kOk);
+    ExpectSamePaths(response.value().results[i], reference[i],
+                    "batch entry " + std::to_string(i));
+  }
+}
+
+TEST(KpjServerTest, LandmarkIndexIsLoadedAndValidated) {
+  const std::string path = GraphPath(2500, 21);
+  Result<GraphFile> file = LoadGraphAuto(path);
+  ASSERT_TRUE(file.ok());
+  LandmarkIndexOptions opt;
+  opt.num_landmarks = 4;
+  LandmarkIndex landmarks = LandmarkIndex::Build(
+      file.value().graph, file.value().graph.Reverse(), opt);
+  const std::string lm_path = ::testing::TempDir() + "kpj_server_test.lm";
+  ASSERT_TRUE(landmarks.Save(lm_path).ok());
+
+  KpjServerOptions options = SmallServerOptions(path);
+  options.landmarks_path = lm_path;
+  KpjServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  Result<api::QueryResponse> response =
+      client.Query(MakeRequest({5}, {100, 200}, 3));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, api::StatusCode::kOk);
+
+  // The same index against a different graph must fail Start().
+  KpjServerOptions wrong = SmallServerOptions(GraphPath(1500, 22));
+  wrong.landmarks_path = lm_path;
+  KpjServer bad(std::move(wrong));
+  Status started = bad.Start();
+  ASSERT_FALSE(started.ok());
+  EXPECT_NE(started.ToString().find("different graph"), std::string::npos);
+}
+
+TEST(KpjServerTest, StartFailsOnMissingGraph) {
+  KpjServerOptions options;
+  options.graph_path = "/nonexistent/graph.bin";
+  KpjServer server(std::move(options));
+  EXPECT_FALSE(server.Start().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-level behavior.
+
+TEST(KpjServerTest, MalformedAndInvalidRequestsAreRejected) {
+  const std::string path = GraphPath(2500, 21);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // Not JSON at all: the server answers with kInvalidArgument, then
+    // closes (it cannot trust the stream framing after garbage).
+    Client client(server.port());
+    ASSERT_TRUE(WriteFrame(client.socket(), "not json").ok());
+    Result<Frame> frame = ReadFrame(client.socket(), 64u << 20);
+    ASSERT_TRUE(frame.ok());
+    Result<api::ResponseEnvelope> response =
+        api::ParseResponse(frame.value().payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, api::StatusCode::kInvalidArgument);
+  }
+  {
+    // A v=2 request: versioning rule says reject, name both versions.
+    Client client(server.port());
+    ASSERT_TRUE(
+        WriteFrame(client.socket(), "{\"v\":2,\"id\":3,\"type\":\"health\"}")
+            .ok());
+    Result<Frame> frame = ReadFrame(client.socket(), 64u << 20);
+    ASSERT_TRUE(frame.ok());
+    Result<api::ResponseEnvelope> response =
+        api::ParseResponse(frame.value().payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, api::StatusCode::kInvalidArgument);
+    EXPECT_NE(response.value().message.find("version"), std::string::npos);
+  }
+  {
+    // Well-formed envelope, semantically invalid query (out-of-range id):
+    // the connection stays usable afterwards.
+    Client client(server.port());
+    Result<api::QueryResponse> bad =
+        client.Query(MakeRequest({1u << 30}, {1}, 1));
+    ASSERT_TRUE(bad.ok());
+    EXPECT_EQ(bad.value().status, api::StatusCode::kInvalidArgument);
+    Result<api::QueryResponse> good =
+        client.Query(MakeRequest({5}, {100}, 1));
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value().status, api::StatusCode::kOk);
+  }
+}
+
+TEST(KpjServerTest, HealthAndMetricsReportServerState) {
+  const std::string path = GraphPath(2500, 21);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+
+  Result<api::ResponseEnvelope> health =
+      client.RoundTrip(api::RequestType::kHealth, api::JsonValue::Null());
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, api::StatusCode::kOk);
+  Result<api::HealthInfo> info =
+      api::HealthInfoFromJson(health.value().payload);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info.value().serving);
+  EXPECT_EQ(info.value().epoch, 1u);
+  EXPECT_EQ(info.value().graph, path);
+
+  ASSERT_TRUE(
+      client.Query(MakeRequest({5}, {100}, 2)).status().ok());
+
+  std::string json = server.MetricsJson();
+  for (const char* key :
+       {"\"server_accepted\"", "\"server_rejected\"", "\"server_shed\"",
+        "\"server_drained\"", "\"server_in_flight\"", "\"server_epoch\"",
+        "\"server_queue_count\"", "\"server_queue_mean_ms\"",
+        "\"server_queue_p99_ms\"", "\"queries_served\"",
+        "\"latency_p99_ms\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  std::string prom = server.MetricsPrometheus();
+  for (const char* needle :
+       {"# TYPE kpj_server_accepted_total counter",
+        "# TYPE kpj_server_rejected_total counter",
+        "# TYPE kpj_server_shed_total counter",
+        "# TYPE kpj_server_drained_total counter",
+        "# TYPE kpj_server_in_flight gauge",
+        "# TYPE kpj_server_queue_time_ms histogram",
+        "kpj_server_queue_time_ms_bucket{le=\"+Inf\"}",
+        "kpj_server_queue_time_ms_count",
+        "# TYPE kpj_queries_served_total counter"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+
+  // The metrics request type serves the same expositions over the wire.
+  api::MetricsRequest prom_request;
+  prom_request.format = "prom";
+  Result<api::ResponseEnvelope> wire_metrics = client.RoundTrip(
+      api::RequestType::kMetrics, api::ToJson(prom_request));
+  ASSERT_TRUE(wire_metrics.ok());
+  const api::JsonValue* body = wire_metrics.value().payload.Find("body");
+  ASSERT_NE(body, nullptr);
+  EXPECT_NE(body->string_value().find("kpj_server_accepted_total"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding and queue-time budgets.
+//
+// workers=1 and a heavy query pin the single engine slot; what happens to
+// concurrent arrivals is then deterministic: queue-bound sheds at arrival,
+// budget sheds while waiting.
+
+std::string HeavyGraphPath() {
+  static const std::string* path = new std::string(GraphPath(60000, 5));
+  return *path;
+}
+
+api::QueryRequest HeavyRequest(uint32_t num_nodes) {
+  // Far-apart endpoints, many targets, large k: hundreds of milliseconds
+  // of work pinning the single engine slot.
+  std::vector<NodeId> targets;
+  for (uint32_t i = 1; i <= 16; ++i) targets.push_back(num_nodes - i);
+  return MakeRequest({0}, std::move(targets), 512);
+}
+
+uint32_t HeavyGraphNodes() {
+  Result<GraphFile> file = LoadGraphAuto(HeavyGraphPath());
+  EXPECT_TRUE(file.ok());
+  return file.value().graph.NumNodes();
+}
+
+TEST(KpjServerTest, OverloadShedsWithBoundedQueueNeverUnbounded) {
+  KpjServerOptions options;
+  options.graph_path = HeavyGraphPath();
+  options.engine.workers = 1;
+  options.max_queue = 0;  // No waiting: the second query sheds at arrival.
+  KpjServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  const uint32_t n = HeavyGraphNodes();
+
+  Client heavy(server.port());
+  ASSERT_TRUE(
+      heavy.Send(api::RequestType::kQuery, api::ToJson(HeavyRequest(n)))
+          .ok());
+  // Give the heavy query time to be admitted and start executing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  Client shed_client(server.port());
+  Result<api::QueryResponse> shed =
+      shed_client.Query(MakeRequest({1}, {2}, 1));
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed.value().status, api::StatusCode::kOverloaded);
+  EXPECT_TRUE(shed.value().paths.empty());
+
+  Result<api::ResponseEnvelope> heavy_envelope = heavy.Receive();
+  ASSERT_TRUE(heavy_envelope.ok());
+  Result<api::QueryResponse> heavy_response =
+      api::QueryResponseFromJson(heavy_envelope.value().payload);
+  ASSERT_TRUE(heavy_response.ok());
+  EXPECT_EQ(heavy_response.value().status, api::StatusCode::kOk);
+  EXPECT_FALSE(heavy_response.value().paths.empty());
+
+  std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"server_shed\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"server_accepted\": 1"), std::string::npos) << json;
+}
+
+TEST(KpjServerTest, QueueTimeIsDeductedFromTheDeadline) {
+  KpjServerOptions options;
+  options.graph_path = HeavyGraphPath();
+  options.engine.workers = 1;
+  options.max_queue = 4;  // Waiting allowed: the budget decides.
+  KpjServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  const uint32_t n = HeavyGraphNodes();
+
+  Client heavy(server.port());
+  ASSERT_TRUE(
+      heavy.Send(api::RequestType::kQuery, api::ToJson(HeavyRequest(n)))
+          .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // 20 ms budget, but the single slot is busy for much longer: the queue
+  // wait consumes the whole deadline and the query is shed, never run.
+  api::QueryRequest bounded = MakeRequest({1}, {2}, 1);
+  bounded.deadline_ms = 20.0;
+  Client waiter(server.port());
+  Result<api::QueryResponse> shed = waiter.Query(bounded);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed.value().status, api::StatusCode::kOverloaded);
+  EXPECT_GE(shed.value().queue_ms, 15.0);
+
+  Result<api::ResponseEnvelope> heavy_envelope = heavy.Receive();
+  ASSERT_TRUE(heavy_envelope.ok());
+  EXPECT_EQ(heavy_envelope.value().status, api::StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Hot swap: epochs never mix.
+
+TEST(KpjServerTest, HotSwapMidTrafficNeverMixesEpochs) {
+  const std::string path_a = GraphPath(2500, 21);
+  const std::string path_b = GraphPath(2500, 22);
+  const api::QueryRequest request = MakeRequest({3}, {50, 60}, 4);
+
+  api::EngineConfig config = SmallServerOptions(path_a).engine;
+  KpjResult ref_a =
+      InProcess(path_a, config, {request.ToQuery()}).front();
+  KpjResult ref_b =
+      InProcess(path_b, config, {request.ToQuery()}).front();
+
+  KpjServer server(SmallServerOptions(path_a));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Traffic thread: issue the same query continuously across the swap.
+  // Every response must be internally consistent: epoch 1 answers match
+  // graph A exactly, epoch 2 answers match graph B exactly.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> epochs_seen{0};  // Bitmask of observed epochs.
+  std::thread traffic([&] {
+    Client client(server.port());
+    while (!stop.load()) {
+      Result<api::QueryResponse> response = client.Query(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response.value().status, api::StatusCode::kOk);
+      ASSERT_TRUE(response.value().epoch == 1 ||
+                  response.value().epoch == 2);
+      epochs_seen.fetch_or(uint64_t{1} << response.value().epoch);
+      const KpjResult& ref =
+          response.value().epoch == 1 ? ref_a : ref_b;
+      ExpectSamePaths(response.value(), ref,
+                      "epoch " + std::to_string(response.value().epoch));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  api::SwapRequest swap;
+  swap.graph = path_b;
+  Result<api::SwapInfo> info = server.Swap(swap);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().old_epoch, 1u);
+  EXPECT_EQ(info.value().new_epoch, 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  traffic.join();
+
+  // Both generations actually served traffic.
+  EXPECT_EQ(epochs_seen.load(), (1u << 1) | (1u << 2));
+
+  // After the swap, answers come from graph B.
+  Client client(server.port());
+  Result<api::QueryResponse> response = client.Query(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().epoch, 2u);
+  ExpectSamePaths(response.value(), ref_b, "post-swap");
+}
+
+TEST(KpjServerTest, SwapOverTheWireAndFailedSwapKeepsServing) {
+  const std::string path_a = GraphPath(2500, 21);
+  const std::string path_b = GraphPath(2500, 22);
+  KpjServer server(SmallServerOptions(path_a));
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+
+  // A swap to a missing file fails and the old epoch keeps serving.
+  api::SwapRequest bad;
+  bad.graph = "/nonexistent/graph.bin";
+  Result<api::ResponseEnvelope> bad_envelope =
+      client.RoundTrip(api::RequestType::kSwap, api::ToJson(bad));
+  ASSERT_TRUE(bad_envelope.ok());
+  EXPECT_NE(bad_envelope.value().status, api::StatusCode::kOk);
+  Result<api::QueryResponse> still =
+      client.Query(MakeRequest({5}, {100}, 1));
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still.value().status, api::StatusCode::kOk);
+  EXPECT_EQ(still.value().epoch, 1u);
+
+  // A good swap over the wire flips the epoch.
+  api::SwapRequest good;
+  good.graph = path_b;
+  Result<api::ResponseEnvelope> good_envelope =
+      client.RoundTrip(api::RequestType::kSwap, api::ToJson(good));
+  ASSERT_TRUE(good_envelope.ok());
+  ASSERT_EQ(good_envelope.value().status, api::StatusCode::kOk)
+      << good_envelope.value().message;
+  Result<api::SwapInfo> info =
+      api::SwapInfoFromJson(good_envelope.value().payload);
+  ASSERT_TRUE(info.ok());
+  // The failed swap consumed an epoch number; what matters is monotonic
+  // progression from the old epoch.
+  EXPECT_EQ(info.value().old_epoch, 1u);
+  EXPECT_GT(info.value().new_epoch, 1u);
+  Result<api::QueryResponse> swapped =
+      client.Query(MakeRequest({5}, {100}, 1));
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped.value().epoch, info.value().new_epoch);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+
+TEST(KpjServerTest, DrainAnswersInFlightAndRefusesNewWork) {
+  KpjServerOptions options;
+  options.graph_path = HeavyGraphPath();
+  options.engine.workers = 1;
+  KpjServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  const uint32_t n = HeavyGraphNodes();
+
+  // Pipeline two requests on one connection: the heavy one is executing
+  // when drain hits; the second is already buffered behind it, so the
+  // server must answer it (with kUnavailable) before closing.
+  Client client(server.port());
+  ASSERT_TRUE(
+      client.Send(api::RequestType::kQuery, api::ToJson(HeavyRequest(n)), 1)
+          .ok());
+  ASSERT_TRUE(client
+                  .Send(api::RequestType::kQuery,
+                        api::ToJson(MakeRequest({1}, {2}, 1)), 2)
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  server.RequestDrain();
+  EXPECT_TRUE(server.draining());
+
+  Result<api::ResponseEnvelope> first = client.Receive();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().id, 1u);
+  EXPECT_EQ(first.value().status, api::StatusCode::kOk);
+  Result<api::QueryResponse> heavy_response =
+      api::QueryResponseFromJson(first.value().payload);
+  ASSERT_TRUE(heavy_response.ok());
+  EXPECT_FALSE(heavy_response.value().paths.empty());
+
+  Result<api::ResponseEnvelope> second = client.Receive();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().id, 2u);
+  EXPECT_EQ(second.value().status, api::StatusCode::kUnavailable);
+
+  // Wait() returns: accept loop exited, connections closed, no leaks.
+  server.Wait();
+  std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"server_drained\": 1"), std::string::npos) << json;
+}
+
+TEST(KpjServerTest, DrainRequestOverTheWireIsAcknowledged) {
+  const std::string path = GraphPath(2500, 21);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  Result<api::ResponseEnvelope> ack = client.RoundTrip(
+      api::RequestType::kDrain, api::JsonValue::Null(), /*id=*/77);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack.value().status, api::StatusCode::kOk);
+  EXPECT_EQ(ack.value().id, 77u);
+  EXPECT_TRUE(server.draining());
+  server.Wait();
+}
+
+TEST(KpjServerTest, DestructorDrainsCleanlyWithOpenConnections) {
+  const std::string path = GraphPath(2500, 21);
+  auto server = std::make_unique<KpjServer>(SmallServerOptions(path));
+  ASSERT_TRUE(server->Start().ok());
+  Client client(server->port());
+  ASSERT_TRUE(client.Query(MakeRequest({5}, {100}, 1)).ok());
+  // Destroying the server with a live idle connection must not hang.
+  server.reset();
+}
+
+}  // namespace
+}  // namespace kpj::server

@@ -1,0 +1,356 @@
+// kpj_client — thin client for the kpjd service (docs/PROTOCOL.md).
+//
+//   kpj_client query   --port P --source S --targets A,B,C [--k 10]
+//                      [--deadline-ms MS]
+//   kpj_client batch   --port P --queries FILE [--deadline-ms MS]
+//   kpj_client metrics --port P [--format json|prom]
+//   kpj_client health  --port P
+//   kpj_client drain   --port P
+//   kpj_client swap    --port P --graph FILE [--landmarks FILE]
+//                      [--oracle alt|hublabel]
+//
+// --port-file FILE (written by kpjd --port-file) substitutes for --port.
+// Exit code: 0 on success, 1 on any error status (including 'overloaded').
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "api/options_parse.h"
+#include "api/wire.h"
+#include "util/socket.h"
+#include "util/string_util.h"
+
+namespace {
+
+using kpj::Result;
+using kpj::Socket;
+using kpj::Status;
+namespace api = kpj::api;
+
+constexpr size_t kMaxFrameBytes = 64 << 20;
+
+void PrintHelp(std::ostream& out) {
+  out << "kpj_client — client for the kpjd service\n"
+         "\n"
+         "  kpj_client query   --port P --source S --targets A,B,C"
+         " [--k 10]\n"
+         "                     [--deadline-ms MS]\n"
+         "  kpj_client batch   --port P --queries FILE [--deadline-ms MS]\n"
+         "  kpj_client metrics --port P [--format json|prom]\n"
+         "  kpj_client health  --port P\n"
+         "  kpj_client drain   --port P\n"
+         "  kpj_client swap    --port P --graph FILE [--landmarks FILE]\n"
+         "                     [--oracle alt|hublabel]\n"
+         "\n"
+         "--host defaults to 127.0.0.1; --port-file FILE reads the port\n"
+         "kpjd wrote with its own --port-file flag. Query files use the\n"
+         "kpj_cli batch format: one 'source k target...' line per query.\n";
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+Result<uint16_t> ResolvePort(const api::ParsedArgs& args) {
+  if (auto port_file = args.Get("port-file"); port_file.has_value()) {
+    std::ifstream in(*port_file);
+    if (!in) return Status::IoError("cannot open " + *port_file);
+    int64_t port = -1;
+    in >> port;
+    if (port < 1 || port > 65535) {
+      return Status::InvalidArgument(*port_file +
+                                     " does not contain a port number");
+    }
+    return static_cast<uint16_t>(port);
+  }
+  Result<int64_t> port = args.GetInt("port", -1);
+  if (!port.ok()) return port.status();
+  if (port.value() < 1 || port.value() > 65535) {
+    return Status::InvalidArgument("need --port P or --port-file FILE");
+  }
+  return static_cast<uint16_t>(port.value());
+}
+
+/// One request/response round trip on a fresh connection.
+Result<api::ResponseEnvelope> RoundTrip(const api::ParsedArgs& args,
+                                        api::RequestType type,
+                                        api::JsonValue payload) {
+  Result<uint16_t> port = ResolvePort(args);
+  if (!port.ok()) return port.status();
+  std::string host = args.Get("host").value_or("127.0.0.1");
+  Result<Socket> socket = kpj::ConnectTcp(host, port.value());
+  if (!socket.ok()) return socket.status();
+
+  api::RequestEnvelope request;
+  request.id = 1;
+  request.type = type;
+  request.payload = std::move(payload);
+  KPJ_RETURN_IF_ERROR(
+      kpj::WriteFrame(socket.value(), api::SerializeRequest(request)));
+  Result<kpj::Frame> frame = kpj::ReadFrame(socket.value(), kMaxFrameBytes);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().eof) {
+    return Status::IoError("server closed the connection without a response");
+  }
+  return api::ParseResponse(frame.value().payload);
+}
+
+/// Prints one query response in kpj_cli style; returns the exit code.
+int PrintQueryResponse(const api::QueryResponse& response) {
+  for (const api::PathPayload& path : response.paths) {
+    std::ostringstream line;
+    for (size_t i = 0; i < path.nodes.size(); ++i) {
+      if (i > 0) line << " -> ";
+      line << path.nodes[i];
+    }
+    line << " (len " << path.length << ")";
+    std::cout << line.str() << "\n";
+  }
+  std::cout << "# " << response.paths.size() << " paths in "
+            << response.elapsed_ms << " ms (queue " << response.queue_ms
+            << " ms, epoch " << response.epoch << ")\n";
+  if (response.status != api::StatusCode::kOk) {
+    std::cout << "# status: " << api::StatusCodeName(response.status);
+    if (!response.message.empty()) std::cout << " (" << response.message
+                                             << ")";
+    std::cout << "\n";
+    // Deadline-bounded partial answers are still usable output, but any
+    // non-ok status is a non-zero exit so scripts can branch on it.
+    return 1;
+  }
+  return 0;
+}
+
+int CmdQuery(const api::ParsedArgs& args) {
+  api::QueryRequest request;
+  Result<std::string> source = args.Require("source");
+  if (!source.ok()) return Fail(source.status());
+  Result<std::vector<kpj::NodeId>> sources =
+      api::ParseNodeList(source.value());
+  if (!sources.ok()) return Fail(sources.status());
+  request.sources = std::move(sources).value();
+  Result<std::string> targets_text = args.Require("targets");
+  if (!targets_text.ok()) return Fail(targets_text.status());
+  Result<std::vector<kpj::NodeId>> targets =
+      api::ParseNodeList(targets_text.value());
+  if (!targets.ok()) return Fail(targets.status());
+  request.targets = std::move(targets).value();
+  Result<int64_t> k = args.GetInt("k", 10);
+  if (!k.ok() || k.value() <= 0) {
+    return Fail(Status::InvalidArgument("--k must be positive"));
+  }
+  request.k = static_cast<uint32_t>(k.value());
+  if (auto deadline = args.Get("deadline-ms"); deadline.has_value()) {
+    auto parsed = kpj::ParseDouble(*deadline);
+    if (!parsed || *parsed < 0.0) {
+      return Fail(Status::InvalidArgument("--deadline-ms must be >= 0"));
+    }
+    request.deadline_ms = *parsed;
+  }
+
+  Result<api::ResponseEnvelope> response =
+      RoundTrip(args, api::RequestType::kQuery, api::ToJson(request));
+  if (!response.ok()) return Fail(response.status());
+  if (response.value().payload.is_null()) {
+    std::cerr << "error: "
+              << api::StatusCodeName(response.value().status) << ": "
+              << response.value().message << "\n";
+    return 1;
+  }
+  Result<api::QueryResponse> result =
+      api::QueryResponseFromJson(response.value().payload);
+  if (!result.ok()) return Fail(result.status());
+  return PrintQueryResponse(result.value());
+}
+
+int CmdBatch(const api::ParsedArgs& args) {
+  Result<std::string> queries_path = args.Require("queries");
+  if (!queries_path.ok()) return Fail(queries_path.status());
+  std::ifstream in(queries_path.value());
+  if (!in) {
+    return Fail(Status::IoError("cannot open " + queries_path.value()));
+  }
+  api::BatchRequest batch;
+  std::vector<size_t> line_numbers;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = kpj::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = kpj::SplitWhitespace(trimmed);
+    if (fields.size() < 3) {
+      return Fail(Status::InvalidArgument(
+          "query line " + std::to_string(line_no) +
+          ": want 'source k target...'"));
+    }
+    api::QueryRequest query;
+    auto src = kpj::ParseInt(fields[0]);
+    auto kval = kpj::ParseInt(fields[1]);
+    if (!src || !kval || *src < 0 || *kval <= 0) {
+      return Fail(Status::InvalidArgument(
+          "query line " + std::to_string(line_no) + ": bad source/k"));
+    }
+    query.sources = {static_cast<kpj::NodeId>(*src)};
+    query.k = static_cast<uint32_t>(*kval);
+    for (size_t i = 2; i < fields.size(); ++i) {
+      auto t = kpj::ParseInt(fields[i]);
+      if (!t || *t < 0) {
+        return Fail(Status::InvalidArgument(
+            "query line " + std::to_string(line_no) + ": bad target"));
+      }
+      query.targets.push_back(static_cast<kpj::NodeId>(*t));
+    }
+    batch.queries.push_back(std::move(query));
+    line_numbers.push_back(line_no);
+  }
+  if (auto deadline = args.Get("deadline-ms"); deadline.has_value()) {
+    auto parsed = kpj::ParseDouble(*deadline);
+    if (!parsed || *parsed < 0.0) {
+      return Fail(Status::InvalidArgument("--deadline-ms must be >= 0"));
+    }
+    batch.deadline_ms = *parsed;
+  }
+
+  Result<api::ResponseEnvelope> response =
+      RoundTrip(args, api::RequestType::kBatch, api::ToJson(batch));
+  if (!response.ok()) return Fail(response.status());
+  if (response.value().status != api::StatusCode::kOk) {
+    std::cerr << "error: "
+              << api::StatusCodeName(response.value().status) << ": "
+              << response.value().message << "\n";
+    return 1;
+  }
+  Result<api::BatchResponse> result =
+      api::BatchResponseFromJson(response.value().payload);
+  if (!result.ok()) return Fail(result.status());
+  int exit_code = 0;
+  const std::vector<api::QueryResponse>& results = result.value().results;
+  for (size_t i = 0; i < results.size(); ++i) {
+    size_t label = i < line_numbers.size() ? line_numbers[i] : i + 1;
+    std::cout << "query " << label << ":";
+    for (const api::PathPayload& path : results[i].paths) {
+      std::cout << " " << path.length;
+    }
+    if (results[i].status != api::StatusCode::kOk) {
+      std::cout << " # " << api::StatusCodeName(results[i].status);
+      exit_code = 1;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "# " << results.size() << " queries (epoch "
+            << (results.empty() ? 0 : results.front().epoch) << ")\n";
+  return exit_code;
+}
+
+int CmdMetrics(const api::ParsedArgs& args) {
+  api::MetricsRequest request;
+  request.format = args.Get("format").value_or("json");
+  if (request.format != "json" && request.format != "prom") {
+    return Fail(Status::InvalidArgument("--format must be 'json' or 'prom'"));
+  }
+  Result<api::ResponseEnvelope> response =
+      RoundTrip(args, api::RequestType::kMetrics, api::ToJson(request));
+  if (!response.ok()) return Fail(response.status());
+  if (response.value().status != api::StatusCode::kOk) {
+    std::cerr << "error: "
+              << api::StatusCodeName(response.value().status) << ": "
+              << response.value().message << "\n";
+    return 1;
+  }
+  Result<std::string> body =
+      api::GetString(response.value().payload, "body");
+  if (!body.ok()) return Fail(body.status());
+  std::cout << body.value() << "\n";
+  return 0;
+}
+
+int CmdHealth(const api::ParsedArgs& args) {
+  Result<api::ResponseEnvelope> response =
+      RoundTrip(args, api::RequestType::kHealth, api::JsonValue::Null());
+  if (!response.ok()) return Fail(response.status());
+  Result<api::HealthInfo> info =
+      api::HealthInfoFromJson(response.value().payload);
+  if (!info.ok()) return Fail(info.status());
+  std::cout << "serving:   " << (info.value().serving ? "yes" : "no") << "\n"
+            << "epoch:     " << info.value().epoch << "\n"
+            << "graph:     " << info.value().graph << "\n"
+            << "uptime:    " << info.value().uptime_ms << " ms\n"
+            << "in flight: " << info.value().in_flight << "\n";
+  return info.value().serving ? 0 : 1;
+}
+
+int CmdDrain(const api::ParsedArgs& args) {
+  Result<api::ResponseEnvelope> response =
+      RoundTrip(args, api::RequestType::kDrain, api::JsonValue::Null());
+  if (!response.ok()) return Fail(response.status());
+  if (response.value().status != api::StatusCode::kOk) {
+    std::cerr << "error: "
+              << api::StatusCodeName(response.value().status) << ": "
+              << response.value().message << "\n";
+    return 1;
+  }
+  std::cout << "drain requested\n";
+  return 0;
+}
+
+int CmdSwap(const api::ParsedArgs& args) {
+  api::SwapRequest request;
+  Result<std::string> graph = args.Require("graph");
+  if (!graph.ok()) return Fail(graph.status());
+  request.graph = graph.value();
+  request.landmarks = args.Get("landmarks").value_or("");
+  if (auto oracle = args.Get("oracle"); oracle.has_value()) {
+    Result<kpj::OracleKind> kind = api::ParseOracleKind(*oracle);
+    if (!kind.ok()) return Fail(kind.status());
+    request.oracle = kind.value();
+  }
+  Result<api::ResponseEnvelope> response =
+      RoundTrip(args, api::RequestType::kSwap, api::ToJson(request));
+  if (!response.ok()) return Fail(response.status());
+  if (response.value().status != api::StatusCode::kOk) {
+    std::cerr << "error: "
+              << api::StatusCodeName(response.value().status) << ": "
+              << response.value().message << "\n";
+    return 1;
+  }
+  Result<api::SwapInfo> info =
+      api::SwapInfoFromJson(response.value().payload);
+  if (!info.ok()) return Fail(info.status());
+  std::cout << "swapped epoch " << info.value().old_epoch << " -> "
+            << info.value().new_epoch << " in " << info.value().load_ms
+            << " ms\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Result<api::ParsedArgs> parsed = api::ParseArgs(args);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.status().ToString() << "\n";
+    PrintHelp(std::cerr);
+    return 2;
+  }
+  const api::ParsedArgs& a = parsed.value();
+  if (a.command == "help" || a.command == "--help") {
+    PrintHelp(std::cout);
+    return 0;
+  }
+  if (a.command == "query") return CmdQuery(a);
+  if (a.command == "batch") return CmdBatch(a);
+  if (a.command == "metrics") return CmdMetrics(a);
+  if (a.command == "health") return CmdHealth(a);
+  if (a.command == "drain") return CmdDrain(a);
+  if (a.command == "swap") return CmdSwap(a);
+  std::cerr << "error: unknown command '" << a.command << "'\n";
+  PrintHelp(std::cerr);
+  return 2;
+}

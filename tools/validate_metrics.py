@@ -7,9 +7,15 @@ Validates one file per invocation:
     tools/validate_metrics.py --mode prom         engine_metrics.prom
     tools/validate_metrics.py --mode trace        trace.json
 
+Pass --server for expositions produced by kpjd: the daemon splices
+server-level keys (server_accepted, kpj_server_*_total, the
+kpj_server_queue_time_ms histogram, ...) into the engine body, and those
+become required on top of the engine schema.
+
 Exit status 0 means the file is well-formed; any violation prints a
 diagnostic and exits 1. Used by scripts/check.sh to gate the CLI smoke
-run, and handy standalone when wiring dashboards.
+run and the kpjd service smoke, and handy standalone when wiring
+dashboards.
 """
 
 import argparse
@@ -98,20 +104,52 @@ PROM_REQUIRED_SERIES = [
     "kpj_query_latency_ms",
 ]
 
+# Spliced into both expositions by kpjd (src/server/server.cc); required
+# only under --server.
+SERVER_METRICS_REQUIRED_KEYS = [
+    "server_accepted",
+    "server_rejected",
+    "server_shed",
+    "server_drained",
+    "server_in_flight",
+    "server_epoch",
+    "server_queue_count",
+    "server_queue_mean_ms",
+    "server_queue_max_ms",
+    "server_queue_p99_ms",
+]
+
+SERVER_PROM_REQUIRED_SERIES = [
+    "kpj_server_accepted_total",
+    "kpj_server_rejected_total",
+    "kpj_server_shed_total",
+    "kpj_server_drained_total",
+    "kpj_server_in_flight",
+    "kpj_server_epoch",
+    "kpj_server_queue_time_ms",
+]
+
+# Every histogram in the exposition gets cumulative-bucket and
+# +Inf == _count checks; these are the ones that must exist at all.
+REQUIRED_HISTOGRAMS = ["kpj_query_latency_ms"]
+SERVER_REQUIRED_HISTOGRAMS = ["kpj_server_queue_time_ms"]
+
 
 def fail(message):
     print(f"validate_metrics: {message}", file=sys.stderr)
     sys.exit(1)
 
 
-def check_metrics_json(text):
+def check_metrics_json(text, server=False):
     try:
         data = json.loads(text)
     except json.JSONDecodeError as e:
         fail(f"metrics JSON does not parse: {e}")
     if not isinstance(data, dict):
         fail("metrics JSON root must be an object")
-    for key in METRICS_REQUIRED_KEYS:
+    required = METRICS_REQUIRED_KEYS + (
+        SERVER_METRICS_REQUIRED_KEYS if server else [])
+    for key in required:
         if key not in data:
             fail(f"metrics JSON missing key {key!r}")
         value = data[key]
@@ -125,14 +163,14 @@ def check_metrics_json(text):
         fail(f"algo_lb_tightness outside [0, 1]: {data['algo_lb_tightness']}")
 
 
-def check_prom(text):
+def check_prom(text, server=False):
     # sample line: name{labels} value  |  name value
     sample_re = re.compile(
         r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
     typed = {}
     seen = set()
-    bucket_counts = []
-    histogram_count = None
+    bucket_counts = {}     # histogram base name -> [bucket values in order]
+    histogram_counts = {}  # histogram base name -> _count value
     for line_no, line in enumerate(text.splitlines(), 1):
         if not line.strip():
             continue
@@ -169,23 +207,30 @@ def check_prom(text):
             # algorithm label they would aggregate into a meaningless sum.
             if labels is None or 'algorithm="' not in labels:
                 fail(f"line {line_no}: {name} without algorithm label")
-        if name == "kpj_query_latency_ms_bucket":
+        if name.endswith("_bucket") and typed.get(base) == "histogram":
             if labels is None or 'le="' not in labels:
                 fail(f"line {line_no}: histogram bucket without le label")
-            bucket_counts.append(value)
-        if name == "kpj_query_latency_ms_count":
-            histogram_count = value
-    for name in PROM_REQUIRED_SERIES:
+            bucket_counts.setdefault(base, []).append(value)
+        if name.endswith("_count") and typed.get(base) == "histogram":
+            histogram_counts[base] = value
+    required = PROM_REQUIRED_SERIES + (
+        SERVER_PROM_REQUIRED_SERIES if server else [])
+    for name in required:
         if name not in seen:
             fail(f"missing series {name!r}")
-    if not bucket_counts:
-        fail("histogram has no buckets")
-    if any(b > a for b, a in zip(bucket_counts, bucket_counts[1:])):
-        fail("histogram buckets are not cumulative")
-    if histogram_count is None:
-        fail("histogram has no _count sample")
-    if bucket_counts[-1] != histogram_count:
-        fail(f"+Inf bucket {bucket_counts[-1]} != _count {histogram_count}")
+    required_histograms = REQUIRED_HISTOGRAMS + (
+        SERVER_REQUIRED_HISTOGRAMS if server else [])
+    for base in required_histograms:
+        if base not in bucket_counts:
+            fail(f"histogram {base!r} has no buckets")
+    for base, buckets in bucket_counts.items():
+        if any(b > a for b, a in zip(buckets, buckets[1:])):
+            fail(f"histogram {base!r} buckets are not cumulative")
+        if base not in histogram_counts:
+            fail(f"histogram {base!r} has no _count sample")
+        if buckets[-1] != histogram_counts[base]:
+            fail(f"{base}: +Inf bucket {buckets[-1]} != "
+                 f"_count {histogram_counts[base]}")
 
 
 def check_trace(text):
@@ -219,15 +264,19 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--mode", required=True,
                         choices=["metrics-json", "prom", "trace"])
+    parser.add_argument("--server", action="store_true",
+                        help="require kpjd server-level series too")
     parser.add_argument("path")
     args = parser.parse_args()
     with open(args.path, "r", encoding="utf-8") as f:
         text = f.read()
     if args.mode == "metrics-json":
-        check_metrics_json(text)
+        check_metrics_json(text, server=args.server)
     elif args.mode == "prom":
-        check_prom(text)
+        check_prom(text, server=args.server)
     else:
+        if args.server:
+            fail("--server only applies to metrics-json and prom modes")
         check_trace(text)
     print(f"validate_metrics: {args.mode} OK: {args.path}")
 
