@@ -17,7 +17,10 @@
 #                                    # bench_intra, and bench_oracle and
 #                                    # diff against the checked-in
 #                                    # BENCH_*.json baselines with
-#                                    # tools/compare_bench.py (>10% fails)
+#                                    # tools/compare_bench.py (>10% fails);
+#                                    # the kpj_loadgen smoke report is
+#                                    # also diffed against
+#                                    # BENCH_service.json at a loose 50%
 #   KPJ_CHECK_JOBS=8 scripts/check.sh
 #
 # Sanitizer runs use separate build trees (build-asan/, build-ubsan/,
@@ -26,9 +29,11 @@
 # After ctest, every mode drives the built kpj_cli end to end on a small
 # generated graph with --trace-out / --metrics-out and validates the
 # emitted trace JSON, metrics JSON, and Prometheus text with
-# tools/validate_metrics.py, then boots kpjd on loopback and round-trips
-# health/query/metrics/drain through kpj_client (failing on any leaked
-# daemon process).
+# tools/validate_metrics.py, then boots kpjd on loopback with an access
+# log and round-trips health/query/traced-query/stats/metrics/drain
+# through kpj_client, runs a short kpj_loadgen burst, and validates the
+# merged wire trace, stats payload, access log, and loadgen report
+# (failing on any leaked daemon process).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -128,6 +133,7 @@ trap cleanup_kpjd EXIT
 "$kpjd" --graph "$smoke_dir/g.bin" --port 0 \
   --port-file "$smoke_dir/kpjd.port" --workers 2 \
   --metrics-out "$smoke_dir/kpjd_metrics.json" \
+  --access-log "$smoke_dir/kpjd_access.log" \
   > "$smoke_dir/kpjd.log" 2>&1 &
 kpjd_pid=$!
 for _ in $(seq 1 100); do
@@ -151,10 +157,46 @@ done
 grep ' -> ' "$smoke_dir/wire_answer.txt" > "$smoke_dir/wire_paths.txt"
 diff "$smoke_dir/cli_answer.txt" "$smoke_dir/wire_paths.txt"
 
+# Wire-to-solver tracing: a traced query must come back with server spans
+# that merge with the client's into one timeline sharing one trace_id.
+"$kpj_client" query --port-file "$smoke_dir/kpjd.port" \
+  --source 0 --targets 100,200,300 --k 5 \
+  --trace-out "$smoke_dir/wire_trace.json" > "$smoke_dir/traced_answer.txt"
+grep ' -> ' "$smoke_dir/traced_answer.txt" > "$smoke_dir/traced_paths.txt"
+# Tracing must not change answers: traced paths equal the untraced ones.
+diff "$smoke_dir/cli_answer.txt" "$smoke_dir/traced_paths.txt"
+python3 tools/validate_metrics.py --mode trace \
+  --expect-span client.request --expect-span server.accept \
+  --expect-span server.parse --expect-span server.queue \
+  --expect-span server.execute --expect-span server.serialize \
+  --expect-span engine.query --expect-span solver.run \
+  "$smoke_dir/wire_trace.json"
+
+# Live rolling-window gauges over the wire.
+"$kpj_client" stats --port-file "$smoke_dir/kpjd.port" --json \
+  > "$smoke_dir/kpjd_stats.json"
+python3 tools/validate_metrics.py --mode stats "$smoke_dir/kpjd_stats.json"
+
 "$kpj_client" metrics --port-file "$smoke_dir/kpjd.port" --format prom \
   > "$smoke_dir/kpjd_metrics.prom"
 python3 tools/validate_metrics.py --mode prom --server \
   "$smoke_dir/kpjd_metrics.prom"
+
+# Sustained-load rig: a short closed-loop burst must complete with zero
+# wire failures, nonzero throughput, and a parseable report.
+"$build_dir/tools/kpj_loadgen" --port-file "$smoke_dir/kpjd.port" \
+  --connections 2 --warmup-s 1 --duration-s 3 --k 4 --targets 2 \
+  --out "$smoke_dir/BENCH_service.json" > "$smoke_dir/loadgen.log"
+python3 - "$smoke_dir/BENCH_service.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["requests_failed"] == 0, report
+assert report["throughput_qps"] > 0, report
+assert report["requests_measured"] > 0, report
+assert sum(report["per_second"]) == report["requests_measured"], report
+print(f"loadgen smoke: {report['requests_measured']} requests at "
+      f"{report['throughput_qps']:.0f} qps")
+PY
 
 "$kpj_client" drain --port-file "$smoke_dir/kpjd.port" > /dev/null
 for _ in $(seq 1 100); do
@@ -172,6 +214,10 @@ trap - EXIT
 # server-level schema too.
 python3 tools/validate_metrics.py --mode metrics-json --server \
   "$smoke_dir/kpjd_metrics.json"
+# Drain flushed the buffered access log; every request round-tripped
+# above must be on disk as a well-formed JSONL line.
+python3 tools/validate_metrics.py --mode access-log \
+  "$smoke_dir/kpjd_access.log"
 grep -q "kpjd drained cleanly" "$smoke_dir/kpjd.log"
 echo "service smoke OK"
 
@@ -191,5 +237,10 @@ if [[ "$mode" == "bench-gate" ]]; then
   KPJ_BENCH_JSON="$gate_dir/BENCH_oracle.json" "$build_dir/bench/bench_oracle"
   python3 tools/compare_bench.py BENCH_oracle.json "$gate_dir/BENCH_oracle.json" \
     --threshold 0.10
+  # Service-level gate: the loadgen report from the smoke above, diffed at
+  # a loose threshold — loopback service latency is far noisier than the
+  # in-process benches.
+  python3 tools/compare_bench.py BENCH_service.json \
+    "$smoke_dir/BENCH_service.json" --threshold 0.50
   echo "bench gate OK"
 fi

@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "util/trace.h"
+
 namespace kpj::api {
 namespace {
 
@@ -56,6 +58,7 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kHealth: return "health";
     case RequestType::kDrain: return "drain";
     case RequestType::kSwap: return "swap";
+    case RequestType::kStats: return "stats";
   }
   return "query";
 }
@@ -64,6 +67,7 @@ Result<RequestType> ParseRequestType(std::string_view name) {
   constexpr RequestType kAll[] = {
       RequestType::kQuery,  RequestType::kBatch, RequestType::kMetrics,
       RequestType::kHealth, RequestType::kDrain, RequestType::kSwap,
+      RequestType::kStats,
   };
   for (RequestType type : kAll) {
     if (name == RequestTypeName(type)) return type;
@@ -325,6 +329,7 @@ JsonValue ToJson(const HealthInfo& info) {
   object.Set("graph", JsonValue::Str(info.graph));
   object.Set("uptime_ms", JsonValue::Uint(info.uptime_ms));
   object.Set("in_flight", JsonValue::Uint(info.in_flight));
+  object.Set("nodes", JsonValue::Uint(info.nodes));
   return object;
 }
 
@@ -348,6 +353,9 @@ Result<HealthInfo> HealthInfoFromJson(const JsonValue& json) {
   Result<uint64_t> in_flight = GetUint<uint64_t>(json, "in_flight", 0);
   if (!in_flight.ok()) return in_flight.status();
   info.in_flight = in_flight.value();
+  Result<uint64_t> nodes = GetUint<uint64_t>(json, "nodes", 0);
+  if (!nodes.ok()) return nodes.status();
+  info.nodes = nodes.value();
   return info;
 }
 
@@ -378,7 +386,99 @@ Result<SwapInfo> SwapInfoFromJson(const JsonValue& json) {
   return info;
 }
 
+// --- StatsInfo ------------------------------------------------------------
+
+JsonValue ToJson(const StatsInfo& info) {
+  JsonValue object = JsonValue::Object();
+  object.Set("window_s", JsonValue::Uint(info.window_s));
+  object.Set("requests", JsonValue::Uint(info.requests));
+  object.Set("shed", JsonValue::Uint(info.shed));
+  object.Set("errors", JsonValue::Uint(info.errors));
+  object.Set("qps", JsonValue::Double(info.qps));
+  object.Set("latency_mean_ms", JsonValue::Double(info.latency_mean_ms));
+  object.Set("latency_p50_ms", JsonValue::Double(info.latency_p50_ms));
+  object.Set("latency_p90_ms", JsonValue::Double(info.latency_p90_ms));
+  object.Set("latency_p99_ms", JsonValue::Double(info.latency_p99_ms));
+  object.Set("latency_max_ms", JsonValue::Double(info.latency_max_ms));
+  object.Set("in_flight", JsonValue::Uint(info.in_flight));
+  object.Set("epoch", JsonValue::Uint(info.epoch));
+  JsonValue per_second = JsonValue::Array();
+  for (uint64_t n : info.per_second) per_second.Append(JsonValue::Uint(n));
+  object.Set("per_second", std::move(per_second));
+  return object;
+}
+
+Result<StatsInfo> StatsInfoFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("stats payload must be an object");
+  }
+  StatsInfo info;
+  Result<uint64_t> window = GetUint<uint64_t>(json, "window_s", 0);
+  if (!window.ok()) return window.status();
+  info.window_s = window.value();
+  Result<uint64_t> requests = GetUint<uint64_t>(json, "requests", 0);
+  if (!requests.ok()) return requests.status();
+  info.requests = requests.value();
+  Result<uint64_t> shed = GetUint<uint64_t>(json, "shed", 0);
+  if (!shed.ok()) return shed.status();
+  info.shed = shed.value();
+  Result<uint64_t> errors = GetUint<uint64_t>(json, "errors", 0);
+  if (!errors.ok()) return errors.status();
+  info.errors = errors.value();
+  Result<double> qps = GetDouble(json, "qps", 0.0);
+  if (!qps.ok()) return qps.status();
+  info.qps = qps.value();
+  Result<double> mean = GetDouble(json, "latency_mean_ms", 0.0);
+  if (!mean.ok()) return mean.status();
+  info.latency_mean_ms = mean.value();
+  Result<double> p50 = GetDouble(json, "latency_p50_ms", 0.0);
+  if (!p50.ok()) return p50.status();
+  info.latency_p50_ms = p50.value();
+  Result<double> p90 = GetDouble(json, "latency_p90_ms", 0.0);
+  if (!p90.ok()) return p90.status();
+  info.latency_p90_ms = p90.value();
+  Result<double> p99 = GetDouble(json, "latency_p99_ms", 0.0);
+  if (!p99.ok()) return p99.status();
+  info.latency_p99_ms = p99.value();
+  Result<double> max = GetDouble(json, "latency_max_ms", 0.0);
+  if (!max.ok()) return max.status();
+  info.latency_max_ms = max.value();
+  Result<uint64_t> in_flight = GetUint<uint64_t>(json, "in_flight", 0);
+  if (!in_flight.ok()) return in_flight.status();
+  info.in_flight = in_flight.value();
+  Result<uint64_t> epoch = GetUint<uint64_t>(json, "epoch", 0);
+  if (!epoch.ok()) return epoch.status();
+  info.epoch = epoch.value();
+  if (const JsonValue* per_second = json.Find("per_second");
+      per_second != nullptr) {
+    if (!per_second->is_array()) {
+      return Status::InvalidArgument("field 'per_second' must be an array");
+    }
+    info.per_second.reserve(per_second->items().size());
+    for (const JsonValue& item : per_second->items()) {
+      if (!item.is_int() || item.int_value() < 0) {
+        return Status::InvalidArgument(
+            "field 'per_second' must hold non-negative counts");
+      }
+      info.per_second.push_back(static_cast<uint64_t>(item.int_value()));
+    }
+  }
+  return info;
+}
+
 // --- Envelopes ------------------------------------------------------------
+
+namespace {
+
+/// The request-side trace block: {"id":"<16 hex>","collect":bool}.
+JsonValue TraceBlock(uint64_t trace_id, bool collect) {
+  JsonValue block = JsonValue::Object();
+  block.Set("id", JsonValue::Str(FormatTraceId(trace_id)));
+  if (collect) block.Set("collect", JsonValue::Bool(true));
+  return block;
+}
+
+}  // namespace
 
 std::string SerializeRequest(const RequestEnvelope& request) {
   JsonValue object = JsonValue::Object();
@@ -387,6 +487,9 @@ std::string SerializeRequest(const RequestEnvelope& request) {
   object.Set("type", JsonValue::Str(RequestTypeName(request.type)));
   if (!request.payload.is_null()) {
     object.Set("payload", request.payload);
+  }
+  if (request.trace_id != 0) {
+    object.Set("trace", TraceBlock(request.trace_id, request.collect_spans));
   }
   return object.Dump();
 }
@@ -433,6 +536,19 @@ Result<RequestEnvelope> ParseRequest(std::string_view text) {
   if (const JsonValue* payload = object.Find("payload"); payload != nullptr) {
     request.payload = *payload;
   }
+  // Trace context is best-effort telemetry: a malformed block parses as "no
+  // trace" rather than failing the request.
+  if (const JsonValue* trace = object.Find("trace");
+      trace != nullptr && trace->is_object()) {
+    if (const JsonValue* id = trace->Find("id");
+        id != nullptr && id->is_string()) {
+      request.trace_id = ParseTraceId(id->string_value());
+    }
+    if (const JsonValue* collect = trace->Find("collect");
+        collect != nullptr && collect->is_bool()) {
+      request.collect_spans = collect->bool_value();
+    }
+  }
   return request;
 }
 
@@ -446,6 +562,23 @@ std::string SerializeResponse(const ResponseEnvelope& response) {
   }
   if (!response.payload.is_null()) {
     object.Set("payload", response.payload);
+  }
+  if (response.trace_id != 0) {
+    JsonValue trace = JsonValue::Object();
+    trace.Set("id", JsonValue::Str(FormatTraceId(response.trace_id)));
+    if (!response.trace_spans.empty()) {
+      JsonValue spans = JsonValue::Array();
+      for (const TraceSpanWire& span : response.trace_spans) {
+        JsonValue entry = JsonValue::Object();
+        entry.Set("name", JsonValue::Str(span.name));
+        entry.Set("ts", JsonValue::Int(span.ts_us));
+        entry.Set("dur", JsonValue::Int(span.dur_us));
+        entry.Set("tid", JsonValue::Uint(span.tid));
+        spans.Append(std::move(entry));
+      }
+      trace.Set("spans", std::move(spans));
+    }
+    object.Set("trace", std::move(trace));
   }
   return object.Dump();
 }
@@ -472,6 +605,30 @@ Result<ResponseEnvelope> ParseResponse(std::string_view text) {
   response.message = std::move(message).value();
   if (const JsonValue* payload = object.Find("payload"); payload != nullptr) {
     response.payload = *payload;
+  }
+  if (const JsonValue* trace = object.Find("trace");
+      trace != nullptr && trace->is_object()) {
+    if (const JsonValue* id = trace->Find("id");
+        id != nullptr && id->is_string()) {
+      response.trace_id = ParseTraceId(id->string_value());
+    }
+    if (const JsonValue* spans = trace->Find("spans");
+        spans != nullptr && spans->is_array()) {
+      response.trace_spans.reserve(spans->items().size());
+      for (const JsonValue& entry : spans->items()) {
+        if (!entry.is_object()) continue;
+        TraceSpanWire span;
+        Result<std::string> name = GetString(entry, "name", "");
+        if (name.ok()) span.name = std::move(name).value();
+        Result<int64_t> ts = GetInt(entry, "ts", 0);
+        if (ts.ok()) span.ts_us = ts.value();
+        Result<int64_t> dur = GetInt(entry, "dur", 0);
+        if (dur.ok()) span.dur_us = dur.value();
+        Result<uint32_t> tid = GetUint<uint32_t>(entry, "tid", 0);
+        if (tid.ok()) span.tid = tid.value();
+        response.trace_spans.push_back(std::move(span));
+      }
+    }
   }
   return response;
 }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/api.h"
 #include "api/json.h"
@@ -13,7 +14,7 @@
 
 namespace kpj::api {
 
-/// The six request types kpjd serves (docs/PROTOCOL.md).
+/// The request types kpjd serves (docs/PROTOCOL.md).
 enum class RequestType : uint32_t {
   kQuery = 0,    ///< One KpjQuery -> QueryResponse.
   kBatch = 1,    ///< Ordered batch -> BatchResponse.
@@ -21,6 +22,7 @@ enum class RequestType : uint32_t {
   kHealth = 3,   ///< Liveness + serving epoch.
   kDrain = 4,    ///< Begin graceful drain; acknowledged immediately.
   kSwap = 5,     ///< Hot-swap the serving instance to a new graph file.
+  kStats = 6,    ///< Rolling-window (last 60 s) load/latency gauges.
 };
 
 const char* RequestTypeName(RequestType type);
@@ -45,6 +47,40 @@ struct HealthInfo {
   std::string graph;       ///< Graph file backing the current epoch.
   uint64_t uptime_ms = 0;  ///< Milliseconds since the server started.
   uint64_t in_flight = 0;  ///< Admitted queries currently executing.
+  uint64_t nodes = 0;      ///< Node count of the serving graph (lets load
+                           ///< generators pick valid ids without a copy).
+};
+
+/// Payload of a kStats response: gauges over the trailing 60-second window
+/// (a ring of 1 s buckets; expired buckets fall out as time advances), so a
+/// loaded daemon can be inspected live without scraping counters twice and
+/// differencing. Only *requests* are counted — a batch is one request.
+struct StatsInfo {
+  uint64_t window_s = 0;     ///< Window span covered by the gauges.
+  uint64_t requests = 0;     ///< Query/batch requests finished in-window.
+  uint64_t shed = 0;         ///< ... of which admission control shed.
+  uint64_t errors = 0;       ///< ... of which failed (non-ok, non-shed).
+  double qps = 0.0;          ///< requests / window_s.
+  double latency_mean_ms = 0.0;  ///< Queue + execute wall time per request.
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  uint64_t in_flight = 0;    ///< Admitted queries executing right now.
+  uint64_t epoch = 0;        ///< Current serving-state epoch.
+  /// Requests finished per 1 s bucket, oldest first; size <= window_s
+  /// (buckets never written stay absent at the old end).
+  std::vector<uint64_t> per_second;
+};
+
+/// One span echoed in a response's trace block: the server-side slice of a
+/// request's timeline. Timestamps are microseconds on the *server's* trace
+/// clock; the client rebases them into its own timeline when merging.
+struct TraceSpanWire {
+  std::string name;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  uint32_t tid = 0;
 };
 
 /// Payload of a kSwap response.
@@ -61,8 +97,14 @@ struct RequestEnvelope {
   uint64_t id = 0;
   RequestType type = RequestType::kQuery;
   /// Parsed payload object (kind depends on `type`); Null for types that
-  /// carry none (health, drain).
+  /// carry none (health, drain, stats).
   JsonValue payload;
+  /// Trace context, serialized as {"trace":{"id":"<16 hex>","collect":true}}.
+  /// 0 = no context. Additive same-version fields: old peers ignore them.
+  uint64_t trace_id = 0;
+  /// True asks the server to echo this request's spans back in the
+  /// response's trace block so the client can merge one end-to-end timeline.
+  bool collect_spans = false;
 };
 
 /// One response frame:
@@ -73,6 +115,11 @@ struct ResponseEnvelope {
   StatusCode status = StatusCode::kOk;
   std::string message;
   JsonValue payload;
+  /// Echo of the request's trace id (0 when the request carried none), and
+  /// the server-side spans when the request asked to collect. Serialized as
+  /// {"trace":{"id":"<16 hex>","spans":[...]}}.
+  uint64_t trace_id = 0;
+  std::vector<TraceSpanWire> trace_spans;
 };
 
 // --- Payload (de)serialization -------------------------------------------
@@ -100,6 +147,9 @@ Result<HealthInfo> HealthInfoFromJson(const JsonValue& json);
 
 JsonValue ToJson(const SwapInfo& info);
 Result<SwapInfo> SwapInfoFromJson(const JsonValue& json);
+
+JsonValue ToJson(const StatsInfo& info);
+Result<StatsInfo> StatsInfoFromJson(const JsonValue& json);
 
 // --- Envelope (de)serialization ------------------------------------------
 

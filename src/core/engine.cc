@@ -45,7 +45,8 @@ KpjEngine::KpjEngine(const KpjInstance& instance, KpjEngineOptions options)
 }
 
 Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
-                                    unsigned worker, uint64_t query_id) {
+                                    unsigned worker, uint64_t query_id,
+                                    const QueryContext& context) {
   CancellationToken token;
   const CancellationToken* cancel = nullptr;
   if (deadline_ms > 0.0) {
@@ -95,6 +96,10 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
   // Result<T> has no default constructor; the placeholder is overwritten.
   Result<KpjResult> result = Status::FailedPrecondition("query not executed");
   {
+    // Bind the request's trace id to this worker thread for the duration of
+    // the query: the engine.query span below and every solver span beneath
+    // it inherit the id, so wire-level traces stitch end to end.
+    TraceContext trace_ctx(context.trace_id);
     KPJ_TRACE_SPAN("engine.query");
     result = RunKpjOnInstance(instance_, query, options_.solver,
                               solvers_[worker].get(), cancel, cache, intra);
@@ -123,13 +128,18 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
       (elapsed_ms >= options_.slow_query_ms || !r.status.ok())) {
     metrics_.slow_queries.Increment();
     internal::LogMessage log(LogLevel::kWarning, __FILE__, __LINE__);
-    log << "slow query id=" << query_id << " took " << elapsed_ms
-        << " ms (threshold " << options_.slow_query_ms << " ms";
+    log << "slow query id=" << query_id;
+    if (context.trace_id != 0) {
+      log << " trace_id=" << FormatTraceId(context.trace_id);
+    }
+    log << " took " << elapsed_ms << " ms (threshold "
+        << options_.slow_query_ms << " ms";
     if (deadline_ms > 0.0) {
       log << ", " << 100.0 * elapsed_ms / deadline_ms << "% of the "
           << deadline_ms << " ms deadline";
     }
-    log << ") expansions=" << r.stats.algo.node_expansions
+    log << ") queue_ms=" << context.queue_ms
+        << " expansions=" << r.stats.algo.node_expansions
         << " paths=" << r.paths.size();
     if (!r.status.ok()) log << " status=" << r.status.ToString();
   }
@@ -142,6 +152,12 @@ std::future<Result<KpjResult>> KpjEngine::Submit(KpjQuery query) {
 
 std::future<Result<KpjResult>> KpjEngine::Submit(KpjQuery query,
                                                  double deadline_ms) {
+  return Submit(std::move(query), deadline_ms, QueryContext{});
+}
+
+std::future<Result<KpjResult>> KpjEngine::Submit(KpjQuery query,
+                                                 double deadline_ms,
+                                                 QueryContext context) {
   // ThreadPool::Task is a std::function (copyable), so the per-task state
   // lives behind a shared_ptr.
   struct PendingQuery {
@@ -152,9 +168,9 @@ std::future<Result<KpjResult>> KpjEngine::Submit(KpjQuery query,
   pending->query = std::move(query);
   std::future<Result<KpjResult>> future = pending->promise.get_future();
   uint64_t id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
-  pool_.Submit([this, pending, deadline_ms, id](unsigned worker) {
+  pool_.Submit([this, pending, deadline_ms, id, context](unsigned worker) {
     pending->promise.set_value(
-        RunOne(pending->query, deadline_ms, worker, id));
+        RunOne(pending->query, deadline_ms, worker, id, context));
   });
   return future;
 }
@@ -166,6 +182,12 @@ std::vector<Result<KpjResult>> KpjEngine::RunBatch(
 
 std::vector<Result<KpjResult>> KpjEngine::RunBatch(
     std::span<const KpjQuery> queries, double deadline_ms) {
+  return RunBatch(queries, deadline_ms, QueryContext{});
+}
+
+std::vector<Result<KpjResult>> KpjEngine::RunBatch(
+    std::span<const KpjQuery> queries, double deadline_ms,
+    QueryContext context) {
   // Result<T> has no default constructor; prefill with a placeholder that
   // every executed index overwrites.
   std::vector<Result<KpjResult>> results;
@@ -178,7 +200,7 @@ std::vector<Result<KpjResult>> KpjEngine::RunBatch(
   uint64_t base_id =
       next_query_id_.fetch_add(queries.size(), std::memory_order_relaxed);
   pool_.ParallelFor(queries.size(), [&](size_t i, unsigned worker) {
-    results[i] = RunOne(queries[i], deadline_ms, worker, base_id + i);
+    results[i] = RunOne(queries[i], deadline_ms, worker, base_id + i, context);
   });
   return results;
 }

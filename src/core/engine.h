@@ -59,6 +59,17 @@ struct KpjEngineOptions {
   unsigned intra_threads = 1;
 };
 
+/// Per-query service context threaded down from the server layer. The
+/// trace id tags every span the query records (TraceContext), stitching
+/// engine/solver spans into the request's wire-level timeline; queue_ms is
+/// the admission wait, reported by the slow-query log so slow-log lines
+/// join access-log lines on the same trace id. All-defaults (the common
+/// in-process case) means "no trace, no queue".
+struct QueryContext {
+  uint64_t trace_id = 0;
+  double queue_ms = 0.0;
+};
+
 /// Point-in-time copy of the engine's execution metrics. Counts are sums
 /// over all workers since construction (or the last ResetMetrics).
 struct EngineMetricsSnapshot {
@@ -136,6 +147,11 @@ class KpjEngine {
   /// (0 = run to completion, overriding the engine default).
   std::future<Result<KpjResult>> Submit(KpjQuery query, double deadline_ms);
 
+  /// Submit with a service context (trace id + queue wait); see
+  /// QueryContext.
+  std::future<Result<KpjResult>> Submit(KpjQuery query, double deadline_ms,
+                                        QueryContext context);
+
   /// Runs every query in `queries` across the pool and returns results in
   /// input order. Uses the engine's default deadline. Blocks the caller;
   /// concurrent Submit calls interleave safely on the same pool.
@@ -144,6 +160,11 @@ class KpjEngine {
   /// RunBatch with an explicit per-query deadline (0 = no deadline).
   std::vector<Result<KpjResult>> RunBatch(std::span<const KpjQuery> queries,
                                           double deadline_ms);
+
+  /// RunBatch with a service context shared by every entry.
+  std::vector<Result<KpjResult>> RunBatch(std::span<const KpjQuery> queries,
+                                          double deadline_ms,
+                                          QueryContext context);
 
   EngineMetricsSnapshot MetricsSnapshot() const;
 
@@ -163,7 +184,8 @@ class KpjEngine {
   /// `query_id` is a per-engine sequence number used by the trace span and
   /// the slow-query log.
   Result<KpjResult> RunOne(const KpjQuery& query, double deadline_ms,
-                           unsigned worker, uint64_t query_id);
+                           unsigned worker, uint64_t query_id,
+                           const QueryContext& context);
 
   static unsigned ResolveThreads(const KpjEngineOptions& options);
 

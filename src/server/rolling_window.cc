@@ -1,0 +1,92 @@
+#include "server/rolling_window.h"
+
+#include <chrono>
+
+namespace kpj::server {
+namespace {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RollingWindow::RollingWindow()
+    : origin_ns_(MonotonicNanos()), slots_(kWindowSeconds) {}
+
+int64_t RollingWindow::NowSeconds() const {
+  return (MonotonicNanos() - origin_ns_) / 1'000'000'000;
+}
+
+RollingWindow::Slot& RollingWindow::SlotForNow(int64_t now_s) {
+  Slot& slot = slots_[static_cast<size_t>(now_s) % slots_.size()];
+  if (slot.stamp.load(std::memory_order_acquire) != now_s) {
+    // The slot still holds data from `now_s - 60` (or is fresh). First
+    // writer of the new second resets it; laggards that raced past the
+    // stamp check write into the freshly reset slot, off by one second at
+    // worst.
+    std::lock_guard<std::mutex> lock(slot.reset_mu);
+    if (slot.stamp.load(std::memory_order_relaxed) != now_s) {
+      slot.requests.Reset();
+      slot.shed.Reset();
+      slot.errors.Reset();
+      slot.latency.Reset();
+      slot.stamp.store(now_s, std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void RollingWindow::Record(double latency_ms, bool shed, bool error) {
+  Slot& slot = SlotForNow(NowSeconds());
+  slot.requests.Increment();
+  if (shed) slot.shed.Increment();
+  if (error) slot.errors.Increment();
+  slot.latency.Record(latency_ms);
+}
+
+RollingSnapshot RollingWindow::Snapshot() const {
+  RollingSnapshot snap;
+  snap.window_s = kWindowSeconds;
+  int64_t now_s = NowSeconds();
+  int64_t oldest = now_s - static_cast<int64_t>(kWindowSeconds) + 1;
+  if (oldest < 0) oldest = 0;
+
+  LatencyHistogram merged;
+  std::vector<uint64_t> per_second;
+  per_second.reserve(kWindowSeconds);
+  bool any = false;
+  for (int64_t s = oldest; s <= now_s; ++s) {
+    const Slot& slot = slots_[static_cast<size_t>(s) % slots_.size()];
+    if (slot.stamp.load(std::memory_order_acquire) != s) {
+      // Slot represents some other second (stale or never used): inside
+      // the window that means "no traffic this second".
+      if (any) per_second.push_back(0);
+      continue;
+    }
+    uint64_t requests = slot.requests.value();
+    snap.requests += requests;
+    snap.shed += slot.shed.value();
+    snap.errors += slot.errors.value();
+    merged.Merge(slot.latency);
+    // Suppress leading empty buckets (before the first live one) so a
+    // young server does not report a window padded with zeros.
+    if (any || requests > 0) {
+      any = true;
+      per_second.push_back(requests);
+    }
+  }
+  snap.qps =
+      static_cast<double>(snap.requests) / static_cast<double>(kWindowSeconds);
+  snap.latency_mean_ms = merged.Mean();
+  snap.latency_p50_ms = merged.Percentile(50.0);
+  snap.latency_p90_ms = merged.Percentile(90.0);
+  snap.latency_p99_ms = merged.Percentile(99.0);
+  snap.latency_max_ms = merged.max_ms();
+  snap.per_second = std::move(per_second);
+  return snap;
+}
+
+}  // namespace kpj::server

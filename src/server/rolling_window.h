@@ -1,0 +1,76 @@
+#ifndef KPJ_SERVER_ROLLING_WINDOW_H_
+#define KPJ_SERVER_ROLLING_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace kpj::server {
+
+/// Point-in-time view over the trailing window (see RollingWindow).
+struct RollingSnapshot {
+  uint64_t window_s = 0;   ///< Ring span in seconds.
+  uint64_t requests = 0;   ///< Requests finished inside the window.
+  uint64_t shed = 0;       ///< ... shed by admission control.
+  uint64_t errors = 0;     ///< ... failed for any other reason.
+  double qps = 0.0;        ///< requests / window_s.
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  /// Requests per live 1 s bucket, oldest first. Shorter than window_s when
+  /// the old end of the window predates the first recorded request.
+  std::vector<uint64_t> per_second;
+};
+
+/// Last-60-seconds load/latency gauges: a ring of 1-second buckets, each
+/// holding counters plus a LatencyHistogram. Record() stamps the bucket for
+/// the current second (lazily resetting a recycled slot under a per-slot
+/// mutex); Snapshot() merges every bucket still inside the window into one
+/// distribution, so percentiles describe *recent* traffic rather than the
+/// process lifetime — the difference between "what is the daemon doing" and
+/// "what has it ever done".
+///
+/// Concurrency: Record() is called from every connection thread. Counters
+/// are relaxed atomics; a snapshot racing a slot reset can misattribute at
+/// most one second of traffic. Telemetry semantics, same contract as the
+/// engine metrics.
+class RollingWindow {
+ public:
+  static constexpr uint64_t kWindowSeconds = 60;
+
+  RollingWindow();
+
+  /// Records one finished request: total wall latency (queue + execute),
+  /// whether admission shed it, and whether it otherwise failed.
+  void Record(double latency_ms, bool shed, bool error);
+
+  RollingSnapshot Snapshot() const;
+
+ private:
+  struct Slot {
+    /// Seconds-since-construction stamp this slot currently represents;
+    /// -1 = never used. A slot is live iff stamp is within the window.
+    std::atomic<int64_t> stamp{-1};
+    std::mutex reset_mu;
+    Counter requests;
+    Counter shed;
+    Counter errors;
+    LatencyHistogram latency;
+  };
+
+  int64_t NowSeconds() const;
+  Slot& SlotForNow(int64_t now_s);
+
+  int64_t origin_ns_ = 0;
+  /// Fixed array of kWindowSeconds slots; index = second mod size.
+  std::vector<Slot> slots_;
+};
+
+}  // namespace kpj::server
+
+#endif  // KPJ_SERVER_ROLLING_WINDOW_H_

@@ -7,9 +7,11 @@
 #include <sstream>
 #include <utility>
 
+#include "core/kpj_query.h"
 #include "graph/serialize.h"
 #include "index/landmark_index.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace kpj::server {
 namespace {
@@ -144,6 +146,16 @@ Status KpjServer::Start() {
   admission_ = std::make_unique<AdmissionController>(
       this->state()->engine->num_workers(), options_.max_queue);
 
+  if (!options_.access_log_path.empty()) {
+    AccessLogOptions log_options;
+    log_options.path = options_.access_log_path;
+    log_options.rotate_bytes = options_.access_log_rotate_bytes;
+    Result<std::unique_ptr<AccessLog>> log =
+        AccessLog::Open(std::move(log_options));
+    if (!log.ok()) return log.status();
+    access_log_ = std::move(log).value();
+  }
+
   Result<Socket> listener =
       ListenTcp(options_.host, options_.port, options_.backlog);
   if (!listener.ok()) return listener.status();
@@ -167,6 +179,14 @@ void KpjServer::Wait() {
   }
   for (Connection& connection : connections) {
     if (connection.thread.joinable()) connection.thread.join();
+  }
+  // Every connection is closed and answered; nothing can append another
+  // line, so this flush is the complete log for the drain test / operator.
+  if (access_log_ != nullptr) {
+    Status flushed = access_log_->Flush();
+    if (!flushed.ok()) {
+      KPJ_LOG(Warning) << "access log flush failed: " << flushed.message();
+    }
   }
 }
 
@@ -209,10 +229,16 @@ void KpjServer::AcceptLoop() {
 }
 
 void KpjServer::ConnectionLoop(Socket socket) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  ConnContext conn;
+  Result<std::string> peer = PeerAddress(socket);
+  conn.peer = peer.ok() ? peer.value() : "unknown";
+  conn.accept_us = rec.NowUs();
   for (;;) {
     // Drain: pipelined requests already on the wire are still answered
     // (the socket wins the poll); the connection closes once idle.
     if (!PollReadable(socket.fd(), drain_.fd())) break;
+    int64_t read_start_us = rec.NowUs();
     Result<Frame> frame = ReadFrame(socket, options_.max_frame_bytes);
     if (!frame.ok()) {
       metrics_.rejected.Increment();
@@ -222,6 +248,7 @@ void KpjServer::ConnectionLoop(Socket socket) {
       break;
     }
     if (frame.value().eof) break;
+    int64_t parse_start_us = rec.NowUs();
     api::ResponseEnvelope response;
     Result<api::RequestEnvelope> request =
         api::ParseRequest(frame.value().payload);
@@ -229,24 +256,57 @@ void KpjServer::ConnectionLoop(Socket socket) {
       metrics_.rejected.Increment();
       response = api::ErrorResponse(0, api::StatusCode::kInvalidArgument,
                                     request.status().message());
+      AccessLogEntry entry;
+      entry.peer = conn.peer;
+      entry.type = "invalid";
+      entry.status = api::StatusCode::kInvalidArgument;
+      LogAccess(std::move(entry));
     } else {
-      response = Handle(request.value());
+      const api::RequestEnvelope& req = request.value();
+      int64_t parse_end_us = rec.NowUs();
+      // Collection turns the recorder on, so it must precede the
+      // retroactive accept/parse events below (their timestamps were
+      // captured before the trace id was known).
+      bool collect = req.collect_spans && req.trace_id != 0;
+      if (collect) BeginSpanCollection();
+      {
+        // Everything this thread records while handling the request —
+        // server.* spans here, nothing when trace_id is 0 — carries the
+        // request's id; the engine worker gets it via QueryContext.
+        TraceContext trace_ctx(req.trace_id);
+        if (req.trace_id != 0 && rec.enabled()) {
+          if (conn.first_request) {
+            rec.AddCompleteEvent("server.accept", conn.accept_us,
+                                 read_start_us - conn.accept_us);
+          }
+          rec.AddCompleteEvent("server.parse", parse_start_us,
+                               parse_end_us - parse_start_us);
+        }
+        conn.first_request = false;
+        response = Handle(req, conn);
+      }
+      if (collect) response.trace_spans = EndSpanCollection(req.trace_id);
+      if (req.trace_id != 0) response.trace_id = req.trace_id;
     }
     if (!WriteFrame(socket, api::SerializeResponse(response)).ok()) break;
   }
 }
 
-api::ResponseEnvelope KpjServer::Handle(const api::RequestEnvelope& request) {
+api::ResponseEnvelope KpjServer::Handle(const api::RequestEnvelope& request,
+                                        ConnContext& conn) {
   switch (request.type) {
     case api::RequestType::kQuery:
-      return HandleQuery(request);
+      return HandleQuery(request, conn);
     case api::RequestType::kBatch:
-      return HandleBatch(request);
+      return HandleBatch(request, conn);
     case api::RequestType::kMetrics:
       return HandleMetrics(request);
     case api::RequestType::kHealth:
       return HandleHealth(request);
+    case api::RequestType::kStats:
+      return HandleStats(request);
     case api::RequestType::kDrain: {
+      KPJ_TRACE_INSTANT("server.drain");
       RequestDrain();
       api::ResponseEnvelope response;
       response.id = request.id;
@@ -261,7 +321,8 @@ api::ResponseEnvelope KpjServer::Handle(const api::RequestEnvelope& request) {
 
 api::QueryResponse KpjServer::RunAdmitted(
     const std::shared_ptr<ServingState>& state,
-    const api::QueryRequest& request, double batch_deadline_ms) {
+    const api::QueryRequest& request, double batch_deadline_ms,
+    uint64_t trace_id) {
   double deadline_ms = request.deadline_ms >= 0.0 ? request.deadline_ms
                        : batch_deadline_ms >= 0.0 ? batch_deadline_ms
                                                   : options_.engine.deadline_ms;
@@ -269,8 +330,11 @@ api::QueryResponse KpjServer::RunAdmitted(
   response.epoch = state->epoch;
 
   double queue_ms = 0.0;
-  AdmissionController::Outcome outcome =
-      admission_->Admit(deadline_ms, &queue_ms);
+  AdmissionController::Outcome outcome;
+  {
+    TraceSpan queue_span("server.queue");
+    outcome = admission_->Admit(deadline_ms, &queue_ms);
+  }
   metrics_.queue_time.Record(queue_ms);
   response.queue_ms = queue_ms;
   if (outcome != AdmissionController::Outcome::kAdmitted) {
@@ -296,8 +360,13 @@ api::QueryResponse KpjServer::RunAdmitted(
   }
   metrics_.accepted.Increment();
   Timer run_timer;
-  Result<KpjResult> result =
-      state->engine->Submit(request.ToQuery(), remaining_ms).get();
+  Result<KpjResult> result = [&] {
+    TraceSpan execute_span("server.execute");
+    return state->engine
+        ->Submit(request.ToQuery(), remaining_ms,
+                 QueryContext{trace_id, queue_ms})
+        .get();
+  }();
   double elapsed_ms = run_timer.ElapsedMillis();
   admission_->Release();
   if (drain_.triggered()) metrics_.drained.Increment();
@@ -305,42 +374,80 @@ api::QueryResponse KpjServer::RunAdmitted(
 }
 
 api::ResponseEnvelope KpjServer::HandleQuery(
-    const api::RequestEnvelope& request) {
+    const api::RequestEnvelope& request, ConnContext& conn) {
+  AccessLogEntry entry;
+  entry.trace_id = request.trace_id;
+  entry.peer = conn.peer;
+  entry.type = "query";
   Result<api::QueryRequest> query =
       api::QueryRequestFromJson(request.payload);
   if (!query.ok()) {
     metrics_.rejected.Increment();
+    entry.status = api::StatusCode::kInvalidArgument;
+    LogAccess(std::move(entry));
     return api::ErrorResponse(request.id, api::StatusCode::kInvalidArgument,
                               query.status().message());
   }
+  entry.k = query.value().k;
   std::shared_ptr<ServingState> serving = state();
   if (drain_.triggered() || serving == nullptr) {
     metrics_.rejected.Increment();
+    entry.status = api::StatusCode::kUnavailable;
+    LogAccess(std::move(entry));
     return api::ErrorResponse(request.id, api::StatusCode::kUnavailable,
                               "server is draining");
   }
   api::QueryResponse response =
-      RunAdmitted(serving, query.value(), /*batch_deadline_ms=*/-1.0);
+      RunAdmitted(serving, query.value(), /*batch_deadline_ms=*/-1.0,
+                  request.trace_id);
+
+  bool shed = response.status == api::StatusCode::kOverloaded;
+  window_.Record(response.queue_ms + response.elapsed_ms, shed,
+                 !shed && response.status != api::StatusCode::kOk);
+  entry.algorithm = AlgorithmName(options_.engine.algorithm);
+  entry.queue_ms = response.queue_ms;
+  entry.exec_ms = response.elapsed_ms;
+  entry.status = response.status;
+  entry.epoch = response.epoch;
+  if (shed) entry.shed_reason = response.message;
+  LogAccess(std::move(entry));
+
   api::ResponseEnvelope envelope;
   envelope.id = request.id;
   envelope.status = response.status;
   envelope.message = response.message;
-  envelope.payload = api::ToJson(response);
+  {
+    // The span set ships *inside* the envelope, so the serialize span can
+    // only cover building the payload, not the envelope dump itself.
+    TraceSpan serialize_span("server.serialize");
+    envelope.payload = api::ToJson(response);
+  }
   return envelope;
 }
 
 api::ResponseEnvelope KpjServer::HandleBatch(
-    const api::RequestEnvelope& request) {
+    const api::RequestEnvelope& request, ConnContext& conn) {
+  AccessLogEntry entry;
+  entry.trace_id = request.trace_id;
+  entry.peer = conn.peer;
+  entry.type = "batch";
   Result<api::BatchRequest> batch =
       api::BatchRequestFromJson(request.payload);
   if (!batch.ok()) {
     metrics_.rejected.Increment();
+    entry.status = api::StatusCode::kInvalidArgument;
+    LogAccess(std::move(entry));
     return api::ErrorResponse(request.id, api::StatusCode::kInvalidArgument,
                               batch.status().message());
   }
+  // Batch lines carry the query count in `k` (there is no single per-line
+  // k) and the batch wall time in exec_ms.
+  entry.k = static_cast<uint32_t>(batch.value().queries.size());
   std::shared_ptr<ServingState> serving = state();
   if (drain_.triggered() || serving == nullptr) {
     metrics_.rejected.Increment();
+    entry.status = api::StatusCode::kUnavailable;
+    LogAccess(std::move(entry));
     return api::ErrorResponse(request.id, api::StatusCode::kUnavailable,
                               "server is draining");
   }
@@ -348,6 +455,8 @@ api::ResponseEnvelope KpjServer::HandleBatch(
   double deadline_ms = batch.value().deadline_ms >= 0.0
                            ? batch.value().deadline_ms
                            : options_.engine.deadline_ms;
+  entry.algorithm = AlgorithmName(options_.engine.algorithm);
+  entry.epoch = serving->epoch;
 
   // One admission slot per batch: the engine spreads the queries across
   // its own pool (this is exactly RunBatch, so answers are byte-identical
@@ -355,9 +464,13 @@ api::ResponseEnvelope KpjServer::HandleBatch(
   // concurrently executing *requests* bounded.
   api::BatchResponse response;
   double queue_ms = 0.0;
-  AdmissionController::Outcome outcome =
-      admission_->Admit(deadline_ms, &queue_ms);
+  AdmissionController::Outcome outcome;
+  {
+    TraceSpan queue_span("server.queue");
+    outcome = admission_->Admit(deadline_ms, &queue_ms);
+  }
   metrics_.queue_time.Record(queue_ms);
+  entry.queue_ms = queue_ms;
   double remaining_ms = deadline_ms > 0.0 ? deadline_ms - queue_ms
                                           : deadline_ms;
   if (outcome != AdmissionController::Outcome::kAdmitted ||
@@ -366,11 +479,15 @@ api::ResponseEnvelope KpjServer::HandleBatch(
       admission_->Release();
     }
     metrics_.shed.Add(queries.size());
-    return api::ErrorResponse(
-        request.id, api::StatusCode::kOverloaded,
-        outcome == AdmissionController::Outcome::kQueueFull
-            ? "admission queue full"
-            : "queue time exhausted the deadline");
+    window_.Record(queue_ms, /*shed=*/true, /*error=*/false);
+    const char* reason = outcome == AdmissionController::Outcome::kQueueFull
+                             ? "admission queue full"
+                             : "queue time exhausted the deadline";
+    entry.status = api::StatusCode::kOverloaded;
+    entry.shed_reason = reason;
+    LogAccess(std::move(entry));
+    return api::ErrorResponse(request.id, api::StatusCode::kOverloaded,
+                              reason);
   }
   metrics_.accepted.Add(queries.size());
   std::vector<KpjQuery> engine_queries;
@@ -378,8 +495,15 @@ api::ResponseEnvelope KpjServer::HandleBatch(
   for (const api::QueryRequest& query : queries) {
     engine_queries.push_back(query.ToQuery());
   }
-  std::vector<Result<KpjResult>> results =
-      serving->engine->RunBatch(engine_queries, remaining_ms);
+  Timer run_timer;
+  std::vector<Result<KpjResult>> results;
+  {
+    TraceSpan execute_span("server.execute");
+    results = serving->engine->RunBatch(
+        engine_queries, remaining_ms,
+        QueryContext{request.trace_id, queue_ms});
+  }
+  double exec_ms = run_timer.ElapsedMillis();
   admission_->Release();
   if (drain_.triggered()) metrics_.drained.Add(queries.size());
 
@@ -390,9 +514,17 @@ api::ResponseEnvelope KpjServer::HandleBatch(
     response.results.push_back(api::BuildQueryResponse(
         result, serving->epoch, /*elapsed_ms=*/0.0, queue_ms));
   }
+  // One request event in the rolling window: stats count requests, and a
+  // batch is one request (matching StatsInfo's documented semantics).
+  window_.Record(queue_ms + exec_ms, /*shed=*/false, /*error=*/false);
+  entry.exec_ms = exec_ms;
+  LogAccess(std::move(entry));
   api::ResponseEnvelope envelope;
   envelope.id = request.id;
-  envelope.payload = api::ToJson(response);
+  {
+    TraceSpan serialize_span("server.serialize");
+    envelope.payload = api::ToJson(response);
+  }
   return envelope;
 }
 
@@ -424,6 +556,7 @@ api::ResponseEnvelope KpjServer::HandleHealth(
   if (serving != nullptr) {
     info.epoch = serving->epoch;
     info.graph = serving->graph_path;
+    info.nodes = serving->instance.NumNodes();
   }
   info.uptime_ms = static_cast<uint64_t>(uptime_.ElapsedMillis());
   info.in_flight = admission_ != nullptr ? admission_->in_flight() : 0;
@@ -431,6 +564,34 @@ api::ResponseEnvelope KpjServer::HandleHealth(
   envelope.id = request.id;
   envelope.payload = api::ToJson(info);
   return envelope;
+}
+
+api::ResponseEnvelope KpjServer::HandleStats(
+    const api::RequestEnvelope& request) {
+  api::ResponseEnvelope envelope;
+  envelope.id = request.id;
+  envelope.payload = api::ToJson(Stats());
+  return envelope;
+}
+
+api::StatsInfo KpjServer::Stats() const {
+  RollingSnapshot snap = window_.Snapshot();
+  api::StatsInfo info;
+  info.window_s = snap.window_s;
+  info.requests = snap.requests;
+  info.shed = snap.shed;
+  info.errors = snap.errors;
+  info.qps = snap.qps;
+  info.latency_mean_ms = FiniteOrZero(snap.latency_mean_ms);
+  info.latency_p50_ms = FiniteOrZero(snap.latency_p50_ms);
+  info.latency_p90_ms = FiniteOrZero(snap.latency_p90_ms);
+  info.latency_p99_ms = FiniteOrZero(snap.latency_p99_ms);
+  info.latency_max_ms = FiniteOrZero(snap.latency_max_ms);
+  info.in_flight = admission_ != nullptr ? admission_->in_flight() : 0;
+  std::shared_ptr<ServingState> serving = state();
+  info.epoch = serving != nullptr ? serving->epoch : 0;
+  info.per_second = std::move(snap.per_second);
+  return info;
 }
 
 api::ResponseEnvelope KpjServer::HandleSwap(
@@ -482,6 +643,49 @@ Result<api::SwapInfo> KpjServer::Swap(const api::SwapRequest& request) {
   info.load_ms = load_timer.ElapsedMillis();
   // old_state's engine (and caches) die with the last in-flight reference.
   return info;
+}
+
+// --- Request observability ------------------------------------------------
+
+void KpjServer::LogAccess(AccessLogEntry entry) {
+  if (access_log_ == nullptr) return;
+  access_log_->Write(entry);
+}
+
+void KpjServer::BeginSpanCollection() {
+  TraceRecorder& rec = TraceRecorder::Global();
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  if (collecting_++ == 0) {
+    trace_was_enabled_ = rec.enabled();
+    if (!trace_was_enabled_) rec.Enable();
+  }
+}
+
+std::vector<api::TraceSpanWire> KpjServer::EndSpanCollection(
+    uint64_t trace_id) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  // Harvest before the refcount drops: concurrent collectors share the
+  // recorder, and each one filters the snapshot down to its own id — the
+  // trace-id tag is what keeps pipelined requests from mixing.
+  std::vector<api::TraceSpanWire> spans;
+  for (const TraceRecorder::Event& event : rec.Snapshot()) {
+    if (event.trace_id != trace_id) continue;
+    api::TraceSpanWire span;
+    span.name = event.name;
+    span.ts_us = event.ts_us;
+    span.dur_us = event.dur_us;
+    span.tid = event.tid;
+    spans.push_back(std::move(span));
+  }
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  if (--collecting_ == 0 && !trace_was_enabled_) {
+    // Last collector out: stop recording and drop the events, unless
+    // something outside the server (a test, a --trace flag) owned the
+    // recorder before we touched it.
+    rec.Disable();
+    rec.Clear();
+  }
+  return spans;
 }
 
 // --- Metrics exposition ---------------------------------------------------

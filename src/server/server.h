@@ -14,6 +14,8 @@
 #include "api/wire.h"
 #include "core/engine.h"
 #include "core/kpj_instance.h"
+#include "server/access_log.h"
+#include "server/rolling_window.h"
 #include "util/shutdown_signal.h"
 #include "util/socket.h"
 #include "util/stats.h"
@@ -106,6 +108,10 @@ struct KpjServerOptions {
   /// Initial graph (required) and optional landmark index.
   std::string graph_path;
   std::string landmarks_path;
+  /// Structured JSONL access log (one line per query/batch request);
+  /// empty = disabled. Rotates to `<path>.1` past the byte bound.
+  std::string access_log_path;
+  size_t access_log_rotate_bytes = 64u << 20;
 };
 
 /// The kpjd service core: a length-prefixed JSON request server over
@@ -154,24 +160,59 @@ class KpjServer {
   std::string MetricsJson() const;
   std::string MetricsPrometheus() const;
 
+  /// Rolling-window (last 60 s) gauges served by the `stats` request.
+  api::StatsInfo Stats() const;
+
+  /// The access log, or null when disabled. Exposed for tests and the
+  /// daemon's shutdown path; Wait() already flushes it on drain.
+  AccessLog* access_log() const { return access_log_.get(); }
+
  private:
+  /// Per-connection context threaded through request handling: the peer
+  /// label for access-log lines, and the accept timestamp so the first
+  /// traced request on the connection can emit a server.accept span
+  /// retroactively (the trace id is only known after parsing).
+  struct ConnContext {
+    std::string peer;
+    int64_t accept_us = 0;  ///< Trace-clock time the connection landed.
+    bool first_request = true;
+  };
+
   /// Accept loop: poll {listener, drain}; one thread per connection.
   void AcceptLoop();
   /// Connection loop: poll {socket, drain}; length-prefixed frames in,
   /// one response frame per request.
   void ConnectionLoop(Socket socket);
 
-  api::ResponseEnvelope Handle(const api::RequestEnvelope& request);
-  api::ResponseEnvelope HandleQuery(const api::RequestEnvelope& request);
-  api::ResponseEnvelope HandleBatch(const api::RequestEnvelope& request);
+  api::ResponseEnvelope Handle(const api::RequestEnvelope& request,
+                               ConnContext& conn);
+  api::ResponseEnvelope HandleQuery(const api::RequestEnvelope& request,
+                                    ConnContext& conn);
+  api::ResponseEnvelope HandleBatch(const api::RequestEnvelope& request,
+                                    ConnContext& conn);
   api::ResponseEnvelope HandleMetrics(const api::RequestEnvelope& request);
   api::ResponseEnvelope HandleHealth(const api::RequestEnvelope& request);
   api::ResponseEnvelope HandleSwap(const api::RequestEnvelope& request);
+  api::ResponseEnvelope HandleStats(const api::RequestEnvelope& request);
 
   /// Runs one query through admission + the engine on a state snapshot.
+  /// `trace_id` tags the server.queue / server.execute spans and rides
+  /// into the engine (see core QueryContext).
   api::QueryResponse RunAdmitted(const std::shared_ptr<ServingState>& state,
                                  const api::QueryRequest& request,
-                                 double batch_deadline_ms);
+                                 double batch_deadline_ms, uint64_t trace_id);
+
+  /// Span collection for requests that asked for their spans back
+  /// (`trace.collect`). The global recorder is enabled while at least one
+  /// collecting request is in flight (and left alone if something else —
+  /// a test, a future --trace flag — had already enabled it); End harvests
+  /// the spans carrying `trace_id` and clears the recorder once the last
+  /// collector leaves.
+  void BeginSpanCollection();
+  std::vector<api::TraceSpanWire> EndSpanCollection(uint64_t trace_id);
+
+  /// Writes one access-log line (no-op when the log is disabled).
+  void LogAccess(AccessLogEntry entry);
 
   const KpjServerOptions options_;
   Socket listener_;
@@ -203,6 +244,16 @@ class KpjServer {
     LatencyHistogram queue_time;  ///< Admission-queue wait per query.
   };
   Metrics metrics_;
+
+  std::unique_ptr<AccessLog> access_log_;  ///< Null when disabled.
+  RollingWindow window_;
+
+  /// Span-collection refcount (see BeginSpanCollection). trace_was_enabled_
+  /// remembers whether something outside the server had the recorder on, so
+  /// the last collector out does not stomp an external trace session.
+  mutable std::mutex trace_mu_;
+  int collecting_ = 0;
+  bool trace_was_enabled_ = false;
 };
 
 }  // namespace kpj::server

@@ -55,6 +55,10 @@ Result<Socket> ListenTcp(const std::string& host, uint16_t port,
 /// The port a listening (or connected) socket is bound to.
 Result<uint16_t> LocalPort(const Socket& socket);
 
+/// The remote endpoint of a connected socket as "ip:port" (IPv4/IPv6).
+/// Used to label access-log lines with the client that sent the request.
+Result<std::string> PeerAddress(const Socket& socket);
+
 /// Accepts one connection; call only when the listener is readable.
 Result<Socket> AcceptConnection(const Socket& listener);
 

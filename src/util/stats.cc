@@ -52,10 +52,11 @@ double Sample::Percentile(double p) const {
 
 namespace {
 
-// Histogram bucket geometry: base 1µs, ratio √2. ln(√2) for the log-domain
-// bucket computation.
+// Histogram bucket geometry: base 1µs, ratio 2^(1/4). ln(2)/4 for the
+// log-domain bucket computation. See the class comment for why the spacing
+// is this fine.
 constexpr double kBaseMs = 1e-3;
-constexpr double kLnRatio = 0.34657359027997264;  // ln(sqrt(2))
+constexpr double kLnRatio = 0.17328679513998632;  // ln(2)/4
 
 // Largest latency representable by the nanosecond accumulators (~213 days).
 constexpr double kMaxRecordableMs = 1.8e13;
@@ -66,6 +67,17 @@ void SaturatingIncrement(std::atomic<uint64_t>& counter) {
   while (cur != UINT64_MAX &&
          !counter.compare_exchange_weak(cur, cur + 1,
                                         std::memory_order_relaxed)) {
+  }
+}
+
+void SaturatingAdd(std::atomic<uint64_t>& counter, uint64_t delta) {
+  if (delta == 0) return;
+  uint64_t cur = counter.load(std::memory_order_relaxed);
+  while (true) {
+    uint64_t next = cur > UINT64_MAX - delta ? UINT64_MAX : cur + delta;
+    if (counter.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
   }
 }
 
@@ -143,6 +155,26 @@ double LatencyHistogram::Percentile(double p) const {
   // visibly for a single sample, where the exact answer is that sample);
   // the true percentile is always within [min, max].
   return std::clamp(value, min_ms(), max_ms());
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    SaturatingAdd(buckets_[b],
+                  other.buckets_[b].load(std::memory_order_relaxed));
+  }
+  SaturatingAdd(count_, other.count_.load(std::memory_order_relaxed));
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  uint64_t other_min = other.min_ns_.load(std::memory_order_relaxed);
+  uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+  while (other_min < cur && !min_ns_.compare_exchange_weak(
+                                cur, other_min, std::memory_order_relaxed)) {
+  }
+  uint64_t other_max = other.max_ns_.load(std::memory_order_relaxed);
+  cur = max_ns_.load(std::memory_order_relaxed);
+  while (other_max > cur && !max_ns_.compare_exchange_weak(
+                                cur, other_max, std::memory_order_relaxed)) {
+  }
 }
 
 void LatencyHistogram::Reset() {

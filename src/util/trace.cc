@@ -16,6 +16,8 @@ int64_t MonotonicNanos() {
       .count();
 }
 
+thread_local uint64_t current_trace_id = 0;
+
 }  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
@@ -61,7 +63,8 @@ void TraceRecorder::AddCompleteEvent(const char* name, int64_t start_us,
   if (!enabled()) return;
   ThreadBuffer* buf = LocalBuffer();
   std::lock_guard<std::mutex> lock(buf->mu);
-  buf->events.push_back(Event{name, 'X', start_us, dur_us, buf->tid});
+  buf->events.push_back(
+      Event{name, 'X', start_us, dur_us, buf->tid, current_trace_id});
 }
 
 void TraceRecorder::AddInstant(const char* name) {
@@ -69,7 +72,41 @@ void TraceRecorder::AddInstant(const char* name) {
   int64_t now = NowUs();
   ThreadBuffer* buf = LocalBuffer();
   std::lock_guard<std::mutex> lock(buf->mu);
-  buf->events.push_back(Event{name, 'i', now, 0, buf->tid});
+  buf->events.push_back(Event{name, 'i', now, 0, buf->tid, current_trace_id});
+}
+
+uint64_t TraceRecorder::CurrentTraceId() { return current_trace_id; }
+
+TraceContext::TraceContext(uint64_t trace_id) : previous_(current_trace_id) {
+  current_trace_id = trace_id;
+}
+
+TraceContext::~TraceContext() { current_trace_id = previous_; }
+
+std::string FormatTraceId(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
+}
+
+uint64_t ParseTraceId(const std::string& text) {
+  if (text.empty() || text.size() > 16) return 0;
+  uint64_t value = 0;
+  for (char c : text) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return 0;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
 }
 
 void TraceRecorder::Clear() {
@@ -121,7 +158,12 @@ std::string TraceRecorder::ToChromeJson() const {
         << "\",\"ts\":" << e.ts_us;
     if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
     if (e.phase == 'i') out << ",\"s\":\"t\"";
-    out << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    out << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.trace_id != 0) {
+      out << ",\"args\":{\"trace_id\":\"" << FormatTraceId(e.trace_id)
+          << "\"}";
+    }
+    out << "}";
   }
   out << "],\"displayTimeUnit\":\"ms\"}";
   return out.str();

@@ -30,6 +30,7 @@ class TraceRecorder {
     int64_t ts_us;      // Start, microseconds since recorder construction.
     int64_t dur_us;     // Span duration; 0 for instants.
     uint32_t tid;       // Small dense thread id (registration order).
+    uint64_t trace_id;  // Request correlation id; 0 = not request-scoped.
   };
 
   /// The process-wide recorder used by the KPJ_TRACE_* macros.
@@ -47,11 +48,16 @@ class TraceRecorder {
   int64_t NowUs() const;
 
   /// Records a completed span [start_us, start_us + dur_us) on the calling
-  /// thread. No-op when disabled.
+  /// thread, tagged with the thread's current trace id (see TraceContext).
+  /// No-op when disabled.
   void AddCompleteEvent(const char* name, int64_t start_us, int64_t dur_us);
 
   /// Records an instant event at the current time. No-op when disabled.
   void AddInstant(const char* name);
+
+  /// The calling thread's current trace id (0 when no TraceContext is
+  /// active). Every event recorded on the thread inherits it.
+  static uint64_t CurrentTraceId();
 
   /// Drops all recorded events (buffers of exited threads included).
   void Clear();
@@ -88,6 +94,30 @@ class TraceRecorder {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   uint32_t next_tid_ = 0;
 };
+
+/// Scoped trace-id binding: while alive, every event the calling thread
+/// records (spans and instants alike) carries `trace_id`, which the wire
+/// protocol propagates end to end so client, server, and solver spans of one
+/// request stitch into a single timeline. Contexts nest; the previous id is
+/// restored on destruction. Two thread-local stores per scope — no atomics,
+/// no allocation — so installing one per query is free next to the query.
+class TraceContext {
+ public:
+  explicit TraceContext(uint64_t trace_id);
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+  ~TraceContext();
+
+ private:
+  uint64_t previous_;
+};
+
+/// Formats a trace id as the canonical 16-hex-digit wire spelling.
+std::string FormatTraceId(uint64_t trace_id);
+
+/// Parses the wire spelling (1..16 hex digits, case-insensitive). Returns 0
+/// on malformed input — 0 is "no trace" and never a valid id on the wire.
+uint64_t ParseTraceId(const std::string& text);
 
 /// RAII span: records an "X" complete event covering its lifetime. Cheap to
 /// construct when tracing is disabled (one relaxed load, no clock read).

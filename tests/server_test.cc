@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -23,6 +26,7 @@
 #include "index/landmark_index.h"
 #include "server/server.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace kpj::server {
 namespace {
@@ -103,12 +107,14 @@ class Client {
     socket_ = std::move(socket).value();
   }
 
-  Status Send(api::RequestType type, api::JsonValue payload,
-              uint64_t id = 1) {
+  Status Send(api::RequestType type, api::JsonValue payload, uint64_t id = 1,
+              uint64_t trace_id = 0, bool collect = false) {
     api::RequestEnvelope request;
     request.id = id;
     request.type = type;
     request.payload = std::move(payload);
+    request.trace_id = trace_id;
+    request.collect_spans = collect;
     return WriteFrame(socket_, api::SerializeRequest(request));
   }
 
@@ -121,8 +127,10 @@ class Client {
 
   Result<api::ResponseEnvelope> RoundTrip(api::RequestType type,
                                           api::JsonValue payload,
-                                          uint64_t id = 1) {
-    Status sent = Send(type, std::move(payload), id);
+                                          uint64_t id = 1,
+                                          uint64_t trace_id = 0,
+                                          bool collect = false) {
+    Status sent = Send(type, std::move(payload), id, trace_id, collect);
     if (!sent.ok()) return sent;
     return Receive();
   }
@@ -656,6 +664,215 @@ TEST(KpjServerTest, DestructorDrainsCleanlyWithOpenConnections) {
   ASSERT_TRUE(client.Query(MakeRequest({5}, {100}, 1)).ok());
   // Destroying the server with a live idle connection must not hang.
   server.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Wire-to-solver request tracing, the stats window, and the access log.
+
+size_t CountSpans(const std::vector<api::TraceSpanWire>& spans,
+                  std::string_view name) {
+  size_t count = 0;
+  for (const api::TraceSpanWire& span : spans) {
+    if (span.name == name) ++count;
+  }
+  return count;
+}
+
+TEST(KpjServerTest, ClientTraceIdStitchesServerAndEngineSpans) {
+  const std::string path = GraphPath(1500, 33);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+  api::QueryRequest query = MakeRequest({1}, {40, 90}, 3);
+
+  // Reference answer without any trace context.
+  Client plain_client(server.port());
+  Result<api::QueryResponse> plain = plain_client.Query(query);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  // Fresh connection, so the traced request is the connection's first and
+  // earns the retroactive server.accept span.
+  Client traced_client(server.port());
+  const uint64_t trace_id = 0x00c0ffee12345678ULL;
+  Result<api::ResponseEnvelope> envelope =
+      traced_client.RoundTrip(api::RequestType::kQuery, api::ToJson(query),
+                              /*id=*/2, trace_id, /*collect=*/true);
+  ASSERT_TRUE(envelope.ok()) << envelope.status().ToString();
+  EXPECT_EQ(envelope.value().trace_id, trace_id);
+
+  const std::vector<api::TraceSpanWire>& spans = envelope.value().trace_spans;
+  for (const char* name :
+       {"server.accept", "server.parse", "server.queue", "server.execute",
+        "server.serialize", "engine.query", "instance.prepare"}) {
+    EXPECT_EQ(CountSpans(spans, name), 1u) << name;
+  }
+  EXPECT_EQ(CountSpans(spans, "solver.run") +
+                CountSpans(spans, "solver.run_gkpj"),
+            1u);
+  // The last collector out turns the recorder back off — tracing one
+  // request must not leave the process recording forever.
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+
+  // Tracing must not change the answer: byte-identical to the plain run.
+  Result<api::QueryResponse> traced =
+      api::QueryResponseFromJson(envelope.value().payload);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_EQ(traced.value().paths.size(), plain.value().paths.size());
+  for (size_t i = 0; i < traced.value().paths.size(); ++i) {
+    EXPECT_EQ(traced.value().paths[i].length, plain.value().paths[i].length);
+    EXPECT_EQ(traced.value().paths[i].nodes, plain.value().paths[i].nodes);
+  }
+}
+
+TEST(KpjServerTest, PipelinedAndConcurrentTracesNeverInterleaveSpans) {
+  const std::string path = GraphPath(1500, 33);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two traced requests pipelined on one connection: both frames are on
+  // the wire before either response is read. Each response's span set must
+  // describe exactly one execution.
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client
+                    .Send(api::RequestType::kQuery,
+                          api::ToJson(MakeRequest({1}, {50}, 2)), /*id=*/1,
+                          /*trace_id=*/0xaaaa1111u, /*collect=*/true)
+                    .ok());
+    ASSERT_TRUE(client
+                    .Send(api::RequestType::kQuery,
+                          api::ToJson(MakeRequest({2}, {60}, 2)), /*id=*/2,
+                          /*trace_id=*/0xbbbb2222u, /*collect=*/true)
+                    .ok());
+    Result<api::ResponseEnvelope> first = client.Receive();
+    Result<api::ResponseEnvelope> second = client.Receive();
+    ASSERT_TRUE(first.ok() && second.ok());
+    EXPECT_EQ(first.value().id, 1u);
+    EXPECT_EQ(first.value().trace_id, 0xaaaa1111u);
+    EXPECT_EQ(second.value().id, 2u);
+    EXPECT_EQ(second.value().trace_id, 0xbbbb2222u);
+    for (const auto* envelope : {&first.value(), &second.value()}) {
+      EXPECT_EQ(CountSpans(envelope->trace_spans, "engine.query"), 1u);
+      EXPECT_EQ(CountSpans(envelope->trace_spans, "server.execute"), 1u);
+    }
+  }
+
+  // Concurrent traced requests on separate connections share the global
+  // recorder; per-id filtering must still hand each response only its own
+  // spans.
+  constexpr int kPerThread = 4;
+  std::atomic<int> wrong_span_counts{0};
+  auto hammer = [&](uint64_t base_id, NodeId source) {
+    Client client(server.port());
+    for (int i = 0; i < kPerThread; ++i) {
+      Result<api::ResponseEnvelope> envelope = client.RoundTrip(
+          api::RequestType::kQuery,
+          api::ToJson(MakeRequest({source}, {70, 80}, 2)),
+          /*id=*/static_cast<uint64_t>(i), base_id + static_cast<uint64_t>(i),
+          /*collect=*/true);
+      if (!envelope.ok() ||
+          CountSpans(envelope.value().trace_spans, "engine.query") != 1 ||
+          CountSpans(envelope.value().trace_spans, "server.execute") != 1) {
+        wrong_span_counts.fetch_add(1);
+      }
+    }
+  };
+  std::thread t1(hammer, 0x1000u, 3);
+  std::thread t2(hammer, 0x2000u, 4);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(wrong_span_counts.load(), 0);
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+}
+
+TEST(KpjServerTest, StatsServesRollingWindowGauges) {
+  const std::string path = GraphPath(1500, 33);
+  KpjServer server(SmallServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Query(MakeRequest({1}, {40}, 2)).ok());
+  }
+  Result<api::ResponseEnvelope> envelope =
+      client.RoundTrip(api::RequestType::kStats, api::JsonValue::Null());
+  ASSERT_TRUE(envelope.ok());
+  Result<api::StatsInfo> stats =
+      api::StatsInfoFromJson(envelope.value().payload);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const api::StatsInfo& info = stats.value();
+  EXPECT_EQ(info.window_s, 60u);
+  EXPECT_EQ(info.requests, 3u);
+  EXPECT_EQ(info.shed, 0u);
+  EXPECT_EQ(info.errors, 0u);
+  EXPECT_EQ(info.epoch, 1u);
+  EXPECT_GT(info.qps, 0.0);
+  EXPECT_GE(info.latency_p90_ms, info.latency_p50_ms);
+  EXPECT_GE(info.latency_max_ms, 0.0);
+  uint64_t per_second_total = 0;
+  for (uint64_t c : info.per_second) per_second_total += c;
+  EXPECT_EQ(per_second_total, info.requests);
+}
+
+TEST(KpjServerTest, DrainFlushesBufferedAccessLogLines) {
+  const std::string graph = GraphPath(1500, 34);
+  KpjServerOptions options = SmallServerOptions(graph);
+  options.access_log_path =
+      ::testing::TempDir() + "kpj_server_access_log_test.jsonl";
+  std::remove(options.access_log_path.c_str());
+  const std::string log_path = options.access_log_path;
+  KpjServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kQueries = 5;
+  {
+    Client client(server.port());
+    for (int i = 0; i < kQueries; ++i) {
+      Result<api::ResponseEnvelope> envelope = client.RoundTrip(
+          api::RequestType::kQuery,
+          api::ToJson(MakeRequest({1}, {40}, 2)),
+          /*id=*/static_cast<uint64_t>(i),
+          /*trace_id=*/0x9000u + static_cast<uint64_t>(i));
+      ASSERT_TRUE(envelope.ok());
+      ASSERT_EQ(envelope.value().status, api::StatusCode::kOk);
+    }
+    ASSERT_NE(server.access_log(), nullptr);
+    EXPECT_EQ(server.access_log()->lines_written(), 5u);
+    Result<api::ResponseEnvelope> ack = client.RoundTrip(
+        api::RequestType::kDrain, api::JsonValue::Null(), /*id=*/99);
+    ASSERT_TRUE(ack.ok());
+  }
+  // Wait() completes the drain and must flush every buffered line (the
+  // 64 KiB buffer threshold was never reached, so without the flush the
+  // file would be empty).
+  server.Wait();
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kQueries));
+  for (const std::string& text : lines) {
+    Result<api::JsonValue> parsed = api::JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    const api::JsonValue& entry = parsed.value();
+    Result<std::string> type = api::GetString(entry, "type");
+    ASSERT_TRUE(type.ok());
+    EXPECT_EQ(type.value(), "query");
+    Result<std::string> status = api::GetString(entry, "status");
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status.value(), "ok");
+    EXPECT_TRUE(api::GetDouble(entry, "queue_ms", -1.0).value() >= 0.0);
+    EXPECT_TRUE(api::GetDouble(entry, "exec_ms", -1.0).value() >= 0.0);
+    EXPECT_EQ(api::GetInt(entry, "epoch", 0).value(), 1);
+    EXPECT_EQ(api::GetInt(entry, "k", 0).value(), 2);
+  }
+  // Lines keep arrival order, and the trace ids join against the wire.
+  Result<std::string> first_id =
+      api::GetString(api::JsonValue::Parse(lines[0]).value(), "trace_id");
+  ASSERT_TRUE(first_id.ok());
+  EXPECT_EQ(first_id.value(), "0000000000009000");
 }
 
 }  // namespace

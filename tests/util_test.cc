@@ -279,8 +279,9 @@ TEST(LatencyHistogramTest, MalformedInputsAreClampedNotCorrupting) {
 TEST(LatencyHistogramTest, PercentileApproximatesWithinBucketResolution) {
   LatencyHistogram h;
   for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
-  // Geometric √2 buckets are ~41% wide, so a percentile can land anywhere
-  // within one bucket of the true value: check a multiplicative band.
+  // Geometric buckets are ~19% wide (2^(1/4) ratio), so a percentile can
+  // land anywhere within one bucket of the true value: check a
+  // multiplicative band with slack to spare.
   EXPECT_GE(h.Percentile(50.0), 50.0 / 1.5);
   EXPECT_LE(h.Percentile(50.0), 50.0 * 1.5);
   EXPECT_GE(h.Percentile(90.0), 90.0 / 1.5);
@@ -312,6 +313,62 @@ TEST(LatencyHistogramTest, HighPercentileOfTwoSamplesIsTheHighOne) {
   EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1000.0);
   // p50 covers exactly the first observation.
   EXPECT_LE(h.Percentile(50.0), 1.5);
+}
+
+TEST(LatencyHistogramTest, HighTailPercentilesDoNotCollapseIntoOneBucket) {
+  // Regression for the √2/64-bucket geometry: a sustained-load run whose
+  // latencies cluster in one decade reported p90 == p99 == p999 because
+  // all three ranks landed in the same ~41%-wide bucket. With 2^(1/4)
+  // spacing the tail ranks of this distribution resolve to distinct
+  // buckets and stay within one bucket ratio of the exact values.
+  LatencyHistogram h;
+  Sample exact;
+  for (int i = 0; i < 900; ++i) {
+    double ms = 3.0 + 0.002 * i;  // Bulk: 3.0 .. 4.8 ms.
+    h.Record(ms);
+    exact.Add(ms);
+  }
+  for (int i = 0; i < 95; ++i) {
+    double ms = 5.0 + 0.05 * i;  // Shoulder: 5.0 .. 9.7 ms.
+    h.Record(ms);
+    exact.Add(ms);
+  }
+  for (int i = 0; i < 5; ++i) {
+    double ms = 20.0 + 5.0 * i;  // Tail: 20 .. 40 ms.
+    h.Record(ms);
+    exact.Add(ms);
+  }
+  const double kRatio = 1.1892071150027210667;  // 2^(1/4) bucket width.
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    double approx = h.Percentile(p);
+    double truth = exact.Percentile(p);
+    EXPECT_GE(approx, truth / kRatio) << "p=" << p;
+    EXPECT_LE(approx, truth * kRatio) << "p=" << p;
+  }
+  EXPECT_LT(h.Percentile(90.0), h.Percentile(99.0));
+  EXPECT_LT(h.Percentile(99.0), h.Percentile(99.9));
+}
+
+TEST(LatencyHistogramTest, MergeAccumulatesCountsSumAndExtrema) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 50; ++i) a.Record(2.0);
+  for (int i = 0; i < 50; ++i) b.Record(64.0);
+  b.Record(0.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 101u);
+  EXPECT_NEAR(a.sum_ms(), 50 * 2.0 + 50 * 64.0 + 0.5, 1e-6);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 64.0);
+  // The merged distribution is bimodal: p25 sits in the low mode, p90 in
+  // the high one.
+  EXPECT_LE(a.Percentile(25.0), 2.0 * 1.2);
+  EXPECT_GE(a.Percentile(90.0), 64.0 / 1.2);
+  // Merging an empty histogram changes nothing.
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 101u);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 0.5);
 }
 
 TEST(LatencyHistogramTest, PercentileIsMonotoneInP) {

@@ -1,9 +1,10 @@
 // kpj_client — thin client for the kpjd service (docs/PROTOCOL.md).
 //
 //   kpj_client query   --port P --source S --targets A,B,C [--k 10]
-//                      [--deadline-ms MS]
+//                      [--deadline-ms MS] [--trace-out FILE]
 //   kpj_client batch   --port P --queries FILE [--deadline-ms MS]
 //   kpj_client metrics --port P [--format json|prom]
+//   kpj_client stats   --port P [--json]
 //   kpj_client health  --port P
 //   kpj_client drain   --port P
 //   kpj_client swap    --port P --graph FILE [--landmarks FILE]
@@ -11,10 +12,17 @@
 //
 // --port-file FILE (written by kpjd --port-file) substitutes for --port.
 // Exit code: 0 on success, 1 on any error status (including 'overloaded').
+//
+// --trace-out sends the query with a fresh trace id and `trace.collect`,
+// then merges the client-side spans with the server-echoed spans (rebased
+// onto the client clock) into one Chrome trace JSON file — a single
+// end-to-end timeline from connect to solver and back.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +32,7 @@
 #include "api/wire.h"
 #include "util/socket.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -39,9 +48,10 @@ void PrintHelp(std::ostream& out) {
          "\n"
          "  kpj_client query   --port P --source S --targets A,B,C"
          " [--k 10]\n"
-         "                     [--deadline-ms MS]\n"
+         "                     [--deadline-ms MS] [--trace-out FILE]\n"
          "  kpj_client batch   --port P --queries FILE [--deadline-ms MS]\n"
          "  kpj_client metrics --port P [--format json|prom]\n"
+         "  kpj_client stats   --port P [--json]\n"
          "  kpj_client health  --port P\n"
          "  kpj_client drain   --port P\n"
          "  kpj_client swap    --port P --graph FILE [--landmarks FILE]\n"
@@ -49,7 +59,10 @@ void PrintHelp(std::ostream& out) {
          "\n"
          "--host defaults to 127.0.0.1; --port-file FILE reads the port\n"
          "kpjd wrote with its own --port-file flag. Query files use the\n"
-         "kpj_cli batch format: one 'source k target...' line per query.\n";
+         "kpj_cli batch format: one 'source k target...' line per query.\n"
+         "query --trace-out FILE writes a merged client+server Chrome\n"
+         "trace (open in chrome://tracing or Perfetto); stats prints the\n"
+         "daemon's rolling 60 s throughput/latency window.\n";
 }
 
 int Fail(const Status& status) {
@@ -77,28 +90,114 @@ Result<uint16_t> ResolvePort(const api::ParsedArgs& args) {
   return static_cast<uint16_t>(port.value());
 }
 
-/// One request/response round trip on a fresh connection.
+/// One request/response round trip on a fresh connection. A nonzero
+/// `trace_id` rides in the envelope with `trace.collect` set, and the
+/// client-side phases (connect/send/wait/parse) are recorded as spans when
+/// the global recorder is enabled (query --trace-out turns it on).
 Result<api::ResponseEnvelope> RoundTrip(const api::ParsedArgs& args,
                                         api::RequestType type,
-                                        api::JsonValue payload) {
+                                        api::JsonValue payload,
+                                        uint64_t trace_id = 0) {
   Result<uint16_t> port = ResolvePort(args);
   if (!port.ok()) return port.status();
   std::string host = args.Get("host").value_or("127.0.0.1");
-  Result<Socket> socket = kpj::ConnectTcp(host, port.value());
+  kpj::TraceContext trace_ctx(trace_id);
+  Result<Socket> socket = [&] {
+    kpj::TraceSpan span("client.connect");
+    return kpj::ConnectTcp(host, port.value());
+  }();
   if (!socket.ok()) return socket.status();
 
   api::RequestEnvelope request;
   request.id = 1;
   request.type = type;
   request.payload = std::move(payload);
-  KPJ_RETURN_IF_ERROR(
-      kpj::WriteFrame(socket.value(), api::SerializeRequest(request)));
-  Result<kpj::Frame> frame = kpj::ReadFrame(socket.value(), kMaxFrameBytes);
+  request.trace_id = trace_id;
+  request.collect_spans = trace_id != 0;
+  {
+    kpj::TraceSpan span("client.send");
+    KPJ_RETURN_IF_ERROR(
+        kpj::WriteFrame(socket.value(), api::SerializeRequest(request)));
+  }
+  Result<kpj::Frame> frame = [&] {
+    kpj::TraceSpan span("client.wait");
+    return kpj::ReadFrame(socket.value(), kMaxFrameBytes);
+  }();
   if (!frame.ok()) return frame.status();
   if (frame.value().eof) {
     return Status::IoError("server closed the connection without a response");
   }
+  kpj::TraceSpan span("client.parse");
   return api::ParseResponse(frame.value().payload);
+}
+
+/// Merges the client's recorded spans with the server-echoed ones into one
+/// Chrome trace file. Server timestamps are on the server's trace clock;
+/// they are rebased so the server activity window is centered inside the
+/// client's wait span (the classic midpoint alignment — exact offsets need
+/// clock sync, but for a single request this keeps causality visually
+/// consistent).
+Status WriteMergedTrace(const std::string& path, uint64_t trace_id,
+                        const std::vector<api::TraceSpanWire>& server_spans) {
+  kpj::TraceRecorder& rec = kpj::TraceRecorder::Global();
+  std::vector<kpj::TraceRecorder::Event> client_events = rec.Snapshot();
+
+  int64_t wait_start = 0, wait_end = 0;
+  for (const auto& event : client_events) {
+    if (event.name == "client.wait") {
+      wait_start = event.ts_us;
+      wait_end = event.ts_us + event.dur_us;
+    }
+  }
+  int64_t offset_us = 0;
+  if (!server_spans.empty()) {
+    int64_t server_min = server_spans.front().ts_us;
+    int64_t server_max = server_min;
+    for (const auto& span : server_spans) {
+      server_min = std::min(server_min, span.ts_us);
+      server_max = std::max(server_max, span.ts_us + span.dur_us);
+    }
+    if (wait_end > wait_start) {
+      offset_us = (wait_start + wait_end) / 2 - (server_min + server_max) / 2;
+    }
+    // server.accept starts before client.send (it opens at connection
+    // accept), so the rebased window can poke past the wait span; keep
+    // every timestamp non-negative for trace viewers.
+    if (server_min + offset_us < 0) offset_us = -server_min;
+  }
+
+  std::string id_text = kpj::FormatTraceId(trace_id);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto append = [&](const std::string& name, char phase, int64_t ts,
+                    int64_t dur, int pid, uint32_t tid) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + kpj::JsonEscape(name) + ",\"ph\":\"";
+    out += phase;
+    out += "\",\"ts\":" + std::to_string(ts);
+    if (phase == 'X') out += ",\"dur\":" + std::to_string(dur);
+    if (phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"args\":{\"trace_id\":\"" + id_text + "\"}}";
+  };
+  for (const auto& event : client_events) {
+    if (event.trace_id != trace_id) continue;
+    append(event.name, event.phase, event.ts_us, event.dur_us, /*pid=*/1,
+           event.tid);
+  }
+  for (const auto& span : server_spans) {
+    append(span.name, 'X', span.ts_us + offset_us, span.dur_us, /*pid=*/2,
+           span.tid);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path);
+  file << out << "\n";
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
 }
 
 /// Prints one query response in kpj_cli style; returns the exit code.
@@ -154,9 +253,30 @@ int CmdQuery(const api::ParsedArgs& args) {
     request.deadline_ms = *parsed;
   }
 
-  Result<api::ResponseEnvelope> response =
-      RoundTrip(args, api::RequestType::kQuery, api::ToJson(request));
+  std::string trace_out = args.Get("trace-out").value_or("");
+  uint64_t trace_id = 0;
+  if (!trace_out.empty()) {
+    std::random_device rd;
+    std::mt19937_64 rng((static_cast<uint64_t>(rd()) << 32) ^ rd());
+    while (trace_id == 0) trace_id = rng();  // 0 means "no trace" on the wire.
+    kpj::TraceRecorder::Global().Enable();
+  }
+
+  Result<api::ResponseEnvelope> response = [&] {
+    kpj::TraceContext trace_ctx(trace_id);
+    kpj::TraceSpan root("client.request");
+    return RoundTrip(args, api::RequestType::kQuery, api::ToJson(request),
+                     trace_id);
+  }();
   if (!response.ok()) return Fail(response.status());
+  if (!trace_out.empty()) {
+    Status written = WriteMergedTrace(trace_out, trace_id,
+                                      response.value().trace_spans);
+    if (!written.ok()) return Fail(written);
+    std::cout << "# trace " << kpj::FormatTraceId(trace_id) << ": "
+              << response.value().trace_spans.size()
+              << " server spans merged into " << trace_out << "\n";
+  }
   if (response.value().payload.is_null()) {
     std::cerr << "error: "
               << api::StatusCodeName(response.value().status) << ": "
@@ -271,6 +391,42 @@ int CmdMetrics(const api::ParsedArgs& args) {
   return 0;
 }
 
+int CmdStats(const api::ParsedArgs& args) {
+  Result<api::ResponseEnvelope> response =
+      RoundTrip(args, api::RequestType::kStats, api::JsonValue::Null());
+  if (!response.ok()) return Fail(response.status());
+  if (response.value().status != api::StatusCode::kOk) {
+    std::cerr << "error: "
+              << api::StatusCodeName(response.value().status) << ": "
+              << response.value().message << "\n";
+    return 1;
+  }
+  if (args.Get("json").has_value()) {
+    std::cout << response.value().payload.Dump() << "\n";
+    return 0;
+  }
+  Result<api::StatsInfo> info =
+      api::StatsInfoFromJson(response.value().payload);
+  if (!info.ok()) return Fail(info.status());
+  const api::StatsInfo& s = info.value();
+  std::cout << "window:     " << s.window_s << " s\n"
+            << "requests:   " << s.requests << " (" << s.qps << " rps)\n"
+            << "shed:       " << s.shed << "\n"
+            << "errors:     " << s.errors << "\n"
+            << "latency:    mean " << s.latency_mean_ms << " ms, p50 "
+            << s.latency_p50_ms << " ms, p90 " << s.latency_p90_ms
+            << " ms, p99 " << s.latency_p99_ms << " ms, max "
+            << s.latency_max_ms << " ms\n"
+            << "in flight:  " << s.in_flight << "\n"
+            << "epoch:      " << s.epoch << "\n";
+  if (!s.per_second.empty()) {
+    std::cout << "per second:";
+    for (uint64_t count : s.per_second) std::cout << " " << count;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int CmdHealth(const api::ParsedArgs& args) {
   Result<api::ResponseEnvelope> response =
       RoundTrip(args, api::RequestType::kHealth, api::JsonValue::Null());
@@ -347,6 +503,7 @@ int main(int argc, char** argv) {
   if (a.command == "query") return CmdQuery(a);
   if (a.command == "batch") return CmdBatch(a);
   if (a.command == "metrics") return CmdMetrics(a);
+  if (a.command == "stats") return CmdStats(a);
   if (a.command == "health") return CmdHealth(a);
   if (a.command == "drain") return CmdDrain(a);
   if (a.command == "swap") return CmdSwap(a);

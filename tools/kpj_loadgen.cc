@@ -1,0 +1,582 @@
+// kpj_loadgen — sustained-load generator and observability rig for kpjd.
+//
+//   kpj_loadgen --port P [--host 127.0.0.1] [--connections 4]
+//               [--duration-s 5] [--warmup-s 1]
+//               [--mode closed|open] [--rate QPS]
+//               [--mix zipf|uniform] [--zipf-s 1.1]
+//               [--k 4] [--targets 2] [--seed 42]
+//               [--deadline-ms MS] [--out BENCH_service.json]
+//
+// Drives a live kpjd over the wire protocol: N connections issue top-k
+// query requests drawn from a seeded zipf or uniform node mix (node count
+// comes from the daemon's health response, so any loaded graph works).
+// Closed-loop mode sends the next query the moment the previous answer
+// lands (measures capacity); open-loop mode fires on a fixed --rate
+// schedule per connection and records how often it falls behind (measures
+// latency under a target load). The first --warmup-s of traffic is
+// excluded from the report.
+//
+// The report covers throughput, latency percentiles (p50/p90/p99/p999),
+// shed/overload and error rates, a completed-requests-per-second time
+// series, and the delta of the daemon's admission queue-time histogram
+// (scraped via the metrics request before and after the run) — written as
+// a benchmark JSON artifact for scripts/check.sh --bench-gate.
+//
+// --port-file FILE substitutes for --port, same as kpj_client. Exit code
+// is 0 when every query got an answer (shed responses count as answers:
+// under deliberate overload shedding is correct behavior), 1 otherwise.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "api/options_parse.h"
+#include "api/wire.h"
+#include "util/socket.h"
+#include "util/string_util.h"
+
+namespace {
+
+using kpj::Result;
+using kpj::Socket;
+using kpj::Status;
+namespace api = kpj::api;
+
+constexpr size_t kMaxFrameBytes = 64 << 20;
+
+void PrintHelp(std::ostream& out) {
+  out << "kpj_loadgen — sustained-load generator for kpjd\n"
+         "\n"
+         "  kpj_loadgen --port P [--host 127.0.0.1] [--connections 4]\n"
+         "              [--duration-s 5] [--warmup-s 1]\n"
+         "              [--mode closed|open] [--rate QPS]\n"
+         "              [--mix zipf|uniform] [--zipf-s 1.1]\n"
+         "              [--k 4] [--targets 2] [--seed 42]\n"
+         "              [--deadline-ms MS] [--out FILE]\n"
+         "\n"
+         "closed (default): each connection sends the next query as soon\n"
+         "as the previous answer arrives. open: queries fire on a fixed\n"
+         "--rate schedule split across connections. Warmup traffic is\n"
+         "excluded from the report; --out writes the benchmark JSON\n"
+         "artifact (BENCH_service.json in scripts/check.sh).\n";
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+Result<uint16_t> ResolvePort(const api::ParsedArgs& args) {
+  if (auto port_file = args.Get("port-file"); port_file.has_value()) {
+    std::ifstream in(*port_file);
+    if (!in) return Status::IoError("cannot open " + *port_file);
+    int64_t port = -1;
+    in >> port;
+    if (port < 1 || port > 65535) {
+      return Status::InvalidArgument(*port_file +
+                                     " does not contain a port number");
+    }
+    return static_cast<uint16_t>(port);
+  }
+  Result<int64_t> port = args.GetInt("port", -1);
+  if (!port.ok()) return port.status();
+  if (port.value() < 1 || port.value() > 65535) {
+    return Status::InvalidArgument("need --port P or --port-file FILE");
+  }
+  return static_cast<uint16_t>(port.value());
+}
+
+/// One request/response round trip on an open connection.
+Result<api::ResponseEnvelope> RoundTrip(Socket& socket,
+                                        api::RequestType type,
+                                        api::JsonValue payload,
+                                        uint64_t request_id) {
+  api::RequestEnvelope request;
+  request.id = request_id;
+  request.type = type;
+  request.payload = std::move(payload);
+  KPJ_RETURN_IF_ERROR(
+      kpj::WriteFrame(socket, api::SerializeRequest(request)));
+  Result<kpj::Frame> frame = kpj::ReadFrame(socket, kMaxFrameBytes);
+  if (!frame.ok()) return frame.status();
+  if (frame.value().eof) {
+    return Status::IoError("server closed the connection mid-run");
+  }
+  return api::ParseResponse(frame.value().payload);
+}
+
+/// Seeded node-id sampler: uniform, or exact Zipf(s) over ranks 1..n via a
+/// precomputed inverse CDF (node ids are ranks minus one, so low ids are
+/// the hot ones — matching how generated road graphs cluster).
+class NodeSampler {
+ public:
+  NodeSampler(uint64_t nodes, bool zipf, double s) : nodes_(nodes) {
+    if (!zipf) return;
+    cdf_.reserve(nodes);
+    double total = 0.0;
+    for (uint64_t rank = 1; rank <= nodes; ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  kpj::NodeId Sample(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (cdf_.empty()) {
+      return static_cast<kpj::NodeId>(rng() % nodes_);
+    }
+    double u = uniform(rng);
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    size_t rank = static_cast<size_t>(it - cdf_.begin());
+    if (rank >= nodes_) rank = nodes_ - 1;
+    return static_cast<kpj::NodeId>(rank);
+  }
+
+ private:
+  uint64_t nodes_;
+  std::vector<double> cdf_;  ///< Empty in uniform mode.
+};
+
+struct WorkerConfig {
+  std::string host;
+  uint16_t port = 0;
+  double duration_s = 5.0;
+  double warmup_s = 1.0;
+  bool open_loop = false;
+  double interarrival_s = 0.0;  ///< Open loop: seconds between sends.
+  uint32_t k = 4;
+  uint32_t targets = 2;
+  double deadline_ms = -1.0;
+  uint64_t seed = 42;
+};
+
+struct WorkerStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t partial = 0;  ///< deadline_exceeded answers (proven prefixes).
+  uint64_t failed = 0;   ///< Wire errors + any other non-ok status.
+  uint64_t behind = 0;   ///< Open loop: sends already past their slot.
+  std::vector<double> latencies_ms;        ///< Post-warmup only.
+  std::vector<uint64_t> completed_per_s;   ///< Post-warmup, 1 s buckets.
+  double queue_ms_sum = 0.0;               ///< Server-reported queue time.
+};
+
+void RunWorker(const WorkerConfig& config, const NodeSampler& sampler,
+               unsigned index, std::chrono::steady_clock::time_point start,
+               WorkerStats* stats) {
+  Result<Socket> socket = kpj::ConnectTcp(config.host, config.port);
+  if (!socket.ok()) {
+    ++stats->failed;
+    return;
+  }
+  std::mt19937_64 rng(config.seed * 0x9e3779b97f4a7c15ULL + index + 1);
+  auto warmup_end =
+      start + std::chrono::duration<double>(config.warmup_s);
+  auto end = warmup_end + std::chrono::duration<double>(config.duration_s);
+  size_t buckets = static_cast<size_t>(std::ceil(config.duration_s)) + 1;
+  stats->completed_per_s.assign(buckets, 0);
+
+  for (uint64_t count = 0;; ++count) {
+    auto now = std::chrono::steady_clock::now();
+    if (config.open_loop) {
+      auto slot = start + std::chrono::duration<double>(
+                              config.interarrival_s * (count + 1));
+      if (slot >= end) break;
+      if (now < slot) {
+        std::this_thread::sleep_until(slot);
+      } else {
+        ++stats->behind;
+      }
+    } else if (now >= end) {
+      break;
+    }
+
+    api::QueryRequest query;
+    query.sources = {sampler.Sample(rng)};
+    for (uint32_t t = 0; t < config.targets; ++t) {
+      query.targets.push_back(sampler.Sample(rng));
+    }
+    query.k = config.k;
+    if (config.deadline_ms >= 0.0) query.deadline_ms = config.deadline_ms;
+
+    auto sent_at = std::chrono::steady_clock::now();
+    ++stats->sent;
+    Result<api::ResponseEnvelope> response = RoundTrip(
+        socket.value(), api::RequestType::kQuery, api::ToJson(query), count);
+    auto done_at = std::chrono::steady_clock::now();
+    if (!response.ok()) {
+      ++stats->failed;
+      return;  // The connection is gone; this worker is done.
+    }
+    api::StatusCode status = response.value().status;
+    if (status == api::StatusCode::kOk) {
+      ++stats->ok;
+    } else if (status == api::StatusCode::kOverloaded) {
+      ++stats->shed;
+    } else if (status == api::StatusCode::kDeadlineExceeded) {
+      ++stats->partial;
+    } else {
+      ++stats->failed;
+    }
+    if (!response.value().payload.is_null()) {
+      Result<api::QueryResponse> parsed =
+          api::QueryResponseFromJson(response.value().payload);
+      if (parsed.ok()) stats->queue_ms_sum += parsed.value().queue_ms;
+    }
+    if (done_at >= warmup_end && done_at < end) {
+      double latency_ms =
+          std::chrono::duration<double, std::milli>(done_at - sent_at)
+              .count();
+      stats->latencies_ms.push_back(latency_ms);
+      size_t bucket = static_cast<size_t>(
+          std::chrono::duration<double>(done_at - warmup_end).count());
+      if (bucket < stats->completed_per_s.size()) {
+        ++stats->completed_per_s[bucket];
+      }
+    }
+  }
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// One `kpj_server_queue_time_ms` bucket scraped from the prom exposition.
+struct QueueBucket {
+  std::string le;          ///< Upper bound label ("+Inf" for the last).
+  uint64_t cumulative = 0;
+};
+
+Result<std::vector<QueueBucket>> ScrapeQueueHistogram(
+    const std::string& host, uint16_t port) {
+  Result<Socket> socket = kpj::ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  api::MetricsRequest request;
+  request.format = "prom";
+  Result<api::ResponseEnvelope> response = RoundTrip(
+      socket.value(), api::RequestType::kMetrics, api::ToJson(request), 1);
+  if (!response.ok()) return response.status();
+  Result<std::string> body =
+      api::GetString(response.value().payload, "body");
+  if (!body.ok()) return body.status();
+
+  std::vector<QueueBucket> buckets;
+  std::istringstream lines(body.value());
+  std::string line;
+  const std::string prefix = "kpj_server_queue_time_ms_bucket{le=\"";
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    size_t quote = line.find('"', prefix.size());
+    size_t space = line.rfind(' ');
+    if (quote == std::string::npos || space == std::string::npos) continue;
+    QueueBucket bucket;
+    bucket.le = line.substr(prefix.size(), quote - prefix.size());
+    auto value = kpj::ParseInt(
+        std::string_view(line).substr(space + 1));
+    if (!value || *value < 0) continue;
+    bucket.cumulative = static_cast<uint64_t>(*value);
+    buckets.push_back(std::move(bucket));
+  }
+  if (buckets.empty()) {
+    return Status::InvalidArgument(
+        "metrics exposition has no kpj_server_queue_time_ms buckets");
+  }
+  return buckets;
+}
+
+void AppendDouble(std::string* out, double value, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals,
+                std::isfinite(value) ? value : 0.0);
+  out->append(buf);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw_args(argv + 1, argv + argc);
+  for (const std::string& arg : raw_args) {
+    if (arg == "--help" || arg == "help") {
+      PrintHelp(std::cout);
+      return 0;
+    }
+  }
+  Result<api::ParsedArgs> parsed = api::ParseFlagsOnly(raw_args);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.status().ToString() << "\n";
+    PrintHelp(std::cerr);
+    return 2;
+  }
+  const api::ParsedArgs& args = parsed.value();
+
+  Result<uint16_t> port = ResolvePort(args);
+  if (!port.ok()) return Fail(port.status());
+  std::string host = args.Get("host").value_or("127.0.0.1");
+
+  Result<int64_t> connections = args.GetInt("connections", 4);
+  if (!connections.ok() || connections.value() < 1 ||
+      connections.value() > 512) {
+    return Fail(Status::InvalidArgument("--connections must be in [1, 512]"));
+  }
+  WorkerConfig config;
+  config.host = host;
+  config.port = port.value();
+  if (auto text = args.Get("duration-s"); text.has_value()) {
+    auto value = kpj::ParseDouble(*text);
+    if (!value || *value <= 0.0) {
+      return Fail(Status::InvalidArgument("--duration-s must be > 0"));
+    }
+    config.duration_s = *value;
+  }
+  if (auto text = args.Get("warmup-s"); text.has_value()) {
+    auto value = kpj::ParseDouble(*text);
+    if (!value || *value < 0.0) {
+      return Fail(Status::InvalidArgument("--warmup-s must be >= 0"));
+    }
+    config.warmup_s = *value;
+  }
+  std::string mode = args.Get("mode").value_or("closed");
+  if (mode != "closed" && mode != "open") {
+    return Fail(Status::InvalidArgument("--mode must be 'closed' or 'open'"));
+  }
+  config.open_loop = mode == "open";
+  if (config.open_loop) {
+    auto rate_text = args.Get("rate");
+    auto rate = rate_text ? kpj::ParseDouble(*rate_text) : std::nullopt;
+    if (!rate || *rate <= 0.0) {
+      return Fail(
+          Status::InvalidArgument("open-loop mode needs --rate QPS > 0"));
+    }
+    config.interarrival_s =
+        static_cast<double>(connections.value()) / *rate;
+  }
+  std::string mix = args.Get("mix").value_or("zipf");
+  if (mix != "zipf" && mix != "uniform") {
+    return Fail(Status::InvalidArgument("--mix must be 'zipf' or 'uniform'"));
+  }
+  double zipf_s = 1.1;
+  if (auto text = args.Get("zipf-s"); text.has_value()) {
+    auto value = kpj::ParseDouble(*text);
+    if (!value || *value <= 0.0) {
+      return Fail(Status::InvalidArgument("--zipf-s must be > 0"));
+    }
+    zipf_s = *value;
+  }
+  Result<int64_t> k = args.GetInt("k", 4);
+  if (!k.ok() || k.value() < 1) {
+    return Fail(Status::InvalidArgument("--k must be >= 1"));
+  }
+  config.k = static_cast<uint32_t>(k.value());
+  Result<int64_t> targets = args.GetInt("targets", 2);
+  if (!targets.ok() || targets.value() < 1) {
+    return Fail(Status::InvalidArgument("--targets must be >= 1"));
+  }
+  config.targets = static_cast<uint32_t>(targets.value());
+  Result<int64_t> seed = args.GetInt("seed", 42);
+  if (!seed.ok()) return Fail(seed.status());
+  config.seed = static_cast<uint64_t>(seed.value());
+  if (auto text = args.Get("deadline-ms"); text.has_value()) {
+    auto value = kpj::ParseDouble(*text);
+    if (!value || *value < 0.0) {
+      return Fail(Status::InvalidArgument("--deadline-ms must be >= 0"));
+    }
+    config.deadline_ms = *value;
+  }
+
+  // The daemon tells us how many nodes the serving graph has, so query ids
+  // are always valid regardless of what was loaded.
+  uint64_t nodes = 0;
+  {
+    Result<Socket> socket = kpj::ConnectTcp(host, port.value());
+    if (!socket.ok()) return Fail(socket.status());
+    Result<api::ResponseEnvelope> response =
+        RoundTrip(socket.value(), api::RequestType::kHealth,
+                  api::JsonValue::Null(), 1);
+    if (!response.ok()) return Fail(response.status());
+    Result<api::HealthInfo> health =
+        api::HealthInfoFromJson(response.value().payload);
+    if (!health.ok()) return Fail(health.status());
+    if (!health.value().serving || health.value().nodes == 0) {
+      return Fail(Status::InvalidArgument(
+          "daemon is not serving (or reports zero nodes)"));
+    }
+    nodes = health.value().nodes;
+  }
+
+  Result<std::vector<QueueBucket>> before =
+      ScrapeQueueHistogram(host, port.value());
+  if (!before.ok()) return Fail(before.status());
+
+  NodeSampler sampler(nodes, mix == "zipf", zipf_s);
+  unsigned num_workers = static_cast<unsigned>(connections.value());
+  std::vector<WorkerStats> stats(num_workers);
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  auto start = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < num_workers; ++i) {
+    workers.emplace_back(RunWorker, std::cref(config), std::cref(sampler), i,
+                         start, &stats[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  Result<std::vector<QueueBucket>> after =
+      ScrapeQueueHistogram(host, port.value());
+  if (!after.ok()) return Fail(after.status());
+
+  // Merge worker stats.
+  uint64_t sent = 0, ok = 0, shed = 0, partial = 0, failed = 0, behind = 0;
+  double queue_ms_sum = 0.0;
+  std::vector<double> latencies;
+  std::vector<uint64_t> per_second;
+  for (const WorkerStats& s : stats) {
+    sent += s.sent;
+    ok += s.ok;
+    shed += s.shed;
+    partial += s.partial;
+    failed += s.failed;
+    behind += s.behind;
+    queue_ms_sum += s.queue_ms_sum;
+    latencies.insert(latencies.end(), s.latencies_ms.begin(),
+                     s.latencies_ms.end());
+    if (s.completed_per_s.size() > per_second.size()) {
+      per_second.resize(s.completed_per_s.size(), 0);
+    }
+    for (size_t b = 0; b < s.completed_per_s.size(); ++b) {
+      per_second[b] += s.completed_per_s[b];
+    }
+  }
+  while (!per_second.empty() && per_second.back() == 0) {
+    per_second.pop_back();
+  }
+  std::sort(latencies.begin(), latencies.end());
+  uint64_t measured = latencies.size();
+  double throughput =
+      static_cast<double>(measured) / config.duration_s;
+  double mean_ms = 0.0;
+  for (double l : latencies) mean_ms += l;
+  if (measured > 0) mean_ms /= static_cast<double>(measured);
+  double p50 = PercentileSorted(latencies, 50.0);
+  double p90 = PercentileSorted(latencies, 90.0);
+  double p99 = PercentileSorted(latencies, 99.0);
+  double p999 = PercentileSorted(latencies, 99.9);
+  double max_ms = latencies.empty() ? 0.0 : latencies.back();
+  double shed_rate =
+      sent > 0 ? static_cast<double>(shed) / static_cast<double>(sent) : 0.0;
+  double error_rate =
+      sent > 0 ? static_cast<double>(failed) / static_cast<double>(sent)
+               : 0.0;
+
+  // Per-bucket (non-cumulative) deltas of the daemon's queue-time
+  // histogram across the run: where admission waits actually landed.
+  std::vector<std::pair<std::string, uint64_t>> queue_delta;
+  if (before.value().size() == after.value().size()) {
+    uint64_t prev_before = 0, prev_after = 0;
+    for (size_t b = 0; b < after.value().size(); ++b) {
+      uint64_t before_c = before.value()[b].cumulative;
+      uint64_t after_c = after.value()[b].cumulative;
+      uint64_t grew = (after_c - prev_after) - (before_c - prev_before);
+      prev_before = before_c;
+      prev_after = after_c;
+      if (grew > 0) {
+        queue_delta.emplace_back(after.value()[b].le, grew);
+      }
+    }
+  }
+
+  // Human summary.
+  std::cout << "kpj_loadgen: " << mode << " loop, " << num_workers
+            << " connections, " << config.duration_s << " s measured ("
+            << config.warmup_s << " s warmup), mix " << mix << ", k "
+            << config.k << ", " << nodes << " nodes\n"
+            << "  requests:   " << sent << " sent, " << measured
+            << " measured, " << ok << " ok, " << shed << " shed, " << partial
+            << " partial, " << failed << " failed\n"
+            << "  throughput: " << throughput << " qps\n"
+            << "  latency ms: mean " << mean_ms << ", p50 " << p50 << ", p90 "
+            << p90 << ", p99 " << p99 << ", p999 " << p999 << ", max "
+            << max_ms << "\n";
+  if (config.open_loop) {
+    std::cout << "  schedule:   " << behind << " sends behind their slot\n";
+  }
+
+  // Benchmark artifact. Only the stable leaves carry the gated `_ms`
+  // suffix (mean/p50); tail percentiles on a ~5 s run are too noisy to
+  // gate and ship as informational `_us` values.
+  if (auto out_path = args.Get("out"); out_path.has_value()) {
+    std::string json = "{\n  \"bench\": \"service_loadgen\",\n";
+    json += "  \"mode\": \"" + mode + "\",\n";
+    json += "  \"mix\": \"" + mix + "\",\n";
+    json += "  \"connections\": " + std::to_string(num_workers) + ",\n";
+    json += "  \"duration_s\": ";
+    AppendDouble(&json, config.duration_s);
+    json += ",\n  \"warmup_s\": ";
+    AppendDouble(&json, config.warmup_s);
+    json += ",\n  \"k\": " + std::to_string(config.k) + ",\n";
+    json += "  \"nodes\": " + std::to_string(nodes) + ",\n";
+    json += "  \"requests_sent\": " + std::to_string(sent) + ",\n";
+    json += "  \"requests_measured\": " + std::to_string(measured) + ",\n";
+    json += "  \"requests_ok\": " + std::to_string(ok) + ",\n";
+    json += "  \"requests_shed\": " + std::to_string(shed) + ",\n";
+    json += "  \"requests_partial\": " + std::to_string(partial) + ",\n";
+    json += "  \"requests_failed\": " + std::to_string(failed) + ",\n";
+    json += "  \"behind_schedule\": " + std::to_string(behind) + ",\n";
+    json += "  \"shed_rate\": ";
+    AppendDouble(&json, shed_rate, 6);
+    json += ",\n  \"error_rate\": ";
+    AppendDouble(&json, error_rate, 6);
+    json += ",\n  \"throughput_qps\": ";
+    AppendDouble(&json, throughput);
+    json += ",\n  \"latency_mean_ms\": ";
+    AppendDouble(&json, mean_ms, 4);
+    json += ",\n  \"latency_p50_ms\": ";
+    AppendDouble(&json, p50, 4);
+    json += ",\n  \"latency_p90_us\": ";
+    AppendDouble(&json, p90 * 1000.0, 1);
+    json += ",\n  \"latency_p99_us\": ";
+    AppendDouble(&json, p99 * 1000.0, 1);
+    json += ",\n  \"latency_p999_us\": ";
+    AppendDouble(&json, p999 * 1000.0, 1);
+    json += ",\n  \"latency_max_us\": ";
+    AppendDouble(&json, max_ms * 1000.0, 1);
+    json += ",\n  \"server_queue_ms_sum\": ";
+    AppendDouble(&json, queue_ms_sum);
+    json += ",\n  \"per_second\": [";
+    for (size_t b = 0; b < per_second.size(); ++b) {
+      if (b > 0) json += ", ";
+      json += std::to_string(per_second[b]);
+    }
+    json += "],\n  \"queue_time_delta\": [";
+    for (size_t b = 0; b < queue_delta.size(); ++b) {
+      if (b > 0) json += ", ";
+      json += "{\"le\": " + kpj::JsonEscape(queue_delta[b].first) +
+              ", \"count\": " + std::to_string(queue_delta[b].second) + "}";
+    }
+    json += "]\n}\n";
+    std::ofstream out(*out_path, std::ios::trunc);
+    if (!out) return Fail(Status::IoError("cannot open " + *out_path));
+    out << json;
+    if (!out.good()) {
+      return Fail(Status::IoError("write failed: " + *out_path));
+    }
+    std::cout << "  report:     " << *out_path << "\n";
+  }
+
+  return failed == 0 ? 0 : 1;
+}

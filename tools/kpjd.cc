@@ -13,6 +13,7 @@
 //        [--deadline-ms MS] [--slow-query-ms MS] [--algorithm NAME]
 //        [--alpha A] [--max-queue N] [--backlog N]
 //        [--metrics-out FILE|-] [--metrics-format json|prom]
+//        [--access-log FILE] [--access-log-rotate-mb MB]
 
 #include <cstdint>
 #include <fstream>
@@ -39,7 +40,12 @@ void PrintHelp(std::ostream& out) {
          "       [--algorithm NAME] [--alpha A]\n"
          "       [--max-queue N] [--backlog N]\n"
          "       [--metrics-out FILE|-] [--metrics-format json|prom]\n"
+         "       [--access-log FILE] [--access-log-rotate-mb MB]\n"
          "\n"
+         "--access-log appends one JSON line per query/batch request\n"
+         "(trace_id, peer, queue_ms, exec_ms, status, epoch, ...), rotating\n"
+         "to FILE.1 past --access-log-rotate-mb (default 64). Lines are\n"
+         "buffered; drain flushes them before exit.\n"
          "--port 0 binds an ephemeral port; --port-file writes the bound\n"
          "port for clients/scripts to pick up. Queries past the admission\n"
          "queue bound (--max-queue) are shed with status 'overloaded'.\n"
@@ -99,6 +105,16 @@ int main(int argc, char** argv) {
     return Fail(Status::InvalidArgument("--backlog must be >= 1"));
   }
   options.backlog = static_cast<int>(backlog.value());
+
+  options.access_log_path = flags.Get("access-log").value_or("");
+  Result<int64_t> rotate_mb = flags.GetInt("access-log-rotate-mb", 64);
+  if (!rotate_mb.ok()) return Fail(rotate_mb.status());
+  if (rotate_mb.value() < 1) {
+    return Fail(
+        Status::InvalidArgument("--access-log-rotate-mb must be >= 1"));
+  }
+  options.access_log_rotate_bytes =
+      static_cast<size_t>(rotate_mb.value()) << 20;
 
   Result<kpj::api::EngineConfig> engine =
       kpj::api::ParseEngineConfig(flags);

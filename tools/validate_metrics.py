@@ -6,6 +6,8 @@ Validates one file per invocation:
     tools/validate_metrics.py --mode metrics-json engine_metrics.json
     tools/validate_metrics.py --mode prom         engine_metrics.prom
     tools/validate_metrics.py --mode trace        trace.json
+    tools/validate_metrics.py --mode access-log   access.log
+    tools/validate_metrics.py --mode stats        stats.json
 
 Pass --server for expositions produced by kpjd: the daemon splices
 server-level keys (server_accepted, kpj_server_*_total, the
@@ -233,7 +235,91 @@ def check_prom(text, server=False):
                  f"_count {histogram_counts[base]}")
 
 
-def check_trace(text):
+# One JSONL object per finished request, written by kpjd --access-log
+# (src/server/access_log.cc). trace_id is always present: zero-padded
+# 16-hex, all zeros when the client sent no trace context.
+ACCESS_LOG_STRING_KEYS = [
+    "trace_id", "peer", "type", "algorithm", "status", "shed_reason"]
+ACCESS_LOG_NUMBER_KEYS = ["ts_ms", "k", "queue_ms", "exec_ms", "epoch"]
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+# Rolling-window gauge payload served by the kpjd `stats` request
+# (api::StatsInfo).
+STATS_REQUIRED_KEYS = [
+    "window_s", "requests", "shed", "errors", "qps",
+    "latency_mean_ms", "latency_p50_ms", "latency_p90_ms",
+    "latency_p99_ms", "latency_max_ms", "in_flight", "epoch",
+]
+
+
+def check_access_log(text):
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        fail("access log has no lines")
+    for line_no, line in enumerate(lines, 1):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"access log line {line_no} does not parse: {e}")
+        if not isinstance(entry, dict):
+            fail(f"access log line {line_no} is not an object")
+        for key in ACCESS_LOG_STRING_KEYS:
+            if key not in entry:
+                fail(f"access log line {line_no} missing key {key!r}")
+            if not isinstance(entry[key], str):
+                fail(f"access log line {line_no}: {key!r} must be a string, "
+                     f"got {entry[key]!r}")
+        for key in ACCESS_LOG_NUMBER_KEYS:
+            if key not in entry:
+                fail(f"access log line {line_no} missing key {key!r}")
+            value = entry[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"access log line {line_no}: {key!r} must be a number, "
+                     f"got {value!r}")
+            if isinstance(value, float) and not math.isfinite(value):
+                fail(f"access log line {line_no}: {key!r} is not finite")
+            if value < 0:
+                fail(f"access log line {line_no}: {key!r} is negative")
+        if not TRACE_ID_RE.match(entry["trace_id"]):
+            fail(f"access log line {line_no}: trace_id is not 16-hex: "
+                 f"{entry['trace_id']!r}")
+        if not entry["type"]:
+            fail(f"access log line {line_no}: empty request type")
+        if not entry["status"]:
+            fail(f"access log line {line_no}: empty status")
+    print(f"validate_metrics: checked {len(lines)} access-log lines",
+          file=sys.stderr)
+
+
+def check_stats(text):
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"stats JSON does not parse: {e}")
+    if not isinstance(data, dict):
+        fail("stats JSON root must be an object")
+    for key in STATS_REQUIRED_KEYS:
+        if key not in data:
+            fail(f"stats JSON missing key {key!r}")
+        value = data[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"stats key {key!r} must be a number, got {value!r}")
+        if isinstance(value, float) and not math.isfinite(value):
+            fail(f"stats key {key!r} is not finite: {value!r}")
+        if value < 0:
+            fail(f"stats key {key!r} is negative: {value!r}")
+    if data["shed"] + data["errors"] > data["requests"]:
+        fail("stats: shed + errors exceeds requests")
+    if "per_second" not in data or not isinstance(data["per_second"], list):
+        fail("stats JSON missing 'per_second' array")
+    for i, n in enumerate(data["per_second"]):
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            fail(f"stats per_second[{i}] must be a non-negative integer")
+    if len(data["per_second"]) > data["window_s"]:
+        fail("stats: per_second has more buckets than window_s")
+
+
+def check_trace(text, expect_spans=()):
     try:
         data = json.loads(text)
     except json.JSONDecodeError as e:
@@ -258,26 +344,48 @@ def check_trace(text):
             fail(f"event {i}: instant event needs scope 's': 't'")
         if event["ts"] < 0:
             fail(f"event {i} has negative timestamp")
+    if expect_spans:
+        names = {e["name"] for e in events}
+        for span in expect_spans:
+            if span not in names:
+                fail(f"trace missing expected span {span!r}")
+        trace_ids = {e["args"]["trace_id"] for e in events
+                     if isinstance(e.get("args"), dict)
+                     and "trace_id" in e["args"]}
+        if len(trace_ids) != 1:
+            fail(f"expected one shared trace_id across spans, "
+                 f"got {sorted(trace_ids)!r}")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--mode", required=True,
-                        choices=["metrics-json", "prom", "trace"])
+                        choices=["metrics-json", "prom", "trace",
+                                 "access-log", "stats"])
     parser.add_argument("--server", action="store_true",
                         help="require kpjd server-level series too")
+    parser.add_argument("--expect-span", action="append", default=[],
+                        metavar="NAME",
+                        help="trace mode: require a span with this name and "
+                             "a single shared args.trace_id (repeatable)")
     parser.add_argument("path")
     args = parser.parse_args()
+    if args.server and args.mode not in ("metrics-json", "prom"):
+        fail("--server only applies to metrics-json and prom modes")
+    if args.expect_span and args.mode != "trace":
+        fail("--expect-span only applies to trace mode")
     with open(args.path, "r", encoding="utf-8") as f:
         text = f.read()
     if args.mode == "metrics-json":
         check_metrics_json(text, server=args.server)
     elif args.mode == "prom":
         check_prom(text, server=args.server)
+    elif args.mode == "access-log":
+        check_access_log(text)
+    elif args.mode == "stats":
+        check_stats(text)
     else:
-        if args.server:
-            fail("--server only applies to metrics-json and prom modes")
-        check_trace(text)
+        check_trace(text, expect_spans=args.expect_span)
     print(f"validate_metrics: {args.mode} OK: {args.path}")
 
 
