@@ -104,18 +104,20 @@ void PrintHelp(std::ostream& out) {
          "  kpj_cli generate  --nodes N [--seed S] --out FILE"
          " [--coords FILE] [--reorder STRAT]\n"
          "  kpj_cli convert   --in FILE --out FILE [--reorder STRAT]\n"
+         "                    [--format bin|v4] [--landmarks FILE]"
+         " [--categories FILE]\n"
          "  kpj_cli info      --graph FILE\n"
          "  kpj_cli landmarks --graph FILE --out FILE [--count 16]"
          " [--seed S] [--threads N]\n"
          "  kpj_cli index     --graph FILE --out FILE [--seeds 16]"
-         " [--threads N]\n"
+         " [--threads N] [--verbose]\n"
          "  kpj_cli pois      --graph FILE --out FILE [--seed S] [--cal]\n"
          "  kpj_cli query     --graph FILE --source S\n"
          "                    (--targets A,B,C | --categories FILE"
          " --category NAME)\n"
          "                    [--k 10] [--algorithm NAME]"
          " [--landmarks FILE] [--alpha 1.1]\n"
-         "                    [--oracle alt|hublabel]\n"
+         "                    [--oracle alt|hublabel] [--mmap [--trusted]]\n"
          "                    [--reorder STRAT] [--stats] [--threads N]\n"
          "                    [--intra-threads N]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
@@ -125,7 +127,7 @@ void PrintHelp(std::ostream& out) {
          "                    [--trace-out FILE]\n"
          "  kpj_cli batch     --graph FILE --queries FILE"
          " [--algorithm NAME] [--landmarks FILE]\n"
-         "                    [--oracle alt|hublabel]\n"
+         "                    [--oracle alt|hublabel] [--mmap [--trusted]]\n"
          "                    [--threads N] [--intra-threads N]"
          " [--reorder STRAT]\n"
          "                    [--deadline-ms MS] [--slow-query-ms MS]\n"
@@ -158,6 +160,13 @@ void PrintHelp(std::ostream& out) {
          "Binary graphs may store a cache-locality reordering; node ids on\n"
          "the command line and in output always refer to original ids.\n"
          "Reorder strategies: none (default), bfs, degree, hybrid.\n"
+         "Zero-copy storage: 'convert --format v4' writes the page-aligned\n"
+         "mappable format (optionally embedding hub labels from the input\n"
+         "plus --landmarks/--categories index files); query/batch --mmap\n"
+         "then serve straight out of the page cache with no load-time array\n"
+         "copies, and concurrent processes share the mapped pages. --mmap\n"
+         "verifies every section checksum at open; --trusted skips that for\n"
+         "files you generated yourself, making the open O(1).\n"
          "Algorithms: DA, DA-SPT, BestFirst, IterBound, IterBoundP,\n"
          "            IterBoundI (default), IterBoundI-NL\n";
 }
@@ -217,22 +226,81 @@ int CmdConvert(const ParsedArgs& args, std::ostream& out,
   if (!out_path.ok()) return Fail(err, out_path.status());
   Result<ReorderStrategy> reorder = GetReorderFlag(args);
   if (!reorder.ok()) return Fail(err, reorder.status());
+  std::string format = args.Get("format").value_or("bin");
+  if (format != "bin" && format != "v4") {
+    return Fail(err,
+                Status::InvalidArgument("--format must be 'bin' or 'v4'"));
+  }
   Result<GraphFile> file = LoadGraph(in_path.value());
   if (!file.ok()) return Fail(err, file.status());
   Graph& graph = file.value().graph;
   Permutation& perm = file.value().permutation;
+
+  // Indexes to embed (v4 only): anything the input file already carries,
+  // overridable / extendable with --landmarks and --categories files.
+  std::optional<LandmarkIndex> landmarks = std::move(file.value().landmarks);
+  std::optional<CategoryIndex> categories =
+      std::move(file.value().categories);
+  if (auto lm = args.Get("landmarks"); lm.has_value()) {
+    if (format != "v4") {
+      return Fail(err, Status::InvalidArgument(
+                           "embedding --landmarks needs --format v4"));
+    }
+    Result<LandmarkIndex> index = LandmarkIndex::Load(*lm);
+    if (!index.ok()) return Fail(err, index.status());
+    landmarks = std::move(index).value();
+  }
+  if (auto ct = args.Get("categories"); ct.has_value()) {
+    if (format != "v4") {
+      return Fail(err, Status::InvalidArgument(
+                           "embedding --categories needs --format v4"));
+    }
+    Result<CategoryIndex> index = CategoryIndex::Load(*ct);
+    if (!index.ok()) return Fail(err, index.status());
+    categories = std::move(index).value();
+  }
+
   if (reorder.value() != ReorderStrategy::kNone) {
     // Compose on top of any permutation already stored in the input so the
-    // output stays addressable by the input's original ids.
+    // output stays addressable by the input's original ids. Stored-layout
+    // indexes (hub labels, landmarks) follow the relabeling; categories
+    // hold original ids and are unaffected.
     Permutation extra = ComputeReordering(graph, reorder.value());
     graph = ApplyPermutation(graph, extra);
+    if (file.value().hub_labels.has_value()) {
+      file.value().hub_labels = file.value().hub_labels->Remap(extra);
+    }
+    if (landmarks.has_value()) landmarks = landmarks->Remap(extra);
     perm = perm.empty() ? std::move(extra)
                         : perm.ComposeWith(extra);
   }
-  Status saved = SaveGraph(graph, perm, out_path.value());
+  Status saved = Status::Ok();
+  if (format == "v4") {
+    if (EndsWith(out_path.value(), ".gr")) {
+      return Fail(err, Status::InvalidArgument(
+                           "--format v4 needs a binary output path"));
+    }
+    GraphFileSections sections;
+    sections.graph = &graph;
+    sections.permutation = &perm;
+    if (file.value().hub_labels.has_value()) {
+      sections.hub_labels = &*file.value().hub_labels;
+    }
+    if (landmarks.has_value()) sections.landmarks = &*landmarks;
+    if (categories.has_value()) sections.categories = &*categories;
+    saved = SaveGraphFileV4(sections, out_path.value());
+  } else {
+    saved = SaveGraph(graph, perm, out_path.value());
+  }
   if (!saved.ok()) return Fail(err, saved);
   out << "converted " << in_path.value() << " -> " << out_path.value()
       << " (" << graph.NumNodes() << " nodes";
+  if (format == "v4") {
+    out << ", format: v4 (mappable)";
+    if (file.value().hub_labels.has_value()) out << " +hub-labels";
+    if (landmarks.has_value()) out << " +landmarks";
+    if (categories.has_value()) out << " +categories";
+  }
   if (reorder.value() != ReorderStrategy::kNone) {
     out << ", reordered: " << ReorderStrategyName(reorder.value());
   }
@@ -326,6 +394,19 @@ int CmdIndex(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   HubLabelOptions opt;
   opt.order_seeds = static_cast<uint32_t>(seeds.value());
   opt.threads = threads.value();
+  double last_progress_s = -1e9;  // First report prints immediately.
+  if (args.Has("verbose")) {
+    // Progress goes to stderr so stdout stays parseable; throttled so huge
+    // graphs don't drown the terminal. The callback never changes what is
+    // built — output is byte-identical with and without it.
+    opt.progress = [&](const char* stage, uint64_t done, uint64_t total) {
+      double now_s = timer.ElapsedSeconds();
+      if (now_s - last_progress_s < 2.0 && done != total) return;
+      last_progress_s = now_s;
+      err << "index: " << stage << " " << done << "/" << total << " ("
+          << timer.ElapsedSeconds() << " s)\n";
+    };
+  }
   HubLabelIndex index = HubLabelIndex::Build(graph, graph.Reverse(), opt);
   double build_s = timer.ElapsedSeconds();
   Status saved = SaveGraphBinary(graph, file.value().permutation, &index,
@@ -384,18 +465,68 @@ struct QuerySetup {
   explicit QuerySetup(KpjInstance inst) : instance(std::move(inst)) {}
 };
 
+/// Selects the hub-label oracle when --oracle=hublabel asked for it;
+/// shared by the heap-owned and mapped setup paths.
+Status MaybeSelectHubLabelOracle(QuerySetup& setup) {
+  if (setup.config.oracle != OracleKind::kHubLabel) return Status::Ok();
+  Status selected = setup.instance.SelectOracle(OracleKind::kHubLabel);
+  if (!selected.ok()) {
+    return Status::InvalidArgument(
+        "--oracle hublabel needs a graph file with stored hub labels "
+        "(build one with 'kpj_cli index')");
+  }
+  return Status::Ok();
+}
+
+/// The --mmap setup path: zero-copy map of a v4 file. The instance serves
+/// straight out of the page cache — no CSR copy, no Reverse() compute.
+Result<QuerySetup> LoadMappedQuerySetup(const ParsedArgs& args,
+                                        const std::string& path,
+                                        const api::EngineConfig& config) {
+  if (args.Get("reorder").has_value()) {
+    return Status::InvalidArgument(
+        "--mmap serves the file's stored layout; bake a reordering in with "
+        "'kpj_cli convert --format v4 --reorder STRAT' instead");
+  }
+  Result<uint32_t> version = PeekGraphFileVersion(path);
+  if (!version.ok()) return version.status();
+  if (version.value() != 4) {
+    return Status::InvalidArgument(
+        path + " is a v" + std::to_string(version.value()) +
+        " file; --mmap needs v4 (make one with 'kpj_cli convert --format "
+        "v4')");
+  }
+  MappedLoadOptions options;
+  options.verify_checksums = !args.Has("trusted");
+  Result<KpjInstance> instance = KpjInstance::LoadMapped(path, options);
+  if (!instance.ok()) return instance.status();
+  QuerySetup setup(std::move(instance).value());
+  setup.config = config;
+  if (auto lm = args.Get("landmarks"); lm.has_value()) {
+    Result<LandmarkIndex> index = LandmarkIndex::Load(*lm);
+    if (!index.ok()) return index.status();
+    Status attached =
+        setup.instance.AttachLandmarks(std::move(index).value());
+    if (!attached.ok()) return attached;
+  }
+  KPJ_RETURN_IF_ERROR(MaybeSelectHubLabelOracle(setup));
+  return setup;
+}
+
 Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
   Result<std::string> path = args.Require("graph");
   if (!path.ok()) return path.status();
+  Result<api::EngineConfig> config = api::ParseEngineConfig(args);
+  if (!config.ok()) return config.status();
+  if (args.Has("mmap")) {
+    return LoadMappedQuerySetup(args, path.value(), config.value());
+  }
   Result<GraphFile> file = LoadGraph(path.value());
   if (!file.ok()) return file.status();
   Result<ReorderStrategy> reorder = GetReorderFlag(args);
   if (!reorder.ok()) return reorder.status();
 
-  Result<api::EngineConfig> config = api::ParseEngineConfig(args);
-  if (!config.ok()) return config.status();
-
-  LandmarkIndex landmarks;  // Empty unless --landmarks.
+  LandmarkIndex landmarks;  // Empty unless --landmarks / embedded in v4.
   if (auto lm = args.Get("landmarks"); lm.has_value()) {
     Result<LandmarkIndex> index = LandmarkIndex::Load(*lm);
     if (!index.ok()) return index.status();
@@ -404,6 +535,8 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
           "landmark index was built for a different graph");
     }
     landmarks = std::move(index).value();
+  } else if (file.value().landmarks.has_value()) {
+    landmarks = std::move(*file.value().landmarks);
   }
 
   // --reorder relabels in memory on top of whatever layout the file stores.
@@ -441,14 +574,12 @@ Result<QuerySetup> LoadQuerySetup(const ParsedArgs& args) {
         setup.instance.AttachHubLabels(std::move(hub_labels).value());
     if (!attached.ok()) return attached;
   }
-  if (setup.config.oracle == OracleKind::kHubLabel) {
-    Status selected = setup.instance.SelectOracle(OracleKind::kHubLabel);
-    if (!selected.ok()) {
-      return Status::InvalidArgument(
-          "--oracle hublabel needs a graph file with stored hub labels "
-          "(build one with 'kpj_cli index')");
-    }
+  if (file.value().categories.has_value()) {
+    Status attached = setup.instance.AttachCategories(
+        std::move(*file.value().categories));
+    if (!attached.ok()) return attached;
   }
+  KPJ_RETURN_IF_ERROR(MaybeSelectHubLabelOracle(setup));
   return setup;
 }
 
@@ -465,20 +596,28 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   // Targets come either from an explicit list or from a named category.
   std::vector<NodeId> target_nodes;
   if (auto cat_name = args.Get("category"); cat_name.has_value()) {
-    Result<std::string> cats_path = args.Require("categories");
-    if (!cats_path.ok()) return Fail(err, cats_path.status());
-    Result<CategoryIndex> index = CategoryIndex::Load(cats_path.value());
-    if (!index.ok()) return Fail(err, index.status());
-    // AttachCategories rejects an index built for a different graph.
-    Status attached = s.instance.AttachCategories(std::move(index).value());
-    if (!attached.ok()) return Fail(err, attached);
+    if (auto cats_path = args.Get("categories"); cats_path.has_value()) {
+      Result<CategoryIndex> index = CategoryIndex::Load(*cats_path);
+      if (!index.ok()) return Fail(err, index.status());
+      // AttachCategories rejects an index built for a different graph.
+      Status attached =
+          s.instance.AttachCategories(std::move(index).value());
+      if (!attached.ok()) return Fail(err, attached);
+    } else if (s.instance.categories() == nullptr) {
+      // v4 graph files can embed the category index; otherwise it must be
+      // supplied explicitly.
+      return Fail(err, Status::InvalidArgument(
+                           "--category needs --categories FILE (or a v4 "
+                           "graph file with embedded categories)"));
+    }
     const CategoryIndex& cats = *s.instance.categories();
     std::optional<CategoryId> cat = cats.Find(*cat_name);
     if (!cat.has_value()) {
       return Fail(err,
                   Status::NotFound("category '" + *cat_name + "'"));
     }
-    target_nodes = cats.Nodes(*cat);
+    auto cat_nodes = cats.Nodes(*cat);
+    target_nodes.assign(cat_nodes.begin(), cat_nodes.end());
     if (target_nodes.empty()) {
       return Fail(err, Status::InvalidArgument("category is empty"));
     }

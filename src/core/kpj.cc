@@ -164,7 +164,8 @@ Result<KpjQuery> MakeCategoryQuery(const CategoryIndex& index, NodeId source,
   }
   KpjQuery query;
   query.sources = {source};
-  query.targets = index.Nodes(category);
+  auto targets = index.Nodes(category);
+  query.targets.assign(targets.begin(), targets.end());
   query.k = k;
   if (query.targets.empty()) {
     return Status::InvalidArgument("category has no nodes");

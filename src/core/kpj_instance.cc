@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/serialize.h"
 #include "util/trace.h"
 
 namespace kpj {
@@ -30,6 +31,32 @@ Result<KpjInstance> KpjInstance::Wrap(Graph graph, Permutation permutation) {
   bundle.reverse = bundle.graph.Reverse();
   bundle.permutation = std::move(permutation);
   return KpjInstance(std::move(bundle));
+}
+
+Result<KpjInstance> KpjInstance::LoadMapped(const std::string& path,
+                                            const MappedLoadOptions& options) {
+  Result<MappedGraphBundle> mapped = MapGraphFile(path, options);
+  if (!mapped.ok()) return mapped.status();
+  MappedGraphBundle& b = mapped.value();
+  if (b.graph.NumNodes() == 0) {
+    return Status::InvalidArgument("cannot build an instance over an empty graph");
+  }
+  ReorderedGraph bundle;
+  bundle.graph = std::move(b.graph);
+  bundle.reverse = std::move(b.reverse);  // stored reverse — never recomputed
+  bundle.permutation = std::move(b.permutation);
+  KpjInstance instance(std::move(bundle));
+  instance.mapping_ = std::move(b.file);
+  if (b.landmarks.has_value()) {
+    KPJ_RETURN_IF_ERROR(instance.AttachLandmarks(std::move(*b.landmarks)));
+  }
+  if (b.hub_labels.has_value()) {
+    KPJ_RETURN_IF_ERROR(instance.AttachHubLabels(std::move(*b.hub_labels)));
+  }
+  if (b.categories.has_value()) {
+    KPJ_RETURN_IF_ERROR(instance.AttachCategories(std::move(*b.categories)));
+  }
+  return instance;
 }
 
 Status KpjInstance::AttachLandmarks(LandmarkIndex landmarks) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "core/kpj.h"
@@ -14,6 +15,7 @@
 #include "index/hub_label_index.h"
 #include "index/landmark_index.h"
 #include "util/cancellation.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace kpj {
@@ -51,6 +53,17 @@ class KpjInstance {
   /// file) without recomputing anything. `permutation` may be empty
   /// (identity); otherwise its size must match the graph.
   static Result<KpjInstance> Wrap(Graph graph, Permutation permutation);
+
+  /// Opens a version-4 graph file with mmap and builds the instance with
+  /// zero array copies: the CSR (forward and the stored reverse), the
+  /// permutation, and every index section present in the file are borrowed
+  /// straight out of the read-only mapping, which the instance pins for
+  /// its lifetime. With `options.verify_checksums` every section is
+  /// verified (one sequential pass, no allocation); without it the open is
+  /// O(1) — pages fault in lazily as queries touch them, and the kernel
+  /// shares them across every process mapping the same file.
+  static Result<KpjInstance> LoadMapped(const std::string& path,
+                                        const MappedLoadOptions& options = {});
 
   KpjInstance(KpjInstance&&) = default;
   KpjInstance& operator=(KpjInstance&&) = default;
@@ -105,6 +118,12 @@ class KpjInstance {
   /// landmark or category index invalidates every older cache entry.
   uint64_t epoch() const { return epoch_; }
 
+  /// Bytes of the read-only file mapping backing this instance, or 0 when
+  /// it owns its arrays on the heap (Make/Wrap).
+  uint64_t mapped_bytes() const {
+    return mapping_ ? mapping_->mapped_bytes() : 0;
+  }
+
   NodeId NumNodes() const { return bundle_.graph.NumNodes(); }
   NodeId ToInternal(NodeId original) const {
     return bundle_.permutation.ToNew(original);
@@ -117,6 +136,9 @@ class KpjInstance {
   explicit KpjInstance(ReorderedGraph bundle) : bundle_(std::move(bundle)) {}
 
   ReorderedGraph bundle_;
+  /// Pins the file mapping the bundle (and any indexes) borrow from; null
+  /// for heap-owned instances.
+  std::shared_ptr<const MappedGraphFile> mapping_;
   std::optional<LandmarkIndex> landmarks_;
   std::optional<HubLabelIndex> hub_labels_;
   std::optional<CategoryIndex> categories_;

@@ -58,9 +58,11 @@ struct Dataset {
   NestedPoiSets nested{};
   std::optional<CaliforniaPoiSets> california;
 
-  /// Destination node set of a category (`V_T`).
-  const std::vector<NodeId>& Targets(CategoryId category) const {
-    return categories.Nodes(category);
+  /// Destination node set of a category (`V_T`), materialized so callers
+  /// can hold it across index mutations.
+  std::vector<NodeId> Targets(CategoryId category) const {
+    auto nodes = categories.Nodes(category);
+    return {nodes.begin(), nodes.end()};
   }
 };
 

@@ -14,6 +14,19 @@ Graph::Graph(std::vector<EdgeId> offsets, std::vector<OutEdge> adj)
   }
 }
 
+Graph Graph::Borrowed(std::span<const EdgeId> offsets,
+                      std::span<const OutEdge> adj) {
+  // O(1) checks only: the zero-copy path must not fault in every page.
+  // The v4 loader runs the full structural validation in verify mode.
+  KPJ_CHECK(!offsets.empty()) << "offsets must have n+1 entries";
+  KPJ_CHECK(offsets.front() == 0);
+  KPJ_CHECK(offsets.back() == adj.size());
+  Graph g;
+  g.offsets_ = ArrayRef<EdgeId>::Borrowed(offsets);
+  g.adj_ = ArrayRef<OutEdge>::Borrowed(adj);
+  return g;
+}
+
 PathLength Graph::EdgeWeight(NodeId u, NodeId v) const {
   auto edges = OutEdges(u);
   auto it = std::lower_bound(

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "util/array_ref.h"
 #include "util/logging.h"
 #include "util/types.h"
 
@@ -32,6 +33,11 @@ inline bool operator==(const WeightedEdge& a, const WeightedEdge& b) {
 /// bidirectional: they are represented here with one arc per direction.
 /// Construction goes through GraphBuilder; Graph itself only ever holds a
 /// finished CSR.
+///
+/// Storage is owned-or-borrowed (ArrayRef): a Graph either owns its CSR
+/// vectors, or borrows spans into an mmap-ed v4 file — queries are
+/// identical either way, but a borrowed Graph must not outlive its
+/// mapping (KpjInstance pins the mapping for exactly this reason).
 class Graph {
  public:
   /// Empty graph.
@@ -40,6 +46,12 @@ class Graph {
   /// Takes ownership of finished CSR arrays. `offsets.size()` must be
   /// `n + 1`, `offsets[n] == adj.size()`, offsets non-decreasing.
   Graph(std::vector<EdgeId> offsets, std::vector<OutEdge> adj);
+
+  /// Borrows finished CSR arrays without copying (zero-copy load path).
+  /// Only O(1) invariants are checked here; the caller (the v4 loader)
+  /// is responsible for full structural validation when it matters.
+  static Graph Borrowed(std::span<const EdgeId> offsets,
+                        std::span<const OutEdge> adj);
 
   Graph(const Graph&) = default;
   Graph& operator=(const Graph&) = default;
@@ -95,14 +107,17 @@ class Graph {
     return offsets_ == other.offsets_ && AdjEquals(other);
   }
 
-  const std::vector<EdgeId>& offsets() const { return offsets_; }
-  const std::vector<OutEdge>& adjacency() const { return adj_; }
+  /// True when the CSR arrays are borrowed from external memory.
+  bool borrowed() const { return offsets_.borrowed(); }
+
+  std::span<const EdgeId> offsets() const { return offsets_.view(); }
+  std::span<const OutEdge> adjacency() const { return adj_.view(); }
 
  private:
   bool AdjEquals(const Graph& other) const;
 
-  std::vector<EdgeId> offsets_;  // n + 1 entries
-  std::vector<OutEdge> adj_;     // m entries, sorted by target within a node
+  ArrayRef<EdgeId> offsets_;  // n + 1 entries
+  ArrayRef<OutEdge> adj_;     // m entries, sorted by target within a node
 };
 
 }  // namespace kpj

@@ -37,10 +37,11 @@ Result<ReorderStrategy> ParseReorderStrategy(std::string_view name) {
 }
 
 Permutation Permutation::Identity(NodeId n) {
+  std::vector<NodeId> forward(n);
+  std::iota(forward.begin(), forward.end(), 0);
   Permutation p;
-  p.old_to_new_.resize(n);
-  std::iota(p.old_to_new_.begin(), p.old_to_new_.end(), 0);
-  p.new_to_old_ = p.old_to_new_;
+  p.new_to_old_ = forward;  // deep copy before the move below
+  p.old_to_new_ = std::move(forward);
   return p;
 }
 
@@ -70,24 +71,38 @@ Status ValidateBijection(const std::vector<NodeId>& map) {
 Result<Permutation> Permutation::FromOldToNew(std::vector<NodeId> old_to_new) {
   Status valid = ValidateBijection(old_to_new);
   if (!valid.ok()) return valid;
+  const NodeId n = static_cast<NodeId>(old_to_new.size());
+  std::vector<NodeId> inverse(n);
+  for (NodeId old_id = 0; old_id < n; ++old_id) {
+    inverse[old_to_new[old_id]] = old_id;
+  }
   Permutation p;
   p.old_to_new_ = std::move(old_to_new);
-  p.new_to_old_.resize(p.old_to_new_.size());
-  for (NodeId old_id = 0; old_id < p.size(); ++old_id) {
-    p.new_to_old_[p.old_to_new_[old_id]] = old_id;
-  }
+  p.new_to_old_ = std::move(inverse);
   return p;
 }
 
 Result<Permutation> Permutation::FromNewToOld(std::vector<NodeId> new_to_old) {
   Status valid = ValidateBijection(new_to_old);
   if (!valid.ok()) return valid;
+  const NodeId n = static_cast<NodeId>(new_to_old.size());
+  std::vector<NodeId> inverse(n);
+  for (NodeId new_id = 0; new_id < n; ++new_id) {
+    inverse[new_to_old[new_id]] = new_id;
+  }
   Permutation p;
   p.new_to_old_ = std::move(new_to_old);
-  p.old_to_new_.resize(p.new_to_old_.size());
-  for (NodeId new_id = 0; new_id < p.size(); ++new_id) {
-    p.old_to_new_[p.new_to_old_[new_id]] = new_id;
-  }
+  p.old_to_new_ = std::move(inverse);
+  return p;
+}
+
+Permutation Permutation::Borrowed(std::span<const NodeId> old_to_new,
+                                  std::span<const NodeId> new_to_old) {
+  KPJ_CHECK(old_to_new.size() == new_to_old.size())
+      << "borrowed permutation directions disagree on size";
+  Permutation p;
+  p.old_to_new_ = ArrayRef<NodeId>::Borrowed(old_to_new);
+  p.new_to_old_ = ArrayRef<NodeId>::Borrowed(new_to_old);
   return p;
 }
 
@@ -110,14 +125,16 @@ Permutation Permutation::ComposeWith(const Permutation& then) const {
   if (then.empty()) return *this;
   KPJ_CHECK(size() == then.size())
       << "composing permutations of different sizes";
-  Permutation p;
-  p.old_to_new_.resize(size());
-  p.new_to_old_.resize(size());
+  std::vector<NodeId> forward(size());
+  std::vector<NodeId> backward(size());
   for (NodeId old_id = 0; old_id < size(); ++old_id) {
     NodeId new_id = then.ToNew(ToNew(old_id));
-    p.old_to_new_[old_id] = new_id;
-    p.new_to_old_[new_id] = old_id;
+    forward[old_id] = new_id;
+    backward[new_id] = old_id;
   }
+  Permutation p;
+  p.old_to_new_ = std::move(forward);
+  p.new_to_old_ = std::move(backward);
   return p;
 }
 

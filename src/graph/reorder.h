@@ -1,6 +1,7 @@
 #ifndef KPJ_GRAPH_REORDER_H_
 #define KPJ_GRAPH_REORDER_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,6 +67,12 @@ class Permutation {
   /// Builds from a new-id -> old-id map (the inverse direction).
   static Result<Permutation> FromNewToOld(std::vector<NodeId> new_to_old);
 
+  /// Borrows both directions without copying (zero-copy load path). The
+  /// spans must be mutually inverse bijections over `[0, size())`; only
+  /// sizes are checked here — the v4 loader validates in verify mode.
+  static Permutation Borrowed(std::span<const NodeId> old_to_new,
+                              std::span<const NodeId> new_to_old);
+
   NodeId size() const { return static_cast<NodeId>(old_to_new_.size()); }
   bool empty() const { return old_to_new_.empty(); }
 
@@ -83,8 +90,8 @@ class Permutation {
     return new_id < size() ? new_to_old_[new_id] : new_id;
   }
 
-  const std::vector<NodeId>& old_to_new() const { return old_to_new_; }
-  const std::vector<NodeId>& new_to_old() const { return new_to_old_; }
+  std::span<const NodeId> old_to_new() const { return old_to_new_.view(); }
+  std::span<const NodeId> new_to_old() const { return new_to_old_.view(); }
 
   /// The inverse bijection (swaps the two directions).
   Permutation Inverse() const;
@@ -99,8 +106,8 @@ class Permutation {
   }
 
  private:
-  std::vector<NodeId> old_to_new_;
-  std::vector<NodeId> new_to_old_;
+  ArrayRef<NodeId> old_to_new_;
+  ArrayRef<NodeId> new_to_old_;
 };
 
 /// Computes the relabeling for `strategy` on `graph`. Deterministic in the

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/reorder.h"
+#include "util/array_ref.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -21,6 +22,14 @@ namespace kpj {
 /// A category models a *conceptual node*: the set of physical nodes that
 /// carry a POI of that category. Nodes may belong to any number of
 /// categories.
+///
+/// The index has two storage modes:
+///  * mutable (the default): per-category/per-node vectors, grown by
+///    AddCategory/Assign;
+///  * frozen: both directions held as CSR arrays that may borrow spans of
+///    an mmap-ed v4 file (FromParts). A frozen index rejects mutation;
+///    Remap thaws into a mutable deep copy.
+/// Lookups behave identically in both modes.
 class CategoryIndex {
  public:
   /// Creates an index over the node universe `[0, num_nodes)`.
@@ -30,6 +39,7 @@ class CategoryIndex {
   size_t NumCategories() const { return names_.size(); }
 
   /// Registers a category; returns the existing id if the name is taken.
+  /// Must not be called on a frozen index.
   CategoryId AddCategory(std::string name);
 
   /// Looks up a category id by name.
@@ -38,10 +48,11 @@ class CategoryIndex {
   const std::string& Name(CategoryId category) const;
 
   /// Assigns `node` to `category`; duplicate assignments are ignored.
+  /// Must not be called on a frozen index.
   void Assign(NodeId node, CategoryId category);
 
   /// All nodes of `category` (`V_T`), sorted ascending, no duplicates.
-  const std::vector<NodeId>& Nodes(CategoryId category) const;
+  std::span<const NodeId> Nodes(CategoryId category) const;
 
   /// Number of physical nodes in `category` (`|V_T|`).
   size_t Size(CategoryId category) const { return Nodes(category).size(); }
@@ -57,7 +68,8 @@ class CategoryIndex {
   /// cache-locality relabeling of the graph (graph/reorder.h). Category
   /// ids, names, and set sizes are unchanged; node lists are re-sorted. An
   /// empty permutation returns an unchanged copy; otherwise
-  /// `permutation.size()` must equal `num_nodes()`.
+  /// `permutation.size()` must equal `num_nodes()`. The result is always
+  /// mutable (a frozen source is thawed into owned storage).
   CategoryIndex Remap(const Permutation& permutation) const;
 
   /// Binary (de)serialization with magic/version validation, so POI
@@ -65,17 +77,42 @@ class CategoryIndex {
   Status Save(const std::string& path) const;
   static Result<CategoryIndex> Load(const std::string& path);
 
-  bool Equals(const CategoryIndex& other) const {
-    return num_nodes_ == other.num_nodes_ && names_ == other.names_ &&
-           nodes_by_category_ == other.nodes_by_category_;
-  }
+  /// Assembles a frozen index from CSR arrays — the zero-copy v4 load
+  /// path. `names_blob`/`name_offsets` describe the concatenated category
+  /// names (C+1 offsets); names are always copied into owned strings (they
+  /// are tiny and the name hash map must live on the heap anyway). The
+  /// four CSR arrays typically borrow mmap-ed sections. With `validate`
+  /// set, monotonicity, sortedness, and id ranges are fully checked;
+  /// without it only O(1)+O(C) shape checks run.
+  static Result<CategoryIndex> FromParts(NodeId num_nodes,
+                                         std::span<const char> names_blob,
+                                         std::span<const uint64_t> name_offsets,
+                                         ArrayRef<uint64_t> cat_offsets,
+                                         ArrayRef<NodeId> cat_nodes,
+                                         ArrayRef<uint64_t> node_offsets,
+                                         ArrayRef<CategoryId> node_cats,
+                                         bool validate);
+
+  /// True when backed by frozen (possibly borrowed) CSR storage.
+  bool frozen() const { return frozen_; }
+
+  bool Equals(const CategoryIndex& other) const;
 
  private:
   NodeId num_nodes_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, CategoryId> by_name_;
+
+  // Mutable-mode storage.
   std::vector<std::vector<NodeId>> nodes_by_category_;
   std::vector<std::vector<CategoryId>> categories_by_node_;
+
+  // Frozen-mode storage: CSR in both directions.
+  bool frozen_ = false;
+  ArrayRef<uint64_t> cat_offsets_;    // C + 1
+  ArrayRef<NodeId> cat_nodes_;        // sum of category sizes
+  ArrayRef<uint64_t> node_offsets_;   // n + 1
+  ArrayRef<CategoryId> node_cats_;    // sum of per-node category counts
 };
 
 }  // namespace kpj

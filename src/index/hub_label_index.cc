@@ -24,11 +24,11 @@ uint64_t FnvMix(const void* data, size_t len, uint64_t h) {
   return h;
 }
 
-template <typename T>
-uint64_t FnvMixVec(const std::vector<T>& v, uint64_t h) {
+template <typename C>
+uint64_t FnvMixVec(const C& v, uint64_t h) {
   uint64_t count = v.size();
   h = FnvMix(&count, sizeof(count), h);
-  return FnvMix(v.data(), v.size() * sizeof(T), h);
+  return FnvMix(v.data(), v.size() * sizeof(typename C::value_type), h);
 }
 
 /// Contraction-order approximation: nodes scored by sampled subtree-size
@@ -102,6 +102,7 @@ std::vector<NodeId> ComputeOrder(const Graph& graph,
         next = v;
       }
     }
+    if (options.progress) options.progress("order", k + 1, seeds);
     if (next == kInvalidNode || far == 0) break;
     seed = next;
   }
@@ -217,8 +218,9 @@ HubLabelIndex HubLabelIndex::Build(const Graph& graph,
   }
 
   std::vector<NodeId> order = ComputeOrder(graph, options);
-  index.rank_of_node_.assign(n, 0);
-  for (NodeId r = 0; r < n; ++r) index.rank_of_node_[order[r]] = r;
+  std::vector<uint32_t> rank_of_node(n, 0);
+  for (NodeId r = 0; r < n; ++r) rank_of_node[order[r]] = r;
+  index.rank_of_node_ = std::move(rank_of_node);
 
   // Pruned landmark labeling in rank order, parallelized batch-
   // synchronously: every hub of a batch searches against the labels
@@ -262,6 +264,9 @@ HubLabelIndex HubLabelIndex::Build(const Graph& graph,
         labels_out[v].push_back({rank, d});
       }
     }
+    if (options.progress) {
+      options.progress("label", batch_start + batch, n);
+    }
   }
 
   auto flatten = [n](const std::vector<std::vector<Entry>>& rows,
@@ -279,8 +284,16 @@ HubLabelIndex HubLabelIndex::Build(const Graph& graph,
       entries.insert(entries.end(), rows[v].begin(), rows[v].end());
     }
   };
-  flatten(labels_in, index.in_offsets_, index.in_entries_);
-  flatten(labels_out, index.out_offsets_, index.out_entries_);
+  std::vector<uint64_t> in_offsets;
+  std::vector<uint64_t> out_offsets;
+  std::vector<Entry> in_entries;
+  std::vector<Entry> out_entries;
+  flatten(labels_in, in_offsets, in_entries);
+  flatten(labels_out, out_offsets, out_entries);
+  index.in_offsets_ = std::move(in_offsets);
+  index.in_entries_ = std::move(in_entries);
+  index.out_offsets_ = std::move(out_offsets);
+  index.out_entries_ = std::move(out_entries);
   index.checksum_ = index.ComputeChecksum();
   return index;
 }
@@ -382,14 +395,15 @@ HubLabelIndex HubLabelIndex::Remap(const Permutation& permutation) const {
       << "permutation does not match hub label index";
   HubLabelIndex out;
   out.num_nodes_ = num_nodes_;
-  out.rank_of_node_.assign(num_nodes_, 0);
+  std::vector<uint32_t> new_ranks(num_nodes_, 0);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    out.rank_of_node_[permutation.ToNew(v)] = rank_of_node_[v];
+    new_ranks[permutation.ToNew(v)] = rank_of_node_[v];
   }
+  out.rank_of_node_ = std::move(new_ranks);
   // Entries address hubs by rank, so rows move wholesale and their
   // contents are untouched: bounds are invariant under relabeling.
-  auto permute = [&](const std::vector<uint64_t>& offsets,
-                     const std::vector<Entry>& entries,
+  auto permute = [&](const ArrayRef<uint64_t>& offsets,
+                     const ArrayRef<Entry>& entries,
                      std::vector<uint64_t>& out_offsets,
                      std::vector<Entry>& out_entries) {
     out_offsets.assign(num_nodes_ + 1, 0);
@@ -405,8 +419,16 @@ HubLabelIndex HubLabelIndex::Remap(const Permutation& permutation) const {
                   out_entries.begin() + out_offsets[permutation.ToNew(v)]);
     }
   };
-  permute(in_offsets_, in_entries_, out.in_offsets_, out.in_entries_);
-  permute(out_offsets_, out_entries_, out.out_offsets_, out.out_entries_);
+  std::vector<uint64_t> in_offsets;
+  std::vector<uint64_t> out_offsets;
+  std::vector<Entry> in_entries;
+  std::vector<Entry> out_entries;
+  permute(in_offsets_, in_entries_, in_offsets, in_entries);
+  permute(out_offsets_, out_entries_, out_offsets, out_entries);
+  out.in_offsets_ = std::move(in_offsets);
+  out.in_entries_ = std::move(in_entries);
+  out.out_offsets_ = std::move(out_offsets);
+  out.out_entries_ = std::move(out_entries);
   out.checksum_ = out.ComputeChecksum();
   return out;
 }
@@ -433,11 +455,11 @@ uint64_t HubLabelIndex::Identity() const {
 }
 
 size_t HubLabelIndex::MemoryBytes() const {
-  return sizeof(HubLabelIndex) +
-         rank_of_node_.capacity() * sizeof(uint32_t) +
-         (in_offsets_.capacity() + out_offsets_.capacity()) *
-             sizeof(uint64_t) +
-         (in_entries_.capacity() + out_entries_.capacity()) * sizeof(Entry);
+  // Borrowed (mmap-backed) arrays own no heap memory; their bytes are
+  // accounted as mapped file bytes by the owner of the mapping.
+  return sizeof(HubLabelIndex) + rank_of_node_.OwnedBytes() +
+         in_offsets_.OwnedBytes() + out_offsets_.OwnedBytes() +
+         in_entries_.OwnedBytes() + out_entries_.OwnedBytes();
 }
 
 namespace {
@@ -453,11 +475,11 @@ bool WritePod(std::ostream& out, const T& value) {
   return WriteBytes(out, &value, sizeof(T));
 }
 
-template <typename T>
-bool WriteVec(std::ostream& out, const std::vector<T>& v) {
+template <typename C>
+bool WriteVec(std::ostream& out, const C& v) {
   uint64_t count = v.size();
   return WritePod(out, count) &&
-         WriteBytes(out, v.data(), v.size() * sizeof(T));
+         WriteBytes(out, v.data(), v.size() * sizeof(typename C::value_type));
 }
 
 template <typename T>
@@ -489,33 +511,27 @@ Status HubLabelIndex::SaveToStream(std::ostream& out) const {
   return Status::Ok();
 }
 
-Result<HubLabelIndex> HubLabelIndex::LoadFromStream(std::istream& in) {
-  uint64_t magic = 0;
-  HubLabelIndex index;
-  uint64_t stored_checksum = 0;
-  if (!ReadPod(in, magic) || magic != kHubLabelMagic) {
-    return Status::Corruption("hub label section: bad magic");
-  }
-  if (!ReadPod(in, index.num_nodes_) || !ReadVec(in, index.rank_of_node_) ||
-      !ReadVec(in, index.in_offsets_) || !ReadVec(in, index.in_entries_) ||
-      !ReadVec(in, index.out_offsets_) || !ReadVec(in, index.out_entries_) ||
-      !ReadPod(in, stored_checksum)) {
-    return Status::Corruption("hub label section: truncated");
-  }
-  const NodeId n = index.num_nodes_;
-  if (index.rank_of_node_.size() != n) {
+namespace {
+
+/// Structural validation shared by the streamed loader and FromParts.
+Status ValidateLabelArrays(NodeId n, std::span<const uint32_t> rank_of_node,
+                           std::span<const uint64_t> in_offsets,
+                           std::span<const HubLabelIndex::Entry> in_entries,
+                           std::span<const uint64_t> out_offsets,
+                           std::span<const HubLabelIndex::Entry> out_entries) {
+  if (rank_of_node.size() != n) {
     return Status::Corruption("hub label section: rank table size mismatch");
   }
   std::vector<char> seen(n, 0);
-  for (uint32_t r : index.rank_of_node_) {
+  for (uint32_t r : rank_of_node) {
     if (r >= n || seen[r]) {
       return Status::Corruption("hub label section: rank table not a "
                                 "permutation");
     }
     seen[r] = 1;
   }
-  auto check_side = [n](const std::vector<uint64_t>& offsets,
-                        const std::vector<Entry>& entries) {
+  auto check_side = [n](std::span<const uint64_t> offsets,
+                        std::span<const HubLabelIndex::Entry> entries) {
     if (n == 0) return offsets.empty() && entries.empty();
     if (offsets.size() != static_cast<size_t>(n) + 1) return false;
     if (offsets.front() != 0 || offsets.back() != entries.size()) {
@@ -532,13 +548,75 @@ Result<HubLabelIndex> HubLabelIndex::LoadFromStream(std::istream& in) {
     }
     return true;
   };
-  if (!check_side(index.in_offsets_, index.in_entries_) ||
-      !check_side(index.out_offsets_, index.out_entries_)) {
+  if (!check_side(in_offsets, in_entries) ||
+      !check_side(out_offsets, out_entries)) {
     return Status::Corruption("hub label section: malformed label rows");
   }
-  index.checksum_ = index.ComputeChecksum();
-  if (index.checksum_ != stored_checksum) {
-    return Status::Corruption("hub label section: checksum mismatch");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<HubLabelIndex> HubLabelIndex::LoadFromStream(std::istream& in) {
+  uint64_t magic = 0;
+  NodeId num_nodes = 0;
+  std::vector<uint32_t> rank_of_node;
+  std::vector<uint64_t> in_offsets;
+  std::vector<uint64_t> out_offsets;
+  std::vector<Entry> in_entries;
+  std::vector<Entry> out_entries;
+  uint64_t stored_checksum = 0;
+  if (!ReadPod(in, magic) || magic != kHubLabelMagic) {
+    return Status::Corruption("hub label section: bad magic");
+  }
+  if (!ReadPod(in, num_nodes) || !ReadVec(in, rank_of_node) ||
+      !ReadVec(in, in_offsets) || !ReadVec(in, in_entries) ||
+      !ReadVec(in, out_offsets) || !ReadVec(in, out_entries) ||
+      !ReadPod(in, stored_checksum)) {
+    return Status::Corruption("hub label section: truncated");
+  }
+  return FromParts(num_nodes, std::move(rank_of_node), std::move(in_offsets),
+                   std::move(in_entries), std::move(out_offsets),
+                   std::move(out_entries), stored_checksum,
+                   /*validate=*/true);
+}
+
+Result<HubLabelIndex> HubLabelIndex::FromParts(
+    NodeId num_nodes, ArrayRef<uint32_t> rank_of_node,
+    ArrayRef<uint64_t> in_offsets, ArrayRef<Entry> in_entries,
+    ArrayRef<uint64_t> out_offsets, ArrayRef<Entry> out_entries,
+    uint64_t checksum, bool validate) {
+  if (validate) {
+    Status valid = ValidateLabelArrays(num_nodes, rank_of_node.view(),
+                                       in_offsets.view(), in_entries.view(),
+                                       out_offsets.view(), out_entries.view());
+    if (!valid.ok()) return valid;
+  } else {
+    // Trusted path: shape checks only, so borrowed pages stay untouched.
+    const size_t want = num_nodes == 0 ? 0 : static_cast<size_t>(num_nodes) + 1;
+    if (rank_of_node.size() != num_nodes || in_offsets.size() != want ||
+        out_offsets.size() != want) {
+      return Status::Corruption("hub label section: array size mismatch");
+    }
+    if (num_nodes > 0 && (in_offsets.back() != in_entries.size() ||
+                          out_offsets.back() != out_entries.size())) {
+      return Status::Corruption("hub label section: offsets/entries disagree");
+    }
+  }
+  HubLabelIndex index;
+  index.num_nodes_ = num_nodes;
+  index.rank_of_node_ = std::move(rank_of_node);
+  index.in_offsets_ = std::move(in_offsets);
+  index.in_entries_ = std::move(in_entries);
+  index.out_offsets_ = std::move(out_offsets);
+  index.out_entries_ = std::move(out_entries);
+  if (validate) {
+    index.checksum_ = index.ComputeChecksum();
+    if (index.checksum_ != checksum) {
+      return Status::Corruption("hub label section: checksum mismatch");
+    }
+  } else {
+    index.checksum_ = checksum;
   }
   return index;
 }

@@ -2,6 +2,7 @@
 #define KPJ_INDEX_HUB_LABEL_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -10,6 +11,7 @@
 #include "graph/graph.h"
 #include "graph/reorder.h"
 #include "index/distance_oracle.h"
+#include "util/array_ref.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -31,6 +33,12 @@ struct HubLabelOptions {
   /// contents (larger batches prune a little less), NOT a tuning knob to
   /// vary per machine: changing it changes the (still correct) labels.
   uint32_t batch_size = 16;
+  /// Optional build-progress observer, invoked from the calling thread:
+  /// `stage` is "order" (seed SSSPs) or "label" (hubs committed), with
+  /// `done` out of `total` units finished. Purely observational — the
+  /// built index is byte-identical with or without it.
+  std::function<void(const char* stage, uint64_t done, uint64_t total)>
+      progress;
 };
 
 /// 2-hop hub labeling (pruned landmark labeling over a contraction-style
@@ -105,6 +113,20 @@ class HubLabelIndex final : public DistanceOracle {
   Status SaveToStream(std::ostream& out) const;
   static Result<HubLabelIndex> LoadFromStream(std::istream& in);
 
+  /// Assembles an index from pre-built arrays — the zero-copy v4 load
+  /// path (each ArrayRef typically borrows an mmap-ed section). `checksum`
+  /// is the stored content checksum. With `validate` set, the structural
+  /// invariants (rank bijection, monotone offsets, strictly rank-ascending
+  /// rows) are re-checked and the checksum recomputed — O(entries) reads
+  /// but no copies. Without it only O(1) shape checks run and `checksum`
+  /// is taken on faith (trusted files whose section checksums already
+  /// guarantee the bytes are exactly as written).
+  static Result<HubLabelIndex> FromParts(
+      NodeId num_nodes, ArrayRef<uint32_t> rank_of_node,
+      ArrayRef<uint64_t> in_offsets, ArrayRef<Entry> in_entries,
+      ArrayRef<uint64_t> out_offsets, ArrayRef<Entry> out_entries,
+      uint64_t checksum, bool validate);
+
   /// Content checksum (FNV-1a over the label arrays) — the value written
   /// to / verified against the serialized section, and the content part of
   /// Identity(). Computed once at build/load/remap time.
@@ -131,6 +153,15 @@ class HubLabelIndex final : public DistanceOracle {
             in_entries_.data() + in_offsets_[u + 1]};
   }
 
+  /// Raw array access for the v4 section writer.
+  std::span<const uint32_t> rank_of_node() const {
+    return rank_of_node_.view();
+  }
+  std::span<const uint64_t> in_offsets() const { return in_offsets_.view(); }
+  std::span<const uint64_t> out_offsets() const { return out_offsets_.view(); }
+  std::span<const Entry> in_entries() const { return in_entries_.view(); }
+  std::span<const Entry> out_entries() const { return out_entries_.view(); }
+
  private:
   friend class HubSetBound;
 
@@ -138,12 +169,13 @@ class HubLabelIndex final : public DistanceOracle {
   uint64_t ComputeChecksum() const;
 
   NodeId num_nodes_ = 0;
-  std::vector<uint32_t> rank_of_node_;  // node -> contraction rank
+  // Owned-or-borrowed storage (borrowed = spans into an mmap-ed v4 file).
+  ArrayRef<uint32_t> rank_of_node_;  // node -> contraction rank
   // CSR label storage, entries sorted by rank within each row.
-  std::vector<uint64_t> in_offsets_;   // n + 1 (empty when n == 0)
-  std::vector<uint64_t> out_offsets_;  // n + 1
-  std::vector<Entry> in_entries_;
-  std::vector<Entry> out_entries_;
+  ArrayRef<uint64_t> in_offsets_;   // n + 1 (empty when n == 0)
+  ArrayRef<uint64_t> out_offsets_;  // n + 1
+  ArrayRef<Entry> in_entries_;
+  ArrayRef<Entry> out_entries_;
   uint64_t checksum_ = 0;
 };
 

@@ -120,16 +120,18 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph,
     index.dist_to_ = std::move(to_table);
   } else {
     // Early stop (tiny graphs): repack to the actual stride.
-    index.dist_from_.resize(static_cast<size_t>(actual) * n);
-    index.dist_to_.resize(static_cast<size_t>(actual) * n);
+    std::vector<uint32_t> from_packed(static_cast<size_t>(actual) * n);
+    std::vector<uint32_t> to_packed(static_cast<size_t>(actual) * n);
     for (NodeId v = 0; v < n; ++v) {
       for (uint32_t l = 0; l < actual; ++l) {
-        index.dist_from_[static_cast<size_t>(v) * actual + l] =
+        from_packed[static_cast<size_t>(v) * actual + l] =
             from_table[static_cast<size_t>(v) * num + l];
-        index.dist_to_[static_cast<size_t>(v) * actual + l] =
+        to_packed[static_cast<size_t>(v) * actual + l] =
             to_table[static_cast<size_t>(v) * num + l];
       }
     }
+    index.dist_from_ = std::move(from_packed);
+    index.dist_to_ = std::move(to_packed);
   }
   return index;
 }
@@ -144,15 +146,17 @@ LandmarkIndex LandmarkIndex::Remap(const Permutation& permutation) const {
   for (NodeId l : landmarks_) out.landmarks_.push_back(permutation.ToNew(l));
   // Node-major tables: a node's row moves as a block; landmark columns stay
   // in selection order so column l still belongs to landmarks_[l].
-  out.dist_from_.resize(dist_from_.size());
-  out.dist_to_.resize(dist_to_.size());
+  std::vector<uint32_t> from_table(dist_from_.size());
+  std::vector<uint32_t> to_table(dist_to_.size());
   const uint32_t num = num_landmarks();
   for (NodeId v = 0; v < num_nodes_; ++v) {
     const size_t src = static_cast<size_t>(v) * num;
     const size_t dst = static_cast<size_t>(permutation.ToNew(v)) * num;
-    std::copy_n(dist_from_.begin() + src, num, out.dist_from_.begin() + dst);
-    std::copy_n(dist_to_.begin() + src, num, out.dist_to_.begin() + dst);
+    std::copy_n(dist_from_.begin() + src, num, from_table.begin() + dst);
+    std::copy_n(dist_to_.begin() + src, num, to_table.begin() + dst);
   }
+  out.dist_from_ = std::move(from_table);
+  out.dist_to_ = std::move(to_table);
   return out;
 }
 
@@ -207,12 +211,13 @@ bool WritePod(std::ofstream& out, const T& value) {
   return static_cast<bool>(out);
 }
 
-template <typename T>
-bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
+template <typename C>
+bool WriteVec(std::ofstream& out, const C& v) {
   uint64_t count = v.size();
   if (!WritePod(out, count)) return false;
   out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(count * sizeof(T)));
+            static_cast<std::streamsize>(
+                count * sizeof(typename C::value_type)));
   return static_cast<bool>(out);
 }
 
@@ -250,24 +255,44 @@ Result<LandmarkIndex> LandmarkIndex::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   uint64_t magic = 0;
-  LandmarkIndex index;
+  NodeId num_nodes = 0;
+  std::vector<NodeId> landmarks;
+  std::vector<uint32_t> dist_from;
+  std::vector<uint32_t> dist_to;
   if (!ReadPod(in, magic) || magic != kMagic) {
     return Status::Corruption(path + ": bad magic");
   }
-  if (!ReadPod(in, index.num_nodes_) || !ReadVec(in, index.landmarks_) ||
-      !ReadVec(in, index.dist_from_) || !ReadVec(in, index.dist_to_)) {
+  if (!ReadPod(in, num_nodes) || !ReadVec(in, landmarks) ||
+      !ReadVec(in, dist_from) || !ReadVec(in, dist_to)) {
     return Status::Corruption(path + ": truncated");
   }
-  size_t expect =
-      index.landmarks_.size() * static_cast<size_t>(index.num_nodes_);
-  if (index.dist_from_.size() != expect || index.dist_to_.size() != expect) {
-    return Status::Corruption(path + ": table size mismatch");
+  Result<LandmarkIndex> index =
+      FromParts(num_nodes, std::move(landmarks), std::move(dist_from),
+                std::move(dist_to));
+  if (!index.ok()) {
+    return Status::Corruption(path + ": " + index.status().message());
   }
-  for (NodeId l : index.landmarks_) {
-    if (l >= index.num_nodes_) {
-      return Status::Corruption(path + ": landmark id out of range");
+  return index;
+}
+
+Result<LandmarkIndex> LandmarkIndex::FromParts(NodeId num_nodes,
+                                               std::vector<NodeId> landmarks,
+                                               ArrayRef<uint32_t> dist_from,
+                                               ArrayRef<uint32_t> dist_to) {
+  const size_t expect = landmarks.size() * static_cast<size_t>(num_nodes);
+  if (dist_from.size() != expect || dist_to.size() != expect) {
+    return Status::Corruption("landmark table size mismatch");
+  }
+  for (NodeId l : landmarks) {
+    if (l >= num_nodes) {
+      return Status::Corruption("landmark id out of range");
     }
   }
+  LandmarkIndex index;
+  index.num_nodes_ = num_nodes;
+  index.landmarks_ = std::move(landmarks);
+  index.dist_from_ = std::move(dist_from);
+  index.dist_to_ = std::move(dist_to);
   return index;
 }
 

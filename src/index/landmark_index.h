@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "graph/reorder.h"
 #include "index/distance_oracle.h"
+#include "util/array_ref.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -110,6 +111,19 @@ class LandmarkIndex final : public DistanceOracle {
   Status Save(const std::string& path) const;
   static Result<LandmarkIndex> Load(const std::string& path);
 
+  /// Assembles an index from pre-built arrays — the zero-copy v4 load path
+  /// (the distance tables typically borrow mmap-ed sections; the landmark
+  /// id list is tiny and always copied). Validates table shapes and
+  /// landmark ids; both checks are O(|L|) + O(1).
+  static Result<LandmarkIndex> FromParts(NodeId num_nodes,
+                                         std::vector<NodeId> landmarks,
+                                         ArrayRef<uint32_t> dist_from,
+                                         ArrayRef<uint32_t> dist_to);
+
+  /// Raw table access for the v4 section writer.
+  std::span<const uint32_t> dist_from() const { return dist_from_.view(); }
+  std::span<const uint32_t> dist_to() const { return dist_to_.view(); }
+
   bool Equals(const LandmarkIndex& other) const {
     return num_nodes_ == other.num_nodes_ && landmarks_ == other.landmarks_ &&
            dist_from_ == other.dist_from_ && dist_to_ == other.dist_to_;
@@ -138,8 +152,9 @@ class LandmarkIndex final : public DistanceOracle {
 
   NodeId num_nodes_ = 0;
   std::vector<NodeId> landmarks_;
-  std::vector<uint32_t> dist_from_;  // n x |L|, node-major
-  std::vector<uint32_t> dist_to_;    // n x |L|
+  // Owned-or-borrowed (borrowed = spans into an mmap-ed v4 file).
+  ArrayRef<uint32_t> dist_from_;  // n x |L|, node-major
+  ArrayRef<uint32_t> dist_to_;    // n x |L|
 };
 
 }  // namespace kpj

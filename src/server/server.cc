@@ -42,16 +42,31 @@ bool PollReadable(int primary, int drain_fd) {
 
 Result<std::shared_ptr<ServingState>> ServingState::Load(
     const std::string& graph_path, const std::string& landmarks_path,
-    const api::EngineConfig& config, uint64_t epoch) {
+    const api::EngineConfig& config, uint64_t epoch, bool trusted) {
   KPJ_RETURN_IF_ERROR(config.Validate());
-  Result<GraphFile> file = LoadGraphAuto(graph_path);
-  if (!file.ok()) return file.status();
-  std::optional<HubLabelIndex> hub_labels =
-      std::move(file.value().hub_labels);
-  Result<KpjInstance> instance = KpjInstance::Wrap(
-      std::move(file.value().graph), std::move(file.value().permutation));
-  if (!instance.ok()) return instance.status();
-  auto state = std::make_shared<ServingState>(std::move(instance).value());
+  std::optional<KpjInstance> loaded;
+  std::optional<HubLabelIndex> hub_labels;
+  // Version-4 files are mapped, not copied: the peek decides the path, and
+  // a failed peek (DIMACS text, missing file, ...) falls through so
+  // LoadGraphAuto produces the authoritative error.
+  Result<uint32_t> version = PeekGraphFileVersion(graph_path);
+  if (version.ok() && version.value() == 4) {
+    MappedLoadOptions map_options;
+    map_options.verify_checksums = !trusted;
+    Result<KpjInstance> mapped =
+        KpjInstance::LoadMapped(graph_path, map_options);
+    if (!mapped.ok()) return mapped.status();
+    loaded = std::move(mapped).value();
+  } else {
+    Result<GraphFile> file = LoadGraphAuto(graph_path);
+    if (!file.ok()) return file.status();
+    hub_labels = std::move(file.value().hub_labels);
+    Result<KpjInstance> instance = KpjInstance::Wrap(
+        std::move(file.value().graph), std::move(file.value().permutation));
+    if (!instance.ok()) return instance.status();
+    loaded = std::move(instance).value();
+  }
+  auto state = std::make_shared<ServingState>(std::move(*loaded));
   state->epoch = epoch;
   state->graph_path = graph_path;
   if (hub_labels.has_value()) {
@@ -137,7 +152,8 @@ KpjServer::~KpjServer() {
 Status KpjServer::Start() {
   Result<std::shared_ptr<ServingState>> state =
       ServingState::Load(options_.graph_path, options_.landmarks_path,
-                         options_.engine, /*epoch=*/1);
+                         options_.engine, /*epoch=*/1,
+                         options_.trusted_graphs);
   if (!state.ok()) return state.status();
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -631,7 +647,8 @@ Result<api::SwapInfo> KpjServer::Swap(const api::SwapRequest& request) {
   Timer load_timer;
   uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
   Result<std::shared_ptr<ServingState>> loaded = ServingState::Load(
-      request.graph, request.landmarks, config, epoch);
+      request.graph, request.landmarks, config, epoch,
+      options_.trusted_graphs);
   if (!loaded.ok()) return loaded.status();
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -641,6 +658,7 @@ Result<api::SwapInfo> KpjServer::Swap(const api::SwapRequest& request) {
   info.old_epoch = old_state != nullptr ? old_state->epoch : 0;
   info.new_epoch = epoch;
   info.load_ms = load_timer.ElapsedMillis();
+  metrics_.swap_ms.Record(info.load_ms);
   // old_state's engine (and caches) die with the last in-flight reference.
   return info;
 }
@@ -711,7 +729,16 @@ std::string KpjServer::MetricsJson() const {
         << "  \"server_queue_max_ms\": "
         << FiniteOrZero(metrics_.queue_time.max_ms()) << ",\n"
         << "  \"server_queue_p99_ms\": "
-        << FiniteOrZero(metrics_.queue_time.Percentile(99.0));
+        << FiniteOrZero(metrics_.queue_time.Percentile(99.0)) << ",\n"
+        << "  \"server_swap_count\": " << metrics_.swap_ms.count() << ",\n"
+        << "  \"server_swap_mean_ms\": "
+        << FiniteOrZero(metrics_.swap_ms.Mean()) << ",\n"
+        << "  \"server_swap_max_ms\": "
+        << FiniteOrZero(metrics_.swap_ms.max_ms()) << ",\n"
+        << "  \"server_swap_p99_ms\": "
+        << FiniteOrZero(metrics_.swap_ms.Percentile(99.0)) << ",\n"
+        << "  \"server_mapped_bytes\": "
+        << (serving != nullptr ? serving->instance.mapped_bytes() : 0);
   // Splice the server series into the engine object: drop the closing
   // brace (and its newline), append, close again.
   size_t brace = engine_json.rfind('}');
@@ -753,24 +780,36 @@ std::string KpjServer::MetricsPrometheus() const {
       << "# TYPE kpj_server_epoch gauge\n"
       << "kpj_server_epoch " << (serving != nullptr ? serving->epoch : 0)
       << "\n";
-  // Queue-time histogram, same cumulative-le shape as the engine's.
-  const LatencyHistogram& h = metrics_.queue_time;
-  out << "# HELP kpj_server_queue_time_ms Admission-queue wait per query.\n"
-      << "# TYPE kpj_server_queue_time_ms histogram\n";
-  uint64_t cumulative = 0;
-  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
-    cumulative += h.bucket_count(b);
-    double ub = LatencyHistogram::BucketUpperBoundMs(b);
-    out << "kpj_server_queue_time_ms_bucket{le=\"";
-    if (std::isinf(ub)) {
-      out << "+Inf";
-    } else {
-      out << ub;
+  out << "# HELP kpj_server_mapped_bytes Bytes of the read-only graph file "
+         "mapping backing the serving instance (0 = heap-owned).\n"
+      << "# TYPE kpj_server_mapped_bytes gauge\n"
+      << "kpj_server_mapped_bytes "
+      << (serving != nullptr ? serving->instance.mapped_bytes() : 0) << "\n";
+  // Cumulative-le histograms, same bucket shape as the engine's.
+  auto histogram = [&out](const char* name, const char* help,
+                          const LatencyHistogram& h) {
+    out << "# HELP " << name << " " << help << "\n"
+        << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      cumulative += h.bucket_count(b);
+      double ub = LatencyHistogram::BucketUpperBoundMs(b);
+      out << name << "_bucket{le=\"";
+      if (std::isinf(ub)) {
+        out << "+Inf";
+      } else {
+        out << ub;
+      }
+      out << "\"} " << cumulative << "\n";
     }
-    out << "\"} " << cumulative << "\n";
-  }
-  out << "kpj_server_queue_time_ms_sum " << FiniteOrZero(h.sum_ms()) << "\n"
-      << "kpj_server_queue_time_ms_count " << h.count() << "\n";
+    out << name << "_sum " << FiniteOrZero(h.sum_ms()) << "\n"
+        << name << "_count " << h.count() << "\n";
+  };
+  histogram("kpj_server_queue_time_ms", "Admission-queue wait per query.",
+            metrics_.queue_time);
+  histogram("kpj_server_swap_ms",
+            "Hot-swap load time (graph load + engine build) per swap.",
+            metrics_.swap_ms);
   return out.str();
 }
 

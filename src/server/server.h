@@ -48,10 +48,14 @@ struct ServingState {
   /// Loads a graph file (.gr = DIMACS text, else binary — stored hub
   /// labels are attached automatically), optionally attaches a landmark
   /// index (remapped into the stored layout), selects `config.oracle`,
-  /// and builds the engine.
+  /// and builds the engine. Version-4 files are mmap'd instead of copied:
+  /// the state serves borrowed arrays out of the page cache, so startup
+  /// and swap cost is independent of graph size (one checksum pass when
+  /// `trusted` is false, O(1) when true) and concurrent server processes
+  /// share the mapped pages.
   static Result<std::shared_ptr<ServingState>> Load(
       const std::string& graph_path, const std::string& landmarks_path,
-      const api::EngineConfig& config, uint64_t epoch);
+      const api::EngineConfig& config, uint64_t epoch, bool trusted = false);
 };
 
 /// Admission control in front of the engine pool: `slots` concurrent
@@ -112,6 +116,10 @@ struct KpjServerOptions {
   /// empty = disabled. Rotates to `<path>.1` past the byte bound.
   std::string access_log_path;
   size_t access_log_rotate_bytes = 64u << 20;
+  /// Skip section-checksum verification when mapping v4 graph files (both
+  /// at startup and on swap), making those loads O(1). Only for files the
+  /// operator generated; corrupt trusted files are NOT detected.
+  bool trusted_graphs = false;
 };
 
 /// The kpjd service core: a length-prefixed JSON request server over
@@ -242,6 +250,7 @@ class KpjServer {
     Counter shed;      ///< Queries shed with kOverloaded.
     Counter drained;   ///< In-flight queries answered after drain began.
     LatencyHistogram queue_time;  ///< Admission-queue wait per query.
+    LatencyHistogram swap_ms;     ///< Hot-swap load time per Swap().
   };
   Metrics metrics_;
 

@@ -1,0 +1,114 @@
+#ifndef KPJ_UTIL_ARRAY_REF_H_
+#define KPJ_UTIL_ARRAY_REF_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace kpj {
+
+/// Owned-or-borrowed immutable array storage: either a std::vector the
+/// ArrayRef owns, or a span into memory someone else keeps alive (an
+/// mmap-ed graph file section — see util/mmap_file.h). This is what lets
+/// Graph and the index classes serve queries straight out of a mapped
+/// file without copying their arrays onto the heap.
+///
+/// Semantics:
+///  * Constructed from a vector -> owned; from Borrowed(span) -> borrowed.
+///  * Copying an owned ArrayRef deep-copies; copying a borrowed one
+///    copies the span (both copies alias the external memory). Borrowers
+///    must not outlive the mapping — KpjInstance pins it via shared_ptr.
+///  * operator== compares contents, so Equals() methods built on vector
+///    equality keep their meaning across storage modes.
+template <typename T>
+class ArrayRef {
+ public:
+  using value_type = T;
+
+  ArrayRef() = default;
+
+  /// Takes ownership of `v`.
+  ArrayRef(std::vector<T> v)  // NOLINT(google-explicit-constructor)
+      : owned_(std::move(v)), view_(owned_), borrowed_(false) {}
+
+  /// Aliases `view` without copying; the referenced memory must outlive
+  /// every ArrayRef (and ArrayRef copy) that borrows it.
+  static ArrayRef Borrowed(std::span<const T> view) {
+    ArrayRef ref;
+    ref.view_ = view;
+    ref.borrowed_ = true;
+    return ref;
+  }
+
+  ArrayRef(const ArrayRef& other)
+      : owned_(other.owned_), borrowed_(other.borrowed_) {
+    view_ = borrowed_ ? other.view_ : std::span<const T>(owned_);
+  }
+  ArrayRef(ArrayRef&& other) noexcept
+      : owned_(std::move(other.owned_)), borrowed_(other.borrowed_) {
+    // A moved vector keeps its heap buffer, but re-deriving the span is
+    // unconditionally safe (and handles the small/empty cases).
+    view_ = borrowed_ ? other.view_ : std::span<const T>(owned_);
+    other.view_ = {};
+    other.borrowed_ = false;
+  }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      borrowed_ = other.borrowed_;
+      view_ = borrowed_ ? other.view_ : std::span<const T>(owned_);
+    }
+    return *this;
+  }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      borrowed_ = other.borrowed_;
+      view_ = borrowed_ ? other.view_ : std::span<const T>(owned_);
+      other.view_ = {};
+      other.borrowed_ = false;
+    }
+    return *this;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+  const T& front() const { return view_.front(); }
+  const T& back() const { return view_.back(); }
+  auto begin() const { return view_.begin(); }
+  auto end() const { return view_.end(); }
+
+  std::span<const T> view() const { return view_; }
+  operator std::span<const T>() const {  // NOLINT
+    return view_;
+  }
+
+  /// Deep copy into a fresh vector (used when a mapped structure must be
+  /// detached from its file, e.g. LoadGraphFile over a v4 file).
+  std::vector<T> ToVector() const { return {view_.begin(), view_.end()}; }
+
+  /// Heap bytes owned (0 when borrowed) — for MemoryBytes() accounting.
+  size_t OwnedBytes() const { return owned_.capacity() * sizeof(T); }
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a.view_[i] == b.view_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  bool borrowed_ = false;
+};
+
+}  // namespace kpj
+
+#endif  // KPJ_UTIL_ARRAY_REF_H_

@@ -8,6 +8,10 @@
 namespace kpj {
 namespace {
 
+std::vector<NodeId> ToVec(std::span<const NodeId> s) {
+  return {s.begin(), s.end()};
+}
+
 TEST(CategoryIndexTest, AddAndFindCategories) {
   CategoryIndex index(10);
   CategoryId hotel = index.AddCategory("Hotel");
@@ -34,7 +38,7 @@ TEST(CategoryIndexTest, AssignAndQueryBothDirections) {
   index.Assign(3, cat);
   index.Assign(1, cat);
   index.Assign(5, cat);
-  EXPECT_EQ(index.Nodes(cat), (std::vector<NodeId>{1, 3, 5}));  // Sorted.
+  EXPECT_EQ(ToVec(index.Nodes(cat)), (std::vector<NodeId>{1, 3, 5}));  // Sorted.
   EXPECT_EQ(index.Size(cat), 3u);
   EXPECT_TRUE(index.Belongs(3, cat));
   EXPECT_FALSE(index.Belongs(2, cat));
@@ -87,7 +91,7 @@ TEST(CategoryIndexTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_TRUE(loaded.value().Equals(index));
   EXPECT_EQ(loaded.value().Find("Beta").value(), b);
-  EXPECT_EQ(loaded.value().Nodes(a), (std::vector<NodeId>{1, 5}));
+  EXPECT_EQ(ToVec(loaded.value().Nodes(a)), (std::vector<NodeId>{1, 5}));
   EXPECT_TRUE(loaded.value().Belongs(5, b));
   std::filesystem::remove(path);
 }

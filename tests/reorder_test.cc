@@ -229,7 +229,9 @@ TEST(ReorderTest, CategoryIndexRemapPreservesMembership) {
     std::vector<NodeId> expected;
     for (NodeId v : index.Nodes(c)) expected.push_back(p.ToNew(v));
     std::sort(expected.begin(), expected.end());
-    EXPECT_EQ(remapped.Nodes(c), expected) << "category " << c;
+    auto actual = remapped.Nodes(c);
+    EXPECT_EQ(std::vector<NodeId>(actual.begin(), actual.end()), expected)
+        << "category " << c;
   }
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     std::span<const CategoryId> moved = remapped.CategoriesOf(p.ToNew(v));

@@ -595,6 +595,102 @@ TEST(KpjServerTest, SwapOverTheWireAndFailedSwapKeepsServing) {
   EXPECT_EQ(swapped.value().epoch, info.value().new_epoch);
 }
 
+TEST(KpjServerTest, CorruptV4SwapIsRejectedWhileOldEpochServes) {
+  const std::string path_a = GraphPath(2500, 21);
+
+  // Write graph B as a v4 (mmap) file, plus a copy with one byte flipped
+  // in the middle of the adjacency section.
+  RoadGenOptions gen;
+  gen.target_nodes = 2500;
+  gen.seed = 22;
+  Graph graph_b = GenerateRoadNetwork(gen).graph;
+  const std::string v4_path =
+      ::testing::TempDir() + "kpj_server_swap_v4.bin";
+  const std::string corrupt_path =
+      ::testing::TempDir() + "kpj_server_swap_v4_corrupt.bin";
+  GraphFileSections sections;
+  sections.graph = &graph_b;
+  ASSERT_TRUE(SaveGraphFileV4(sections, v4_path).ok());
+  {
+    std::ifstream in(v4_path, std::ios::binary);
+    std::ofstream out(corrupt_path, std::ios::binary);
+    out << in.rdbuf();
+  }
+  uint64_t flip_at = 0;
+  {
+    Result<MappedGraphBundle> mapped = MapGraphFile(v4_path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    for (const SectionEntry& e : mapped.value().file->directory()) {
+      if (GraphSectionKindName(e.kind) == "graph.adjacency") {
+        flip_at = e.offset + e.bytes / 2;
+      }
+    }
+  }
+  ASSERT_GT(flip_at, 0u);
+  {
+    std::fstream f(corrupt_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(flip_at));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(flip_at));
+    f.write(&byte, 1);
+  }
+
+  KpjServer server(SmallServerOptions(path_a));
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+
+  // The corrupt file is rejected with the damaged section named, and the
+  // old epoch keeps serving.
+  api::SwapRequest bad;
+  bad.graph = corrupt_path;
+  Result<api::ResponseEnvelope> bad_envelope =
+      client.RoundTrip(api::RequestType::kSwap, api::ToJson(bad));
+  ASSERT_TRUE(bad_envelope.ok());
+  EXPECT_NE(bad_envelope.value().status, api::StatusCode::kOk);
+  EXPECT_NE(bad_envelope.value().message.find("graph.adjacency"),
+            std::string::npos)
+      << bad_envelope.value().message;
+  Result<api::QueryResponse> still =
+      client.Query(MakeRequest({5}, {100}, 1));
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still.value().status, api::StatusCode::kOk);
+  EXPECT_EQ(still.value().epoch, 1u);
+
+  // The intact v4 file swaps in (mapped, zero-copy) and its answers match
+  // the in-process reference for graph B exactly.
+  api::SwapRequest good;
+  good.graph = v4_path;
+  Result<api::ResponseEnvelope> good_envelope =
+      client.RoundTrip(api::RequestType::kSwap, api::ToJson(good));
+  ASSERT_TRUE(good_envelope.ok());
+  ASSERT_EQ(good_envelope.value().status, api::StatusCode::kOk)
+      << good_envelope.value().message;
+  Result<api::SwapInfo> info =
+      api::SwapInfoFromJson(good_envelope.value().payload);
+  ASSERT_TRUE(info.ok());
+  EXPECT_GT(info.value().new_epoch, 1u);
+
+  const api::QueryRequest request = MakeRequest({5}, {100}, 3);
+  KpjResult ref_b = InProcess(v4_path, SmallServerOptions(path_a).engine,
+                              {request.ToQuery()})
+                        .front();
+  Result<api::QueryResponse> swapped = client.Query(request);
+  ASSERT_TRUE(swapped.ok());
+  ASSERT_EQ(swapped.value().status, api::StatusCode::kOk);
+  EXPECT_EQ(swapped.value().epoch, info.value().new_epoch);
+  ExpectSamePaths(swapped.value(), ref_b, "mapped epoch");
+
+  // Exactly one swap succeeded, and the serving state reports its mapping.
+  std::string json = server.MetricsJson();
+  EXPECT_NE(json.find("\"server_swap_count\": 1"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"server_mapped_bytes\": 0,"), std::string::npos)
+      << json;
+}
+
 // ---------------------------------------------------------------------------
 // Graceful drain.
 

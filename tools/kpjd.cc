@@ -14,6 +14,7 @@
 //        [--alpha A] [--max-queue N] [--backlog N]
 //        [--metrics-out FILE|-] [--metrics-format json|prom]
 //        [--access-log FILE] [--access-log-rotate-mb MB]
+//        [--trusted-graphs]
 
 #include <cstdint>
 #include <fstream>
@@ -41,7 +42,15 @@ void PrintHelp(std::ostream& out) {
          "       [--max-queue N] [--backlog N]\n"
          "       [--metrics-out FILE|-] [--metrics-format json|prom]\n"
          "       [--access-log FILE] [--access-log-rotate-mb MB]\n"
+         "       [--trusted-graphs]\n"
          "\n"
+         "Version-4 graph files (kpj_cli convert --format v4) are mmap'd:\n"
+         "startup and hot swap serve straight out of the page cache with no\n"
+         "array copies, and concurrent daemons share the mapped pages.\n"
+         "Section checksums are verified on every mapped load (a corrupt\n"
+         "swap file is rejected while the old epoch keeps serving);\n"
+         "--trusted-graphs skips that pass for operator-generated files,\n"
+         "making mapped loads O(1) in the graph size.\n"
          "--access-log appends one JSON line per query/batch request\n"
          "(trace_id, peer, queue_ms, exec_ms, status, epoch, ...), rotating\n"
          "to FILE.1 past --access-log-rotate-mb (default 64). Lines are\n"
@@ -115,6 +124,7 @@ int main(int argc, char** argv) {
   }
   options.access_log_rotate_bytes =
       static_cast<size_t>(rotate_mb.value()) << 20;
+  options.trusted_graphs = flags.Has("trusted-graphs");
 
   Result<kpj::api::EngineConfig> engine =
       kpj::api::ParseEngineConfig(flags);

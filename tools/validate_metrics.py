@@ -119,6 +119,11 @@ SERVER_METRICS_REQUIRED_KEYS = [
     "server_queue_mean_ms",
     "server_queue_max_ms",
     "server_queue_p99_ms",
+    "server_swap_count",
+    "server_swap_mean_ms",
+    "server_swap_max_ms",
+    "server_swap_p99_ms",
+    "server_mapped_bytes",
 ]
 
 SERVER_PROM_REQUIRED_SERIES = [
@@ -128,13 +133,15 @@ SERVER_PROM_REQUIRED_SERIES = [
     "kpj_server_drained_total",
     "kpj_server_in_flight",
     "kpj_server_epoch",
+    "kpj_server_mapped_bytes",
     "kpj_server_queue_time_ms",
+    "kpj_server_swap_ms",
 ]
 
 # Every histogram in the exposition gets cumulative-bucket and
 # +Inf == _count checks; these are the ones that must exist at all.
 REQUIRED_HISTOGRAMS = ["kpj_query_latency_ms"]
-SERVER_REQUIRED_HISTOGRAMS = ["kpj_server_queue_time_ms"]
+SERVER_REQUIRED_HISTOGRAMS = ["kpj_server_queue_time_ms", "kpj_server_swap_ms"]
 
 
 def fail(message):
