@@ -62,6 +62,9 @@ Result<Algorithm> ParseAlgorithm(const std::string& name) {
     canonical.push_back(
         static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   }
+  // kAuto is deliberately absent from kAllAlgorithms (it is a planner
+  // sentinel, not a solver), so it needs its own spelling here.
+  if (canonical == "auto") return Algorithm::kAuto;
   for (Algorithm a : kAllAlgorithms) {
     std::string candidate = AlgorithmName(a);
     for (char& c : candidate) {
@@ -141,6 +144,8 @@ QueryResponse BuildQueryResponse(const Result<KpjResult>& result,
   }
   response.sp_computations = kr.stats.shortest_path_computations;
   response.nodes_settled = kr.stats.nodes_settled;
+  response.algorithm_chosen = AlgorithmName(kr.algorithm_used);
+  response.planner_reason = kr.planner_reason;
   return response;
 }
 

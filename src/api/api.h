@@ -57,7 +57,8 @@ StatusCode FromCoreStatus(const kpj::Status& status);
 Result<OracleKind> ParseOracleKind(std::string_view name);
 
 /// Parses an algorithm name as printed by AlgorithmName (case-insensitive,
-/// '-'/'_' interchangeable): "DA", "da-spt", "IterBoundI", ...
+/// '-'/'_' interchangeable): "DA", "da-spt", "IterBoundI", ... plus
+/// "auto" for the adaptive per-query planner (Algorithm::kAuto).
 Result<Algorithm> ParseAlgorithm(const std::string& name);
 
 /// One engine configuration, shared verbatim by kpj_cli, kpjd, benches and
@@ -109,6 +110,11 @@ struct QueryRequest {
   /// Per-query deadline in ms. Negative = inherit the server's default;
   /// 0 = explicitly unbounded.
   double deadline_ms = -1.0;
+  /// Per-query algorithm override (additive v1 field `algorithm`): empty
+  /// inherits the server's configured algorithm; an AlgorithmName spelling
+  /// forces that solver for this query; "auto" engages the adaptive
+  /// planner for this query. Unknown spellings are rejected.
+  std::string algorithm;
 
   KpjQuery ToQuery() const;
   static QueryRequest FromQuery(const KpjQuery& query);
@@ -137,6 +143,12 @@ struct QueryResponse {
   /// Work-counter excerpt, for client-side observability.
   uint64_t sp_computations = 0;
   uint64_t nodes_settled = 0;
+  /// Additive v1 fields: the algorithm that produced the paths
+  /// (AlgorithmName spelling) and, when the adaptive planner made the
+  /// choice, which rule of its cost model fired. Both empty on responses
+  /// that never reached a solver (validation failures, shed queries).
+  std::string algorithm_chosen;
+  std::string planner_reason;
 };
 
 /// An ordered batch; responses come back in request order. The batch-level

@@ -55,7 +55,7 @@ struct EngineConfigDefaults {
 ///   --oracle alt|hublabel
 ///   --deadline-ms MS   default per-query deadline (>= 0; 0 = unbounded)
 ///   --slow-query-ms MS slow-query log threshold (>= 0; 0 = off)
-///   --algorithm NAME   solver selection
+///   --algorithm NAME   solver selection ("auto" = adaptive planner)
 ///   --alpha A          iter-bound growth factor (> 1)
 /// Unlisted flags are untouched, so commands can mix in their own.
 Result<EngineConfig> ParseEngineConfig(const ParsedArgs& args,

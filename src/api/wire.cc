@@ -86,6 +86,10 @@ JsonValue ToJson(const QueryRequest& request) {
   if (request.deadline_ms >= 0.0) {
     object.Set("deadline_ms", JsonValue::Double(request.deadline_ms));
   }
+  // Additive v1 field: absent means "inherit the server's algorithm".
+  if (!request.algorithm.empty()) {
+    object.Set("algorithm", JsonValue::Str(request.algorithm));
+  }
   return object;
 }
 
@@ -106,6 +110,9 @@ Result<QueryRequest> QueryRequestFromJson(const JsonValue& json) {
   Result<double> deadline = GetDouble(json, "deadline_ms", -1.0);
   if (!deadline.ok()) return deadline.status();
   request.deadline_ms = deadline.value();
+  Result<std::string> algorithm = GetString(json, "algorithm", "");
+  if (!algorithm.ok()) return algorithm.status();
+  request.algorithm = std::move(algorithm).value();
   return request;
 }
 
@@ -130,6 +137,14 @@ JsonValue ToJson(const QueryResponse& response) {
   object.Set("queue_ms", JsonValue::Double(response.queue_ms));
   object.Set("sp_computations", JsonValue::Uint(response.sp_computations));
   object.Set("nodes_settled", JsonValue::Uint(response.nodes_settled));
+  // Additive v1 fields: omitted when the query never reached a solver, so
+  // pre-planner clients see byte-identical error responses.
+  if (!response.algorithm_chosen.empty()) {
+    object.Set("algorithm_chosen", JsonValue::Str(response.algorithm_chosen));
+  }
+  if (!response.planner_reason.empty()) {
+    object.Set("planner_reason", JsonValue::Str(response.planner_reason));
+  }
   return object;
 }
 
@@ -179,6 +194,12 @@ Result<QueryResponse> QueryResponseFromJson(const JsonValue& json) {
   Result<uint64_t> settled = GetUint<uint64_t>(json, "nodes_settled", 0);
   if (!settled.ok()) return settled.status();
   response.nodes_settled = settled.value();
+  Result<std::string> chosen = GetString(json, "algorithm_chosen", "");
+  if (!chosen.ok()) return chosen.status();
+  response.algorithm_chosen = std::move(chosen).value();
+  Result<std::string> reason = GetString(json, "planner_reason", "");
+  if (!reason.ok()) return reason.status();
+  response.planner_reason = std::move(reason).value();
   return response;
 }
 

@@ -115,7 +115,7 @@ void PrintHelp(std::ostream& out) {
          "  kpj_cli query     --graph FILE --source S\n"
          "                    (--targets A,B,C | --categories FILE"
          " --category NAME)\n"
-         "                    [--k 10] [--algorithm NAME]"
+         "                    [--k 10] [--algorithm NAME|auto]"
          " [--landmarks FILE] [--alpha 1.1]\n"
          "                    [--oracle alt|hublabel] [--mmap [--trusted]]\n"
          "                    [--reorder STRAT] [--stats] [--threads N]\n"
@@ -126,7 +126,7 @@ void PrintHelp(std::ostream& out) {
          " [--metrics-format json|prom]\n"
          "                    [--trace-out FILE]\n"
          "  kpj_cli batch     --graph FILE --queries FILE"
-         " [--algorithm NAME] [--landmarks FILE]\n"
+         " [--algorithm NAME|auto] [--landmarks FILE]\n"
          "                    [--oracle alt|hublabel] [--mmap [--trusted]]\n"
          "                    [--threads N] [--intra-threads N]"
          " [--reorder STRAT]\n"
@@ -652,8 +652,15 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   for (const Path& p : result.value().paths) {
     out << PathToString(p) << "\n";
   }
+  // Report the algorithm that actually ran: under --algorithm=auto that is
+  // the planner's pick, not the configured sentinel.
   out << "# " << result.value().paths.size() << " paths in " << ms
-      << " ms using " << AlgorithmName(s.config.algorithm) << "\n";
+      << " ms using " << AlgorithmName(result.value().algorithm_used);
+  if (s.config.algorithm == Algorithm::kAuto &&
+      result.value().planner_reason[0] != '\0') {
+    out << " (auto: " << result.value().planner_reason << ")";
+  }
+  out << "\n";
   if (!result.value().status.ok()) {
     // Deadline/cancellation: the paths above are a valid prefix of the
     // answer, flagged rather than treated as a hard failure.

@@ -27,13 +27,24 @@ unsigned KpjEngine::ResolveThreads(const KpjEngineOptions& options) {
 KpjEngine::KpjEngine(const KpjInstance& instance, KpjEngineOptions options)
     : instance_(instance),
       options_(std::move(options)),
-      pool_(ResolveThreads(options_)) {
+      pool_(ResolveThreads(options_)),
+      solvers_(pool_.num_workers()),
+      planner_(std::make_unique<QueryPlanner>(instance, options_.solver,
+                                              options_.planner)) {
   // Eagerly build one solver per worker so the first queries do not pay
   // the O(n) workspace allocations, and so construction fails fast if the
-  // options are unusable.
-  solvers_.reserve(pool_.num_workers());
+  // options are unusable. In auto mode the warm column is the planner's
+  // cold default; its other choices fill the grid lazily on first use.
+  Algorithm warm = options_.solver.algorithm;
+  if (warm == Algorithm::kAuto) {
+    warm = instance_.oracle() != nullptr || options_.solver.oracle != nullptr
+               ? Algorithm::kIterBoundSptI
+               : Algorithm::kIterBoundSptINoLm;
+  }
+  KpjOptions warm_options = options_.solver;
+  warm_options.algorithm = warm;
   for (unsigned w = 0; w < pool_.num_workers(); ++w) {
-    solvers_.push_back(MakeSolver(instance_, options_.solver));
+    solvers_[w][PlannerIndex(warm)] = MakeSolver(instance_, warm_options);
   }
   if (options_.cache_mb > 0) {
     size_t budget = options_.cache_mb * size_t{1024} * 1024;
@@ -42,6 +53,16 @@ KpjEngine::KpjEngine(const KpjInstance& instance, KpjEngineOptions options)
     bound_cache_ = std::make_unique<TargetBoundCache>(budget / 4);
     purged_epoch_.store(instance_.epoch(), std::memory_order_relaxed);
   }
+}
+
+KpjSolver* KpjEngine::SolverFor(unsigned worker, Algorithm algorithm) {
+  std::unique_ptr<KpjSolver>& slot = solvers_[worker][PlannerIndex(algorithm)];
+  if (slot == nullptr) {
+    KpjOptions options = options_.solver;
+    options.algorithm = algorithm;
+    slot = MakeSolver(instance_, options);
+  }
+  return slot.get();
 }
 
 Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
@@ -69,6 +90,32 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
     cache_ctx.epoch = epoch;
     cache = &cache_ctx;
   }
+
+  // Resolve this query's algorithm: the per-query override wins over the
+  // engine configuration; kAuto (from either) engages the planner. A
+  // fixed algorithm never consults the planner at all.
+  KpjOptions run_options = options_.solver;
+  run_options.algorithm =
+      context.algorithm.value_or(options_.solver.algorithm);
+  const bool planned = run_options.algorithm == Algorithm::kAuto;
+  const char* planner_reason = "";
+  bool planner_resident = false;
+  uint64_t planner_shape_fp = 0;
+  if (planned) {
+    PlannerDecision decision =
+        planner_->Plan(query, cache_ctx.spt, cache_ctx.epoch);
+    run_options.algorithm = decision.algorithm;
+    planner_reason = decision.reason;
+    planner_resident = decision.resident;
+    planner_shape_fp = decision.shape_fp;
+    metrics_.planner_choice[PlannerIndex(decision.algorithm)].Increment();
+    if (decision.fallback) metrics_.planner_fallback.Increment();
+  }
+  // Satellite of the planner work: algorithms whose measured SPT-cache
+  // hit benefit is negative must not pay the insert (sptp.cc skips the
+  // snapshot export and counts spt_cache_insert_skips).
+  cache_ctx.allow_sptp_insert =
+      QueryPlanner::SptInsertBeneficial(run_options.algorithm);
 
   // Resolve this query's intra-parallelism fan-out against the current
   // load *after* counting ourselves in, so a lone query sees active == 1
@@ -101,12 +148,21 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
     // it inherit the id, so wire-level traces stitch end to end.
     TraceContext trace_ctx(context.trace_id);
     KPJ_TRACE_SPAN("engine.query");
-    result = RunKpjOnInstance(instance_, query, options_.solver,
-                              solvers_[worker].get(), cancel, cache, intra);
+    result = RunKpjOnInstance(instance_, query, run_options,
+                              SolverFor(worker, run_options.algorithm),
+                              cancel, cache, intra);
   }
   active_queries_.fetch_sub(1, std::memory_order_relaxed);
   double elapsed_ms = timer.ElapsedMillis();
   metrics_.latency.Record(elapsed_ms);
+
+  if (planned && result.ok()) {
+    // Feed the rolling profile (no-op for pinned planners) and stamp the
+    // decision provenance so api/server layers can report it.
+    planner_->RecordLatency(run_options.algorithm, planner_resident,
+                            planner_shape_fp, elapsed_ms);
+    result.value().planner_reason = planner_reason;
+  }
 
   if (!result.ok()) {
     metrics_.queries_failed.Increment();
@@ -139,8 +195,12 @@ Result<KpjResult> KpjEngine::RunOne(const KpjQuery& query, double deadline_ms,
           << deadline_ms << " ms deadline";
     }
     log << ") queue_ms=" << context.queue_ms
+        << " algorithm=" << AlgorithmName(r.algorithm_used)
         << " expansions=" << r.stats.algo.node_expansions
         << " paths=" << r.paths.size();
+    if (planned && r.planner_reason[0] != '\0') {
+      log << " planner_reason=" << r.planner_reason;
+    }
     if (!r.status.ok()) log << " status=" << r.status.ToString();
   }
   return result;
@@ -228,6 +288,10 @@ EngineMetricsSnapshot KpjEngine::MetricsSnapshot() const {
   snap.intra_fanout_count = metrics_.intra_fanout.count();
   snap.intra_fanout_mean = metrics_.intra_fanout.Mean();
   snap.intra_fanout_max = metrics_.intra_fanout.max_ms();
+  for (size_t a = 0; a < kNumPlannableAlgorithms; ++a) {
+    snap.planner_choice[a] = metrics_.planner_choice[a].value();
+  }
+  snap.planner_fallback = metrics_.planner_fallback.value();
   if (spt_cache_ != nullptr) {
     SptCacheStats spt = spt_cache_->StatsSnapshot();
     TargetBoundCacheStats bounds = bound_cache_->StatsSnapshot();
@@ -273,6 +337,8 @@ std::string KpjEngine::MetricsJson() const {
       << "  \"algo_bound_cache_hits\": " << s.algo.bound_cache_hits << ",\n"
       << "  \"algo_bound_cache_misses\": " << s.algo.bound_cache_misses
       << ",\n"
+      << "  \"algo_spt_cache_insert_skips\": "
+      << s.algo.spt_cache_insert_skips << ",\n"
       << "  \"algo_intra_rounds\": " << s.algo.intra_rounds << ",\n"
       << "  \"algo_intra_tasks\": " << s.algo.intra_tasks << ",\n"
       << "  \"intra_steals\": " << s.intra_steals << ",\n"
@@ -281,7 +347,22 @@ std::string KpjEngine::MetricsJson() const {
       << "  \"intra_fanout_mean\": " << FiniteOrZero(s.intra_fanout_mean)
       << ",\n"
       << "  \"intra_fanout_max\": " << FiniteOrZero(s.intra_fanout_max)
-      << ",\n"
+      << ",\n";
+  // Planner decision counters, one flat key per algorithm (display names
+  // with '-' mapped to '_' so keys stay identifier-shaped), then the
+  // aggregate and the GKPJ-fallback count.
+  uint64_t planner_total = 0;
+  for (size_t a = 0; a < kNumPlannableAlgorithms; ++a) {
+    std::string name = AlgorithmName(kAllAlgorithms[a]);
+    for (char& c : name) {
+      if (c == '-') c = '_';
+    }
+    out << "  \"planner_choice_" << name << "\": "
+        << s.planner_choice[PlannerIndex(kAllAlgorithms[a])] << ",\n";
+    planner_total += s.planner_choice[PlannerIndex(kAllAlgorithms[a])];
+  }
+  out << "  \"planner_choice_total\": " << planner_total << ",\n"
+      << "  \"planner_fallback_total\": " << s.planner_fallback << ",\n"
       << "  \"spt_cache_insertions\": " << s.spt_cache_insertions << ",\n"
       << "  \"spt_cache_evictions\": " << s.spt_cache_evictions << ",\n"
       << "  \"bound_cache_evictions\": " << s.bound_cache_evictions << ",\n"
@@ -387,6 +468,20 @@ std::string KpjEngine::MetricsPrometheus() const {
   counter("kpj_bound_cache_misses_total",
           "Landmark set aggregates computed afresh.",
           s.algo.bound_cache_misses);
+  counter("kpj_spt_cache_insert_skips_total",
+          "SPT cache insertions skipped (negative measured hit benefit).",
+          s.algo.spt_cache_insert_skips);
+  // Adaptive-planner decision counters, labeled by the chosen algorithm.
+  out << "# HELP kpj_planner_choice_total Planner decisions by chosen "
+         "algorithm (--algorithm=auto).\n"
+      << "# TYPE kpj_planner_choice_total counter\n";
+  for (Algorithm a : kAllAlgorithms) {
+    out << "kpj_planner_choice_total{algorithm=\"" << AlgorithmName(a)
+        << "\"} " << s.planner_choice[PlannerIndex(a)] << "\n";
+  }
+  counter("kpj_planner_fallback_total",
+          "Planner decisions the cache probes could not help (GKPJ).",
+          s.planner_fallback);
   counter("kpj_spt_cache_evictions_total",
           "SPT cache entries evicted (LRU or epoch purge).",
           s.spt_cache_evictions);
@@ -448,6 +543,8 @@ void KpjEngine::ResetMetrics() {
   metrics_.intra_steals.Reset();
   metrics_.intra_parallel_rounds.Reset();
   metrics_.intra_fanout.Reset();
+  for (Counter& c : metrics_.planner_choice) c.Reset();
+  metrics_.planner_fallback.Reset();
   if (spt_cache_ != nullptr) {
     spt_cache_->ResetStats();
     bound_cache_->ResetStats();

@@ -1,10 +1,12 @@
 #ifndef KPJ_CORE_ENGINE_H_
 #define KPJ_CORE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "core/intra.h"
 #include "core/kpj_instance.h"
 #include "core/kpj_query.h"
+#include "core/planner.h"
 #include "core/solver.h"
 #include "core/spt_cache.h"
 #include "index/target_bound.h"
@@ -57,6 +60,11 @@ struct KpjEngineOptions {
   /// clamped by `clamp_to_hardware`. Results are byte-identical at every
   /// setting (DESIGN.md "Intra-query parallelism").
   unsigned intra_threads = 1;
+  /// Adaptive-planner knobs (core/planner.h), consulted only when
+  /// `solver.algorithm == Algorithm::kAuto` or a query carries an `auto`
+  /// override. The planner only changes which solver produces the
+  /// byte-identical answer, never the answer.
+  PlannerOptions planner;
 };
 
 /// Per-query service context threaded down from the server layer. The
@@ -68,6 +76,11 @@ struct KpjEngineOptions {
 struct QueryContext {
   uint64_t trace_id = 0;
   double queue_ms = 0.0;
+  /// Per-query algorithm override (additive wire field `algorithm`):
+  /// nullopt runs the engine's configured algorithm; a concrete value
+  /// forces that solver for this query only; Algorithm::kAuto engages the
+  /// planner for this query even on a fixed-algorithm engine.
+  std::optional<Algorithm> algorithm;
 };
 
 /// Point-in-time copy of the engine's execution metrics. Counts are sums
@@ -107,6 +120,11 @@ struct EngineMetricsSnapshot {
   uint64_t intra_fanout_count = 0;     ///< Fanned-out rounds recorded.
   double intra_fanout_mean = 0.0;      ///< Mean slots per fanned-out round.
   double intra_fanout_max = 0.0;       ///< Largest fanned-out round.
+  /// Adaptive-planner decisions per chosen algorithm (indexed by
+  /// PlannerIndex; all zero when no query engaged the planner) and the
+  /// fallback count (GKPJ queries the cache probes cannot help).
+  std::array<uint64_t, kNumPlannableAlgorithms> planner_choice{};
+  uint64_t planner_fallback = 0;
 };
 
 /// Concurrent KPJ query engine over one immutable KpjInstance.
@@ -138,6 +156,15 @@ class KpjEngine {
   unsigned num_workers() const { return pool_.num_workers(); }
   const KpjInstance& instance() const { return instance_; }
   const KpjEngineOptions& options() const { return options_; }
+
+  /// The adaptive planner behind `--algorithm=auto`. Always constructed
+  /// (per-query overrides can engage it on a fixed-algorithm engine) but
+  /// consulted only for queries whose effective algorithm is kAuto —
+  /// fixed-algorithm queries bypass it entirely. Exposed mutable so tests
+  /// can pin a profile snapshot (QueryPlanner::PinProfile) and benches
+  /// can read the rolling profile.
+  QueryPlanner& planner() { return *planner_; }
+  const QueryPlanner& planner() const { return *planner_; }
 
   /// Enqueues one query (original ids) and returns a future for its
   /// result. Uses the engine's default deadline.
@@ -189,12 +216,24 @@ class KpjEngine {
 
   static unsigned ResolveThreads(const KpjEngineOptions& options);
 
+  /// Returns worker `worker`'s pooled solver for `algorithm`, building it
+  /// on first use. Each worker only ever touches its own row of the grid,
+  /// so no synchronization is needed.
+  KpjSolver* SolverFor(unsigned worker, Algorithm algorithm);
+
   const KpjInstance& instance_;
   const KpjEngineOptions options_;
   ThreadPool pool_;
-  /// One solver per worker, indexed by worker id; workers use only their
-  /// own entry, so no synchronization is needed.
-  std::vector<std::unique_ptr<KpjSolver>> solvers_;
+  /// Per-worker solver grid, indexed [worker][PlannerIndex(algorithm)].
+  /// Fixed-algorithm engines eagerly build one column (fail-fast, warm
+  /// first query); the planner's other choices fill in lazily on first
+  /// use. Workers use only their own row, so no synchronization is
+  /// needed.
+  std::vector<
+      std::array<std::unique_ptr<KpjSolver>, kNumPlannableAlgorithms>>
+      solvers_;
+  /// The adaptive planner (see planner()); never null.
+  std::unique_ptr<QueryPlanner> planner_;
   /// Cross-query reuse caches, shared by all workers (both are internally
   /// synchronized). Null when options_.cache_mb == 0.
   std::unique_ptr<SptCache> spt_cache_;
@@ -221,6 +260,9 @@ class KpjEngine {
     /// Per-round fan-out distribution (values are slot counts; the
     /// geometric ms buckets resolve the interesting 1..100 range well).
     LatencyHistogram intra_fanout;
+    /// Planner decisions by chosen algorithm, plus GKPJ fallbacks.
+    std::array<Counter, kNumPlannableAlgorithms> planner_choice;
+    Counter planner_fallback;
   };
   Metrics metrics_;
   /// Monotonic query-id source shared by Submit and RunBatch.

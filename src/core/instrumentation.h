@@ -46,6 +46,11 @@ struct AlgoStats {
   uint64_t bound_cache_hits = 0;
   uint64_t bound_cache_misses = 0;
 
+  // SPT-cache insertions deliberately skipped because the engine measured
+  // (or statically knows) the algorithm's hit benefit to be negative —
+  // e.g. SPT_P, whose snapshot export costs more than a later hit saves.
+  uint64_t spt_cache_insert_skips = 0;
+
   // Candidate-path churn: paths materialized into the result queue vs.
   // subspaces discarded before yielding a path (lb = inf or proven empty).
   uint64_t candidates_generated = 0;
@@ -81,6 +86,7 @@ struct AlgoStats {
     spt_cache_misses += other.spt_cache_misses;
     bound_cache_hits += other.bound_cache_hits;
     bound_cache_misses += other.bound_cache_misses;
+    spt_cache_insert_skips += other.spt_cache_insert_skips;
     candidates_generated += other.candidates_generated;
     candidates_pruned += other.candidates_pruned;
     intra_rounds += other.intra_rounds;
@@ -118,6 +124,7 @@ class AtomicAlgoStats {
     spt_cache_misses_.Add(s.spt_cache_misses);
     bound_cache_hits_.Add(s.bound_cache_hits);
     bound_cache_misses_.Add(s.bound_cache_misses);
+    spt_cache_insert_skips_.Add(s.spt_cache_insert_skips);
     candidates_generated_.Add(s.candidates_generated);
     candidates_pruned_.Add(s.candidates_pruned);
     intra_rounds_.Add(s.intra_rounds);
@@ -139,6 +146,7 @@ class AtomicAlgoStats {
     s.spt_cache_misses = spt_cache_misses_.value();
     s.bound_cache_hits = bound_cache_hits_.value();
     s.bound_cache_misses = bound_cache_misses_.value();
+    s.spt_cache_insert_skips = spt_cache_insert_skips_.value();
     s.candidates_generated = candidates_generated_.value();
     s.candidates_pruned = candidates_pruned_.value();
     s.intra_rounds = intra_rounds_.value();
@@ -160,6 +168,7 @@ class AtomicAlgoStats {
     spt_cache_misses_.Reset();
     bound_cache_hits_.Reset();
     bound_cache_misses_.Reset();
+    spt_cache_insert_skips_.Reset();
     candidates_generated_.Reset();
     candidates_pruned_.Reset();
     intra_rounds_.Reset();
@@ -180,6 +189,7 @@ class AtomicAlgoStats {
   Counter spt_cache_misses_;
   Counter bound_cache_hits_;
   Counter bound_cache_misses_;
+  Counter spt_cache_insert_skips_;
   Counter candidates_generated_;
   Counter candidates_pruned_;
   Counter intra_rounds_;

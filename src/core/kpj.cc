@@ -30,6 +30,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "IterBoundI";
     case Algorithm::kIterBoundSptINoLm:
       return "IterBoundI-NL";
+    case Algorithm::kAuto:
+      return "Auto";
   }
   return "?";
 }
@@ -54,6 +56,11 @@ std::unique_ptr<KpjSolver> MakeSolver(const Graph& graph,
     case Algorithm::kIterBoundSptINoLm:
       return std::make_unique<IterBoundSptiSolver>(graph, reverse, options,
                                                    /*use_landmarks=*/false);
+    case Algorithm::kAuto:
+      // kAuto is a planner sentinel, not a solver: the engine must resolve
+      // it to a concrete algorithm (core/planner.h) before reaching here.
+      KPJ_LOG(Fatal) << "MakeSolver called with Algorithm::kAuto";
+      return nullptr;
   }
   KPJ_LOG(Fatal) << "unknown algorithm";
   return nullptr;

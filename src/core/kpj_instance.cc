@@ -168,7 +168,9 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
   if (pq.targets.empty()) {
     // Every target coincided with the single source: only the trivial
     // path exists and it is excluded by definition.
-    return KpjResult{};
+    KpjResult empty;
+    empty.algorithm_used = options.algorithm;
+    return empty;
   }
 
   KpjResult result;
@@ -203,6 +205,7 @@ Result<KpjResult> RunKpjOnInstance(const KpjInstance& instance,
       for (NodeId& v : path.nodes) v = instance.ToOriginal(v);
     }
   }
+  result.algorithm_used = options.algorithm;
   return result;
 }
 

@@ -27,7 +27,10 @@ struct KpjQuery {
   uint32_t k = 1;
 };
 
-/// The seven algorithms evaluated in the paper's §7.
+/// The seven algorithms evaluated in the paper's §7, plus the adaptive
+/// planner sentinel. kAuto is not a solver: when an engine is configured
+/// with it, core/planner.h picks one of the seven per query (all of which
+/// return byte-identical answers, so the choice is purely a speed matter).
 enum class Algorithm {
   kDA,                  // Yen's deviation baseline (Alg. 1, [28])
   kDaSpt,               // state-of-the-art KSP baseline with full SPT [15]
@@ -36,12 +39,16 @@ enum class Algorithm {
   kIterBoundSptP,       // + partial shortest path tree (§5.2)
   kIterBoundSptI,       // + incremental shortest path tree (§5.3)
   kIterBoundSptINoLm,   // IterBound_I without landmarks (§6)
+  kAuto,                // per-query adaptive choice (core/planner.h)
 };
 
 /// Short display name ("DA", "IterBoundI", ...).
 const char* AlgorithmName(Algorithm algorithm);
 
-/// All algorithms, in the order the paper lists them.
+/// All runnable algorithms, in the order the paper lists them. kAuto is
+/// deliberately absent: it is a planner sentinel, not a solver, so code
+/// iterating this array (conformance tests, ParseAlgorithm, the planner's
+/// own candidate set) never sees it.
 inline constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kDA,           Algorithm::kDaSpt,
     Algorithm::kBestFirst,    Algorithm::kIterBound,
@@ -119,6 +126,12 @@ struct KpjResult {
   std::vector<Path> paths;
   QueryStats stats;
   Status status;
+  /// The solver that actually produced the paths. Equal to the configured
+  /// algorithm in fixed mode; in `auto` mode it is the planner's choice.
+  Algorithm algorithm_used = Algorithm::kIterBoundSptI;
+  /// Planner decision provenance (static string, never owned): which rule
+  /// of the cost model fired. Empty in fixed mode (planner bypassed).
+  const char* planner_reason = "";
 };
 
 struct QueryCacheContext;   // core/spt_cache.h

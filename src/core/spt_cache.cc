@@ -74,6 +74,12 @@ std::optional<SptCacheValue> SptCache::Lookup(const SptCacheKey& key) {
   return it->second->second;
 }
 
+bool SptCache::Contains(const SptCacheKey& key) const {
+  const Shard& shard = shards_[(key.Hash() >> 56) % kNumShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.find(key) != shard.index.end();
+}
+
 void SptCache::Insert(SptCacheKey key, SptCacheValue value) {
   Shard& shard = ShardFor(key);
   size_t bytes = EntryBytes(key, value);

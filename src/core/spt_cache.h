@@ -132,6 +132,12 @@ class SptCache {
   /// Counts a hit or a miss.
   std::optional<SptCacheValue> Lookup(const SptCacheKey& key);
 
+  /// True when `key` is resident, with no side effects: no LRU refresh, no
+  /// hit/miss counting. A planner probe, not an access — a later Lookup by
+  /// the chosen solver observes exactly the counters and recency order it
+  /// would have seen had the probe never happened.
+  bool Contains(const SptCacheKey& key) const;
+
   /// Inserts or replaces. Evicts least-recently-used entries of the shard
   /// while it exceeds its byte budget. The just-inserted entry is never
   /// evicted by its own insert: a single oversized entry stays resident
@@ -186,6 +192,13 @@ struct QueryCacheContext {
   SptCache* spt = nullptr;
   TargetBoundCache* bounds = nullptr;
   uint64_t epoch = 0;
+  /// Insert policy for SPT_P's reverse-search snapshot (kReverseSptp).
+  /// The engine clears this for algorithms whose measured cache-hit
+  /// benefit is negative — exporting SPT_P's snapshot costs more than a
+  /// later hit saves (BENCH_cache.json: 0.98x) — so the solver skips the
+  /// export+insert and counts AlgoStats::spt_cache_insert_skips instead.
+  /// Lookups are unaffected: already-resident entries still serve hits.
+  bool allow_sptp_insert = true;
 };
 
 }  // namespace kpj

@@ -78,11 +78,17 @@ bool IterBoundSptpSolver::InitializeQuery(const PreparedQuery& query,
   ++stats->shortest_path_computations;
   if (!restored && spt_cache != nullptr && reached &&
       (query.cancel == nullptr || !query.cancel->ShouldStop())) {
-    auto snap = std::make_shared<SearchSnapshot>();
-    sptp_.ExportSnapshot(snap.get());
-    SptCacheValue value;
-    value.snapshot = std::move(snap);
-    spt_cache->Insert(std::move(key), std::move(value));
+    if (query.cache->allow_sptp_insert) {
+      auto snap = std::make_shared<SearchSnapshot>();
+      sptp_.ExportSnapshot(snap.get());
+      SptCacheValue value;
+      value.snapshot = std::move(snap);
+      spt_cache->Insert(std::move(key), std::move(value));
+    } else {
+      // The engine measured SPT_P's hit benefit as negative: the snapshot
+      // export here costs more than a later restore saves, so skip it.
+      ++stats->algo.spt_cache_insert_skips;
+    }
   }
   if (!reached) return false;
 

@@ -73,6 +73,10 @@ void AccessLog::Write(const AccessLogEntry& entry) {
   line += JsonEscape(entry.type);
   line += ",\"algorithm\":";
   line += JsonEscape(entry.algorithm);
+  if (!entry.planner_reason.empty()) {
+    line += ",\"planner_reason\":";
+    line += JsonEscape(entry.planner_reason);
+  }
   line += ",\"k\":";
   line += std::to_string(entry.k);
   line += ",\"queue_ms\":";

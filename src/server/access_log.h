@@ -22,7 +22,10 @@ struct AccessLogEntry {
   uint64_t trace_id = 0;       ///< 0 = request carried no trace context.
   std::string peer;            ///< "ip:port" of the requesting client.
   std::string type;            ///< Request kind ("query", "batch").
-  std::string algorithm;       ///< Engine algorithm that served it.
+  std::string algorithm;       ///< Algorithm that served it (planner's pick
+                               ///< when the query ran under --algorithm=auto).
+  std::string planner_reason;  ///< Planner rule that fired; empty when the
+                               ///< algorithm was fixed by config or request.
   uint32_t k = 0;              ///< Paths requested (batch: query count).
   double queue_ms = 0.0;       ///< Admission-queue wait.
   double exec_ms = 0.0;        ///< Engine execution wall time.

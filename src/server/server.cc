@@ -345,6 +345,20 @@ api::QueryResponse KpjServer::RunAdmitted(
   api::QueryResponse response;
   response.epoch = state->epoch;
 
+  // Resolve the per-request algorithm override before admission: a bad
+  // spelling should not consume a slot.
+  std::optional<Algorithm> algorithm_override;
+  if (!request.algorithm.empty()) {
+    Result<Algorithm> parsed = api::ParseAlgorithm(request.algorithm);
+    if (!parsed.ok()) {
+      metrics_.rejected.Increment();
+      response.status = api::StatusCode::kInvalidArgument;
+      response.message = parsed.status().message();
+      return response;
+    }
+    algorithm_override = parsed.value();
+  }
+
   double queue_ms = 0.0;
   AdmissionController::Outcome outcome;
   {
@@ -380,7 +394,7 @@ api::QueryResponse KpjServer::RunAdmitted(
     TraceSpan execute_span("server.execute");
     return state->engine
         ->Submit(request.ToQuery(), remaining_ms,
-                 QueryContext{trace_id, queue_ms})
+                 QueryContext{trace_id, queue_ms, algorithm_override})
         .get();
   }();
   double elapsed_ms = run_timer.ElapsedMillis();
@@ -420,7 +434,12 @@ api::ResponseEnvelope KpjServer::HandleQuery(
   bool shed = response.status == api::StatusCode::kOverloaded;
   window_.Record(response.queue_ms + response.elapsed_ms, shed,
                  !shed && response.status != api::StatusCode::kOk);
-  entry.algorithm = AlgorithmName(options_.engine.algorithm);
+  // Log the algorithm that actually served the query (the planner's pick
+  // under auto); fall back to the configured one when it never ran.
+  entry.algorithm = !response.algorithm_chosen.empty()
+                        ? response.algorithm_chosen
+                        : AlgorithmName(options_.engine.algorithm);
+  entry.planner_reason = response.planner_reason;
   entry.queue_ms = response.queue_ms;
   entry.exec_ms = response.elapsed_ms;
   entry.status = response.status;
@@ -471,7 +490,30 @@ api::ResponseEnvelope KpjServer::HandleBatch(
   double deadline_ms = batch.value().deadline_ms >= 0.0
                            ? batch.value().deadline_ms
                            : options_.engine.deadline_ms;
-  entry.algorithm = AlgorithmName(options_.engine.algorithm);
+  // A batch runs under one engine context, so it supports one algorithm
+  // override: every query that sets one must agree (unset ones inherit).
+  std::optional<Algorithm> algorithm_override;
+  for (const api::QueryRequest& query : queries) {
+    if (query.algorithm.empty()) continue;
+    Result<Algorithm> parsed = api::ParseAlgorithm(query.algorithm);
+    Status invalid = !parsed.ok()
+                         ? parsed.status()
+                         : algorithm_override.has_value() &&
+                               *algorithm_override != parsed.value()
+                         ? Status::InvalidArgument(
+                               "a batch supports a single algorithm override")
+                         : Status::Ok();
+    if (!invalid.ok()) {
+      metrics_.rejected.Increment();
+      entry.status = api::StatusCode::kInvalidArgument;
+      LogAccess(std::move(entry));
+      return api::ErrorResponse(request.id, api::StatusCode::kInvalidArgument,
+                                invalid.message());
+    }
+    algorithm_override = parsed.value();
+  }
+  entry.algorithm = AlgorithmName(
+      algorithm_override.value_or(options_.engine.algorithm));
   entry.epoch = serving->epoch;
 
   // One admission slot per batch: the engine spreads the queries across
@@ -517,7 +559,7 @@ api::ResponseEnvelope KpjServer::HandleBatch(
     TraceSpan execute_span("server.execute");
     results = serving->engine->RunBatch(
         engine_queries, remaining_ms,
-        QueryContext{request.trace_id, queue_ms});
+        QueryContext{request.trace_id, queue_ms, algorithm_override});
   }
   double exec_ms = run_timer.ElapsedMillis();
   admission_->Release();

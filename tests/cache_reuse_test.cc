@@ -160,12 +160,23 @@ TEST_P(CacheReuseTest, RepeatedSourcesActuallyHitTheCache) {
   engine.RunBatch(batch);
   EngineMetricsSnapshot snap = engine.MetricsSnapshot();
   // DA has no cacheable substrate; every other algorithm must both miss
-  // (first sight of a source) and hit (the repeats).
-  if (GetParam() != Algorithm::kDA) {
+  // (first sight of a source) and hit (the repeats) — except SPT_P,
+  // whose measured hit benefit is negative (BENCH_cache 0.98x), so the
+  // engine suppresses its inserts (QueryPlanner::SptInsertBeneficial)
+  // and the solver counts the skips instead: it probes (misses) but
+  // never populates.
+  if (GetParam() == Algorithm::kIterBoundSptP) {
+    EXPECT_EQ(snap.algo.spt_cache_hits, 0u);
+    EXPECT_GT(snap.algo.spt_cache_misses, 0u);
+    EXPECT_EQ(snap.spt_cache_insertions, 0u);
+    EXPECT_GT(snap.algo.spt_cache_insert_skips, 0u);
+    EXPECT_GT(snap.cache_bytes, 0u);  // set bounds still cache
+  } else if (GetParam() != Algorithm::kDA) {
     EXPECT_GT(snap.algo.spt_cache_hits, 0u);
     EXPECT_GT(snap.algo.spt_cache_misses, 0u);
     EXPECT_GT(snap.spt_cache_insertions, 0u);
     EXPECT_GT(snap.cache_bytes, 0u);
+    EXPECT_EQ(snap.algo.spt_cache_insert_skips, 0u);
   }
   // Only the landmark-driven engines build set bounds at all; DA works
   // without bounds, DA-SPT bounds off its own SPT, and the -NL variant
@@ -206,11 +217,11 @@ TEST(CacheInvalidationTest, AttachLandmarksBumpsEpochAndDropsEntries) {
 
   api::EngineConfig config;
   config.workers = 1;
-  config.algorithm = Algorithm::kIterBoundSptP;
+  config.algorithm = Algorithm::kIterBoundSptI;
   config.cache_mb = 16;
   KpjEngine engine(instance, config.ToEngineOptions());
   std::vector<KpjQuery> batch = RepeatingBatch(instance.NumNodes(), 20, 3);
-  auto before = RunAll(instance, batch, Algorithm::kIterBoundSptP, 1, 0);
+  auto before = RunAll(instance, batch, Algorithm::kIterBoundSptI, 1, 0);
   engine.RunBatch(batch);
   uint64_t warm_hits = engine.MetricsSnapshot().algo.spt_cache_hits;
   EXPECT_GT(warm_hits, 0u);
@@ -233,7 +244,7 @@ TEST(CacheInvalidationTest, AttachLandmarksBumpsEpochAndDropsEntries) {
   // First queries after invalidation cannot hit entries from epoch 2.
   EXPECT_GT(snap.algo.spt_cache_misses, 0u);
 
-  auto after_cold = RunAll(instance, batch, Algorithm::kIterBoundSptP, 1, 0);
+  auto after_cold = RunAll(instance, batch, Algorithm::kIterBoundSptI, 1, 0);
   ASSERT_EQ(after_cached.size(), after_cold.size());
   for (size_t i = 0; i < after_cached.size(); ++i) {
     ASSERT_TRUE(after_cached[i].ok());

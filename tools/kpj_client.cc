@@ -1,7 +1,8 @@
 // kpj_client — thin client for the kpjd service (docs/PROTOCOL.md).
 //
 //   kpj_client query   --port P --source S --targets A,B,C [--k 10]
-//                      [--deadline-ms MS] [--trace-out FILE]
+//                      [--deadline-ms MS] [--algorithm NAME|auto]
+//                      [--trace-out FILE]
 //   kpj_client batch   --port P --queries FILE [--deadline-ms MS]
 //   kpj_client metrics --port P [--format json|prom]
 //   kpj_client stats   --port P [--json]
@@ -48,7 +49,8 @@ void PrintHelp(std::ostream& out) {
          "\n"
          "  kpj_client query   --port P --source S --targets A,B,C"
          " [--k 10]\n"
-         "                     [--deadline-ms MS] [--trace-out FILE]\n"
+         "                     [--deadline-ms MS] [--algorithm NAME|auto]\n"
+         "                     [--trace-out FILE]\n"
          "  kpj_client batch   --port P --queries FILE [--deadline-ms MS]\n"
          "  kpj_client metrics --port P [--format json|prom]\n"
          "  kpj_client stats   --port P [--json]\n"
@@ -214,6 +216,13 @@ int PrintQueryResponse(const api::QueryResponse& response) {
   std::cout << "# " << response.paths.size() << " paths in "
             << response.elapsed_ms << " ms (queue " << response.queue_ms
             << " ms, epoch " << response.epoch << ")\n";
+  if (!response.algorithm_chosen.empty()) {
+    std::cout << "# algorithm: " << response.algorithm_chosen;
+    if (!response.planner_reason.empty()) {
+      std::cout << " (" << response.planner_reason << ")";
+    }
+    std::cout << "\n";
+  }
   if (response.status != api::StatusCode::kOk) {
     std::cout << "# status: " << api::StatusCodeName(response.status);
     if (!response.message.empty()) std::cout << " (" << response.message
@@ -251,6 +260,13 @@ int CmdQuery(const api::ParsedArgs& args) {
       return Fail(Status::InvalidArgument("--deadline-ms must be >= 0"));
     }
     request.deadline_ms = *parsed;
+  }
+  if (auto algorithm = args.Get("algorithm"); algorithm.has_value()) {
+    // Validate the spelling client-side for a friendly error; the server
+    // re-validates before admission.
+    Result<kpj::Algorithm> parsed = api::ParseAlgorithm(*algorithm);
+    if (!parsed.ok()) return Fail(parsed.status());
+    request.algorithm = AlgorithmName(parsed.value());
   }
 
   std::string trace_out = args.Get("trace-out").value_or("");

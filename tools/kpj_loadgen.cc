@@ -4,8 +4,15 @@
 //               [--duration-s 5] [--warmup-s 1]
 //               [--mode closed|open] [--rate QPS]
 //               [--mix zipf|uniform] [--zipf-s 1.1]
-//               [--k 4] [--targets 2] [--seed 42]
+//               [--algorithm SPEC] [--k 4] [--targets 2] [--seed 42]
 //               [--deadline-ms MS] [--out BENCH_service.json]
+//
+// --algorithm takes a weighted mix spec: a single name ("auto", "da-spt")
+// tags every request, while "auto:0.8,da_spt:0.2" draws each request's
+// per-query algorithm override from the weighted distribution (weights
+// are normalized; the draw shares the worker's seeded RNG, so a run is
+// reproducible). Omitting the flag sends no override — the daemon's
+// configured algorithm serves everything.
 //
 // Drives a live kpjd over the wire protocol: N connections issue top-k
 // query requests drawn from a seeded zipf or uniform node mix (node count
@@ -61,8 +68,13 @@ void PrintHelp(std::ostream& out) {
          "              [--duration-s 5] [--warmup-s 1]\n"
          "              [--mode closed|open] [--rate QPS]\n"
          "              [--mix zipf|uniform] [--zipf-s 1.1]\n"
+         "              [--algorithm NAME[:W][,NAME[:W]...]]\n"
          "              [--k 4] [--targets 2] [--seed 42]\n"
          "              [--deadline-ms MS] [--out FILE]\n"
+         "\n"
+         "--algorithm tags each request with a per-query algorithm\n"
+         "override drawn from a weighted mix, e.g. 'auto' (all requests)\n"
+         "or 'auto:0.8,da_spt:0.2' (80/20 split).\n"
          "\n"
          "closed (default): each connection sends the next query as soon\n"
          "as the previous answer arrives. open: queries fire on a fixed\n"
@@ -148,6 +160,63 @@ class NodeSampler {
   std::vector<double> cdf_;  ///< Empty in uniform mode.
 };
 
+/// Weighted per-query algorithm mix parsed from --algorithm. Entries keep
+/// the canonical AlgorithmName spelling; `cdf` holds the normalized
+/// cumulative weights so sampling is one uniform draw + lower_bound.
+struct AlgorithmMix {
+  std::vector<std::string> names;
+  std::vector<double> cdf;
+
+  bool empty() const { return names.empty(); }
+
+  const std::string& Sample(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), uniform(rng));
+    size_t i = static_cast<size_t>(it - cdf.begin());
+    if (i >= names.size()) i = names.size() - 1;
+    return names[i];
+  }
+};
+
+/// Parses "auto" or "auto:0.8,da_spt:0.2". A missing weight means 1; every
+/// name must parse as an algorithm (including "auto"); weights must be
+/// positive and are normalized over the spec.
+Result<AlgorithmMix> ParseAlgorithmMix(const std::string& spec) {
+  AlgorithmMix mix;
+  std::vector<double> weights;
+  double total = 0.0;
+  std::istringstream items(spec);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    std::string name = item;
+    double weight = 1.0;
+    if (size_t colon = item.find(':'); colon != std::string::npos) {
+      name = item.substr(0, colon);
+      auto parsed = kpj::ParseDouble(item.substr(colon + 1));
+      if (!parsed || *parsed <= 0.0) {
+        return Status::InvalidArgument("--algorithm weight in '" + item +
+                                       "' must be > 0");
+      }
+      weight = *parsed;
+    }
+    Result<kpj::Algorithm> algorithm = api::ParseAlgorithm(name);
+    if (!algorithm.ok()) return algorithm.status();
+    mix.names.push_back(AlgorithmName(algorithm.value()));
+    weights.push_back(weight);
+    total += weight;
+  }
+  if (mix.names.empty()) {
+    return Status::InvalidArgument("--algorithm spec is empty");
+  }
+  double cumulative = 0.0;
+  for (double w : weights) {
+    cumulative += w / total;
+    mix.cdf.push_back(cumulative);
+  }
+  mix.cdf.back() = 1.0;
+  return mix;
+}
+
 struct WorkerConfig {
   std::string host;
   uint16_t port = 0;
@@ -159,6 +228,7 @@ struct WorkerConfig {
   uint32_t targets = 2;
   double deadline_ms = -1.0;
   uint64_t seed = 42;
+  AlgorithmMix algorithms;      ///< Empty = no per-query override.
 };
 
 struct WorkerStats {
@@ -210,6 +280,9 @@ void RunWorker(const WorkerConfig& config, const NodeSampler& sampler,
     }
     query.k = config.k;
     if (config.deadline_ms >= 0.0) query.deadline_ms = config.deadline_ms;
+    if (!config.algorithms.empty()) {
+      query.algorithm = config.algorithms.Sample(rng);
+    }
 
     auto sent_at = std::chrono::steady_clock::now();
     ++stats->sent;
@@ -399,6 +472,13 @@ int main(int argc, char** argv) {
     }
     config.deadline_ms = *value;
   }
+  std::string algorithm_spec;
+  if (auto text = args.Get("algorithm"); text.has_value()) {
+    Result<AlgorithmMix> mix = ParseAlgorithmMix(*text);
+    if (!mix.ok()) return Fail(mix.status());
+    config.algorithms = std::move(mix).value();
+    algorithm_spec = *text;
+  }
 
   // The daemon tells us how many nodes the serving graph has, so query ids
   // are always valid regardless of what was loaded.
@@ -503,8 +583,10 @@ int main(int argc, char** argv) {
   // Human summary.
   std::cout << "kpj_loadgen: " << mode << " loop, " << num_workers
             << " connections, " << config.duration_s << " s measured ("
-            << config.warmup_s << " s warmup), mix " << mix << ", k "
-            << config.k << ", " << nodes << " nodes\n"
+            << config.warmup_s << " s warmup), mix " << mix
+            << (algorithm_spec.empty() ? ""
+                                       : ", algorithms " + algorithm_spec)
+            << ", k " << config.k << ", " << nodes << " nodes\n"
             << "  requests:   " << sent << " sent, " << measured
             << " measured, " << ok << " ok, " << shed << " shed, " << partial
             << " partial, " << failed << " failed\n"
@@ -523,6 +605,10 @@ int main(int argc, char** argv) {
     std::string json = "{\n  \"bench\": \"service_loadgen\",\n";
     json += "  \"mode\": \"" + mode + "\",\n";
     json += "  \"mix\": \"" + mix + "\",\n";
+    if (!algorithm_spec.empty()) {
+      json += "  \"algorithm_mix\": " + kpj::JsonEscape(algorithm_spec) +
+              ",\n";
+    }
     json += "  \"connections\": " + std::to_string(num_workers) + ",\n";
     json += "  \"duration_s\": ";
     AppendDouble(&json, config.duration_s);

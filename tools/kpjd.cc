@@ -10,7 +10,7 @@
 //   kpjd --graph FILE [--landmarks FILE] [--host 127.0.0.1] [--port 0]
 //        [--port-file FILE] [--workers N] [--intra-threads N]
 //        [--cache-mb MB | --no-cache] [--oracle alt|hublabel]
-//        [--deadline-ms MS] [--slow-query-ms MS] [--algorithm NAME]
+//        [--deadline-ms MS] [--slow-query-ms MS] [--algorithm NAME|auto]
 //        [--alpha A] [--max-queue N] [--backlog N]
 //        [--metrics-out FILE|-] [--metrics-format json|prom]
 //        [--access-log FILE] [--access-log-rotate-mb MB]
@@ -38,7 +38,7 @@ void PrintHelp(std::ostream& out) {
          "       [--workers N] [--intra-threads N]\n"
          "       [--cache-mb MB | --no-cache] [--oracle alt|hublabel]\n"
          "       [--deadline-ms MS] [--slow-query-ms MS]\n"
-         "       [--algorithm NAME] [--alpha A]\n"
+         "       [--algorithm NAME|auto] [--alpha A]\n"
          "       [--max-queue N] [--backlog N]\n"
          "       [--metrics-out FILE|-] [--metrics-format json|prom]\n"
          "       [--access-log FILE] [--access-log-rotate-mb MB]\n"

@@ -50,8 +50,18 @@ METRICS_REQUIRED_KEYS = [
     "algo_spt_cache_misses",
     "algo_bound_cache_hits",
     "algo_bound_cache_misses",
+    "algo_spt_cache_insert_skips",
     "algo_intra_rounds",
     "algo_intra_tasks",
+    "planner_choice_DA",
+    "planner_choice_DA_SPT",
+    "planner_choice_BestFirst",
+    "planner_choice_IterBound",
+    "planner_choice_IterBoundP",
+    "planner_choice_IterBoundI",
+    "planner_choice_IterBoundI_NL",
+    "planner_choice_total",
+    "planner_fallback_total",
     "intra_steals",
     "intra_parallel_rounds",
     "intra_fanout_count",
@@ -97,6 +107,9 @@ PROM_REQUIRED_SERIES = [
     "kpj_bound_cache_misses_total",
     "kpj_spt_cache_evictions_total",
     "kpj_bound_cache_evictions_total",
+    "kpj_spt_cache_insert_skips_total",
+    "kpj_planner_choice_total",
+    "kpj_planner_fallback_total",
     "kpj_cache_bytes",
     "kpj_intra_rounds_total",
     "kpj_intra_tasks_total",
@@ -211,9 +224,11 @@ def check_prom(text, server=False):
             fail(f"line {line_no}: sample {name!r} has no TYPE comment")
         seen.add(base)
         if name in ("kpj_lb_tightness_num_total",
-                    "kpj_lb_tightness_den_total"):
-            # Raw tightness terms are per-solver series; without the
-            # algorithm label they would aggregate into a meaningless sum.
+                    "kpj_lb_tightness_den_total",
+                    "kpj_planner_choice_total"):
+            # Raw tightness terms and planner decisions are per-solver
+            # series; without the algorithm label they would aggregate
+            # into a meaningless sum.
             if labels is None or 'algorithm="' not in labels:
                 fail(f"line {line_no}: {name} without algorithm label")
         if name.endswith("_bucket") and typed.get(base) == "histogram":
